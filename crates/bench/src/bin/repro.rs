@@ -1,0 +1,68 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro table1 | table2 | fig1 | fig2 | fig3 | fig4 | fig5 | fig6 | fig7 | all
+//! ```
+//!
+//! Environment: `SQALPEL_SF` sets the base TPC-H scale factor (default
+//! 0.02; Figure 3 also builds a 10× instance), `SQALPEL_REPS` the
+//! repetitions per query (default 3).
+
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let what = args.first().map(String::as_str).unwrap_or("all");
+    let known = [
+        "table1", "table2", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
+        "ablation", "all",
+    ];
+    if !known.contains(&what) {
+        eprintln!("usage: repro [{}]", known.join(" | "));
+        std::process::exit(2);
+    }
+    let t0 = Instant::now();
+    let run = |name: &str| what == "all" || what == name;
+    if run("table1") {
+        println!("{}", sqalpel_bench::table1());
+    }
+    if run("table2") {
+        println!("{}", sqalpel_bench::table2());
+    }
+    if run("fig1") {
+        println!("{}", sqalpel_bench::fig1());
+    }
+    if run("fig2") {
+        println!("{}", sqalpel_bench::fig2());
+    }
+    if what == "all" {
+        // Compute Figure 3 once and derive Figure 4 from it.
+        let (text, report, pool) = sqalpel_bench::fig3();
+        println!("{text}");
+        println!("{}", sqalpel_bench::fig4_from(report, &pool));
+    } else {
+        if run("fig3") {
+            let (text, _, _) = sqalpel_bench::fig3();
+            println!("{text}");
+        }
+        if run("fig4") {
+            println!("{}", sqalpel_bench::fig4());
+        }
+    }
+    if run("fig5") || run("fig6") {
+        let (fig5, fig6) = sqalpel_bench::fig5_fig6();
+        if run("fig5") {
+            println!("{fig5}");
+        }
+        if run("fig6") {
+            println!("{fig6}");
+        }
+    }
+    if run("fig7") {
+        println!("{}", sqalpel_bench::fig7());
+    }
+    if run("ablation") {
+        println!("{}", sqalpel_bench::ablations::report());
+    }
+    eprintln!("[repro {what} done in {:.1?}]", t0.elapsed());
+}

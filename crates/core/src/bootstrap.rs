@@ -1,0 +1,187 @@
+//! Platform bootstrap: "We bootstrap the platform with a sizable number
+//! of OLAP cases and products" (§1) — "it … contains sample projects
+//! inspired by TPC-H, SSBM, airtraffic" (§5).
+//!
+//! [`bootstrap_server`] creates a ready-to-demo server: an admin user, a
+//! TPC-H project with experiments for a spread of query shapes, an SSB
+//! project and an airtraffic project, all with seeded pools.
+
+use crate::catalog::Visibility;
+use crate::error::PlatformResult;
+use crate::project::{ExperimentId, ProjectId};
+use crate::server::SqalpelServer;
+use crate::user::UserId;
+
+/// SSB Q1.1 over the star schema (`lineorder` ⋈ `date_dim`).
+pub const SSB_Q1_1: &str = "\
+select sum(lo_extendedprice * lo_discount) as revenue
+from lineorder, date_dim
+where lo_orderdate = d_datekey
+  and d_year = 1993
+  and lo_discount between 1 and 3
+  and lo_quantity < 25";
+
+/// An airtraffic delay profile query over the `ontime` table.
+pub const AIRTRAFFIC_DELAYS: &str = "\
+select carrier, count(*) as flights, avg(depdelay) as avg_delay, max(arrdelay) as worst
+from ontime
+where cancelled = 0 and depdelay > 0 and distance > 500
+group by carrier
+order by avg_delay desc";
+
+/// What [`bootstrap_server`] created.
+pub struct Bootstrap {
+    pub admin: UserId,
+    pub tpch: ProjectId,
+    pub tpch_experiments: Vec<(&'static str, ExperimentId)>,
+    pub ssb: ProjectId,
+    pub ssb_experiment: ExperimentId,
+    pub airtraffic: ProjectId,
+    pub airtraffic_experiment: ExperimentId,
+}
+
+/// Populate a server with the demo projects. Pools are seeded with the
+/// baseline plus `n_random` random variants each (seeded by `seed`).
+pub fn bootstrap_server(
+    server: &SqalpelServer,
+    n_random: usize,
+    seed: u64,
+) -> PlatformResult<Bootstrap> {
+    let admin = server.register_user("sqalpel-admin", "admin@sqalpel.example")?;
+
+    // --- TPC-H: a spread of query shapes --------------------------------
+    let tpch = server.create_project(
+        admin,
+        "tpch-olap",
+        "TPC-H inspired OLAP cases; data from sqalpel-datagen (dbgen derivative). \
+         Attribution: TPC-H specification, Transaction Processing Performance Council.",
+        Visibility::Public,
+    )?;
+    server.set_targets(
+        tpch,
+        admin,
+        vec!["rowstore-2.0".into(), "rowstore-1.4".into(), "colstore-5.1".into()],
+        vec!["bench-server".into()],
+    )?;
+    let mut tpch_experiments = Vec::new();
+    for name in ["Q1", "Q3", "Q6", "Q14"] {
+        let sql = sqalpel_sql::tpch::query(name).expect("known query");
+        let exp = server.add_experiment(tpch, admin, name, sql, None, 50_000, 5_000)?;
+        server.seed_pool(tpch, exp, admin, n_random, seed)?;
+        tpch_experiments.push((name, exp));
+    }
+
+    // --- SSB -------------------------------------------------------------
+    let ssb = server.create_project(
+        admin,
+        "ssb-star-schema",
+        "Star Schema Benchmark flight; lineorder fact with the date dimension. \
+         Attribution: O'Neil, O'Neil, Chen — SSB specification.",
+        Visibility::Public,
+    )?;
+    server.set_targets(
+        ssb,
+        admin,
+        vec!["rowstore-2.0".into(), "colstore-5.1".into()],
+        vec!["bench-server".into()],
+    )?;
+    let ssb_experiment = server.add_experiment(ssb, admin, "SSB Q1.1", SSB_Q1_1, None, 10_000, 1_000)?;
+    server.seed_pool(ssb, ssb_experiment, admin, n_random, seed)?;
+
+    // --- airtraffic -------------------------------------------------------
+    let airtraffic = server.create_project(
+        admin,
+        "airtraffic-ontime",
+        "Synthetic on-time flight performance (the classic airtraffic demo set).",
+        Visibility::Public,
+    )?;
+    server.set_targets(
+        airtraffic,
+        admin,
+        vec!["rowstore-2.0".into(), "colstore-5.1".into()],
+        vec!["bench-server".into()],
+    )?;
+    let airtraffic_experiment = server.add_experiment(
+        airtraffic,
+        admin,
+        "carrier delays",
+        AIRTRAFFIC_DELAYS,
+        None,
+        10_000,
+        1_000,
+    )?;
+    server.seed_pool(airtraffic, airtraffic_experiment, admin, n_random, seed)?;
+
+    Ok(Bootstrap {
+        admin,
+        tpch,
+        tpch_experiments,
+        ssb,
+        ssb_experiment,
+        airtraffic,
+        airtraffic_experiment,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::project::Role;
+
+    #[test]
+    fn bootstrap_creates_three_projects() {
+        let server = SqalpelServer::new();
+        let b = bootstrap_server(&server, 4, 1).unwrap();
+        assert_eq!(b.tpch_experiments.len(), 4);
+        // All projects are public: any registered user can read them.
+        let reader = server.register_user("visitor", "v@x.io").unwrap();
+        for p in [b.tpch, b.ssb, b.airtraffic] {
+            assert_eq!(server.role_of(p, reader).unwrap(), Role::Reader);
+        }
+    }
+
+    #[test]
+    fn bootstrap_pools_are_seeded() {
+        let server = SqalpelServer::new();
+        let b = bootstrap_server(&server, 5, 2).unwrap();
+        for (name, exp) in &b.tpch_experiments {
+            let n = server
+                .with_project_view(b.tpch, b.admin, |p| p.experiment(*exp).unwrap().pool.len())
+                .unwrap();
+            assert!(n >= 2, "{name} pool too small ({n})");
+        }
+    }
+
+    #[test]
+    fn ssb_baseline_runs_on_both_engines() {
+        use sqalpel_engine::{ColStore, Database, Dbms, RowStore};
+        use std::sync::Arc;
+        let db = Arc::new(Database::ssb(0.001, 42));
+        let a = RowStore::new(db.clone()).execute(SSB_Q1_1).unwrap();
+        let b = ColStore::new(db).execute(SSB_Q1_1).unwrap();
+        assert!(a.approx_eq(&b, 1e-6));
+    }
+
+    #[test]
+    fn airtraffic_baseline_runs() {
+        use sqalpel_engine::{Database, Dbms, RowStore};
+        use std::sync::Arc;
+        let db = Arc::new(Database::airtraffic(50, 2015, 3));
+        let r = RowStore::new(db).execute(AIRTRAFFIC_DELAYS).unwrap();
+        assert!(r.row_count() >= 4, "several carriers expected");
+    }
+
+    #[test]
+    fn bootstrap_enqueues_and_serves_tasks() {
+        let server = SqalpelServer::new();
+        let b = bootstrap_server(&server, 3, 5).unwrap();
+        let (_, exp) = b.tpch_experiments[2]; // Q6
+        let n = server.enqueue_experiment(b.tpch, exp, b.admin).unwrap();
+        assert!(n > 0);
+        let key = server.issue_key(b.admin).unwrap();
+        let task = server
+            .request_task(&key, "rowstore-2.0", "bench-server")
+            .unwrap();
+        assert!(task.is_some());
+    }
+}

@@ -1,0 +1,82 @@
+//! Platform error type.
+
+use std::fmt;
+
+/// Errors raised by the sqalpel platform layers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlatformError {
+    /// Malformed input (names, emails, configuration).
+    Invalid(String),
+    UnknownUser(u64),
+    UnknownProject(u64),
+    UnknownExperiment(u64),
+    UnknownTask(u64),
+    UnknownQuery(u64),
+    /// The caller lacks the required role on the project.
+    AccessDenied(String),
+    /// Grammar processing failed.
+    Grammar(String),
+    /// The pool hit its hard cap.
+    PoolFull(usize),
+    /// Publishing rules violated (e.g. a public project referencing a
+    /// private DBMS/host entry).
+    Publication(String),
+}
+
+impl fmt::Display for PlatformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlatformError::Invalid(m) => write!(f, "invalid input: {m}"),
+            PlatformError::UnknownUser(id) => write!(f, "unknown user #{id}"),
+            PlatformError::UnknownProject(id) => write!(f, "unknown project #{id}"),
+            PlatformError::UnknownExperiment(id) => write!(f, "unknown experiment #{id}"),
+            PlatformError::UnknownTask(id) => write!(f, "unknown task #{id}"),
+            PlatformError::UnknownQuery(id) => write!(f, "unknown query #{id}"),
+            PlatformError::AccessDenied(m) => write!(f, "access denied: {m}"),
+            PlatformError::Grammar(m) => write!(f, "grammar error: {m}"),
+            PlatformError::PoolFull(cap) => write!(f, "query pool cap ({cap}) reached"),
+            PlatformError::Publication(m) => write!(f, "publication rule violated: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PlatformError {}
+
+impl From<sqalpel_grammar::GrammarParseError> for PlatformError {
+    fn from(e: sqalpel_grammar::GrammarParseError) -> Self {
+        PlatformError::Grammar(e.to_string())
+    }
+}
+
+impl From<sqalpel_grammar::template::EnumerationError> for PlatformError {
+    fn from(e: sqalpel_grammar::template::EnumerationError) -> Self {
+        PlatformError::Grammar(e.to_string())
+    }
+}
+
+impl From<sqalpel_grammar::GenerateError> for PlatformError {
+    fn from(e: sqalpel_grammar::GenerateError) -> Self {
+        PlatformError::Grammar(e.to_string())
+    }
+}
+
+impl From<sqalpel_sql::ParseError> for PlatformError {
+    fn from(e: sqalpel_sql::ParseError) -> Self {
+        PlatformError::Grammar(e.to_string())
+    }
+}
+
+pub type PlatformResult<T> = Result<T, PlatformError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(PlatformError::AccessDenied("not a contributor".into())
+            .to_string()
+            .contains("access denied"));
+        assert_eq!(PlatformError::PoolFull(10).to_string(), "query pool cap (10) reached");
+    }
+}

@@ -1,0 +1,50 @@
+//! # sqalpel-core
+//!
+//! The sqalpel performance platform: everything around the grammar
+//! machinery that the paper's SaaS provides — users and anonymous
+//! contributor keys, the DBMS/host catalogs, projects with GitHub-style
+//! access control, the query pool with its alter/expand/prune morphing
+//! walk, the task queue with stuck-run reaping, the `sqalpel.py`-style
+//! experiment driver, the raw results table with moderation, and the
+//! analytics behind the paper's figures.
+//!
+//! ```
+//! use sqalpel_core::{SqalpelServer, Visibility};
+//!
+//! let server = SqalpelServer::new();
+//! let owner = server.register_user("mlk", "mlk@cwi.nl").unwrap();
+//! let project = server
+//!     .create_project(owner, "demo", "quickstart", Visibility::Public)
+//!     .unwrap();
+//! let exp = server
+//!     .add_experiment(project, owner, "nation", 
+//!         "select count(*) from nation where n_name = 'BRAZIL'",
+//!         None, 1000, 100)
+//!     .unwrap();
+//! let seeded = server.seed_pool(project, exp, owner, 5, 42).unwrap();
+//! assert!(seeded >= 1);
+//! ```
+
+pub mod analytics;
+pub mod bootstrap;
+pub mod catalog;
+pub mod driver;
+pub mod error;
+pub mod pool;
+pub mod project;
+pub mod queue;
+pub mod reports;
+pub mod results;
+pub mod server;
+pub mod user;
+
+pub use bootstrap::{bootstrap_server, Bootstrap};
+pub use catalog::{Catalogs, DbmsEntry, HostEntry, Visibility};
+pub use driver::{Connector, DriverConfig, EngineConnector, ExperimentDriver, MockConnector};
+pub use error::{PlatformError, PlatformResult};
+pub use pool::{Guidance, Origin, PoolEntry, QueryId, QueryPool, Strategy};
+pub use project::{Experiment, ExperimentId, Project, ProjectId, Role};
+pub use queue::{Task, TaskId, TaskQueue, TaskState};
+pub use results::{LoadAvg, ResultRecord, ResultStore};
+pub use server::SqalpelServer;
+pub use user::{ContributorKey, User, UserId, UserRegistry};

@@ -1,0 +1,635 @@
+//! The query pool and its morphing strategies (paper §3.2).
+//!
+//! "In contrast to systems such as RAGS that only randomly generate
+//! queries in a brute force manner, we use a query pool. It is populated
+//! with the baseline query and some queries constructed from randomly
+//! chosen templates. Once a collection has been defined, we can extend the
+//! pool by morphing queries based on observed behavior":
+//!
+//! - **Alter** — pick a pool query, replace one literal;
+//! - **Expand** — find a template slightly larger (one more slot);
+//! - **Prune** — one fewer slot, "the preferred method to identify the
+//!   contribution of sub-queries in highly complex queries".
+//!
+//! Fine-grained guidance restricts which lexical terms may (or must)
+//! appear; the pool is deduplicated on canonical SQL and capped.
+
+use crate::error::{PlatformError, PlatformResult};
+use rand::rngs::StdRng;
+use rand::RngExt;
+use sqalpel_grammar::{instantiate, Choice, Grammar, Template};
+use std::collections::{BTreeSet, HashMap};
+
+/// Identifier of a pool query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QueryId(pub u64);
+
+/// The three morphing strategies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Strategy {
+    Alter,
+    Expand,
+    Prune,
+}
+
+impl Strategy {
+    /// The paper's Figure 7 color coding: alter = purple, expand = green,
+    /// prune = blue.
+    pub fn color(self) -> &'static str {
+        match self {
+            Strategy::Alter => "purple",
+            Strategy::Expand => "green",
+            Strategy::Prune => "blue",
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Strategy::Alter => "alter",
+            Strategy::Expand => "expand",
+            Strategy::Prune => "prune",
+        }
+    }
+}
+
+/// How a pool entry came to exist.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Origin {
+    /// The user-supplied baseline query.
+    Baseline,
+    /// Drawn from a randomly chosen template.
+    Random,
+    /// Morphed from `parent` with the given strategy.
+    Morph { strategy: Strategy, parent: QueryId },
+}
+
+/// One query in the pool.
+#[derive(Debug, Clone)]
+pub struct PoolEntry {
+    pub id: QueryId,
+    /// Canonical SQL text (dedup key).
+    pub sql: String,
+    /// Index into the pool's template set.
+    pub template: usize,
+    pub choice: Choice,
+    pub origin: Origin,
+    /// Creation order (the x-axis of the experiment-history view).
+    pub step: usize,
+}
+
+impl PoolEntry {
+    /// Number of lexical components (node size in Figure 7).
+    pub fn components(&self) -> usize {
+        self.choice.values().map(Vec::len).sum()
+    }
+
+    /// The lexical terms of this query as `(class, literal index)` pairs.
+    pub fn terms(&self) -> impl Iterator<Item = (&str, usize)> {
+        self.choice
+            .iter()
+            .flat_map(|(class, idx)| idx.iter().map(move |&i| (class.as_str(), i)))
+    }
+}
+
+/// Term-level guidance: "explicitly specifying what lexical terms should
+/// or should not be included in the queries being generated" (§3.2).
+#[derive(Debug, Clone, Default)]
+pub struct Guidance {
+    /// Terms that may never appear.
+    pub exclude: BTreeSet<(String, usize)>,
+    /// Terms that must appear in every generated query.
+    pub require: BTreeSet<(String, usize)>,
+    /// Relative strategy weights for [`QueryPool::morph_auto`].
+    pub weights: StrategyWeights,
+}
+
+/// Relative weights for the guided random walk.
+#[derive(Debug, Clone, Copy)]
+pub struct StrategyWeights {
+    pub alter: f64,
+    pub expand: f64,
+    pub prune: f64,
+}
+
+impl Default for StrategyWeights {
+    fn default() -> Self {
+        StrategyWeights {
+            alter: 1.0,
+            expand: 1.0,
+            prune: 1.0,
+        }
+    }
+}
+
+/// The query pool over one grammar.
+#[derive(Debug)]
+pub struct QueryPool {
+    grammar: Grammar,
+    templates: Vec<Template>,
+    /// True when template enumeration hit the cap.
+    pub templates_truncated: bool,
+    entries: Vec<PoolEntry>,
+    by_sql: HashMap<String, QueryId>,
+    cap: usize,
+    pub guidance: Guidance,
+    step: usize,
+    /// SQL dialect used when instantiating queries (grammar dialect
+    /// sections accommodate "minor differences in syntax", §1).
+    dialect: Option<String>,
+}
+
+impl QueryPool {
+    /// Build a pool for a grammar; templates are enumerated up to
+    /// `template_cap`, the pool itself holds at most `pool_cap` queries.
+    pub fn new(grammar: Grammar, template_cap: usize, pool_cap: usize) -> PlatformResult<Self> {
+        let report = grammar.check();
+        if !report.is_ok() {
+            return Err(PlatformError::Grammar(report.to_string()));
+        }
+        let set = grammar.templates(template_cap)?;
+        Ok(QueryPool {
+            grammar,
+            templates: set.templates,
+            templates_truncated: set.truncated,
+            entries: Vec::new(),
+            by_sql: HashMap::new(),
+            cap: pool_cap,
+            guidance: Guidance::default(),
+            step: 0,
+            dialect: None,
+        })
+    }
+
+    /// Instantiate queries in the given dialect from here on.
+    pub fn set_dialect(&mut self, dialect: Option<String>) {
+        self.dialect = dialect;
+    }
+
+    pub fn dialect(&self) -> Option<&str> {
+        self.dialect.as_deref()
+    }
+
+    pub fn grammar(&self) -> &Grammar {
+        &self.grammar
+    }
+
+    pub fn templates(&self) -> &[Template] {
+        &self.templates
+    }
+
+    pub fn entries(&self) -> &[PoolEntry] {
+        &self.entries
+    }
+
+    pub fn entry(&self, id: QueryId) -> PlatformResult<&PoolEntry> {
+        self.entries
+            .get(id.0 as usize)
+            .ok_or(PlatformError::UnknownQuery(id.0))
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The literal text of a term.
+    pub fn term_text(&self, class: &str, idx: usize) -> Option<String> {
+        self.grammar
+            .rule(class)
+            .and_then(|r| r.alternatives.get(idx))
+            .map(|a| a.literal_text())
+    }
+
+    fn admissible(&self, template: &Template, choice: &Choice) -> bool {
+        for (class, idxs) in choice {
+            if idxs
+                .iter()
+                .any(|&i| self.guidance.exclude.contains(&(class.clone(), i)))
+            {
+                return false;
+            }
+        }
+        for (class, idx) in &self.guidance.require {
+            // A required term must be present whenever its class can
+            // appear at all; templates without the class are rejected.
+            if !template.counts.contains_key(class)
+                || !choice.get(class).is_some_and(|v| v.contains(idx))
+            {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn insert(
+        &mut self,
+        template: usize,
+        choice: Choice,
+        origin: Origin,
+    ) -> PlatformResult<Option<QueryId>> {
+        if self.entries.len() >= self.cap {
+            return Err(PlatformError::PoolFull(self.cap));
+        }
+        let sql = instantiate(
+            &self.grammar,
+            &self.templates[template],
+            &choice,
+            self.dialect.as_deref(),
+        )?;
+        if self.by_sql.contains_key(&sql) {
+            return Ok(None); // "added to the pool unless it was already known"
+        }
+        let id = QueryId(self.entries.len() as u64);
+        self.by_sql.insert(sql.clone(), id);
+        self.entries.push(PoolEntry {
+            id,
+            sql,
+            template,
+            choice,
+            origin,
+            step: self.step,
+        });
+        self.step += 1;
+        Ok(Some(id))
+    }
+
+    /// Seed the pool with the baseline query: the maximal template
+    /// instantiated with every literal.
+    pub fn seed_baseline(&mut self) -> PlatformResult<QueryId> {
+        let (idx, template) = self
+            .templates
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, t)| t.components())
+            .ok_or_else(|| PlatformError::Grammar("grammar has no templates".into()))?;
+        let choice: Choice = template
+            .counts
+            .iter()
+            .map(|(class, &k)| (class.clone(), (0..k).collect()))
+            .collect();
+        self.insert(idx, choice, Origin::Baseline)?
+            .ok_or_else(|| PlatformError::Invalid("baseline already seeded".into()))
+    }
+
+    /// Add up to `n` random-template queries (§3.2: "populated with the
+    /// baseline query and some queries constructed from randomly chosen
+    /// templates"). Returns the ids actually added (duplicates and
+    /// guidance-rejected draws are skipped).
+    pub fn add_random(&mut self, n: usize, rng: &mut StdRng) -> PlatformResult<Vec<QueryId>> {
+        let mut added = Vec::new();
+        let mut attempts = 0;
+        while added.len() < n && attempts < n * 20 {
+            attempts += 1;
+            let t = rng.random_range(0..self.templates.len());
+            let choice = sqalpel_grammar::random_choice(&self.grammar, &self.templates[t], rng)?;
+            if !self.admissible(&self.templates[t], &choice) {
+                continue;
+            }
+            if let Some(id) = self.insert(t, choice, Origin::Random)? {
+                added.push(id);
+            }
+        }
+        Ok(added)
+    }
+
+    /// Apply one morphing step with the given strategy to a random parent.
+    /// Returns the new query id, or `None` when no admissible, novel
+    /// variant was found.
+    pub fn morph(&mut self, strategy: Strategy, rng: &mut StdRng) -> PlatformResult<Option<QueryId>> {
+        if self.entries.is_empty() {
+            return Err(PlatformError::Invalid("morphing an empty pool".into()));
+        }
+        // A bounded number of parent draws; each parent gets a bounded
+        // number of variant draws.
+        for _ in 0..16 {
+            let parent = &self.entries[rng.random_range(0..self.entries.len())];
+            let parent_id = parent.id;
+            let candidate = match strategy {
+                Strategy::Alter => self.alter_candidate(parent_id, rng),
+                Strategy::Expand => self.expand_candidate(parent_id, rng),
+                Strategy::Prune => self.prune_candidate(parent_id, rng),
+            };
+            if let Some((template, choice)) = candidate {
+                if !self.admissible(&self.templates[template], &choice) {
+                    continue;
+                }
+                if let Some(id) = self.insert(
+                    template,
+                    choice,
+                    Origin::Morph {
+                        strategy,
+                        parent: parent_id,
+                    },
+                )? {
+                    return Ok(Some(id));
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    /// One step of the guided random walk: pick a strategy by weight.
+    pub fn morph_auto(&mut self, rng: &mut StdRng) -> PlatformResult<Option<QueryId>> {
+        let w = self.guidance.weights;
+        let total = w.alter + w.expand + w.prune;
+        if total <= 0.0 {
+            return Err(PlatformError::Invalid("all strategy weights zero".into()));
+        }
+        let roll = rng.random_range(0.0..total);
+        let strategy = if roll < w.alter {
+            Strategy::Alter
+        } else if roll < w.alter + w.expand {
+            Strategy::Expand
+        } else {
+            Strategy::Prune
+        };
+        self.morph(strategy, rng)
+    }
+
+    /// Alter: same template, one literal replaced by an unused one.
+    fn alter_candidate(&self, parent: QueryId, rng: &mut StdRng) -> Option<(usize, Choice)> {
+        let entry = &self.entries[parent.0 as usize];
+        let template = &self.templates[entry.template];
+        // Classes where a different literal is available.
+        let swappable: Vec<&String> = entry
+            .choice
+            .iter()
+            .filter(|(class, idxs)| idxs.len() < self.grammar.class_size(class))
+            .map(|(class, _)| class)
+            .collect();
+        let class = swappable.get(rng.random_range(0..swappable.len().max(1)))?;
+        let idxs = &entry.choice[*class];
+        let n = self.grammar.class_size(class);
+        let unused: Vec<usize> = (0..n).filter(|i| !idxs.contains(i)).collect();
+        let replacement = unused[rng.random_range(0..unused.len())];
+        let victim = rng.random_range(0..idxs.len());
+        let mut new_idxs = idxs.clone();
+        new_idxs[victim] = replacement;
+        new_idxs.sort_unstable();
+        let mut choice = entry.choice.clone();
+        choice.insert((*class).clone(), new_idxs);
+        let _ = template;
+        Some((entry.template, choice))
+    }
+
+    /// Expand: a template with exactly one more slot whose counts contain
+    /// the parent's; keep the parent's literals and add one.
+    fn expand_candidate(&self, parent: QueryId, rng: &mut StdRng) -> Option<(usize, Choice)> {
+        let entry = &self.entries[parent.0 as usize];
+        let from = &self.templates[entry.template].counts;
+        let candidates: Vec<usize> = self
+            .templates
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| {
+                t.components() == entry.components() + 1
+                    && from
+                        .iter()
+                        .all(|(c, &k)| t.counts.get(c).copied().unwrap_or(0) >= k)
+            })
+            .map(|(i, _)| i)
+            .collect();
+        let target = *candidates.get(rng.random_range(0..candidates.len().max(1)))?;
+        let grown = self.grow_choice(&entry.choice, target, rng)?;
+        Some((target, grown))
+    }
+
+    /// Prune: one fewer slot; drop one literal.
+    fn prune_candidate(&self, parent: QueryId, rng: &mut StdRng) -> Option<(usize, Choice)> {
+        let entry = &self.entries[parent.0 as usize];
+        let from = &self.templates[entry.template].counts;
+        let candidates: Vec<usize> = self
+            .templates
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| {
+                t.components() + 1 == entry.components()
+                    && t.counts
+                        .iter()
+                        .all(|(c, &k)| from.get(c).copied().unwrap_or(0) >= k)
+            })
+            .map(|(i, _)| i)
+            .collect();
+        let target = *candidates.get(rng.random_range(0..candidates.len().max(1)))?;
+        // Shrink the choice to the target's counts, dropping literals from
+        // the class that lost a slot.
+        let mut choice = Choice::new();
+        for (class, &k) in &self.templates[target].counts {
+            let have = entry.choice.get(class)?;
+            let mut keep = have.clone();
+            while keep.len() > k {
+                let drop = rng.random_range(0..keep.len());
+                keep.remove(drop);
+            }
+            choice.insert(class.clone(), keep);
+        }
+        Some((target, choice))
+    }
+
+    /// Extend a parent's choice to fill a larger template.
+    fn grow_choice(&self, base: &Choice, target: usize, rng: &mut StdRng) -> Option<Choice> {
+        let mut choice = Choice::new();
+        for (class, &k) in &self.templates[target].counts {
+            let mut idxs = base.get(class).cloned().unwrap_or_default();
+            let n = self.grammar.class_size(class);
+            while idxs.len() < k {
+                let unused: Vec<usize> = (0..n).filter(|i| !idxs.contains(i)).collect();
+                if unused.is_empty() {
+                    return None;
+                }
+                idxs.push(unused[rng.random_range(0..unused.len())]);
+            }
+            idxs.sort_unstable();
+            choice.insert(class.clone(), idxs);
+        }
+        Some(choice)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqalpel_grammar::seeded_rng;
+
+    fn pool() -> QueryPool {
+        let g = Grammar::parse(sqalpel_grammar::FIG1_GRAMMAR).unwrap();
+        QueryPool::new(g, 10_000, 1000).unwrap()
+    }
+
+    #[test]
+    fn baseline_is_maximal() {
+        let mut p = pool();
+        let id = p.seed_baseline().unwrap();
+        let e = p.entry(id).unwrap();
+        assert_eq!(e.origin, Origin::Baseline);
+        // 4 columns + table + filter.
+        assert_eq!(e.components(), 6);
+        assert!(e.sql.contains("WHERE n_name= 'BRAZIL'"));
+    }
+
+    #[test]
+    fn random_seeding_dedups() {
+        let mut p = pool();
+        p.seed_baseline().unwrap();
+        let mut rng = seeded_rng(1);
+        p.add_random(20, &mut rng).unwrap();
+        // The whole space has 32 queries; no duplicates may appear.
+        let mut sqls: Vec<&str> = p.entries().iter().map(|e| e.sql.as_str()).collect();
+        let before = sqls.len();
+        sqls.sort_unstable();
+        sqls.dedup();
+        assert_eq!(sqls.len(), before);
+        assert!(before <= 32);
+    }
+
+    #[test]
+    fn alter_changes_exactly_one_literal() {
+        let mut p = pool();
+        p.seed_baseline().unwrap();
+        let mut rng = seeded_rng(3);
+        p.add_random(5, &mut rng).unwrap();
+        let before = p.len();
+        if let Some(id) = p.morph(Strategy::Alter, &mut rng).unwrap() {
+            let e = p.entry(id).unwrap();
+            let Origin::Morph { strategy, parent } = e.origin else {
+                panic!("wrong origin");
+            };
+            assert_eq!(strategy, Strategy::Alter);
+            let par = p.entry(parent).unwrap();
+            assert_eq!(e.components(), par.components());
+            assert_eq!(e.template, par.template);
+            assert_ne!(e.sql, par.sql);
+        } else {
+            // Acceptable: no novel variant found in bounded tries.
+            assert_eq!(p.len(), before);
+        }
+    }
+
+    #[test]
+    fn expand_grows_by_one_component() {
+        let mut p = pool();
+        p.seed_baseline().unwrap();
+        let mut rng = seeded_rng(5);
+        // Baseline is maximal, so expanding requires smaller seeds first.
+        p.add_random(8, &mut rng).unwrap();
+        for _ in 0..20 {
+            if let Some(id) = p.morph(Strategy::Expand, &mut rng).unwrap() {
+                let e = p.entry(id).unwrap();
+                let Origin::Morph { parent, .. } = e.origin else {
+                    panic!()
+                };
+                let par = p.entry(parent).unwrap();
+                assert_eq!(e.components(), par.components() + 1);
+                // Parent literals are preserved.
+                for (class, idxs) in &par.choice {
+                    let grown = &e.choice[class];
+                    assert!(idxs.iter().all(|i| grown.contains(i)));
+                }
+                return;
+            }
+        }
+        panic!("expand never produced a variant");
+    }
+
+    #[test]
+    fn prune_shrinks_by_one_component() {
+        let mut p = pool();
+        p.seed_baseline().unwrap();
+        let mut rng = seeded_rng(7);
+        for _ in 0..20 {
+            if let Some(id) = p.morph(Strategy::Prune, &mut rng).unwrap() {
+                let e = p.entry(id).unwrap();
+                let Origin::Morph { parent, .. } = e.origin else {
+                    panic!()
+                };
+                let par = p.entry(parent).unwrap();
+                assert_eq!(e.components() + 1, par.components());
+                return;
+            }
+        }
+        panic!("prune never produced a variant");
+    }
+
+    #[test]
+    fn exclusion_guidance_respected() {
+        let mut p = pool();
+        // Never use n_comment (literal 3 of l_column).
+        p.guidance.exclude.insert(("l_column".into(), 3));
+        let mut rng = seeded_rng(11);
+        p.add_random(15, &mut rng).unwrap();
+        for _ in 0..30 {
+            p.morph_auto(&mut rng).unwrap();
+        }
+        for e in p.entries() {
+            assert!(
+                !e.sql.contains("n_comment"),
+                "excluded term appeared in {}",
+                e.sql
+            );
+        }
+    }
+
+    #[test]
+    fn requirement_guidance_respected() {
+        let mut p = pool();
+        // Every query must project n_name (literal 1 of l_column).
+        p.guidance.require.insert(("l_column".into(), 1));
+        let mut rng = seeded_rng(13);
+        p.add_random(10, &mut rng).unwrap();
+        assert!(!p.is_empty());
+        for e in p.entries() {
+            assert!(e.sql.contains("n_name"), "{}", e.sql);
+        }
+    }
+
+    #[test]
+    fn pool_cap_enforced() {
+        let g = Grammar::parse(sqalpel_grammar::FIG1_GRAMMAR).unwrap();
+        let mut p = QueryPool::new(g, 10_000, 2).unwrap();
+        p.seed_baseline().unwrap();
+        let mut rng = seeded_rng(17);
+        p.add_random(1, &mut rng).unwrap();
+        let err = p.add_random(5, &mut rng).unwrap_err();
+        assert!(matches!(err, PlatformError::PoolFull(2)));
+    }
+
+    #[test]
+    fn term_text_lookup() {
+        let p = pool();
+        assert_eq!(p.term_text("l_column", 1).unwrap(), "n_name");
+        assert!(p.term_text("l_column", 99).is_none());
+        assert!(p.term_text("ghost", 0).is_none());
+    }
+
+    #[test]
+    fn invalid_grammar_rejected() {
+        let g = Grammar::parse("q:\n    ${ghost}\n").unwrap();
+        assert!(matches!(
+            QueryPool::new(g, 100, 100),
+            Err(PlatformError::Grammar(_))
+        ));
+    }
+
+    #[test]
+    fn dialect_changes_generated_sql() {
+        let src = "q:\n    SELECT count(*) FROM nation ${l_limit}\nl_limit:\n    LIMIT 5\nl_limit@legacydb:\n    FETCH FIRST 5 ROWS ONLY\n";
+        let g = Grammar::parse(src).unwrap();
+        let mut p = QueryPool::new(g.clone(), 100, 100).unwrap();
+        p.seed_baseline().unwrap();
+        assert!(p.entries()[0].sql.contains("LIMIT 5"));
+        let mut p2 = QueryPool::new(g, 100, 100).unwrap();
+        p2.set_dialect(Some("legacydb".into()));
+        p2.seed_baseline().unwrap();
+        assert!(p2.entries()[0].sql.contains("FETCH FIRST 5 ROWS ONLY"), "{}", p2.entries()[0].sql);
+    }
+
+    #[test]
+    fn strategy_colors_match_paper() {
+        assert_eq!(Strategy::Alter.color(), "purple");
+        assert_eq!(Strategy::Expand.color(), "green");
+        assert_eq!(Strategy::Prune.color(), "blue");
+    }
+}

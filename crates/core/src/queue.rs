@@ -1,0 +1,354 @@
+//! The execution queue (paper §5.5).
+//!
+//! "Each query is ran against a single DBMS + host combination. The
+//! execution status is tracked in a queue, which enables killing queries
+//! that got stuck or when the results of an experiment are not delivered
+//! within a specified timeout interval."
+
+use crate::error::{PlatformError, PlatformResult};
+use crate::pool::QueryId;
+use crate::project::{ExperimentId, ProjectId};
+use crate::user::ContributorKey;
+use std::collections::HashSet;
+use std::time::{Duration, Instant};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskId(pub u64);
+
+/// Lifecycle of a queued execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TaskState {
+    Queued,
+    /// Handed to a contributor; kept with the hand-out time so stuck runs
+    /// can be reaped.
+    Running { contributor: ContributorKey },
+    Done,
+    /// The contributor reported a failure.
+    Failed(String),
+    /// Reaped after exceeding the delivery timeout.
+    TimedOut,
+}
+
+/// One (query, DBMS, host) execution.
+#[derive(Debug, Clone)]
+pub struct Task {
+    pub id: TaskId,
+    pub project: ProjectId,
+    pub experiment: ExperimentId,
+    pub query: QueryId,
+    pub sql: String,
+    pub dbms_label: String,
+    pub host: String,
+    pub state: TaskState,
+    /// Set when the task is handed out.
+    pub started: Option<Instant>,
+}
+
+/// The server-side task queue.
+#[derive(Debug, Default)]
+pub struct TaskQueue {
+    tasks: Vec<Task>,
+    /// Dedup: each (experiment, query, dbms, host) is queued once.
+    seen: HashSet<(ProjectId, ExperimentId, QueryId, String, String)>,
+}
+
+impl TaskQueue {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enqueue a query for one DBMS + host combination. Returns `None`
+    /// when the combination was already queued.
+    #[allow(clippy::too_many_arguments)]
+    pub fn enqueue(
+        &mut self,
+        project: ProjectId,
+        experiment: ExperimentId,
+        query: QueryId,
+        sql: impl Into<String>,
+        dbms_label: impl Into<String>,
+        host: impl Into<String>,
+    ) -> Option<TaskId> {
+        let dbms_label = dbms_label.into();
+        let host = host.into();
+        let key = (project, experiment, query, dbms_label.clone(), host.clone());
+        if !self.seen.insert(key) {
+            return None;
+        }
+        let id = TaskId(self.tasks.len() as u64);
+        self.tasks.push(Task {
+            id,
+            project,
+            experiment,
+            query,
+            sql: sql.into(),
+            dbms_label,
+            host,
+            state: TaskState::Queued,
+            started: None,
+        });
+        Some(id)
+    }
+
+    /// Hand the next queued task for the given target to a contributor
+    /// (the `sqalpel.py` interaction: "call the webserver, requesting a
+    /// query from the pool").
+    pub fn checkout(
+        &mut self,
+        contributor: &ContributorKey,
+        dbms_label: &str,
+        host: &str,
+    ) -> Option<Task> {
+        let task = self.tasks.iter_mut().find(|t| {
+            t.state == TaskState::Queued && t.dbms_label == dbms_label && t.host == host
+        })?;
+        task.state = TaskState::Running {
+            contributor: contributor.clone(),
+        };
+        task.started = Some(Instant::now());
+        Some(task.clone())
+    }
+
+    /// Claim a specific queued task for a contributor (used by the server,
+    /// which applies project-role filtering before choosing the task).
+    pub fn claim(&mut self, id: TaskId, contributor: &ContributorKey) -> PlatformResult<Task> {
+        let task = self
+            .tasks
+            .get_mut(id.0 as usize)
+            .ok_or(PlatformError::UnknownTask(id.0))?;
+        if task.state != TaskState::Queued {
+            return Err(PlatformError::Invalid(format!(
+                "task #{} is not queued",
+                id.0
+            )));
+        }
+        task.state = TaskState::Running {
+            contributor: contributor.clone(),
+        };
+        task.started = Some(Instant::now());
+        Ok(task.clone())
+    }
+
+    pub fn task(&self, id: TaskId) -> PlatformResult<&Task> {
+        self.tasks
+            .get(id.0 as usize)
+            .ok_or(PlatformError::UnknownTask(id.0))
+    }
+
+    /// Mark a running task finished (successfully or not). Only the
+    /// contributor holding the task may complete it.
+    pub fn complete(
+        &mut self,
+        id: TaskId,
+        contributor: &ContributorKey,
+        error: Option<String>,
+    ) -> PlatformResult<()> {
+        let task = self
+            .tasks
+            .get_mut(id.0 as usize)
+            .ok_or(PlatformError::UnknownTask(id.0))?;
+        match &task.state {
+            TaskState::Running { contributor: c } if c == contributor => {
+                task.state = match error {
+                    None => TaskState::Done,
+                    Some(e) => TaskState::Failed(e),
+                };
+                Ok(())
+            }
+            TaskState::Running { .. } => Err(PlatformError::AccessDenied(format!(
+                "task #{} belongs to another contributor",
+                id.0
+            ))),
+            other => Err(PlatformError::Invalid(format!(
+                "task #{} is not running (state {other:?})",
+                id.0
+            ))),
+        }
+    }
+
+    /// Reap running tasks older than `timeout`: they return to the queue
+    /// as `TimedOut` (visible for inspection) and a fresh `Queued` copy is
+    /// NOT created — the moderator decides about re-runs.
+    pub fn reap_stuck(&mut self, timeout: Duration) -> Vec<TaskId> {
+        let now = Instant::now();
+        let mut reaped = Vec::new();
+        for task in &mut self.tasks {
+            if let TaskState::Running { .. } = task.state {
+                if let Some(started) = task.started {
+                    if now.duration_since(started) >= timeout {
+                        task.state = TaskState::TimedOut;
+                        reaped.push(task.id);
+                    }
+                }
+            }
+        }
+        reaped
+    }
+
+    /// Requeue a timed-out or failed task (moderator action).
+    pub fn requeue(&mut self, id: TaskId) -> PlatformResult<()> {
+        let task = self
+            .tasks
+            .get_mut(id.0 as usize)
+            .ok_or(PlatformError::UnknownTask(id.0))?;
+        match task.state {
+            TaskState::TimedOut | TaskState::Failed(_) => {
+                task.state = TaskState::Queued;
+                task.started = None;
+                Ok(())
+            }
+            _ => Err(PlatformError::Invalid(format!(
+                "task #{} is not requeueable",
+                id.0
+            ))),
+        }
+    }
+
+    pub fn tasks(&self) -> &[Task] {
+        &self.tasks
+    }
+
+    /// Count of tasks per state (queued, running, done, failed, timed out).
+    pub fn summary(&self) -> (usize, usize, usize, usize, usize) {
+        let mut s = (0, 0, 0, 0, 0);
+        for t in &self.tasks {
+            match t.state {
+                TaskState::Queued => s.0 += 1,
+                TaskState::Running { .. } => s.1 += 1,
+                TaskState::Done => s.2 += 1,
+                TaskState::Failed(_) => s.3 += 1,
+                TaskState::TimedOut => s.4 += 1,
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(n: u64) -> ContributorKey {
+        ContributorKey(format!("ck_{n}"))
+    }
+
+    fn queue_with_two() -> TaskQueue {
+        let mut q = TaskQueue::new();
+        q.enqueue(
+            ProjectId(1),
+            ExperimentId(0),
+            QueryId(0),
+            "select 1 from t",
+            "rowstore-2.0",
+            "bench-server",
+        )
+        .unwrap();
+        q.enqueue(
+            ProjectId(1),
+            ExperimentId(0),
+            QueryId(1),
+            "select 2 from t",
+            "rowstore-2.0",
+            "bench-server",
+        )
+        .unwrap();
+        q
+    }
+
+    #[test]
+    fn enqueue_dedups_combinations() {
+        let mut q = queue_with_two();
+        let dup = q.enqueue(
+            ProjectId(1),
+            ExperimentId(0),
+            QueryId(0),
+            "select 1 from t",
+            "rowstore-2.0",
+            "bench-server",
+        );
+        assert!(dup.is_none());
+        // Same query, different target: allowed.
+        assert!(q
+            .enqueue(
+                ProjectId(1),
+                ExperimentId(0),
+                QueryId(0),
+                "select 1 from t",
+                "colstore-5.1",
+                "bench-server",
+            )
+            .is_some());
+    }
+
+    #[test]
+    fn checkout_assigns_matching_target_only() {
+        let mut q = queue_with_two();
+        assert!(q.checkout(&key(1), "colstore-5.1", "bench-server").is_none());
+        let t = q.checkout(&key(1), "rowstore-2.0", "bench-server").unwrap();
+        assert_eq!(t.query, QueryId(0));
+        let t2 = q.checkout(&key(2), "rowstore-2.0", "bench-server").unwrap();
+        assert_eq!(t2.query, QueryId(1));
+        assert!(q.checkout(&key(3), "rowstore-2.0", "bench-server").is_none());
+    }
+
+    #[test]
+    fn complete_success_and_failure() {
+        let mut q = queue_with_two();
+        let t = q.checkout(&key(1), "rowstore-2.0", "bench-server").unwrap();
+        q.complete(t.id, &key(1), None).unwrap();
+        assert_eq!(q.task(t.id).unwrap().state, TaskState::Done);
+
+        let t2 = q.checkout(&key(1), "rowstore-2.0", "bench-server").unwrap();
+        q.complete(t2.id, &key(1), Some("syntax error".into()))
+            .unwrap();
+        assert!(matches!(
+            q.task(t2.id).unwrap().state,
+            TaskState::Failed(_)
+        ));
+        assert_eq!(q.summary(), (0, 0, 1, 1, 0));
+    }
+
+    #[test]
+    fn foreign_contributor_cannot_complete() {
+        let mut q = queue_with_two();
+        let t = q.checkout(&key(1), "rowstore-2.0", "bench-server").unwrap();
+        assert!(matches!(
+            q.complete(t.id, &key(2), None),
+            Err(PlatformError::AccessDenied(_))
+        ));
+    }
+
+    #[test]
+    fn completing_a_queued_task_is_invalid() {
+        let mut q = queue_with_two();
+        assert!(q.complete(TaskId(0), &key(1), None).is_err());
+        assert!(q.complete(TaskId(99), &key(1), None).is_err());
+    }
+
+    #[test]
+    fn stuck_tasks_are_reaped_and_requeueable() {
+        let mut q = queue_with_two();
+        let t = q.checkout(&key(1), "rowstore-2.0", "bench-server").unwrap();
+        // Zero timeout: immediately stuck.
+        let reaped = q.reap_stuck(Duration::ZERO);
+        assert_eq!(reaped, vec![t.id]);
+        assert_eq!(q.task(t.id).unwrap().state, TaskState::TimedOut);
+        // A late completion attempt fails.
+        assert!(q.complete(t.id, &key(1), None).is_err());
+        // Moderator requeues.
+        q.requeue(t.id).unwrap();
+        assert_eq!(q.task(t.id).unwrap().state, TaskState::Queued);
+        // Done tasks cannot be requeued.
+        let t2 = q.checkout(&key(1), "rowstore-2.0", "bench-server").unwrap();
+        q.complete(t2.id, &key(1), None).unwrap();
+        assert!(q.requeue(t2.id).is_err());
+    }
+
+    #[test]
+    fn reap_with_long_timeout_leaves_tasks_running() {
+        let mut q = queue_with_two();
+        q.checkout(&key(1), "rowstore-2.0", "bench-server").unwrap();
+        assert!(q.reap_stuck(Duration::from_secs(3600)).is_empty());
+        assert_eq!(q.summary().1, 1);
+    }
+}

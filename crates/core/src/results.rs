@@ -1,0 +1,277 @@
+//! The raw results table (paper §5.5).
+//!
+//! "All raw results are collected in a results table for off-line
+//! inspection. One particular use case is to remove results from target
+//! systems that require a re-run … It is often a better strategy to keep
+//! these results private until sufficient clarification has been obtained
+//! from the contributor."
+
+use crate::pool::QueryId;
+use crate::project::{ExperimentId, ProjectId};
+use crate::queue::TaskId;
+use crate::user::ContributorKey;
+use serde::{Deserialize, Serialize};
+
+/// System load averages (1, 5, 15 minutes), "easily accessible in a Linux
+/// environment", recorded at the start and end of a run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct LoadAvg {
+    pub one: f64,
+    pub five: f64,
+    pub fifteen: f64,
+}
+
+/// One contributed measurement: the wall-clock time of each repetition
+/// plus the open-ended key-value extras.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ResultRecord {
+    pub task: u64,
+    pub project: u64,
+    pub experiment: u64,
+    pub query: u64,
+    pub dbms_label: String,
+    pub host: String,
+    /// The anonymous contributor key.
+    pub contributor: String,
+    /// Wall-clock milliseconds, one per repetition (default 5).
+    pub times_ms: Vec<f64>,
+    /// Rows produced (sanity check across systems).
+    pub rows: usize,
+    /// Set when the run errored; error runs are first-class data (the
+    /// yellow dots of Figure 7).
+    pub error: Option<String>,
+    pub load_before: LoadAvg,
+    pub load_after: LoadAvg,
+    /// "An open-ended key-value list structure can be returned to keep
+    /// system specific performance indicators for post inspection."
+    pub extras: serde_json::Value,
+    /// Moderation: hidden results are not served to readers.
+    #[serde(default)]
+    pub hidden: bool,
+}
+
+impl ResultRecord {
+    /// The representative time: the median of the repetitions.
+    pub fn median_ms(&self) -> Option<f64> {
+        if self.error.is_some() || self.times_ms.is_empty() {
+            return None;
+        }
+        let mut t = self.times_ms.clone();
+        t.sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
+        Some(t[t.len() / 2])
+    }
+}
+
+/// The append-only results table with moderation.
+#[derive(Debug, Default)]
+pub struct ResultStore {
+    records: Vec<ResultRecord>,
+}
+
+impl ResultStore {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn push(&mut self, record: ResultRecord) -> usize {
+        self.records.push(record);
+        self.records.len() - 1
+    }
+
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// All records (moderator view).
+    pub fn all(&self) -> &[ResultRecord] {
+        &self.records
+    }
+
+    /// Records visible to readers: not hidden.
+    pub fn visible(&self) -> impl Iterator<Item = &ResultRecord> {
+        self.records.iter().filter(|r| !r.hidden)
+    }
+
+    /// Records of one experiment.
+    pub fn for_experiment(
+        &self,
+        project: ProjectId,
+        experiment: ExperimentId,
+    ) -> impl Iterator<Item = &ResultRecord> {
+        self.records
+            .iter()
+            .filter(move |r| r.project == project.0 && r.experiment == experiment.0)
+    }
+
+    /// Records of one query.
+    pub fn for_query(&self, query: QueryId) -> impl Iterator<Item = &ResultRecord> {
+        self.records.iter().filter(move |r| r.query == query.0)
+    }
+
+    /// Moderator: hide a record pending clarification.
+    pub fn set_hidden(&mut self, index: usize, hidden: bool) -> bool {
+        match self.records.get_mut(index) {
+            Some(r) => {
+                r.hidden = hidden;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Moderator: remove an incorrectly-measured record.
+    pub fn remove(&mut self, index: usize) -> Option<ResultRecord> {
+        if index < self.records.len() {
+            Some(self.records.remove(index))
+        } else {
+            None
+        }
+    }
+
+    /// CSV export (§5.6: "exported in CSV for post-processing").
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "task,project,experiment,query,dbms,host,contributor,median_ms,runs,rows,error,hidden\n",
+        );
+        for r in &self.records {
+            let median = r
+                .median_ms()
+                .map(|m| format!("{m:.3}"))
+                .unwrap_or_default();
+            let error = r.error.as_deref().unwrap_or("").replace(',', ";");
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{},{},{},{},{},{}\n",
+                r.task,
+                r.project,
+                r.experiment,
+                r.query,
+                r.dbms_label,
+                r.host,
+                r.contributor,
+                median,
+                r.times_ms.len(),
+                r.rows,
+                error,
+                r.hidden
+            ));
+        }
+        out
+    }
+}
+
+/// Convenience constructor for tests and the driver.
+#[allow(clippy::too_many_arguments)]
+pub fn record(
+    task: TaskId,
+    project: ProjectId,
+    experiment: ExperimentId,
+    query: QueryId,
+    dbms_label: &str,
+    host: &str,
+    contributor: &ContributorKey,
+    times_ms: Vec<f64>,
+    rows: usize,
+    error: Option<String>,
+) -> ResultRecord {
+    ResultRecord {
+        task: task.0,
+        project: project.0,
+        experiment: experiment.0,
+        query: query.0,
+        dbms_label: dbms_label.to_string(),
+        host: host.to_string(),
+        contributor: contributor.0.clone(),
+        times_ms,
+        rows,
+        error,
+        load_before: LoadAvg::default(),
+        load_after: LoadAvg::default(),
+        extras: serde_json::Value::Null,
+        hidden: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(query: u64, times: Vec<f64>, error: Option<&str>) -> ResultRecord {
+        record(
+            TaskId(query),
+            ProjectId(1),
+            ExperimentId(0),
+            QueryId(query),
+            "rowstore-2.0",
+            "bench-server",
+            &ContributorKey("ck_1".into()),
+            times,
+            10,
+            error.map(String::from),
+        )
+    }
+
+    #[test]
+    fn median_of_five() {
+        let r = sample(0, vec![5.0, 1.0, 3.0, 2.0, 4.0], None);
+        assert_eq!(r.median_ms(), Some(3.0));
+    }
+
+    #[test]
+    fn errors_have_no_median() {
+        let r = sample(0, vec![], Some("boom"));
+        assert_eq!(r.median_ms(), None);
+    }
+
+    #[test]
+    fn moderation_hides_and_removes() {
+        let mut s = ResultStore::new();
+        let i = s.push(sample(0, vec![1.0], None));
+        s.push(sample(1, vec![2.0], None));
+        assert_eq!(s.visible().count(), 2);
+        assert!(s.set_hidden(i, true));
+        assert_eq!(s.visible().count(), 1);
+        assert!(!s.set_hidden(99, true));
+        let removed = s.remove(i).unwrap();
+        assert_eq!(removed.query, 0);
+        assert_eq!(s.len(), 1);
+        assert!(s.remove(99).is_none());
+    }
+
+    #[test]
+    fn filtering_by_experiment_and_query() {
+        let mut s = ResultStore::new();
+        s.push(sample(0, vec![1.0], None));
+        s.push(sample(1, vec![2.0], None));
+        assert_eq!(s.for_experiment(ProjectId(1), ExperimentId(0)).count(), 2);
+        assert_eq!(s.for_experiment(ProjectId(2), ExperimentId(0)).count(), 0);
+        assert_eq!(s.for_query(QueryId(1)).count(), 1);
+    }
+
+    #[test]
+    fn csv_export_shape() {
+        let mut s = ResultStore::new();
+        s.push(sample(0, vec![1.5, 2.5, 3.5], None));
+        s.push(sample(1, vec![], Some("bad, query")));
+        let csv = s.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("task,project"));
+        assert!(lines[1].contains("2.500"));
+        // Commas in error text are sanitized.
+        assert!(lines[2].contains("bad; query"));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut r = sample(0, vec![1.0, 2.0], None);
+        r.extras = serde_json::json!({"cache_hits": 42});
+        let text = serde_json::to_string(&r).unwrap();
+        let back: ResultRecord = serde_json::from_str(&text).unwrap();
+        assert_eq!(back.extras["cache_hits"], 42);
+        assert_eq!(back.times_ms, vec![1.0, 2.0]);
+    }
+}

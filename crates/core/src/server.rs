@@ -1,0 +1,635 @@
+//! The in-process sqalpel server — the SaaS façade of §5.1 without HTTP.
+//!
+//! "sqalpel is built as a client-server, web-based software platform for
+//! developing, managing, and sharing experimental results." This module
+//! provides the same operations as the web endpoints: user administration,
+//! the catalogs, project/experiment management, pool extension, the task
+//! hand-out loop used by the experiment driver, result collection and
+//! moderation. State lives behind a [`parking_lot::RwLock`]; the server is
+//! `Send + Sync` and exercised concurrently in the integration tests.
+
+use crate::catalog::{Catalogs, DbmsEntry, HostEntry, Visibility};
+use crate::error::{PlatformError, PlatformResult};
+use crate::pool::{QueryId, Strategy};
+use crate::project::{ExperimentId, Project, ProjectId, Role};
+use crate::queue::{Task, TaskId, TaskQueue, TaskState};
+use crate::results::{record, ResultRecord, ResultStore};
+use crate::user::{ContributorKey, UserId, UserRegistry};
+use crate::driver::RunOutcome;
+use parking_lot::RwLock;
+use std::time::Duration;
+
+struct State {
+    users: UserRegistry,
+    catalogs: Catalogs,
+    projects: Vec<Project>,
+    queue: TaskQueue,
+    results: ResultStore,
+}
+
+/// The platform server.
+pub struct SqalpelServer {
+    state: RwLock<State>,
+}
+
+impl Default for SqalpelServer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SqalpelServer {
+    /// A server with the built-in catalogs loaded.
+    pub fn new() -> Self {
+        SqalpelServer {
+            state: RwLock::new(State {
+                users: UserRegistry::new(),
+                catalogs: Catalogs::bootstrap(),
+                projects: Vec::new(),
+                queue: TaskQueue::new(),
+                results: ResultStore::new(),
+            }),
+        }
+    }
+
+    // ------------------------------------------------------------- users
+
+    pub fn register_user(&self, nickname: &str, email: &str) -> PlatformResult<UserId> {
+        self.state.write().users.register(nickname, email)
+    }
+
+    pub fn issue_key(&self, user: UserId) -> PlatformResult<ContributorKey> {
+        self.state.write().users.issue_key(user)
+    }
+
+    // ----------------------------------------------------------- catalogs
+
+    pub fn add_dbms(&self, entry: DbmsEntry) -> PlatformResult<()> {
+        self.state.write().catalogs.add_dbms(entry)
+    }
+
+    pub fn add_host(&self, entry: HostEntry) -> PlatformResult<()> {
+        self.state.write().catalogs.add_host(entry)
+    }
+
+    pub fn dbms_labels(&self) -> Vec<String> {
+        self.state
+            .read()
+            .catalogs
+            .dbms_entries()
+            .iter()
+            .map(|d| d.label())
+            .collect()
+    }
+
+    // ----------------------------------------------------------- projects
+
+    pub fn create_project(
+        &self,
+        owner: UserId,
+        title: &str,
+        synopsis: &str,
+        visibility: Visibility,
+    ) -> PlatformResult<ProjectId> {
+        let mut st = self.state.write();
+        st.users.get(owner)?;
+        let id = ProjectId(st.projects.len() as u64 + 1);
+        st.projects
+            .push(Project::new(id, title, synopsis, owner, visibility));
+        Ok(id)
+    }
+
+    fn with_project<T>(
+        &self,
+        id: ProjectId,
+        f: impl FnOnce(&mut State, usize) -> PlatformResult<T>,
+    ) -> PlatformResult<T> {
+        let mut st = self.state.write();
+        let idx = st
+            .projects
+            .iter()
+            .position(|p| p.id == id)
+            .ok_or(PlatformError::UnknownProject(id.0))?;
+        f(&mut st, idx)
+    }
+
+    pub fn invite(&self, project: ProjectId, owner: UserId, user: UserId) -> PlatformResult<()> {
+        self.with_project(project, |st, i| {
+            st.users.get(user)?;
+            st.projects[i].invite(owner, user)
+        })
+    }
+
+    /// Declare the DBMS/host targets of the project; public projects are
+    /// checked against the catalogs (§4.2's publication rule).
+    pub fn set_targets(
+        &self,
+        project: ProjectId,
+        actor: UserId,
+        dbms_labels: Vec<String>,
+        hosts: Vec<String>,
+    ) -> PlatformResult<()> {
+        self.with_project(project, |st, i| {
+            st.projects[i].require(actor, Role::Owner)?;
+            st.projects[i].dbms_labels = dbms_labels;
+            st.projects[i].hosts = hosts;
+            st.projects[i].check_publication(&st.catalogs)
+        })
+    }
+
+    pub fn comment(&self, project: ProjectId, author: UserId, text: &str) -> PlatformResult<()> {
+        self.with_project(project, |st, i| st.projects[i].comment(author, text))
+    }
+
+    /// Vendor notice-and-takedown (§4.3): results stop being served.
+    pub fn take_down(&self, project: ProjectId) -> PlatformResult<()> {
+        self.with_project(project, |st, i| {
+            st.projects[i].taken_down = true;
+            Ok(())
+        })
+    }
+
+    /// The role a user holds on a project.
+    pub fn role_of(&self, project: ProjectId, user: UserId) -> PlatformResult<Role> {
+        let st = self.state.read();
+        let p = st
+            .projects
+            .iter()
+            .find(|p| p.id == project)
+            .ok_or(PlatformError::UnknownProject(project.0))?;
+        Ok(p.role_of(user))
+    }
+
+    // -------------------------------------------------------- experiments
+
+    #[allow(clippy::too_many_arguments)]
+    pub fn add_experiment(
+        &self,
+        project: ProjectId,
+        actor: UserId,
+        title: &str,
+        baseline_sql: &str,
+        grammar: Option<sqalpel_grammar::Grammar>,
+        template_cap: usize,
+        pool_cap: usize,
+    ) -> PlatformResult<ExperimentId> {
+        self.with_project(project, |st, i| {
+            st.projects[i].add_experiment(actor, title, baseline_sql, grammar, template_cap, pool_cap)
+        })
+    }
+
+    /// Seed the pool: baseline + `n_random` random-template queries.
+    pub fn seed_pool(
+        &self,
+        project: ProjectId,
+        experiment: ExperimentId,
+        actor: UserId,
+        n_random: usize,
+        seed: u64,
+    ) -> PlatformResult<usize> {
+        self.with_project(project, |st, i| {
+            st.projects[i].require(actor, Role::Owner)?;
+            let exp = st.projects[i].experiment_mut(experiment)?;
+            exp.pool.seed_baseline()?;
+            let mut rng = sqalpel_grammar::seeded_rng(seed);
+            let added = exp.pool.add_random(n_random, &mut rng)?;
+            Ok(added.len() + 1)
+        })
+    }
+
+    /// Apply morphing steps; `strategy: None` uses the weighted walk.
+    pub fn morph_pool(
+        &self,
+        project: ProjectId,
+        experiment: ExperimentId,
+        actor: UserId,
+        strategy: Option<Strategy>,
+        steps: usize,
+        seed: u64,
+    ) -> PlatformResult<Vec<QueryId>> {
+        self.with_project(project, |st, i| {
+            st.projects[i].require(actor, Role::Owner)?;
+            let exp = st.projects[i].experiment_mut(experiment)?;
+            let mut rng = sqalpel_grammar::seeded_rng(seed);
+            let mut added = Vec::new();
+            for _ in 0..steps {
+                let id = match strategy {
+                    Some(s) => exp.pool.morph(s, &mut rng)?,
+                    None => exp.pool.morph_auto(&mut rng)?,
+                };
+                if let Some(id) = id {
+                    added.push(id);
+                }
+            }
+            Ok(added)
+        })
+    }
+
+    /// Enqueue every pool query for every declared target combination.
+    /// Returns the number of tasks created.
+    pub fn enqueue_experiment(
+        &self,
+        project: ProjectId,
+        experiment: ExperimentId,
+        actor: UserId,
+    ) -> PlatformResult<usize> {
+        self.with_project(project, |st, i| {
+            st.projects[i].require(actor, Role::Owner)?;
+            let (entries, dbms_labels, hosts) = {
+                let p = &st.projects[i];
+                let exp = p.experiment(experiment)?;
+                (
+                    exp.pool
+                        .entries()
+                        .iter()
+                        .map(|e| (e.id, e.sql.clone()))
+                        .collect::<Vec<_>>(),
+                    p.dbms_labels.clone(),
+                    p.hosts.clone(),
+                )
+            };
+            let mut n = 0;
+            for (qid, sql) in &entries {
+                for d in &dbms_labels {
+                    for h in &hosts {
+                        if st
+                            .queue
+                            .enqueue(project, experiment, *qid, sql.clone(), d.clone(), h.clone())
+                            .is_some()
+                        {
+                            n += 1;
+                        }
+                    }
+                }
+            }
+            Ok(n)
+        })
+    }
+
+    // ------------------------------------------------------- contribution
+
+    /// The driver's "request a task" call: hand out a queued task matching
+    /// the contributor's target, restricted to projects where the key's
+    /// owner is (at least) a contributor.
+    pub fn request_task(
+        &self,
+        key: &ContributorKey,
+        dbms_label: &str,
+        host: &str,
+    ) -> PlatformResult<Option<Task>> {
+        let mut st = self.state.write();
+        let user = st
+            .users
+            .resolve_key(key)
+            .ok_or_else(|| PlatformError::AccessDenied("unknown contributor key".into()))?;
+        let candidate = st
+            .queue
+            .tasks()
+            .iter()
+            .find(|t| {
+                t.state == TaskState::Queued
+                    && t.dbms_label == dbms_label
+                    && t.host == host
+                    && st
+                        .projects
+                        .iter()
+                        .find(|p| p.id == t.project)
+                        .is_some_and(|p| p.role_of(user) >= Role::Contributor && !p.taken_down)
+            })
+            .map(|t| t.id);
+        match candidate {
+            Some(id) => Ok(Some(st.queue.claim(id, key)?)),
+            None => Ok(None),
+        }
+    }
+
+    /// The driver's "report back" call.
+    pub fn report_result(
+        &self,
+        key: &ContributorKey,
+        task_id: TaskId,
+        outcome: RunOutcome,
+    ) -> PlatformResult<usize> {
+        let mut st = self.state.write();
+        st.queue.complete(task_id, key, outcome.error.clone())?;
+        let task = st.queue.task(task_id)?.clone();
+        let mut rec: ResultRecord = record(
+            task_id,
+            task.project,
+            task.experiment,
+            task.query,
+            &task.dbms_label,
+            &task.host,
+            key,
+            outcome.times_ms,
+            outcome.rows,
+            outcome.error,
+        );
+        rec.load_before = outcome.load_before;
+        rec.load_after = outcome.load_after;
+        rec.extras = outcome.extras;
+        Ok(st.results.push(rec))
+    }
+
+    /// Reap stuck runs (moderator cron).
+    pub fn reap_stuck(&self, timeout: Duration) -> Vec<TaskId> {
+        self.state.write().queue.reap_stuck(timeout)
+    }
+
+    pub fn requeue(&self, task: TaskId) -> PlatformResult<()> {
+        self.state.write().queue.requeue(task)
+    }
+
+    pub fn queue_summary(&self) -> (usize, usize, usize, usize, usize) {
+        self.state.read().queue.summary()
+    }
+
+    // ------------------------------------------------------------ results
+
+    /// Results of a project as seen by `viewer`: owners and contributors
+    /// see everything, readers only non-hidden records, and taken-down
+    /// projects serve nothing.
+    pub fn results_for(
+        &self,
+        project: ProjectId,
+        viewer: UserId,
+    ) -> PlatformResult<Vec<ResultRecord>> {
+        let st = self.state.read();
+        let p = st
+            .projects
+            .iter()
+            .find(|p| p.id == project)
+            .ok_or(PlatformError::UnknownProject(project.0))?;
+        let role = p.role_of(viewer);
+        if role < Role::Reader {
+            return Err(PlatformError::AccessDenied(format!(
+                "project #{} is private",
+                project.0
+            )));
+        }
+        if p.taken_down {
+            return Err(PlatformError::Publication(format!(
+                "project #{} was taken down",
+                project.0
+            )));
+        }
+        Ok(st
+            .results
+            .all()
+            .iter()
+            .filter(|r| r.project == project.0)
+            .filter(|r| role >= Role::Contributor || !r.hidden)
+            .cloned()
+            .collect())
+    }
+
+    pub fn hide_result(&self, project: ProjectId, actor: UserId, index: usize, hidden: bool) -> PlatformResult<()> {
+        self.with_project(project, |st, i| {
+            st.projects[i].require(actor, Role::Owner)?;
+            if st.results.set_hidden(index, hidden) {
+                Ok(())
+            } else {
+                Err(PlatformError::Invalid(format!("no result #{index}")))
+            }
+        })
+    }
+
+    pub fn export_csv(&self, project: ProjectId, viewer: UserId) -> PlatformResult<String> {
+        let records = self.results_for(project, viewer)?;
+        let mut store = ResultStore::new();
+        for r in records {
+            store.push(r);
+        }
+        Ok(store.to_csv())
+    }
+
+    /// Read-only access to a project for report rendering.
+    pub fn with_project_view<T>(
+        &self,
+        project: ProjectId,
+        viewer: UserId,
+        f: impl FnOnce(&Project) -> T,
+    ) -> PlatformResult<T> {
+        let st = self.state.read();
+        let p = st
+            .projects
+            .iter()
+            .find(|p| p.id == project)
+            .ok_or(PlatformError::UnknownProject(project.0))?;
+        if p.role_of(viewer) < Role::Reader {
+            return Err(PlatformError::AccessDenied(format!(
+                "project #{} is private",
+                project.0
+            )));
+        }
+        Ok(f(p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{DriverConfig, EngineConnector, ExperimentDriver};
+    use sqalpel_engine::{Database, RowStore};
+    use std::sync::Arc;
+
+    fn setup() -> (SqalpelServer, UserId, UserId, ProjectId, ExperimentId) {
+        let server = SqalpelServer::new();
+        let owner = server.register_user("mlk", "mlk@cwi.nl").unwrap();
+        let contrib = server.register_user("pk", "pk@monetdb.com").unwrap();
+        let project = server
+            .create_project(owner, "nation-study", "TPC-H nation micro-benchmark", Visibility::Public)
+            .unwrap();
+        server
+            .set_targets(
+                project,
+                owner,
+                vec!["rowstore-2.0".into()],
+                vec!["bench-server".into()],
+            )
+            .unwrap();
+        server.invite(project, owner, contrib).unwrap();
+        let exp = server
+            .add_experiment(
+                project,
+                owner,
+                "nation filter",
+                "select n_name, n_regionkey from nation where n_regionkey = 1 and n_name = 'BRAZIL'",
+                None,
+                1000,
+                100,
+            )
+            .unwrap();
+        server.seed_pool(project, exp, owner, 5, 42).unwrap();
+        (server, owner, contrib, project, exp)
+    }
+
+    #[test]
+    fn full_contribution_loop() {
+        let (server, _owner, contrib, project, exp) = setup();
+        let n = server.enqueue_experiment(project, exp, _owner).unwrap();
+        assert!(n >= 2);
+        let key = server.issue_key(contrib).unwrap();
+
+        let db = Arc::new(Database::tpch(0.001, 42));
+        let driver = ExperimentDriver::new(
+            EngineConnector::new(Arc::new(RowStore::new(db))),
+            DriverConfig::parse("dbms = rowstore-2.0\nhost = bench-server\nrepetitions = 3").unwrap(),
+        );
+        let mut done = 0;
+        while let Some(task) = server
+            .request_task(&key, "rowstore-2.0", "bench-server")
+            .unwrap()
+        {
+            let outcome = driver.run(&task.sql);
+            server.report_result(&key, task.id, outcome).unwrap();
+            done += 1;
+        }
+        assert_eq!(done, n);
+        let (queued, running, finished, failed, timed_out) = server.queue_summary();
+        assert_eq!((queued, running, timed_out), (0, 0, 0));
+        assert_eq!(finished + failed, n);
+        let results = server.results_for(project, contrib).unwrap();
+        assert_eq!(results.len(), n);
+        assert!(results.iter().all(|r| r.times_ms.len() == 3 || r.error.is_some()));
+    }
+
+    #[test]
+    fn strangers_cannot_request_tasks() {
+        let (server, owner, _c, project, exp) = setup();
+        server.enqueue_experiment(project, exp, owner).unwrap();
+        let stranger = server.register_user("eve", "eve@x.io").unwrap();
+        let key = server.issue_key(stranger).unwrap();
+        // Reader role is not enough to contribute.
+        assert!(server
+            .request_task(&key, "rowstore-2.0", "bench-server")
+            .unwrap()
+            .is_none());
+        // Unknown keys are rejected outright.
+        assert!(server
+            .request_task(&ContributorKey("ck_fake".into()), "rowstore-2.0", "bench-server")
+            .is_err());
+    }
+
+    #[test]
+    fn private_projects_invisible_to_strangers() {
+        let server = SqalpelServer::new();
+        let owner = server.register_user("mlk", "a@b.io").unwrap();
+        let stranger = server.register_user("eve", "e@x.io").unwrap();
+        let project = server
+            .create_project(owner, "secret", "private study", Visibility::Private)
+            .unwrap();
+        assert!(server.results_for(project, stranger).is_err());
+        assert!(server
+            .with_project_view(project, stranger, |p| p.title.clone())
+            .is_err());
+        assert!(server
+            .with_project_view(project, owner, |p| p.title.clone())
+            .is_ok());
+    }
+
+    #[test]
+    fn hidden_results_invisible_to_readers() {
+        let (server, owner, contrib, project, exp) = setup();
+        server.enqueue_experiment(project, exp, owner).unwrap();
+        let key = server.issue_key(contrib).unwrap();
+        let db = Arc::new(Database::tpch(0.001, 42));
+        let driver = ExperimentDriver::new(
+            EngineConnector::new(Arc::new(RowStore::new(db))),
+            DriverConfig::parse("dbms = rowstore-2.0").unwrap(),
+        );
+        let task = server
+            .request_task(&key, "rowstore-2.0", "bench-server")
+            .unwrap()
+            .unwrap();
+        let idx = server
+            .report_result(&key, task.id, driver.run(&task.sql))
+            .unwrap();
+        server.hide_result(project, owner, idx, true).unwrap();
+
+        let reader = server.register_user("reader", "r@x.io").unwrap();
+        assert_eq!(server.results_for(project, reader).unwrap().len(), 0);
+        // Contributors still see it.
+        assert_eq!(server.results_for(project, contrib).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn takedown_stops_serving_results() {
+        let (server, owner, _c, project, _exp) = setup();
+        server.take_down(project).unwrap();
+        assert!(matches!(
+            server.results_for(project, owner),
+            Err(PlatformError::Publication(_))
+        ));
+    }
+
+    #[test]
+    fn public_project_cannot_target_private_dbms() {
+        let (server, owner, _c, project, _exp) = setup();
+        server
+            .add_dbms(DbmsEntry {
+                name: "secretdb".into(),
+                version: "9".into(),
+                vendor: "acme".into(),
+                settings: Default::default(),
+                visibility: Visibility::Private,
+            })
+            .unwrap();
+        let err = server
+            .set_targets(project, owner, vec!["secretdb-9".into()], vec!["bench-server".into()])
+            .unwrap_err();
+        assert!(matches!(err, PlatformError::Publication(_)));
+    }
+
+    #[test]
+    fn morphing_extends_pool() {
+        let (server, owner, _c, project, exp) = setup();
+        let added = server
+            .morph_pool(project, exp, owner, None, 20, 7)
+            .unwrap();
+        assert!(!added.is_empty());
+        let n = server
+            .with_project_view(project, owner, |p| {
+                p.experiment(exp).unwrap().pool.len()
+            })
+            .unwrap();
+        assert!(n >= 6 + added.len());
+    }
+
+    #[test]
+    fn concurrent_contributors_drain_the_queue() {
+        let (server, owner, contrib, project, exp) = setup();
+        server.morph_pool(project, exp, owner, None, 10, 3).unwrap();
+        let total = server.enqueue_experiment(project, exp, owner).unwrap();
+        let server = Arc::new(server);
+        let db = Arc::new(Database::tpch(0.001, 42));
+
+        let done = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..4 {
+                let server = Arc::clone(&server);
+                let db = Arc::clone(&db);
+                let done = Arc::clone(&done);
+                let key = server.issue_key(contrib).unwrap();
+                scope.spawn(move |_| {
+                    let driver = ExperimentDriver::new(
+                        EngineConnector::new(Arc::new(RowStore::new(db))),
+                        DriverConfig::parse("dbms = rowstore-2.0\nrepetitions = 2").unwrap(),
+                    );
+                    while let Some(task) = server
+                        .request_task(&key, "rowstore-2.0", "bench-server")
+                        .unwrap()
+                    {
+                        let outcome = driver.run(&task.sql);
+                        server.report_result(&key, task.id, outcome).unwrap();
+                        done.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(done.load(std::sync::atomic::Ordering::SeqCst), total);
+        let (queued, running, ..) = server.queue_summary();
+        assert_eq!((queued, running), (0, 0));
+    }
+}

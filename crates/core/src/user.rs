@@ -1,0 +1,181 @@
+//! User administration (paper §5.2).
+//!
+//! "A straightforward user administration is provided based on a unique
+//! nickname and a valid email to reach out to its owner. Email addresses
+//! are never exposed in the interface." Contributors run experiments under
+//! a *contributor key* — "a separately supplied key to identify the source
+//! of the results without disclosing the contributor's identity" (§3.3).
+
+use crate::error::{PlatformError, PlatformResult};
+use std::collections::HashMap;
+
+/// A unique, opaque user id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct UserId(pub u64);
+
+/// A registered user. The email is deliberately private: it is used for
+/// "legal interaction with the registered user" only.
+#[derive(Debug, Clone)]
+pub struct User {
+    pub id: UserId,
+    pub nickname: String,
+    email: String,
+}
+
+impl User {
+    /// The email is only reachable through this explicitly-named accessor,
+    /// never through display paths.
+    pub fn email_for_legal_contact(&self) -> &str {
+        &self.email
+    }
+}
+
+/// An anonymous key under which results are contributed.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ContributorKey(pub String);
+
+impl ContributorKey {
+    /// Derive a stable, anonymous key for a user; the mapping back to the
+    /// user is held only in the registry.
+    fn derive(id: UserId, counter: u64) -> ContributorKey {
+        // FNV-1a over the id/counter pair: stable, opaque, collision-free
+        // enough for a registry that also checks uniqueness.
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in id.0.to_le_bytes().into_iter().chain(counter.to_le_bytes()) {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        ContributorKey(format!("ck_{h:016x}"))
+    }
+}
+
+/// The user registry.
+#[derive(Debug, Default)]
+pub struct UserRegistry {
+    users: Vec<User>,
+    by_nickname: HashMap<String, UserId>,
+    keys: HashMap<ContributorKey, UserId>,
+    key_counter: u64,
+}
+
+impl UserRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a new user; nicknames are unique, emails must look valid.
+    pub fn register(&mut self, nickname: &str, email: &str) -> PlatformResult<UserId> {
+        if nickname.trim().is_empty() {
+            return Err(PlatformError::Invalid("empty nickname".into()));
+        }
+        if self.by_nickname.contains_key(nickname) {
+            return Err(PlatformError::Invalid(format!(
+                "nickname {nickname:?} is taken"
+            )));
+        }
+        let at = email.find('@');
+        if !matches!(at, Some(i) if i > 0 && i + 1 < email.len() && email[i + 1..].contains('.')) {
+            return Err(PlatformError::Invalid(format!("invalid email {email:?}")));
+        }
+        let id = UserId(self.users.len() as u64 + 1);
+        self.users.push(User {
+            id,
+            nickname: nickname.to_string(),
+            email: email.to_string(),
+        });
+        self.by_nickname.insert(nickname.to_string(), id);
+        Ok(id)
+    }
+
+    pub fn get(&self, id: UserId) -> PlatformResult<&User> {
+        self.users
+            .get((id.0 - 1) as usize)
+            .filter(|u| u.id == id)
+            .ok_or(PlatformError::UnknownUser(id.0))
+    }
+
+    pub fn by_nickname(&self, nickname: &str) -> Option<&User> {
+        self.by_nickname
+            .get(nickname)
+            .and_then(|id| self.get(*id).ok())
+    }
+
+    /// Issue a fresh anonymous contributor key for a user.
+    pub fn issue_key(&mut self, id: UserId) -> PlatformResult<ContributorKey> {
+        self.get(id)?;
+        self.key_counter += 1;
+        let key = ContributorKey::derive(id, self.key_counter);
+        self.keys.insert(key.clone(), id);
+        Ok(key)
+    }
+
+    /// Resolve a contributor key back to its owner (moderators only).
+    pub fn resolve_key(&self, key: &ContributorKey) -> Option<UserId> {
+        self.keys.get(key).copied()
+    }
+
+    pub fn len(&self) -> usize {
+        self.users.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.users.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_lookup() {
+        let mut r = UserRegistry::new();
+        let id = r.register("mlk", "mlk@cwi.nl").unwrap();
+        assert_eq!(r.get(id).unwrap().nickname, "mlk");
+        assert_eq!(r.by_nickname("mlk").unwrap().id, id);
+        assert!(r.by_nickname("nobody").is_none());
+    }
+
+    #[test]
+    fn duplicate_nickname_rejected() {
+        let mut r = UserRegistry::new();
+        r.register("mlk", "a@b.io").unwrap();
+        assert!(r.register("mlk", "c@d.io").is_err());
+    }
+
+    #[test]
+    fn bad_emails_rejected() {
+        let mut r = UserRegistry::new();
+        for bad in ["", "plain", "@x.com", "a@", "a@nodot"] {
+            assert!(r.register("u", bad).is_err(), "{bad:?} accepted");
+        }
+    }
+
+    #[test]
+    fn email_not_in_debug_of_nickname_paths() {
+        let mut r = UserRegistry::new();
+        let id = r.register("mlk", "secret@cwi.nl").unwrap();
+        let user = r.get(id).unwrap();
+        // The only path to the email is the explicitly-named accessor.
+        assert_eq!(user.email_for_legal_contact(), "secret@cwi.nl");
+        assert_eq!(user.nickname, "mlk");
+    }
+
+    #[test]
+    fn contributor_keys_are_anonymous_but_resolvable() {
+        let mut r = UserRegistry::new();
+        let id = r.register("mlk", "a@b.io").unwrap();
+        let k1 = r.issue_key(id).unwrap();
+        let k2 = r.issue_key(id).unwrap();
+        assert_ne!(k1, k2, "keys are per-issue, not per-user");
+        assert!(!k1.0.contains("mlk"));
+        assert_eq!(r.resolve_key(&k1), Some(id));
+        assert_eq!(r.resolve_key(&ContributorKey("ck_bogus".into())), None);
+    }
+
+    #[test]
+    fn unknown_user_errors() {
+        let r = UserRegistry::new();
+        assert!(r.get(UserId(9)).is_err());
+    }
+}

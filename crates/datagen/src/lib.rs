@@ -1,0 +1,28 @@
+//! # sqalpel-datagen
+//!
+//! Deterministic data generators for the sqalpel platform's sample
+//! projects: a scale-factor-parameterized TPC-H `dbgen` equivalent
+//! ([`tpch`]), the SSB star-schema derivation ([`ssb`]) and a synthetic
+//! airtraffic dataset ([`airtraffic`]).
+//!
+//! Everything is driven by permanently-stable PCG streams ([`prng`]) so a
+//! `(scale factor, seed)` pair always produces the same database — the
+//! property the platform's repeatability story rests on.
+//!
+//! ```
+//! use sqalpel_datagen::tpch::TpchGen;
+//!
+//! let data = TpchGen::new(0.001, 42).generate();
+//! assert_eq!(data.nation.len(), 25);
+//! assert!(data.lineitem.len() > 1000);
+//! ```
+
+pub mod airtraffic;
+pub mod calendar;
+pub mod prng;
+pub mod ssb;
+pub mod text;
+pub mod tpch;
+
+pub use prng::Pcg32;
+pub use tpch::{TpchData, TpchGen};

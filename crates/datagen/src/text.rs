@@ -1,0 +1,225 @@
+//! Text pools and pseudo-grammar text generation, after TPC-H dbgen §4.2.2.
+//!
+//! dbgen builds comments from a tiny English grammar over fixed word lists
+//! and splices mandated substrings (`Customer ... Complaints`,
+//! `special ... requests`) into a prescribed number of rows so the
+//! LIKE-predicates of Q13/Q16 select deterministic fractions. We keep the
+//! same structure with abridged word lists.
+
+use crate::prng::Pcg32;
+
+pub const NOUNS: &[&str] = &[
+    "packages", "requests", "accounts", "deposits", "foxes", "ideas", "theodolites",
+    "pinto beans", "instructions", "dependencies", "excuses", "platelets", "asymptotes",
+    "courts", "dolphins", "multipliers", "sauternes", "warthogs", "frets", "dinos",
+];
+
+pub const VERBS: &[&str] = &[
+    "sleep", "wake", "are", "cajole", "haggle", "nag", "use", "boost", "affix",
+    "detect", "integrate", "maintain", "nod", "was", "lose", "sublate", "solve",
+    "thrash", "promise", "engage",
+];
+
+pub const ADJECTIVES: &[&str] = &[
+    "furious", "sly", "careful", "blithe", "quick", "fluffy", "slow", "quiet",
+    "ruthless", "thin", "close", "dogged", "daring", "brave", "stealthy", "permanent",
+    "enticing", "idle", "busy", "regular",
+];
+
+pub const ADVERBS: &[&str] = &[
+    "sometimes", "always", "never", "furiously", "slyly", "carefully", "blithely",
+    "quickly", "fluffily", "slowly", "quietly", "ruthlessly", "thinly", "closely",
+    "doggedly", "daringly", "bravely", "stealthily", "permanently", "enticingly",
+];
+
+pub const PREPOSITIONS: &[&str] = &[
+    "about", "above", "according to", "across", "after", "against", "along",
+    "alongside of", "among", "around", "at", "atop", "before", "behind", "beneath",
+    "beside", "besides", "between", "beyond", "by", "despite", "during", "except",
+    "for", "from", "in place of", "inside", "instead of", "into", "near", "of",
+];
+
+pub const AUXILIARIES: &[&str] = &[
+    "do", "may", "might", "shall", "will", "would", "can", "could", "should",
+    "ought to", "must", "will have to", "shall have to", "could have to",
+];
+
+/// The 92-word dbgen colour/part-name list, abridged to 40 entries but
+/// keeping every word a TPC-H query predicate depends on (`green` for Q9,
+/// `forest` for Q20).
+pub const PART_NAME_WORDS: &[&str] = &[
+    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black", "blanched",
+    "blue", "blush", "brown", "burlywood", "burnished", "chartreuse", "chiffon",
+    "chocolate", "coral", "cornflower", "cream", "cyan", "dark", "deep", "dim",
+    "dodger", "drab", "firebrick", "floral", "forest", "frosted", "gainsboro",
+    "ghost", "goldenrod", "green", "grey", "honeydew", "hot", "indian", "ivory",
+    "khaki", "lace",
+];
+
+/// Generate a dbgen-style comment: a short sentence from the grammar
+/// `noun-phrase verb-phrase [prep noun-phrase]`, truncated to `max_len`.
+pub fn comment(rng: &mut Pcg32, max_len: usize) -> String {
+    let mut out = String::with_capacity(max_len);
+    let clauses = rng.range_usize(1, 2);
+    for i in 0..clauses {
+        if i > 0 {
+            out.push_str("; ");
+        }
+        // noun phrase
+        if rng.chance(0.5) {
+            out.push_str(rng.pick_str(ADVERBS));
+            out.push(' ');
+        }
+        out.push_str(rng.pick_str(ADJECTIVES));
+        out.push(' ');
+        out.push_str(rng.pick_str(NOUNS));
+        out.push(' ');
+        // verb phrase
+        if rng.chance(0.3) {
+            out.push_str(rng.pick_str(AUXILIARIES));
+            out.push(' ');
+        }
+        out.push_str(rng.pick_str(VERBS));
+        // trailing prepositional phrase
+        if rng.chance(0.6) {
+            out.push(' ');
+            out.push_str(rng.pick_str(PREPOSITIONS));
+            out.push_str(" the ");
+            out.push_str(rng.pick_str(ADJECTIVES));
+            out.push(' ');
+            out.push_str(rng.pick_str(NOUNS));
+        }
+    }
+    out.truncate(max_len);
+    out
+}
+
+/// Splice `first%second` (with random filler where `%` sits) into a
+/// comment, the way dbgen plants `Customer%Complaints` / `special%requests`
+/// rows for Q13 and Q16.
+pub fn comment_with_marker(rng: &mut Pcg32, max_len: usize, first: &str, second: &str) -> String {
+    let filler = comment(rng, 12);
+    let mut out = comment(rng, max_len);
+    let marker = format!("{first} {filler} {second}");
+    if marker.len() >= out.len() {
+        return marker.chars().take(max_len).collect();
+    }
+    let at = rng.range_usize(0, out.len() - marker.len());
+    // Keep UTF-8 safety trivially: all pool words are ASCII.
+    out.replace_range(at..at + marker.len(), &marker);
+    out
+}
+
+/// dbgen V-string: a random-length string of random alphanumerics used
+/// for addresses.
+pub fn v_string(rng: &mut Pcg32, min_len: usize, max_len: usize) -> String {
+    const CHARS: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 ,";
+    let len = rng.range_usize(min_len, max_len);
+    (0..len)
+        .map(|_| CHARS[rng.range_usize(0, CHARS.len() - 1)] as char)
+        .collect()
+}
+
+/// dbgen phone number: `CC-LLL-LLL-LLLL` where `CC` is the country code
+/// derived from the nation key (`10 + nationkey`).
+pub fn phone(rng: &mut Pcg32, nationkey: i64) -> String {
+    format!(
+        "{}-{}-{}-{}",
+        10 + nationkey,
+        rng.range_i64(100, 999),
+        rng.range_i64(100, 999),
+        rng.range_i64(1000, 9999)
+    )
+}
+
+/// A part name: five distinct words from [`PART_NAME_WORDS`].
+pub fn part_name(rng: &mut Pcg32) -> String {
+    let mut picked: Vec<&str> = Vec::with_capacity(5);
+    while picked.len() < 5 {
+        let w = rng.pick_str(PART_NAME_WORDS);
+        if !picked.contains(&w) {
+            picked.push(w);
+        }
+    }
+    picked.join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> Pcg32 {
+        Pcg32::new(7, 1)
+    }
+
+    #[test]
+    fn comment_respects_max_len() {
+        let mut r = rng();
+        for max in [10, 44, 79, 117] {
+            for _ in 0..50 {
+                assert!(comment(&mut r, max).len() <= max);
+            }
+        }
+    }
+
+    #[test]
+    fn marker_is_embedded_like_matchable() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let c = comment_with_marker(&mut r, 101, "Customer", "Complaints");
+            // Must match LIKE '%Customer%Complaints%'.
+            let a = c.find("Customer").expect("first marker present");
+            assert!(
+                c[a + "Customer".len()..].contains("Complaints"),
+                "markers out of order in {c:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn phone_shape() {
+        let mut r = rng();
+        let p = phone(&mut r, 3);
+        assert!(p.starts_with("13-"));
+        assert_eq!(p.split('-').count(), 4);
+    }
+
+    #[test]
+    fn phone_country_code_range() {
+        let mut r = rng();
+        for nk in 0..25 {
+            let p = phone(&mut r, nk);
+            let cc: i64 = p.split('-').next().unwrap().parse().unwrap();
+            assert_eq!(cc, 10 + nk);
+        }
+    }
+
+    #[test]
+    fn v_string_length_bounds() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = v_string(&mut r, 10, 40);
+            assert!((10..=40).contains(&s.len()));
+        }
+    }
+
+    #[test]
+    fn part_name_five_distinct_words() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let name = part_name(&mut r);
+            let words: Vec<&str> = name.split(' ').collect();
+            assert_eq!(words.len(), 5);
+            let mut dedup = words.clone();
+            dedup.sort_unstable();
+            dedup.dedup();
+            assert_eq!(dedup.len(), 5, "duplicate words in {name:?}");
+        }
+    }
+
+    #[test]
+    fn pools_contain_query_critical_words() {
+        assert!(PART_NAME_WORDS.contains(&"green"), "Q9 needs green");
+        assert!(PART_NAME_WORDS.contains(&"forest"), "Q20 needs forest");
+    }
+}

@@ -1,0 +1,80 @@
+//! Engine error type.
+
+use std::fmt;
+
+/// Anything that can go wrong while binding, planning or executing a query.
+///
+/// The platform treats these as first-class results: a morphed query that
+/// fails to execute is recorded as an *error run* (the yellow dots in the
+/// paper's Figure 7), not discarded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// SQL failed to parse.
+    Parse(String),
+    /// A referenced table does not exist.
+    UnknownTable(String),
+    /// A column could not be resolved (or was ambiguous).
+    UnknownColumn(String),
+    /// Ambiguous unqualified column reference.
+    AmbiguousColumn(String),
+    /// Type error during evaluation.
+    Type(String),
+    /// A feature the engine does not support.
+    Unsupported(String),
+    /// Numeric overflow detected by the guarded (ColStore) arithmetic.
+    Overflow(String),
+    /// A scalar subquery returned more than one row.
+    ScalarCardinality(String),
+    /// Execution exceeded the configured row budget (runaway cartesian
+    /// products from morphed queries).
+    Budget(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Parse(m) => write!(f, "parse error: {m}"),
+            EngineError::UnknownTable(t) => write!(f, "unknown table: {t}"),
+            EngineError::UnknownColumn(c) => write!(f, "unknown column: {c}"),
+            EngineError::AmbiguousColumn(c) => write!(f, "ambiguous column: {c}"),
+            EngineError::Type(m) => write!(f, "type error: {m}"),
+            EngineError::Unsupported(m) => write!(f, "unsupported: {m}"),
+            EngineError::Overflow(m) => write!(f, "numeric overflow: {m}"),
+            EngineError::ScalarCardinality(m) => {
+                write!(f, "scalar subquery returned more than one row: {m}")
+            }
+            EngineError::Budget(m) => write!(f, "row budget exceeded: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<sqalpel_sql::ParseError> for EngineError {
+    fn from(e: sqalpel_sql::ParseError) -> Self {
+        EngineError::Parse(e.to_string())
+    }
+}
+
+pub type EngineResult<T> = Result<T, EngineError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert_eq!(
+            EngineError::UnknownTable("nation".into()).to_string(),
+            "unknown table: nation"
+        );
+        assert!(EngineError::Overflow("sum".into()).to_string().contains("overflow"));
+    }
+
+    #[test]
+    fn from_parse_error() {
+        let pe = sqalpel_sql::parse_query("select").unwrap_err();
+        let ee: EngineError = pe.into();
+        assert!(matches!(ee, EngineError::Parse(_)));
+    }
+}

@@ -1,0 +1,698 @@
+//! The row engine executor: tuple-at-a-time, pipelined, float arithmetic.
+//!
+//! "System A" of the pair. Rows flow through the operator tree one at a
+//! time via push-based sinks — nothing is materialized except hash-join
+//! build sides, grouping state and the final result. Decimals are
+//! converted to `f64` on touch ([`ArithMode::Float`]): cheap arithmetic,
+//! no overflow guards — the opposite trade-off from the column engine.
+
+use crate::error::{EngineError, EngineResult};
+use crate::eval::{
+    collect_aggregates, eval, eval_filter, Accumulator, AggValues, Env, EvalCtx, SubqueryRunner,
+};
+use crate::output::{finish_rows, sort_keys};
+use crate::plan::{BoundQuery, Plan, Planner, Schema};
+use crate::storage::Database;
+use crate::value::{ArithMode, Key, Value};
+use sqalpel_sql::ast::{Expr, JoinKind, Query};
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// How a subquery behaved on first execution.
+/// One materialized CTE visible during execution.
+struct CteFrame {
+    name: String,
+    cols: Vec<String>,
+    rows: Rc<Vec<Vec<Value>>>,
+}
+
+enum SubState {
+    /// Uncorrelated: bound query plus its cached result rows.
+    Cached(Rc<Vec<Vec<Value>>>),
+    /// Correlated: bound query, re-executed per outer row.
+    Correlated(Rc<BoundQuery>),
+}
+
+/// One query execution over the row engine.
+///
+/// Created per statement; holds the per-execution subquery cache and the
+/// CTE materialization stack.
+pub struct RowExec<'a> {
+    db: &'a Database,
+    /// Rows the execution may touch before aborting with
+    /// [`EngineError::Budget`] (morphed queries can go cartesian).
+    budget: u64,
+    used: Cell<u64>,
+    subqueries: RefCell<HashMap<usize, SubState>>,
+    /// CTE frames: innermost last.
+    ctes: RefCell<Vec<CteFrame>>,
+    /// False for the legacy (pre-hash-join) version: every join runs as a
+    /// nested loop over its equality predicates.
+    hash_joins: bool,
+}
+
+const MODE: ArithMode = ArithMode::Float;
+
+impl<'a> RowExec<'a> {
+    pub fn new(db: &'a Database, budget: u64) -> Self {
+        Self::with_options(db, budget, true)
+    }
+
+    /// Constructor with the hash-join switch (false = RowStore 1.x
+    /// nested-loop behaviour).
+    pub fn with_options(db: &'a Database, budget: u64, hash_joins: bool) -> Self {
+        RowExec {
+            db,
+            budget,
+            used: Cell::new(0),
+            subqueries: RefCell::new(HashMap::new()),
+            ctes: RefCell::new(Vec::new()),
+            hash_joins,
+        }
+    }
+
+    /// Parse, bind and run a SQL query, returning output names and rows.
+    pub fn run_sql(&self, sql: &str) -> EngineResult<(Vec<String>, Vec<Vec<Value>>)> {
+        let q = sqalpel_sql::parse_query(sql)?;
+        let bound = Planner::new(self.db).bind(&q)?;
+        let rows = self.run_query(&bound, None)?;
+        Ok((bound.output_names(), rows))
+    }
+
+    fn charge(&self, n: u64) -> EngineResult<()> {
+        let used = self.used.get() + n;
+        self.used.set(used);
+        if used > self.budget {
+            Err(EngineError::Budget(format!("{used} rows touched")))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Execute a bound query, with `outer` in scope for correlation.
+    pub fn run_query(
+        &self,
+        bq: &BoundQuery,
+        outer: Option<&Env<'_>>,
+    ) -> EngineResult<Vec<Vec<Value>>> {
+        // Materialize CTEs innermost-last; pop them on exit.
+        let frame_base = self.ctes.borrow().len();
+        for (name, cte_query) in &bq.ctes {
+            let rows = self.run_query(cte_query, outer)?;
+            self.ctes.borrow_mut().push(CteFrame {
+                name: name.clone(),
+                cols: cte_query.output_names(),
+                rows: Rc::new(rows),
+            });
+        }
+        let result = self.run_body(bq, outer);
+        self.ctes.borrow_mut().truncate(frame_base);
+        result
+    }
+
+    fn run_body(
+        &self,
+        bq: &BoundQuery,
+        outer: Option<&Env<'_>>,
+    ) -> EngineResult<Vec<Vec<Value>>> {
+        let core_schema = bq.core.schema();
+        let ctx = EvalCtx::new(self, MODE);
+
+        // (output row, sort keys) pairs.
+        let mut produced: Vec<(Vec<Value>, Vec<Value>)> = Vec::new();
+
+        if bq.aggregated {
+            self.run_aggregated(bq, &core_schema, outer, &ctx, &mut produced)?;
+        } else {
+            self.execute_core(&bq.core, outer, &mut |row| {
+                let env = match outer {
+                    Some(o) => Env::with_outer(&core_schema, row, o),
+                    None => Env::new(&core_schema, row),
+                };
+                let mut out = Vec::with_capacity(bq.items.len());
+                for item in &bq.items {
+                    out.push(eval(&item.expr, &env, &ctx)?);
+                }
+                let keys = sort_keys(bq, &out, &env, &ctx, None)?;
+                produced.push((out, keys));
+                Ok(())
+            })?;
+        }
+
+        finish_rows(bq, produced)
+    }
+
+    fn run_aggregated(
+        &self,
+        bq: &BoundQuery,
+        core_schema: &Schema,
+        outer: Option<&Env<'_>>,
+        ctx: &EvalCtx<'_>,
+        produced: &mut Vec<(Vec<Value>, Vec<Value>)>,
+    ) -> EngineResult<()> {
+        // Aggregates can appear in the select list, HAVING and ORDER BY.
+        let mut agg_exprs: Vec<&Expr> = bq.items.iter().map(|i| &i.expr).collect();
+        if let Some(h) = &bq.having {
+            agg_exprs.push(h);
+        }
+        for o in &bq.order_by {
+            agg_exprs.push(&o.expr);
+        }
+        let specs = collect_aggregates(&agg_exprs);
+        let keys: Vec<String> = specs.iter().map(|s| s.key.clone()).collect();
+
+        // Group state in first-seen order for deterministic output.
+        let mut group_index: HashMap<Vec<Key>, usize> = HashMap::new();
+        let mut groups: Vec<(Vec<Value>, Vec<Accumulator>)> = Vec::new();
+
+        self.execute_core(&bq.core, outer, &mut |row| {
+            let env = match outer {
+                Some(o) => Env::with_outer(core_schema, row, o),
+                None => Env::new(core_schema, row),
+            };
+            let mut key = Vec::with_capacity(bq.group_by.len());
+            for g in &bq.group_by {
+                key.push(eval(g, &env, ctx)?.key()?);
+            }
+            let idx = match group_index.get(&key) {
+                Some(&i) => i,
+                None => {
+                    let i = groups.len();
+                    group_index.insert(key, i);
+                    groups.push((
+                        row.to_vec(),
+                        specs.iter().map(|s| Accumulator::new(s, MODE)).collect(),
+                    ));
+                    i
+                }
+            };
+            let (_, accs) = &mut groups[idx];
+            for (spec, acc) in specs.iter().zip(accs.iter_mut()) {
+                match &spec.arg {
+                    None => acc.update(None)?,
+                    Some(arg) => {
+                        let v = eval(arg, &env, ctx)?;
+                        acc.update(Some(&v))?;
+                    }
+                }
+            }
+            Ok(())
+        })?;
+
+        // A global aggregate over zero rows still yields one group.
+        if groups.is_empty() && bq.group_by.is_empty() {
+            groups.push((
+                vec![Value::Null; core_schema.len()],
+                specs.iter().map(|s| Accumulator::new(s, MODE)).collect(),
+            ));
+        }
+
+        for (rep_row, accs) in &groups {
+            let values: Vec<Value> = accs.iter().map(|a| a.finish()).collect();
+            let aggs = AggValues {
+                keys: &keys,
+                values: &values,
+            };
+            let env = match outer {
+                Some(o) => Env::with_outer(core_schema, rep_row, o),
+                None => Env::new(core_schema, rep_row),
+            };
+            let gctx = ctx.with_aggs(&aggs);
+            if let Some(h) = &bq.having {
+                if !eval_filter(h, &env, &gctx)? {
+                    continue;
+                }
+            }
+            let mut out = Vec::with_capacity(bq.items.len());
+            for item in &bq.items {
+                out.push(eval(&item.expr, &env, &gctx)?);
+            }
+            let skeys = sort_keys(bq, &out, &env, &gctx, Some(&aggs))?;
+            produced.push((out, skeys));
+        }
+        Ok(())
+    }
+
+    /// Push rows of the relational core through `sink`.
+    fn execute_core(
+        &self,
+        plan: &Plan,
+        outer: Option<&Env<'_>>,
+        sink: &mut dyn FnMut(&[Value]) -> EngineResult<()>,
+    ) -> EngineResult<()> {
+        match plan {
+            Plan::Scan { table, .. } => {
+                let cols = &table.columns;
+                for i in 0..table.row_count() {
+                    self.charge(1)?;
+                    let row: Vec<Value> = cols.iter().map(|c| c.data.get(i)).collect();
+                    sink(&row)?;
+                }
+                Ok(())
+            }
+            Plan::Derived { query, .. } => {
+                let rows = self.run_query(query, outer)?;
+                for row in &rows {
+                    self.charge(1)?;
+                    sink(row)?;
+                }
+                Ok(())
+            }
+            Plan::Cte { name, .. } => {
+                let rows = {
+                    let frames = self.ctes.borrow();
+                    frames
+                        .iter()
+                        .rev()
+                        .find(|f| f.name == *name)
+                        .map(|f| Rc::clone(&f.rows))
+                        .ok_or_else(|| EngineError::UnknownTable(name.clone()))?
+                };
+                for row in rows.iter() {
+                    self.charge(1)?;
+                    sink(row)?;
+                }
+                Ok(())
+            }
+            Plan::Filter { input, predicate } => {
+                let schema = input.schema();
+                let ctx = EvalCtx::new(self, MODE);
+                self.execute_core(input, outer, &mut |row| {
+                    let env = match outer {
+                        Some(o) => Env::with_outer(&schema, row, o),
+                        None => Env::new(&schema, row),
+                    };
+                    if eval_filter(predicate, &env, &ctx)? {
+                        sink(row)?;
+                    }
+                    Ok(())
+                })
+            }
+            Plan::Join {
+                left,
+                right,
+                kind,
+                equi,
+                residual,
+            } => self.execute_join(left, right, *kind, equi, residual.as_ref(), outer, sink),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn execute_join(
+        &self,
+        left: &Plan,
+        right: &Plan,
+        kind: JoinKind,
+        equi: &[(Expr, Expr)],
+        residual: Option<&Expr>,
+        outer: Option<&Env<'_>>,
+        sink: &mut dyn FnMut(&[Value]) -> EngineResult<()>,
+    ) -> EngineResult<()> {
+        let left_schema = left.schema();
+        let right_schema = right.schema();
+        let mut combined = left_schema.clone();
+        combined.extend(right_schema.iter().cloned());
+        let ctx = EvalCtx::new(self, MODE);
+
+        // Build side: materialize the right input.
+        let mut right_rows: Vec<Vec<Value>> = Vec::new();
+        self.execute_core(right, outer, &mut |row| {
+            right_rows.push(row.to_vec());
+            Ok(())
+        })?;
+
+        // Legacy mode: fold the equality keys back into the residual and
+        // run the nested loop.
+        let folded;
+        let (equi, residual) = if self.hash_joins || equi.is_empty() {
+            (equi, residual)
+        } else {
+            let eq_preds = equi
+                .iter()
+                .map(|(l, r)| Expr::eq(l.clone(), r.clone()))
+                .chain(residual.cloned());
+            folded = Expr::conjoin(eq_preds);
+            (&[][..], folded.as_ref())
+        };
+
+        if equi.is_empty() {
+            // Nested-loop (cross) join with optional residual.
+            return self.execute_core(left, outer, &mut |lrow| {
+                let mut matched = false;
+                for rrow in &right_rows {
+                    self.charge(1)?;
+                    let mut row = lrow.to_vec();
+                    row.extend(rrow.iter().cloned());
+                    let keep = match residual {
+                        Some(r) => {
+                            let env = match outer {
+                                Some(o) => Env::with_outer(&combined, &row, o),
+                                None => Env::new(&combined, &row),
+                            };
+                            eval_filter(r, &env, &ctx)?
+                        }
+                        None => true,
+                    };
+                    if keep {
+                        matched = true;
+                        sink(&row)?;
+                    }
+                }
+                if !matched && kind == JoinKind::LeftOuter {
+                    let mut row = lrow.to_vec();
+                    row.extend(std::iter::repeat_n(Value::Null, right_schema.len()));
+                    sink(&row)?;
+                }
+                Ok(())
+            });
+        }
+
+        // Hash join: build on right keys.
+        let mut table: HashMap<Vec<Key>, Vec<usize>> = HashMap::new();
+        for (i, rrow) in right_rows.iter().enumerate() {
+            self.charge(1)?;
+            let env = match outer {
+                Some(o) => Env::with_outer(&right_schema, rrow, o),
+                None => Env::new(&right_schema, rrow),
+            };
+            let mut key = Vec::with_capacity(equi.len());
+            for (_, rexpr) in equi {
+                key.push(eval(rexpr, &env, &ctx)?.key()?);
+            }
+            table.entry(key).or_default().push(i);
+        }
+
+        self.execute_core(left, outer, &mut |lrow| {
+            self.charge(1)?;
+            let lenv = match outer {
+                Some(o) => Env::with_outer(&left_schema, lrow, o),
+                None => Env::new(&left_schema, lrow),
+            };
+            let mut key = Vec::with_capacity(equi.len());
+            for (lexpr, _) in equi {
+                key.push(eval(lexpr, &lenv, &ctx)?.key()?);
+            }
+            let mut matched = false;
+            if let Some(candidates) = table.get(&key) {
+                for &ri in candidates {
+                    self.charge(1)?;
+                    let mut row = lrow.to_vec();
+                    row.extend(right_rows[ri].iter().cloned());
+                    let keep = match residual {
+                        Some(r) => {
+                            let env = match outer {
+                                Some(o) => Env::with_outer(&combined, &row, o),
+                                None => Env::new(&combined, &row),
+                            };
+                            eval_filter(r, &env, &ctx)?
+                        }
+                        None => true,
+                    };
+                    if keep {
+                        matched = true;
+                        sink(&row)?;
+                    }
+                }
+            }
+            if !matched && kind == JoinKind::LeftOuter {
+                let mut row = lrow.to_vec();
+                row.extend(std::iter::repeat_n(Value::Null, right_schema.len()));
+                sink(&row)?;
+            }
+            Ok(())
+        })
+    }
+}
+
+impl SubqueryRunner for RowExec<'_> {
+    fn run_subquery(&self, q: &Query, outer: &Env<'_>) -> EngineResult<Vec<Vec<Value>>> {
+        let id = q as *const Query as usize;
+        // Fast path: known state.
+        {
+            let subs = self.subqueries.borrow();
+            match subs.get(&id) {
+                Some(SubState::Cached(rows)) => return Ok(rows.as_ref().clone()),
+                Some(SubState::Correlated(bound)) => {
+                    let bound = Rc::clone(bound);
+                    drop(subs);
+                    return self.run_query(&bound, Some(outer));
+                }
+                None => {}
+            }
+        }
+        // First execution: decide correlated vs cached.
+        let cte_scope: Vec<(String, Vec<String>)> = self
+            .ctes
+            .borrow()
+            .iter()
+            .map(|f| (f.name.clone(), f.cols.clone()))
+            .collect();
+        let bound = Rc::new(Planner::with_ctes(self.db, cte_scope).bind(q)?);
+        match self.run_query(&bound, None) {
+            Ok(rows) => {
+                let rows = Rc::new(rows);
+                self.subqueries
+                    .borrow_mut()
+                    .insert(id, SubState::Cached(Rc::clone(&rows)));
+                Ok(rows.as_ref().clone())
+            }
+            Err(EngineError::UnknownColumn(_)) => {
+                // Columns resolve only through the outer row: correlated.
+                self.subqueries
+                    .borrow_mut()
+                    .insert(id, SubState::Correlated(Rc::clone(&bound)));
+                self.run_query(&bound, Some(outer))
+            }
+            Err(other) => Err(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> Database {
+        Database::tpch(0.001, 42)
+    }
+
+    fn run(db: &Database, sql: &str) -> (Vec<String>, Vec<Vec<Value>>) {
+        RowExec::new(db, 50_000_000)
+            .run_sql(sql)
+            .unwrap_or_else(|e| panic!("{sql} failed: {e}"))
+    }
+
+    #[test]
+    fn count_star() {
+        let d = db();
+        let (_, rows) = run(&d, "select count(*) from nation");
+        assert!(matches!(rows[0][0], Value::Int(25)));
+    }
+
+    #[test]
+    fn filter_and_projection() {
+        let d = db();
+        let (names, rows) = run(&d, "select n_name, n_regionkey from nation where n_name = 'BRAZIL'");
+        assert_eq!(names, vec!["n_name", "n_regionkey"]);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0][0].to_string(), "BRAZIL");
+        assert!(matches!(rows[0][1], Value::Int(1)));
+    }
+
+    #[test]
+    fn equi_join() {
+        let d = db();
+        let (_, rows) = run(
+            &d,
+            "select n_name, r_name from nation, region \
+             where n_regionkey = r_regionkey and r_name = 'EUROPE' order by n_name",
+        );
+        assert_eq!(rows.len(), 5);
+        assert_eq!(rows[0][0].to_string(), "FRANCE");
+        assert!(rows.iter().all(|r| r[1].to_string() == "EUROPE"));
+    }
+
+    #[test]
+    fn group_by_with_aggregates() {
+        let d = db();
+        let (_, rows) = run(
+            &d,
+            "select n_regionkey, count(*) as n from nation group by n_regionkey order by n_regionkey",
+        );
+        assert_eq!(rows.len(), 5);
+        assert!(rows.iter().all(|r| matches!(r[1], Value::Int(5))));
+    }
+
+    #[test]
+    fn global_aggregate_on_empty_input() {
+        let d = db();
+        let (_, rows) = run(
+            &d,
+            "select count(*), sum(n_nationkey) from nation where n_name = 'NOWHERE'",
+        );
+        assert_eq!(rows.len(), 1);
+        assert!(matches!(rows[0][0], Value::Int(0)));
+        assert!(rows[0][1].is_null());
+    }
+
+    #[test]
+    fn order_by_alias_desc_and_limit() {
+        let d = db();
+        let (_, rows) = run(
+            &d,
+            "select n_name, n_nationkey as k from nation order by k desc limit 3",
+        );
+        assert_eq!(rows.len(), 3);
+        assert!(matches!(rows[0][1], Value::Int(24)));
+        assert!(matches!(rows[2][1], Value::Int(22)));
+    }
+
+    #[test]
+    fn distinct_dedups() {
+        let d = db();
+        let (_, rows) = run(&d, "select distinct n_regionkey from nation");
+        assert_eq!(rows.len(), 5);
+    }
+
+    #[test]
+    fn having_filters_groups() {
+        let d = db();
+        let (_, rows) = run(
+            &d,
+            "select l_returnflag, count(*) from lineitem group by l_returnflag \
+             having count(*) > 100 order by l_returnflag",
+        );
+        assert!(!rows.is_empty());
+        for r in &rows {
+            if let Value::Int(n) = r[1] {
+                assert!(n > 100);
+            } else {
+                panic!("expected int count");
+            }
+        }
+    }
+
+    #[test]
+    fn uncorrelated_scalar_subquery() {
+        let d = db();
+        let (_, rows) = run(
+            &d,
+            "select count(*) from supplier \
+             where s_acctbal > (select avg(s_acctbal) from supplier)",
+        );
+        let Value::Int(n) = rows[0][0] else { panic!() };
+        assert!(n > 0 && n < 10);
+    }
+
+    #[test]
+    fn correlated_exists() {
+        let d = db();
+        let (_, rows) = run(
+            &d,
+            "select count(*) from orders where exists (
+               select * from lineitem where l_orderkey = o_orderkey and l_quantity > 49)",
+        );
+        let Value::Int(n) = rows[0][0] else { panic!() };
+        // ~2% of lineitems have quantity 50; some orders qualify.
+        assert!(n > 0 && n < 1500, "{n}");
+    }
+
+    #[test]
+    fn in_subquery() {
+        let d = db();
+        let (_, rows) = run(
+            &d,
+            "select count(*) from nation where n_regionkey in (
+               select r_regionkey from region where r_name = 'ASIA' or r_name = 'AFRICA')",
+        );
+        assert!(matches!(rows[0][0], Value::Int(10)));
+    }
+
+    #[test]
+    fn left_outer_join_pads_nulls() {
+        let d = db();
+        // Customers divisible by 3 have no orders; they must appear with
+        // NULL order columns and count(o_orderkey) = 0.
+        let (_, rows) = run(
+            &d,
+            "select c_custkey, count(o_orderkey) as n from customer \
+             left outer join orders on c_custkey = o_custkey \
+             group by c_custkey order by n, c_custkey limit 5",
+        );
+        assert!(matches!(rows[0][1], Value::Int(0)));
+    }
+
+    #[test]
+    fn cte_materializes_and_joins() {
+        let d = db();
+        let (_, rows) = run(
+            &d,
+            "with big as (select l_orderkey, sum(l_quantity) as q from lineitem \
+              group by l_orderkey having sum(l_quantity) > 150) \
+             select count(*) from big",
+        );
+        let Value::Int(n) = rows[0][0] else { panic!() };
+        assert!(n > 0, "some orders exceed 150 total quantity");
+    }
+
+    #[test]
+    fn derived_table() {
+        let d = db();
+        let (_, rows) = run(
+            &d,
+            "select avg(n) from (select n_regionkey, count(*) as n from nation \
+             group by n_regionkey) t",
+        );
+        assert!(matches!(rows[0][0], Value::Float(f) if (f - 5.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn budget_aborts_runaway_cross_join() {
+        let d = db();
+        let exec = RowExec::new(&d, 10_000);
+        let err = exec
+            .run_sql("select count(*) from lineitem, lineitem l2")
+            .unwrap_err();
+        assert!(matches!(err, EngineError::Budget(_)));
+    }
+
+    #[test]
+    fn unknown_column_reported() {
+        let d = db();
+        let err = RowExec::new(&d, 1_000_000)
+            .run_sql("select bogus from nation")
+            .unwrap_err();
+        assert!(matches!(err, EngineError::UnknownColumn(_)));
+    }
+
+    #[test]
+    fn q1_shape() {
+        let d = db();
+        let (names, rows) = run(&d, sqalpel_sql::tpch::Q1);
+        assert_eq!(names.len(), 10);
+        // Four (returnflag, linestatus) groups at any reasonable SF.
+        assert!(rows.len() >= 3 && rows.len() <= 4, "{} groups", rows.len());
+        // sum_qty positive everywhere.
+        assert!(rows.iter().all(|r| r[2].as_f64().unwrap() > 0.0));
+    }
+
+    #[test]
+    fn q6_revenue() {
+        let d = db();
+        let (_, rows) = run(&d, sqalpel_sql::tpch::Q6);
+        assert_eq!(rows.len(), 1);
+        assert!(rows[0][0].as_f64().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn q3_top_orders() {
+        let d = db();
+        let (_, rows) = run(&d, sqalpel_sql::tpch::Q3);
+        assert!(rows.len() <= 10);
+        // Revenue is sorted descending.
+        let revs: Vec<f64> = rows.iter().map(|r| r[1].as_f64().unwrap()).collect();
+        assert!(revs.windows(2).all(|w| w[0] >= w[1]));
+    }
+}

@@ -1,0 +1,113 @@
+//! Result shaping shared by both executors: ORDER BY key computation,
+//! DISTINCT, sorting and LIMIT.
+//!
+//! The two engines differ in how they *produce* rows (pipelined tuples vs
+//! materialized columns); the declarative tail they apply to the produced
+//! rows is the same SQL semantics, implemented once here.
+
+use crate::error::EngineResult;
+use crate::eval::{eval, AggValues, Env, EvalCtx};
+use crate::plan::BoundQuery;
+use crate::value::{Key, Value};
+use sqalpel_sql::ast::Expr;
+
+/// Compute sort key values for one output row.
+///
+/// `ORDER BY` resolves select-list aliases first (`ORDER BY revenue DESC`),
+/// then falls back to evaluating the expression in the row environment.
+pub fn sort_keys(
+    bq: &BoundQuery,
+    out: &[Value],
+    env: &Env<'_>,
+    ctx: &EvalCtx<'_>,
+    aggs: Option<&AggValues<'_>>,
+) -> EngineResult<Vec<Value>> {
+    let mut keys = Vec::with_capacity(bq.order_by.len());
+    for item in &bq.order_by {
+        if let Expr::Column(c) = &item.expr {
+            if c.table.is_none() {
+                if let Some(i) = bq.items.iter().position(|it| it.name == c.column) {
+                    keys.push(out[i].clone());
+                    continue;
+                }
+            }
+        }
+        let v = match aggs {
+            Some(a) => eval(&item.expr, env, &ctx.with_aggs(a))?,
+            None => eval(&item.expr, env, ctx)?,
+        };
+        keys.push(v);
+    }
+    Ok(keys)
+}
+
+/// Total order for sorting: NULLs last, numerics by value, then by type.
+pub fn sort_cmp(a: &Value, b: &Value) -> std::cmp::Ordering {
+    use std::cmp::Ordering;
+    match (a.is_null(), b.is_null()) {
+        (true, true) => return Ordering::Equal,
+        (true, false) => return Ordering::Greater,
+        (false, true) => return Ordering::Less,
+        _ => {}
+    }
+    match crate::value::compare(a, b) {
+        Ok(Some(o)) => o,
+        _ => a.type_name().cmp(b.type_name()),
+    }
+}
+
+/// Shared tail: DISTINCT, ORDER BY, LIMIT over produced rows.
+pub fn finish_rows(
+    bq: &BoundQuery,
+    mut produced: Vec<(Vec<Value>, Vec<Value>)>,
+) -> EngineResult<Vec<Vec<Value>>> {
+    if bq.distinct {
+        let mut seen: std::collections::HashSet<Vec<Key>> = std::collections::HashSet::new();
+        let mut deduped = Vec::with_capacity(produced.len());
+        for (row, keys) in produced {
+            let image: EngineResult<Vec<Key>> = row.iter().map(|v| v.key()).collect();
+            if seen.insert(image?) {
+                deduped.push((row, keys));
+            }
+        }
+        produced = deduped;
+    }
+    if !bq.order_by.is_empty() {
+        produced.sort_by(|(_, ka), (_, kb)| {
+            for (i, item) in bq.order_by.iter().enumerate() {
+                let o = sort_cmp(&ka[i], &kb[i]);
+                let o = if item.desc { o.reverse() } else { o };
+                if o != std::cmp::Ordering::Equal {
+                    return o;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+    }
+    let mut rows: Vec<Vec<Value>> = produced.into_iter().map(|(r, _)| r).collect();
+    if let Some(n) = bq.limit {
+        rows.truncate(n as usize);
+    }
+    Ok(rows)
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sort_cmp_nulls_last() {
+        use std::cmp::Ordering;
+        assert_eq!(sort_cmp(&Value::Null, &Value::Int(1)), Ordering::Greater);
+        assert_eq!(sort_cmp(&Value::Int(1), &Value::Null), Ordering::Less);
+        assert_eq!(sort_cmp(&Value::Null, &Value::Null), Ordering::Equal);
+        assert_eq!(sort_cmp(&Value::Int(1), &Value::Int(2)), Ordering::Less);
+    }
+
+    #[test]
+    fn sort_cmp_mixed_types_fall_back_to_type_name() {
+        // Must not panic on incomparable values.
+        let _ = sort_cmp(&Value::Int(1), &Value::Str("a".into()));
+    }
+}

@@ -1,0 +1,683 @@
+//! Logical planning shared by both engines.
+//!
+//! The planner binds a parsed [`Query`] against a [`Database`] and produces
+//! a [`BoundQuery`]: a relational *core* (scans, joins, filters) plus the
+//! declarative tail (projection, grouping, having, ordering, limit) that
+//! each engine executes in its own style.
+//!
+//! Join planning is deliberately simple and deterministic — relations join
+//! in `FROM` order with hash joins on the equality conjuncts that connect
+//! them, exactly what the paper's target systems would do without a
+//! cost-based optimizer. Predicates that touch a single relation are pushed
+//! down to its scan; predicates containing subqueries are never pushed
+//! (their correlation needs the full row in scope).
+
+use crate::error::{EngineError, EngineResult};
+use crate::storage::{Database, Table};
+use sqalpel_sql::ast::{
+    Expr, JoinKind, OrderItem, Query, Select, SelectItem, TableRef,
+};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// One column of a plan node's output: the relation binding it came from
+/// plus its name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColMeta {
+    pub binding: String,
+    pub name: String,
+}
+
+/// An ordered list of output columns.
+pub type Schema = Vec<ColMeta>;
+
+/// The relational core: scans, joins and filters.
+#[derive(Debug, Clone)]
+pub enum Plan {
+    /// Scan of a stored table under a binding (alias or table name).
+    Scan { table: Arc<Table>, binding: String },
+    /// Scan of a derived table (`(select ...) alias`).
+    Derived {
+        query: Box<BoundQuery>,
+        binding: String,
+    },
+    /// Scan of a CTE, materialized once per execution.
+    Cte {
+        name: String,
+        binding: String,
+        schema: Schema,
+    },
+    /// Row filter.
+    Filter { input: Box<Plan>, predicate: Expr },
+    /// Join with hash keys (`equi`) and an optional residual predicate
+    /// evaluated on candidate matches. Empty `equi` means a cross join.
+    Join {
+        left: Box<Plan>,
+        right: Box<Plan>,
+        kind: JoinKind,
+        equi: Vec<(Expr, Expr)>,
+        residual: Option<Expr>,
+    },
+}
+
+impl Plan {
+    /// Output schema of this node.
+    pub fn schema(&self) -> Schema {
+        match self {
+            Plan::Scan { table, binding } => table
+                .columns
+                .iter()
+                .map(|c| ColMeta {
+                    binding: binding.clone(),
+                    name: c.name.clone(),
+                })
+                .collect(),
+            Plan::Derived { query, binding } => query
+                .output_names()
+                .into_iter()
+                .map(|name| ColMeta {
+                    binding: binding.clone(),
+                    name,
+                })
+                .collect(),
+            Plan::Cte { schema, .. } => schema.clone(),
+            Plan::Filter { input, .. } => input.schema(),
+            Plan::Join { left, right, .. } => {
+                let mut s = left.schema();
+                s.extend(right.schema());
+                s
+            }
+        }
+    }
+
+    /// The set of relation bindings visible in this node's output.
+    pub fn bindings(&self) -> BTreeSet<String> {
+        self.schema().into_iter().map(|c| c.binding).collect()
+    }
+}
+
+/// One projected output column.
+#[derive(Debug, Clone)]
+pub struct OutputItem {
+    pub expr: Expr,
+    pub name: String,
+}
+
+/// A fully bound query, ready for either executor.
+#[derive(Debug, Clone)]
+pub struct BoundQuery {
+    /// CTEs in definition order (each may reference earlier ones).
+    pub ctes: Vec<(String, BoundQuery)>,
+    pub core: Plan,
+    pub items: Vec<OutputItem>,
+    pub distinct: bool,
+    pub group_by: Vec<Expr>,
+    pub having: Option<Expr>,
+    pub order_by: Vec<OrderItem>,
+    pub limit: Option<u64>,
+    /// True when the query computes aggregates (with or without GROUP BY).
+    pub aggregated: bool,
+}
+
+impl BoundQuery {
+    /// Names of the output columns, in order.
+    pub fn output_names(&self) -> Vec<String> {
+        self.items.iter().map(|i| i.name.clone()).collect()
+    }
+}
+
+/// Planner state: the database plus CTE names visible during binding.
+pub struct Planner<'a> {
+    db: &'a Database,
+    /// CTE name → output schema, for scans that target a CTE.
+    ctes: Vec<(String, Vec<String>)>,
+}
+
+impl<'a> Planner<'a> {
+    pub fn new(db: &'a Database) -> Self {
+        Planner {
+            db,
+            ctes: Vec::new(),
+        }
+    }
+
+    /// A planner with CTE names already in scope — used when binding
+    /// subqueries at runtime, where the enclosing query's CTEs must stay
+    /// visible (e.g. TPC-H Q15's `(select max(total_revenue) from
+    /// revenue)`).
+    pub fn with_ctes(db: &'a Database, ctes: Vec<(String, Vec<String>)>) -> Self {
+        Planner { db, ctes }
+    }
+
+    /// Bind a parsed query.
+    pub fn bind(&mut self, q: &Query) -> EngineResult<BoundQuery> {
+        let cte_depth = self.ctes.len();
+        let mut bound_ctes = Vec::with_capacity(q.ctes.len());
+        for cte in &q.ctes {
+            let bound = self.bind(&cte.query)?;
+            self.ctes.push((cte.name.clone(), bound.output_names()));
+            bound_ctes.push((cte.name.clone(), bound));
+        }
+        let result = self.bind_select(&q.body, q, bound_ctes);
+        self.ctes.truncate(cte_depth);
+        result
+    }
+
+    fn bind_select(
+        &mut self,
+        s: &Select,
+        q: &Query,
+        ctes: Vec<(String, BoundQuery)>,
+    ) -> EngineResult<BoundQuery> {
+        if s.from.is_empty() {
+            return Err(EngineError::Unsupported(
+                "queries without a FROM clause".into(),
+            ));
+        }
+        // 1. Bind each FROM item to a plan fragment.
+        let mut fragments: Vec<Plan> = Vec::with_capacity(s.from.len());
+        for item in &s.from {
+            fragments.push(self.bind_table_ref(item)?);
+        }
+
+        // 2. Classify WHERE conjuncts.
+        let conjuncts: Vec<Expr> = s
+            .selection
+            .as_ref()
+            .map(|e| e.conjuncts().into_iter().cloned().collect())
+            .unwrap_or_default();
+        let frag_bindings: Vec<BTreeSet<String>> =
+            fragments.iter().map(|f| f.bindings()).collect();
+        let frag_schemas: Vec<Schema> = fragments.iter().map(|f| f.schema()).collect();
+
+        let mut pushed: Vec<Vec<Expr>> = vec![Vec::new(); fragments.len()];
+        let mut join_candidates: Vec<Expr> = Vec::new();
+        let mut residual: Vec<Expr> = Vec::new();
+
+        for c in conjuncts {
+            if contains_subquery(&c) {
+                residual.push(c);
+                continue;
+            }
+            let refs = self.conjunct_fragments(&c, &frag_bindings, &frag_schemas)?;
+            match refs.len() {
+                0 => residual.push(c), // constant or correlated-outer predicate
+                1 => pushed[*refs.iter().next().unwrap()].push(c),
+                2 if is_equality(&c) => join_candidates.push(c),
+                _ => residual.push(c),
+            }
+        }
+
+        // 3. Apply pushed-down filters.
+        let fragments: Vec<Plan> = fragments
+            .into_iter()
+            .zip(pushed)
+            .map(|(frag, preds)| match Expr::conjoin(preds) {
+                Some(p) => Plan::Filter {
+                    input: Box::new(frag),
+                    predicate: p,
+                },
+                None => frag,
+            })
+            .collect();
+
+        // 4. Join fragments in FROM order, picking up connecting equi keys.
+        let mut iter = fragments.into_iter();
+        let mut current = iter.next().expect("non-empty FROM");
+        let mut current_bindings = current.bindings();
+        for frag in iter {
+            let right_bindings = frag.bindings();
+            let mut equi = Vec::new();
+            join_candidates.retain(|c| {
+                match split_equi(c, &current_bindings, &right_bindings, self, &frag_schemas) {
+                    Some(pair) => {
+                        equi.push(pair);
+                        false
+                    }
+                    None => true,
+                }
+            });
+            current_bindings.extend(right_bindings);
+            current = Plan::Join {
+                left: Box::new(current),
+                right: Box::new(frag),
+                kind: JoinKind::Inner,
+                equi,
+                residual: None,
+            };
+        }
+
+        // 5. Any unconsumed join candidates become residual filters.
+        residual.extend(join_candidates);
+        if let Some(p) = Expr::conjoin(residual) {
+            current = Plan::Filter {
+                input: Box::new(current),
+                predicate: p,
+            };
+        }
+
+        // 6. Projection items.
+        let core_schema = current.schema();
+        let mut items = Vec::new();
+        for item in &s.items {
+            match item {
+                SelectItem::Wildcard => {
+                    for col in &core_schema {
+                        items.push(OutputItem {
+                            expr: Expr::Column(sqalpel_sql::ColumnRef::qualified(
+                                col.binding.clone(),
+                                col.name.clone(),
+                            )),
+                            name: col.name.clone(),
+                        });
+                    }
+                }
+                SelectItem::Expr { expr, alias } => {
+                    let name = alias.clone().unwrap_or_else(|| default_name(expr));
+                    items.push(OutputItem {
+                        expr: expr.clone(),
+                        name,
+                    });
+                }
+            }
+        }
+
+        let aggregated = !s.group_by.is_empty()
+            || items.iter().any(|i| i.expr.contains_aggregate())
+            || s.having.as_ref().is_some_and(|h| h.contains_aggregate());
+
+        Ok(BoundQuery {
+            ctes,
+            core: current,
+            items,
+            distinct: s.distinct,
+            group_by: s.group_by.clone(),
+            having: s.having.clone(),
+            order_by: q.order_by.clone(),
+            limit: q.limit,
+            aggregated,
+        })
+    }
+
+    fn bind_table_ref(&mut self, t: &TableRef) -> EngineResult<Plan> {
+        match t {
+            TableRef::Table { name, alias } => {
+                let binding = alias.clone().unwrap_or_else(|| name.clone());
+                // CTEs shadow stored tables.
+                if let Some((_, cols)) = self.ctes.iter().rev().find(|(n, _)| n == name) {
+                    let schema = cols
+                        .iter()
+                        .map(|c| ColMeta {
+                            binding: binding.clone(),
+                            name: c.clone(),
+                        })
+                        .collect();
+                    return Ok(Plan::Cte {
+                        name: name.clone(),
+                        binding,
+                        schema,
+                    });
+                }
+                let table = self.db.table(name)?.clone();
+                Ok(Plan::Scan { table, binding })
+            }
+            TableRef::Subquery { query, alias } => {
+                let bound = self.bind(query)?;
+                Ok(Plan::Derived {
+                    query: Box::new(bound),
+                    binding: alias.clone(),
+                })
+            }
+            TableRef::Join {
+                left,
+                right,
+                kind,
+                on,
+            } => {
+                let l = self.bind_table_ref(left)?;
+                let r = self.bind_table_ref(right)?;
+                let l_bind = l.bindings();
+                let r_bind = r.bindings();
+                let l_schema = l.schema();
+                let r_schema = r.schema();
+                let mut equi = Vec::new();
+                let mut residual = Vec::new();
+                for c in on.conjuncts() {
+                    if !contains_subquery(c) {
+                        if let Some(pair) = split_equi(
+                            c,
+                            &l_bind,
+                            &r_bind,
+                            self,
+                            &[l_schema.clone(), r_schema.clone()],
+                        ) {
+                            equi.push(pair);
+                            continue;
+                        }
+                    }
+                    residual.push(c.clone());
+                }
+                Ok(Plan::Join {
+                    left: Box::new(l),
+                    right: Box::new(r),
+                    kind: *kind,
+                    equi,
+                    residual: Expr::conjoin(residual),
+                })
+            }
+        }
+    }
+
+    /// Which FROM fragments a conjunct references. Columns that resolve in
+    /// no fragment are treated as outer (correlated) references and ignored
+    /// here; ambiguous unqualified names are an error.
+    fn conjunct_fragments(
+        &self,
+        e: &Expr,
+        frag_bindings: &[BTreeSet<String>],
+        frag_schemas: &[Schema],
+    ) -> EngineResult<BTreeSet<usize>> {
+        let mut out = BTreeSet::new();
+        for col in e.columns() {
+            match &col.table {
+                Some(t) => {
+                    if let Some(i) = frag_bindings.iter().position(|b| b.contains(t)) {
+                        out.insert(i);
+                    }
+                }
+                None => {
+                    let hits: Vec<usize> = frag_schemas
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, s)| s.iter().any(|c| c.name == col.column))
+                        .map(|(i, _)| i)
+                        .collect();
+                    match hits.len() {
+                        0 => {} // outer reference
+                        1 => {
+                            out.insert(hits[0]);
+                        }
+                        _ => {
+                            return Err(EngineError::AmbiguousColumn(col.column.clone()));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Derive an output name for an unaliased select item: the bare column
+/// name for column refs, the canonical SQL text otherwise.
+pub fn default_name(e: &Expr) -> String {
+    match e {
+        Expr::Column(c) => c.column.clone(),
+        other => other.to_string(),
+    }
+}
+
+/// True when the expression contains any form of subquery.
+pub fn contains_subquery(e: &Expr) -> bool {
+    let mut found = false;
+    e.visit(&mut |x| {
+        if matches!(
+            x,
+            Expr::Subquery(_) | Expr::Exists { .. } | Expr::InSubquery { .. }
+        ) {
+            found = true;
+        }
+    });
+    found
+}
+
+fn is_equality(e: &Expr) -> bool {
+    matches!(
+        e,
+        Expr::Binary {
+            op: sqalpel_sql::BinOp::Eq,
+            ..
+        }
+    )
+}
+
+/// If `e` is `lhs = rhs` with `lhs` bound entirely to one side and `rhs`
+/// to the other, return the pair ordered `(left_expr, right_expr)`.
+fn split_equi(
+    e: &Expr,
+    left: &BTreeSet<String>,
+    right: &BTreeSet<String>,
+    planner: &Planner<'_>,
+    schemas: &[Schema],
+) -> Option<(Expr, Expr)> {
+    let Expr::Binary {
+        left: a,
+        op: sqalpel_sql::BinOp::Eq,
+        right: b,
+    } = e
+    else {
+        return None;
+    };
+    let side = |x: &Expr| -> Option<u8> {
+        // 0 = left, 1 = right; None = unresolvable/mixed.
+        let mut sides = BTreeSet::new();
+        for col in x.columns() {
+            let binding = match &col.table {
+                Some(t) => Some(t.clone()),
+                None => {
+                    // Resolve the unqualified name through any schema.
+                    let mut found = None;
+                    for s in schemas {
+                        for c in s {
+                            if c.name == col.column {
+                                found = Some(c.binding.clone());
+                            }
+                        }
+                    }
+                    found
+                }
+            };
+            match binding {
+                Some(b) if left.contains(&b) => {
+                    sides.insert(0u8);
+                }
+                Some(b) if right.contains(&b) => {
+                    sides.insert(1u8);
+                }
+                _ => return None,
+            }
+        }
+        let _ = planner; // reserved for future catalog-assisted resolution
+        if sides.len() == 1 {
+            sides.into_iter().next()
+        } else {
+            None
+        }
+    };
+    match (side(a), side(b)) {
+        (Some(0), Some(1)) => Some((a.as_ref().clone(), b.as_ref().clone())),
+        (Some(1), Some(0)) => Some((b.as_ref().clone(), a.as_ref().clone())),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqalpel_sql::parse_query;
+
+    fn plan(sql: &str) -> BoundQuery {
+        let db = Database::tpch(0.001, 42);
+        let q = parse_query(sql).unwrap();
+        Planner::new(&db).bind(&q).unwrap()
+    }
+
+    #[test]
+    fn scan_schema_carries_binding() {
+        let b = plan("select n_name from nation");
+        let schema = b.core.schema();
+        assert_eq!(schema[1].binding, "nation");
+        assert_eq!(schema[1].name, "n_name");
+    }
+
+    #[test]
+    fn alias_becomes_binding() {
+        let b = plan("select l.l_tax from lineitem l");
+        assert!(b.core.bindings().contains("l"));
+    }
+
+    #[test]
+    fn single_table_predicates_are_pushed_down() {
+        let b = plan(
+            "select n_name from nation, region \
+             where n_regionkey = r_regionkey and r_name = 'EUROPE'",
+        );
+        // The join must have a filtered scan on its right side.
+        match &b.core {
+            Plan::Join { right, equi, .. } => {
+                assert_eq!(equi.len(), 1);
+                assert!(matches!(**right, Plan::Filter { .. }));
+            }
+            other => panic!("expected join at top, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn equi_join_keys_extracted() {
+        let b = plan(
+            "select c_name from customer, orders, lineitem \
+             where c_custkey = o_custkey and l_orderkey = o_orderkey",
+        );
+        // Two joins, each with one equi key pair, no residual filter left.
+        match &b.core {
+            Plan::Join { left, equi, .. } => {
+                assert_eq!(equi.len(), 1);
+                assert!(matches!(**left, Plan::Join { .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn subquery_predicates_stay_residual() {
+        let b = plan(
+            "select s_name from supplier \
+             where s_suppkey in (select ps_suppkey from partsupp) and s_nationkey = 3",
+        );
+        // IN-subquery must not be pushed below anything: top is a filter
+        // whose predicate contains the subquery.
+        match &b.core {
+            Plan::Filter { predicate, .. } => assert!(contains_subquery(predicate)),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn wildcard_expands_to_all_columns() {
+        let b = plan("select * from nation");
+        assert_eq!(b.items.len(), 4);
+        assert_eq!(b.items[0].name, "n_nationkey");
+    }
+
+    #[test]
+    fn aliases_and_default_names() {
+        let b = plan("select n_name as nation_name, count(*) from nation group by n_name");
+        assert_eq!(b.items[0].name, "nation_name");
+        assert_eq!(b.items[1].name, "count(*)");
+        assert!(b.aggregated);
+    }
+
+    #[test]
+    fn aggregation_detected_without_group_by() {
+        let b = plan("select sum(l_quantity) from lineitem");
+        assert!(b.aggregated);
+        let b2 = plan("select l_quantity from lineitem");
+        assert!(!b2.aggregated);
+    }
+
+    #[test]
+    fn left_outer_join_on_split() {
+        let b = plan(
+            "select c_custkey from customer left outer join orders \
+             on c_custkey = o_custkey and o_comment not like '%x%'",
+        );
+        match &b.core {
+            Plan::Join {
+                kind,
+                equi,
+                residual,
+                ..
+            } => {
+                assert_eq!(*kind, JoinKind::LeftOuter);
+                assert_eq!(equi.len(), 1);
+                assert!(residual.is_some());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn cte_scan_resolves() {
+        let b = plan(
+            "with r as (select n_regionkey as k, count(*) as n from nation group by n_regionkey) \
+             select k from r where n > 3",
+        );
+        assert_eq!(b.ctes.len(), 1);
+        let mut found = false;
+        fn walk(p: &Plan, found: &mut bool) {
+            match p {
+                Plan::Cte { name, .. } if name == "r" => *found = true,
+                Plan::Filter { input, .. } => walk(input, found),
+                Plan::Join { left, right, .. } => {
+                    walk(left, found);
+                    walk(right, found);
+                }
+                _ => {}
+            }
+        }
+        walk(&b.core, &mut found);
+        assert!(found, "expected a CTE scan in {:?}", b.core);
+    }
+
+    #[test]
+    fn unknown_table_is_an_error() {
+        let db = Database::tpch(0.001, 42);
+        let q = parse_query("select x from missing_table").unwrap();
+        assert!(matches!(
+            Planner::new(&db).bind(&q),
+            Err(EngineError::UnknownTable(_))
+        ));
+    }
+
+    #[test]
+    fn no_from_clause_unsupported() {
+        let db = Database::tpch(0.001, 42);
+        let q = parse_query("select 1").unwrap();
+        assert!(matches!(
+            Planner::new(&db).bind(&q),
+            Err(EngineError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn all_tpch_queries_bind() {
+        let db = Database::tpch(0.001, 42);
+        for (name, sql) in sqalpel_sql::tpch::all_queries() {
+            let q = parse_query(sql).unwrap();
+            Planner::new(&db)
+                .bind(&q)
+                .unwrap_or_else(|e| panic!("{name} failed to bind: {e}"));
+        }
+    }
+
+    #[test]
+    fn derived_table_schema_uses_alias() {
+        let b = plan(
+            "select c_count from (select c_custkey, count(*) as c_count \
+             from customer group by c_custkey) t",
+        );
+        let schema = b.core.schema();
+        assert!(schema.iter().all(|c| c.binding == "t"));
+        assert_eq!(schema[1].name, "c_count");
+    }
+}

@@ -1,0 +1,193 @@
+//! Query results: the shape the platform records, exports and compares.
+
+use crate::value::{self, Value};
+use std::fmt;
+
+/// A completed query result.
+#[derive(Debug, Clone, Default)]
+pub struct ResultSet {
+    pub columns: Vec<String>,
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl ResultSet {
+    pub fn new(columns: Vec<String>, rows: Vec<Vec<Value>>) -> Self {
+        ResultSet { columns, rows }
+    }
+
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// CSV export (the paper's "exported in CSV for post-processing").
+    /// Fields containing commas, quotes or newlines are quoted.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let write_row = |out: &mut String, cells: &[String]| {
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                if cell.contains([',', '"', '\n']) {
+                    out.push('"');
+                    out.push_str(&cell.replace('"', "\"\""));
+                    out.push('"');
+                } else {
+                    out.push_str(cell);
+                }
+            }
+            out.push('\n');
+        };
+        write_row(&mut out, &self.columns);
+        for row in &self.rows {
+            let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+            write_row(&mut out, &cells);
+        }
+        out
+    }
+
+    /// Compare against another result with relative tolerance `eps` on
+    /// numerics (the two engines use different arithmetic). Rows are
+    /// compared in order — run with ORDER BY, or call
+    /// [`Self::canonicalized`] first.
+    pub fn approx_eq(&self, other: &ResultSet, eps: f64) -> bool {
+        if self.columns.len() != other.columns.len() || self.rows.len() != other.rows.len() {
+            return false;
+        }
+        self.rows
+            .iter()
+            .zip(&other.rows)
+            .all(|(a, b)| rows_approx_eq(a, b, eps))
+    }
+
+    /// A copy with rows sorted canonically (by display text), for
+    /// order-insensitive comparison.
+    pub fn canonicalized(&self) -> ResultSet {
+        let mut rows = self.rows.clone();
+        rows.sort_by_key(|r| r.iter().map(|v| v.to_string()).collect::<Vec<_>>());
+        ResultSet {
+            columns: self.columns.clone(),
+            rows,
+        }
+    }
+}
+
+fn rows_approx_eq(a: &[Value], b: &[Value], eps: f64) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    a.iter().zip(b).all(|(x, y)| cell_approx_eq(x, y, eps))
+}
+
+fn cell_approx_eq(a: &Value, b: &Value, eps: f64) -> bool {
+    match (a.as_f64(), b.as_f64()) {
+        (Some(x), Some(y)) => {
+            let denom = x.abs().max(y.abs()).max(1.0);
+            (x - y).abs() / denom <= eps
+        }
+        _ => match (a, b) {
+            (Value::Null, Value::Null) => true,
+            _ => value::group_eq(a, b),
+        },
+    }
+}
+
+impl fmt::Display for ResultSet {
+    /// Pretty-print as an aligned text table (first 20 rows).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        const MAX_ROWS: usize = 20;
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        let shown: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .take(MAX_ROWS)
+            .map(|r| r.iter().map(|v| v.to_string()).collect())
+            .collect();
+        for row in &shown {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        for (i, c) in self.columns.iter().enumerate() {
+            if i > 0 {
+                write!(f, " | ")?;
+            }
+            write!(f, "{c:width$}", width = widths[i])?;
+        }
+        writeln!(f)?;
+        writeln!(f, "{}", "-".repeat(widths.iter().sum::<usize>() + 3 * widths.len().saturating_sub(1)))?;
+        for row in &shown {
+            for (i, cell) in row.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " | ")?;
+                }
+                write!(f, "{cell:width$}", width = widths[i])?;
+            }
+            writeln!(f)?;
+        }
+        if self.rows.len() > MAX_ROWS {
+            writeln!(f, "... {} more rows", self.rows.len() - MAX_ROWS)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rs(rows: Vec<Vec<Value>>) -> ResultSet {
+        ResultSet::new(vec!["a".into(), "b".into()], rows)
+    }
+
+    #[test]
+    fn csv_escaping() {
+        let r = ResultSet::new(
+            vec!["name".into()],
+            vec![vec![Value::Str("a,b".into())], vec![Value::Str("q\"x".into())]],
+        );
+        assert_eq!(r.to_csv(), "name\n\"a,b\"\n\"q\"\"x\"\n");
+    }
+
+    #[test]
+    fn approx_eq_tolerates_float_decimal_drift() {
+        let a = rs(vec![vec![Value::Float(100.000001), Value::Int(1)]]);
+        let b = rs(vec![vec![Value::cents(10_000), Value::Int(1)]]);
+        assert!(a.approx_eq(&b, 1e-6));
+        assert!(!a.approx_eq(&b, 1e-12));
+    }
+
+    #[test]
+    fn approx_eq_rejects_shape_mismatch() {
+        let a = rs(vec![vec![Value::Int(1), Value::Int(2)]]);
+        let b = rs(vec![]);
+        assert!(!a.approx_eq(&b, 1e-6));
+    }
+
+    #[test]
+    fn canonicalized_sorts_rows() {
+        let a = rs(vec![
+            vec![Value::Str("b".into()), Value::Int(2)],
+            vec![Value::Str("a".into()), Value::Int(1)],
+        ]);
+        let c = a.canonicalized();
+        assert_eq!(c.rows[0][0].to_string(), "a");
+    }
+
+    #[test]
+    fn display_renders_table() {
+        let r = rs(vec![vec![Value::Int(1), Value::Str("xy".into())]]);
+        let text = r.to_string();
+        assert!(text.contains("a"));
+        assert!(text.contains("xy"));
+    }
+
+    #[test]
+    fn nulls_compare_equal_to_nulls_only() {
+        let a = rs(vec![vec![Value::Null, Value::Int(1)]]);
+        let b = rs(vec![vec![Value::Null, Value::Int(1)]]);
+        let c = rs(vec![vec![Value::Int(0), Value::Int(1)]]);
+        assert!(a.approx_eq(&b, 0.0));
+        assert!(!a.approx_eq(&c, 0.0));
+    }
+}

@@ -1,0 +1,512 @@
+//! Columnar storage shared by both engines.
+//!
+//! A [`Database`] is a set of [`Table`]s; each table stores its columns as
+//! typed vectors ([`ColumnData`]). The row engine reads values cell by
+//! cell; the column engine borrows whole columns. Loaders build databases
+//! from the `sqalpel-datagen` generators.
+
+use crate::error::{EngineError, EngineResult};
+use crate::value::{Day, Value};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Column types understood by the storage layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColumnType {
+    Int,
+    /// Fixed-point decimal with the given scale.
+    Decimal(u8),
+    Str,
+    Date,
+    Float,
+}
+
+/// A typed column vector.
+#[derive(Debug, Clone)]
+pub enum ColumnData {
+    Int(Vec<i64>),
+    /// `raw / 10^scale`.
+    Decimal { raw: Vec<i64>, scale: u8 },
+    Str(Vec<String>),
+    Date(Vec<Day>),
+    Float(Vec<f64>),
+}
+
+impl ColumnData {
+    pub fn len(&self) -> usize {
+        match self {
+            ColumnData::Int(v) => v.len(),
+            ColumnData::Decimal { raw, .. } => raw.len(),
+            ColumnData::Str(v) => v.len(),
+            ColumnData::Date(v) => v.len(),
+            ColumnData::Float(v) => v.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn column_type(&self) -> ColumnType {
+        match self {
+            ColumnData::Int(_) => ColumnType::Int,
+            ColumnData::Decimal { scale, .. } => ColumnType::Decimal(*scale),
+            ColumnData::Str(_) => ColumnType::Str,
+            ColumnData::Date(_) => ColumnType::Date,
+            ColumnData::Float(_) => ColumnType::Float,
+        }
+    }
+
+    /// Read one cell as a [`Value`] (allocates for strings).
+    pub fn get(&self, idx: usize) -> Value {
+        match self {
+            ColumnData::Int(v) => Value::Int(v[idx]),
+            ColumnData::Decimal { raw, scale } => Value::Decimal {
+                raw: raw[idx] as i128,
+                scale: *scale,
+            },
+            ColumnData::Str(v) => Value::Str(v[idx].clone()),
+            ColumnData::Date(v) => Value::Date(v[idx]),
+            ColumnData::Float(v) => Value::Float(v[idx]),
+        }
+    }
+}
+
+/// A named column.
+#[derive(Debug, Clone)]
+pub struct Column {
+    pub name: String,
+    pub data: ColumnData,
+}
+
+/// A stored table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    pub name: String,
+    pub columns: Vec<Column>,
+    rows: usize,
+}
+
+impl Table {
+    /// Build a table, checking that all columns have equal length.
+    pub fn new(name: impl Into<String>, columns: Vec<Column>) -> EngineResult<Table> {
+        let name = name.into();
+        let rows = columns.first().map_or(0, |c| c.data.len());
+        for c in &columns {
+            if c.data.len() != rows {
+                return Err(EngineError::Type(format!(
+                    "column {} has {} rows, expected {rows}",
+                    c.name,
+                    c.data.len()
+                )));
+            }
+        }
+        Ok(Table {
+            name,
+            columns,
+            rows,
+        })
+    }
+
+    pub fn row_count(&self) -> usize {
+        self.rows
+    }
+
+    pub fn column(&self, name: &str) -> Option<&Column> {
+        self.columns.iter().find(|c| c.name == name)
+    }
+
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    pub fn column_names(&self) -> impl Iterator<Item = &str> {
+        self.columns.iter().map(|c| c.name.as_str())
+    }
+}
+
+/// An in-memory database: the catalog both engines execute against.
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    tables: HashMap<String, Arc<Table>>,
+}
+
+impl Database {
+    pub fn new() -> Database {
+        Database::default()
+    }
+
+    pub fn add_table(&mut self, table: Table) {
+        self.tables.insert(table.name.clone(), Arc::new(table));
+    }
+
+    pub fn table(&self, name: &str) -> EngineResult<&Arc<Table>> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| EngineError::UnknownTable(name.to_string()))
+    }
+
+    pub fn table_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.tables.keys().map(|s| s.as_str()).collect();
+        names.sort_unstable();
+        names
+    }
+
+    pub fn total_rows(&self) -> usize {
+        self.tables.values().map(|t| t.row_count()).sum()
+    }
+
+    /// Load a TPC-H database at the given scale factor and seed.
+    pub fn tpch(sf: f64, seed: u64) -> Database {
+        let data = sqalpel_datagen::TpchGen::new(sf, seed).generate();
+        Database::from_tpch_data(&data)
+    }
+
+    /// Load from already-generated TPC-H data.
+    pub fn from_tpch_data(d: &sqalpel_datagen::TpchData) -> Database {
+        let mut db = Database::new();
+
+        db.add_table(
+            Table::new(
+                "region",
+                vec![
+                    int_col("r_regionkey", d.region.iter().map(|r| r.r_regionkey)),
+                    str_col("r_name", d.region.iter().map(|r| r.r_name.clone())),
+                    str_col("r_comment", d.region.iter().map(|r| r.r_comment.clone())),
+                ],
+            )
+            .expect("region columns"),
+        );
+
+        db.add_table(
+            Table::new(
+                "nation",
+                vec![
+                    int_col("n_nationkey", d.nation.iter().map(|n| n.n_nationkey)),
+                    str_col("n_name", d.nation.iter().map(|n| n.n_name.clone())),
+                    int_col("n_regionkey", d.nation.iter().map(|n| n.n_regionkey)),
+                    str_col("n_comment", d.nation.iter().map(|n| n.n_comment.clone())),
+                ],
+            )
+            .expect("nation columns"),
+        );
+
+        db.add_table(
+            Table::new(
+                "supplier",
+                vec![
+                    int_col("s_suppkey", d.supplier.iter().map(|s| s.s_suppkey)),
+                    str_col("s_name", d.supplier.iter().map(|s| s.s_name.clone())),
+                    str_col("s_address", d.supplier.iter().map(|s| s.s_address.clone())),
+                    int_col("s_nationkey", d.supplier.iter().map(|s| s.s_nationkey)),
+                    str_col("s_phone", d.supplier.iter().map(|s| s.s_phone.clone())),
+                    dec_col("s_acctbal", d.supplier.iter().map(|s| s.s_acctbal), 2),
+                    str_col("s_comment", d.supplier.iter().map(|s| s.s_comment.clone())),
+                ],
+            )
+            .expect("supplier columns"),
+        );
+
+        db.add_table(
+            Table::new(
+                "part",
+                vec![
+                    int_col("p_partkey", d.part.iter().map(|p| p.p_partkey)),
+                    str_col("p_name", d.part.iter().map(|p| p.p_name.clone())),
+                    str_col("p_mfgr", d.part.iter().map(|p| p.p_mfgr.clone())),
+                    str_col("p_brand", d.part.iter().map(|p| p.p_brand.clone())),
+                    str_col("p_type", d.part.iter().map(|p| p.p_type.clone())),
+                    int_col("p_size", d.part.iter().map(|p| p.p_size)),
+                    str_col("p_container", d.part.iter().map(|p| p.p_container.clone())),
+                    dec_col("p_retailprice", d.part.iter().map(|p| p.p_retailprice), 2),
+                    str_col("p_comment", d.part.iter().map(|p| p.p_comment.clone())),
+                ],
+            )
+            .expect("part columns"),
+        );
+
+        db.add_table(
+            Table::new(
+                "partsupp",
+                vec![
+                    int_col("ps_partkey", d.partsupp.iter().map(|p| p.ps_partkey)),
+                    int_col("ps_suppkey", d.partsupp.iter().map(|p| p.ps_suppkey)),
+                    int_col("ps_availqty", d.partsupp.iter().map(|p| p.ps_availqty)),
+                    dec_col("ps_supplycost", d.partsupp.iter().map(|p| p.ps_supplycost), 2),
+                    str_col("ps_comment", d.partsupp.iter().map(|p| p.ps_comment.clone())),
+                ],
+            )
+            .expect("partsupp columns"),
+        );
+
+        db.add_table(
+            Table::new(
+                "customer",
+                vec![
+                    int_col("c_custkey", d.customer.iter().map(|c| c.c_custkey)),
+                    str_col("c_name", d.customer.iter().map(|c| c.c_name.clone())),
+                    str_col("c_address", d.customer.iter().map(|c| c.c_address.clone())),
+                    int_col("c_nationkey", d.customer.iter().map(|c| c.c_nationkey)),
+                    str_col("c_phone", d.customer.iter().map(|c| c.c_phone.clone())),
+                    dec_col("c_acctbal", d.customer.iter().map(|c| c.c_acctbal), 2),
+                    str_col("c_mktsegment", d.customer.iter().map(|c| c.c_mktsegment.clone())),
+                    str_col("c_comment", d.customer.iter().map(|c| c.c_comment.clone())),
+                ],
+            )
+            .expect("customer columns"),
+        );
+
+        db.add_table(
+            Table::new(
+                "orders",
+                vec![
+                    int_col("o_orderkey", d.orders.iter().map(|o| o.o_orderkey)),
+                    int_col("o_custkey", d.orders.iter().map(|o| o.o_custkey)),
+                    str_col("o_orderstatus", d.orders.iter().map(|o| o.o_orderstatus.clone())),
+                    dec_col("o_totalprice", d.orders.iter().map(|o| o.o_totalprice), 2),
+                    date_col("o_orderdate", d.orders.iter().map(|o| o.o_orderdate)),
+                    str_col(
+                        "o_orderpriority",
+                        d.orders.iter().map(|o| o.o_orderpriority.clone()),
+                    ),
+                    str_col("o_clerk", d.orders.iter().map(|o| o.o_clerk.clone())),
+                    int_col("o_shippriority", d.orders.iter().map(|o| o.o_shippriority)),
+                    str_col("o_comment", d.orders.iter().map(|o| o.o_comment.clone())),
+                ],
+            )
+            .expect("orders columns"),
+        );
+
+        db.add_table(
+            Table::new(
+                "lineitem",
+                vec![
+                    int_col("l_orderkey", d.lineitem.iter().map(|l| l.l_orderkey)),
+                    int_col("l_partkey", d.lineitem.iter().map(|l| l.l_partkey)),
+                    int_col("l_suppkey", d.lineitem.iter().map(|l| l.l_suppkey)),
+                    int_col("l_linenumber", d.lineitem.iter().map(|l| l.l_linenumber)),
+                    int_col("l_quantity", d.lineitem.iter().map(|l| l.l_quantity)),
+                    dec_col(
+                        "l_extendedprice",
+                        d.lineitem.iter().map(|l| l.l_extendedprice),
+                        2,
+                    ),
+                    dec_col("l_discount", d.lineitem.iter().map(|l| l.l_discount), 2),
+                    dec_col("l_tax", d.lineitem.iter().map(|l| l.l_tax), 2),
+                    str_col("l_returnflag", d.lineitem.iter().map(|l| l.l_returnflag.clone())),
+                    str_col("l_linestatus", d.lineitem.iter().map(|l| l.l_linestatus.clone())),
+                    date_col("l_shipdate", d.lineitem.iter().map(|l| l.l_shipdate)),
+                    date_col("l_commitdate", d.lineitem.iter().map(|l| l.l_commitdate)),
+                    date_col("l_receiptdate", d.lineitem.iter().map(|l| l.l_receiptdate)),
+                    str_col(
+                        "l_shipinstruct",
+                        d.lineitem.iter().map(|l| l.l_shipinstruct.clone()),
+                    ),
+                    str_col("l_shipmode", d.lineitem.iter().map(|l| l.l_shipmode.clone())),
+                    str_col("l_comment", d.lineitem.iter().map(|l| l.l_comment.clone())),
+                ],
+            )
+            .expect("lineitem columns"),
+        );
+
+        db
+    }
+
+    /// Load a TPC-H + SSB database (adds `date_dim` and `lineorder`).
+    pub fn ssb(sf: f64, seed: u64) -> Database {
+        let data = sqalpel_datagen::TpchGen::new(sf, seed).generate();
+        let ssb = sqalpel_datagen::ssb::from_tpch(&data);
+        let mut db = Database::from_tpch_data(&data);
+        db.add_table(
+            Table::new(
+                "date_dim",
+                vec![
+                    date_col("d_datekey", ssb.date_dim.iter().map(|d| d.d_datekey)),
+                    str_col("d_date", ssb.date_dim.iter().map(|d| d.d_date.clone())),
+                    int_col("d_year", ssb.date_dim.iter().map(|d| d.d_year)),
+                    int_col("d_month", ssb.date_dim.iter().map(|d| d.d_month)),
+                    int_col("d_yearmonthnum", ssb.date_dim.iter().map(|d| d.d_yearmonthnum)),
+                    int_col("d_weeknuminyear", ssb.date_dim.iter().map(|d| d.d_weeknuminyear)),
+                    str_col(
+                        "d_sellingseason",
+                        ssb.date_dim.iter().map(|d| d.d_sellingseason.clone()),
+                    ),
+                ],
+            )
+            .expect("date_dim columns"),
+        );
+        db.add_table(
+            Table::new(
+                "lineorder",
+                vec![
+                    int_col("lo_orderkey", ssb.lineorder.iter().map(|l| l.lo_orderkey)),
+                    int_col("lo_linenumber", ssb.lineorder.iter().map(|l| l.lo_linenumber)),
+                    int_col("lo_custkey", ssb.lineorder.iter().map(|l| l.lo_custkey)),
+                    int_col("lo_partkey", ssb.lineorder.iter().map(|l| l.lo_partkey)),
+                    int_col("lo_suppkey", ssb.lineorder.iter().map(|l| l.lo_suppkey)),
+                    date_col("lo_orderdate", ssb.lineorder.iter().map(|l| l.lo_orderdate)),
+                    str_col(
+                        "lo_orderpriority",
+                        ssb.lineorder.iter().map(|l| l.lo_orderpriority.clone()),
+                    ),
+                    int_col("lo_quantity", ssb.lineorder.iter().map(|l| l.lo_quantity)),
+                    dec_col(
+                        "lo_extendedprice",
+                        ssb.lineorder.iter().map(|l| l.lo_extendedprice),
+                        2,
+                    ),
+                    dec_col("lo_discount", ssb.lineorder.iter().map(|l| l.lo_discount), 2),
+                    dec_col("lo_revenue", ssb.lineorder.iter().map(|l| l.lo_revenue), 2),
+                    dec_col("lo_supplycost", ssb.lineorder.iter().map(|l| l.lo_supplycost), 2),
+                ],
+            )
+            .expect("lineorder columns"),
+        );
+        db
+    }
+
+    /// Load the synthetic airtraffic database (`ontime` table).
+    pub fn airtraffic(flights_per_day: usize, year: i32, seed: u64) -> Database {
+        let flights = sqalpel_datagen::airtraffic::AirTrafficGen::new(flights_per_day, year, seed)
+            .generate();
+        let mut db = Database::new();
+        db.add_table(
+            Table::new(
+                "ontime",
+                vec![
+                    date_col("flightdate", flights.iter().map(|f| f.flightdate)),
+                    str_col("carrier", flights.iter().map(|f| f.carrier.clone())),
+                    int_col("flightnum", flights.iter().map(|f| f.flightnum)),
+                    str_col("origin", flights.iter().map(|f| f.origin.clone())),
+                    str_col("dest", flights.iter().map(|f| f.dest.clone())),
+                    int_col("depdelay", flights.iter().map(|f| f.depdelay)),
+                    int_col("arrdelay", flights.iter().map(|f| f.arrdelay)),
+                    int_col("distance", flights.iter().map(|f| f.distance)),
+                    int_col("cancelled", flights.iter().map(|f| f.cancelled as i64)),
+                ],
+            )
+            .expect("ontime columns"),
+        );
+        db
+    }
+}
+
+/// Helper: integer column from an iterator.
+pub fn int_col(name: &str, values: impl Iterator<Item = i64>) -> Column {
+    Column {
+        name: name.to_string(),
+        data: ColumnData::Int(values.collect()),
+    }
+}
+
+/// Helper: decimal column from raw fixed-point values.
+pub fn dec_col(name: &str, values: impl Iterator<Item = i64>, scale: u8) -> Column {
+    Column {
+        name: name.to_string(),
+        data: ColumnData::Decimal {
+            raw: values.collect(),
+            scale,
+        },
+    }
+}
+
+/// Helper: string column.
+pub fn str_col(name: &str, values: impl Iterator<Item = String>) -> Column {
+    Column {
+        name: name.to_string(),
+        data: ColumnData::Str(values.collect()),
+    }
+}
+
+/// Helper: date column.
+pub fn date_col(name: &str, values: impl Iterator<Item = Day>) -> Column {
+    Column {
+        name: name.to_string(),
+        data: ColumnData::Date(values.collect()),
+    }
+}
+
+/// Helper: float column.
+pub fn float_col(name: &str, values: impl Iterator<Item = f64>) -> Column {
+    Column {
+        name: name.to_string(),
+        data: ColumnData::Float(values.collect()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mismatched_column_lengths_rejected() {
+        let t = Table::new(
+            "t",
+            vec![
+                int_col("a", [1, 2, 3].into_iter()),
+                int_col("b", [1, 2].into_iter()),
+            ],
+        );
+        assert!(t.is_err());
+    }
+
+    #[test]
+    fn tpch_database_has_all_tables() {
+        let db = Database::tpch(0.001, 42);
+        assert_eq!(
+            db.table_names(),
+            vec![
+                "customer", "lineitem", "nation", "orders", "part", "partsupp", "region",
+                "supplier"
+            ]
+        );
+        assert_eq!(db.table("nation").unwrap().row_count(), 25);
+        assert_eq!(db.table("lineitem").unwrap().columns.len(), 16);
+    }
+
+    #[test]
+    fn unknown_table_errors() {
+        let db = Database::tpch(0.001, 42);
+        assert!(matches!(
+            db.table("nonexistent"),
+            Err(EngineError::UnknownTable(_))
+        ));
+    }
+
+    #[test]
+    fn cell_access_types() {
+        let db = Database::tpch(0.001, 42);
+        let li = db.table("lineitem").unwrap();
+        let price = li.column("l_extendedprice").unwrap();
+        assert!(matches!(price.data.get(0), Value::Decimal { scale: 2, .. }));
+        let ship = li.column("l_shipdate").unwrap();
+        assert!(matches!(ship.data.get(0), Value::Date(_)));
+        let flag = li.column("l_returnflag").unwrap();
+        assert!(matches!(flag.data.get(0), Value::Str(_)));
+    }
+
+    #[test]
+    fn ssb_database_adds_star_tables() {
+        let db = Database::ssb(0.001, 42);
+        assert!(db.table("lineorder").is_ok());
+        assert!(db.table("date_dim").is_ok());
+        assert_eq!(db.table("date_dim").unwrap().row_count(), 2557);
+    }
+
+    #[test]
+    fn airtraffic_database() {
+        let db = Database::airtraffic(5, 2015, 9);
+        let t = db.table("ontime").unwrap();
+        assert_eq!(t.row_count(), 5 * 365);
+        assert!(t.column("carrier").is_some());
+    }
+
+    #[test]
+    fn column_lookup() {
+        let db = Database::tpch(0.001, 42);
+        let n = db.table("nation").unwrap();
+        assert_eq!(n.column_index("n_name"), Some(1));
+        assert_eq!(n.column_index("bogus"), None);
+        assert_eq!(n.column_names().count(), 4);
+    }
+}

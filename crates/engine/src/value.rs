@@ -1,0 +1,599 @@
+//! Runtime values and scalar operations.
+//!
+//! The two engines deliberately use **different arithmetic** over the same
+//! stored data (this asymmetry is what makes them discriminative targets,
+//! mirroring the paper's MonetDB Figure 2 anecdote):
+//!
+//! - the row engine converts decimals to `f64` on touch and computes in
+//!   floating point ([`ArithMode::Float`]);
+//! - the column engine keeps decimals fixed-point and widens every
+//!   multiplication to `i128` with an explicit overflow guard
+//!   ([`ArithMode::GuardedDecimal`]), like MonetDB's type-cast guards.
+
+use crate::error::{EngineError, EngineResult};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Days since 1970-01-01 (shared with `sqalpel-datagen`).
+pub type Day = i32;
+
+/// A runtime value.
+#[derive(Debug, Clone)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Int(i64),
+    Float(f64),
+    /// Fixed-point decimal: `raw / 10^scale`.
+    Decimal { raw: i128, scale: u8 },
+    Str(String),
+    Date(Day),
+    /// Calendar interval (months are kept symbolic, days exact).
+    Interval { months: i32, days: i32 },
+}
+
+impl Value {
+    /// Fixed-point constructor.
+    pub fn decimal(raw: i128, scale: u8) -> Value {
+        Value::Decimal { raw, scale }
+    }
+
+    /// Money in cents (scale 2).
+    pub fn cents(raw: i64) -> Value {
+        Value::Decimal {
+            raw: raw as i128,
+            scale: 2,
+        }
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Numeric view as f64 (`None` for non-numeric values).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            Value::Decimal { raw, scale } => Some(*raw as f64 / 10f64.powi(*scale as i32)),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// True when the value is any numeric type.
+    pub fn is_numeric(&self) -> bool {
+        matches!(self, Value::Int(_) | Value::Float(_) | Value::Decimal { .. })
+    }
+
+    /// SQL type name for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "boolean",
+            Value::Int(_) => "integer",
+            Value::Float(_) => "double",
+            Value::Decimal { .. } => "decimal",
+            Value::Str(_) => "varchar",
+            Value::Date(_) => "date",
+            Value::Interval { .. } => "interval",
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("NULL"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Decimal { raw, scale } => {
+                if *scale == 0 {
+                    write!(f, "{raw}")
+                } else {
+                    let div = 10i128.pow(*scale as u32);
+                    let sign = if *raw < 0 { "-" } else { "" };
+                    let a = raw.unsigned_abs();
+                    write!(
+                        f,
+                        "{sign}{}.{:0width$}",
+                        a / div as u128,
+                        a % div as u128,
+                        width = *scale as usize
+                    )
+                }
+            }
+            Value::Str(s) => f.write_str(s),
+            Value::Date(d) => f.write_str(&sqalpel_datagen::calendar::format_days(*d)),
+            Value::Interval { months, days } => write!(f, "{months} months {days} days"),
+        }
+    }
+}
+
+/// Which arithmetic discipline to use (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArithMode {
+    /// Convert decimals to f64 immediately; never overflows, loses
+    /// precision. The row engine's behaviour.
+    Float,
+    /// Fixed-point with i128 widening and overflow checks. The column
+    /// engine's behaviour; costs extra work per multiplication.
+    GuardedDecimal,
+}
+
+fn rescale(raw: i128, from: u8, to: u8) -> EngineResult<i128> {
+    match from.cmp(&to) {
+        Ordering::Equal => Ok(raw),
+        Ordering::Less => raw
+            .checked_mul(10i128.pow((to - from) as u32))
+            .ok_or_else(|| EngineError::Overflow("decimal rescale".into())),
+        Ordering::Greater => Ok(raw / 10i128.pow((from - to) as u32)),
+    }
+}
+
+/// Add two values under the given arithmetic mode.
+pub fn add(a: &Value, b: &Value, mode: ArithMode) -> EngineResult<Value> {
+    numeric_or_temporal(a, b, mode, "+")
+}
+
+/// Subtract.
+pub fn sub(a: &Value, b: &Value, mode: ArithMode) -> EngineResult<Value> {
+    match (a, b) {
+        (Value::Date(d), Value::Date(e)) => Ok(Value::Int((*d - *e) as i64)),
+        (Value::Date(d), Value::Interval { months, days }) => {
+            Ok(Value::Date(shift_date(*d, -months, -days)))
+        }
+        _ => {
+            let neg = negate(b, mode)?;
+            numeric_or_temporal(a, &neg, mode, "-")
+        }
+    }
+}
+
+fn shift_date(d: Day, months: i32, days: i32) -> Day {
+    let with_months = if months != 0 {
+        sqalpel_datagen::calendar::add_months(d, months)
+    } else {
+        d
+    };
+    with_months + days
+}
+
+fn numeric_or_temporal(a: &Value, b: &Value, mode: ArithMode, op: &str) -> EngineResult<Value> {
+    match (a, b) {
+        (Value::Null, _) | (_, Value::Null) => Ok(Value::Null),
+        (Value::Date(d), Value::Interval { months, days })
+        | (Value::Interval { months, days }, Value::Date(d)) => {
+            Ok(Value::Date(shift_date(*d, *months, *days)))
+        }
+        (Value::Date(d), Value::Int(n)) => Ok(Value::Date(*d + *n as i32)),
+        (Value::Int(x), Value::Int(y)) => x
+            .checked_add(*y)
+            .map(Value::Int)
+            .ok_or_else(|| EngineError::Overflow("integer +".into())),
+        _ if a.is_numeric() && b.is_numeric() => match mode {
+            ArithMode::Float => Ok(Value::Float(a.as_f64().unwrap() + b.as_f64().unwrap())),
+            ArithMode::GuardedDecimal => {
+                let (ar, asc) = to_decimal(a);
+                let (br, bsc) = to_decimal(b);
+                match (ar, br) {
+                    (Some(ar), Some(br)) => {
+                        let scale = asc.max(bsc);
+                        let x = rescale(ar, asc, scale)?;
+                        let y = rescale(br, bsc, scale)?;
+                        x.checked_add(y)
+                            .map(|raw| Value::Decimal { raw, scale })
+                            .ok_or_else(|| EngineError::Overflow("decimal +".into()))
+                    }
+                    // A float operand forces float math even in guarded mode.
+                    _ => Ok(Value::Float(a.as_f64().unwrap() + b.as_f64().unwrap())),
+                }
+            }
+        },
+        _ => Err(EngineError::Type(format!(
+            "cannot apply {op} to {} and {}",
+            a.type_name(),
+            b.type_name()
+        ))),
+    }
+}
+
+/// Decimal view `(raw, scale)`; `None` raw for floats.
+fn to_decimal(v: &Value) -> (Option<i128>, u8) {
+    match v {
+        Value::Int(i) => (Some(*i as i128), 0),
+        Value::Decimal { raw, scale } => (Some(*raw), *scale),
+        _ => (None, 0),
+    }
+}
+
+/// Negate a numeric value.
+pub fn negate(v: &Value, _mode: ArithMode) -> EngineResult<Value> {
+    match v {
+        Value::Null => Ok(Value::Null),
+        Value::Int(i) => Ok(Value::Int(-i)),
+        Value::Float(f) => Ok(Value::Float(-f)),
+        Value::Decimal { raw, scale } => Ok(Value::Decimal {
+            raw: -raw,
+            scale: *scale,
+        }),
+        Value::Interval { months, days } => Ok(Value::Interval {
+            months: -months,
+            days: -days,
+        }),
+        other => Err(EngineError::Type(format!("cannot negate {}", other.type_name()))),
+    }
+}
+
+/// Multiply. In guarded mode this is the expensive path: both operands are
+/// widened to i128, the product checked, and the result scale capped at 6
+/// by an extra rescale division — the "type casts to guard against
+/// overflow" the paper attributes MonetDB's Q1 cost to.
+pub fn mul(a: &Value, b: &Value, mode: ArithMode) -> EngineResult<Value> {
+    match (a, b) {
+        (Value::Null, _) | (_, Value::Null) => Ok(Value::Null),
+        (Value::Int(x), Value::Int(y)) => x
+            .checked_mul(*y)
+            .map(Value::Int)
+            .ok_or_else(|| EngineError::Overflow("integer *".into())),
+        _ if a.is_numeric() && b.is_numeric() => match mode {
+            ArithMode::Float => Ok(Value::Float(a.as_f64().unwrap() * b.as_f64().unwrap())),
+            ArithMode::GuardedDecimal => {
+                let (ar, asc) = to_decimal(a);
+                let (br, bsc) = to_decimal(b);
+                match (ar, br) {
+                    (Some(ar), Some(br)) => {
+                        let raw = ar
+                            .checked_mul(br)
+                            .ok_or_else(|| EngineError::Overflow("decimal *".into()))?;
+                        let mut scale = asc + bsc;
+                        let mut raw = raw;
+                        // Cap the scale at 6 to bound growth across chained
+                        // multiplications; each cap costs a division.
+                        while scale > 6 {
+                            raw /= 10;
+                            scale -= 1;
+                        }
+                        Ok(Value::Decimal { raw, scale })
+                    }
+                    _ => Ok(Value::Float(a.as_f64().unwrap() * b.as_f64().unwrap())),
+                }
+            }
+        },
+        _ => Err(EngineError::Type(format!(
+            "cannot multiply {} and {}",
+            a.type_name(),
+            b.type_name()
+        ))),
+    }
+}
+
+/// Divide. Division always produces a float (both engines): fixed-point
+/// division semantics add nothing to the cost-model story.
+pub fn div(a: &Value, b: &Value, _mode: ArithMode) -> EngineResult<Value> {
+    match (a, b) {
+        (Value::Null, _) | (_, Value::Null) => Ok(Value::Null),
+        _ if a.is_numeric() && b.is_numeric() => {
+            let d = b.as_f64().unwrap();
+            if d == 0.0 {
+                return Err(EngineError::Type("division by zero".into()));
+            }
+            Ok(Value::Float(a.as_f64().unwrap() / d))
+        }
+        _ => Err(EngineError::Type(format!(
+            "cannot divide {} by {}",
+            a.type_name(),
+            b.type_name()
+        ))),
+    }
+}
+
+/// Modulo on integers.
+pub fn rem(a: &Value, b: &Value) -> EngineResult<Value> {
+    match (a, b) {
+        (Value::Null, _) | (_, Value::Null) => Ok(Value::Null),
+        (Value::Int(x), Value::Int(y)) if *y != 0 => Ok(Value::Int(x % y)),
+        (Value::Int(_), Value::Int(_)) => Err(EngineError::Type("modulo by zero".into())),
+        _ => Err(EngineError::Type(format!(
+            "cannot apply % to {} and {}",
+            a.type_name(),
+            b.type_name()
+        ))),
+    }
+}
+
+/// String concatenation.
+pub fn concat(a: &Value, b: &Value) -> EngineResult<Value> {
+    match (a, b) {
+        (Value::Null, _) | (_, Value::Null) => Ok(Value::Null),
+        _ => Ok(Value::Str(format!("{a}{b}"))),
+    }
+}
+
+/// SQL comparison: `None` when either side is NULL (three-valued logic),
+/// error on incomparable types.
+pub fn compare(a: &Value, b: &Value) -> EngineResult<Option<Ordering>> {
+    match (a, b) {
+        (Value::Null, _) | (_, Value::Null) => Ok(None),
+        (Value::Bool(x), Value::Bool(y)) => Ok(Some(x.cmp(y))),
+        (Value::Str(x), Value::Str(y)) => Ok(Some(x.as_str().cmp(y.as_str()))),
+        (Value::Date(x), Value::Date(y)) => Ok(Some(x.cmp(y))),
+        (Value::Int(x), Value::Int(y)) => Ok(Some(x.cmp(y))),
+        (Value::Decimal { raw: xr, scale: xs }, Value::Decimal { raw: yr, scale: ys }) => {
+            // Compare in the wider scale; i128 is ample for stored data.
+            let s = (*xs).max(*ys);
+            let x = rescale(*xr, *xs, s)?;
+            let y = rescale(*yr, *ys, s)?;
+            Ok(Some(x.cmp(&y)))
+        }
+        _ if a.is_numeric() && b.is_numeric() => {
+            let (x, y) = (a.as_f64().unwrap(), b.as_f64().unwrap());
+            Ok(x.partial_cmp(&y))
+        }
+        _ => Err(EngineError::Type(format!(
+            "cannot compare {} with {}",
+            a.type_name(),
+            b.type_name()
+        ))),
+    }
+}
+
+/// Equality for grouping/dedup/hash-join keys: NULL groups with NULL
+/// (SQL `GROUP BY` semantics), numerics compare by value.
+pub fn group_eq(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::Null, Value::Null) => true,
+        (Value::Null, _) | (_, Value::Null) => false,
+        _ => matches!(compare(a, b), Ok(Some(Ordering::Equal))),
+    }
+}
+
+/// A hashable key image of a value for hash joins and grouping.
+/// Numeric values of different representations map to the same key.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Key {
+    Null,
+    Bool(bool),
+    Int(i64),
+    /// Float bits (canonicalized so `-0.0 == 0.0`).
+    Float(u64),
+    /// Decimal normalized to scale 6.
+    Decimal(i128),
+    Str(String),
+    Date(Day),
+}
+
+impl Value {
+    /// The grouping/hashing key image. Numerics that compare equal map to
+    /// the same key (ints and decimals normalize to scale-6 decimals;
+    /// floats hash by bits).
+    pub fn key(&self) -> EngineResult<Key> {
+        Ok(match self {
+            Value::Null => Key::Null,
+            Value::Bool(b) => Key::Bool(*b),
+            Value::Int(i) => Key::Decimal(*i as i128 * 1_000_000),
+            Value::Float(f) => {
+                let c = if *f == 0.0 { 0.0 } else { *f };
+                if c.fract() == 0.0 && c.abs() < 1e18 {
+                    Key::Decimal(c as i128 * 1_000_000)
+                } else {
+                    Key::Float(c.to_bits())
+                }
+            }
+            Value::Decimal { raw, scale } => Key::Decimal(rescale(*raw, *scale, 6)?),
+            Value::Str(s) => Key::Str(s.clone()),
+            Value::Date(d) => Key::Date(*d),
+            Value::Interval { .. } => {
+                return Err(EngineError::Type("interval cannot be a key".into()))
+            }
+        })
+    }
+}
+
+/// SQL `LIKE` with `%` and `_` wildcards (iterative two-pointer matcher).
+pub fn like_match(text: &str, pattern: &str) -> bool {
+    let t: Vec<char> = text.chars().collect();
+    let p: Vec<char> = pattern.chars().collect();
+    let (mut ti, mut pi) = (0usize, 0usize);
+    let (mut star, mut mark) = (None::<usize>, 0usize);
+    while ti < t.len() {
+        // The '%' wildcard must be tested before the literal match: a
+        // literal '%' in the *text* would otherwise shadow it.
+        if pi < p.len() && p[pi] == '%' {
+            star = Some(pi);
+            mark = ti;
+            pi += 1;
+        } else if pi < p.len() && (p[pi] == '_' || p[pi] == t[ti]) {
+            ti += 1;
+            pi += 1;
+        } else if let Some(s) = star {
+            // Backtrack: let the last % absorb one more character.
+            pi = s + 1;
+            mark += 1;
+            ti = mark;
+        } else {
+            return false;
+        }
+    }
+    while pi < p.len() && p[pi] == '%' {
+        pi += 1;
+    }
+    pi == p.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decimal_display() {
+        assert_eq!(Value::cents(12345).to_string(), "123.45");
+        assert_eq!(Value::cents(-205).to_string(), "-2.05");
+        assert_eq!(Value::decimal(5, 2).to_string(), "0.05");
+        assert_eq!(Value::decimal(7, 0).to_string(), "7");
+    }
+
+    #[test]
+    fn float_vs_guarded_mul() {
+        let price = Value::cents(100_000); // 1000.00
+        let disc = Value::decimal(5, 2); // 0.05
+        let f = mul(&price, &disc, ArithMode::Float).unwrap();
+        let g = mul(&price, &disc, ArithMode::GuardedDecimal).unwrap();
+        assert!(matches!(f, Value::Float(x) if (x - 50.0).abs() < 1e-9));
+        match g {
+            Value::Decimal { raw, scale } => {
+                assert_eq!(scale, 4);
+                assert_eq!(raw, 500_000); // 50.0000
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn guarded_mul_caps_scale() {
+        let a = Value::decimal(123_456, 4);
+        let b = Value::decimal(789_012, 4);
+        match mul(&a, &b, ArithMode::GuardedDecimal).unwrap() {
+            Value::Decimal { scale, .. } => assert_eq!(scale, 6),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn guarded_overflow_detected() {
+        let big = Value::decimal(i128::MAX / 2, 2);
+        assert!(matches!(
+            mul(&big, &big, ArithMode::GuardedDecimal),
+            Err(EngineError::Overflow(_))
+        ));
+    }
+
+    #[test]
+    fn integer_overflow_detected() {
+        assert!(matches!(
+            add(&Value::Int(i64::MAX), &Value::Int(1), ArithMode::Float),
+            Err(EngineError::Overflow(_))
+        ));
+    }
+
+    #[test]
+    fn date_interval_arithmetic() {
+        let d = Value::Date(sqalpel_datagen::calendar::parse_days("1994-01-01").unwrap());
+        let plus_year = add(
+            &d,
+            &Value::Interval { months: 12, days: 0 },
+            ArithMode::Float,
+        )
+        .unwrap();
+        assert_eq!(plus_year.to_string(), "1995-01-01");
+        let minus_90 = sub(&d, &Value::Interval { months: 0, days: 90 }, ArithMode::Float).unwrap();
+        assert_eq!(minus_90.to_string(), "1993-10-03");
+    }
+
+    #[test]
+    fn date_difference_in_days() {
+        let a = Value::Date(10);
+        let b = Value::Date(3);
+        assert!(matches!(sub(&a, &b, ArithMode::Float).unwrap(), Value::Int(7)));
+    }
+
+    #[test]
+    fn null_propagates() {
+        assert!(add(&Value::Null, &Value::Int(1), ArithMode::Float)
+            .unwrap()
+            .is_null());
+        assert!(mul(&Value::cents(1), &Value::Null, ArithMode::GuardedDecimal)
+            .unwrap()
+            .is_null());
+        assert_eq!(compare(&Value::Null, &Value::Int(1)).unwrap(), None);
+    }
+
+    #[test]
+    fn comparisons_across_numeric_types() {
+        let c = compare(&Value::Int(5), &Value::cents(500)).unwrap();
+        assert_eq!(c, Some(Ordering::Equal));
+        let d = compare(&Value::decimal(5, 2), &Value::Float(0.05)).unwrap();
+        assert_eq!(d, Some(Ordering::Equal));
+        let e = compare(&Value::decimal(51, 3), &Value::decimal(5, 2)).unwrap();
+        assert_eq!(e, Some(Ordering::Greater));
+    }
+
+    #[test]
+    fn incomparable_types_error() {
+        assert!(compare(&Value::Int(1), &Value::Str("x".into())).is_err());
+    }
+
+    #[test]
+    fn keys_unify_numeric_representations() {
+        assert_eq!(
+            Value::Int(5).key().unwrap(),
+            Value::cents(500).key().unwrap()
+        );
+        assert_eq!(
+            Value::Float(5.0).key().unwrap(),
+            Value::Int(5).key().unwrap()
+        );
+        assert_ne!(
+            Value::Int(5).key().unwrap(),
+            Value::Int(6).key().unwrap()
+        );
+    }
+
+    #[test]
+    fn division() {
+        let v = div(&Value::Int(7), &Value::Int(2), ArithMode::Float).unwrap();
+        assert!(matches!(v, Value::Float(x) if (x - 3.5).abs() < 1e-12));
+        assert!(div(&Value::Int(1), &Value::Int(0), ArithMode::Float).is_err());
+    }
+
+    #[test]
+    fn like_patterns() {
+        assert!(like_match("PROMO ANODIZED TIN", "PROMO%"));
+        assert!(like_match("ECONOMY BRASS", "%BRASS"));
+        assert!(like_match("abc special xyz requests q", "%special%requests%"));
+        assert!(!like_match("specialrequests", "%special_%requests%"));
+        assert!(like_match("a", "_"));
+        assert!(!like_match("ab", "_"));
+        assert!(like_match("", "%"));
+        assert!(!like_match("", "_"));
+        // A literal '%' in the text must not confuse the wildcard.
+        assert!(like_match("%a", "%"));
+        assert!(like_match("100%", "100%"));
+        assert!(like_match("100% done", "100%"));
+        assert!(like_match("MEDIUM POLISHED COPPER", "MEDIUM POLISHED%"));
+        assert!(!like_match("MEDIUM PLATED COPPER", "MEDIUM POLISHED%"));
+    }
+
+    #[test]
+    fn like_backtracking_stress() {
+        assert!(like_match(&"a".repeat(50), "%a%a%a%a%"));
+        assert!(!like_match(&"a".repeat(50), "%b%"));
+    }
+
+    #[test]
+    fn group_eq_null_semantics() {
+        assert!(group_eq(&Value::Null, &Value::Null));
+        assert!(!group_eq(&Value::Null, &Value::Int(0)));
+        assert!(group_eq(&Value::Int(2), &Value::cents(200)));
+    }
+
+    #[test]
+    fn concat_strings() {
+        let v = concat(&Value::Str("a".into()), &Value::Str("b".into())).unwrap();
+        assert_eq!(v.to_string(), "ab");
+    }
+}

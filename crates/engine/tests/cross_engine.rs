@@ -1,0 +1,100 @@
+//! Differential testing of the two engines (McKeeman-style, the lineage
+//! the paper cites): every TPC-H query must produce the same answer on
+//! RowStore 2.0, RowStore 1.4 (nested-loop) and ColStore, up to
+//! floating-point tolerance from their different arithmetic.
+
+use sqalpel_engine::{ColStore, Database, Dbms, RowStore};
+use std::sync::Arc;
+
+fn tpch_db() -> Arc<Database> {
+    Arc::new(Database::tpch(0.0005, 7))
+}
+
+#[test]
+fn all_tpch_queries_agree_across_engines() {
+    let db = tpch_db();
+    let row = RowStore::new(db.clone());
+    let col = ColStore::new(db.clone());
+    for (name, sql) in sqalpel_sql::tpch::all_queries() {
+        let a = row
+            .execute(sql)
+            .unwrap_or_else(|e| panic!("{name} failed on rowstore: {e}"));
+        let b = col
+            .execute(sql)
+            .unwrap_or_else(|e| panic!("{name} failed on colstore: {e}"));
+        // Queries ending in ORDER BY compare in order; ties in the sort
+        // keys may legitimately permute, so compare canonicalized.
+        assert!(
+            a.canonicalized().approx_eq(&b.canonicalized(), 1e-6),
+            "{name} diverged:\nrowstore:\n{a}\ncolstore:\n{b}"
+        );
+    }
+}
+
+#[test]
+fn legacy_rowstore_agrees_on_join_queries() {
+    let db = tpch_db();
+    let new = RowStore::new(db.clone());
+    let old = RowStore::legacy(db);
+    // The hash-join upgrade must not change answers (only speed).
+    for name in ["Q3", "Q5", "Q10", "Q12", "Q14"] {
+        let sql = sqalpel_sql::tpch::query(name).unwrap();
+        let a = new.execute(sql).unwrap();
+        let b = old.execute(sql).unwrap();
+        assert!(
+            a.canonicalized().approx_eq(&b.canonicalized(), 1e-9),
+            "{name} diverged between rowstore versions"
+        );
+    }
+}
+
+#[test]
+fn airtraffic_database_queries_agree() {
+    let db = Arc::new(Database::airtraffic(20, 2015, 3));
+    let row = RowStore::new(db.clone());
+    let col = ColStore::new(db);
+    let queries = [
+        "select carrier, count(*) as flights, avg(depdelay) as adelay \
+         from ontime where cancelled = 0 group by carrier order by adelay desc",
+        "select origin, count(*) from ontime group by origin order by count(*) desc limit 5",
+        "select count(*) from ontime where depdelay > 30 and distance > 1000",
+    ];
+    for sql in queries {
+        let a = row.execute(sql).unwrap();
+        let b = col.execute(sql).unwrap();
+        assert!(a.canonicalized().approx_eq(&b.canonicalized(), 1e-9), "{sql}");
+    }
+}
+
+#[test]
+fn ssb_database_queries_agree() {
+    let db = Arc::new(Database::ssb(0.0005, 7));
+    let row = RowStore::new(db.clone());
+    let col = ColStore::new(db);
+    // SSB Q1.1-shaped query over the star schema.
+    let sql = "select sum(lo_extendedprice * lo_discount) as revenue \
+               from lineorder, date_dim where lo_orderdate = d_datekey \
+               and d_year = 1993 and lo_discount between 1 and 3 and lo_quantity < 25";
+    let a = row.execute(sql).unwrap();
+    let b = col.execute(sql).unwrap();
+    assert!(a.approx_eq(&b, 1e-6), "\n{a}\nvs\n{b}");
+}
+
+#[test]
+fn ssb_flight_agrees_across_engines() {
+    let db = Arc::new(Database::ssb(0.0005, 7));
+    let row = RowStore::new(db.clone());
+    let col = ColStore::new(db);
+    for (name, sql) in sqalpel_sql::ssb::all_queries() {
+        let a = row
+            .execute(sql)
+            .unwrap_or_else(|e| panic!("{name} failed on rowstore: {e}"));
+        let b = col
+            .execute(sql)
+            .unwrap_or_else(|e| panic!("{name} failed on colstore: {e}"));
+        assert!(
+            a.canonicalized().approx_eq(&b.canonicalized(), 1e-6),
+            "{name} diverged:\nrowstore:\n{a}\ncolstore:\n{b}"
+        );
+    }
+}

@@ -1,0 +1,320 @@
+//! Golden SQL-semantics tests on a tiny hand-built database: exact
+//! expected outputs for the corners that differ between naive and correct
+//! implementations — NULL propagation through outer joins and aggregates,
+//! three-valued logic in filters, DISTINCT aggregates, HAVING over
+//! post-aggregation expressions, ORDER BY with NULLs and ties, LIMIT
+//! edges. Every assertion runs on both engines.
+
+use sqalpel_engine::storage::{dec_col, int_col, str_col, Table};
+use sqalpel_engine::{ColStore, Database, Dbms, ResultSet, RowStore, Value};
+use std::sync::Arc;
+
+/// people(id, name, dept, salary_cents), pets(owner_id, pet)
+/// dept "eng" has 2 people, "ops" 1, and one person (id 4) has no pets.
+fn tiny_db() -> Arc<Database> {
+    let mut db = Database::new();
+    db.add_table(
+        Table::new(
+            "people",
+            vec![
+                int_col("id", [1, 2, 3, 4].into_iter()),
+                str_col(
+                    "name",
+                    ["ann", "bob", "cat", "dan"].iter().map(|s| s.to_string()),
+                ),
+                str_col(
+                    "dept",
+                    ["eng", "eng", "ops", "ops"].iter().map(|s| s.to_string()),
+                ),
+                dec_col("salary", [100_00, 200_00, 150_00, 150_00].into_iter(), 2),
+            ],
+        )
+        .unwrap(),
+    );
+    db.add_table(
+        Table::new(
+            "pets",
+            vec![
+                int_col("owner_id", [1, 1, 2, 3].into_iter()),
+                str_col(
+                    "pet",
+                    ["cat", "dog", "fish", "cat"].iter().map(|s| s.to_string()),
+                ),
+            ],
+        )
+        .unwrap(),
+    );
+    Arc::new(db)
+}
+
+fn on_both(sql: &str, check: impl Fn(&ResultSet, &str)) {
+    let db = tiny_db();
+    for dbms in [
+        Box::new(RowStore::new(db.clone())) as Box<dyn Dbms>,
+        Box::new(ColStore::new(db.clone())),
+    ] {
+        let result = dbms
+            .execute(sql)
+            .unwrap_or_else(|e| panic!("{sql} failed on {}: {e}", dbms.label()));
+        check(&result, &dbms.label());
+    }
+}
+
+fn cell(r: &ResultSet, row: usize, col: usize) -> String {
+    r.rows[row][col].to_string()
+}
+
+#[test]
+fn left_outer_join_null_padding_and_count_semantics() {
+    // dan (id 4) has no pets: count(pet) must be 0 (NULLs skipped),
+    // count(*) must be 1 (the padded row exists).
+    on_both(
+        "select name, count(pet), count(*) from people \
+         left outer join pets on id = owner_id \
+         group by name order by name",
+        |r, label| {
+            assert_eq!(r.row_count(), 4, "{label}");
+            // ann: 2 pets; bob 1; cat 1; dan 0 but count(*) 1.
+            assert_eq!((cell(r, 0, 0), cell(r, 0, 1)), ("ann".into(), "2".into()), "{label}");
+            assert_eq!((cell(r, 3, 0), cell(r, 3, 1), cell(r, 3, 2)),
+                ("dan".into(), "0".into(), "1".into()), "{label}");
+        },
+    );
+}
+
+#[test]
+fn null_comparisons_filter_nothing_in() {
+    // pet IS NULL only for dan's padded row; pet = 'cat' excludes it by
+    // three-valued logic (NULL = 'cat' is NULL, not true).
+    on_both(
+        "select name from people left outer join pets on id = owner_id \
+         where pet = 'cat' order by name",
+        |r, label| {
+            assert_eq!(r.row_count(), 2, "{label}");
+            assert_eq!(cell(r, 0, 0), "ann", "{label}");
+            assert_eq!(cell(r, 1, 0), "cat", "{label}");
+        },
+    );
+    on_both(
+        "select name from people left outer join pets on id = owner_id \
+         where pet is null",
+        |r, label| {
+            assert_eq!(r.row_count(), 1, "{label}");
+            assert_eq!(cell(r, 0, 0), "dan", "{label}");
+        },
+    );
+}
+
+#[test]
+fn distinct_aggregate_vs_plain() {
+    on_both(
+        "select count(pet), count(distinct pet) from pets",
+        |r, label| {
+            assert_eq!(cell(r, 0, 0), "4", "{label}");
+            assert_eq!(cell(r, 0, 1), "3", "{label}"); // cat, dog, fish
+        },
+    );
+}
+
+#[test]
+fn having_filters_on_aggregates_not_rows() {
+    on_both(
+        "select dept, sum(salary) as total from people group by dept \
+         having sum(salary) > 250.00 order by dept",
+        |r, label| {
+            assert_eq!(r.row_count(), 2, "{label}");
+            assert_eq!(cell(r, 0, 0), "eng", "{label}");
+            assert_eq!(cell(r, 1, 0), "ops", "{label}");
+        },
+    );
+    on_both(
+        "select dept from people group by dept having count(*) > 2",
+        |r, label| assert_eq!(r.row_count(), 0, "{label}"),
+    );
+}
+
+#[test]
+fn avg_min_max_over_decimals() {
+    on_both(
+        "select avg(salary), min(salary), max(salary) from people",
+        |r, label| {
+            let avg = r.rows[0][0].as_f64().unwrap();
+            assert!((avg - 150.0).abs() < 1e-9, "{label}: {avg}");
+            assert_eq!(cell(r, 0, 1), "100.00", "{label}");
+            assert_eq!(cell(r, 0, 2), "200.00", "{label}");
+        },
+    );
+}
+
+#[test]
+fn order_by_ties_and_desc() {
+    // cat and dan tie on salary; secondary key disambiguates.
+    on_both(
+        "select name, salary from people order by salary desc, name desc",
+        |r, label| {
+            let names: Vec<String> = (0..4).map(|i| cell(r, i, 0)).collect();
+            assert_eq!(names, ["bob", "dan", "cat", "ann"], "{label}");
+        },
+    );
+}
+
+#[test]
+fn order_by_nulls_last() {
+    on_both(
+        "select name, pet from people left outer join pets on id = owner_id \
+         order by pet, name",
+        |r, label| {
+            // The NULL pet (dan) sorts last.
+            let last = r.rows.last().unwrap();
+            assert_eq!(last[0].to_string(), "dan", "{label}");
+            assert!(last[1].is_null(), "{label}");
+        },
+    );
+}
+
+#[test]
+fn limit_edges() {
+    on_both("select name from people order by name limit 0", |r, label| {
+        assert_eq!(r.row_count(), 0, "{label}");
+    });
+    on_both("select name from people order by name limit 99", |r, label| {
+        assert_eq!(r.row_count(), 4, "{label}");
+    });
+}
+
+#[test]
+fn distinct_rows() {
+    on_both("select distinct dept from people order by dept", |r, label| {
+        assert_eq!(r.row_count(), 2, "{label}");
+        assert_eq!(cell(r, 0, 0), "eng", "{label}");
+    });
+}
+
+#[test]
+fn case_with_null_operand_branches() {
+    on_both(
+        "select name, case when pet is null then 'lonely' else pet end as status \
+         from people left outer join pets on id = owner_id \
+         where name = 'dan'",
+        |r, label| {
+            assert_eq!(cell(r, 0, 1), "lonely", "{label}");
+        },
+    );
+}
+
+#[test]
+fn scalar_subquery_empty_is_null() {
+    on_both(
+        "select count(*) from people \
+         where salary > (select sum(salary) from people where dept = 'none')",
+        |r, label| {
+            // The subquery's sum over zero rows is NULL; NULL comparison
+            // filters everything.
+            assert_eq!(cell(r, 0, 0), "0", "{label}");
+        },
+    );
+}
+
+#[test]
+fn in_and_not_in_lists() {
+    on_both(
+        "select count(*) from people where dept in ('eng', 'hr')",
+        |r, label| assert_eq!(cell(r, 0, 0), "2", "{label}"),
+    );
+    on_both(
+        "select count(*) from people where dept not in ('eng')",
+        |r, label| assert_eq!(cell(r, 0, 0), "2", "{label}"),
+    );
+}
+
+#[test]
+fn arithmetic_and_division_in_projection() {
+    on_both(
+        "select name, salary * 2 as double_pay, salary / 4 as quarter \
+         from people where name = 'ann'",
+        |r, label| {
+            assert!((r.rows[0][1].as_f64().unwrap() - 200.0).abs() < 1e-9, "{label}");
+            assert!((r.rows[0][2].as_f64().unwrap() - 25.0).abs() < 1e-9, "{label}");
+        },
+    );
+}
+
+#[test]
+fn division_by_zero_is_an_error_run() {
+    let db = tiny_db();
+    for dbms in [
+        Box::new(RowStore::new(db.clone())) as Box<dyn Dbms>,
+        Box::new(ColStore::new(db.clone())),
+    ] {
+        let err = dbms
+            .execute("select salary / (id - id) from people")
+            .unwrap_err();
+        assert!(err.to_string().contains("division by zero"), "{}", dbms.label());
+    }
+}
+
+#[test]
+fn correlated_exists_and_not_exists() {
+    on_both(
+        "select name from people where exists \
+         (select * from pets where owner_id = id) order by name",
+        |r, label| {
+            assert_eq!(r.row_count(), 3, "{label}");
+        },
+    );
+    on_both(
+        "select name from people where not exists \
+         (select * from pets where owner_id = id)",
+        |r, label| {
+            assert_eq!(r.row_count(), 1, "{label}");
+            assert_eq!(cell(r, 0, 0), "dan", "{label}");
+        },
+    );
+}
+
+#[test]
+fn group_by_expression() {
+    on_both(
+        "select salary > 120.00 as well_paid, count(*) from people \
+         group by salary > 120.00 order by well_paid",
+        |r, label| {
+            assert_eq!(r.row_count(), 2, "{label}");
+            assert_eq!(cell(r, 0, 1), "1", "{label}"); // ann
+            assert_eq!(cell(r, 1, 1), "3", "{label}");
+        },
+    );
+}
+
+#[test]
+fn aggregate_of_expression_and_expression_of_aggregate() {
+    on_both(
+        "select sum(salary * 2), sum(salary) * 2 from people",
+        |r, label| {
+            let a = r.rows[0][0].as_f64().unwrap();
+            let b = r.rows[0][1].as_f64().unwrap();
+            assert!((a - 1200.0).abs() < 1e-9, "{label}");
+            assert!((a - b).abs() < 1e-9, "{label}");
+        },
+    );
+}
+
+#[test]
+fn wildcard_projection_matches_schema() {
+    on_both("select * from pets order by owner_id, pet", |r, label| {
+        assert_eq!(r.columns, vec!["owner_id", "pet"], "{label}");
+        assert_eq!(r.row_count(), 4, "{label}");
+        assert!(matches!(r.rows[0][0], Value::Int(1)), "{label}");
+    });
+}
+
+#[test]
+fn self_join_with_aliases() {
+    on_both(
+        "select count(*) from people a, people b \
+         where a.dept = b.dept and a.id < b.id",
+        |r, label| {
+            // eng pair (1,2) + ops pair (3,4).
+            assert_eq!(cell(r, 0, 0), "2", "{label}");
+        },
+    );
+}

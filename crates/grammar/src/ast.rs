@@ -1,0 +1,305 @@
+//! The SQALPEL query-space grammar: data model.
+//!
+//! A grammar is an ordered list of named rules; each rule has one or more
+//! alternatives; each alternative is a sequence of free-format text
+//! snippets and rule references (`${name}` required, `$[name]` optional,
+//! with a `*` suffix for repetition). The first rule is the start rule.
+//!
+//! Normalization (paper §3.1) classifies rules into **lexical** rules —
+//! every alternative is a pure text snippet; these define the literal
+//! classes whose members may each be used *at most once* per query — and
+//! **structural** rules, everything else.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One element of an alternative.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Element {
+    /// Literal text, emitted verbatim.
+    Text(String),
+    /// A rule reference.
+    Ref {
+        name: String,
+        /// `$[name]`: may be omitted.
+        optional: bool,
+        /// `${name}*`: may repeat (bounded by literal capacity).
+        star: bool,
+    },
+}
+
+impl Element {
+    pub fn text(s: impl Into<String>) -> Element {
+        Element::Text(s.into())
+    }
+
+    pub fn rref(name: impl Into<String>) -> Element {
+        Element::Ref {
+            name: name.into(),
+            optional: false,
+            star: false,
+        }
+    }
+
+    pub fn opt(name: impl Into<String>) -> Element {
+        Element::Ref {
+            name: name.into(),
+            optional: true,
+            star: false,
+        }
+    }
+
+    pub fn star(name: impl Into<String>) -> Element {
+        Element::Ref {
+            name: name.into(),
+            optional: false,
+            star: true,
+        }
+    }
+}
+
+impl fmt::Display for Element {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Element::Text(t) => f.write_str(t),
+            Element::Ref {
+                name,
+                optional,
+                star,
+            } => {
+                if *optional {
+                    write!(f, "$[{name}]")?;
+                } else {
+                    write!(f, "${{{name}}}")?;
+                }
+                if *star {
+                    f.write_str("*")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// One alternative: a sequence of elements.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Alternative {
+    pub elements: Vec<Element>,
+}
+
+impl Alternative {
+    pub fn new(elements: Vec<Element>) -> Self {
+        Alternative { elements }
+    }
+
+    /// All rule names referenced by this alternative.
+    pub fn references(&self) -> impl Iterator<Item = &str> {
+        self.elements.iter().filter_map(|e| match e {
+            Element::Ref { name, .. } => Some(name.as_str()),
+            Element::Text(_) => None,
+        })
+    }
+
+    /// True when the alternative is a pure text snippet (no references).
+    pub fn is_literal(&self) -> bool {
+        self.elements
+            .iter()
+            .all(|e| matches!(e, Element::Text(_)))
+    }
+
+    /// The concatenated text, for literal alternatives.
+    pub fn literal_text(&self) -> String {
+        self.elements
+            .iter()
+            .map(|e| match e {
+                Element::Text(t) => t.as_str(),
+                Element::Ref { .. } => "",
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for Alternative {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for e in &self.elements {
+            write!(f, "{e}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A named rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rule {
+    pub name: String,
+    pub alternatives: Vec<Alternative>,
+    /// Dialect-specific alternative sets (`rule@dialect:` sections), used
+    /// to accommodate minor SQL syntax differences between target systems.
+    pub dialects: BTreeMap<String, Vec<Alternative>>,
+}
+
+impl Rule {
+    pub fn new(name: impl Into<String>, alternatives: Vec<Alternative>) -> Self {
+        Rule {
+            name: name.into(),
+            alternatives,
+            dialects: BTreeMap::new(),
+        }
+    }
+
+    /// True when every alternative (in every dialect) is pure text: the
+    /// rule defines a lexical token class.
+    pub fn is_lexical(&self) -> bool {
+        self.alternatives.iter().all(Alternative::is_literal)
+            && self
+                .dialects
+                .values()
+                .all(|alts| alts.iter().all(Alternative::is_literal))
+    }
+
+    /// The alternatives to use for a given dialect (falls back to the
+    /// default set).
+    pub fn alternatives_for(&self, dialect: Option<&str>) -> &[Alternative] {
+        match dialect.and_then(|d| self.dialects.get(d)) {
+            Some(alts) => alts,
+            None => &self.alternatives,
+        }
+    }
+}
+
+/// A complete query-space grammar.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Grammar {
+    pub rules: Vec<Rule>,
+}
+
+impl Grammar {
+    pub fn new(rules: Vec<Rule>) -> Self {
+        Grammar { rules }
+    }
+
+    /// The start rule (the first rule of the grammar).
+    pub fn start(&self) -> Option<&Rule> {
+        self.rules.first()
+    }
+
+    pub fn rule(&self, name: &str) -> Option<&Rule> {
+        self.rules.iter().find(|r| r.name == name)
+    }
+
+    pub fn rule_mut(&mut self, name: &str) -> Option<&mut Rule> {
+        self.rules.iter_mut().find(|r| r.name == name)
+    }
+
+    /// Names of all lexical rules, in definition order.
+    pub fn lexical_rules(&self) -> Vec<&Rule> {
+        self.rules.iter().filter(|r| r.is_lexical()).collect()
+    }
+
+    /// Total number of lexical literals — the paper's "tags" measure.
+    pub fn tags(&self) -> usize {
+        self.lexical_rules()
+            .iter()
+            .map(|r| r.alternatives.len())
+            .sum()
+    }
+
+    /// Number of literals in one lexical class.
+    pub fn class_size(&self, name: &str) -> usize {
+        self.rule(name).map_or(0, |r| r.alternatives.len())
+    }
+}
+
+impl fmt::Display for Grammar {
+    /// Render back to the DSL (the Figure 5 grammar-page view).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for rule in &self.rules {
+            writeln!(f, "{}:", rule.name)?;
+            for alt in &rule.alternatives {
+                writeln!(f, "    {alt}")?;
+            }
+            for (dialect, alts) in &rule.dialects {
+                writeln!(f, "{}@{dialect}:", rule.name)?;
+                for alt in alts {
+                    writeln!(f, "    {alt}")?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Grammar {
+        Grammar::new(vec![
+            Rule::new(
+                "query",
+                vec![Alternative::new(vec![
+                    Element::text("SELECT "),
+                    Element::rref("l_column"),
+                    Element::text(" FROM nation"),
+                ])],
+            ),
+            Rule::new(
+                "l_column",
+                vec![
+                    Alternative::new(vec![Element::text("n_name")]),
+                    Alternative::new(vec![Element::text("n_regionkey")]),
+                ],
+            ),
+        ])
+    }
+
+    #[test]
+    fn lexical_classification() {
+        let g = sample();
+        assert!(!g.rule("query").unwrap().is_lexical());
+        assert!(g.rule("l_column").unwrap().is_lexical());
+        assert_eq!(g.lexical_rules().len(), 1);
+    }
+
+    #[test]
+    fn tags_counts_literals() {
+        assert_eq!(sample().tags(), 2);
+        assert_eq!(sample().class_size("l_column"), 2);
+        assert_eq!(sample().class_size("nope"), 0);
+    }
+
+    #[test]
+    fn start_rule_is_first() {
+        assert_eq!(sample().start().unwrap().name, "query");
+    }
+
+    #[test]
+    fn display_round_trips_visually() {
+        let text = sample().to_string();
+        assert!(text.contains("query:"));
+        assert!(text.contains("    SELECT ${l_column} FROM nation"));
+        assert!(text.contains("    n_regionkey"));
+    }
+
+    #[test]
+    fn dialect_fallback() {
+        let mut g = sample();
+        let rule = g.rule_mut("l_column").unwrap();
+        rule.dialects.insert(
+            "monetdb".into(),
+            vec![Alternative::new(vec![Element::text("\"n_name\"")])],
+        );
+        let r = g.rule("l_column").unwrap();
+        assert_eq!(r.alternatives_for(Some("monetdb")).len(), 1);
+        assert_eq!(r.alternatives_for(Some("unknown")).len(), 2);
+        assert_eq!(r.alternatives_for(None).len(), 2);
+        assert!(r.is_lexical());
+    }
+
+    #[test]
+    fn element_display_forms() {
+        assert_eq!(Element::rref("x").to_string(), "${x}");
+        assert_eq!(Element::opt("x").to_string(), "$[x]");
+        assert_eq!(Element::star("x").to_string(), "${x}*");
+    }
+}

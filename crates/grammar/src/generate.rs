@@ -1,0 +1,297 @@
+//! Concrete query generation: filling template slots with literals.
+//!
+//! The final step of §3.1 — "injection of tokens that embody predicates,
+//! expressions, and other text snippets". A template's slots are filled
+//! with *distinct* literals per class (the literal-once rule); the
+//! assignment is either explicit (a [`Choice`] map, enumerable) or random.
+
+use crate::ast::Grammar;
+use crate::template::{Piece, Template};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// An explicit literal assignment: class → ordered literal indices (one
+/// per slot of that class, all distinct).
+pub type Choice = BTreeMap<String, Vec<usize>>;
+
+/// Generation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GenerateError {
+    UnknownClass(String),
+    /// Not enough (or non-distinct) literals supplied for a class.
+    BadChoice(String),
+}
+
+impl fmt::Display for GenerateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GenerateError::UnknownClass(c) => write!(f, "unknown lexical class {c}"),
+            GenerateError::BadChoice(c) => write!(f, "invalid literal choice for class {c}"),
+        }
+    }
+}
+
+impl std::error::Error for GenerateError {}
+
+/// Instantiate a template with an explicit choice of literals.
+///
+/// `dialect` selects dialect-specific literal text when the class defines
+/// a matching section.
+pub fn instantiate(
+    g: &Grammar,
+    template: &Template,
+    choice: &Choice,
+    dialect: Option<&str>,
+) -> Result<String, GenerateError> {
+    // Validate the choice against the template's slot counts.
+    for (class, &need) in &template.counts {
+        let given = choice
+            .get(class)
+            .ok_or_else(|| GenerateError::BadChoice(class.clone()))?;
+        if given.len() != need {
+            return Err(GenerateError::BadChoice(class.clone()));
+        }
+        let mut sorted = given.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        if sorted.len() != need {
+            return Err(GenerateError::BadChoice(class.clone()));
+        }
+        let size = g.class_size(class);
+        if given.iter().any(|&i| i >= size) {
+            return Err(GenerateError::BadChoice(class.clone()));
+        }
+    }
+    let mut cursor: BTreeMap<&str, usize> = BTreeMap::new();
+    let mut out = String::new();
+    for piece in &template.skeleton {
+        match piece {
+            Piece::Text(t) => out.push_str(t),
+            Piece::Slot(class) => {
+                let rule = g
+                    .rule(class)
+                    .ok_or_else(|| GenerateError::UnknownClass(class.clone()))?;
+                let pos = cursor.entry(class.as_str()).or_insert(0);
+                let lit_idx = choice[class.as_str()][*pos];
+                *pos += 1;
+                let alts = rule.alternatives_for(dialect);
+                // Dialect sections may override fewer literals than the
+                // default set; fall back per literal.
+                let text = alts
+                    .get(lit_idx)
+                    .or_else(|| rule.alternatives.get(lit_idx))
+                    .ok_or_else(|| GenerateError::BadChoice(class.clone()))?
+                    .literal_text();
+                out.push_str(&text);
+            }
+        }
+    }
+    Ok(normalize_spaces(&out))
+}
+
+/// Instantiate with a uniformly random distinct-literal choice.
+pub fn instantiate_random(
+    g: &Grammar,
+    template: &Template,
+    rng: &mut StdRng,
+    dialect: Option<&str>,
+) -> Result<String, GenerateError> {
+    let choice = random_choice(g, template, rng)?;
+    instantiate(g, template, &choice, dialect)
+}
+
+/// Draw a random valid [`Choice`] for a template.
+pub fn random_choice(
+    g: &Grammar,
+    template: &Template,
+    rng: &mut StdRng,
+) -> Result<Choice, GenerateError> {
+    let mut choice = Choice::new();
+    for (class, &k) in &template.counts {
+        let n = g.class_size(class);
+        if n < k {
+            return Err(GenerateError::BadChoice(class.clone()));
+        }
+        // Partial Fisher-Yates over the index range.
+        let mut idx: Vec<usize> = (0..n).collect();
+        for i in 0..k {
+            let j = rng.random_range(i..n);
+            idx.swap(i, j);
+        }
+        let mut picked = idx[..k].to_vec();
+        // Canonical order: order is ignored by the space semantics, so
+        // emit literals in grammar order for deterministic dedup.
+        picked.sort_unstable();
+        choice.insert(class.clone(), picked);
+    }
+    Ok(choice)
+}
+
+/// Sample a random query from the whole grammar: random template (from an
+/// enumerated set), then random literals.
+pub fn random_query(
+    g: &Grammar,
+    templates: &[Template],
+    rng: &mut StdRng,
+    dialect: Option<&str>,
+) -> Result<String, GenerateError> {
+    assert!(!templates.is_empty(), "no templates to sample from");
+    let t = &templates[rng.random_range(0..templates.len())];
+    instantiate_random(g, t, rng, dialect)
+}
+
+/// Deterministic RNG for pool walks and tests.
+pub fn seeded_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Collapse runs of spaces (grammar text concatenation can double them).
+fn normalize_spaces(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut last_space = false;
+    for c in s.trim().chars() {
+        if c == ' ' {
+            if !last_space {
+                out.push(c);
+            }
+            last_space = true;
+        } else {
+            out.push(c);
+            last_space = false;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+    use crate::template::enumerate;
+
+    fn fig1() -> Grammar {
+        parse(crate::FIG1_GRAMMAR).unwrap()
+    }
+
+    #[test]
+    fn explicit_instantiation() {
+        let g = fig1();
+        let set = enumerate(&g, 1000).unwrap();
+        // Find the template with 2 columns and the filter.
+        let t = set
+            .templates
+            .iter()
+            .find(|t| {
+                t.counts.get("l_column") == Some(&2) && t.counts.contains_key("l_filter")
+            })
+            .unwrap();
+        let mut choice = Choice::new();
+        choice.insert("l_column".into(), vec![0, 2]);
+        choice.insert("l_tables".into(), vec![0]);
+        choice.insert("l_filter".into(), vec![0]);
+        let sql = instantiate(&g, t, &choice, None).unwrap();
+        assert_eq!(
+            sql,
+            "SELECT n_nationkey , n_regionkey FROM nation WHERE n_name= 'BRAZIL'"
+        );
+    }
+
+    #[test]
+    fn generated_queries_parse_as_sql() {
+        let g = fig1();
+        let set = enumerate(&g, 1000).unwrap();
+        let mut rng = seeded_rng(42);
+        for _ in 0..50 {
+            let sql = random_query(&g, &set.templates, &mut rng, None).unwrap();
+            sqalpel_sql::parse_query(&sql)
+                .unwrap_or_else(|e| panic!("generated invalid SQL {sql:?}: {e}"));
+        }
+    }
+
+    #[test]
+    fn random_choice_is_distinct_and_in_range() {
+        let g = fig1();
+        let set = enumerate(&g, 1000).unwrap();
+        let t = set
+            .templates
+            .iter()
+            .find(|t| t.counts.get("l_column") == Some(&3))
+            .unwrap();
+        let mut rng = seeded_rng(7);
+        for _ in 0..100 {
+            let c = random_choice(&g, t, &mut rng).unwrap();
+            let cols = &c["l_column"];
+            assert_eq!(cols.len(), 3);
+            let mut d = cols.clone();
+            d.dedup();
+            assert_eq!(d.len(), 3, "literals must be distinct: {cols:?}");
+            assert!(cols.iter().all(|&i| i < 4));
+        }
+    }
+
+    #[test]
+    fn bad_choices_rejected() {
+        let g = fig1();
+        let set = enumerate(&g, 1000).unwrap();
+        let t = set
+            .templates
+            .iter()
+            .find(|t| t.counts.get("l_column") == Some(&2))
+            .unwrap();
+        let mut wrong_len = Choice::new();
+        wrong_len.insert("l_column".into(), vec![0]);
+        wrong_len.insert("l_tables".into(), vec![0]);
+        assert!(instantiate(&g, t, &wrong_len, None).is_err());
+
+        let mut dup = Choice::new();
+        dup.insert("l_column".into(), vec![1, 1]);
+        dup.insert("l_tables".into(), vec![0]);
+        assert!(instantiate(&g, t, &dup, None).is_err());
+
+        let mut oob = Choice::new();
+        oob.insert("l_column".into(), vec![0, 9]);
+        oob.insert("l_tables".into(), vec![0]);
+        assert!(instantiate(&g, t, &oob, None).is_err());
+    }
+
+    #[test]
+    fn dialect_literals_used() {
+        let src = "q:\n    SELECT ${l_c} FROM t\nl_c:\n    a\n    b\nl_c@legacydb:\n    \"a\"\n    \"b\"\n";
+        let g = parse(src).unwrap();
+        let set = enumerate(&g, 100).unwrap();
+        let t = set.templates.iter().find(|t| t.counts["l_c"] == 1).unwrap();
+        let mut choice = Choice::new();
+        choice.insert("l_c".into(), vec![1]);
+        assert_eq!(instantiate(&g, t, &choice, None).unwrap(), "SELECT b FROM t");
+        assert_eq!(
+            instantiate(&g, t, &choice, Some("legacydb")).unwrap(),
+            "SELECT \"b\" FROM t"
+        );
+    }
+
+    #[test]
+    fn seeded_generation_is_deterministic() {
+        let g = fig1();
+        let set = enumerate(&g, 1000).unwrap();
+        let a: Vec<String> = {
+            let mut rng = seeded_rng(99);
+            (0..10)
+                .map(|_| random_query(&g, &set.templates, &mut rng, None).unwrap())
+                .collect()
+        };
+        let b: Vec<String> = {
+            let mut rng = seeded_rng(99);
+            (0..10)
+                .map(|_| random_query(&g, &set.templates, &mut rng, None).unwrap())
+                .collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn normalize_spaces_collapses() {
+        assert_eq!(normalize_spaces("a  b   c "), "a b c");
+    }
+}

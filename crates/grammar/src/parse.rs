@@ -1,0 +1,263 @@
+//! Parser for the SQALPEL grammar DSL (the Figure 1 syntax).
+//!
+//! ```text
+//! query:
+//!     SELECT ${projection} FROM ${l_tables} $[l_filter]
+//! projection:
+//!     ${l_count}
+//!     ${l_column} ${columnlist}*
+//! l_filter:
+//!     WHERE n_name= 'BRAZIL'
+//! l_filter@legacydb:
+//!     WHERE n_name= "BRAZIL"
+//! ```
+//!
+//! A line ending in `:` at column zero opens a rule (optionally
+//! `name@dialect:` for a dialect section); indented lines are its
+//! alternatives. `#` starts a comment line. Blank lines are ignored.
+
+use crate::ast::{Alternative, Element, Grammar, Rule};
+use std::fmt;
+
+/// A DSL parse failure with its line number (1-based).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GrammarParseError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl GrammarParseError {
+    fn new(line: usize, message: impl Into<String>) -> Self {
+        GrammarParseError {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for GrammarParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "grammar parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for GrammarParseError {}
+
+/// Parse a DSL document into a [`Grammar`].
+pub fn parse(text: &str) -> Result<Grammar, GrammarParseError> {
+    let mut grammar = Grammar::default();
+    // Current open section: (rule name, dialect).
+    let mut open: Option<(String, Option<String>)> = None;
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let trimmed_end = raw.trim_end();
+        if trimmed_end.trim_start().is_empty() || trimmed_end.trim_start().starts_with('#') {
+            continue;
+        }
+        let indented = raw.starts_with(' ') || raw.starts_with('\t');
+        if !indented {
+            // Rule header.
+            let header = trimmed_end;
+            let Some(name_part) = header.strip_suffix(':') else {
+                return Err(GrammarParseError::new(
+                    line_no,
+                    format!("expected 'name:' rule header, found {header:?}"),
+                ));
+            };
+            let (name, dialect) = match name_part.split_once('@') {
+                Some((n, d)) => (n.trim(), Some(d.trim().to_string())),
+                None => (name_part.trim(), None),
+            };
+            if name.is_empty() || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+                return Err(GrammarParseError::new(
+                    line_no,
+                    format!("invalid rule name {name:?}"),
+                ));
+            }
+            if let Some(d) = &dialect {
+                if grammar.rule(name).is_none() {
+                    return Err(GrammarParseError::new(
+                        line_no,
+                        format!("dialect section {name}@{d} before rule {name}"),
+                    ));
+                }
+            } else {
+                if grammar.rule(name).is_some() {
+                    return Err(GrammarParseError::new(
+                        line_no,
+                        format!("duplicate rule {name}"),
+                    ));
+                }
+                grammar.rules.push(Rule::new(name, Vec::new()));
+            }
+            open = Some((name.to_string(), dialect));
+        } else {
+            // Alternative line.
+            let Some((name, dialect)) = &open else {
+                return Err(GrammarParseError::new(
+                    line_no,
+                    "alternative before any rule header",
+                ));
+            };
+            let alt = parse_alternative(trimmed_end.trim_start(), line_no)?;
+            let rule = grammar
+                .rule_mut(name)
+                .expect("open rule exists");
+            match dialect {
+                Some(d) => rule.dialects.entry(d.clone()).or_default().push(alt),
+                None => rule.alternatives.push(alt),
+            }
+        }
+    }
+
+    if grammar.rules.is_empty() {
+        return Err(GrammarParseError::new(1, "empty grammar"));
+    }
+    for rule in &grammar.rules {
+        if rule.alternatives.is_empty() {
+            return Err(GrammarParseError::new(
+                1,
+                format!("rule {} has no alternatives", rule.name),
+            ));
+        }
+    }
+    Ok(grammar)
+}
+
+/// Parse a single alternative line into elements.
+fn parse_alternative(line: &str, line_no: usize) -> Result<Alternative, GrammarParseError> {
+    let mut elements = Vec::new();
+    let mut text = String::new();
+    let mut rest = line;
+    loop {
+        // Find the next `${` or `$[`.
+        let braced = rest.find("${");
+        let bracketed = rest.find("$[");
+        let (at, optional) = match (braced, bracketed) {
+            (Some(b), Some(o)) if b < o => (b, false),
+            (Some(_), Some(o)) => (o, true),
+            (Some(b), None) => (b, false),
+            (None, Some(o)) => (o, true),
+            (None, None) => {
+                text.push_str(rest);
+                break;
+            }
+        };
+        text.push_str(&rest[..at]);
+        let close = if optional { ']' } else { '}' };
+        let body = &rest[at + 2..];
+        let Some(end) = body.find(close) else {
+            return Err(GrammarParseError::new(
+                line_no,
+                format!("unterminated reference in {line:?}"),
+            ));
+        };
+        let name = &body[..end];
+        if name.is_empty() || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+            return Err(GrammarParseError::new(
+                line_no,
+                format!("invalid reference name {name:?}"),
+            ));
+        }
+        if !text.is_empty() {
+            elements.push(Element::Text(std::mem::take(&mut text)));
+        }
+        let after = &body[end + 1..];
+        let star = after.starts_with('*');
+        elements.push(Element::Ref {
+            name: name.to_string(),
+            optional,
+            star,
+        });
+        rest = if star { &after[1..] } else { after };
+    }
+    if !text.is_empty() {
+        elements.push(Element::Text(text));
+    }
+    Ok(Alternative::new(elements))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FIG1_GRAMMAR;
+
+    #[test]
+    fn figure1_grammar_parses() {
+        let g = parse(FIG1_GRAMMAR).unwrap();
+        assert_eq!(g.rules.len(), 7);
+        assert_eq!(g.start().unwrap().name, "query");
+        assert_eq!(g.class_size("l_column"), 4);
+        assert!(g.rule("l_filter").unwrap().is_lexical());
+        assert!(!g.rule("projection").unwrap().is_lexical());
+    }
+
+    #[test]
+    fn references_parsed_with_flags() {
+        let g = parse("q:\n    a ${x} $[y] ${z}* end\nx:\n    1\ny:\n    2\nz:\n    3\n").unwrap();
+        let alt = &g.rule("q").unwrap().alternatives[0];
+        assert_eq!(
+            alt.elements,
+            vec![
+                Element::text("a "),
+                Element::rref("x"),
+                Element::text(" "),
+                Element::opt("y"),
+                Element::text(" "),
+                Element::star("z"),
+                Element::text(" end"),
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        // '#' lines are comments wherever they appear; blank lines skip.
+        let g = parse("# header comment\nq:\n\n    # a comment\n    hello\n").unwrap();
+        assert_eq!(g.rule("q").unwrap().alternatives.len(), 1);
+    }
+
+    #[test]
+    fn dialect_sections_attach_to_rule() {
+        let src = "q:\n    ${l_t}\nl_t:\n    LIMIT 10\nl_t@legacydb:\n    FETCH FIRST 10 ROWS\n";
+        let g = parse(src).unwrap();
+        let r = g.rule("l_t").unwrap();
+        assert_eq!(r.alternatives_for(Some("legacydb"))[0].literal_text(), "FETCH FIRST 10 ROWS");
+        assert_eq!(r.alternatives_for(None)[0].literal_text(), "LIMIT 10");
+    }
+
+    #[test]
+    fn duplicate_rule_rejected() {
+        assert!(parse("q:\n    a\nq:\n    b\n").is_err());
+    }
+
+    #[test]
+    fn dialect_before_rule_rejected() {
+        assert!(parse("q@d:\n    a\n").is_err());
+    }
+
+    #[test]
+    fn unterminated_reference_rejected() {
+        let err = parse("q:\n    ${oops\n").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn empty_rule_rejected() {
+        assert!(parse("q:\nr:\n    x\n").is_err());
+    }
+
+    #[test]
+    fn missing_colon_rejected() {
+        assert!(parse("query\n    x\n").is_err());
+    }
+
+    #[test]
+    fn round_trip_display_then_parse() {
+        let g = parse(FIG1_GRAMMAR).unwrap();
+        let text = g.to_string();
+        let g2 = parse(&text).unwrap();
+        assert_eq!(g, g2);
+    }
+}

@@ -1,0 +1,383 @@
+//! Template enumeration and query-space measurement (paper §3.1).
+//!
+//! A **template** is a fully expanded sentence skeleton: keywords plus
+//! slots naming lexical classes. Because query optimizers normalize
+//! expression lists, order is ignored — template identity is the *count*
+//! of slots per lexical class, and the paper's "space" measure counts, per
+//! template, the ways to pick distinct literals for its slots:
+//!
+//! ```text
+//! space = Σ_templates Π_class C(class_size, slot_count)
+//! ```
+//!
+//! The literal-once rule (each literal used at most once per query) bounds
+//! both repetition and the subset choices. Enumeration is capped by a
+//! hard template limit, like the platform's "hard system limit".
+
+use crate::ast::{Element, Grammar};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Default hard cap on enumerated templates (the paper reports `>100K`
+/// for Q7/Q19 at this limit).
+pub const DEFAULT_TEMPLATE_CAP: usize = 100_000;
+
+/// Budget on enumeration steps, guarding against pathological grammars.
+const STEP_BUDGET: u64 = 50_000_000;
+
+/// One piece of a template skeleton.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Piece {
+    /// Verbatim text.
+    Text(String),
+    /// A slot to be filled with a literal of the named lexical class.
+    Slot(String),
+}
+
+/// A query template: slot counts (its identity) plus one representative
+/// skeleton.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Template {
+    /// Lexical class → number of slots.
+    pub counts: BTreeMap<String, usize>,
+    pub skeleton: Vec<Piece>,
+}
+
+impl Template {
+    /// Total number of lexical slots — the node-size measure used by the
+    /// experiment-history view (Figure 7's "number of components").
+    pub fn components(&self) -> usize {
+        self.counts.values().sum()
+    }
+
+    /// Number of concrete queries this template denotes.
+    pub fn instantiations(&self, g: &Grammar) -> u128 {
+        self.counts
+            .iter()
+            .map(|(class, &k)| binomial(g.class_size(class), k))
+            .try_fold(1u128, |acc, b| acc.checked_mul(b))
+            .unwrap_or(u128::MAX)
+    }
+}
+
+impl fmt::Display for Template {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for p in &self.skeleton {
+            match p {
+                Piece::Text(t) => f.write_str(t)?,
+                Piece::Slot(c) => write!(f, "${{{c}}}")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The enumerated template set.
+#[derive(Debug, Clone, Default)]
+pub struct TemplateSet {
+    pub templates: Vec<Template>,
+    /// True when enumeration hit the cap (the real count is larger).
+    pub truncated: bool,
+}
+
+/// The paper's Table 2 row: tags, template count, space size.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpaceReport {
+    /// Number of lexical literals in the grammar.
+    pub tags: usize,
+    /// Number of distinct templates (≥ when truncated).
+    pub templates: usize,
+    /// Number of concrete queries in the space (saturating).
+    pub space: u128,
+    /// True when the template cap was hit.
+    pub truncated: bool,
+}
+
+impl fmt::Display for SpaceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.truncated {
+            write!(f, "tags={} templates>{} space>{}", self.tags, self.templates, self.space)
+        } else {
+            write!(f, "tags={} templates={} space={}", self.tags, self.templates, self.space)
+        }
+    }
+}
+
+/// Enumeration error: the grammar recursed without consuming literals.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnumerationError(pub String);
+
+impl fmt::Display for EnumerationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "template enumeration failed: {}", self.0)
+    }
+}
+
+impl std::error::Error for EnumerationError {}
+
+/// n-choose-k with saturation.
+pub fn binomial(n: usize, k: usize) -> u128 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut acc: u128 = 1;
+    for i in 0..k {
+        acc = match acc.checked_mul((n - i) as u128) {
+            Some(v) => v / (i as u128 + 1),
+            None => return u128::MAX,
+        };
+    }
+    acc
+}
+
+struct Enumerator<'g> {
+    g: &'g Grammar,
+    cap: usize,
+    steps: u64,
+    /// counts-key → template index (dedup on slot counts: order ignored).
+    seen: BTreeMap<Vec<(String, usize)>, usize>,
+    out: Vec<Template>,
+    truncated: bool,
+}
+
+impl<'g> Enumerator<'g> {
+    /// Depth-first expansion. `queue` holds the remaining elements of the
+    /// sentential form being expanded, front first.
+    fn walk(
+        &mut self,
+        queue: &[Element],
+        skeleton: &mut Vec<Piece>,
+        counts: &mut BTreeMap<String, usize>,
+    ) -> Result<(), EnumerationError> {
+        self.steps += 1;
+        if self.steps > STEP_BUDGET {
+            self.truncated = true;
+            return Ok(());
+        }
+        if self.truncated && self.out.len() >= self.cap {
+            return Ok(());
+        }
+        let Some((head, rest)) = queue.split_first() else {
+            // Sentence complete: record the template (dedup on counts).
+            let key: Vec<(String, usize)> =
+                counts.iter().map(|(k, &v)| (k.clone(), v)).collect();
+            if !self.seen.contains_key(&key) {
+                if self.out.len() >= self.cap {
+                    self.truncated = true;
+                    return Ok(());
+                }
+                self.seen.insert(key, self.out.len());
+                self.out.push(Template {
+                    counts: counts.clone(),
+                    skeleton: skeleton.clone(),
+                });
+            }
+            return Ok(());
+        };
+        match head {
+            Element::Text(t) => {
+                skeleton.push(Piece::Text(t.clone()));
+                self.walk(rest, skeleton, counts)?;
+                skeleton.pop();
+            }
+            Element::Ref {
+                name,
+                optional,
+                star,
+            } => {
+                // Branch 1: skip (optional or star allows zero occurrences).
+                if *optional || *star {
+                    self.walk(rest, skeleton, counts)?;
+                }
+                // Branch 2: expand once (and for star, re-queue itself).
+                let rule = self.g.rule(name).ok_or_else(|| {
+                    EnumerationError(format!("reference to missing rule {name}"))
+                })?;
+                let continue_with: Vec<Element> = if *star {
+                    std::iter::once(head.clone()).chain(rest.iter().cloned()).collect()
+                } else {
+                    rest.to_vec()
+                };
+                if rule.is_lexical() {
+                    let capacity = rule.alternatives.len();
+                    let used = counts.get(name).copied().unwrap_or(0);
+                    if used < capacity {
+                        *counts.entry(name.clone()).or_insert(0) += 1;
+                        skeleton.push(Piece::Slot(name.clone()));
+                        self.walk(&continue_with, skeleton, counts)?;
+                        skeleton.pop();
+                        let c = counts.get_mut(name).expect("just inserted");
+                        *c -= 1;
+                        if *c == 0 {
+                            counts.remove(name);
+                        }
+                    }
+                    // else: capacity exhausted — this path is pruned (the
+                    // literal-once rule).
+                } else {
+                    for alt in &rule.alternatives {
+                        let queue2: Vec<Element> = alt
+                            .elements
+                            .iter()
+                            .cloned()
+                            .chain(continue_with.iter().cloned())
+                            .collect();
+                        self.walk(&queue2, skeleton, counts)?;
+                        if self.out.len() >= self.cap {
+                            self.truncated = true;
+                            return Ok(());
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Enumerate the (deduplicated) templates of a grammar, capped.
+pub fn enumerate(g: &Grammar, cap: usize) -> Result<TemplateSet, EnumerationError> {
+    let start = g
+        .start()
+        .ok_or_else(|| EnumerationError("empty grammar".into()))?;
+    let mut e = Enumerator {
+        g,
+        cap,
+        steps: 0,
+        seen: BTreeMap::new(),
+        out: Vec::new(),
+        truncated: false,
+    };
+    let mut skeleton = Vec::new();
+    let mut counts = BTreeMap::new();
+    for alt in &start.alternatives {
+        e.walk(&alt.elements, &mut skeleton, &mut counts)?;
+        if e.out.len() >= cap {
+            e.truncated = true;
+            break;
+        }
+    }
+    Ok(TemplateSet {
+        templates: e.out,
+        truncated: e.truncated,
+    })
+}
+
+/// Compute the Table 2 measures for a grammar.
+pub fn space_report(g: &Grammar, cap: usize) -> Result<SpaceReport, EnumerationError> {
+    let set = enumerate(g, cap)?;
+    let mut space: u128 = 0;
+    for t in &set.templates {
+        space = space.saturating_add(t.instantiations(g));
+    }
+    Ok(SpaceReport {
+        tags: g.tags(),
+        templates: set.templates.len(),
+        space,
+        truncated: set.truncated,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+
+    #[test]
+    fn binomials() {
+        assert_eq!(binomial(4, 2), 6);
+        assert_eq!(binomial(10, 0), 1);
+        assert_eq!(binomial(3, 5), 0);
+        assert_eq!(binomial(60, 30), 118264581564861424);
+    }
+
+    #[test]
+    fn figure1_template_count_and_space() {
+        let g = parse(crate::FIG1_GRAMMAR).unwrap();
+        let set = enumerate(&g, 10_000).unwrap();
+        assert!(!set.truncated);
+        // projection = count(*) | 1..4 columns; filter optional:
+        // (1 + 4) × 2 = 10 templates.
+        assert_eq!(set.templates.len(), 10);
+        let report = space_report(&g, 10_000).unwrap();
+        assert_eq!(report.tags, 1 + 4 + 1 + 1);
+        // count(*) path: 2; column paths: Σ_k C(4,k) × 2 = 30; total 32.
+        assert_eq!(report.space, 32);
+    }
+
+    #[test]
+    fn literal_once_bounds_star() {
+        let g = parse(
+            "q:\n    SELECT ${l_c} ${list}*\nlist:\n    , ${l_c}\nl_c:\n    a\n    b\n    c\n",
+        )
+        .unwrap();
+        let set = enumerate(&g, 1000).unwrap();
+        // k = 1, 2, 3 — never more than the 3 literals.
+        assert_eq!(set.templates.len(), 3);
+        assert!(set
+            .templates
+            .iter()
+            .all(|t| t.counts["l_c"] <= 3));
+    }
+
+    #[test]
+    fn duplicate_order_is_ignored() {
+        // Two classes in either order would create 2 skeletons with the
+        // same counts; dedup keeps one template.
+        let g = parse(
+            "q:\n    ${l_a} ${l_b}\n    ${l_b} ${l_a}\nl_a:\n    x\nl_b:\n    y\n",
+        )
+        .unwrap();
+        let set = enumerate(&g, 1000).unwrap();
+        assert_eq!(set.templates.len(), 1);
+    }
+
+    #[test]
+    fn cap_truncates() {
+        // 2^16 subsets of a 16-literal class exceed a cap of 10.
+        let lits: String = (0..16).map(|i| format!("    lit{i}\n")).collect();
+        let src = format!("q:\n    ${{l_c}} ${{list}}*\nlist:\n    , ${{l_c}}\nl_c:\n{lits}");
+        let g = parse(&src).unwrap();
+        let set = enumerate(&g, 10).unwrap();
+        assert!(set.truncated);
+        assert_eq!(set.templates.len(), 10);
+    }
+
+    #[test]
+    fn template_components_and_display() {
+        let g = parse(crate::FIG1_GRAMMAR).unwrap();
+        let set = enumerate(&g, 10_000).unwrap();
+        let biggest = set
+            .templates
+            .iter()
+            .max_by_key(|t| t.components())
+            .unwrap();
+        // 4 columns + table + filter.
+        assert_eq!(biggest.components(), 6);
+        let text = biggest.to_string();
+        assert!(text.contains("${l_column}"));
+        assert!(text.starts_with("SELECT "));
+    }
+
+    #[test]
+    fn missing_rule_is_an_enumeration_error() {
+        let g = parse("q:\n    ${ghost}\n").unwrap();
+        assert!(enumerate(&g, 100).is_err());
+    }
+
+    #[test]
+    fn space_report_display() {
+        let g = parse(crate::FIG1_GRAMMAR).unwrap();
+        let r = space_report(&g, 10_000).unwrap();
+        assert_eq!(r.to_string(), "tags=7 templates=10 space=32");
+    }
+
+    #[test]
+    fn instantiations_per_template() {
+        let g = parse(crate::FIG1_GRAMMAR).unwrap();
+        let set = enumerate(&g, 10_000).unwrap();
+        let total: u128 = set.templates.iter().map(|t| t.instantiations(&g)).sum();
+        assert_eq!(total, 32);
+    }
+}

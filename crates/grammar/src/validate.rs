@@ -1,0 +1,223 @@
+//! Grammar validation (paper §3.1: "the validity of the grammar is checked
+//! by looking for missing and dead code rules").
+//!
+//! Three checks:
+//!
+//! - **missing rules** — references to names no rule defines;
+//! - **dead rules** — rules unreachable from the start rule;
+//! - **unbounded repetition** — a `*` reference to a rule that can expand
+//!   without consuming any lexical literal, which would make the query
+//!   space infinite (the literal-once rule is what bounds repetition).
+
+use crate::ast::{Alternative, Element, Grammar, Rule};
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::fmt;
+
+/// The outcome of validating a grammar.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ValidationReport {
+    /// `(referencing rule, missing name)` pairs.
+    pub missing: Vec<(String, String)>,
+    /// Rules not reachable from the start rule.
+    pub dead: Vec<String>,
+    /// `(rule, starred reference)` pairs where the repetition is not
+    /// bounded by literal consumption.
+    pub unbounded: Vec<(String, String)>,
+}
+
+impl ValidationReport {
+    pub fn is_ok(&self) -> bool {
+        self.missing.is_empty() && self.dead.is_empty() && self.unbounded.is_empty()
+    }
+}
+
+impl fmt::Display for ValidationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_ok() {
+            return f.write_str("grammar OK");
+        }
+        for (rule, name) in &self.missing {
+            writeln!(f, "missing rule: {name} (referenced from {rule})")?;
+        }
+        for rule in &self.dead {
+            writeln!(f, "dead rule: {rule}")?;
+        }
+        for (rule, name) in &self.unbounded {
+            writeln!(f, "unbounded repetition: ${{{name}}}* in {rule} never consumes a literal")?;
+        }
+        Ok(())
+    }
+}
+
+/// Validate a grammar.
+pub fn validate(g: &Grammar) -> ValidationReport {
+    let defined: HashSet<&str> = g.rules.iter().map(|r| r.name.as_str()).collect();
+
+    // Missing references.
+    let mut missing = Vec::new();
+    for rule in &g.rules {
+        for alt in all_alternatives(rule) {
+            for name in alt.references() {
+                if !defined.contains(name) {
+                    missing.push((rule.name.clone(), name.to_string()));
+                }
+            }
+        }
+    }
+    missing.sort();
+    missing.dedup();
+
+    // Reachability from the start rule.
+    let mut reachable: BTreeSet<&str> = BTreeSet::new();
+    if let Some(start) = g.start() {
+        let mut stack = vec![start.name.as_str()];
+        while let Some(name) = stack.pop() {
+            if !reachable.insert(name) {
+                continue;
+            }
+            if let Some(rule) = g.rule(name) {
+                for alt in all_alternatives(rule) {
+                    for r in alt.references() {
+                        stack.push(r);
+                    }
+                }
+            }
+        }
+    }
+    let dead: Vec<String> = g
+        .rules
+        .iter()
+        .filter(|r| !reachable.contains(r.name.as_str()))
+        .map(|r| r.name.clone())
+        .collect();
+
+    // Consumption fixpoint: does every expansion of a rule consume at
+    // least one lexical literal?
+    let mut consumes: HashMap<&str, bool> = g
+        .rules
+        .iter()
+        .map(|r| (r.name.as_str(), r.is_lexical()))
+        .collect();
+    loop {
+        let mut changed = false;
+        for rule in &g.rules {
+            if consumes[rule.name.as_str()] {
+                continue;
+            }
+            let all_alts_consume = !rule.alternatives.is_empty()
+                && rule.alternatives.iter().all(|alt| {
+                    alt.elements.iter().any(|e| match e {
+                        Element::Ref {
+                            name,
+                            optional: false,
+                            star: false,
+                        } => consumes.get(name.as_str()).copied().unwrap_or(false),
+                        _ => false,
+                    })
+                });
+            if all_alts_consume {
+                consumes.insert(rule.name.as_str(), true);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let mut unbounded = Vec::new();
+    for rule in &g.rules {
+        for alt in all_alternatives(rule) {
+            for e in &alt.elements {
+                if let Element::Ref {
+                    name, star: true, ..
+                } = e
+                {
+                    if !consumes.get(name.as_str()).copied().unwrap_or(false) {
+                        unbounded.push((rule.name.clone(), name.clone()));
+                    }
+                }
+            }
+        }
+    }
+    unbounded.sort();
+    unbounded.dedup();
+
+    ValidationReport {
+        missing,
+        dead,
+        unbounded,
+    }
+}
+
+fn all_alternatives(rule: &Rule) -> impl Iterator<Item = &Alternative> {
+    rule.alternatives
+        .iter()
+        .chain(rule.dialects.values().flatten())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+
+    #[test]
+    fn figure1_grammar_is_valid() {
+        let g = parse(crate::FIG1_GRAMMAR).unwrap();
+        let report = validate(&g);
+        assert!(report.is_ok(), "{report}");
+    }
+
+    #[test]
+    fn missing_rule_detected() {
+        let g = parse("q:\n    ${ghost}\n").unwrap();
+        let r = validate(&g);
+        assert_eq!(r.missing, vec![("q".to_string(), "ghost".to_string())]);
+        assert!(r.to_string().contains("missing rule: ghost"));
+    }
+
+    #[test]
+    fn dead_rule_detected() {
+        let g = parse("q:\n    ${l_a}\nl_a:\n    x\norphan:\n    y\n").unwrap();
+        let r = validate(&g);
+        assert_eq!(r.dead, vec!["orphan".to_string()]);
+    }
+
+    #[test]
+    fn unbounded_star_detected() {
+        // `noise` is structural (it contains a reference) and can expand
+        // without consuming a literal: starring it allows infinitely many
+        // expansions. (A pure-text rule would be a capacity-1 lexical
+        // class and therefore bounded.)
+        let g = parse("q:\n    ${noise}* ${l_a}\nnoise:\n    , $[l_b]\nl_a:\n    x\nl_b:\n    y\n").unwrap();
+        let r = validate(&g);
+        assert_eq!(r.unbounded, vec![("q".to_string(), "noise".to_string())]);
+    }
+
+    #[test]
+    fn bounded_star_via_lexical_consumption() {
+        // columnlist consumes one l_column per repetition: bounded.
+        let g = parse(
+            "q:\n    ${l_column} ${columnlist}*\ncolumnlist:\n    , ${l_column}\nl_column:\n    a\n    b\n",
+        )
+        .unwrap();
+        assert!(validate(&g).is_ok());
+    }
+
+    #[test]
+    fn transitive_consumption() {
+        let g = parse(
+            "q:\n    ${mid}*\nmid:\n    ${leaf}\nleaf:\n    ${l_a}\nl_a:\n    x\n",
+        )
+        .unwrap();
+        assert!(validate(&g).is_ok());
+    }
+
+    #[test]
+    fn optional_consumption_does_not_bound() {
+        // mid's only consumption is optional: starring it is unbounded.
+        let g = parse("q:\n    ${mid}*\nmid:\n    a $[l_a]\nl_a:\n    x\n").unwrap();
+        let r = validate(&g);
+        assert_eq!(r.unbounded.len(), 1);
+    }
+}

@@ -1,0 +1,64 @@
+//! Error types for lexing and parsing.
+
+use std::fmt;
+
+/// Position of a token or error in the input text (1-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Pos {
+    pub line: u32,
+    pub column: u32,
+}
+
+impl Pos {
+    pub const fn new(line: u32, column: u32) -> Self {
+        Pos { line, column }
+    }
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.column)
+    }
+}
+
+/// A lexing or parsing failure, with the position it occurred at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    pub pos: Pos,
+    pub message: String,
+}
+
+impl ParseError {
+    pub fn new(pos: Pos, message: impl Into<String>) -> Self {
+        ParseError {
+            pos,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+pub type ParseResult<T> = Result<T, ParseError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position() {
+        let e = ParseError::new(Pos::new(3, 14), "unexpected token");
+        assert_eq!(e.to_string(), "parse error at 3:14: unexpected token");
+    }
+
+    #[test]
+    fn pos_default_is_origin() {
+        assert_eq!(Pos::default(), Pos::new(0, 0));
+    }
+}

@@ -1,0 +1,393 @@
+//! A hand-written SQL tokenizer.
+//!
+//! Supports the lexical surface needed by TPC-H/SSB-style analytic SQL:
+//! identifiers, integer and decimal literals, single-quoted strings with
+//! `''` escaping, the usual operators, and `--` line comments plus
+//! `/* ... */` block comments.
+
+use crate::error::{ParseError, ParseResult, Pos};
+use crate::token::{Spanned, Token};
+
+/// Streaming tokenizer over an input string.
+pub struct Lexer<'a> {
+    src: &'a [u8],
+    idx: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Lexer<'a> {
+    pub fn new(src: &'a str) -> Self {
+        Lexer {
+            src: src.as_bytes(),
+            idx: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    /// Tokenize the whole input, appending a final [`Token::Eof`].
+    pub fn tokenize(src: &str) -> ParseResult<Vec<Spanned>> {
+        let mut lexer = Lexer::new(src);
+        let mut out = Vec::new();
+        loop {
+            let spanned = lexer.next_token()?;
+            let done = spanned.token == Token::Eof;
+            out.push(spanned);
+            if done {
+                return Ok(out);
+            }
+        }
+    }
+
+    fn pos(&self) -> Pos {
+        Pos::new(self.line, self.col)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.idx).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.idx + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.idx += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn skip_trivia(&mut self) -> ParseResult<()> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'-') if self.peek2() == Some(b'-') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some(b'/') if self.peek2() == Some(b'*') => {
+                    let start = self.pos();
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match self.peek() {
+                            Some(b'*') if self.peek2() == Some(b'/') => {
+                                self.bump();
+                                self.bump();
+                                break;
+                            }
+                            Some(_) => {
+                                self.bump();
+                            }
+                            None => {
+                                return Err(ParseError::new(start, "unterminated block comment"))
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    /// Produce the next token.
+    pub fn next_token(&mut self) -> ParseResult<Spanned> {
+        self.skip_trivia()?;
+        let pos = self.pos();
+        let token = match self.peek() {
+            None => Token::Eof,
+            Some(c) if c.is_ascii_alphabetic() || c == b'_' => self.lex_word(),
+            Some(c) if c.is_ascii_digit() => self.lex_number(pos)?,
+            Some(b'\'') => self.lex_string(pos)?,
+            Some(b'"') => self.lex_quoted_ident(pos)?,
+            Some(b'(') => self.single(Token::LParen),
+            Some(b')') => self.single(Token::RParen),
+            Some(b',') => self.single(Token::Comma),
+            Some(b';') => self.single(Token::Semicolon),
+            Some(b'.') => self.single(Token::Period),
+            Some(b'+') => self.single(Token::Plus),
+            Some(b'-') => self.single(Token::Minus),
+            Some(b'*') => self.single(Token::Star),
+            Some(b'/') => self.single(Token::Slash),
+            Some(b'%') => self.single(Token::Percent),
+            Some(b'=') => self.single(Token::Eq),
+            Some(b'|') => {
+                self.bump();
+                if self.peek() == Some(b'|') {
+                    self.bump();
+                    Token::Concat
+                } else {
+                    return Err(ParseError::new(pos, "expected '||'"));
+                }
+            }
+            Some(b'<') => {
+                self.bump();
+                match self.peek() {
+                    Some(b'=') => {
+                        self.bump();
+                        Token::LtEq
+                    }
+                    Some(b'>') => {
+                        self.bump();
+                        Token::NotEq
+                    }
+                    _ => Token::Lt,
+                }
+            }
+            Some(b'>') => {
+                self.bump();
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    Token::GtEq
+                } else {
+                    Token::Gt
+                }
+            }
+            Some(b'!') => {
+                self.bump();
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    Token::NotEq
+                } else {
+                    return Err(ParseError::new(pos, "expected '!='"));
+                }
+            }
+            Some(c) => {
+                return Err(ParseError::new(
+                    pos,
+                    format!("unexpected character {:?}", c as char),
+                ))
+            }
+        };
+        Ok(Spanned { token, pos })
+    }
+
+    fn single(&mut self, t: Token) -> Token {
+        self.bump();
+        t
+    }
+
+    fn lex_word(&mut self) -> Token {
+        let start = self.idx;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == b'_' {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        // Identifiers are normalized to lowercase; SQL is case-insensitive
+        // and canonical case keeps dedup and diffs stable.
+        let text = std::str::from_utf8(&self.src[start..self.idx])
+            .expect("ascii word")
+            .to_ascii_lowercase();
+        Token::Word(text)
+    }
+
+    fn lex_number(&mut self, pos: Pos) -> ParseResult<Token> {
+        let start = self.idx;
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.bump();
+        }
+        let mut is_decimal = false;
+        // A '.' only belongs to the number when followed by a digit, so that
+        // `1.` in `t1.c` style input still lexes as integer + period.
+        if self.peek() == Some(b'.') && matches!(self.peek2(), Some(c) if c.is_ascii_digit()) {
+            is_decimal = true;
+            self.bump();
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.bump();
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E'))
+            && matches!(self.peek2(), Some(c) if c.is_ascii_digit() || c == b'+' || c == b'-')
+        {
+            is_decimal = true;
+            self.bump();
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.bump();
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.bump();
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.idx]).expect("ascii number");
+        if is_decimal {
+            text.parse::<f64>()
+                .map(Token::Decimal)
+                .map_err(|e| ParseError::new(pos, format!("invalid decimal literal: {e}")))
+        } else {
+            text.parse::<i64>()
+                .map(Token::Integer)
+                .map_err(|e| ParseError::new(pos, format!("invalid integer literal: {e}")))
+        }
+    }
+
+    fn lex_string(&mut self, pos: Pos) -> ParseResult<Token> {
+        self.bump(); // opening quote
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                Some(b'\'') => {
+                    if self.peek() == Some(b'\'') {
+                        self.bump();
+                        out.push('\'');
+                    } else {
+                        return Ok(Token::String(out));
+                    }
+                }
+                Some(c) => out.push(c as char),
+                None => return Err(ParseError::new(pos, "unterminated string literal")),
+            }
+        }
+    }
+
+    fn lex_quoted_ident(&mut self, pos: Pos) -> ParseResult<Token> {
+        self.bump(); // opening quote
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                Some(b'"') => return Ok(Token::Word(out)),
+                Some(c) => out.push((c as char).to_ascii_lowercase()),
+                None => return Err(ParseError::new(pos, "unterminated quoted identifier")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Token> {
+        Lexer::tokenize(src)
+            .unwrap()
+            .into_iter()
+            .map(|s| s.token)
+            .collect()
+    }
+
+    #[test]
+    fn words_lowercased() {
+        assert_eq!(
+            toks("SELECT N_Name"),
+            vec![
+                Token::Word("select".into()),
+                Token::Word("n_name".into()),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            toks("42 0.05 1e3"),
+            vec![
+                Token::Integer(42),
+                Token::Decimal(0.05),
+                Token::Decimal(1000.0),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn qualified_column_is_word_period_word() {
+        assert_eq!(
+            toks("l.tax"),
+            vec![
+                Token::Word("l".into()),
+                Token::Period,
+                Token::Word("tax".into()),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(
+            toks("'BRAZIL' 'O''Neil'"),
+            vec![
+                Token::String("BRAZIL".into()),
+                Token::String("O'Neil".into()),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            toks("<= >= <> != < > = + - * / %"),
+            vec![
+                Token::LtEq,
+                Token::GtEq,
+                Token::NotEq,
+                Token::NotEq,
+                Token::Lt,
+                Token::Gt,
+                Token::Eq,
+                Token::Plus,
+                Token::Minus,
+                Token::Star,
+                Token::Slash,
+                Token::Percent,
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            toks("select -- trailing\n/* block\ncomment */ 1"),
+            vec![Token::Word("select".into()), Token::Integer(1), Token::Eof]
+        );
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        let err = Lexer::tokenize("'oops").unwrap_err();
+        assert!(err.message.contains("unterminated"));
+        assert_eq!(err.pos, Pos::new(1, 1));
+    }
+
+    #[test]
+    fn unterminated_block_comment_errors() {
+        assert!(Lexer::tokenize("/* nope").is_err());
+    }
+
+    #[test]
+    fn positions_track_lines() {
+        let spanned = Lexer::tokenize("select\n  x").unwrap();
+        assert_eq!(spanned[1].pos, Pos::new(2, 3));
+    }
+
+    #[test]
+    fn quoted_identifiers() {
+        assert_eq!(
+            toks("\"Group\""),
+            vec![Token::Word("group".into()), Token::Eof]
+        );
+    }
+
+    #[test]
+    fn unexpected_character_errors() {
+        assert!(Lexer::tokenize("select @x").is_err());
+    }
+}

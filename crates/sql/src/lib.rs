@@ -1,0 +1,38 @@
+//! # sqalpel-sql
+//!
+//! SQL front-end for the sqalpel platform: a hand-written lexer, a
+//! recursive-descent parser, a typed AST and a canonical printer.
+//!
+//! The dialect is the analytic subset needed by TPC-H/SSB-style workloads —
+//! all 22 TPC-H queries parse and round-trip (see [`tpch`]). The canonical
+//! printed form (uppercase keywords, lowercase identifiers, minimal
+//! parentheses) is what the rest of the platform stores, dedups on and
+//! diffs.
+//!
+//! ```
+//! use sqalpel_sql::parse_query;
+//!
+//! let q = parse_query("select count(*) from nation where n_name = 'BRAZIL'").unwrap();
+//! assert_eq!(
+//!     q.to_string(),
+//!     "SELECT count(*) FROM nation WHERE n_name = 'BRAZIL'",
+//! );
+//! ```
+
+pub mod ast;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+pub mod printer;
+pub mod ssb;
+pub mod tpch;
+pub mod token;
+
+pub use ast::{
+    BinOp, ColumnRef, Cte, Expr, IntervalUnit, JoinKind, Literal, OrderItem, Query, Select,
+    SelectItem, TableRef, UnaryOp,
+};
+pub use error::{ParseError, ParseResult, Pos};
+pub use lexer::Lexer;
+pub use parser::{parse_expr, parse_query, Parser};
+pub use token::{Spanned, Token};

@@ -1,0 +1,153 @@
+//! Star Schema Benchmark query flight, adapted to this workspace's star
+//! schema.
+//!
+//! The schema (`sqalpel-datagen`'s derivation) keeps the SSB `lineorder`
+//! fact table and `date_dim` dimension verbatim, but reuses the TPC-H
+//! `customer`/`supplier`/`part`/`nation`/`region` tables as dimensions
+//! instead of SSB's denormalized ones. Queries that reference SSB-only
+//! dimension columns (`c_region`, `s_city`, `p_category`, …) are
+//! therefore rewritten onto the TPC-H normalization — e.g. `s_region =
+//! 'AMERICA'` becomes the `supplier ⋈ nation ⋈ region` path. Selectivity
+//! structure and join shapes are preserved.
+
+/// SSB Q1.1 — revenue from discount-range line orders of one year.
+pub const Q1_1: &str = "\
+select sum(lo_extendedprice * lo_discount) as revenue
+from lineorder, date_dim
+where lo_orderdate = d_datekey
+  and d_year = 1993
+  and lo_discount between 1 and 3
+  and lo_quantity < 25";
+
+/// SSB Q1.2 — one month, tighter discount band.
+pub const Q1_2: &str = "\
+select sum(lo_extendedprice * lo_discount) as revenue
+from lineorder, date_dim
+where lo_orderdate = d_datekey
+  and d_yearmonthnum = 199401
+  and lo_discount between 4 and 6
+  and lo_quantity between 26 and 35";
+
+/// SSB Q1.3 — one week of one year.
+pub const Q1_3: &str = "\
+select sum(lo_extendedprice * lo_discount) as revenue
+from lineorder, date_dim
+where lo_orderdate = d_datekey
+  and d_weeknuminyear = 6
+  and d_year = 1994
+  and lo_discount between 5 and 7
+  and lo_quantity between 26 and 35";
+
+/// SSB Q2.1 — revenue by year and brand for one part brand class and one
+/// supplier region (TPC-H normalization of `p_category`/`s_region`).
+pub const Q2_1: &str = "\
+select d_year, p_brand, sum(lo_revenue) as revenue
+from lineorder, date_dim, part, supplier, nation, region
+where lo_orderdate = d_datekey
+  and lo_partkey = p_partkey
+  and lo_suppkey = s_suppkey
+  and p_mfgr = 'Manufacturer#1'
+  and s_nationkey = n_nationkey
+  and n_regionkey = r_regionkey
+  and r_name = 'AMERICA'
+group by d_year, p_brand
+order by d_year, p_brand";
+
+/// SSB Q3.1 — customer/supplier nation flows within a region over years.
+pub const Q3_1: &str = "\
+select c_nation, s_nation, d_year, sum(lo_revenue) as revenue
+from (
+  select n1.n_name as c_nation, n2.n_name as s_nation, d_year, lo_revenue
+  from lineorder, date_dim, customer, supplier, nation n1, nation n2, region
+  where lo_orderdate = d_datekey
+    and lo_custkey = c_custkey
+    and lo_suppkey = s_suppkey
+    and c_nationkey = n1.n_nationkey
+    and s_nationkey = n2.n_nationkey
+    and n1.n_regionkey = r_regionkey
+    and n2.n_regionkey = r_regionkey
+    and r_name = 'ASIA'
+    and d_year >= 1992 and d_year <= 1997) flows
+group by c_nation, s_nation, d_year
+order by d_year, revenue desc";
+
+/// SSB Q3.2 — one customer nation, supplier nations, by year.
+pub const Q3_2: &str = "\
+select s_name, d_year, sum(lo_revenue) as revenue
+from lineorder, date_dim, customer, supplier, nation
+where lo_orderdate = d_datekey
+  and lo_custkey = c_custkey
+  and lo_suppkey = s_suppkey
+  and c_nationkey = n_nationkey
+  and n_name = 'UNITED STATES'
+  and d_year >= 1992 and d_year <= 1997
+group by s_name, d_year
+order by d_year, revenue desc
+limit 20";
+
+/// SSB Q4.1 — profit by year and customer nation within a region.
+pub const Q4_1: &str = "\
+select d_year, n_name, sum(lo_revenue - lo_supplycost) as profit
+from lineorder, date_dim, customer, nation, region
+where lo_orderdate = d_datekey
+  and lo_custkey = c_custkey
+  and c_nationkey = n_nationkey
+  and n_regionkey = r_regionkey
+  and r_name = 'AMERICA'
+group by d_year, n_name
+order by d_year, n_name";
+
+/// SSB Q4.2 — profit drill-down: years 1997-1998, by supplier nation and
+/// part manufacturer.
+pub const Q4_2: &str = "\
+select d_year, n_name, p_mfgr, sum(lo_revenue - lo_supplycost) as profit
+from lineorder, date_dim, supplier, part, nation
+where lo_orderdate = d_datekey
+  and lo_suppkey = s_suppkey
+  and lo_partkey = p_partkey
+  and s_nationkey = n_nationkey
+  and d_year >= 1997
+group by d_year, n_name, p_mfgr
+order by d_year, n_name, p_mfgr";
+
+/// The adapted SSB flight, in order.
+pub fn all_queries() -> Vec<(&'static str, &'static str)> {
+    vec![
+        ("SSB-Q1.1", Q1_1),
+        ("SSB-Q1.2", Q1_2),
+        ("SSB-Q1.3", Q1_3),
+        ("SSB-Q2.1", Q2_1),
+        ("SSB-Q3.1", Q3_1),
+        ("SSB-Q3.2", Q3_2),
+        ("SSB-Q4.1", Q4_1),
+        ("SSB-Q4.2", Q4_2),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+
+    #[test]
+    fn all_ssb_queries_parse_and_round_trip() {
+        for (name, sql) in all_queries() {
+            let q = parse_query(sql).unwrap_or_else(|e| panic!("{name}: {e}"));
+            let printed = q.to_string();
+            let q2 = parse_query(&printed)
+                .unwrap_or_else(|e| panic!("{name} reparse: {e}\n{printed}"));
+            assert_eq!(q, q2, "{name} round trip changed the AST");
+        }
+    }
+
+    #[test]
+    fn flight_covers_all_four_groups() {
+        let names: Vec<&str> = all_queries().iter().map(|(n, _)| *n).collect();
+        for group in ["Q1", "Q2", "Q3", "Q4"] {
+            assert!(
+                names.iter().any(|n| n.contains(group)),
+                "missing group {group}"
+            );
+        }
+    }
+}

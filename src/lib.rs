@@ -1,0 +1,41 @@
+//! # sqalpel
+//!
+//! Facade crate for **sqalpel-rs**, a Rust reproduction of
+//! *"SQALPEL: A database performance platform"* (Kersten et al., CIDR 2019).
+//!
+//! SQALPEL replaces frozen benchmark query sets with *discriminative
+//! performance benchmarking*: a complex baseline query is converted into a
+//! small grammar describing a much larger query space, which is explored with
+//! a guided random walk (a query pool morphed by alter / expand / prune
+//! strategies) to find the queries that run relatively better on one system
+//! than another. Around the explorer sits a GitHub-like repository of
+//! performance projects with access control, a contribution driver, a task
+//! queue and visual analytics.
+//!
+//! This crate re-exports the workspace members:
+//!
+//! - [`sql`] — SQL lexer/parser/AST/printer covering all 22 TPC-H queries.
+//! - [`datagen`] — deterministic TPC-H / SSB / airtraffic generators.
+//! - [`engine`] — two in-memory SQL engines ([`engine::RowStore`] and
+//!   [`engine::ColStore`]) that play the role of the target DBMSs.
+//! - [`grammar`] — the SQALPEL query-space grammar DSL plus the automatic
+//!   SQL-to-grammar converter.
+//! - [`core`] — the platform itself: projects, pool morphing, drivers,
+//!   queue, results and analytics.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use sqalpel::grammar::Grammar;
+//!
+//! // The sample grammar from Figure 1 of the paper.
+//! let g = Grammar::parse(sqalpel::grammar::FIG1_GRAMMAR).unwrap();
+//! let space = g.space_report(10_000).unwrap();
+//! assert!(space.templates > 1);
+//! ```
+
+pub use sqalpel_core as core;
+pub use sqalpel_datagen as datagen;
+pub use sqalpel_engine as engine;
+pub use sqalpel_grammar as grammar;
+pub use sqalpel_sql as sql;

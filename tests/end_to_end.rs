@@ -1,0 +1,154 @@
+//! End-to-end integration: the full platform loop over real engines —
+//! project setup, grammar conversion, pool walk, queue, driver,
+//! results, moderation and analytics.
+
+use sqalpel::core::analytics;
+use sqalpel::core::{
+    DriverConfig, EngineConnector, ExperimentDriver, SqalpelServer, Visibility,
+};
+use sqalpel::engine::{ColStore, Database, RowStore};
+use std::sync::Arc;
+use std::time::Duration;
+
+#[test]
+fn full_platform_session() {
+    let server = SqalpelServer::new();
+    let owner = server.register_user("owner", "o@cwi.nl").unwrap();
+    let contrib = server.register_user("contrib", "c@cwi.nl").unwrap();
+    let project = server
+        .create_project(owner, "q6-study", "forecasting revenue change", Visibility::Public)
+        .unwrap();
+    server
+        .set_targets(
+            project,
+            owner,
+            vec!["rowstore-2.0".into(), "colstore-5.1".into()],
+            vec!["bench-server".into()],
+        )
+        .unwrap();
+    server.invite(project, owner, contrib).unwrap();
+
+    // Q6 converts automatically; space matches the paper's Table 2 row.
+    let exp = server
+        .add_experiment(project, owner, "Q6", sqalpel::sql::tpch::Q6, None, 1000, 100)
+        .unwrap();
+    let seeded = server.seed_pool(project, exp, owner, 6, 1).unwrap();
+    assert!(seeded >= 4, "Q6's space has 15 queries; seeding should find several");
+    server.morph_pool(project, exp, owner, None, 10, 2).unwrap();
+
+    let tasks = server.enqueue_experiment(project, exp, owner).unwrap();
+    assert!(tasks >= 2 * seeded);
+
+    // Two contributors drain the queue, one per system.
+    let db = Arc::new(Database::tpch(0.001, 42));
+    let key = server.issue_key(contrib).unwrap();
+    for label in ["rowstore-2.0", "colstore-5.1"] {
+        let connector: EngineConnector = if label.starts_with("rowstore") {
+            EngineConnector::new(Arc::new(RowStore::new(db.clone())))
+        } else {
+            EngineConnector::new(Arc::new(ColStore::new(db.clone())))
+        };
+        let driver = ExperimentDriver::new(
+            connector,
+            DriverConfig::parse(&format!("dbms = {label}\nrepetitions = 2")).unwrap(),
+        );
+        while let Some(task) = server.request_task(&key, label, "bench-server").unwrap() {
+            let outcome = driver.run(&task.sql);
+            server.report_result(&key, task.id, outcome).unwrap();
+        }
+    }
+    let (queued, running, done, failed, timed_out) = server.queue_summary();
+    assert_eq!(queued + running + timed_out, 0);
+    assert_eq!(done + failed, tasks);
+
+    // Q6 variants are all single-table: no failures expected.
+    assert_eq!(failed, 0, "Q6 variants should all execute");
+
+    // Analytics: both engines measured every query.
+    let records = server.results_for(project, contrib).unwrap();
+    let t_row = analytics::times_by_query(&records, "rowstore-2.0");
+    let t_col = analytics::times_by_query(&records, "colstore-5.1");
+    assert_eq!(t_row.len(), t_col.len());
+    assert!(analytics::speedup(&t_row, &t_col).is_some());
+
+    // CSV export carries one line per record plus the header.
+    let csv = server.export_csv(project, contrib).unwrap();
+    assert_eq!(csv.lines().count(), records.len() + 1);
+
+    // Reaping finds nothing (the queue is drained).
+    assert!(server.reap_stuck(Duration::from_secs(0)).is_empty());
+}
+
+#[test]
+fn stuck_task_lifecycle_across_the_server() {
+    let server = SqalpelServer::new();
+    let owner = server.register_user("owner", "o@x.io").unwrap();
+    let project = server
+        .create_project(owner, "p", "s", Visibility::Public)
+        .unwrap();
+    server
+        .set_targets(project, owner, vec!["rowstore-2.0".into()], vec!["bench-server".into()])
+        .unwrap();
+    let exp = server
+        .add_experiment(
+            project,
+            owner,
+            "nation",
+            "select count(*) from nation where n_name = 'BRAZIL'",
+            None,
+            100,
+            10,
+        )
+        .unwrap();
+    server.seed_pool(project, exp, owner, 2, 3).unwrap();
+    server.enqueue_experiment(project, exp, owner).unwrap();
+
+    // The owner contributes too (owners hold contributor rights).
+    let key = server.issue_key(owner).unwrap();
+    let task = server
+        .request_task(&key, "rowstore-2.0", "bench-server")
+        .unwrap()
+        .expect("task available");
+    // The contributor never reports back; the moderator reaps it.
+    let reaped = server.reap_stuck(Duration::from_secs(0));
+    assert_eq!(reaped, vec![task.id]);
+    // Requeue and complete properly this time.
+    server.requeue(task.id).unwrap();
+    let task2 = server
+        .request_task(&key, "rowstore-2.0", "bench-server")
+        .unwrap()
+        .expect("requeued task");
+    let db = Arc::new(Database::tpch(0.001, 42));
+    let driver = ExperimentDriver::new(
+        EngineConnector::new(Arc::new(RowStore::new(db))),
+        DriverConfig::parse("dbms = rowstore-2.0").unwrap(),
+    );
+    server
+        .report_result(&key, task2.id, driver.run(&task2.sql))
+        .unwrap();
+    assert!(server.queue_summary().2 >= 1);
+}
+
+#[test]
+fn figure_pages_render_from_a_live_session() {
+    use sqalpel::core::reports;
+    let server = SqalpelServer::new();
+    let owner = server.register_user("owner", "o@x.io").unwrap();
+    let project = server
+        .create_project(owner, "pages", "render test", Visibility::Public)
+        .unwrap();
+    let exp = server
+        .add_experiment(project, owner, "fig1", sqalpel::sql::tpch::Q6, None, 1000, 50)
+        .unwrap();
+    server.seed_pool(project, exp, owner, 5, 9).unwrap();
+    let (fig5, fig6) = server
+        .with_project_view(project, owner, |p| {
+            let e = p.experiment(exp).unwrap();
+            (reports::experiment_page(p, e), reports::pool_page(&e.pool))
+        })
+        .unwrap();
+    assert!(fig5.contains("baseline query:"));
+    assert!(fig5.contains("sqalpel grammar:"));
+    assert!(fig6.contains("query pool:"));
+    assert!(fig6.contains("baseline"));
+}

@@ -1,0 +1,132 @@
+//! Property-based tests for the grammar machinery's core invariants.
+
+use proptest::prelude::*;
+use sqalpel::grammar::{self, Grammar};
+use std::collections::HashSet;
+
+/// Build a list-shaped grammar like the converter emits:
+/// `SELECT ${l_p} ${plist}* FROM t [WHERE ${l_w} ${wlist}*]`.
+fn list_grammar(n_proj: usize, n_pred: usize) -> Grammar {
+    let mut src = String::from("query:\n");
+    if n_pred > 0 {
+        src.push_str("    SELECT ${l_p} ${plist}* FROM t WHERE ${l_w} ${wlist}*\n");
+    } else {
+        src.push_str("    SELECT ${l_p} ${plist}* FROM t\n");
+    }
+    src.push_str("plist:\n    , ${l_p}\nl_p:\n");
+    for i in 0..n_proj {
+        src.push_str(&format!("    col{i}\n"));
+    }
+    if n_pred > 0 {
+        src.push_str("wlist:\n    AND ${l_w}\nl_w:\n");
+        for i in 0..n_pred {
+            src.push_str(&format!("    p{i} = {i}\n"));
+        }
+    }
+    Grammar::parse(&src).expect("well-formed grammar")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The space of a nonempty-subset list grammar has the closed form
+    /// (2^n - 1) × (2^m - 1), and the template count is n × m.
+    #[test]
+    fn space_matches_closed_form(n_proj in 1usize..8, n_pred in 0usize..7) {
+        let g = list_grammar(n_proj, n_pred);
+        let report = g.space_report(100_000).unwrap();
+        prop_assert!(!report.truncated);
+        let proj_space = (1u128 << n_proj) - 1;
+        let pred_space = if n_pred == 0 { 1 } else { (1u128 << n_pred) - 1 };
+        prop_assert_eq!(report.space, proj_space * pred_space);
+        let expect_templates = n_proj * n_pred.max(1);
+        prop_assert_eq!(report.templates, expect_templates);
+    }
+
+    /// Space always equals the sum of per-template instantiation counts.
+    #[test]
+    fn space_is_sum_of_instantiations(n_proj in 1usize..6, n_pred in 0usize..5) {
+        let g = list_grammar(n_proj, n_pred);
+        let set = g.templates(100_000).unwrap();
+        let total: u128 = set.templates.iter().map(|t| t.instantiations(&g)).sum();
+        prop_assert_eq!(g.space_report(100_000).unwrap().space, total);
+    }
+
+    /// Enumerated templates are pairwise distinct in their counts.
+    #[test]
+    fn templates_are_deduplicated(n_proj in 1usize..7, n_pred in 0usize..6) {
+        let g = list_grammar(n_proj, n_pred);
+        let set = g.templates(100_000).unwrap();
+        let mut seen = HashSet::new();
+        for t in &set.templates {
+            let key: Vec<(String, usize)> =
+                t.counts.iter().map(|(k, &v)| (k.clone(), v)).collect();
+            prop_assert!(seen.insert(key), "duplicate template counts");
+        }
+    }
+
+    /// Random instantiation respects the literal-once rule: no literal
+    /// appears twice, and every generated query is in the language.
+    #[test]
+    fn random_queries_respect_literal_once(
+        n_proj in 2usize..8,
+        seed in 0u64..1000,
+    ) {
+        let g = list_grammar(n_proj, 3);
+        let set = g.templates(100_000).unwrap();
+        let mut rng = grammar::seeded_rng(seed);
+        let sql = grammar::random_query(&g, &set.templates, &mut rng, None).unwrap();
+        // Columns between SELECT and FROM must be distinct.
+        let select_part = sql
+            .split("FROM")
+            .next()
+            .unwrap()
+            .trim_start_matches("SELECT ");
+        let cols: Vec<&str> = select_part.split(',').map(str::trim).collect();
+        let unique: HashSet<&str> = cols.iter().copied().collect();
+        prop_assert_eq!(cols.len(), unique.len(), "duplicate literal in {}", sql);
+    }
+
+    /// The explicit-choice instantiation is deterministic and parses.
+    #[test]
+    fn generated_sql_parses(seed in 0u64..500) {
+        let g = Grammar::parse(grammar::FIG1_GRAMMAR).unwrap();
+        let set = g.templates(1000).unwrap();
+        let mut rng = grammar::seeded_rng(seed);
+        let sql = grammar::random_query(&g, &set.templates, &mut rng, None).unwrap();
+        prop_assert!(sqalpel::sql::parse_query(&sql).is_ok(), "unparseable: {}", sql);
+    }
+
+    /// Conversion of a synthetic SELECT with k projections and m
+    /// conjuncts reproduces the analytic space.
+    #[test]
+    fn convert_space_closed_form(k in 1usize..6, m in 1usize..5) {
+        let projections: Vec<String> = (0..k).map(|i| format!("c{i}")).collect();
+        let predicates: Vec<String> = (0..m).map(|i| format!("x{i} = {i}")).collect();
+        let sql = format!(
+            "select {} from t where {}",
+            projections.join(", "),
+            predicates.join(" and ")
+        );
+        let g = grammar::convert_sql(&sql).unwrap();
+        let report = g.space_report(100_000).unwrap();
+        let expect = ((1u128 << k) - 1) * ((1u128 << m) - 1);
+        prop_assert_eq!(report.space, expect, "for {}", sql);
+    }
+
+    /// binomial is symmetric and satisfies Pascal's rule.
+    #[test]
+    fn binomial_identities(n in 0usize..40, k in 0usize..40) {
+        if k <= n {
+            prop_assert_eq!(grammar::binomial(n, k), grammar::binomial(n, n - k));
+        } else {
+            prop_assert_eq!(grammar::binomial(n, k), 0);
+        }
+        if n >= 1 && k >= 1 && k <= n {
+            prop_assert_eq!(
+                grammar::binomial(n, k),
+                grammar::binomial(n - 1, k - 1) + grammar::binomial(n - 1, k)
+            );
+        }
+    }
+}
