@@ -1,0 +1,10 @@
+//! Criterion benchmarks for morsel-driven parallel execution: scan,
+//! aggregation and join speedups at 1/2/4/8 threads, plus the
+//! multi-worker pool walk. Populated alongside the engine work.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_placeholder(_c: &mut Criterion) {}
+
+criterion_group!(benches, bench_placeholder);
+criterion_main!(benches);

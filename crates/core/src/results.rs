@@ -10,20 +10,40 @@ use crate::pool::QueryId;
 use crate::project::{ExperimentId, ProjectId};
 use crate::queue::TaskId;
 use crate::user::ContributorKey;
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 
 /// System load averages (1, 5, 15 minutes), "easily accessible in a Linux
 /// environment", recorded at the start and end of a run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct LoadAvg {
     pub one: f64,
     pub five: f64,
     pub fifteen: f64,
 }
 
+impl Serialize for LoadAvg {
+    fn to_value(&self) -> Value {
+        let mut m = serde_json::Map::new();
+        m.insert("one".into(), self.one.into());
+        m.insert("five".into(), self.five.into());
+        m.insert("fifteen".into(), self.fifteen.into());
+        Value::Object(m)
+    }
+}
+
+impl Deserialize for LoadAvg {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        Ok(LoadAvg {
+            one: v["one"].as_f64().ok_or("loadavg: missing one")?,
+            five: v["five"].as_f64().ok_or("loadavg: missing five")?,
+            fifteen: v["fifteen"].as_f64().ok_or("loadavg: missing fifteen")?,
+        })
+    }
+}
+
 /// One contributed measurement: the wall-clock time of each repetition
 /// plus the open-ended key-value extras.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ResultRecord {
     pub task: u64,
     pub project: u64,
@@ -46,8 +66,72 @@ pub struct ResultRecord {
     /// system specific performance indicators for post inspection."
     pub extras: serde_json::Value,
     /// Moderation: hidden results are not served to readers.
-    #[serde(default)]
+    /// Absent in serialized input from older clients; defaults to false.
     pub hidden: bool,
+}
+
+impl Serialize for ResultRecord {
+    fn to_value(&self) -> Value {
+        let mut m = serde_json::Map::new();
+        m.insert("task".into(), self.task.into());
+        m.insert("project".into(), self.project.into());
+        m.insert("experiment".into(), self.experiment.into());
+        m.insert("query".into(), self.query.into());
+        m.insert("dbms_label".into(), self.dbms_label.clone().into());
+        m.insert("host".into(), self.host.clone().into());
+        m.insert("contributor".into(), self.contributor.clone().into());
+        m.insert("times_ms".into(), self.times_ms.clone().into());
+        m.insert("rows".into(), self.rows.into());
+        m.insert(
+            "error".into(),
+            match &self.error {
+                Some(e) => Value::from(e.clone()),
+                None => Value::Null,
+            },
+        );
+        m.insert("load_before".into(), self.load_before.to_value());
+        m.insert("load_after".into(), self.load_after.to_value());
+        m.insert("extras".into(), self.extras.clone());
+        m.insert("hidden".into(), self.hidden.into());
+        Value::Object(m)
+    }
+}
+
+impl Deserialize for ResultRecord {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        let field_u64 =
+            |k: &str| v[k].as_i64().map(|x| x as u64).ok_or(format!("missing {k}"));
+        let field_str = |k: &str| {
+            v[k].as_str()
+                .map(str::to_string)
+                .ok_or(format!("missing {k}"))
+        };
+        Ok(ResultRecord {
+            task: field_u64("task")?,
+            project: field_u64("project")?,
+            experiment: field_u64("experiment")?,
+            query: field_u64("query")?,
+            dbms_label: field_str("dbms_label")?,
+            host: field_str("host")?,
+            contributor: field_str("contributor")?,
+            times_ms: v["times_ms"]
+                .as_array()
+                .ok_or("missing times_ms")?
+                .iter()
+                .map(|t| t.as_f64().ok_or("non-numeric time".to_string()))
+                .collect::<Result<_, _>>()?,
+            rows: field_u64("rows")? as usize,
+            error: if v["error"].is_null() {
+                None
+            } else {
+                Some(field_str("error")?)
+            },
+            load_before: LoadAvg::from_value(&v["load_before"])?,
+            load_after: LoadAvg::from_value(&v["load_after"])?,
+            extras: v["extras"].clone(),
+            hidden: v["hidden"].as_bool().unwrap_or(false),
+        })
+    }
 }
 
 impl ResultRecord {

@@ -605,13 +605,13 @@ mod tests {
         let db = Arc::new(Database::tpch(0.001, 42));
 
         let done = Arc::new(std::sync::atomic::AtomicUsize::new(0));
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for _ in 0..4 {
                 let server = Arc::clone(&server);
                 let db = Arc::clone(&db);
                 let done = Arc::clone(&done);
                 let key = server.issue_key(contrib).unwrap();
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let driver = ExperimentDriver::new(
                         EngineConnector::new(Arc::new(RowStore::new(db))),
                         DriverConfig::parse("dbms = rowstore-2.0\nrepetitions = 2").unwrap(),
@@ -626,8 +626,7 @@ mod tests {
                     }
                 });
             }
-        })
-        .unwrap();
+        });
         assert_eq!(done.load(std::sync::atomic::Ordering::SeqCst), total);
         let (queued, running, ..) = server.queue_summary();
         assert_eq!((queued, running), (0, 0));

@@ -1,0 +1,221 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset the workspace tests use: `Strategy` with
+//! `prop_map`/`prop_recursive`/`boxed`, `Just`, unions via `prop_oneof!`,
+//! integer-range and `[class]{m,n}` string strategies, tuples, `any`,
+//! `option::of`, and the `proptest!` test macro. Cases are sampled from a
+//! per-test deterministic seed; there is no shrinking — on failure the
+//! generated inputs are printed instead.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::Strategy;
+pub use test_runner::{ProptestConfig, TestRng};
+
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+use std::marker::PhantomData;
+
+/// Types with a canonical "whole domain" strategy.
+pub trait Arbitrary {
+    fn arbitrary_with(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary_with(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary_with(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+pub struct Any<T>(PhantomData<T>);
+
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary_with(rng)
+    }
+}
+
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    pub struct OptionStrategy<S>(S);
+
+    /// `Option<T>` values: `None` about a quarter of the time.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.0.generate(rng))
+            }
+        }
+    }
+}
+
+/// Uniform choice between strategies of a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( $crate::strategy::Strategy::boxed($strat) ),+
+        ])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// The test harness macro: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` sampled inputs. Failing cases
+/// print their inputs before propagating the panic.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_item! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_item! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_item {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $cfg;
+            let mut rng = $crate::test_runner::TestRng::from_name(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            for case in 0..config.cases {
+                $( let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng); )+
+                let described = format!(
+                    concat!($(stringify!($arg), " = {:?}; "),+),
+                    $(&$arg),+
+                );
+                let outcome = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(move || { $body })
+                );
+                if let Err(payload) = outcome {
+                    eprintln!(
+                        "proptest {}: case {}/{} failed with {}",
+                        stringify!($name),
+                        case + 1,
+                        config.cases,
+                        described,
+                    );
+                    ::std::panic::resume_unwind(payload);
+                }
+            }
+        }
+        $crate::__proptest_item! { ($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in -50i64..50, n in 1usize..9) {
+            prop_assert!((-50..50).contains(&x));
+            prop_assert!((1..9).contains(&n));
+        }
+
+        #[test]
+        fn strings_match_class(s in "[ab]{2,4}", t in "[a-c]{0,3}") {
+            prop_assert!((2..=4).contains(&s.len()));
+            prop_assert!(s.chars().all(|c| c == 'a' || c == 'b'));
+            prop_assert!(t.len() <= 3);
+            prop_assert!(t.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+
+        #[test]
+        fn combinators_compose(
+            v in prop_oneof![Just(1i64), Just(2), 10i64..20].prop_map(|x| x * 2),
+            opt in crate::option::of(0u64..5),
+            flag in any::<bool>(),
+        ) {
+            prop_assert!(v == 2 || v == 4 || (20..40).contains(&v));
+            if let Some(o) = opt {
+                prop_assert!(o < 5);
+            }
+            let _ = flag;
+        }
+
+        #[test]
+        fn recursion_terminates(depth in recursive_vec()) {
+            fn max_depth(v: &Vec<Vec<i64>>) -> usize { v.len() }
+            prop_assert!(max_depth(&depth) <= 64);
+        }
+    }
+
+    fn recursive_vec() -> impl Strategy<Value = Vec<Vec<i64>>> {
+        let leaf = (0i64..3).prop_map(|x| vec![vec![x]]);
+        leaf.prop_recursive(3, 16, 2, |inner| {
+            (inner.clone(), inner.clone()).prop_map(|(mut a, b)| {
+                a.extend(b);
+                a
+            })
+        })
+    }
+
+    #[test]
+    fn same_seed_same_samples() {
+        let strat = prop_oneof![Just(0u64), 1u64..100];
+        let mut a = crate::TestRng::from_name("x");
+        let mut b = crate::TestRng::from_name("x");
+        for _ in 0..50 {
+            assert_eq!(strat.generate(&mut a), strat.generate(&mut b));
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace uses serde only to round-trip driver result payloads
+//! through JSON (the paper's "open-ended key-value list structure"), so
+//! this stub collapses serde's data-model machinery to a single JSON
+//! [`value::Value`] plus two traits implemented by hand where needed.
+//! The `serde_json` stub in `vendor/serde_json` re-exports the value type
+//! and supplies parsing/printing.
+
+pub mod value;
+
+pub use value::Value;
+
+/// Types that can render themselves as a JSON value.
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can rebuild themselves from a JSON value.
+pub trait Deserialize: Sized {
+    fn from_value(v: &Value) -> Result<Self, String>;
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        Ok(v.clone())
+    }
+}
+
+macro_rules! via_from {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::from(self.clone())
+            }
+        }
+    )*};
+}
+
+via_from!(bool, i32, i64, u32, u64, usize, f64, String, &str);
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(|x| x.to_value()).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
