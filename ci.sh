@@ -1,0 +1,7 @@
+#!/bin/sh
+# Tier-1 gate: what must stay green on every commit.
+set -eux
+
+cargo build --release
+cargo test -q
+cargo clippy --workspace --all-targets -- -D warnings

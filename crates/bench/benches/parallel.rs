@@ -1,10 +1,130 @@
 //! Criterion benchmarks for morsel-driven parallel execution: scan,
 //! aggregation and join speedups at 1/2/4/8 threads, plus the
-//! multi-worker pool walk. Populated alongside the engine work.
+//! multi-worker queue drain. The machine-readable companion is
+//! `repro parallel`, which writes `BENCH_parallel.json`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sqalpel_core::{
+    run_worker_pool, DriverConfig, ExperimentDriver, RemoteConnector, SqalpelServer, Visibility,
+    Worker,
+};
+use sqalpel_engine::{ColStore, Database, Dbms, RowStore};
+use std::hint::black_box;
+use std::sync::Arc;
 
-fn bench_placeholder(_c: &mut Criterion) {}
+/// Past the paper-scale defaults on purpose: lineitem must dwarf the
+/// engines' morsel spawn threshold for the thread sweep to mean anything.
+const SF: f64 = 0.1;
+const THREADS: [usize; 4] = [1, 2, 4, 8];
 
-criterion_group!(benches, bench_placeholder);
+fn bench_scan(c: &mut Criterion) {
+    let db = Arc::new(Database::tpch(SF, 42));
+    let sql = "select l_orderkey, l_extendedprice from lineitem where l_quantity < 24";
+    let mut g = c.benchmark_group("parallel/scan");
+    g.sample_size(10);
+    for t in THREADS {
+        let col = ColStore::new(db.clone()).with_threads(t);
+        g.bench_with_input(BenchmarkId::new("colstore", t), &sql, |b, sql| {
+            b.iter(|| col.execute(black_box(sql)).unwrap())
+        });
+        let row = RowStore::new(db.clone()).with_threads(t);
+        g.bench_with_input(BenchmarkId::new("rowstore", t), &sql, |b, sql| {
+            b.iter(|| row.execute(black_box(sql)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_aggregate(c: &mut Criterion) {
+    let db = Arc::new(Database::tpch(SF, 42));
+    // Direct column arguments keep every accumulator exactly mergeable,
+    // so the whole grouping pass runs on the morsel workers.
+    let sql = "select l_returnflag, count(*), sum(l_quantity), min(l_shipdate), \
+               max(l_shipdate) from lineitem group by l_returnflag";
+    let mut g = c.benchmark_group("parallel/aggregate");
+    g.sample_size(10);
+    for t in THREADS {
+        let col = ColStore::new(db.clone()).with_threads(t);
+        g.bench_with_input(BenchmarkId::new("colstore", t), &sql, |b, sql| {
+            b.iter(|| col.execute(black_box(sql)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_join(c: &mut Criterion) {
+    let db = Arc::new(Database::tpch(SF, 42));
+    let sql = "select count(*) from lineitem, orders where l_orderkey = o_orderkey";
+    let mut g = c.benchmark_group("parallel/join");
+    g.sample_size(10);
+    for t in THREADS {
+        let col = ColStore::new(db.clone()).with_threads(t);
+        g.bench_with_input(BenchmarkId::new("colstore", t), &sql, |b, sql| {
+            b.iter(|| col.execute(black_box(sql)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+/// Build a server with an enqueued pool walk, ready to drain.
+fn pool_server() -> (SqalpelServer, sqalpel_core::UserId) {
+    let server = SqalpelServer::new();
+    let owner = server.register_user("mlk", "mlk@cwi.nl").unwrap();
+    let contrib = server.register_user("pk", "pk@monetdb.com").unwrap();
+    let project = server
+        .create_project(owner, "walk", "pool walk bench", Visibility::Public)
+        .unwrap();
+    server
+        .set_targets(project, owner, vec!["rowstore-2.0".into()], vec!["bench-server".into()])
+        .unwrap();
+    server.invite(project, owner, contrib).unwrap();
+    let exp = server
+        .add_experiment(
+            project,
+            owner,
+            "q6 walk",
+            sqalpel_sql::tpch::Q6,
+            None,
+            10_000,
+            1000,
+        )
+        .unwrap();
+    server.seed_pool(project, exp, owner, 30, 42).unwrap();
+    server.morph_pool(project, exp, owner, None, 30, 7).unwrap();
+    server.enqueue_experiment(project, exp, owner).unwrap();
+    (server, contrib)
+}
+
+fn bench_pool_walk(c: &mut Criterion) {
+    let mut g = c.benchmark_group("parallel/pool_walk");
+    g.sample_size(10);
+    for n in THREADS {
+        g.bench_with_input(BenchmarkId::new("workers", n), &n, |b, &n| {
+            b.iter(|| {
+                let (server, contrib) = pool_server();
+                let workers = (0..n)
+                    .map(|_| {
+                        let key = server.issue_key(contrib).unwrap();
+                        // A latency-bound remote target: dispatch concurrency
+                        // pays off regardless of local core count.
+                        let driver = ExperimentDriver::new(
+                            RemoteConnector {
+                                label: "rowstore-2.0".into(),
+                                latency: std::time::Duration::from_millis(2),
+                                rows: 1,
+                            },
+                            DriverConfig::parse("dbms = rowstore-2.0\nhost = bench-server\nrepetitions = 2")
+                                .unwrap(),
+                        );
+                        Worker::new(key, driver)
+                    })
+                    .collect();
+                black_box(run_worker_pool(&server, workers))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_scan, bench_aggregate, bench_join, bench_pool_walk);
 criterion_main!(benches);

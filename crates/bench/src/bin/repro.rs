@@ -1,7 +1,7 @@
 //! Regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro table1 | table2 | fig1 | fig2 | fig3 | fig4 | fig5 | fig6 | fig7 | all
+//! repro table1 | table2 | fig1 | fig2 | fig3 | fig4 | fig5 | fig6 | fig7 | ablation | parallel | all
 //! ```
 //!
 //! Environment: `SQALPEL_SF` sets the base TPC-H scale factor (default
@@ -15,7 +15,7 @@ fn main() {
     let what = args.first().map(String::as_str).unwrap_or("all");
     let known = [
         "table1", "table2", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
-        "ablation", "all",
+        "ablation", "parallel", "all",
     ];
     if !known.contains(&what) {
         eprintln!("usage: repro [{}]", known.join(" | "));
@@ -63,6 +63,9 @@ fn main() {
     }
     if run("ablation") {
         println!("{}", sqalpel_bench::ablations::report());
+    }
+    if run("parallel") {
+        println!("{}", sqalpel_bench::parallel_report());
     }
     eprintln!("[repro {what} done in {:.1?}]", t0.elapsed());
 }

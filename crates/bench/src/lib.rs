@@ -398,6 +398,180 @@ pub fn fig7() -> String {
     out
 }
 
+// ------------------------------------------------- parallel execution
+
+/// Thread counts swept by the parallel report.
+const PAR_THREADS: [usize; 4] = [1, 2, 4, 8];
+
+fn median_run_ms(dbms: &dyn Dbms, sql: &str, reps: usize) -> f64 {
+    let mut runs = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        dbms.execute(sql).expect("parallel bench query executes");
+        runs.push(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    runs.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+    runs[runs.len() / 2]
+}
+
+/// Build a server holding an enqueued Q6 pool walk of roughly `tasks`
+/// tasks (entries × one dbms × one host), plus a contributor to drain it.
+fn walk_server(tasks: usize) -> (sqalpel_core::SqalpelServer, sqalpel_core::UserId, usize) {
+    use sqalpel_core::Visibility;
+    let server = sqalpel_core::SqalpelServer::new();
+    let owner = server.register_user("mlk", "mlk@cwi.nl").expect("owner");
+    let contrib = server.register_user("pk", "pk@monetdb.com").expect("contributor");
+    let project = server
+        .create_project(owner, "walk", "parallel dispatch bench", Visibility::Public)
+        .expect("project");
+    server
+        .set_targets(project, owner, vec!["rowstore-2.0".into()], vec!["bench-server".into()])
+        .expect("targets");
+    server.invite(project, owner, contrib).expect("invite");
+    let exp = server
+        .add_experiment(project, owner, "q1 walk", sqalpel_sql::tpch::Q1, None, 10_000, 10_000)
+        .expect("experiment");
+    server.seed_pool(project, exp, owner, tasks / 2, 42).expect("seed");
+    server
+        .morph_pool(project, exp, owner, None, tasks / 2, 7)
+        .expect("morph");
+    let total = server.enqueue_experiment(project, exp, owner).expect("enqueue");
+    (server, contrib, total)
+}
+
+/// Drain `walk_server`'s queue with `n` workers talking to a simulated
+/// remote target (fixed per-query latency — the paper's contributors run
+/// against remote DBMSes, so dispatch is wait-bound, not compute-bound);
+/// returns (tasks completed, wall seconds).
+fn drain_walk(n: usize, tasks: usize) -> (usize, f64) {
+    use sqalpel_core::{DriverConfig, ExperimentDriver, RemoteConnector, Worker};
+    let (server, contrib, _total) = walk_server(tasks);
+    let workers = (0..n)
+        .map(|_| {
+            let key = server.issue_key(contrib).expect("key");
+            let connector = RemoteConnector {
+                label: "rowstore-2.0".into(),
+                latency: std::time::Duration::from_millis(10),
+                rows: 1,
+            };
+            let driver = ExperimentDriver::new(
+                connector,
+                DriverConfig::parse("dbms = rowstore-2.0\nhost = bench-server\nrepetitions = 3")
+                    .expect("config"),
+            );
+            Worker::new(key, driver)
+        })
+        .collect();
+    let report = sqalpel_core::run_worker_pool(&server, workers);
+    (report.completed(), report.wall.as_secs_f64())
+}
+
+/// `repro parallel`: morsel-parallel engine speedups (scan, aggregate,
+/// join at 1/2/4/8 threads) and the multi-worker queue drain, printed as
+/// a table and written machine-readably to `BENCH_parallel.json`.
+pub fn parallel_report() -> String {
+    use serde_json::{Map, Value};
+
+    // The engine sweep needs lineitem far past the morsel spawn
+    // threshold, so the scale floor is 0.1 regardless of SQALPEL_SF.
+    let sf = base_sf().max(0.1);
+    let reps = repetitions();
+    let db = Arc::new(Database::tpch(sf, 42));
+    // Selective, expression-heavy predicate: the filter kernels dominate
+    // and the small survivor set keeps result materialization (which is
+    // sequential) off the critical path.
+    let scan = "select l_orderkey, l_extendedprice from lineitem \
+                where l_quantity < 2 and l_extendedprice * (1 - l_discount) * (1 + l_tax) > 1000";
+    // Numeric group key and arguments: per-row hashing + accumulation is
+    // the dominant cost and every accumulator merges exactly.
+    let aggregate = "select l_suppkey, count(*), sum(l_quantity), min(l_extendedprice), \
+                     max(l_extendedprice) from lineitem group by l_suppkey";
+    let join = "select count(*) from lineitem, orders where l_orderkey = o_orderkey";
+    // RowStore parallelizes only its scan+filter front end, so the
+    // aggregate/join sweeps are ColStore-only.
+    let cases: [(&str, &str, &str); 4] = [
+        ("colstore-5.1", "scan", scan),
+        ("colstore-5.1", "aggregate", aggregate),
+        ("colstore-5.1", "join", join),
+        ("rowstore-2.0", "scan", scan),
+    ];
+
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut out = format!(
+        "## Parallel execution — morsel speedups (SF {sf}, {reps} reps) and worker-pool dispatch\n\n\
+         host offers {cores} core(s); thread counts beyond that measure overhead, not speedup\n\n\
+         engine        op         t=1ms   t=2ms   t=4ms   t=8ms   4x-speedup\n"
+    );
+    let mut ops_json = Vec::new();
+    for (engine, op, sql) in cases {
+        let mut medians = Vec::with_capacity(PAR_THREADS.len());
+        for t in PAR_THREADS {
+            let dbms: Box<dyn Dbms> = if engine.starts_with("colstore") {
+                Box::new(ColStore::new(db.clone()).with_threads(t))
+            } else {
+                Box::new(RowStore::new(db.clone()).with_threads(t))
+            };
+            medians.push(median_run_ms(dbms.as_ref(), sql, reps));
+        }
+        let speedup = medians[0] / medians[2].max(1e-9);
+        let _ = writeln!(
+            out,
+            "{engine:<13} {op:<9} {:>7.1} {:>7.1} {:>7.1} {:>7.1} {speedup:>9.2}x",
+            medians[0], medians[1], medians[2], medians[3]
+        );
+        let mut o = Map::new();
+        o.insert("engine".into(), Value::String(engine.into()));
+        o.insert("op".into(), Value::String(op.into()));
+        o.insert("sql".into(), Value::String(sql.into()));
+        let mut per_thread = Map::new();
+        for (t, m) in PAR_THREADS.iter().zip(&medians) {
+            per_thread.insert(t.to_string(), Value::Float(*m));
+        }
+        o.insert("median_ms".into(), Value::Object(per_thread));
+        o.insert("speedup_4_threads".into(), Value::Float(speedup));
+        ops_json.push(Value::Object(o));
+    }
+
+    // The dispatch half: the same ~100-task pool walk drained by one
+    // worker vs a pool of four, against a simulated remote target.
+    let (seq_done, seq_s) = drain_walk(1, 100);
+    let (pool_done, pool_s) = drain_walk(4, 100);
+    let dispatch_speedup = seq_s / pool_s.max(1e-9);
+    let _ = writeln!(
+        out,
+        "\npool walk: {seq_done} tasks in {seq_s:.2}s with 1 worker, \
+         {pool_done} tasks in {pool_s:.2}s with 4 workers ({dispatch_speedup:.2}x)"
+    );
+
+    let mut walk = Map::new();
+    walk.insert("tasks".into(), Value::Int(seq_done as i64));
+    walk.insert("sequential_s".into(), Value::Float(seq_s));
+    walk.insert("pool_workers".into(), Value::Int(4));
+    walk.insert("pool_s".into(), Value::Float(pool_s));
+    walk.insert("speedup".into(), Value::Float(dispatch_speedup));
+
+    let mut root = Map::new();
+    root.insert("sf".into(), Value::Float(sf));
+    root.insert("available_parallelism".into(), Value::Int(cores as i64));
+    root.insert("repetitions".into(), Value::Int(reps as i64));
+    root.insert(
+        "threads".into(),
+        Value::Array(PAR_THREADS.iter().map(|&t| Value::Int(t as i64)).collect()),
+    );
+    root.insert("engine_ops".into(), Value::Array(ops_json));
+    root.insert("pool_walk".into(), Value::Object(walk));
+    let json = serde_json::to_string_pretty(&Value::Object(root)).expect("serializable");
+    match std::fs::write("BENCH_parallel.json", &json) {
+        Ok(()) => {
+            let _ = writeln!(out, "\nwrote BENCH_parallel.json");
+        }
+        Err(e) => {
+            let _ = writeln!(out, "\ncould not write BENCH_parallel.json: {e}");
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -37,10 +37,13 @@ pub mod reports;
 pub mod results;
 pub mod server;
 pub mod user;
+pub mod workers;
 
 pub use bootstrap::{bootstrap_server, Bootstrap};
 pub use catalog::{Catalogs, DbmsEntry, HostEntry, Visibility};
-pub use driver::{Connector, DriverConfig, EngineConnector, ExperimentDriver, MockConnector};
+pub use driver::{
+    Connector, DriverConfig, EngineConnector, ExperimentDriver, MockConnector, RemoteConnector,
+};
 pub use error::{PlatformError, PlatformResult};
 pub use pool::{Guidance, Origin, PoolEntry, QueryId, QueryPool, Strategy};
 pub use project::{Experiment, ExperimentId, Project, ProjectId, Role};
@@ -48,3 +51,4 @@ pub use queue::{Task, TaskId, TaskQueue, TaskState};
 pub use results::{LoadAvg, ResultRecord, ResultStore};
 pub use server::SqalpelServer;
 pub use user::{ContributorKey, User, UserId, UserRegistry};
+pub use workers::{run_worker_pool, PoolReport, Worker, WorkerReport};

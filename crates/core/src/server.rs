@@ -601,33 +601,26 @@ mod tests {
         let (server, owner, contrib, project, exp) = setup();
         server.morph_pool(project, exp, owner, None, 10, 3).unwrap();
         let total = server.enqueue_experiment(project, exp, owner).unwrap();
-        let server = Arc::new(server);
         let db = Arc::new(Database::tpch(0.001, 42));
 
-        let done = Arc::new(std::sync::atomic::AtomicUsize::new(0));
-        std::thread::scope(|scope| {
-            for _ in 0..4 {
-                let server = Arc::clone(&server);
-                let db = Arc::clone(&db);
-                let done = Arc::clone(&done);
+        let workers: Vec<_> = (0..4)
+            .map(|_| {
                 let key = server.issue_key(contrib).unwrap();
-                scope.spawn(move || {
-                    let driver = ExperimentDriver::new(
-                        EngineConnector::new(Arc::new(RowStore::new(db))),
-                        DriverConfig::parse("dbms = rowstore-2.0\nrepetitions = 2").unwrap(),
-                    );
-                    while let Some(task) = server
-                        .request_task(&key, "rowstore-2.0", "bench-server")
-                        .unwrap()
-                    {
-                        let outcome = driver.run(&task.sql);
-                        server.report_result(&key, task.id, outcome).unwrap();
-                        done.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
-                    }
-                });
-            }
-        });
-        assert_eq!(done.load(std::sync::atomic::Ordering::SeqCst), total);
+                let driver = ExperimentDriver::new(
+                    EngineConnector::new(Arc::new(RowStore::new(Arc::clone(&db)))),
+                    DriverConfig::parse(
+                        "dbms = rowstore-2.0\nhost = bench-server\nrepetitions = 2",
+                    )
+                    .unwrap(),
+                );
+                crate::workers::Worker::new(key, driver)
+            })
+            .collect();
+        let report = crate::workers::run_worker_pool(&server, workers);
+
+        assert_eq!(report.completed(), total);
+        assert_eq!(report.rejected(), 0);
+        assert!(report.workers.iter().all(|w| w.wall <= report.wall));
         let (queued, running, ..) = server.queue_summary();
         assert_eq!((queued, running), (0, 0));
     }

@@ -1,0 +1,269 @@
+//! Multi-worker experiment dispatch.
+//!
+//! The paper's crowdsourced platform serves many contributors at once,
+//! each running the driver loop — request a task, execute it, report the
+//! result — against their own target system. This module packages that
+//! loop as a reusable pool: scoped worker threads, each owning a
+//! [`Connector`]-backed [`ExperimentDriver`] and a [`ContributorKey`],
+//! drain the server's queue concurrently until no work is left for their
+//! `(dbms, host)` target.
+//!
+//! The pool is honest about contention: if the moderator reaps a
+//! worker's task as stuck and requeues it while the worker is still
+//! executing, the eventual report is **rejected** by the server (the
+//! re-claimed run owns the result now). Workers count the rejection and
+//! move on — the queue's at-most-one-result-per-run invariant holds no
+//! matter how the pool races.
+
+use crate::driver::{Connector, ExperimentDriver};
+use crate::server::SqalpelServer;
+use crate::user::ContributorKey;
+use std::time::{Duration, Instant};
+
+/// One pool worker: a contributor identity plus the driver (owning its
+/// connector) that executes tasks on that contributor's behalf.
+pub struct Worker<C: Connector> {
+    pub key: ContributorKey,
+    pub driver: ExperimentDriver<C>,
+}
+
+impl<C: Connector> Worker<C> {
+    pub fn new(key: ContributorKey, driver: ExperimentDriver<C>) -> Self {
+        Worker { key, driver }
+    }
+}
+
+/// Per-worker statistics from one pool run.
+#[derive(Debug, Clone)]
+pub struct WorkerReport {
+    /// Index of the worker in the submitted pool.
+    pub worker: usize,
+    /// Tasks executed and successfully reported.
+    pub completed: usize,
+    /// Reports the server refused — the task was reaped as stuck and
+    /// reassigned while this worker was still executing it.
+    pub rejected: usize,
+    /// Wall-clock from the worker's first request to its last report.
+    pub wall: Duration,
+}
+
+/// Outcome of draining the queue with a worker pool.
+#[derive(Debug, Clone)]
+pub struct PoolReport {
+    pub workers: Vec<WorkerReport>,
+    /// Wall-clock of the whole drain.
+    pub wall: Duration,
+}
+
+impl PoolReport {
+    /// Tasks executed and successfully reported across all workers.
+    pub fn completed(&self) -> usize {
+        self.workers.iter().map(|w| w.completed).sum()
+    }
+
+    /// Reports the server refused across all workers.
+    pub fn rejected(&self) -> usize {
+        self.workers.iter().map(|w| w.rejected).sum()
+    }
+}
+
+/// Drain the server's queue with a pool of scoped worker threads.
+///
+/// Each worker loops request → execute → report against the `(dbms,
+/// host)` named by its driver config until the server hands it no more
+/// work. Request errors (revoked key, taken-down project) stop that
+/// worker; rejected reports are counted and skipped. Returns per-worker
+/// and overall wall-clock so callers can measure dispatch speedup.
+pub fn run_worker_pool<C: Connector>(server: &SqalpelServer, workers: Vec<Worker<C>>) -> PoolReport {
+    let start = Instant::now();
+    let reports: Vec<WorkerReport> = std::thread::scope(|scope| {
+        let handles: Vec<_> = workers
+            .into_iter()
+            .enumerate()
+            .map(|(idx, w)| {
+                scope.spawn(move || {
+                    let began = Instant::now();
+                    let mut completed = 0usize;
+                    let mut rejected = 0usize;
+                    let dbms = w.driver.config().dbms_label.clone();
+                    let host = w.driver.config().host.clone();
+                    loop {
+                        let task = match server.request_task(&w.key, &dbms, &host) {
+                            Ok(Some(t)) => t,
+                            Ok(None) => break,
+                            Err(_) => break,
+                        };
+                        let outcome = w.driver.run(&task.sql);
+                        match server.report_result(&w.key, task.id, outcome) {
+                            Ok(_) => completed += 1,
+                            Err(_) => rejected += 1,
+                        }
+                    }
+                    WorkerReport {
+                        worker: idx,
+                        completed,
+                        rejected,
+                        wall: began.elapsed(),
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("pool worker panicked"))
+            .collect()
+    });
+    PoolReport {
+        workers: reports,
+        wall: start.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Visibility;
+    use crate::driver::{DriverConfig, MockConnector};
+    use crate::project::{ExperimentId, ProjectId};
+    use crate::user::UserId;
+
+    fn setup() -> (SqalpelServer, UserId, UserId, ProjectId, ExperimentId) {
+        let server = SqalpelServer::new();
+        let owner = server.register_user("mlk", "mlk@cwi.nl").unwrap();
+        let contrib = server.register_user("pk", "pk@monetdb.com").unwrap();
+        let project = server
+            .create_project(owner, "pool-study", "worker pool tests", Visibility::Public)
+            .unwrap();
+        server
+            .set_targets(
+                project,
+                owner,
+                vec!["rowstore-2.0".into()],
+                vec!["bench-server".into()],
+            )
+            .unwrap();
+        server.invite(project, owner, contrib).unwrap();
+        let exp = server
+            .add_experiment(
+                project,
+                owner,
+                "nation filter",
+                "select n_name, n_regionkey from nation \
+                 where n_regionkey = 1 and n_name = 'BRAZIL'",
+                None,
+                1000,
+                100,
+            )
+            .unwrap();
+        server.seed_pool(project, exp, owner, 5, 42).unwrap();
+        (server, owner, contrib, project, exp)
+    }
+
+    fn mock_worker(server: &SqalpelServer, contrib: UserId, spin: u64) -> Worker<MockConnector> {
+        let key = server.issue_key(contrib).unwrap();
+        let driver = ExperimentDriver::new(
+            MockConnector {
+                label: "rowstore-2.0".into(),
+                fail_pattern: None,
+                spin,
+                rows: 1,
+            },
+            DriverConfig::parse("dbms = rowstore-2.0\nhost = bench-server\nrepetitions = 2")
+                .unwrap(),
+        );
+        Worker::new(key, driver)
+    }
+
+    #[test]
+    fn pool_drains_the_queue() {
+        let (server, owner, contrib, project, exp) = setup();
+        server.morph_pool(project, exp, owner, None, 12, 3).unwrap();
+        let total = server.enqueue_experiment(project, exp, owner).unwrap();
+        assert!(total >= 4);
+
+        let workers = (0..4)
+            .map(|_| mock_worker(&server, contrib, 1000))
+            .collect();
+        let report = run_worker_pool(&server, workers);
+
+        assert_eq!(report.completed(), total);
+        assert_eq!(report.rejected(), 0);
+        assert_eq!(report.workers.len(), 4);
+        assert!(report.workers.iter().all(|w| w.wall <= report.wall));
+        let (queued, running, done, failed, timed_out) = server.queue_summary();
+        assert_eq!((queued, running, timed_out), (0, 0, 0));
+        assert_eq!(done + failed, total);
+    }
+
+    #[test]
+    fn reaped_task_is_requeued_and_late_report_rejected() {
+        let (server, _owner, contrib, project, exp) = setup();
+        let total = server.enqueue_experiment(project, exp, _owner).unwrap();
+
+        // A "stuck" contributor claims a task and never reports back...
+        let stuck = mock_worker(&server, contrib, 0);
+        let task = server
+            .request_task(&stuck.key, "rowstore-2.0", "bench-server")
+            .unwrap()
+            .expect("a task to get stuck on");
+
+        // ...so the moderator reaps and requeues it.
+        let reaped = server.reap_stuck(Duration::ZERO);
+        assert_eq!(reaped, vec![task.id]);
+        server.requeue(task.id).unwrap();
+
+        // A healthy pool drains everything, the requeued task included.
+        let report = run_worker_pool(&server, vec![mock_worker(&server, contrib, 0)]);
+        assert_eq!(report.completed(), total);
+        let (queued, running, ..) = server.queue_summary();
+        assert_eq!((queued, running), (0, 0));
+
+        // The stuck worker's report arrives too late: the re-claimed run
+        // owns the result, so the server must refuse it.
+        let outcome = stuck.driver.run(&task.sql);
+        assert!(server.report_result(&stuck.key, task.id, outcome).is_err());
+    }
+
+    #[test]
+    fn contended_pool_tolerates_mid_run_reaping() {
+        let (server, owner, contrib, project, exp) = setup();
+        server.morph_pool(project, exp, owner, None, 12, 5).unwrap();
+        let total = server.enqueue_experiment(project, exp, owner).unwrap();
+
+        // Reap with a zero timeout while workers are mid-task: claimed
+        // tasks get yanked and requeued under the workers' feet.
+        let report = std::thread::scope(|scope| {
+            let reaper = scope.spawn(|| {
+                let mut requeued = 0usize;
+                for _ in 0..50 {
+                    for id in server.reap_stuck(Duration::ZERO) {
+                        if server.requeue(id).is_ok() {
+                            requeued += 1;
+                        }
+                    }
+                    std::thread::yield_now();
+                }
+                requeued
+            });
+            let workers = (0..3)
+                .map(|_| mock_worker(&server, contrib, 20_000))
+                .collect();
+            let report = run_worker_pool(&server, workers);
+            reaper.join().expect("reaper panicked");
+            report
+        });
+
+        // A task reaped in the instant between a worker's exit check and
+        // the requeue can be left queued with nobody to claim it; a final
+        // uncontended pass sweeps any such stragglers.
+        let sweep = run_worker_pool(&server, vec![mock_worker(&server, contrib, 0)]);
+
+        // Whatever interleaving happened: every task ended terminal, each
+        // terminal state came from exactly one accepted report, and
+        // rejections are exactly the reaped-and-reassigned races.
+        assert!(report.completed() + sweep.completed() >= total);
+        let (queued, running, done, failed, timed_out) = server.queue_summary();
+        assert_eq!((queued, running, timed_out), (0, 0, 0));
+        assert_eq!(done + failed, total);
+    }
+}

@@ -14,6 +14,7 @@
 use crate::error::EngineResult;
 use crate::exec_col::ColExec;
 use crate::exec_row::RowExec;
+use crate::morsel;
 use crate::result::ResultSet;
 use crate::storage::Database;
 use std::sync::Arc;
@@ -43,6 +44,7 @@ pub struct RowStore {
     budget: u64,
     version: &'static str,
     hash_joins: bool,
+    threads: usize,
 }
 
 impl RowStore {
@@ -53,6 +55,7 @@ impl RowStore {
             budget: DEFAULT_BUDGET,
             version: "2.0",
             hash_joins: true,
+            threads: morsel::default_threads(),
         }
     }
 
@@ -65,12 +68,24 @@ impl RowStore {
             budget: DEFAULT_BUDGET,
             version: "1.4",
             hash_joins: false,
+            threads: morsel::default_threads(),
         }
     }
 
     pub fn with_budget(mut self, budget: u64) -> Self {
         self.budget = budget;
         self
+    }
+
+    /// Cap the morsel workers per query. `1` forces fully sequential
+    /// execution; results are identical at every setting.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     pub fn database(&self) -> &Arc<Database> {
@@ -88,7 +103,7 @@ impl Dbms for RowStore {
     }
 
     fn execute(&self, sql: &str) -> EngineResult<ResultSet> {
-        let exec = RowExec::with_options(&self.db, self.budget, self.hash_joins);
+        let exec = RowExec::with_threads(&self.db, self.budget, self.hash_joins, self.threads);
         let (columns, rows) = exec.run_sql(sql)?;
         Ok(ResultSet::new(columns, rows))
     }
@@ -99,6 +114,7 @@ impl Dbms for RowStore {
 pub struct ColStore {
     db: Arc<Database>,
     budget: u64,
+    threads: usize,
 }
 
 impl ColStore {
@@ -106,12 +122,24 @@ impl ColStore {
         ColStore {
             db,
             budget: DEFAULT_BUDGET,
+            threads: morsel::default_threads(),
         }
     }
 
     pub fn with_budget(mut self, budget: u64) -> Self {
         self.budget = budget;
         self
+    }
+
+    /// Cap the morsel workers per query. `1` forces fully sequential
+    /// execution; results are identical at every setting.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     pub fn database(&self) -> &Arc<Database> {
@@ -129,7 +157,7 @@ impl Dbms for ColStore {
     }
 
     fn execute(&self, sql: &str) -> EngineResult<ResultSet> {
-        let exec = ColExec::new(&self.db, self.budget);
+        let exec = ColExec::with_threads(&self.db, self.budget, self.threads);
         let (columns, rows) = exec.run_sql(sql)?;
         Ok(ResultSet::new(columns, rows))
     }
@@ -175,6 +203,21 @@ mod tests {
         let db = tpch();
         let err = RowStore::new(db).execute("select nope from nowhere").unwrap_err();
         assert!(err.to_string().contains("unknown table"));
+    }
+
+    #[test]
+    fn thread_counts_agree_exactly() {
+        // SF 0.01 puts lineitem well past the parallel threshold.
+        let db = Arc::new(Database::tpch(0.01, 42));
+        let sql = "select l_returnflag, count(*), sum(l_quantity), min(l_shipdate) \
+                   from lineitem where l_quantity < 24 \
+                   group by l_returnflag order by l_returnflag";
+        let row1 = RowStore::new(db.clone()).with_threads(1).execute(sql).unwrap();
+        let row4 = RowStore::new(db.clone()).with_threads(4).execute(sql).unwrap();
+        assert!(row1.approx_eq(&row4, 0.0), "\n{row1}\nvs\n{row4}");
+        let col1 = ColStore::new(db.clone()).with_threads(1).execute(sql).unwrap();
+        let col4 = ColStore::new(db).with_threads(4).execute(sql).unwrap();
+        assert!(col1.approx_eq(&col4, 0.0), "\n{col1}\nvs\n{col4}");
     }
 
     #[test]

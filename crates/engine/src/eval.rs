@@ -666,6 +666,51 @@ impl Accumulator {
         Ok(())
     }
 
+    /// Fold another accumulator for the same spec into `self`. Used by the
+    /// parallel aggregation path: `other` covers rows strictly later in
+    /// morsel order, so min/max ties keep `self`'s first-seen value and the
+    /// result is identical to sequential accumulation. Callers never merge
+    /// DISTINCT accumulators (the seen-sets cannot be reconciled) nor
+    /// float sums (addition order would leak into the result).
+    pub fn merge(&mut self, other: &Accumulator) -> EngineResult<()> {
+        debug_assert!(self.seen.is_none() && other.seen.is_none());
+        self.count += other.count;
+        match self.func {
+            AggFunc::Count => {}
+            AggFunc::Sum | AggFunc::Avg => {
+                if other.sum_is_decimal {
+                    self.add_decimal(other.sum_d, other.sum_scale)?;
+                } else {
+                    if self.sum_is_decimal {
+                        self.sum_f += self.sum_d as f64 / 10f64.powi(self.sum_scale as i32);
+                        self.sum_is_decimal = false;
+                    }
+                    self.sum_f += other.sum_f;
+                }
+            }
+            AggFunc::Min | AggFunc::Max => {
+                if let Some(v) = &other.extreme {
+                    let replace = match &self.extreme {
+                        None => true,
+                        Some(cur) => {
+                            let ord = value::compare(v, cur)?.ok_or_else(|| {
+                                EngineError::Type("incomparable in min/max".into())
+                            })?;
+                            match self.func {
+                                AggFunc::Min => ord.is_lt(),
+                                _ => ord.is_gt(),
+                            }
+                        }
+                    };
+                    if replace {
+                        self.extreme = Some(v.clone());
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Produce the final value.
     pub fn finish(&self) -> Value {
         match self.func {
@@ -727,6 +772,53 @@ mod tests {
         let env = Env::new(sch, row);
         let ctx = EvalCtx::new(&NoSubqueries, ArithMode::Float);
         eval(&e, &env, &ctx)
+    }
+
+    #[test]
+    fn accumulator_merge_matches_sequential_update() {
+        let funcs = [
+            ("sum", AggFunc::Sum),
+            ("count", AggFunc::Count),
+            ("avg", AggFunc::Avg),
+            ("min", AggFunc::Min),
+            ("max", AggFunc::Max),
+        ];
+        let values: Vec<Value> = vec![
+            Value::Int(5),
+            Value::Null,
+            Value::Decimal { raw: 250, scale: 2 },
+            Value::Int(-3),
+            Value::Decimal { raw: 7, scale: 0 },
+        ];
+        for (name, func) in funcs {
+            let spec = AggSpec {
+                func,
+                distinct: false,
+                arg: None,
+                key: format!("{name}(x)"),
+            };
+            let mut sequential = Accumulator::new(&spec, ArithMode::GuardedDecimal);
+            for v in &values {
+                sequential.update(Some(v)).unwrap();
+            }
+            // Split at every point, accumulate the halves separately, merge.
+            for split in 0..=values.len() {
+                let mut lo = Accumulator::new(&spec, ArithMode::GuardedDecimal);
+                let mut hi = Accumulator::new(&spec, ArithMode::GuardedDecimal);
+                for v in &values[..split] {
+                    lo.update(Some(v)).unwrap();
+                }
+                for v in &values[split..] {
+                    hi.update(Some(v)).unwrap();
+                }
+                lo.merge(&hi).unwrap();
+                assert_eq!(
+                    format!("{:?}", lo.finish()),
+                    format!("{:?}", sequential.finish()),
+                    "{name} split at {split}"
+                );
+            }
+        }
     }
 
     #[test]

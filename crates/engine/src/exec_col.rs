@@ -16,18 +16,27 @@
 
 use crate::error::{EngineError, EngineResult};
 use crate::eval::{
-    collect_aggregates, eval, eval_filter, Accumulator, AggValues, Env, EvalCtx, SubqueryRunner,
+    collect_aggregates, eval, eval_filter, Accumulator, AggFunc, AggSpec, AggValues, Env, EvalCtx,
+    SubqueryRunner,
 };
+use crate::morsel::{self, BudgetCounter};
 use crate::output::finish_rows;
 use crate::plan::{BoundQuery, Plan, Planner, Schema};
-use crate::storage::{ColumnData, Database};
+use crate::storage::{ColumnData, Database, Table};
 use crate::value::{self, ArithMode, Key, Value};
 use sqalpel_sql::ast::{BinOp, Expr, JoinKind, Query, UnaryOp};
-use std::cell::{Cell, RefCell};
-use std::collections::HashMap;
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
+use std::ops::Range;
 use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 const MODE: ArithMode = ArithMode::GuardedDecimal;
+
+/// Grouped-aggregation state: (representative row index, accumulators)
+/// per group, in first-seen order.
+type MergedGroups = Vec<(usize, Vec<Accumulator>)>;
 
 /// A materialized column vector.
 #[derive(Debug, Clone)]
@@ -101,6 +110,15 @@ impl ColVec {
     fn truth(&self, i: usize) -> EngineResult<Option<bool>> {
         match self {
             ColVec::Bool(v) => Ok(Some(v[i])),
+            // Borrow boxed values instead of cloning them per row.
+            ColVec::Val(v) => match &v[i] {
+                Value::Bool(b) => Ok(Some(*b)),
+                Value::Null => Ok(None),
+                other => Err(EngineError::Type(format!(
+                    "expected boolean column, got {}",
+                    other.type_name()
+                ))),
+            },
             _ => match self.get(i) {
                 Value::Bool(b) => Ok(Some(b)),
                 Value::Null => Ok(None),
@@ -135,6 +153,13 @@ impl Batch {
     /// Materialize one row.
     pub fn row(&self, i: usize) -> Vec<Value> {
         self.cols.iter().map(|c| c.get(i)).collect()
+    }
+
+    /// Materialize one row into a caller-owned buffer, so row-at-a-time
+    /// loops reuse one allocation instead of building a `Vec` per row.
+    pub fn row_into(&self, i: usize, buf: &mut Vec<Value>) {
+        buf.clear();
+        buf.extend(self.cols.iter().map(|c| c.get(i)));
     }
 
     /// Keep only the rows at `idx`.
@@ -181,17 +206,45 @@ enum SubState {
 pub struct ColExec<'a> {
     db: &'a Database,
     budget: u64,
-    used: Cell<u64>,
+    used: BudgetCounter,
+    /// Worker cap for morsel-parallel operators; `1` keeps every operator
+    /// on its original sequential code path.
+    threads: usize,
     subqueries: RefCell<HashMap<usize, SubState>>,
     ctes: RefCell<Vec<CteFrame>>,
 }
 
 impl<'a> ColExec<'a> {
     pub fn new(db: &'a Database, budget: u64) -> Self {
+        Self::with_threads(db, budget, 1)
+    }
+
+    /// An executor that may fan base-table work out over `threads` morsel
+    /// workers. `threads = 1` is exactly the sequential executor.
+    pub fn with_threads(db: &'a Database, budget: u64, threads: usize) -> Self {
+        let threads = threads.max(1);
         ColExec {
             db,
             budget,
-            used: Cell::new(0),
+            used: if threads > 1 {
+                BudgetCounter::shared()
+            } else {
+                BudgetCounter::local()
+            },
+            threads,
+            subqueries: RefCell::new(HashMap::new()),
+            ctes: RefCell::new(Vec::new()),
+        }
+    }
+
+    /// A sequential executor for one parallel worker, charging the shared
+    /// budget of the coordinating execution.
+    fn worker(db: &'a Database, budget: u64, counter: Arc<AtomicU64>) -> Self {
+        ColExec {
+            db,
+            budget,
+            used: BudgetCounter::Shared(counter),
+            threads: 1,
             subqueries: RefCell::new(HashMap::new()),
             ctes: RefCell::new(Vec::new()),
         }
@@ -206,8 +259,7 @@ impl<'a> ColExec<'a> {
     }
 
     fn charge(&self, n: u64) -> EngineResult<()> {
-        let used = self.used.get() + n;
-        self.used.set(used);
+        let used = self.used.add(n);
         if used > self.budget {
             Err(EngineError::Budget(format!("{used} rows touched")))
         } else {
@@ -320,38 +372,46 @@ impl<'a> ColExec<'a> {
             })
             .collect::<EngineResult<_>>()?;
 
-        // Pass 2: group ids and accumulation.
-        let mut group_index: HashMap<Vec<Key>, usize> = HashMap::new();
-        let mut groups: Vec<(usize, Vec<Accumulator>)> = Vec::new(); // (rep row idx, accs)
-        for i in 0..batch.len {
-            self.charge(1)?;
-            let key: Vec<Key> = key_cols
-                .iter()
-                .map(|c| c.get(i).key())
-                .collect::<EngineResult<_>>()?;
-            let gid = match group_index.get(&key) {
-                Some(&g) => g,
+        // Pass 2: group ids and accumulation — morsel-parallel when every
+        // accumulator merges exactly, sequential otherwise.
+        let mut groups: Vec<(usize, Vec<Accumulator>)> = // (rep row idx, accs)
+            match self.par_aggregate(batch, &key_cols, &arg_cols, &specs)? {
+                Some(groups) => groups,
                 None => {
-                    let g = groups.len();
-                    group_index.insert(key, g);
-                    groups.push((
-                        i,
-                        specs.iter().map(|s| Accumulator::new(s, MODE)).collect(),
-                    ));
-                    g
+                    let mut group_index: HashMap<Vec<Key>, usize> = HashMap::new();
+                    let mut groups: Vec<(usize, Vec<Accumulator>)> = Vec::new();
+                    for i in 0..batch.len {
+                        self.charge(1)?;
+                        let key: Vec<Key> = key_cols
+                            .iter()
+                            .map(|c| c.get(i).key())
+                            .collect::<EngineResult<_>>()?;
+                        let gid = match group_index.get(&key) {
+                            Some(&g) => g,
+                            None => {
+                                let g = groups.len();
+                                group_index.insert(key, g);
+                                groups.push((
+                                    i,
+                                    specs.iter().map(|s| Accumulator::new(s, MODE)).collect(),
+                                ));
+                                g
+                            }
+                        };
+                        let (_, accs) = &mut groups[gid];
+                        for (arg, acc) in arg_cols.iter().zip(accs.iter_mut()) {
+                            match arg {
+                                None => acc.update(None)?,
+                                Some(col) => {
+                                    let v = col.get(i);
+                                    acc.update(Some(&v))?;
+                                }
+                            }
+                        }
+                    }
+                    groups
                 }
             };
-            let (_, accs) = &mut groups[gid];
-            for (arg, acc) in arg_cols.iter().zip(accs.iter_mut()) {
-                match arg {
-                    None => acc.update(None)?,
-                    Some(col) => {
-                        let v = col.get(i);
-                        acc.update(Some(&v))?;
-                    }
-                }
-            }
-        }
         if groups.is_empty() && bq.group_by.is_empty() {
             groups.push((
                 usize::MAX,
@@ -390,6 +450,253 @@ impl<'a> ColExec<'a> {
             produced.push((out, skeys));
         }
         Ok(())
+    }
+
+    // ---------------------------------------------------- parallel operators
+
+    /// Morsel-parallel grouped accumulation. Each worker accumulates
+    /// per-morsel partial groups; partials are merged **in morsel order**
+    /// (first morsel's representative row wins), which reproduces the
+    /// sequential first-seen group order exactly. Returns `None` — keeping
+    /// the sequential path — unless every accumulator merges exactly:
+    /// DISTINCT needs one seen-set, and float sums would expose addition
+    /// order.
+    fn par_aggregate(
+        &self,
+        batch: &Batch,
+        key_cols: &[ColVec],
+        arg_cols: &[Option<ColVec>],
+        specs: &[AggSpec],
+    ) -> EngineResult<Option<MergedGroups>> {
+        let Some(counter) = self.used.handle() else {
+            return Ok(None);
+        };
+        if self.threads < 2 || batch.len < morsel::MIN_PARALLEL_ROWS {
+            return Ok(None);
+        }
+        let exactly_mergeable = specs.iter().zip(arg_cols).all(|(s, arg)| {
+            if s.distinct {
+                return false;
+            }
+            match s.func {
+                AggFunc::Count => true,
+                // Sums stay on the i128 decimal path only for integer /
+                // decimal inputs; anything else folds into f64.
+                AggFunc::Sum | AggFunc::Avg => match arg {
+                    None | Some(ColVec::Int(_)) | Some(ColVec::Decimal { .. }) => true,
+                    Some(ColVec::Const(v, _)) => {
+                        matches!(v, Value::Int(_) | Value::Decimal { .. } | Value::Null)
+                    }
+                    _ => false,
+                },
+                // Typed columns are homogeneous, so comparison is a total
+                // order and min/max are merge-order independent; a mixed
+                // `Val` column could compare incomparable pairs in a
+                // different order than the sequential scan.
+                AggFunc::Min | AggFunc::Max => !matches!(arg, Some(ColVec::Val(_))),
+            }
+        });
+        if !exactly_mergeable {
+            return Ok(None);
+        }
+
+        let budget = self.budget;
+        type PartialGroups = Vec<(Vec<Key>, usize, Vec<Accumulator>)>;
+        // Coarse chunks: per-chunk group tables must be merged afterwards,
+        // and with 4096-row morsels that merge would rival the
+        // accumulation itself when groups are plentiful.
+        let chunks = morsel::coarse_morsels(batch.len, self.threads);
+        let partials: Vec<PartialGroups> =
+            morsel::run_on_ranges(chunks, self.threads, |range| {
+                let mut index: HashMap<Vec<Key>, usize> = HashMap::new();
+                let mut local: PartialGroups = Vec::new();
+                // One charge per morsel, not per row: the accumulated total
+                // (and so whether the budget trips) matches the sequential
+                // per-row charges, without a contended atomic in the loop.
+                let n = range.len() as u64;
+                let used = counter.fetch_add(n, Ordering::Relaxed) + n;
+                if used > budget {
+                    return Err(EngineError::Budget(format!("{used} rows touched")));
+                }
+                for i in range {
+                    let key: Vec<Key> = key_cols
+                        .iter()
+                        .map(|c| c.get(i).key())
+                        .collect::<EngineResult<_>>()?;
+                    let gid = match index.get(&key) {
+                        Some(&g) => g,
+                        None => {
+                            let g = local.len();
+                            local.push((
+                                key.clone(),
+                                i,
+                                specs.iter().map(|s| Accumulator::new(s, MODE)).collect(),
+                            ));
+                            index.insert(key, g);
+                            g
+                        }
+                    };
+                    let (_, _, accs) = &mut local[gid];
+                    for (arg, acc) in arg_cols.iter().zip(accs.iter_mut()) {
+                        match arg {
+                            None => acc.update(None)?,
+                            Some(col) => {
+                                let v = col.get(i);
+                                acc.update(Some(&v))?;
+                            }
+                        }
+                    }
+                }
+                Ok(local)
+            })?;
+
+        let mut group_index: HashMap<Vec<Key>, usize> = HashMap::new();
+        let mut groups: Vec<(usize, Vec<Accumulator>)> = Vec::new();
+        for partial in partials {
+            for (key, rep, accs) in partial {
+                match group_index.get(&key) {
+                    Some(&g) => {
+                        for (acc, other) in groups[g].1.iter_mut().zip(&accs) {
+                            acc.merge(other)?;
+                        }
+                    }
+                    None => {
+                        group_index.insert(key, groups.len());
+                        groups.push((rep, accs));
+                    }
+                }
+            }
+        }
+        Ok(Some(groups))
+    }
+
+    /// Morsel-parallel filter over a base-table scan: each worker
+    /// materializes one morsel of the table, evaluates the predicate and
+    /// keeps its qualifying rows; morsel outputs are concatenated in order,
+    /// so the surviving rows appear exactly as the sequential scan emits
+    /// them. Returns `None` when the shape or configuration keeps this on
+    /// the sequential path.
+    fn par_filter_scan(
+        &self,
+        input: &Plan,
+        predicate: &Expr,
+        outer: Option<&Env<'_>>,
+        needed: &HashSet<String>,
+    ) -> EngineResult<Option<Batch>> {
+        let Plan::Scan { table, .. } = input else {
+            return Ok(None);
+        };
+        let Some(counter) = self.used.handle() else {
+            return Ok(None);
+        };
+        if self.threads < 2
+            || outer.is_some()
+            || table.row_count() < morsel::MIN_PARALLEL_ROWS
+            || !morsel::parallel_safe(predicate)
+        {
+            return Ok(None);
+        }
+        let schema: Schema = input
+            .schema()
+            .into_iter()
+            .filter(|c| needed.contains(&c.name))
+            .collect();
+        let db = self.db;
+        let budget = self.budget;
+        let parts = morsel::run_on_morsels(table.row_count(), self.threads, |range| {
+            let w = ColExec::worker(db, budget, Arc::clone(&counter));
+            w.charge(range.len() as u64)?;
+            let batch = scan_batch(table, &schema, needed, range);
+            let mask = w.eval_vec(predicate, &batch, None)?;
+            let mut idx = Vec::new();
+            for i in 0..batch.len {
+                if mask.truth(i)? == Some(true) {
+                    idx.push(i);
+                }
+            }
+            Ok(batch.gather(&idx))
+        })?;
+        Ok(Some(concat_batches(schema, parts)))
+    }
+
+    /// Parallel equi-join over already-materialized key columns: build-side
+    /// keys are extracted morsel-parallel into hash partitions, the
+    /// per-partition tables are built in parallel (inserting morsels in
+    /// order keeps each key's match list in global row order), and probing
+    /// runs morsel-parallel over the left side with pair lists concatenated
+    /// in morsel order — the candidate sequence is byte-identical to the
+    /// sequential single-table build/probe.
+    fn par_hash_join(
+        &self,
+        lbatch: &Batch,
+        rbatch: &Batch,
+        lkeys: &[ColVec],
+        rkeys: &[ColVec],
+    ) -> EngineResult<Option<(Vec<usize>, Vec<usize>)>> {
+        let Some(counter) = self.used.handle() else {
+            return Ok(None);
+        };
+        if self.threads < 2 || lbatch.len.max(rbatch.len) < morsel::MIN_PARALLEL_ROWS {
+            return Ok(None);
+        }
+        let budget = self.budget;
+        let nparts = self.threads.min(16);
+
+        type Bucket = Vec<(Vec<Key>, usize)>;
+        let bucketed: Vec<Vec<Bucket>> =
+            morsel::run_on_morsels(rbatch.len, self.threads, |range| {
+                let mut buckets: Vec<Bucket> = vec![Vec::new(); nparts];
+                for j in range {
+                    let key: Vec<Key> = rkeys
+                        .iter()
+                        .map(|c| c.get(j).key())
+                        .collect::<EngineResult<_>>()?;
+                    buckets[partition_of(&key, nparts)].push((key, j));
+                }
+                Ok(buckets)
+            })?;
+        let tables: Vec<HashMap<Vec<Key>, Vec<usize>>> =
+            morsel::run_indexed(nparts, self.threads, |p| {
+                let mut m: HashMap<Vec<Key>, Vec<usize>> = HashMap::new();
+                for morsel_buckets in &bucketed {
+                    for (key, j) in &morsel_buckets[p] {
+                        m.entry(key.clone()).or_default().push(*j);
+                    }
+                }
+                Ok(m)
+            })?;
+        let pairs: Vec<(Vec<usize>, Vec<usize>)> =
+            morsel::run_on_morsels(lbatch.len, self.threads, |range| {
+                let mut li = Vec::new();
+                let mut ri = Vec::new();
+                for i in range {
+                    let key: Vec<Key> = lkeys
+                        .iter()
+                        .map(|c| c.get(i).key())
+                        .collect::<EngineResult<_>>()?;
+                    if let Some(matches) = tables[partition_of(&key, nparts)].get(&key) {
+                        let n = matches.len() as u64;
+                        let used = counter.fetch_add(n, Ordering::Relaxed) + n;
+                        if used > budget {
+                            return Err(EngineError::Budget(format!("{used} rows touched")));
+                        }
+                        for &j in matches {
+                            li.push(i);
+                            ri.push(j);
+                        }
+                    }
+                }
+                Ok((li, ri))
+            })?;
+
+        let total: usize = pairs.iter().map(|(li, _)| li.len()).sum();
+        let mut lidx = Vec::with_capacity(total);
+        let mut ridx = Vec::with_capacity(total);
+        for (li, ri) in pairs {
+            lidx.extend(li);
+            ridx.extend(ri);
+        }
+        Ok(Some((lidx, ridx)))
     }
 
     // ------------------------------------------------------------- operators
@@ -452,6 +759,9 @@ impl<'a> ColExec<'a> {
                 Ok(rows_to_batch(plan.schema(), &rows))
             }
             Plan::Filter { input, predicate } => {
+                if let Some(filtered) = self.par_filter_scan(input, predicate, outer, needed)? {
+                    return Ok(filtered);
+                }
                 let batch = self.exec_core(input, outer, needed)?;
                 let mask = self.eval_vec(predicate, &batch, outer)?;
                 let mut idx = Vec::new();
@@ -512,24 +822,29 @@ impl<'a> ColExec<'a> {
                 .map(|(_, re)| self.eval_vec(re, &rbatch, outer))
                 .collect::<EngineResult<_>>()?;
             self.charge((lbatch.len + rbatch.len) as u64)?;
-            let mut table: HashMap<Vec<Key>, Vec<usize>> = HashMap::new();
-            for j in 0..rbatch.len {
-                let key: Vec<Key> = rkeys
-                    .iter()
-                    .map(|c| c.get(j).key())
-                    .collect::<EngineResult<_>>()?;
-                table.entry(key).or_default().push(j);
-            }
-            for i in 0..lbatch.len {
-                let key: Vec<Key> = lkeys
-                    .iter()
-                    .map(|c| c.get(i).key())
-                    .collect::<EngineResult<_>>()?;
-                if let Some(matches) = table.get(&key) {
-                    self.charge(matches.len() as u64)?;
-                    for &j in matches {
-                        lidx.push(i);
-                        ridx.push(j);
+            if let Some((pl, pr)) = self.par_hash_join(&lbatch, &rbatch, &lkeys, &rkeys)? {
+                lidx = pl;
+                ridx = pr;
+            } else {
+                let mut table: HashMap<Vec<Key>, Vec<usize>> = HashMap::new();
+                for j in 0..rbatch.len {
+                    let key: Vec<Key> = rkeys
+                        .iter()
+                        .map(|c| c.get(j).key())
+                        .collect::<EngineResult<_>>()?;
+                    table.entry(key).or_default().push(j);
+                }
+                for i in 0..lbatch.len {
+                    let key: Vec<Key> = lkeys
+                        .iter()
+                        .map(|c| c.get(i).key())
+                        .collect::<EngineResult<_>>()?;
+                    if let Some(matches) = table.get(&key) {
+                        self.charge(matches.len() as u64)?;
+                        for &j in matches {
+                            lidx.push(i);
+                            ridx.push(j);
+                        }
                     }
                 }
             }
@@ -718,11 +1033,20 @@ impl<'a> ColExec<'a> {
             }
             // Everything else (CASE, EXTRACT, SUBSTRING, subqueries,
             // unary minus, IS NULL): row-wise fallback with full semantics.
+            // The context and row buffer live outside the loop so the only
+            // per-row allocations are the values themselves.
             _ => {
                 self.charge(n as u64)?;
+                let ctx = EvalCtx::new(self, MODE);
                 let mut out = Vec::with_capacity(n);
+                let mut row: Vec<Value> = Vec::with_capacity(batch.schema.len());
                 for i in 0..n {
-                    out.push(self.eval_one(e, batch, i, outer, false)?);
+                    batch.row_into(i, &mut row);
+                    let env = match outer {
+                        Some(o) => Env::with_outer(&batch.schema, &row, o),
+                        None => Env::new(&batch.schema, &row),
+                    };
+                    out.push(eval(e, &env, &ctx)?);
                 }
                 Ok(ColVec::Val(out))
             }
@@ -791,6 +1115,113 @@ impl SubqueryRunner for ColExec<'_> {
             Err(other) => Err(other),
         }
     }
+}
+
+/// Materialize one morsel of a base-table scan, pruning to `needed`
+/// columns (the same pruning and `i64 → i128` decimal widening as the
+/// full sequential scan).
+fn scan_batch(table: &Table, schema: &Schema, needed: &HashSet<String>, range: Range<usize>) -> Batch {
+    let cols = table
+        .columns
+        .iter()
+        .filter(|c| needed.contains(&c.name))
+        .map(|c| match &c.data {
+            ColumnData::Int(v) => ColVec::Int(v[range.clone()].to_vec()),
+            ColumnData::Decimal { raw, scale } => ColVec::Decimal {
+                raw: raw[range.clone()].iter().map(|&x| x as i128).collect(),
+                scale: *scale,
+            },
+            ColumnData::Str(v) => ColVec::Str(v[range.clone()].to_vec()),
+            ColumnData::Date(v) => ColVec::Date(v[range.clone()].to_vec()),
+            ColumnData::Float(v) => ColVec::Float(v[range.clone()].to_vec()),
+        })
+        .collect();
+    Batch {
+        schema: schema.clone(),
+        len: range.len(),
+        cols,
+    }
+}
+
+/// Concatenate per-morsel batches in morsel order.
+fn concat_batches(schema: Schema, parts: Vec<Batch>) -> Batch {
+    let len = parts.iter().map(|b| b.len).sum();
+    let mut by_col: Vec<Vec<ColVec>> = (0..schema.len())
+        .map(|_| Vec::with_capacity(parts.len()))
+        .collect();
+    for b in parts {
+        for (slot, col) in by_col.iter_mut().zip(b.cols) {
+            slot.push(col);
+        }
+    }
+    let cols = by_col.into_iter().map(concat_col).collect();
+    Batch { schema, len, cols }
+}
+
+/// Concatenate column fragments, preserving the typed representation.
+/// Fragments from one operator share a variant; mismatches (possible only
+/// through future operators) fall back to boxed values.
+fn concat_col(parts: Vec<ColVec>) -> ColVec {
+    let total: usize = parts.iter().map(|c| c.len()).sum();
+    let mut iter = parts.into_iter();
+    let Some(mut acc) = iter.next() else {
+        return ColVec::Val(Vec::new());
+    };
+    for part in iter {
+        acc = match (acc, part) {
+            (ColVec::Int(mut a), ColVec::Int(b)) => {
+                a.extend(b);
+                ColVec::Int(a)
+            }
+            (ColVec::Float(mut a), ColVec::Float(b)) => {
+                a.extend(b);
+                ColVec::Float(a)
+            }
+            (
+                ColVec::Decimal { raw: mut a, scale: sa },
+                ColVec::Decimal { raw: b, scale: sb },
+            ) if sa == sb => {
+                a.extend(b);
+                ColVec::Decimal { raw: a, scale: sa }
+            }
+            (ColVec::Str(mut a), ColVec::Str(b)) => {
+                a.extend(b);
+                ColVec::Str(a)
+            }
+            (ColVec::Date(mut a), ColVec::Date(b)) => {
+                a.extend(b);
+                ColVec::Date(a)
+            }
+            (ColVec::Bool(mut a), ColVec::Bool(b)) => {
+                a.extend(b);
+                ColVec::Bool(a)
+            }
+            (ColVec::Val(mut a), ColVec::Val(b)) => {
+                a.extend(b);
+                ColVec::Val(a)
+            }
+            (a, b) => {
+                let mut out = Vec::with_capacity(total);
+                for c in [a, b] {
+                    for i in 0..c.len() {
+                        out.push(c.get(i));
+                    }
+                }
+                ColVec::Val(out)
+            }
+        };
+    }
+    acc
+}
+
+/// Deterministic hash partition for join keys (SipHash with fixed keys, so
+/// every run and every thread count agrees — though the output never
+/// depends on the partitioning anyway).
+fn partition_of(key: &[Key], nparts: usize) -> usize {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    key.hash(&mut h);
+    (h.finish() as usize) % nparts
 }
 
 /// Collect every column name referenced anywhere in a bound query — its

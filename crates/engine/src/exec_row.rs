@@ -10,14 +10,17 @@ use crate::error::{EngineError, EngineResult};
 use crate::eval::{
     collect_aggregates, eval, eval_filter, Accumulator, AggValues, Env, EvalCtx, SubqueryRunner,
 };
+use crate::morsel::{self, BudgetCounter};
 use crate::output::{finish_rows, sort_keys};
 use crate::plan::{BoundQuery, Plan, Planner, Schema};
 use crate::storage::Database;
 use crate::value::{ArithMode, Key, Value};
 use sqalpel_sql::ast::{Expr, JoinKind, Query};
-use std::cell::{Cell, RefCell};
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
 
 /// How a subquery behaved on first execution.
 /// One materialized CTE visible during execution.
@@ -43,7 +46,10 @@ pub struct RowExec<'a> {
     /// Rows the execution may touch before aborting with
     /// [`EngineError::Budget`] (morphed queries can go cartesian).
     budget: u64,
-    used: Cell<u64>,
+    used: BudgetCounter,
+    /// Worker cap for the morsel-parallel scan+filter front end; `1`
+    /// keeps execution fully sequential.
+    threads: usize,
     subqueries: RefCell<HashMap<usize, SubState>>,
     /// CTE frames: innermost last.
     ctes: RefCell<Vec<CteFrame>>,
@@ -62,10 +68,37 @@ impl<'a> RowExec<'a> {
     /// Constructor with the hash-join switch (false = RowStore 1.x
     /// nested-loop behaviour).
     pub fn with_options(db: &'a Database, budget: u64, hash_joins: bool) -> Self {
+        Self::with_threads(db, budget, hash_joins, 1)
+    }
+
+    /// Constructor with the worker cap. Only the scan+filter front end
+    /// parallelizes — float aggregation must fold in row order — and
+    /// `threads = 1` is exactly the sequential executor.
+    pub fn with_threads(db: &'a Database, budget: u64, hash_joins: bool, threads: usize) -> Self {
+        let threads = threads.max(1);
         RowExec {
             db,
             budget,
-            used: Cell::new(0),
+            used: if threads > 1 {
+                BudgetCounter::shared()
+            } else {
+                BudgetCounter::local()
+            },
+            threads,
+            subqueries: RefCell::new(HashMap::new()),
+            ctes: RefCell::new(Vec::new()),
+            hash_joins,
+        }
+    }
+
+    /// A sequential executor for one parallel worker, charging the shared
+    /// budget of the coordinating execution.
+    fn worker(db: &'a Database, budget: u64, hash_joins: bool, counter: Arc<AtomicU64>) -> Self {
+        RowExec {
+            db,
+            budget,
+            used: BudgetCounter::Shared(counter),
+            threads: 1,
             subqueries: RefCell::new(HashMap::new()),
             ctes: RefCell::new(Vec::new()),
             hash_joins,
@@ -81,8 +114,7 @@ impl<'a> RowExec<'a> {
     }
 
     fn charge(&self, n: u64) -> EngineResult<()> {
-        let used = self.used.get() + n;
-        self.used.set(used);
+        let used = self.used.add(n);
         if used > self.budget {
             Err(EngineError::Budget(format!("{used} rows touched")))
         } else {
@@ -234,6 +266,63 @@ impl<'a> RowExec<'a> {
         Ok(())
     }
 
+    /// Morsel-parallel scan+filter front end: workers materialize and
+    /// filter base-table rows per morsel; survivors feed the downstream
+    /// single-threaded pipeline in morsel order — exactly the row order
+    /// the sequential scan emits. Per-row predicate evaluation is order
+    /// independent, so the float pipeline's fold order is untouched.
+    /// Returns `false` when the shape or configuration keeps this on the
+    /// sequential path.
+    fn par_filter_scan(
+        &self,
+        input: &Plan,
+        predicate: &Expr,
+        outer: Option<&Env<'_>>,
+        sink: &mut dyn FnMut(&[Value]) -> EngineResult<()>,
+    ) -> EngineResult<bool> {
+        let Plan::Scan { table, .. } = input else {
+            return Ok(false);
+        };
+        let Some(counter) = self.used.handle() else {
+            return Ok(false);
+        };
+        if self.threads < 2
+            || outer.is_some()
+            || table.row_count() < morsel::MIN_PARALLEL_ROWS
+            || !morsel::parallel_safe(predicate)
+        {
+            return Ok(false);
+        }
+        let schema = input.schema();
+        let db = self.db;
+        let budget = self.budget;
+        let hash_joins = self.hash_joins;
+        let kept: Vec<Vec<Vec<Value>>> =
+            morsel::run_on_morsels(table.row_count(), self.threads, |range| {
+                let w = RowExec::worker(db, budget, hash_joins, Arc::clone(&counter));
+                let ctx = EvalCtx::new(&w, MODE);
+                let mut rows = Vec::new();
+                // One charge per morsel, not per row: totals (and therefore
+                // whether the budget trips) are identical to the sequential
+                // per-row charges, without a contended atomic in the loop.
+                w.charge(range.len() as u64)?;
+                for i in range {
+                    let row: Vec<Value> = table.columns.iter().map(|c| c.data.get(i)).collect();
+                    let env = Env::new(&schema, &row);
+                    if eval_filter(predicate, &env, &ctx)? {
+                        rows.push(row);
+                    }
+                }
+                Ok(rows)
+            })?;
+        for rows in &kept {
+            for row in rows {
+                sink(row)?;
+            }
+        }
+        Ok(true)
+    }
+
     /// Push rows of the relational core through `sink`.
     fn execute_core(
         &self,
@@ -276,6 +365,9 @@ impl<'a> RowExec<'a> {
                 Ok(())
             }
             Plan::Filter { input, predicate } => {
+                if self.par_filter_scan(input, predicate, outer, sink)? {
+                    return Ok(());
+                }
                 let schema = input.schema();
                 let ctx = EvalCtx::new(self, MODE);
                 self.execute_core(input, outer, &mut |row| {

@@ -34,6 +34,7 @@ pub mod error;
 pub mod eval;
 pub mod exec_col;
 pub mod exec_row;
+pub mod morsel;
 pub mod output;
 pub mod plan;
 pub mod result;

@@ -1,0 +1,299 @@
+//! Morsel-driven parallelism primitives (Leis et al., adapted).
+//!
+//! Base-table work is partitioned into fixed-size row ranges — *morsels* —
+//! that a small pool of scoped threads drains from a shared cursor. Every
+//! parallel operator in the engines follows the same discipline:
+//!
+//! 1. workers produce one partial result per morsel, never touching
+//!    shared mutable state except the [`BudgetCounter`];
+//! 2. partial results are merged **in morsel order**, so row order,
+//!    group first-seen order and join match order are identical to the
+//!    sequential plan;
+//! 3. the first error in morsel order wins. Because a morsel is scanned
+//!    sequentially and earlier morsels contain no failing row, that is
+//!    exactly the error the sequential executor would have reported
+//!    (budget messages excepted — those quote the shared counter).
+//!
+//! `threads = 1` never reaches this module: the executors keep their
+//! original single-threaded code paths byte-for-byte.
+
+use crate::error::{EngineError, EngineResult};
+use std::cell::Cell;
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use sqalpel_sql::ast::Expr;
+
+/// Rows per morsel. Small enough that a skewed predicate still load-balances
+/// across workers, large enough that per-morsel overhead (a batch header,
+/// a hash-table allocation) stays invisible.
+pub const MORSEL_ROWS: usize = 4096;
+
+/// Inputs below this row count stay on the sequential path: spawning
+/// threads costs more than the scan.
+pub const MIN_PARALLEL_ROWS: usize = 2 * MORSEL_ROWS;
+
+/// The default for the `threads` knob: whatever the machine offers.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Split `0..len` into fixed-size morsels (the last one may be short).
+pub fn morsels(len: usize) -> Vec<Range<usize>> {
+    let mut out = Vec::with_capacity(len.div_ceil(MORSEL_ROWS.max(1)));
+    let mut lo = 0;
+    while lo < len {
+        let hi = (lo + MORSEL_ROWS).min(len);
+        out.push(lo..hi);
+        lo = hi;
+    }
+    out
+}
+
+/// Split `0..len` into a few large contiguous chunks — enough for `threads`
+/// workers to load-balance (4 per worker) but far fewer than [`morsels`]
+/// would produce. Used where per-chunk state must be *merged* afterwards
+/// (grouped aggregation): with 4096-row morsels and many groups the merge
+/// work rivals the accumulation itself. Chunks never go below
+/// [`MORSEL_ROWS`]; boundaries don't affect results (merging is associative
+/// over contiguous splits), only overhead.
+pub fn coarse_morsels(len: usize, threads: usize) -> Vec<Range<usize>> {
+    let target = threads.max(1) * 4;
+    let chunk = len.div_ceil(target).max(MORSEL_ROWS);
+    let mut out = Vec::with_capacity(len.div_ceil(chunk.max(1)));
+    let mut lo = 0;
+    while lo < len {
+        let hi = (lo + chunk).min(len);
+        out.push(lo..hi);
+        lo = hi;
+    }
+    out
+}
+
+/// The execution budget's row counter. Single-threaded executions keep the
+/// original `Cell` (no synchronization, bit-identical behaviour); parallel
+/// executions share one atomic across all workers so the budget bounds the
+/// *query*, not each thread.
+#[derive(Debug)]
+pub enum BudgetCounter {
+    Local(Cell<u64>),
+    Shared(Arc<AtomicU64>),
+}
+
+impl BudgetCounter {
+    pub fn local() -> Self {
+        BudgetCounter::Local(Cell::new(0))
+    }
+
+    pub fn shared() -> Self {
+        BudgetCounter::Shared(Arc::new(AtomicU64::new(0)))
+    }
+
+    /// Add `n` rows and return the new total.
+    pub fn add(&self, n: u64) -> u64 {
+        match self {
+            BudgetCounter::Local(c) => {
+                let used = c.get() + n;
+                c.set(used);
+                used
+            }
+            BudgetCounter::Shared(a) => a.fetch_add(n, Ordering::Relaxed) + n,
+        }
+    }
+
+    /// The shared atomic, when this execution is parallel.
+    pub fn handle(&self) -> Option<Arc<AtomicU64>> {
+        match self {
+            BudgetCounter::Local(_) => None,
+            BudgetCounter::Shared(a) => Some(Arc::clone(a)),
+        }
+    }
+}
+
+/// Can `e` be evaluated by parallel workers? Subqueries hold per-execution
+/// caches (`Rc`/`RefCell` state) and must stay on the owning thread;
+/// everything else is a pure function of (row, database).
+pub fn parallel_safe(e: &Expr) -> bool {
+    let mut safe = true;
+    e.visit(&mut |x| {
+        if matches!(
+            x,
+            Expr::Subquery(_) | Expr::InSubquery { .. } | Expr::Exists { .. }
+        ) {
+            safe = false;
+        }
+    });
+    safe
+}
+
+/// Run `f` over every morsel of `0..len` on up to `threads` scoped workers
+/// and return the per-morsel results **in morsel order**. Workers pull
+/// morsels from a shared cursor (dynamic scheduling) and stop early on
+/// error; the error of the earliest failing morsel is reported.
+pub fn run_on_morsels<T, F>(len: usize, threads: usize, f: F) -> EngineResult<Vec<T>>
+where
+    T: Send,
+    F: Fn(Range<usize>) -> EngineResult<T> + Sync,
+{
+    run_on_ranges(morsels(len), threads, f)
+}
+
+/// [`run_on_morsels`] over caller-chosen ranges (e.g. [`coarse_morsels`]).
+pub fn run_on_ranges<T, F>(ranges: Vec<Range<usize>>, threads: usize, f: F) -> EngineResult<Vec<T>>
+where
+    T: Send,
+    F: Fn(Range<usize>) -> EngineResult<T> + Sync,
+{
+    run_indexed(ranges.len(), threads, |i| f(ranges[i].clone()))
+}
+
+/// Run `f(0) .. f(count - 1)` on up to `threads` scoped workers and return
+/// the results in index order; the error of the earliest failing index
+/// wins. The morsel runner and the partitioned join build both sit on this.
+pub fn run_indexed<T, F>(count: usize, threads: usize, f: F) -> EngineResult<Vec<T>>
+where
+    T: Send,
+    F: Fn(usize) -> EngineResult<T> + Sync,
+{
+    let workers = threads.clamp(1, count.max(1));
+    let cursor = AtomicUsize::new(0);
+    let mut slots: Vec<Option<EngineResult<T>>> = Vec::new();
+    slots.resize_with(count, || None);
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut produced = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= count {
+                            break;
+                        }
+                        let result = f(i);
+                        let stop = result.is_err();
+                        produced.push((i, result));
+                        if stop {
+                            break;
+                        }
+                    }
+                    produced
+                })
+            })
+            .collect();
+        for h in handles {
+            match h.join() {
+                Ok(produced) => {
+                    for (i, r) in produced {
+                        slots[i] = Some(r);
+                    }
+                }
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+
+    // Claimed morsels form a contiguous prefix; a missing slot can only
+    // follow an error, so scanning in order surfaces the earliest failure.
+    let mut out = Vec::with_capacity(slots.len());
+    for slot in slots {
+        match slot {
+            Some(Ok(v)) => out.push(v),
+            Some(Err(e)) => return Err(e),
+            None => {
+                return Err(EngineError::Unsupported(
+                    "morsel skipped without a preceding error".into(),
+                ))
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn morsels_cover_the_range_exactly() {
+        for len in [0, 1, MORSEL_ROWS - 1, MORSEL_ROWS, MORSEL_ROWS + 1, 3 * MORSEL_ROWS + 17] {
+            let parts = morsels(len);
+            let mut next = 0;
+            for p in &parts {
+                assert_eq!(p.start, next);
+                assert!(p.end > p.start);
+                assert!(p.end - p.start <= MORSEL_ROWS);
+                next = p.end;
+            }
+            assert_eq!(next, len);
+        }
+    }
+
+    #[test]
+    fn coarse_morsels_cover_the_range_with_few_chunks() {
+        for len in [0, 1, MORSEL_ROWS, 10 * MORSEL_ROWS + 17, 150 * MORSEL_ROWS] {
+            for threads in [1, 2, 4, 8] {
+                let parts = coarse_morsels(len, threads);
+                let mut next = 0;
+                for (k, p) in parts.iter().enumerate() {
+                    assert_eq!(p.start, next);
+                    assert!(p.end > p.start);
+                    if k + 1 < parts.len() {
+                        assert!(p.end - p.start >= MORSEL_ROWS);
+                    }
+                    next = p.end;
+                }
+                assert_eq!(next, len);
+                // Never more chunks than the load-balancing target needs.
+                assert!(parts.len() <= threads * 4 + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn results_come_back_in_morsel_order() {
+        let n = 5 * MORSEL_ROWS + 123;
+        let sums = run_on_morsels(n, 4, |r| Ok::<_, EngineError>(r.start)).unwrap();
+        let expected: Vec<usize> = morsels(n).iter().map(|r| r.start).collect();
+        assert_eq!(sums, expected);
+    }
+
+    #[test]
+    fn earliest_error_wins() {
+        let n = 8 * MORSEL_ROWS;
+        let err = run_on_morsels(n, 4, |r| {
+            if r.start >= 2 * MORSEL_ROWS {
+                Err(EngineError::Type(format!("fail at {}", r.start)))
+            } else {
+                Ok(r.start)
+            }
+        })
+        .unwrap_err();
+        assert_eq!(err.to_string(), EngineError::Type(format!("fail at {}", 2 * MORSEL_ROWS)).to_string());
+    }
+
+    #[test]
+    fn budget_counter_shared_accumulates_across_clones() {
+        let b = BudgetCounter::shared();
+        let h = b.handle().unwrap();
+        assert_eq!(b.add(10), 10);
+        h.fetch_add(5, Ordering::Relaxed);
+        assert_eq!(b.add(1), 16);
+        let local = BudgetCounter::local();
+        assert!(local.handle().is_none());
+        assert_eq!(local.add(3), 3);
+        assert_eq!(local.add(4), 7);
+    }
+
+    #[test]
+    fn parallel_safety_detects_subqueries() {
+        let safe = sqalpel_sql::parse_expr("l_quantity < 24 and l_shipdate <= date '1998-09-02'")
+            .unwrap();
+        assert!(parallel_safe(&safe));
+        let unsafe_expr =
+            sqalpel_sql::parse_expr("l_quantity < (select avg(l_quantity) from lineitem)").unwrap();
+        assert!(!parallel_safe(&unsafe_expr));
+    }
+}

@@ -1,0 +1,140 @@
+//! Morsel-parallel execution must be observationally identical to
+//! sequential execution: for every query, `threads = N` returns the exact
+//! same rows in the exact same order as `threads = 1` — or fails with the
+//! same *kind* of error. (Budget error *messages* quote the shared row
+//! counter, whose exact value at abort time may differ between thread
+//! counts, so kinds are compared rather than messages.)
+//!
+//! The scale factor is chosen so lineitem comfortably exceeds the
+//! engine's parallel spawn threshold — otherwise every query would take
+//! the sequential path on both sides and the test would be vacuous.
+
+use sqalpel_engine::{ColStore, Database, Dbms, EngineError, RowStore};
+use std::sync::Arc;
+
+/// Thread count for the parallel side of every comparison.
+const THREADS: usize = 4;
+
+fn kind(e: &EngineError) -> &'static str {
+    match e {
+        EngineError::Parse(_) => "parse",
+        EngineError::UnknownTable(_) => "unknown-table",
+        EngineError::UnknownColumn(_) => "unknown-column",
+        EngineError::AmbiguousColumn(_) => "ambiguous-column",
+        EngineError::Type(_) => "type",
+        EngineError::Unsupported(_) => "unsupported",
+        EngineError::Overflow(_) => "overflow",
+        EngineError::ScalarCardinality(_) => "scalar-cardinality",
+        EngineError::Budget(_) => "budget",
+    }
+}
+
+/// Run `sql` on a sequential and a parallel clone of the same system and
+/// demand byte-identical success or same-kind failure.
+fn assert_thread_invariant<D: Dbms>(seq: &D, par: &D, name: &str, sql: &str) {
+    match (seq.execute(sql), par.execute(sql)) {
+        (Ok(a), Ok(b)) => assert!(
+            a.approx_eq(&b, 0.0),
+            "{name} differs on {} between threads=1 and threads={THREADS}:\n{a}\nvs\n{b}",
+            seq.label(),
+        ),
+        (Err(a), Err(b)) => assert_eq!(
+            kind(&a),
+            kind(&b),
+            "{name} fails differently on {}: threads=1 -> {a}, threads={THREADS} -> {b}",
+            seq.label(),
+        ),
+        (Ok(a), Err(b)) => panic!(
+            "{name} on {}: threads=1 succeeded but threads={THREADS} failed: {b}\n{a}",
+            seq.label()
+        ),
+        (Err(a), Ok(b)) => panic!(
+            "{name} on {}: threads=1 failed ({a}) but threads={THREADS} succeeded\n{b}",
+            seq.label()
+        ),
+    }
+}
+
+fn tpch_db() -> Arc<Database> {
+    // SF 0.005: lineitem ~30k rows, well past the morsel spawn threshold.
+    Arc::new(Database::tpch(0.005, 7))
+}
+
+/// Queries whose joins degenerate to filtered cross products (Q19's OR
+/// group spans both tables) materialize enormous intermediates at this
+/// scale; a tight budget kills them — identically at every thread count,
+/// which is exactly what this suite verifies.
+const SUITE_BUDGET: u64 = 20_000_000;
+
+#[test]
+fn tpch_rowstore_threads_are_invisible() {
+    let db = tpch_db();
+    let seq = RowStore::new(db.clone()).with_budget(SUITE_BUDGET).with_threads(1);
+    let par = RowStore::new(db).with_budget(SUITE_BUDGET).with_threads(THREADS);
+    for (name, sql) in sqalpel_sql::tpch::all_queries() {
+        assert_thread_invariant(&seq, &par, name, sql);
+    }
+}
+
+#[test]
+fn tpch_colstore_threads_are_invisible() {
+    let db = tpch_db();
+    let seq = ColStore::new(db.clone()).with_budget(SUITE_BUDGET).with_threads(1);
+    let par = ColStore::new(db).with_budget(SUITE_BUDGET).with_threads(THREADS);
+    for (name, sql) in sqalpel_sql::tpch::all_queries() {
+        assert_thread_invariant(&seq, &par, name, sql);
+    }
+}
+
+#[test]
+fn ssb_flight_threads_are_invisible() {
+    let db = Arc::new(Database::ssb(0.005, 7));
+    let row_seq = RowStore::new(db.clone()).with_budget(SUITE_BUDGET).with_threads(1);
+    let row_par = RowStore::new(db.clone()).with_budget(SUITE_BUDGET).with_threads(THREADS);
+    let col_seq = ColStore::new(db.clone()).with_budget(SUITE_BUDGET).with_threads(1);
+    let col_par = ColStore::new(db).with_budget(SUITE_BUDGET).with_threads(THREADS);
+    for (name, sql) in sqalpel_sql::ssb::all_queries() {
+        assert_thread_invariant(&row_seq, &row_par, name, sql);
+        assert_thread_invariant(&col_seq, &col_par, name, sql);
+    }
+}
+
+#[test]
+fn budget_kill_fires_at_every_thread_count() {
+    // A budget small enough that the scan itself blows it: the *kind* of
+    // failure must not depend on how many workers shared the counter.
+    let db = tpch_db();
+    let sql = "select count(*) from lineitem where l_quantity < 24";
+    for threads in [1, 2, THREADS, 8] {
+        let row = RowStore::new(db.clone()).with_budget(1_000).with_threads(threads);
+        let col = ColStore::new(db.clone()).with_budget(1_000).with_threads(threads);
+        assert!(
+            matches!(row.execute(sql), Err(EngineError::Budget(_))),
+            "rowstore budget kill missing at threads={threads}"
+        );
+        assert!(
+            matches!(col.execute(sql), Err(EngineError::Budget(_))),
+            "colstore budget kill missing at threads={threads}"
+        );
+    }
+}
+
+#[test]
+fn binding_errors_are_identical_at_every_thread_count() {
+    // Errors raised before (unknown names) and during (row-level type
+    // clash) parallel execution must carry the same kind either way.
+    let db = tpch_db();
+    let cases = [
+        "select nope from lineitem where l_quantity < 24",
+        "select l_orderkey from nowhere",
+        "select l_orderkey from lineitem where l_comment + 1 > 0",
+    ];
+    let row_seq = RowStore::new(db.clone()).with_threads(1);
+    let row_par = RowStore::new(db.clone()).with_threads(THREADS);
+    let col_seq = ColStore::new(db.clone()).with_threads(1);
+    let col_par = ColStore::new(db).with_threads(THREADS);
+    for sql in cases {
+        assert_thread_invariant(&row_seq, &row_par, "error-case", sql);
+        assert_thread_invariant(&col_seq, &col_par, "error-case", sql);
+    }
+}

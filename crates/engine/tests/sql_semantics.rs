@@ -26,7 +26,7 @@ fn tiny_db() -> Arc<Database> {
                     "dept",
                     ["eng", "eng", "ops", "ops"].iter().map(|s| s.to_string()),
                 ),
-                dec_col("salary", [100_00, 200_00, 150_00, 150_00].into_iter(), 2),
+                dec_col("salary", [10000, 20000, 15000, 15000].into_iter(), 2),
             ],
         )
         .unwrap(),

@@ -78,6 +78,52 @@ fn q19_variants_agree() {
 }
 
 #[test]
+fn variants_agree_across_thread_counts() {
+    // Morsel parallelism must be invisible to the differential harness:
+    // each generated variant returns byte-identical rows (or the same
+    // kind of error) at threads=1 and threads=4. Needs a scale factor
+    // past the engines' parallel spawn threshold, otherwise both sides
+    // take the sequential path and the check is vacuous.
+    let grammar = sqalpel::grammar::convert_sql(sqalpel::sql::tpch::Q1).expect("Q1 converts");
+    let set = grammar.templates(50_000).expect("enumerable");
+    let mut rng = sqalpel::grammar::seeded_rng(11);
+    let db = Arc::new(Database::tpch(0.01, 7));
+    let budget = 20_000_000;
+    let row_seq = RowStore::new(db.clone()).with_budget(budget).with_threads(1);
+    let row_par = RowStore::new(db.clone()).with_budget(budget).with_threads(4);
+    let col_seq = ColStore::new(db.clone()).with_budget(budget).with_threads(1);
+    let col_par = ColStore::new(db).with_budget(budget).with_threads(4);
+    let pairs: [(&dyn Dbms, &dyn Dbms); 2] = [(&row_seq, &row_par), (&col_seq, &col_par)];
+    for _ in 0..10 {
+        let sql = sqalpel::grammar::random_query(&grammar, &set.templates, &mut rng, None)
+            .expect("generation succeeds");
+        for (seq, par) in pairs {
+            match (seq.execute(&sql), par.execute(&sql)) {
+                (Ok(x), Ok(y)) => assert!(
+                    x.approx_eq(&y, 0.0),
+                    "{} diverged across thread counts on {sql}:\n{x}\nvs\n{y}",
+                    seq.label()
+                ),
+                // Budget messages quote the shared row counter, so only
+                // the error *kind* is required to match.
+                (Err(x), Err(y)) => assert_eq!(
+                    std::mem::discriminant(&x),
+                    std::mem::discriminant(&y),
+                    "{} fails differently across thread counts on {sql}: {x} vs {y}",
+                    seq.label()
+                ),
+                (a, b) => panic!(
+                    "{} thread counts disagree on whether {sql} runs: {:?} vs {:?}",
+                    seq.label(),
+                    a.map(|r| r.rows.len()),
+                    b.map(|r| r.rows.len()),
+                ),
+            }
+        }
+    }
+}
+
+#[test]
 fn legacy_rowstore_agrees_on_q3_variants() {
     // The two versions of the same system must return identical answers
     // wherever both complete.

@@ -194,7 +194,7 @@ mod tests {
 
         #[test]
         fn recursion_terminates(depth in recursive_vec()) {
-            fn max_depth(v: &Vec<Vec<i64>>) -> usize { v.len() }
+            fn max_depth(v: &[Vec<i64>]) -> usize { v.len() }
             prop_assert!(max_depth(&depth) <= 64);
         }
     }
