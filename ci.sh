@@ -4,4 +4,7 @@ set -eux
 
 cargo build --release
 cargo test -q
+# The wire layer's loopback e2e suite: concurrent clients with injected
+# connection drops must drain the queue with zero double-reports.
+cargo test -q -p sqalpel-core --test wire_loopback
 cargo clippy --workspace --all-targets -- -D warnings

@@ -1,24 +1,40 @@
-//! Regenerate the paper's tables and figures.
+//! Regenerate the paper's tables and figures, or run the platform live.
 //!
 //! ```text
-//! repro table1 | table2 | fig1 | fig2 | fig3 | fig4 | fig5 | fig6 | fig7 | ablation | parallel | all
+//! repro table1 | table2 | fig1 | fig2 | fig3 | fig4 | fig5 | fig6 | fig7 | ablation | parallel | wire | all
+//! repro serve [addr]                          # demo platform over HTTP (default 127.0.0.1:7878)
+//! repro contribute <addr> <key> [dbms] [host] # drain the queue as a remote contributor
 //! ```
 //!
 //! Environment: `SQALPEL_SF` sets the base TPC-H scale factor (default
 //! 0.02; Figure 3 also builds a 10× instance), `SQALPEL_REPS` the
 //! repetitions per query (default 3).
 
+use std::sync::Arc;
 use std::time::Instant;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let what = args.first().map(String::as_str).unwrap_or("all");
+    match what {
+        "serve" => {
+            serve(args.get(1).map(String::as_str).unwrap_or("127.0.0.1:7878"));
+            return;
+        }
+        "contribute" => {
+            contribute(&args);
+            return;
+        }
+        _ => {}
+    }
     let known = [
         "table1", "table2", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
-        "ablation", "parallel", "all",
+        "ablation", "parallel", "wire", "all",
     ];
     if !known.contains(&what) {
         eprintln!("usage: repro [{}]", known.join(" | "));
+        eprintln!("       repro serve [addr]");
+        eprintln!("       repro contribute <addr> <key> [dbms] [host]");
         std::process::exit(2);
     }
     let t0 = Instant::now();
@@ -67,5 +83,128 @@ fn main() {
     if run("parallel") {
         println!("{}", sqalpel_bench::parallel_report());
     }
+    if run("wire") {
+        println!("{}", sqalpel_bench::wire_report());
+    }
     eprintln!("[repro {what} done in {:.1?}]", t0.elapsed());
+}
+
+/// `repro serve [addr]`: bootstrap the demo projects, enqueue the TPC-H
+/// experiments, and serve the platform API over HTTP until killed.
+fn serve(addr: &str) {
+    use sqalpel_core::{bootstrap_server, SqalpelServer, WireConfig, WireServer};
+
+    let server = Arc::new(SqalpelServer::new());
+    let boot = bootstrap_server(&server, 6, 42).expect("bootstrap demo projects");
+    let mut tasks = 0;
+    for (_, exp) in &boot.tpch_experiments {
+        tasks += server
+            .enqueue_experiment(boot.tpch, *exp, boot.admin)
+            .expect("enqueue");
+    }
+    let key = server.issue_key(boot.admin).expect("contributor key");
+    let wire = WireServer::start(Arc::clone(&server), addr, WireConfig::default())
+        .unwrap_or_else(|e| {
+            eprintln!("cannot bind {addr}: {e}");
+            std::process::exit(1);
+        });
+    let local = wire.local_addr();
+    println!("sqalpel platform serving on http://{local}/v1");
+    println!("{tasks} tasks queued across {} TPC-H experiments", boot.tpch_experiments.len());
+    println!("demo contributor key: {}", key.0);
+    println!();
+    println!("drain the queue from another terminal:");
+    println!("  repro contribute {local} {} rowstore-2.0 bench-server", key.0);
+    println!();
+    println!("or poke the API directly:");
+    println!("  GET  http://{local}/v1/queue/summary");
+    println!("  POST http://{local}/v1/task/request   {{\"key\": ..., \"dbms_label\": ..., \"host\": ...}}");
+    println!("  POST http://{local}/v1/result/report  {{\"key\": ..., \"task\": ..., \"outcome\": ...}}");
+    loop {
+        std::thread::park();
+    }
+}
+
+/// `repro contribute <addr> <key> [dbms] [host]`: connect to a running
+/// `repro serve`, claim tasks for one target, run them on the local
+/// engine, and report the measurements back.
+fn contribute(args: &[String]) {
+    use sqalpel_core::{ContributorKey, DriverConfig, EngineConnector, ExperimentDriver, WireClient};
+    use sqalpel_engine::{ColStore, Database, RowStore};
+    use std::net::ToSocketAddrs;
+
+    let (Some(addr), Some(key)) = (args.get(1), args.get(2)) else {
+        eprintln!("usage: repro contribute <addr> <key> [dbms] [host]");
+        std::process::exit(2);
+    };
+    let dbms = args.get(3).map(String::as_str).unwrap_or("rowstore-2.0");
+    let host = args.get(4).map(String::as_str).unwrap_or("bench-server");
+    let addr = addr
+        .to_socket_addrs()
+        .ok()
+        .and_then(|mut a| a.next())
+        .unwrap_or_else(|| {
+            eprintln!("cannot resolve address {addr}");
+            std::process::exit(2);
+        });
+
+    // Morphed variants can drop a join predicate and go cartesian; the
+    // row budget kills those so they report as errors instead of hanging
+    // the contributor (the paper's stuck-query guard). Legit queries
+    // touch ~10M rows per unit of scale factor, so 100M×SF leaves an
+    // order of magnitude of headroom while tripping runaways quickly.
+    let sf = sqalpel_bench::base_sf();
+    let budget = ((sf * 100_000_000.0) as u64).max(2_000_000);
+    let db = Arc::new(Database::tpch(sf, 42));
+    let connector = if dbms.starts_with("colstore") {
+        EngineConnector::new(Arc::new(ColStore::new(db).with_budget(budget)))
+    } else if dbms == "rowstore-1.4" {
+        EngineConnector::new(Arc::new(RowStore::legacy(db).with_budget(budget)))
+    } else {
+        EngineConnector::new(Arc::new(RowStore::new(db).with_budget(budget)))
+    };
+    let driver = ExperimentDriver::new(
+        connector,
+        DriverConfig::parse(&format!(
+            "dbms = {dbms}\nhost = {host}\nrepetitions = {}",
+            sqalpel_bench::repetitions()
+        ))
+        .expect("driver config"),
+    );
+
+    let client = WireClient::new(addr);
+    let key = ContributorKey(key.clone());
+    let mut completed = 0usize;
+    loop {
+        let task = match client.request_task(&key, dbms, host) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("request failed: {e}");
+                std::process::exit(1);
+            }
+        };
+        let Some(task) = task else { break };
+        let outcome = driver.run(&task.sql);
+        let status = match &outcome.error {
+            Some(e) => format!("error: {e}"),
+            None => "ok".into(),
+        };
+        match client.report_result(&key, task.id, &outcome) {
+            Ok(index) => {
+                completed += 1;
+                println!("task {} -> result #{index} [{status}] {}", task.id.0, task.sql);
+            }
+            Err(e) => {
+                eprintln!("report for task {} failed: {e}", task.id.0);
+                std::process::exit(1);
+            }
+        }
+    }
+    println!("queue drained for {dbms}@{host}: {completed} tasks completed");
+    if let Ok(summary) = client.queue_summary() {
+        println!(
+            "server queue: {} queued, {} running, {} finished, {} failed",
+            summary.queued, summary.running, summary.finished, summary.failed
+        );
+    }
 }

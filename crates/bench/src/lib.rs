@@ -572,6 +572,115 @@ pub fn parallel_report() -> String {
     out
 }
 
+// ----------------------------------------------------- wire benchmark
+
+/// Nearest-rank percentile over an ascending-sorted slice.
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ms.len() - 1) as f64 * p / 100.0).round() as usize;
+    sorted_ms[idx]
+}
+
+/// `repro wire`: loopback throughput and task hand-out latency of the
+/// JSON-over-HTTP platform API, written machine-readably to
+/// `BENCH_wire.json`. Two measurements:
+///
+/// * **requests/s** — four concurrent clients hammering the cheapest
+///   endpoint (`GET /v1/queue/summary`), so the number reflects
+///   connection setup + HTTP parsing + dispatch, not query work;
+/// * **hand-out latency** — one contributor drains a ~100-task queue over
+///   the wire, timing every `request_task` round trip (p50/p99).
+pub fn wire_report() -> String {
+    use serde_json::{Map, Value};
+    use sqalpel_core::{DriverConfig, ExperimentDriver, MockConnector, WireClient, WireConfig, WireServer};
+
+    let (server, contrib, total) = walk_server(100);
+    let server = Arc::new(server);
+    let wire = WireServer::start(Arc::clone(&server), "127.0.0.1:0", WireConfig::default())
+        .expect("bind loopback");
+    let addr = wire.local_addr();
+
+    const CLIENTS: usize = 4;
+    const CALLS_PER_CLIENT: usize = 250;
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..CLIENTS {
+            scope.spawn(|| {
+                let client = WireClient::new(addr);
+                for _ in 0..CALLS_PER_CLIENT {
+                    client.queue_summary().expect("summary over loopback");
+                }
+            });
+        }
+    });
+    let wall = t0.elapsed().as_secs_f64();
+    let rps = (CLIENTS * CALLS_PER_CLIENT) as f64 / wall.max(1e-9);
+
+    // Drain the queue over the wire, timing each claim. The connector is
+    // a zero-spin mock so the round trip dominates, not query execution.
+    let key = server.issue_key(contrib).expect("key");
+    let client = WireClient::new(addr);
+    let driver = ExperimentDriver::new(
+        MockConnector {
+            label: "rowstore-2.0".into(),
+            fail_pattern: None,
+            spin: 0,
+            rows: 1,
+        },
+        DriverConfig::parse("dbms = rowstore-2.0\nhost = bench-server\nrepetitions = 1")
+            .expect("config"),
+    );
+    let mut claim_ms = Vec::with_capacity(total);
+    loop {
+        let t = Instant::now();
+        let task = client
+            .request_task(&key, "rowstore-2.0", "bench-server")
+            .expect("claim over loopback");
+        let elapsed_ms = t.elapsed().as_secs_f64() * 1e3;
+        let Some(task) = task else { break };
+        claim_ms.push(elapsed_ms);
+        client
+            .report_result(&key, task.id, &driver.run(&task.sql))
+            .expect("report over loopback");
+    }
+    claim_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let p50 = percentile(&claim_ms, 50.0);
+    let p99 = percentile(&claim_ms, 99.0);
+
+    let mut out = format!(
+        "## Wire layer — JSON-over-HTTP platform API on loopback\n\n\
+         throughput: {rps:.0} requests/s ({CLIENTS} clients x {CALLS_PER_CLIENT} summary calls in {wall:.2}s)\n\
+         task hand-out: {} tasks drained, claim latency p50 {p50:.3}ms / p99 {p99:.3}ms\n",
+        claim_ms.len()
+    );
+
+    let mut handout = Map::new();
+    handout.insert("tasks".into(), Value::Int(claim_ms.len() as i64));
+    handout.insert("p50_ms".into(), Value::Float(p50));
+    handout.insert("p99_ms".into(), Value::Float(p99));
+    let mut root = Map::new();
+    root.insert("requests_per_s".into(), Value::Float(rps));
+    root.insert("throughput_clients".into(), Value::Int(CLIENTS as i64));
+    root.insert(
+        "throughput_calls".into(),
+        Value::Int((CLIENTS * CALLS_PER_CLIENT) as i64),
+    );
+    root.insert("throughput_wall_s".into(), Value::Float(wall));
+    root.insert("handout".into(), Value::Object(handout));
+    let json = serde_json::to_string_pretty(&Value::Object(root)).expect("serializable");
+    match std::fs::write("BENCH_wire.json", &json) {
+        Ok(()) => {
+            let _ = writeln!(out, "\nwrote BENCH_wire.json");
+        }
+        Err(e) => {
+            let _ = writeln!(out, "\ncould not write BENCH_wire.json: {e}");
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -7,6 +7,7 @@
 //! [`crate::project`].
 
 use crate::error::{PlatformError, PlatformResult};
+use serde::{Deserialize, Serialize, Value};
 use std::collections::BTreeMap;
 
 /// Visibility of catalog entries and projects.
@@ -14,6 +15,25 @@ use std::collections::BTreeMap;
 pub enum Visibility {
     Public,
     Private,
+}
+
+impl Serialize for Visibility {
+    fn to_value(&self) -> Value {
+        match self {
+            Visibility::Public => "public".into(),
+            Visibility::Private => "private".into(),
+        }
+    }
+}
+
+impl Deserialize for Visibility {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        match v.as_str().ok_or("visibility: expected a string")? {
+            "public" => Ok(Visibility::Public),
+            "private" => Ok(Visibility::Private),
+            other => Err(format!("unknown visibility {other:?}")),
+        }
+    }
 }
 
 /// A database system description, including the configuration knobs whose
@@ -36,6 +56,48 @@ impl DbmsEntry {
     }
 }
 
+impl Serialize for DbmsEntry {
+    fn to_value(&self) -> Value {
+        let mut settings = serde_json::Map::new();
+        for (k, v) in &self.settings {
+            settings.insert(k.clone(), v.clone().into());
+        }
+        let mut m = serde_json::Map::new();
+        m.insert("name".into(), self.name.clone().into());
+        m.insert("version".into(), self.version.clone().into());
+        m.insert("vendor".into(), self.vendor.clone().into());
+        m.insert("settings".into(), Value::Object(settings));
+        m.insert("visibility".into(), self.visibility.to_value());
+        Value::Object(m)
+    }
+}
+
+impl Deserialize for DbmsEntry {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        let text = |k: &str| {
+            v[k].as_str()
+                .map(str::to_string)
+                .ok_or(format!("dbms entry: missing {k}"))
+        };
+        let mut settings = BTreeMap::new();
+        if let Some(map) = v["settings"].as_object() {
+            for (k, val) in map {
+                settings.insert(
+                    k.clone(),
+                    val.as_str().ok_or("dbms settings must be strings")?.to_string(),
+                );
+            }
+        }
+        Ok(DbmsEntry {
+            name: text("name")?,
+            version: text("version")?,
+            vendor: text("vendor")?,
+            settings,
+            visibility: Visibility::from_value(&v["visibility"])?,
+        })
+    }
+}
+
 /// A hardware platform description ("ranging from a Raspberry Pi up to
 /// Intel Xeon E5-4657L servers with 1TB RAM").
 #[derive(Debug, Clone)]
@@ -46,6 +108,42 @@ pub struct HostEntry {
     pub ram_gb: u32,
     pub os: String,
     pub visibility: Visibility,
+}
+
+impl Serialize for HostEntry {
+    fn to_value(&self) -> Value {
+        let mut m = serde_json::Map::new();
+        m.insert("name".into(), self.name.clone().into());
+        m.insert("cpu".into(), self.cpu.clone().into());
+        m.insert("cores".into(), self.cores.into());
+        m.insert("ram_gb".into(), self.ram_gb.into());
+        m.insert("os".into(), self.os.clone().into());
+        m.insert("visibility".into(), self.visibility.to_value());
+        Value::Object(m)
+    }
+}
+
+impl Deserialize for HostEntry {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        let text = |k: &str| {
+            v[k].as_str()
+                .map(str::to_string)
+                .ok_or(format!("host entry: missing {k}"))
+        };
+        let num = |k: &str| {
+            v[k].as_i64()
+                .map(|x| x as u32)
+                .ok_or(format!("host entry: missing {k}"))
+        };
+        Ok(HostEntry {
+            name: text("name")?,
+            cpu: text("cpu")?,
+            cores: num("cores")?,
+            ram_gb: num("ram_gb")?,
+            os: text("os")?,
+            visibility: Visibility::from_value(&v["visibility"])?,
+        })
+    }
 }
 
 /// The two global catalogs.
@@ -178,5 +276,28 @@ mod tests {
         let c = Catalogs::bootstrap();
         assert!(c.dbms("oracle-23c").is_none());
         assert!(c.host("mainframe").is_none());
+    }
+
+    #[test]
+    fn entries_round_trip_through_json() {
+        let c = Catalogs::bootstrap();
+        let d = c.dbms("colstore-5.1").unwrap();
+        let back: DbmsEntry =
+            serde_json::from_str(&serde_json::to_string(d).unwrap()).unwrap();
+        assert_eq!(back.label(), d.label());
+        assert_eq!(back.settings, d.settings);
+        assert_eq!(back.visibility, d.visibility);
+
+        let h = c.host("raspberry-pi").unwrap();
+        let back: HostEntry =
+            serde_json::from_str(&serde_json::to_string(h).unwrap()).unwrap();
+        assert_eq!(back.name, h.name);
+        assert_eq!(back.cores, h.cores);
+
+        for vis in [Visibility::Public, Visibility::Private] {
+            let back: Visibility =
+                serde_json::from_str(&serde_json::to_string(&vis).unwrap()).unwrap();
+            assert_eq!(back, vis);
+        }
     }
 }

@@ -14,6 +14,7 @@
 //! queue/driver testing.
 
 use crate::results::LoadAvg;
+use serde::{Deserialize, Serialize, Value};
 use sqalpel_engine::Dbms;
 use std::sync::Arc;
 use std::time::Instant;
@@ -166,6 +167,46 @@ pub struct RunOutcome {
     pub extras: serde_json::Value,
 }
 
+impl Serialize for RunOutcome {
+    fn to_value(&self) -> Value {
+        let mut m = serde_json::Map::new();
+        m.insert("times_ms".into(), self.times_ms.clone().into());
+        m.insert("rows".into(), self.rows.into());
+        m.insert(
+            "error".into(),
+            match &self.error {
+                Some(e) => e.clone().into(),
+                None => Value::Null,
+            },
+        );
+        m.insert("load_before".into(), self.load_before.to_value());
+        m.insert("load_after".into(), self.load_after.to_value());
+        m.insert("extras".into(), self.extras.clone());
+        Value::Object(m)
+    }
+}
+
+impl Deserialize for RunOutcome {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        Ok(RunOutcome {
+            times_ms: v["times_ms"]
+                .as_array()
+                .ok_or("run outcome: missing times_ms")?
+                .iter()
+                .map(|t| t.as_f64().ok_or("non-numeric time".to_string()))
+                .collect::<Result<_, _>>()?,
+            rows: v["rows"].as_i64().ok_or("run outcome: missing rows")? as usize,
+            error: match &v["error"] {
+                Value::Null => None,
+                e => Some(e.as_str().ok_or("run outcome: error must be a string")?.to_string()),
+            },
+            load_before: LoadAvg::from_value(&v["load_before"])?,
+            load_after: LoadAvg::from_value(&v["load_after"])?,
+            extras: v["extras"].clone(),
+        })
+    }
+}
+
 /// The local experiment driver.
 pub struct ExperimentDriver<C: Connector> {
     connector: C,
@@ -287,6 +328,30 @@ mod tests {
         let outcome = driver.run("select bogus from nowhere");
         assert!(outcome.error.is_some());
         assert!(outcome.times_ms.is_empty());
+    }
+
+    #[test]
+    fn run_outcome_round_trips() {
+        let outcome = RunOutcome {
+            times_ms: vec![1.25, 2.5],
+            rows: 9,
+            error: None,
+            load_before: LoadAvg { one: 0.5, five: 0.25, fifteen: 0.125 },
+            load_after: LoadAvg::default(),
+            extras: serde_json::json!({"connector": "mockdb-1.0"}),
+        };
+        let text = serde_json::to_string(&outcome).unwrap();
+        let back: RunOutcome = serde_json::from_str(&text).unwrap();
+        assert_eq!(back.times_ms, outcome.times_ms);
+        assert_eq!(back.rows, 9);
+        assert_eq!(back.error, None);
+        assert_eq!(back.load_before, outcome.load_before);
+        assert_eq!(back.extras["connector"], "mockdb-1.0");
+
+        let failed = RunOutcome { error: Some("boom".into()), ..outcome };
+        let back: RunOutcome =
+            serde_json::from_str(&serde_json::to_string(&failed).unwrap()).unwrap();
+        assert_eq!(back.error.as_deref(), Some("boom"));
     }
 
     #[test]

@@ -37,6 +37,7 @@ pub mod reports;
 pub mod results;
 pub mod server;
 pub mod user;
+pub mod wire;
 pub mod workers;
 
 pub use bootstrap::{bootstrap_server, Bootstrap};
@@ -47,8 +48,9 @@ pub use driver::{
 pub use error::{PlatformError, PlatformResult};
 pub use pool::{Guidance, Origin, PoolEntry, QueryId, QueryPool, Strategy};
 pub use project::{Experiment, ExperimentId, Project, ProjectId, Role};
-pub use queue::{Task, TaskId, TaskQueue, TaskState};
+pub use queue::{QueueSummary, Task, TaskId, TaskQueue, TaskState};
 pub use results::{LoadAvg, ResultRecord, ResultStore};
-pub use server::SqalpelServer;
+pub use server::{Platform, SqalpelServer};
 pub use user::{ContributorKey, User, UserId, UserRegistry};
+pub use wire::{RetryPolicy, WireClient, WireConfig, WireServer};
 pub use workers::{run_worker_pool, PoolReport, Worker, WorkerReport};

@@ -50,6 +50,16 @@ impl Strategy {
             Strategy::Prune => "prune",
         }
     }
+
+    /// Inverse of [`Strategy::name`], for wire payloads.
+    pub fn from_name(name: &str) -> Result<Strategy, String> {
+        match name {
+            "alter" => Ok(Strategy::Alter),
+            "expand" => Ok(Strategy::Expand),
+            "prune" => Ok(Strategy::Prune),
+            other => Err(format!("unknown strategy {other:?}")),
+        }
+    }
 }
 
 /// How a pool entry came to exist.

@@ -12,6 +12,7 @@ use crate::catalog::{Catalogs, Visibility};
 use crate::error::{PlatformError, PlatformResult};
 use crate::pool::QueryPool;
 use crate::user::UserId;
+use serde::{Deserialize, Serialize, Value};
 use sqalpel_grammar::Grammar;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -31,6 +32,29 @@ pub enum Role {
     Contributor,
     /// The project leader/moderator.
     Owner,
+}
+
+impl Serialize for Role {
+    fn to_value(&self) -> Value {
+        match self {
+            Role::None => "none".into(),
+            Role::Reader => "reader".into(),
+            Role::Contributor => "contributor".into(),
+            Role::Owner => "owner".into(),
+        }
+    }
+}
+
+impl Deserialize for Role {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        match v.as_str().ok_or("role: expected a string")? {
+            "none" => Ok(Role::None),
+            "reader" => Ok(Role::Reader),
+            "contributor" => Ok(Role::Contributor),
+            "owner" => Ok(Role::Owner),
+            other => Err(format!("unknown role {other:?}")),
+        }
+    }
 }
 
 /// A registered-user comment on a project (§4.2: "Registered users can

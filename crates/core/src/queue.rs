@@ -4,12 +4,19 @@
 //! execution status is tracked in a queue, which enables killing queries
 //! that got stuck or when the results of an experiment are not delivered
 //! within a specified timeout interval."
+//!
+//! Hand-out is served from an index keyed by `(dbms_label, host)` — the
+//! target a contributor asks for — so `request_task` touches only the
+//! tasks it could actually hand out instead of scanning the whole queue.
+//! A second index tracks the running tasks per contributor key, which
+//! makes re-handing a lost claim (idempotent retry) an O(1) lookup.
 
 use crate::error::{PlatformError, PlatformResult};
 use crate::pool::QueryId;
 use crate::project::{ExperimentId, ProjectId};
 use crate::user::ContributorKey;
-use std::collections::HashSet;
+use serde::{Deserialize, Serialize, Value};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::time::{Duration, Instant};
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -29,6 +36,54 @@ pub enum TaskState {
     TimedOut,
 }
 
+impl Serialize for TaskState {
+    fn to_value(&self) -> Value {
+        let mut m = serde_json::Map::new();
+        match self {
+            TaskState::Queued => {
+                m.insert("kind".into(), "queued".into());
+            }
+            TaskState::Running { contributor } => {
+                m.insert("kind".into(), "running".into());
+                m.insert("contributor".into(), contributor.0.clone().into());
+            }
+            TaskState::Done => {
+                m.insert("kind".into(), "done".into());
+            }
+            TaskState::Failed(e) => {
+                m.insert("kind".into(), "failed".into());
+                m.insert("error".into(), e.clone().into());
+            }
+            TaskState::TimedOut => {
+                m.insert("kind".into(), "timed_out".into());
+            }
+        }
+        Value::Object(m)
+    }
+}
+
+impl Deserialize for TaskState {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        match v["kind"].as_str().ok_or("task state: missing kind")? {
+            "queued" => Ok(TaskState::Queued),
+            "running" => Ok(TaskState::Running {
+                contributor: ContributorKey(
+                    v["contributor"]
+                        .as_str()
+                        .ok_or("running state: missing contributor")?
+                        .to_string(),
+                ),
+            }),
+            "done" => Ok(TaskState::Done),
+            "failed" => Ok(TaskState::Failed(
+                v["error"].as_str().ok_or("failed state: missing error")?.to_string(),
+            )),
+            "timed_out" => Ok(TaskState::TimedOut),
+            other => Err(format!("unknown task state {other:?}")),
+        }
+    }
+}
+
 /// One (query, DBMS, host) execution.
 #[derive(Debug, Clone)]
 pub struct Task {
@@ -40,8 +95,98 @@ pub struct Task {
     pub dbms_label: String,
     pub host: String,
     pub state: TaskState,
-    /// Set when the task is handed out.
+    /// Set when the task is handed out. Server-side only (it feeds the
+    /// stuck-run reaper); not carried on the wire.
     pub started: Option<Instant>,
+}
+
+impl Serialize for Task {
+    fn to_value(&self) -> Value {
+        let mut m = serde_json::Map::new();
+        m.insert("id".into(), self.id.0.into());
+        m.insert("project".into(), self.project.0.into());
+        m.insert("experiment".into(), self.experiment.0.into());
+        m.insert("query".into(), self.query.0.into());
+        m.insert("sql".into(), self.sql.clone().into());
+        m.insert("dbms_label".into(), self.dbms_label.clone().into());
+        m.insert("host".into(), self.host.clone().into());
+        m.insert("state".into(), self.state.to_value());
+        Value::Object(m)
+    }
+}
+
+impl Deserialize for Task {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        let num = |k: &str| v[k].as_i64().map(|x| x as u64).ok_or(format!("task: missing {k}"));
+        let text = |k: &str| {
+            v[k].as_str()
+                .map(str::to_string)
+                .ok_or(format!("task: missing {k}"))
+        };
+        Ok(Task {
+            id: TaskId(num("id")?),
+            project: ProjectId(num("project")?),
+            experiment: ExperimentId(num("experiment")?),
+            query: QueryId(num("query")?),
+            sql: text("sql")?,
+            dbms_label: text("dbms_label")?,
+            host: text("host")?,
+            state: TaskState::from_value(&v["state"])?,
+            started: None,
+        })
+    }
+}
+
+/// Named per-state task counts — the queue dashboard line, also served
+/// verbatim as `GET /v1/queue/summary`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QueueSummary {
+    pub queued: usize,
+    pub running: usize,
+    pub finished: usize,
+    pub failed: usize,
+    pub timed_out: usize,
+}
+
+impl QueueSummary {
+    /// Every task ever enqueued.
+    pub fn total(&self) -> usize {
+        self.queued + self.running + self.finished + self.failed + self.timed_out
+    }
+
+    /// Tasks that reached a terminal state (an accepted report or a reap).
+    pub fn terminal(&self) -> usize {
+        self.finished + self.failed + self.timed_out
+    }
+}
+
+impl Serialize for QueueSummary {
+    fn to_value(&self) -> Value {
+        let mut m = serde_json::Map::new();
+        m.insert("queued".into(), self.queued.into());
+        m.insert("running".into(), self.running.into());
+        m.insert("finished".into(), self.finished.into());
+        m.insert("failed".into(), self.failed.into());
+        m.insert("timed_out".into(), self.timed_out.into());
+        Value::Object(m)
+    }
+}
+
+impl Deserialize for QueueSummary {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        let num = |k: &str| {
+            v[k].as_i64()
+                .map(|x| x as usize)
+                .ok_or(format!("queue summary: missing {k}"))
+        };
+        Ok(QueueSummary {
+            queued: num("queued")?,
+            running: num("running")?,
+            finished: num("finished")?,
+            failed: num("failed")?,
+            timed_out: num("timed_out")?,
+        })
+    }
 }
 
 /// The server-side task queue.
@@ -50,6 +195,13 @@ pub struct TaskQueue {
     tasks: Vec<Task>,
     /// Dedup: each (experiment, query, dbms, host) is queued once.
     seen: HashSet<(ProjectId, ExperimentId, QueryId, String, String)>,
+    /// Hand-out index: queued task ids per (dbms_label, host), FIFO.
+    /// Entries are discarded lazily — an id whose task is no longer
+    /// `Queued` is skipped (and dropped) at pop time, so `claim` by id
+    /// never has to search the deque.
+    ready: HashMap<(String, String), VecDeque<TaskId>>,
+    /// Running tasks per contributor, for idempotent claim retries.
+    running: HashMap<ContributorKey, Vec<TaskId>>,
 }
 
 impl TaskQueue {
@@ -76,6 +228,10 @@ impl TaskQueue {
             return None;
         }
         let id = TaskId(self.tasks.len() as u64);
+        self.ready
+            .entry((dbms_label.clone(), host.clone()))
+            .or_default()
+            .push_back(id);
         self.tasks.push(Task {
             id,
             project,
@@ -90,6 +246,19 @@ impl TaskQueue {
         Some(id)
     }
 
+    fn mark_running(&mut self, idx: usize, contributor: &ContributorKey) -> Task {
+        let task = &mut self.tasks[idx];
+        task.state = TaskState::Running {
+            contributor: contributor.clone(),
+        };
+        task.started = Some(Instant::now());
+        self.running
+            .entry(contributor.clone())
+            .or_default()
+            .push(task.id);
+        task.clone()
+    }
+
     /// Hand the next queued task for the given target to a contributor
     /// (the `sqalpel.py` interaction: "call the webserver, requesting a
     /// query from the pool").
@@ -99,14 +268,52 @@ impl TaskQueue {
         dbms_label: &str,
         host: &str,
     ) -> Option<Task> {
-        let task = self.tasks.iter_mut().find(|t| {
-            t.state == TaskState::Queued && t.dbms_label == dbms_label && t.host == host
-        })?;
-        task.state = TaskState::Running {
-            contributor: contributor.clone(),
-        };
-        task.started = Some(Instant::now());
-        Some(task.clone())
+        let id = self.pop_ready(dbms_label, host)?;
+        Some(self.mark_running(id.0 as usize, contributor))
+    }
+
+    /// Pop the oldest still-queued id from the target's ready deque,
+    /// discarding stale entries along the way.
+    fn pop_ready(&mut self, dbms_label: &str, host: &str) -> Option<TaskId> {
+        let bucket = self
+            .ready
+            .get_mut(&(dbms_label.to_string(), host.to_string()))?;
+        while let Some(id) = bucket.pop_front() {
+            if self.tasks[id.0 as usize].state == TaskState::Queued {
+                return Some(id);
+            }
+        }
+        None
+    }
+
+    /// Queued task ids for a target, oldest first. The server applies its
+    /// project-role filter over these before claiming one; only tasks that
+    /// could be handed out for this exact target are visited.
+    pub fn queued_for(&self, dbms_label: &str, host: &str) -> Vec<TaskId> {
+        match self.ready.get(&(dbms_label.to_string(), host.to_string())) {
+            Some(bucket) => bucket
+                .iter()
+                .copied()
+                .filter(|id| self.tasks[id.0 as usize].state == TaskState::Queued)
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// The oldest task this contributor already holds for the target, if
+    /// any — the idempotent answer to a retried claim whose original
+    /// response was lost in transit.
+    pub fn running_claim(
+        &self,
+        contributor: &ContributorKey,
+        dbms_label: &str,
+        host: &str,
+    ) -> Option<&Task> {
+        self.running.get(contributor)?.iter().find_map(|id| {
+            let t = &self.tasks[id.0 as usize];
+            let held = matches!(&t.state, TaskState::Running { contributor: c } if c == contributor);
+            (held && t.dbms_label == dbms_label && t.host == host).then_some(t)
+        })
     }
 
     /// Claim a specific queued task for a contributor (used by the server,
@@ -114,7 +321,7 @@ impl TaskQueue {
     pub fn claim(&mut self, id: TaskId, contributor: &ContributorKey) -> PlatformResult<Task> {
         let task = self
             .tasks
-            .get_mut(id.0 as usize)
+            .get(id.0 as usize)
             .ok_or(PlatformError::UnknownTask(id.0))?;
         if task.state != TaskState::Queued {
             return Err(PlatformError::Invalid(format!(
@@ -122,17 +329,22 @@ impl TaskQueue {
                 id.0
             )));
         }
-        task.state = TaskState::Running {
-            contributor: contributor.clone(),
-        };
-        task.started = Some(Instant::now());
-        Ok(task.clone())
+        Ok(self.mark_running(id.0 as usize, contributor))
     }
 
     pub fn task(&self, id: TaskId) -> PlatformResult<&Task> {
         self.tasks
             .get(id.0 as usize)
             .ok_or(PlatformError::UnknownTask(id.0))
+    }
+
+    fn drop_running(&mut self, id: TaskId, contributor: &ContributorKey) {
+        if let Some(held) = self.running.get_mut(contributor) {
+            held.retain(|&t| t != id);
+            if held.is_empty() {
+                self.running.remove(contributor);
+            }
+        }
     }
 
     /// Mark a running task finished (successfully or not). Only the
@@ -153,6 +365,7 @@ impl TaskQueue {
                     None => TaskState::Done,
                     Some(e) => TaskState::Failed(e),
                 };
+                self.drop_running(id, contributor);
                 Ok(())
             }
             TaskState::Running { .. } => Err(PlatformError::AccessDenied(format!(
@@ -173,15 +386,21 @@ impl TaskQueue {
         let now = Instant::now();
         let mut reaped = Vec::new();
         for task in &mut self.tasks {
-            if let TaskState::Running { .. } = task.state {
+            if let TaskState::Running { contributor } = &task.state {
                 if let Some(started) = task.started {
                     if now.duration_since(started) >= timeout {
+                        let contributor = contributor.clone();
                         task.state = TaskState::TimedOut;
                         reaped.push(task.id);
+                        let id = task.id;
+                        if let Some(held) = self.running.get_mut(&contributor) {
+                            held.retain(|&t| t != id);
+                        }
                     }
                 }
             }
         }
+        self.running.retain(|_, held| !held.is_empty());
         reaped
     }
 
@@ -195,6 +414,8 @@ impl TaskQueue {
             TaskState::TimedOut | TaskState::Failed(_) => {
                 task.state = TaskState::Queued;
                 task.started = None;
+                let target = (task.dbms_label.clone(), task.host.clone());
+                self.ready.entry(target).or_default().push_back(id);
                 Ok(())
             }
             _ => Err(PlatformError::Invalid(format!(
@@ -208,16 +429,16 @@ impl TaskQueue {
         &self.tasks
     }
 
-    /// Count of tasks per state (queued, running, done, failed, timed out).
-    pub fn summary(&self) -> (usize, usize, usize, usize, usize) {
-        let mut s = (0, 0, 0, 0, 0);
+    /// Count of tasks per state.
+    pub fn summary(&self) -> QueueSummary {
+        let mut s = QueueSummary::default();
         for t in &self.tasks {
             match t.state {
-                TaskState::Queued => s.0 += 1,
-                TaskState::Running { .. } => s.1 += 1,
-                TaskState::Done => s.2 += 1,
-                TaskState::Failed(_) => s.3 += 1,
-                TaskState::TimedOut => s.4 += 1,
+                TaskState::Queued => s.queued += 1,
+                TaskState::Running { .. } => s.running += 1,
+                TaskState::Done => s.finished += 1,
+                TaskState::Failed(_) => s.failed += 1,
+                TaskState::TimedOut => s.timed_out += 1,
             }
         }
         s
@@ -292,6 +513,39 @@ mod tests {
     }
 
     #[test]
+    fn ready_index_tracks_queued_tasks() {
+        let mut q = queue_with_two();
+        assert_eq!(q.queued_for("rowstore-2.0", "bench-server").len(), 2);
+        assert!(q.queued_for("colstore-5.1", "bench-server").is_empty());
+        let t = q.checkout(&key(1), "rowstore-2.0", "bench-server").unwrap();
+        assert_eq!(q.queued_for("rowstore-2.0", "bench-server"), vec![TaskId(1)]);
+        // Claim by id (the server path) leaves a stale index entry that a
+        // later checkout silently discards.
+        q.claim(TaskId(1), &key(2)).unwrap();
+        assert!(q.queued_for("rowstore-2.0", "bench-server").is_empty());
+        assert!(q.checkout(&key(3), "rowstore-2.0", "bench-server").is_none());
+        // Completion + requeue puts the id back.
+        q.complete(t.id, &key(1), Some("boom".into())).unwrap();
+        q.requeue(t.id).unwrap();
+        assert_eq!(q.queued_for("rowstore-2.0", "bench-server"), vec![t.id]);
+    }
+
+    #[test]
+    fn running_claim_returns_held_task() {
+        let mut q = queue_with_two();
+        assert!(q.running_claim(&key(1), "rowstore-2.0", "bench-server").is_none());
+        let t = q.checkout(&key(1), "rowstore-2.0", "bench-server").unwrap();
+        let held = q.running_claim(&key(1), "rowstore-2.0", "bench-server").unwrap();
+        assert_eq!(held.id, t.id);
+        // Wrong target or wrong key: no re-claim.
+        assert!(q.running_claim(&key(1), "colstore-5.1", "bench-server").is_none());
+        assert!(q.running_claim(&key(2), "rowstore-2.0", "bench-server").is_none());
+        // Completion clears the hold.
+        q.complete(t.id, &key(1), None).unwrap();
+        assert!(q.running_claim(&key(1), "rowstore-2.0", "bench-server").is_none());
+    }
+
+    #[test]
     fn complete_success_and_failure() {
         let mut q = queue_with_two();
         let t = q.checkout(&key(1), "rowstore-2.0", "bench-server").unwrap();
@@ -305,7 +559,10 @@ mod tests {
             q.task(t2.id).unwrap().state,
             TaskState::Failed(_)
         ));
-        assert_eq!(q.summary(), (0, 0, 1, 1, 0));
+        assert_eq!(
+            q.summary(),
+            QueueSummary { queued: 0, running: 0, finished: 1, failed: 1, timed_out: 0 }
+        );
     }
 
     #[test]
@@ -333,6 +590,8 @@ mod tests {
         let reaped = q.reap_stuck(Duration::ZERO);
         assert_eq!(reaped, vec![t.id]);
         assert_eq!(q.task(t.id).unwrap().state, TaskState::TimedOut);
+        // The reaped task is no longer held, so no idempotent re-claim.
+        assert!(q.running_claim(&key(1), "rowstore-2.0", "bench-server").is_none());
         // A late completion attempt fails.
         assert!(q.complete(t.id, &key(1), None).is_err());
         // Moderator requeues.
@@ -349,6 +608,36 @@ mod tests {
         let mut q = queue_with_two();
         q.checkout(&key(1), "rowstore-2.0", "bench-server").unwrap();
         assert!(q.reap_stuck(Duration::from_secs(3600)).is_empty());
-        assert_eq!(q.summary().1, 1);
+        assert_eq!(q.summary().running, 1);
+    }
+
+    #[test]
+    fn task_and_summary_round_trip() {
+        let mut q = queue_with_two();
+        let t = q.checkout(&key(1), "rowstore-2.0", "bench-server").unwrap();
+        let text = serde_json::to_string(&t).unwrap();
+        let back: Task = serde_json::from_str(&text).unwrap();
+        assert_eq!(back.id, t.id);
+        assert_eq!(back.sql, t.sql);
+        assert_eq!(back.state, t.state);
+        assert!(back.started.is_none(), "hand-out time is server-side only");
+
+        for state in [
+            TaskState::Queued,
+            TaskState::Done,
+            TaskState::Failed("x, y".into()),
+            TaskState::TimedOut,
+        ] {
+            let text = serde_json::to_string(&state).unwrap();
+            let back: TaskState = serde_json::from_str(&text).unwrap();
+            assert_eq!(back, state);
+        }
+
+        let s = q.summary();
+        let text = serde_json::to_string(&s).unwrap();
+        let back: QueueSummary = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(s.total(), 2);
+        assert_eq!(s.terminal(), 0);
     }
 }

@@ -196,6 +196,14 @@ impl ResultStore {
         self.records.iter().filter(move |r| r.query == query.0)
     }
 
+    /// Index of the latest record a contributor filed for a task, if any
+    /// — the idempotency check behind retried `report_result` calls.
+    pub fn index_of(&self, task: TaskId, contributor: &str) -> Option<usize> {
+        self.records
+            .iter()
+            .rposition(|r| r.task == task.0 && r.contributor == contributor)
+    }
+
     /// Moderator: hide a record pending clarification.
     pub fn set_hidden(&mut self, index: usize, hidden: bool) -> bool {
         match self.records.get_mut(index) {

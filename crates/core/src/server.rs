@@ -12,12 +12,39 @@ use crate::catalog::{Catalogs, DbmsEntry, HostEntry, Visibility};
 use crate::error::{PlatformError, PlatformResult};
 use crate::pool::{QueryId, Strategy};
 use crate::project::{ExperimentId, Project, ProjectId, Role};
-use crate::queue::{Task, TaskId, TaskQueue, TaskState};
+use crate::queue::{QueueSummary, Task, TaskId, TaskQueue, TaskState};
 use crate::results::{record, ResultRecord, ResultStore};
 use crate::user::{ContributorKey, UserId, UserRegistry};
 use crate::driver::RunOutcome;
 use parking_lot::RwLock;
 use std::time::Duration;
+
+/// The contribution surface of the platform — what a driver loop needs,
+/// abstracted over the transport. [`SqalpelServer`] implements it
+/// in-process; [`crate::wire::WireClient`] implements it over HTTP, so
+/// [`crate::workers::run_worker_pool`] and every driver loop run
+/// unchanged against either.
+pub trait Platform: Send + Sync {
+    /// Request a queued task matching the contributor's target.
+    fn request_task(
+        &self,
+        key: &ContributorKey,
+        dbms_label: &str,
+        host: &str,
+    ) -> PlatformResult<Option<Task>>;
+
+    /// Report the outcome of a handed-out task; returns the index of the
+    /// accepted result record.
+    fn report_result(
+        &self,
+        key: &ContributorKey,
+        task_id: TaskId,
+        outcome: RunOutcome,
+    ) -> PlatformResult<usize>;
+
+    /// Per-state task counts.
+    fn queue_summary(&self) -> PlatformResult<QueueSummary>;
+}
 
 struct State {
     users: UserRegistry,
@@ -271,6 +298,11 @@ impl SqalpelServer {
     /// The driver's "request a task" call: hand out a queued task matching
     /// the contributor's target, restricted to projects where the key's
     /// owner is (at least) a contributor.
+    ///
+    /// The claim is **idempotent**: if this key already holds a running
+    /// task for the target (the response to an earlier claim was lost in
+    /// transit and the client retried), that same task is handed out
+    /// again instead of a second one.
     pub fn request_task(
         &self,
         key: &ContributorKey,
@@ -282,21 +314,18 @@ impl SqalpelServer {
             .users
             .resolve_key(key)
             .ok_or_else(|| PlatformError::AccessDenied("unknown contributor key".into()))?;
-        let candidate = st
-            .queue
-            .tasks()
-            .iter()
-            .find(|t| {
-                t.state == TaskState::Queued
-                    && t.dbms_label == dbms_label
-                    && t.host == host
-                    && st
-                        .projects
-                        .iter()
-                        .find(|p| p.id == t.project)
-                        .is_some_and(|p| p.role_of(user) >= Role::Contributor && !p.taken_down)
-            })
-            .map(|t| t.id);
+        if let Some(held) = st.queue.running_claim(key, dbms_label, host) {
+            return Ok(Some(held.clone()));
+        }
+        // Only tasks for this exact (dbms, host) target are visited — the
+        // queue serves them from its hand-out index.
+        let candidate = st.queue.queued_for(dbms_label, host).into_iter().find(|id| {
+            let t = st.queue.task(*id).expect("indexed task exists");
+            st.projects
+                .iter()
+                .find(|p| p.id == t.project)
+                .is_some_and(|p| p.role_of(user) >= Role::Contributor && !p.taken_down)
+        });
         match candidate {
             Some(id) => Ok(Some(st.queue.claim(id, key)?)),
             None => Ok(None),
@@ -304,6 +333,12 @@ impl SqalpelServer {
     }
 
     /// The driver's "report back" call.
+    ///
+    /// Reports are **idempotent per (task, contributor)**: if this key
+    /// already filed a record for the task (a retry after a lost
+    /// response), the original record's index is returned and nothing is
+    /// double-counted. A report for a task that was reaped and re-claimed
+    /// by someone else is still refused.
     pub fn report_result(
         &self,
         key: &ContributorKey,
@@ -311,6 +346,19 @@ impl SqalpelServer {
         outcome: RunOutcome,
     ) -> PlatformResult<usize> {
         let mut st = self.state.write();
+        // The idempotency check applies only when this key does NOT hold
+        // the task: a running claim means this is a fresh report (e.g. the
+        // task failed, was requeued and re-claimed by the same key), not a
+        // retry of an accepted one.
+        let held_by_key = matches!(
+            &st.queue.task(task_id)?.state,
+            TaskState::Running { contributor } if contributor == key
+        );
+        if !held_by_key {
+            if let Some(existing) = st.results.index_of(task_id, &key.0) {
+                return Ok(existing);
+            }
+        }
         st.queue.complete(task_id, key, outcome.error.clone())?;
         let task = st.queue.task(task_id)?.clone();
         let mut rec: ResultRecord = record(
@@ -340,7 +388,7 @@ impl SqalpelServer {
         self.state.write().queue.requeue(task)
     }
 
-    pub fn queue_summary(&self) -> (usize, usize, usize, usize, usize) {
+    pub fn queue_summary(&self) -> QueueSummary {
         self.state.read().queue.summary()
     }
 
@@ -403,6 +451,22 @@ impl SqalpelServer {
         Ok(store.to_csv())
     }
 
+    /// Results of a project keyed off a contributor key instead of a user
+    /// id — the wire client's view, where the key is the only credential.
+    pub fn results_for_key(
+        &self,
+        project: ProjectId,
+        key: &ContributorKey,
+    ) -> PlatformResult<Vec<ResultRecord>> {
+        let viewer = self
+            .state
+            .read()
+            .users
+            .resolve_key(key)
+            .ok_or_else(|| PlatformError::AccessDenied("unknown contributor key".into()))?;
+        self.results_for(project, viewer)
+    }
+
     /// Read-only access to a project for report rendering.
     pub fn with_project_view<T>(
         &self,
@@ -423,6 +487,30 @@ impl SqalpelServer {
             )));
         }
         Ok(f(p))
+    }
+}
+
+impl Platform for SqalpelServer {
+    fn request_task(
+        &self,
+        key: &ContributorKey,
+        dbms_label: &str,
+        host: &str,
+    ) -> PlatformResult<Option<Task>> {
+        SqalpelServer::request_task(self, key, dbms_label, host)
+    }
+
+    fn report_result(
+        &self,
+        key: &ContributorKey,
+        task_id: TaskId,
+        outcome: RunOutcome,
+    ) -> PlatformResult<usize> {
+        SqalpelServer::report_result(self, key, task_id, outcome)
+    }
+
+    fn queue_summary(&self) -> PlatformResult<QueueSummary> {
+        Ok(SqalpelServer::queue_summary(self))
     }
 }
 
@@ -486,9 +574,9 @@ mod tests {
             done += 1;
         }
         assert_eq!(done, n);
-        let (queued, running, finished, failed, timed_out) = server.queue_summary();
-        assert_eq!((queued, running, timed_out), (0, 0, 0));
-        assert_eq!(finished + failed, n);
+        let s = server.queue_summary();
+        assert_eq!((s.queued, s.running, s.timed_out), (0, 0, 0));
+        assert_eq!(s.finished + s.failed, n);
         let results = server.results_for(project, contrib).unwrap();
         assert_eq!(results.len(), n);
         assert!(results.iter().all(|r| r.times_ms.len() == 3 || r.error.is_some()));
@@ -621,7 +709,54 @@ mod tests {
         assert_eq!(report.completed(), total);
         assert_eq!(report.rejected(), 0);
         assert!(report.workers.iter().all(|w| w.wall <= report.wall));
-        let (queued, running, ..) = server.queue_summary();
-        assert_eq!((queued, running), (0, 0));
+        let s = server.queue_summary();
+        assert_eq!((s.queued, s.running), (0, 0));
+    }
+
+    #[test]
+    fn retried_claims_and_reports_are_idempotent() {
+        let (server, owner, contrib, _project, exp) = setup();
+        let n = server.enqueue_experiment(_project, exp, owner).unwrap();
+        assert!(n >= 2);
+        let key = server.issue_key(contrib).unwrap();
+
+        // A claim whose response was "lost": the retry hands out the very
+        // same task instead of a second one.
+        let first = server
+            .request_task(&key, "rowstore-2.0", "bench-server")
+            .unwrap()
+            .unwrap();
+        let retry = server
+            .request_task(&key, "rowstore-2.0", "bench-server")
+            .unwrap()
+            .unwrap();
+        assert_eq!(retry.id, first.id);
+        assert_eq!(server.queue_summary().running, 1);
+
+        // A report whose response was "lost": the retry returns the same
+        // record index and files nothing new.
+        let db = Arc::new(Database::tpch(0.001, 42));
+        let driver = ExperimentDriver::new(
+            EngineConnector::new(Arc::new(RowStore::new(db))),
+            DriverConfig::parse("dbms = rowstore-2.0\nrepetitions = 2").unwrap(),
+        );
+        let outcome = driver.run(&first.sql);
+        let idx = server.report_result(&key, first.id, outcome.clone()).unwrap();
+        let idx_retry = server.report_result(&key, first.id, outcome).unwrap();
+        assert_eq!(idx, idx_retry);
+        let results = server.results_for(_project, contrib).unwrap();
+        assert_eq!(results.len(), 1, "no double-counted report");
+
+        // A different key still cannot touch the completed task.
+        let other = server.issue_key(contrib).unwrap();
+        let late = RunOutcome {
+            times_ms: vec![1.0],
+            rows: 0,
+            error: None,
+            load_before: Default::default(),
+            load_after: Default::default(),
+            extras: serde_json::Value::Null,
+        };
+        assert!(server.report_result(&other, first.id, late).is_err());
     }
 }

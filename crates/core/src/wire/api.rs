@@ -1,0 +1,462 @@
+//! Endpoint routing: the versioned `/v1` JSON API over [`SqalpelServer`].
+//!
+//! Every operation of the in-process server is exposed as one endpoint.
+//! Request and response bodies are JSON built from the same hand-written
+//! serde impls the rest of the crate uses, so the wire format *is* the
+//! documented DTO format. Errors are serialized [`PlatformError`]s
+//! (`{"code", "message", "detail"}`) with the variant mapped to an HTTP
+//! status by [`status_of`] — the client reconstructs the exact typed
+//! error from the body.
+//!
+//! | Method & path                                      | Body → Response |
+//! |----------------------------------------------------|-----------------|
+//! | `POST /v1/user/register`                           | `{nickname, email}` → `{user}` |
+//! | `POST /v1/user/key`                                | `{user}` → `{key}` |
+//! | `GET  /v1/dbms`                                    | → `{labels}` |
+//! | `POST /v1/dbms`                                    | `DbmsEntry` → `{}` |
+//! | `POST /v1/host`                                    | `HostEntry` → `{}` |
+//! | `POST /v1/project/create`                          | `{owner, title, synopsis, visibility}` → `{project}` |
+//! | `POST /v1/project/{p}/invite`                      | `{owner, user}` → `{}` |
+//! | `POST /v1/project/{p}/targets`                     | `{actor, dbms_labels, hosts}` → `{}` |
+//! | `POST /v1/project/{p}/comment`                     | `{author, text}` → `{}` |
+//! | `POST /v1/project/{p}/take_down`                   | `{}` → `{}` |
+//! | `GET  /v1/project/{p}/role?user=`                  | → `{role}` |
+//! | `POST /v1/project/{p}/experiment`                  | `{actor, title, baseline_sql, grammar?, template_cap, pool_cap}` → `{experiment}` |
+//! | `POST /v1/project/{p}/experiment/{e}/seed`         | `{actor, n_random, seed}` → `{seeded}` |
+//! | `POST /v1/project/{p}/experiment/{e}/morph`        | `{actor, strategy?, steps, seed}` → `{added}` |
+//! | `POST /v1/project/{p}/experiment/{e}/enqueue`      | `{actor}` → `{enqueued}` |
+//! | `GET  /v1/project/{p}/results?key=`                | → `{results}` |
+//! | `GET  /v1/project/{p}/csv?viewer=`                 | → CSV text |
+//! | `POST /v1/result/hide`                             | `{project, actor, index, hidden}` → `{}` |
+//! | `POST /v1/task/request`                            | `{key, dbms_label, host}` → `{task}` (`task` may be null) |
+//! | `POST /v1/result/report`                           | `{key, task, outcome}` → `{index}` |
+//! | `GET  /v1/queue/summary`                           | → `QueueSummary` |
+//! | `POST /v1/queue/reap`                              | `{timeout_ms}` → `{reaped}` |
+//! | `POST /v1/task/{t}/requeue`                        | `{}` → `{}` |
+
+use crate::catalog::{DbmsEntry, HostEntry, Visibility};
+use crate::driver::RunOutcome;
+use crate::error::{PlatformError, PlatformResult};
+use crate::pool::Strategy;
+use crate::project::{ExperimentId, ProjectId};
+use crate::queue::TaskId;
+use crate::server::SqalpelServer;
+use crate::user::{ContributorKey, UserId};
+use crate::wire::http::{Request, Response};
+use serde::{Deserialize, Serialize, Value};
+use std::time::Duration;
+
+/// The HTTP status carrying each error variant. Part of the v1 protocol.
+pub fn status_of(err: &PlatformError) -> u16 {
+    match err {
+        PlatformError::Invalid(_) => 400,
+        PlatformError::UnknownUser(_)
+        | PlatformError::UnknownProject(_)
+        | PlatformError::UnknownExperiment(_)
+        | PlatformError::UnknownTask(_)
+        | PlatformError::UnknownQuery(_) => 404,
+        PlatformError::AccessDenied(_) => 403,
+        PlatformError::Grammar(_) => 422,
+        PlatformError::PoolFull(_) => 409,
+        PlatformError::Publication(_) => 451,
+        PlatformError::Transport(_) => 500,
+    }
+}
+
+fn error_response(status: u16, err: &PlatformError) -> Response {
+    Response::json(
+        status,
+        serde_json::to_string(err).expect("error serializes"),
+    )
+}
+
+fn ok(value: Value) -> Response {
+    Response::json(
+        200,
+        serde_json::to_string(&value).expect("value serializes"),
+    )
+}
+
+fn obj(pairs: Vec<(&str, Value)>) -> Value {
+    let mut m = serde_json::Map::new();
+    for (k, v) in pairs {
+        m.insert(k.to_string(), v);
+    }
+    Value::Object(m)
+}
+
+// ------------------------------------------------------ field extraction
+
+fn need_str(body: &Value, key: &str) -> PlatformResult<String> {
+    body[key]
+        .as_str()
+        .map(str::to_string)
+        .ok_or_else(|| PlatformError::Invalid(format!("missing string field {key:?}")))
+}
+
+fn need_u64(body: &Value, key: &str) -> PlatformResult<u64> {
+    body[key]
+        .as_i64()
+        .filter(|n| *n >= 0)
+        .map(|n| n as u64)
+        .ok_or_else(|| PlatformError::Invalid(format!("missing numeric field {key:?}")))
+}
+
+fn need_strings(body: &Value, key: &str) -> PlatformResult<Vec<String>> {
+    body[key]
+        .as_array()
+        .ok_or_else(|| PlatformError::Invalid(format!("missing array field {key:?}")))?
+        .iter()
+        .map(|v| {
+            v.as_str()
+                .map(str::to_string)
+                .ok_or_else(|| PlatformError::Invalid(format!("{key:?} must hold strings")))
+        })
+        .collect()
+}
+
+fn need<T: Deserialize>(value: &Value, what: &str) -> PlatformResult<T> {
+    T::from_value(value).map_err(|e| PlatformError::Invalid(format!("bad {what}: {e}")))
+}
+
+fn seg_id(seg: &str, what: &str) -> PlatformResult<u64> {
+    seg.parse()
+        .map_err(|_| PlatformError::Invalid(format!("{what} id {seg:?} is not a number")))
+}
+
+fn query_u64(req: &Request, key: &str) -> PlatformResult<u64> {
+    req.query_param(key)
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| PlatformError::Invalid(format!("missing query parameter {key:?}")))
+}
+
+// --------------------------------------------------------------- routing
+
+/// Dispatch one parsed request against the server. Never panics on
+/// malformed input — every failure becomes a typed error response.
+pub fn handle(server: &SqalpelServer, req: &Request) -> Response {
+    match route(server, req) {
+        Ok(resp) => resp,
+        Err(e) => error_response(status_of(&e), &e),
+    }
+}
+
+fn route(server: &SqalpelServer, req: &Request) -> PlatformResult<Response> {
+    let body: Value = if req.body.is_empty() {
+        Value::Null
+    } else {
+        let text = std::str::from_utf8(&req.body)
+            .map_err(|_| PlatformError::Invalid("body is not UTF-8".into()))?;
+        serde_json::from_str(text)
+            .map_err(|e| PlatformError::Invalid(format!("body is not JSON: {e}")))?
+    };
+    let segments = req.segments();
+
+    match (req.method.as_str(), segments.as_slice()) {
+        ("POST", ["v1", "user", "register"]) => {
+            let user =
+                server.register_user(&need_str(&body, "nickname")?, &need_str(&body, "email")?)?;
+            Ok(ok(obj(vec![("user", user.0.into())])))
+        }
+        ("POST", ["v1", "user", "key"]) => {
+            let key = server.issue_key(UserId(need_u64(&body, "user")?))?;
+            Ok(ok(obj(vec![("key", key.0.into())])))
+        }
+        ("GET", ["v1", "dbms"]) => {
+            let labels: Vec<Value> = server.dbms_labels().into_iter().map(Value::from).collect();
+            Ok(ok(obj(vec![("labels", Value::Array(labels))])))
+        }
+        ("POST", ["v1", "dbms"]) => {
+            server.add_dbms(need::<DbmsEntry>(&body, "dbms entry")?)?;
+            Ok(ok(obj(vec![])))
+        }
+        ("POST", ["v1", "host"]) => {
+            server.add_host(need::<HostEntry>(&body, "host entry")?)?;
+            Ok(ok(obj(vec![])))
+        }
+        ("POST", ["v1", "project", "create"]) => {
+            let project = server.create_project(
+                UserId(need_u64(&body, "owner")?),
+                &need_str(&body, "title")?,
+                &need_str(&body, "synopsis")?,
+                need::<Visibility>(&body["visibility"], "visibility")?,
+            )?;
+            Ok(ok(obj(vec![("project", project.0.into())])))
+        }
+        ("POST", ["v1", "project", p, "invite"]) => {
+            server.invite(
+                ProjectId(seg_id(p, "project")?),
+                UserId(need_u64(&body, "owner")?),
+                UserId(need_u64(&body, "user")?),
+            )?;
+            Ok(ok(obj(vec![])))
+        }
+        ("POST", ["v1", "project", p, "targets"]) => {
+            server.set_targets(
+                ProjectId(seg_id(p, "project")?),
+                UserId(need_u64(&body, "actor")?),
+                need_strings(&body, "dbms_labels")?,
+                need_strings(&body, "hosts")?,
+            )?;
+            Ok(ok(obj(vec![])))
+        }
+        ("POST", ["v1", "project", p, "comment"]) => {
+            server.comment(
+                ProjectId(seg_id(p, "project")?),
+                UserId(need_u64(&body, "author")?),
+                &need_str(&body, "text")?,
+            )?;
+            Ok(ok(obj(vec![])))
+        }
+        ("POST", ["v1", "project", p, "take_down"]) => {
+            server.take_down(ProjectId(seg_id(p, "project")?))?;
+            Ok(ok(obj(vec![])))
+        }
+        ("GET", ["v1", "project", p, "role"]) => {
+            let role = server.role_of(
+                ProjectId(seg_id(p, "project")?),
+                UserId(query_u64(req, "user")?),
+            )?;
+            Ok(ok(obj(vec![("role", role.to_value())])))
+        }
+        ("POST", ["v1", "project", p, "experiment"]) => {
+            let grammar = match &body["grammar"] {
+                Value::Null => None,
+                v => {
+                    let src = v.as_str().ok_or_else(|| {
+                        PlatformError::Invalid("grammar must be a string".into())
+                    })?;
+                    Some(sqalpel_grammar::Grammar::parse(src)?)
+                }
+            };
+            let experiment = server.add_experiment(
+                ProjectId(seg_id(p, "project")?),
+                UserId(need_u64(&body, "actor")?),
+                &need_str(&body, "title")?,
+                &need_str(&body, "baseline_sql")?,
+                grammar,
+                need_u64(&body, "template_cap")? as usize,
+                need_u64(&body, "pool_cap")? as usize,
+            )?;
+            Ok(ok(obj(vec![("experiment", experiment.0.into())])))
+        }
+        ("POST", ["v1", "project", p, "experiment", e, "seed"]) => {
+            let seeded = server.seed_pool(
+                ProjectId(seg_id(p, "project")?),
+                ExperimentId(seg_id(e, "experiment")?),
+                UserId(need_u64(&body, "actor")?),
+                need_u64(&body, "n_random")? as usize,
+                need_u64(&body, "seed")?,
+            )?;
+            Ok(ok(obj(vec![("seeded", seeded.into())])))
+        }
+        ("POST", ["v1", "project", p, "experiment", e, "morph"]) => {
+            let strategy = match &body["strategy"] {
+                Value::Null => None,
+                v => Some(
+                    Strategy::from_name(
+                        v.as_str()
+                            .ok_or_else(|| PlatformError::Invalid("strategy must be a string".into()))?,
+                    )
+                    .map_err(PlatformError::Invalid)?,
+                ),
+            };
+            let added = server.morph_pool(
+                ProjectId(seg_id(p, "project")?),
+                ExperimentId(seg_id(e, "experiment")?),
+                UserId(need_u64(&body, "actor")?),
+                strategy,
+                need_u64(&body, "steps")? as usize,
+                need_u64(&body, "seed")?,
+            )?;
+            let ids: Vec<Value> = added.into_iter().map(|q| q.0.into()).collect();
+            Ok(ok(obj(vec![("added", Value::Array(ids))])))
+        }
+        ("POST", ["v1", "project", p, "experiment", e, "enqueue"]) => {
+            let enqueued = server.enqueue_experiment(
+                ProjectId(seg_id(p, "project")?),
+                ExperimentId(seg_id(e, "experiment")?),
+                UserId(need_u64(&body, "actor")?),
+            )?;
+            Ok(ok(obj(vec![("enqueued", enqueued.into())])))
+        }
+        ("GET", ["v1", "project", p, "results"]) => {
+            let key = ContributorKey(
+                req.query_param("key")
+                    .ok_or_else(|| PlatformError::Invalid("missing query parameter \"key\"".into()))?
+                    .to_string(),
+            );
+            let records = server.results_for_key(ProjectId(seg_id(p, "project")?), &key)?;
+            let rows: Vec<Value> = records.iter().map(|r| r.to_value()).collect();
+            Ok(ok(obj(vec![("results", Value::Array(rows))])))
+        }
+        ("GET", ["v1", "project", p, "csv"]) => {
+            let csv = server.export_csv(
+                ProjectId(seg_id(p, "project")?),
+                UserId(query_u64(req, "viewer")?),
+            )?;
+            Ok(Response::text(200, csv))
+        }
+        ("POST", ["v1", "result", "hide"]) => {
+            server.hide_result(
+                ProjectId(need_u64(&body, "project")?),
+                UserId(need_u64(&body, "actor")?),
+                need_u64(&body, "index")? as usize,
+                body["hidden"]
+                    .as_bool()
+                    .ok_or_else(|| PlatformError::Invalid("missing bool field \"hidden\"".into()))?,
+            )?;
+            Ok(ok(obj(vec![])))
+        }
+        ("POST", ["v1", "task", "request"]) => {
+            let task = server.request_task(
+                &ContributorKey(need_str(&body, "key")?),
+                &need_str(&body, "dbms_label")?,
+                &need_str(&body, "host")?,
+            )?;
+            let task = match task {
+                Some(t) => t.to_value(),
+                None => Value::Null,
+            };
+            Ok(ok(obj(vec![("task", task)])))
+        }
+        ("POST", ["v1", "result", "report"]) => {
+            let index = server.report_result(
+                &ContributorKey(need_str(&body, "key")?),
+                TaskId(need_u64(&body, "task")?),
+                need::<RunOutcome>(&body["outcome"], "run outcome")?,
+            )?;
+            Ok(ok(obj(vec![("index", index.into())])))
+        }
+        ("GET", ["v1", "queue", "summary"]) => Ok(ok(server.queue_summary().to_value())),
+        ("POST", ["v1", "queue", "reap"]) => {
+            let timeout = Duration::from_millis(need_u64(&body, "timeout_ms")?);
+            let reaped: Vec<Value> = server
+                .reap_stuck(timeout)
+                .into_iter()
+                .map(|t| t.0.into())
+                .collect();
+            Ok(ok(obj(vec![("reaped", Value::Array(reaped))])))
+        }
+        ("POST", ["v1", "task", t, "requeue"]) => {
+            server.requeue(TaskId(seg_id(t, "task")?))?;
+            Ok(ok(obj(vec![])))
+        }
+        _ => Ok(error_response(
+            404,
+            &PlatformError::Invalid(format!("no endpoint {} {}", req.method, req.path)),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queue::QueueSummary;
+
+    fn get(path: &str, query: Vec<(&str, &str)>) -> Request {
+        Request {
+            method: "GET".into(),
+            path: path.into(),
+            query: query
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            body: Vec::new(),
+        }
+    }
+
+    fn post(path: &str, body: &Value) -> Request {
+        Request {
+            method: "POST".into(),
+            path: path.into(),
+            query: Vec::new(),
+            body: serde_json::to_string(body).unwrap().into_bytes(),
+        }
+    }
+
+    fn body_of(resp: &Response) -> Value {
+        serde_json::from_str(std::str::from_utf8(&resp.body).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn management_surface_routes_end_to_end() {
+        let server = SqalpelServer::new();
+        let resp = handle(
+            &server,
+            &post(
+                "/v1/user/register",
+                &obj(vec![("nickname", "mlk".into()), ("email", "mlk@cwi.nl".into())]),
+            ),
+        );
+        assert_eq!(resp.status, 200);
+        let owner = body_of(&resp)["user"].as_i64().unwrap();
+
+        let resp = handle(
+            &server,
+            &post(
+                "/v1/project/create",
+                &obj(vec![
+                    ("owner", owner.into()),
+                    ("title", "demo".into()),
+                    ("synopsis", "api test".into()),
+                    ("visibility", "public".into()),
+                ]),
+            ),
+        );
+        assert_eq!(resp.status, 200);
+        let project = body_of(&resp)["project"].as_i64().unwrap();
+
+        let resp = handle(
+            &server,
+            &get(
+                &format!("/v1/project/{project}/role"),
+                vec![("user", &owner.to_string())],
+            ),
+        );
+        assert_eq!(body_of(&resp)["role"].as_str(), Some("owner"));
+
+        let resp = handle(&server, &get("/v1/queue/summary", vec![]));
+        let summary: QueueSummary = QueueSummary::from_value(&body_of(&resp)).unwrap();
+        assert_eq!(summary.total(), 0);
+    }
+
+    #[test]
+    fn errors_map_to_statuses_and_typed_bodies() {
+        let server = SqalpelServer::new();
+        // Unknown project → 404, reconstructable as UnknownProject.
+        let resp = handle(
+            &server,
+            &post("/v1/project/99/take_down", &obj(vec![])),
+        );
+        assert_eq!(resp.status, 404);
+        let err = PlatformError::from_value(&body_of(&resp)).unwrap();
+        assert_eq!(err, PlatformError::UnknownProject(99));
+
+        // Malformed body → 400 invalid.
+        let mut req = post("/v1/user/register", &obj(vec![]));
+        req.body = b"not json".to_vec();
+        let resp = handle(&server, &req);
+        assert_eq!(resp.status, 400);
+        assert_eq!(body_of(&resp)["code"].as_str(), Some("invalid"));
+
+        // Unknown endpoint → 404.
+        let resp = handle(&server, &get("/v1/no/such/thing", vec![]));
+        assert_eq!(resp.status, 404);
+
+        // Bad contributor key → 403.
+        let resp = handle(
+            &server,
+            &post(
+                "/v1/task/request",
+                &obj(vec![
+                    ("key", "ck_bogus".into()),
+                    ("dbms_label", "rowstore-2.0".into()),
+                    ("host", "bench-server".into()),
+                ]),
+            ),
+        );
+        assert_eq!(resp.status, 403);
+        assert_eq!(body_of(&resp)["code"].as_str(), Some("access_denied"));
+    }
+}

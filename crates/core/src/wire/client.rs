@@ -1,0 +1,616 @@
+//! The typed client: the in-process server's Rust surface, over HTTP.
+//!
+//! Every method mirrors a [`crate::SqalpelServer`] operation and returns
+//! the same `PlatformResult` types, so code written against the server —
+//! the driver loop, [`crate::workers::run_worker_pool`], the bench
+//! harness — runs against a remote platform unchanged (the client
+//! implements [`Platform`]).
+//!
+//! Robustness model:
+//!
+//! * every call opens a fresh connection with a connect timeout and
+//!   socket I/O timeouts — no stalled request can hang a worker;
+//! * connect failures, I/O errors and 5xx responses are retried with
+//!   deterministic exponential backoff ([`RetryPolicy`]) — safe because
+//!   the server keeps claim/report idempotent per contributor key;
+//! * 4xx responses are **never** retried: the body is a serialized
+//!   [`PlatformError`] which is reconstructed and returned typed;
+//! * exhausted retries surface as [`PlatformError::Transport`].
+//!
+//! For tests, [`WireClient::inject_drop_every`] makes the client write a
+//! full request and then close the socket without reading the response
+//! every Nth call — the server processes the request but the response is
+//! lost, which is exactly the failure the retry + idempotency pair must
+//! absorb without double-counting.
+
+use crate::catalog::{DbmsEntry, HostEntry, Visibility};
+use crate::driver::RunOutcome;
+use crate::error::{PlatformError, PlatformResult};
+use crate::pool::{QueryId, Strategy};
+use crate::project::{ExperimentId, ProjectId, Role};
+use crate::queue::{QueueSummary, Task, TaskId};
+use crate::results::ResultRecord;
+use crate::server::Platform;
+use crate::user::{ContributorKey, UserId};
+use crate::wire::http::{read_response, write_request};
+use serde::{Deserialize, Serialize, Value};
+use std::io;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Bounded retry with deterministic exponential backoff: attempt `i`
+/// sleeps `min(base << i, max)` before retrying. No jitter — runs are
+/// reproducible, and the contention this protects against (a restarting
+/// server, a dropped response) does not thundering-herd at this scale.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts (first try included). 1 = no retries.
+    pub attempts: u32,
+    pub base_backoff: Duration,
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 4,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(500),
+        }
+    }
+}
+
+impl RetryPolicy {
+    fn backoff(&self, attempt: u32) -> Duration {
+        let exp = self
+            .base_backoff
+            .checked_mul(1u32 << attempt.min(16))
+            .unwrap_or(self.max_backoff);
+        exp.min(self.max_backoff)
+    }
+}
+
+/// A typed HTTP client for one sqalpel server.
+pub struct WireClient {
+    addr: SocketAddr,
+    retry: RetryPolicy,
+    connect_timeout: Duration,
+    io_timeout: Duration,
+    max_body: usize,
+    /// Fault injection: drop the connection after writing every Nth
+    /// request, losing the response. 0 = disabled.
+    drop_every: u64,
+    requests: AtomicU64,
+}
+
+impl WireClient {
+    pub fn new(addr: SocketAddr) -> WireClient {
+        WireClient {
+            addr,
+            retry: RetryPolicy::default(),
+            connect_timeout: Duration::from_secs(5),
+            io_timeout: Duration::from_secs(10),
+            max_body: 1 << 24,
+            drop_every: 0,
+            requests: AtomicU64::new(0),
+        }
+    }
+
+    pub fn with_retry(mut self, retry: RetryPolicy) -> WireClient {
+        self.retry = retry;
+        self
+    }
+
+    /// Lose the response of every `n`th request (see module docs).
+    pub fn inject_drop_every(mut self, n: u64) -> WireClient {
+        self.drop_every = n;
+        self
+    }
+
+    /// Total HTTP requests sent, retries and injected drops included.
+    pub fn requests_sent(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    // ---------------------------------------------------------- transport
+
+    fn attempt(&self, method: &str, path: &str, body: &[u8]) -> io::Result<(u16, Vec<u8>)> {
+        let n = self.requests.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut stream = TcpStream::connect_timeout(&self.addr, self.connect_timeout)?;
+        stream.set_read_timeout(Some(self.io_timeout))?;
+        stream.set_write_timeout(Some(self.io_timeout))?;
+        write_request(&mut stream, method, path, body)?;
+        if self.drop_every != 0 && n.is_multiple_of(self.drop_every) {
+            // The full request is on the wire (the server will process
+            // it); closing now loses the response, simulating a network
+            // failure between processing and delivery.
+            drop(stream);
+            return Err(io::Error::new(
+                io::ErrorKind::ConnectionReset,
+                "injected connection drop",
+            ));
+        }
+        read_response(&mut stream, self.max_body)
+    }
+
+    /// One API call: retried transport, typed errors.
+    fn call(&self, method: &str, path: &str, body: Option<&Value>) -> PlatformResult<Value> {
+        let encoded = match body {
+            Some(v) => serde_json::to_string(v)
+                .map_err(|e| PlatformError::Transport(format!("encode: {e}")))?
+                .into_bytes(),
+            None => Vec::new(),
+        };
+        let mut last_failure = String::new();
+        for attempt in 0..self.retry.attempts.max(1) {
+            if attempt > 0 {
+                std::thread::sleep(self.retry.backoff(attempt - 1));
+            }
+            match self.attempt(method, path, &encoded) {
+                // 5xx: the server (or a proxy) failed; safe to retry
+                // because the API is idempotent per contributor key.
+                Ok((status, resp)) if status >= 500 => {
+                    last_failure = format!(
+                        "{method} {path}: server error {status}: {}",
+                        String::from_utf8_lossy(&resp)
+                    );
+                }
+                // 4xx: a typed platform error — never retried.
+                Ok((status, resp)) if status >= 400 => {
+                    let text = String::from_utf8_lossy(&resp);
+                    let err = serde_json::from_str::<Value>(&text)
+                        .ok()
+                        .and_then(|v| PlatformError::from_value(&v).ok());
+                    return Err(err.unwrap_or_else(|| {
+                        PlatformError::Transport(format!(
+                            "{method} {path}: status {status} with undecodable body: {text}"
+                        ))
+                    }));
+                }
+                Ok((_, resp)) => {
+                    let text = String::from_utf8_lossy(&resp);
+                    return serde_json::from_str(&text).map_err(|e| {
+                        PlatformError::Transport(format!("{method} {path}: bad JSON: {e}"))
+                    });
+                }
+                Err(e) => {
+                    last_failure = format!("{method} {path}: {e}");
+                }
+            }
+        }
+        Err(PlatformError::Transport(format!(
+            "{last_failure} (after {} attempts)",
+            self.retry.attempts.max(1)
+        )))
+    }
+
+    fn post(&self, path: &str, body: Value) -> PlatformResult<Value> {
+        self.call("POST", path, Some(&body))
+    }
+
+    fn get(&self, path: &str) -> PlatformResult<Value> {
+        self.call("GET", path, None)
+    }
+
+    // ------------------------------------------------- the typed surface
+
+    pub fn register_user(&self, nickname: &str, email: &str) -> PlatformResult<UserId> {
+        let v = self.post(
+            "/v1/user/register",
+            obj(vec![("nickname", nickname.into()), ("email", email.into())]),
+        )?;
+        Ok(UserId(field_u64(&v, "user")?))
+    }
+
+    pub fn issue_key(&self, user: UserId) -> PlatformResult<ContributorKey> {
+        let v = self.post("/v1/user/key", obj(vec![("user", user.0.into())]))?;
+        Ok(ContributorKey(field_str(&v, "key")?))
+    }
+
+    pub fn add_dbms(&self, entry: DbmsEntry) -> PlatformResult<()> {
+        self.post("/v1/dbms", entry.to_value()).map(|_| ())
+    }
+
+    pub fn add_host(&self, entry: HostEntry) -> PlatformResult<()> {
+        self.post("/v1/host", entry.to_value()).map(|_| ())
+    }
+
+    pub fn dbms_labels(&self) -> PlatformResult<Vec<String>> {
+        let v = self.get("/v1/dbms")?;
+        v["labels"]
+            .as_array()
+            .ok_or_else(|| PlatformError::Transport("missing labels".into()))?
+            .iter()
+            .map(|l| {
+                l.as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| PlatformError::Transport("non-string label".into()))
+            })
+            .collect()
+    }
+
+    pub fn create_project(
+        &self,
+        owner: UserId,
+        title: &str,
+        synopsis: &str,
+        visibility: Visibility,
+    ) -> PlatformResult<ProjectId> {
+        let v = self.post(
+            "/v1/project/create",
+            obj(vec![
+                ("owner", owner.0.into()),
+                ("title", title.into()),
+                ("synopsis", synopsis.into()),
+                ("visibility", visibility.to_value()),
+            ]),
+        )?;
+        Ok(ProjectId(field_u64(&v, "project")?))
+    }
+
+    pub fn invite(&self, project: ProjectId, owner: UserId, user: UserId) -> PlatformResult<()> {
+        self.post(
+            &format!("/v1/project/{}/invite", project.0),
+            obj(vec![("owner", owner.0.into()), ("user", user.0.into())]),
+        )
+        .map(|_| ())
+    }
+
+    pub fn set_targets(
+        &self,
+        project: ProjectId,
+        actor: UserId,
+        dbms_labels: Vec<String>,
+        hosts: Vec<String>,
+    ) -> PlatformResult<()> {
+        self.post(
+            &format!("/v1/project/{}/targets", project.0),
+            obj(vec![
+                ("actor", actor.0.into()),
+                ("dbms_labels", strings(dbms_labels)),
+                ("hosts", strings(hosts)),
+            ]),
+        )
+        .map(|_| ())
+    }
+
+    pub fn comment(&self, project: ProjectId, author: UserId, text: &str) -> PlatformResult<()> {
+        self.post(
+            &format!("/v1/project/{}/comment", project.0),
+            obj(vec![("author", author.0.into()), ("text", text.into())]),
+        )
+        .map(|_| ())
+    }
+
+    pub fn take_down(&self, project: ProjectId) -> PlatformResult<()> {
+        self.post(&format!("/v1/project/{}/take_down", project.0), obj(vec![]))
+            .map(|_| ())
+    }
+
+    pub fn role_of(&self, project: ProjectId, user: UserId) -> PlatformResult<Role> {
+        let v = self.get(&format!("/v1/project/{}/role?user={}", project.0, user.0))?;
+        Role::from_value(&v["role"]).map_err(PlatformError::Transport)
+    }
+
+    /// Add an experiment; the grammar travels as source text and is
+    /// parsed server-side (a syntax error comes back as
+    /// [`PlatformError::Grammar`]).
+    #[allow(clippy::too_many_arguments)]
+    pub fn add_experiment(
+        &self,
+        project: ProjectId,
+        actor: UserId,
+        title: &str,
+        baseline_sql: &str,
+        grammar_source: Option<&str>,
+        template_cap: usize,
+        pool_cap: usize,
+    ) -> PlatformResult<ExperimentId> {
+        let v = self.post(
+            &format!("/v1/project/{}/experiment", project.0),
+            obj(vec![
+                ("actor", actor.0.into()),
+                ("title", title.into()),
+                ("baseline_sql", baseline_sql.into()),
+                (
+                    "grammar",
+                    match grammar_source {
+                        Some(src) => src.into(),
+                        None => Value::Null,
+                    },
+                ),
+                ("template_cap", template_cap.into()),
+                ("pool_cap", pool_cap.into()),
+            ]),
+        )?;
+        Ok(ExperimentId(field_u64(&v, "experiment")?))
+    }
+
+    pub fn seed_pool(
+        &self,
+        project: ProjectId,
+        experiment: ExperimentId,
+        actor: UserId,
+        n_random: usize,
+        seed: u64,
+    ) -> PlatformResult<usize> {
+        let v = self.post(
+            &format!("/v1/project/{}/experiment/{}/seed", project.0, experiment.0),
+            obj(vec![
+                ("actor", actor.0.into()),
+                ("n_random", n_random.into()),
+                ("seed", seed.into()),
+            ]),
+        )?;
+        Ok(field_u64(&v, "seeded")? as usize)
+    }
+
+    pub fn morph_pool(
+        &self,
+        project: ProjectId,
+        experiment: ExperimentId,
+        actor: UserId,
+        strategy: Option<Strategy>,
+        steps: usize,
+        seed: u64,
+    ) -> PlatformResult<Vec<QueryId>> {
+        let v = self.post(
+            &format!("/v1/project/{}/experiment/{}/morph", project.0, experiment.0),
+            obj(vec![
+                ("actor", actor.0.into()),
+                (
+                    "strategy",
+                    match strategy {
+                        Some(s) => s.name().into(),
+                        None => Value::Null,
+                    },
+                ),
+                ("steps", steps.into()),
+                ("seed", seed.into()),
+            ]),
+        )?;
+        v["added"]
+            .as_array()
+            .ok_or_else(|| PlatformError::Transport("missing added".into()))?
+            .iter()
+            .map(|q| {
+                q.as_i64()
+                    .map(|n| QueryId(n as u64))
+                    .ok_or_else(|| PlatformError::Transport("non-numeric query id".into()))
+            })
+            .collect()
+    }
+
+    pub fn enqueue_experiment(
+        &self,
+        project: ProjectId,
+        experiment: ExperimentId,
+        actor: UserId,
+    ) -> PlatformResult<usize> {
+        let v = self.post(
+            &format!(
+                "/v1/project/{}/experiment/{}/enqueue",
+                project.0, experiment.0
+            ),
+            obj(vec![("actor", actor.0.into())]),
+        )?;
+        Ok(field_u64(&v, "enqueued")? as usize)
+    }
+
+    pub fn request_task(
+        &self,
+        key: &ContributorKey,
+        dbms_label: &str,
+        host: &str,
+    ) -> PlatformResult<Option<Task>> {
+        let v = self.post(
+            "/v1/task/request",
+            obj(vec![
+                ("key", key.0.clone().into()),
+                ("dbms_label", dbms_label.into()),
+                ("host", host.into()),
+            ]),
+        )?;
+        match &v["task"] {
+            Value::Null => Ok(None),
+            t => Task::from_value(t).map(Some).map_err(PlatformError::Transport),
+        }
+    }
+
+    pub fn report_result(
+        &self,
+        key: &ContributorKey,
+        task: TaskId,
+        outcome: &RunOutcome,
+    ) -> PlatformResult<usize> {
+        let v = self.post(
+            "/v1/result/report",
+            obj(vec![
+                ("key", key.0.clone().into()),
+                ("task", task.0.into()),
+                ("outcome", outcome.to_value()),
+            ]),
+        )?;
+        Ok(field_u64(&v, "index")? as usize)
+    }
+
+    pub fn queue_summary(&self) -> PlatformResult<QueueSummary> {
+        let v = self.get("/v1/queue/summary")?;
+        QueueSummary::from_value(&v).map_err(PlatformError::Transport)
+    }
+
+    pub fn reap_stuck(&self, timeout: Duration) -> PlatformResult<Vec<TaskId>> {
+        let v = self.post(
+            "/v1/queue/reap",
+            obj(vec![("timeout_ms", (timeout.as_millis() as u64).into())]),
+        )?;
+        v["reaped"]
+            .as_array()
+            .ok_or_else(|| PlatformError::Transport("missing reaped".into()))?
+            .iter()
+            .map(|t| {
+                t.as_i64()
+                    .map(|n| TaskId(n as u64))
+                    .ok_or_else(|| PlatformError::Transport("non-numeric task id".into()))
+            })
+            .collect()
+    }
+
+    pub fn requeue(&self, task: TaskId) -> PlatformResult<()> {
+        self.post(&format!("/v1/task/{}/requeue", task.0), obj(vec![]))
+            .map(|_| ())
+    }
+
+    pub fn results_for_key(
+        &self,
+        project: ProjectId,
+        key: &ContributorKey,
+    ) -> PlatformResult<Vec<ResultRecord>> {
+        let v = self.get(&format!("/v1/project/{}/results?key={}", project.0, key.0))?;
+        v["results"]
+            .as_array()
+            .ok_or_else(|| PlatformError::Transport("missing results".into()))?
+            .iter()
+            .map(|r| ResultRecord::from_value(r).map_err(PlatformError::Transport))
+            .collect()
+    }
+
+    pub fn hide_result(
+        &self,
+        project: ProjectId,
+        actor: UserId,
+        index: usize,
+        hidden: bool,
+    ) -> PlatformResult<()> {
+        self.post(
+            "/v1/result/hide",
+            obj(vec![
+                ("project", project.0.into()),
+                ("actor", actor.0.into()),
+                ("index", index.into()),
+                ("hidden", hidden.into()),
+            ]),
+        )
+        .map(|_| ())
+    }
+
+    /// CSV export is the one non-JSON response; fetched raw.
+    pub fn export_csv(&self, project: ProjectId, viewer: UserId) -> PlatformResult<String> {
+        let path = format!("/v1/project/{}/csv?viewer={}", project.0, viewer.0);
+        let mut last_failure = String::new();
+        for attempt in 0..self.retry.attempts.max(1) {
+            if attempt > 0 {
+                std::thread::sleep(self.retry.backoff(attempt - 1));
+            }
+            match self.attempt("GET", &path, b"") {
+                Ok((status, _)) if status >= 500 => {
+                    last_failure = format!("csv: server error {status}");
+                }
+                Ok((status, resp)) if status >= 400 => {
+                    let text = String::from_utf8_lossy(&resp);
+                    let err = serde_json::from_str::<Value>(&text)
+                        .ok()
+                        .and_then(|v| PlatformError::from_value(&v).ok());
+                    return Err(err.unwrap_or_else(|| {
+                        PlatformError::Transport(format!("csv: status {status}"))
+                    }));
+                }
+                Ok((_, resp)) => return Ok(String::from_utf8_lossy(&resp).into_owned()),
+                Err(e) => last_failure = format!("csv: {e}"),
+            }
+        }
+        Err(PlatformError::Transport(last_failure))
+    }
+}
+
+/// The contribution surface over the wire: lets
+/// [`crate::workers::run_worker_pool`] drain a remote server.
+impl Platform for WireClient {
+    fn request_task(
+        &self,
+        key: &ContributorKey,
+        dbms_label: &str,
+        host: &str,
+    ) -> PlatformResult<Option<Task>> {
+        WireClient::request_task(self, key, dbms_label, host)
+    }
+
+    fn report_result(
+        &self,
+        key: &ContributorKey,
+        task_id: TaskId,
+        outcome: RunOutcome,
+    ) -> PlatformResult<usize> {
+        WireClient::report_result(self, key, task_id, &outcome)
+    }
+
+    fn queue_summary(&self) -> PlatformResult<QueueSummary> {
+        WireClient::queue_summary(self)
+    }
+}
+
+fn obj(pairs: Vec<(&str, Value)>) -> Value {
+    let mut m = serde_json::Map::new();
+    for (k, v) in pairs {
+        m.insert(k.to_string(), v);
+    }
+    Value::Object(m)
+}
+
+fn strings(items: Vec<String>) -> Value {
+    Value::Array(items.into_iter().map(Value::from).collect())
+}
+
+fn field_u64(v: &Value, key: &str) -> PlatformResult<u64> {
+    v[key]
+        .as_i64()
+        .filter(|n| *n >= 0)
+        .map(|n| n as u64)
+        .ok_or_else(|| PlatformError::Transport(format!("response missing {key:?}")))
+}
+
+fn field_str(v: &Value, key: &str) -> PlatformResult<String> {
+    v[key]
+        .as_str()
+        .map(str::to_string)
+        .ok_or_else(|| PlatformError::Transport(format!("response missing {key:?}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_deterministic_and_capped() {
+        let p = RetryPolicy {
+            attempts: 6,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(50),
+        };
+        assert_eq!(p.backoff(0), Duration::from_millis(10));
+        assert_eq!(p.backoff(1), Duration::from_millis(20));
+        assert_eq!(p.backoff(2), Duration::from_millis(40));
+        assert_eq!(p.backoff(3), Duration::from_millis(50));
+        assert_eq!(p.backoff(30), Duration::from_millis(50));
+    }
+
+    #[test]
+    fn connect_refused_exhausts_into_transport_error() {
+        // Bind-then-drop yields an address nobody listens on.
+        let addr = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let client = WireClient::new(addr).with_retry(RetryPolicy {
+            attempts: 2,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(2),
+        });
+        match client.queue_summary() {
+            Err(PlatformError::Transport(msg)) => assert!(msg.contains("2 attempts"), "{msg}"),
+            other => panic!("expected transport error, got {other:?}"),
+        }
+        assert_eq!(client.requests_sent(), 2);
+    }
+}

@@ -1,0 +1,337 @@
+//! A deliberately small HTTP/1.1 subset over `std::net` — exactly what
+//! the platform API needs and nothing more.
+//!
+//! One request per connection (`Connection: close` on every response):
+//! the retrying client opens a fresh socket per call, which keeps failure
+//! handling trivial — any broken connection maps to one failed request,
+//! never a poisoned stream of pipelined ones. Headers are latin-1-ish
+//! ASCII, bodies are length-delimited (no chunked encoding), and both are
+//! size-capped so a misbehaving peer cannot balloon server memory.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Upper bound on the request/status line plus headers.
+const MAX_HEAD: usize = 16 * 1024;
+
+/// A parsed HTTP request.
+#[derive(Debug)]
+pub struct Request {
+    pub method: String,
+    /// Path with the query string stripped.
+    pub path: String,
+    /// Decoded `k=v` query pairs, in order.
+    pub query: Vec<(String, String)>,
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First query value for a key.
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// `/`-separated path segments, skipping empties.
+    pub fn segments(&self) -> Vec<&str> {
+        self.path.split('/').filter(|s| !s.is_empty()).collect()
+    }
+}
+
+/// A response about to be written.
+#[derive(Debug)]
+pub struct Response {
+    pub status: u16,
+    pub content_type: &'static str,
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    pub fn json(status: u16, body: impl Into<Vec<u8>>) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            body: body.into(),
+        }
+    }
+
+    pub fn text(status: u16, body: impl Into<Vec<u8>>) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into(),
+        }
+    }
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        403 => "Forbidden",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        451 => "Unavailable For Legal Reasons",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Read one line (terminated by `\r\n` or `\n`), capped.
+fn read_line(reader: &mut impl BufRead, budget: &mut usize) -> io::Result<String> {
+    let mut line = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        reader.read_exact(&mut byte)?;
+        if *budget == 0 {
+            return Err(bad("header section too large"));
+        }
+        *budget -= 1;
+        if byte[0] == b'\n' {
+            break;
+        }
+        line.push(byte[0]);
+    }
+    if line.last() == Some(&b'\r') {
+        line.pop();
+    }
+    String::from_utf8(line).map_err(|e| bad(e.to_string()))
+}
+
+/// Minimal `%xx` (and `+`) decoding for query values.
+fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' if i + 2 < bytes.len() => {
+                let hex = std::str::from_utf8(&bytes[i + 1..i + 3]).ok();
+                match hex.and_then(|h| u8::from_str_radix(h, 16).ok()) {
+                    Some(b) => {
+                        out.push(b);
+                        i += 3;
+                    }
+                    None => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+fn parse_query(raw: &str) -> Vec<(String, String)> {
+    raw.split('&')
+        .filter(|p| !p.is_empty())
+        .map(|pair| match pair.split_once('=') {
+            Some((k, v)) => (percent_decode(k), percent_decode(v)),
+            None => (percent_decode(pair), String::new()),
+        })
+        .collect()
+}
+
+/// Read and parse one request from a connection.
+pub fn read_request(stream: &mut TcpStream, max_body: usize) -> io::Result<Request> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut budget = MAX_HEAD;
+    let request_line = read_line(&mut reader, &mut budget)?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().ok_or_else(|| bad("empty request line"))?.to_string();
+    let target = parts.next().ok_or_else(|| bad("missing request target"))?;
+    let version = parts.next().unwrap_or("HTTP/1.1");
+    if !version.starts_with("HTTP/1.") {
+        return Err(bad(format!("unsupported version {version}")));
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), parse_query(q)),
+        None => (target.to_string(), Vec::new()),
+    };
+
+    let mut content_length = 0usize;
+    loop {
+        let line = read_line(&mut reader, &mut budget)?;
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| bad("bad content-length"))?;
+            }
+        }
+    }
+    if content_length > max_body {
+        return Err(bad(format!(
+            "body of {content_length} bytes exceeds the {max_body} byte cap"
+        )));
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    Ok(Request {
+        method,
+        path,
+        query,
+        body,
+    })
+}
+
+/// Write a response and flush. The connection is always marked closed.
+pub fn write_response(stream: &mut TcpStream, resp: &Response) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+        resp.status,
+        reason(resp.status),
+        resp.content_type,
+        resp.body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(&resp.body)?;
+    stream.flush()
+}
+
+/// Write one client request and flush.
+pub fn write_request(
+    stream: &mut TcpStream,
+    method: &str,
+    path_and_query: &str,
+    body: &[u8],
+) -> io::Result<()> {
+    let head = format!(
+        "{method} {path_and_query} HTTP/1.1\r\nhost: sqalpel\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// Read a response: returns `(status, body)`.
+pub fn read_response(stream: &mut TcpStream, max_body: usize) -> io::Result<(u16, Vec<u8>)> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut budget = MAX_HEAD;
+    let status_line = read_line(&mut reader, &mut budget)?;
+    let mut parts = status_line.split_whitespace();
+    let version = parts.next().ok_or_else(|| bad("empty status line"))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(bad(format!("unsupported version {version}")));
+    }
+    let status: u16 = parts
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad("missing status code"))?;
+
+    let mut content_length: Option<usize> = None;
+    loop {
+        let line = read_line(&mut reader, &mut budget)?;
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length =
+                    Some(value.trim().parse().map_err(|_| bad("bad content-length"))?);
+            }
+        }
+    }
+    let body = match content_length {
+        Some(n) if n > max_body => {
+            return Err(bad(format!("response of {n} bytes exceeds the cap")))
+        }
+        Some(n) => {
+            let mut body = vec![0u8; n];
+            reader.read_exact(&mut body)?;
+            body
+        }
+        // Connection-delimited body (we always send content-length, but
+        // accept the close-delimited form for robustness).
+        None => {
+            let mut body = Vec::new();
+            reader.take(max_body as u64).read_to_end(&mut body)?;
+            body
+        }
+    };
+    Ok((status, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    fn round_trip(method: &str, target: &str, body: &[u8]) -> Request {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let body_owned = body.to_vec();
+        let (method, target) = (method.to_string(), target.to_string());
+        let client = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            write_request(&mut s, &method, &target, &body_owned).unwrap();
+            read_response(&mut s, 1 << 20).unwrap()
+        });
+        let (mut conn, _) = listener.accept().unwrap();
+        let req = read_request(&mut conn, 1 << 20).unwrap();
+        write_response(&mut conn, &Response::json(200, b"{}".to_vec())).unwrap();
+        let (status, resp_body) = client.join().unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(resp_body, b"{}");
+        req
+    }
+
+    #[test]
+    fn request_round_trips_with_query() {
+        let req = round_trip("GET", "/v1/project/3/results?viewer=7&x=", b"");
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/v1/project/3/results");
+        assert_eq!(req.query_param("viewer"), Some("7"));
+        assert_eq!(req.query_param("x"), Some(""));
+        assert_eq!(req.query_param("nope"), None);
+        assert_eq!(req.segments(), vec!["v1", "project", "3", "results"]);
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn post_carries_body() {
+        let req = round_trip("POST", "/v1/task/request", br#"{"key":"ck_1"}"#);
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.body, br#"{"key":"ck_1"}"#);
+    }
+
+    #[test]
+    fn oversized_body_rejected() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            write_request(&mut s, "POST", "/x", &vec![b'a'; 4096]).unwrap();
+            // The server may close before reading everything; ignore.
+            let _ = read_response(&mut s, 1 << 20);
+        });
+        let (mut conn, _) = listener.accept().unwrap();
+        assert!(read_request(&mut conn, 100).is_err());
+        drop(conn);
+        client.join().unwrap();
+    }
+}

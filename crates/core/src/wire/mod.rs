@@ -1,0 +1,33 @@
+//! The client–server wire layer (paper §5.1).
+//!
+//! "sqalpel is built as a client-server, web-based software platform" —
+//! this module is the actual wire: a JSON-over-HTTP API exposing every
+//! [`crate::SqalpelServer`] operation as a versioned `/v1/...` endpoint,
+//! served by [`WireServer`] over `std::net`, and consumed by the typed
+//! [`WireClient`], which presents the same Rust surface as the in-process
+//! server. Because the client implements [`crate::server::Platform`], the
+//! driver loop and [`crate::workers::run_worker_pool`] run unchanged
+//! whether the platform lives in the same process or across the network.
+//!
+//! Design points:
+//!
+//! * **One request per connection.** The subset in [`http`] always sends
+//!   `Connection: close`; a broken socket maps to exactly one failed
+//!   call, never a poisoned pipeline.
+//! * **Typed errors on the wire.** Every [`crate::PlatformError`] carries
+//!   a stable machine-readable code; the server maps variants to HTTP
+//!   statuses and the client reconstructs the exact variant from the
+//!   body, so `match`-based error handling is transport-agnostic.
+//! * **Retry without double-counting.** The client retries connect
+//!   failures, I/O errors and 5xx responses with bounded deterministic
+//!   backoff. The server keeps claim and report **idempotent** per
+//!   contributor key, so a retried request whose original response was
+//!   lost hands back the same task / the same record index.
+
+pub mod api;
+pub mod client;
+pub mod http;
+pub mod server;
+
+pub use client::{RetryPolicy, WireClient};
+pub use server::{WireConfig, WireServer};

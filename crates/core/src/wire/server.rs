@@ -1,0 +1,198 @@
+//! The HTTP server: a bounded thread pool over `std::net::TcpListener`.
+//!
+//! One acceptor thread feeds accepted connections into a bounded channel
+//! drained by a fixed pool of handler threads — enough concurrency for a
+//! crowd of contributors without unbounded thread growth. Shutdown is
+//! graceful and deterministic: a flag flips, a wake-up connection breaks
+//! the acceptor out of `accept()`, the channel closes, and every handler
+//! drains its queue before exiting. Dropping the server shuts it down.
+
+use crate::server::SqalpelServer;
+use crate::wire::api;
+use crate::wire::http::{read_request, write_response, Response};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Tunables of a [`WireServer`].
+#[derive(Debug, Clone)]
+pub struct WireConfig {
+    /// Handler threads (concurrent in-flight requests).
+    pub workers: usize,
+    /// Per-request body cap in bytes.
+    pub max_body: usize,
+    /// Socket read/write timeout — a stalled peer cannot pin a handler.
+    pub io_timeout: Duration,
+}
+
+impl Default for WireConfig {
+    fn default() -> Self {
+        WireConfig {
+            workers: 4,
+            max_body: 1 << 20,
+            io_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// A running wire server. Bind with [`WireServer::start`], read the
+/// actual address with [`WireServer::local_addr`] (use port 0 to let the
+/// OS pick), stop with [`WireServer::shutdown`] or by dropping.
+pub struct WireServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    handlers: Vec<JoinHandle<()>>,
+}
+
+impl WireServer {
+    /// Bind `addr` and start serving `server` in background threads.
+    pub fn start(
+        server: Arc<SqalpelServer>,
+        addr: impl ToSocketAddrs,
+        config: WireConfig,
+    ) -> io::Result<WireServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        // Bounded: if every handler is busy and the backlog fills, the
+        // acceptor blocks and the kernel queue applies backpressure.
+        let (tx, rx) = sync_channel::<TcpStream>(config.workers * 2);
+        let rx = Arc::new(Mutex::new(rx));
+
+        let handlers = (0..config.workers.max(1))
+            .map(|_| {
+                let server = Arc::clone(&server);
+                let rx = Arc::clone(&rx);
+                let config = config.clone();
+                std::thread::spawn(move || handler_loop(&server, &rx, &config))
+            })
+            .collect();
+
+        let acceptor = {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || acceptor_loop(&listener, &tx, &stop))
+        };
+
+        Ok(WireServer {
+            addr: local,
+            stop,
+            acceptor: Some(acceptor),
+            handlers,
+        })
+    }
+
+    /// The bound address (the OS-picked port when started with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting, drain in-flight requests, join every thread.
+    /// Idempotent.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the acceptor out of its blocking accept() with a throwaway
+        // connection to ourselves; it sees the flag and exits, dropping
+        // the channel sender, which in turn stops the handlers.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for handler in self.handlers.drain(..) {
+            let _ = handler.join();
+        }
+    }
+}
+
+impl Drop for WireServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn acceptor_loop(listener: &TcpListener, tx: &SyncSender<TcpStream>, stop: &AtomicBool) {
+    loop {
+        let conn = listener.accept();
+        if stop.load(Ordering::SeqCst) {
+            // The wake-up connection (or whatever arrived with it) is
+            // dropped unanswered; clients treat that as a transport error.
+            return;
+        }
+        match conn {
+            Ok((stream, _)) => {
+                if tx.send(stream).is_err() {
+                    return;
+                }
+            }
+            // Transient accept failures (EMFILE, aborted handshake): keep
+            // serving.
+            Err(_) => continue,
+        }
+    }
+}
+
+fn handler_loop(
+    server: &SqalpelServer,
+    rx: &Mutex<Receiver<TcpStream>>,
+    config: &WireConfig,
+) {
+    loop {
+        let stream = match rx.lock() {
+            Ok(guard) => guard.recv(),
+            Err(_) => return,
+        };
+        let mut stream = match stream {
+            Ok(s) => s,
+            // Channel closed: the acceptor exited, shutdown is underway.
+            Err(_) => return,
+        };
+        let _ = stream.set_read_timeout(Some(config.io_timeout));
+        let _ = stream.set_write_timeout(Some(config.io_timeout));
+        let response = match read_request(&mut stream, config.max_body) {
+            Ok(req) => api::handle(server, &req),
+            // Unparseable request: answer 400 if the socket still works.
+            Err(e) => Response::text(400, format!("bad request: {e}")),
+        };
+        // The peer may have vanished (drop-injection clients do this on
+        // purpose); a failed write only affects this connection.
+        let _ = write_response(&mut stream, &response);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::http::{read_response, write_request};
+
+    #[test]
+    fn serves_requests_and_shuts_down_cleanly() {
+        let server = Arc::new(SqalpelServer::new());
+        let mut wire =
+            WireServer::start(Arc::clone(&server), "127.0.0.1:0", WireConfig::default()).unwrap();
+        let addr = wire.local_addr();
+
+        // A plain socket-level round trip against the queue endpoint.
+        let mut s = TcpStream::connect(addr).unwrap();
+        write_request(&mut s, "GET", "/v1/queue/summary", b"").unwrap();
+        let (status, body) = read_response(&mut s, 1 << 20).unwrap();
+        assert_eq!(status, 200);
+        let v: serde_json::Value =
+            serde_json::from_str(std::str::from_utf8(&body).unwrap()).unwrap();
+        assert_eq!(v["queued"].as_i64(), Some(0));
+
+        // A garbage request gets a 400, not a hung or killed handler.
+        let mut s = TcpStream::connect(addr).unwrap();
+        use std::io::Write;
+        s.write_all(b"NONSENSE\r\n\r\n").unwrap();
+        let (status, _) = read_response(&mut s, 1 << 20).unwrap();
+        assert_eq!(status, 400);
+
+        wire.shutdown();
+        wire.shutdown(); // idempotent
+        assert!(TcpStream::connect_timeout(&addr, Duration::from_millis(200)).is_err());
+    }
+}

@@ -16,7 +16,7 @@
 //! matter how the pool races.
 
 use crate::driver::{Connector, ExperimentDriver};
-use crate::server::SqalpelServer;
+use crate::server::Platform;
 use crate::user::ContributorKey;
 use std::time::{Duration, Instant};
 
@@ -67,14 +67,21 @@ impl PoolReport {
     }
 }
 
-/// Drain the server's queue with a pool of scoped worker threads.
+/// Drain a platform's queue with a pool of scoped worker threads.
 ///
 /// Each worker loops request → execute → report against the `(dbms,
-/// host)` named by its driver config until the server hands it no more
+/// host)` named by its driver config until the platform hands it no more
 /// work. Request errors (revoked key, taken-down project) stop that
 /// worker; rejected reports are counted and skipped. Returns per-worker
 /// and overall wall-clock so callers can measure dispatch speedup.
-pub fn run_worker_pool<C: Connector>(server: &SqalpelServer, workers: Vec<Worker<C>>) -> PoolReport {
+///
+/// The pool is generic over [`Platform`], so the same loop drains an
+/// in-process [`crate::SqalpelServer`] or a remote server through a
+/// [`crate::wire::WireClient`] — the paper's actual deployment shape.
+pub fn run_worker_pool<C: Connector, P: Platform + ?Sized>(
+    server: &P,
+    workers: Vec<Worker<C>>,
+) -> PoolReport {
     let start = Instant::now();
     let reports: Vec<WorkerReport> = std::thread::scope(|scope| {
         let handles: Vec<_> = workers
@@ -125,6 +132,7 @@ mod tests {
     use crate::catalog::Visibility;
     use crate::driver::{DriverConfig, MockConnector};
     use crate::project::{ExperimentId, ProjectId};
+    use crate::server::SqalpelServer;
     use crate::user::UserId;
 
     fn setup() -> (SqalpelServer, UserId, UserId, ProjectId, ExperimentId) {
@@ -190,9 +198,9 @@ mod tests {
         assert_eq!(report.rejected(), 0);
         assert_eq!(report.workers.len(), 4);
         assert!(report.workers.iter().all(|w| w.wall <= report.wall));
-        let (queued, running, done, failed, timed_out) = server.queue_summary();
-        assert_eq!((queued, running, timed_out), (0, 0, 0));
-        assert_eq!(done + failed, total);
+        let s = server.queue_summary();
+        assert_eq!((s.queued, s.running, s.timed_out), (0, 0, 0));
+        assert_eq!(s.finished + s.failed, total);
     }
 
     #[test]
@@ -215,8 +223,8 @@ mod tests {
         // A healthy pool drains everything, the requeued task included.
         let report = run_worker_pool(&server, vec![mock_worker(&server, contrib, 0)]);
         assert_eq!(report.completed(), total);
-        let (queued, running, ..) = server.queue_summary();
-        assert_eq!((queued, running), (0, 0));
+        let s = server.queue_summary();
+        assert_eq!((s.queued, s.running), (0, 0));
 
         // The stuck worker's report arrives too late: the re-claimed run
         // owns the result, so the server must refuse it.
@@ -262,8 +270,8 @@ mod tests {
         // terminal state came from exactly one accepted report, and
         // rejections are exactly the reaped-and-reassigned races.
         assert!(report.completed() + sweep.completed() >= total);
-        let (queued, running, done, failed, timed_out) = server.queue_summary();
-        assert_eq!((queued, running, timed_out), (0, 0, 0));
-        assert_eq!(done + failed, total);
+        let s = server.queue_summary();
+        assert_eq!((s.queued, s.running, s.timed_out), (0, 0, 0));
+        assert_eq!(s.finished + s.failed, total);
     }
 }

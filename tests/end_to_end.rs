@@ -57,12 +57,12 @@ fn full_platform_session() {
             server.report_result(&key, task.id, outcome).unwrap();
         }
     }
-    let (queued, running, done, failed, timed_out) = server.queue_summary();
-    assert_eq!(queued + running + timed_out, 0);
-    assert_eq!(done + failed, tasks);
+    let summary = server.queue_summary();
+    assert_eq!(summary.queued + summary.running + summary.timed_out, 0);
+    assert_eq!(summary.finished + summary.failed, tasks);
 
     // Q6 variants are all single-table: no failures expected.
-    assert_eq!(failed, 0, "Q6 variants should all execute");
+    assert_eq!(summary.failed, 0, "Q6 variants should all execute");
 
     // Analytics: both engines measured every query.
     let records = server.results_for(project, contrib).unwrap();
@@ -126,7 +126,7 @@ fn stuck_task_lifecycle_across_the_server() {
     server
         .report_result(&key, task2.id, driver.run(&task2.sql))
         .unwrap();
-    assert!(server.queue_summary().2 >= 1);
+    assert!(server.queue_summary().finished >= 1);
 }
 
 #[test]
