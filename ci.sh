@@ -8,3 +8,9 @@ cargo test -q
 # connection drops must drain the queue with zero double-reports.
 cargo test -q -p sqalpel-core --test wire_loopback
 cargo clippy --workspace --all-targets -- -D warnings
+# The engine's hot loops must stay allocation-lean: these lints catch the
+# collect-then-iterate and clone-a-key patterns the radix kernels removed.
+cargo clippy -p sqalpel-engine --all-targets -- -D warnings -D clippy::needless_collect -D clippy::redundant_clone
+# Smoke the parallel repro harness end to end (tiny scale, one rep, no
+# BENCH_parallel.json rewrite).
+cargo run --release -p sqalpel-bench --bin repro -- parallel --smoke

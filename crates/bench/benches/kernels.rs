@@ -1,0 +1,160 @@
+//! Criterion microbenchmarks for the radix kernel building blocks: the
+//! group-key codec (u64 and byte modes), partitioned aggregation through
+//! the engine, and the hash-join build/probe primitives. The SQL-level
+//! companion sweeps live in `parallel.rs`; this file isolates the layers
+//! underneath so a codec regression shows up without engine noise.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sqalpel_engine::codec::{self, GroupCodec, GroupMap, MatchMap};
+use sqalpel_engine::exec_col::ColVec;
+use sqalpel_engine::{ColStore, Database, Dbms};
+use std::hint::black_box;
+use std::sync::Arc;
+
+const ROWS: usize = 100_000;
+
+/// Two int key columns totalling 16 bytes: forces the byte-mode codec.
+fn wide_keys() -> Vec<ColVec> {
+    vec![
+        ColVec::Int((0..ROWS).map(|i| (i % 1000) as i64).collect()),
+        ColVec::Int((0..ROWS).map(|i| (i % 7) as i64).collect()),
+    ]
+}
+
+/// One int key column: fits the packed-u64 fast path.
+fn narrow_keys() -> Vec<ColVec> {
+    vec![ColVec::Int((0..ROWS).map(|i| (i % 1000) as i64).collect())]
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernels/codec");
+    g.sample_size(20);
+    for (mode, cols) in [("u64", narrow_keys()), ("bytes", wide_keys())] {
+        g.bench_with_input(BenchmarkId::new("encode", mode), &cols, |b, cols| {
+            let codec = GroupCodec::for_group(cols).expect("codec-able keys");
+            let mut buf = Vec::new();
+            b.iter(|| {
+                let mut acc = 0u64;
+                for i in 0..ROWS {
+                    let k = codec.encode(black_box(i), &mut buf).unwrap();
+                    acc ^= k.hash();
+                }
+                acc
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_group_map(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernels/group_map");
+    g.sample_size(20);
+    for (mode, cols) in [("u64", narrow_keys()), ("bytes", wide_keys())] {
+        g.bench_with_input(BenchmarkId::new("first_seen", mode), &cols, |b, cols| {
+            let codec = GroupCodec::for_group(cols).expect("codec-able keys");
+            let mut buf = Vec::new();
+            b.iter(|| {
+                let mut map = GroupMap::new(codec.u64_mode());
+                let mut next = 0u32;
+                for i in 0..ROWS {
+                    let k = codec.encode(i, &mut buf).unwrap();
+                    if map.get(&k).is_none() {
+                        map.insert(&k, next);
+                        next += 1;
+                    }
+                }
+                black_box(next)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_join_build_probe(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernels/join");
+    g.sample_size(20);
+    // Build over 1k distinct keys, probe with ~100 rows per key: the
+    // duplicate-heavy shape where match-list layout dominates.
+    let build_cols = vec![ColVec::Int((0..1_000).map(|i| i as i64).collect())];
+    let probe_cols = narrow_keys();
+    let bc = GroupCodec::for_group(&build_cols).expect("build codec");
+    let pc = GroupCodec::for_group(&probe_cols).expect("probe codec");
+
+    g.bench_function("build", |b| {
+        let mut buf = Vec::new();
+        b.iter(|| {
+            let mut m = MatchMap::new(bc.u64_mode());
+            for j in 0..1_000usize {
+                let k = bc.encode(j, &mut buf).unwrap();
+                m.push(&k, j as u32);
+            }
+            black_box(m)
+        })
+    });
+
+    g.bench_function("probe", |b| {
+        let mut buf = Vec::new();
+        let mut m = MatchMap::new(bc.u64_mode());
+        for j in 0..1_000usize {
+            let k = bc.encode(j, &mut buf).unwrap();
+            m.push(&k, j as u32);
+        }
+        b.iter(|| {
+            let mut hits = 0usize;
+            for i in 0..ROWS {
+                let k = pc.encode(i, &mut buf).unwrap();
+                if let Some(rows) = m.get(&k) {
+                    hits += rows.len();
+                }
+            }
+            black_box(hits)
+        })
+    });
+
+    g.bench_function("partitioned_build", |b| {
+        let mut buf = Vec::new();
+        b.iter(|| {
+            let mut buckets: Vec<codec::Bucket> = (0..codec::NPARTS)
+                .map(|_| codec::Bucket::new(bc.u64_mode()))
+                .collect();
+            for j in 0..1_000usize {
+                let k = bc.encode(j, &mut buf).unwrap();
+                buckets[codec::partition(k.hash())].push(&k, j as u32);
+            }
+            let mut m = MatchMap::new(bc.u64_mode());
+            for bucket in &buckets {
+                bucket.append_to(&mut m);
+            }
+            black_box(m)
+        })
+    });
+    g.finish();
+}
+
+fn bench_partitioned_aggregation(c: &mut Criterion) {
+    // End-to-end partitioned aggregation through the column engine, with
+    // the single-core worker bound lifted so the radix path actually runs
+    // wherever this bench executes.
+    std::env::set_var("SQALPEL_FORCE_WORKERS", "8");
+    let db = Arc::new(Database::tpch(0.05, 42));
+    let sql = "select l_suppkey, count(*), sum(l_quantity), min(l_extendedprice), \
+               max(l_extendedprice) from lineitem group by l_suppkey";
+    let mut g = c.benchmark_group("kernels/aggregate");
+    g.sample_size(10);
+    for t in [1usize, 4] {
+        let col = ColStore::new(db.clone()).with_threads(t);
+        g.bench_with_input(BenchmarkId::new("colstore", t), &sql, |b, sql| {
+            b.iter(|| col.execute(black_box(sql)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_codec,
+    bench_group_map,
+    bench_join_build_probe,
+    bench_partitioned_aggregation
+);
+criterion_main!(benches);

@@ -1,7 +1,7 @@
 //! Regenerate the paper's tables and figures, or run the platform live.
 //!
 //! ```text
-//! repro table1 | table2 | fig1 | fig2 | fig3 | fig4 | fig5 | fig6 | fig7 | ablation | parallel | wire | all
+//! repro table1 | table2 | fig1 | fig2 | fig3 | fig4 | fig5 | fig6 | fig7 | ablation | parallel [--smoke] | wire | all
 //! repro serve [addr]                          # demo platform over HTTP (default 127.0.0.1:7878)
 //! repro contribute <addr> <key> [dbms] [host] # drain the queue as a remote contributor
 //! ```
@@ -81,7 +81,8 @@ fn main() {
         println!("{}", sqalpel_bench::ablations::report());
     }
     if run("parallel") {
-        println!("{}", sqalpel_bench::parallel_report());
+        let smoke = args.iter().any(|a| a == "--smoke");
+        println!("{}", sqalpel_bench::parallel_report_opts(smoke));
     }
     if run("wire") {
         println!("{}", sqalpel_bench::wire_report());

@@ -403,15 +403,32 @@ pub fn fig7() -> String {
 /// Thread counts swept by the parallel report.
 const PAR_THREADS: [usize; 4] = [1, 2, 4, 8];
 
-fn median_run_ms(dbms: &dyn Dbms, sql: &str, reps: usize) -> f64 {
-    let mut runs = Vec::with_capacity(reps);
-    for _ in 0..reps {
-        let t0 = Instant::now();
-        dbms.execute(sql).expect("parallel bench query executes");
-        runs.push(t0.elapsed().as_secs_f64() * 1e3);
+/// Median per configuration with the configurations interleaved
+/// round-robin (one repetition of each per round, after a warmup run):
+/// on a shared host, slow drift then biases every thread count equally
+/// instead of whichever happened to run last.
+fn interleaved_medians(dbmses: &[Box<dyn Dbms>], sql: &str, reps: usize) -> Vec<f64> {
+    if let Some(first) = dbmses.first() {
+        first.execute(sql).expect("parallel bench query executes");
     }
-    runs.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
-    runs[runs.len() / 2]
+    let mut runs: Vec<Vec<f64>> = vec![Vec::with_capacity(reps); dbmses.len()];
+    for rep in 0..reps {
+        // Rotate the starting configuration each round: allocator and
+        // cache state warms up over a round, so a fixed order would tax
+        // whichever configuration always ran last.
+        for j in 0..dbmses.len() {
+            let i = (rep + j) % dbmses.len();
+            let t0 = Instant::now();
+            dbmses[i].execute(sql).expect("parallel bench query executes");
+            runs[i].push(t0.elapsed().as_secs_f64() * 1e3);
+        }
+    }
+    runs.into_iter()
+        .map(|mut r| {
+            r.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+            r[r.len() / 2]
+        })
+        .collect()
 }
 
 /// Build a server holding an enqueued Q6 pool walk of roughly `tasks`
@@ -470,12 +487,21 @@ fn drain_walk(n: usize, tasks: usize) -> (usize, f64) {
 /// join at 1/2/4/8 threads) and the multi-worker queue drain, printed as
 /// a table and written machine-readably to `BENCH_parallel.json`.
 pub fn parallel_report() -> String {
+    parallel_report_opts(false)
+}
+
+/// [`parallel_report`] with a smoke switch for CI: smoke mode shrinks the
+/// scale factor, runs each configuration once, and does **not** overwrite
+/// `BENCH_parallel.json` — it only proves the harness runs end to end.
+pub fn parallel_report_opts(smoke: bool) -> String {
     use serde_json::{Map, Value};
 
     // The engine sweep needs lineitem far past the morsel spawn
     // threshold, so the scale floor is 0.1 regardless of SQALPEL_SF.
-    let sf = base_sf().max(0.1);
-    let reps = repetitions();
+    let sf = if smoke { 0.02 } else { base_sf().max(0.1) };
+    // A median needs at least three observations to mean anything, so the
+    // report enforces that floor even when SQALPEL_REPS asks for fewer.
+    let reps = if smoke { 1 } else { repetitions().max(3) };
     let db = Arc::new(Database::tpch(sf, 42));
     // Selective, expression-heavy predicate: the filter kernels dominate
     // and the small survivor set keeps result materialization (which is
@@ -504,15 +530,17 @@ pub fn parallel_report() -> String {
     );
     let mut ops_json = Vec::new();
     for (engine, op, sql) in cases {
-        let mut medians = Vec::with_capacity(PAR_THREADS.len());
-        for t in PAR_THREADS {
-            let dbms: Box<dyn Dbms> = if engine.starts_with("colstore") {
-                Box::new(ColStore::new(db.clone()).with_threads(t))
-            } else {
-                Box::new(RowStore::new(db.clone()).with_threads(t))
-            };
-            medians.push(median_run_ms(dbms.as_ref(), sql, reps));
-        }
+        let dbmses: Vec<Box<dyn Dbms>> = PAR_THREADS
+            .iter()
+            .map(|&t| -> Box<dyn Dbms> {
+                if engine.starts_with("colstore") {
+                    Box::new(ColStore::new(db.clone()).with_threads(t))
+                } else {
+                    Box::new(RowStore::new(db.clone()).with_threads(t))
+                }
+            })
+            .collect();
+        let medians = interleaved_medians(&dbmses, sql, reps);
         let speedup = medians[0] / medians[2].max(1e-9);
         let _ = writeln!(
             out,
@@ -534,8 +562,9 @@ pub fn parallel_report() -> String {
 
     // The dispatch half: the same ~100-task pool walk drained by one
     // worker vs a pool of four, against a simulated remote target.
-    let (seq_done, seq_s) = drain_walk(1, 100);
-    let (pool_done, pool_s) = drain_walk(4, 100);
+    let tasks = if smoke { 20 } else { 100 };
+    let (seq_done, seq_s) = drain_walk(1, tasks);
+    let (pool_done, pool_s) = drain_walk(4, tasks);
     let dispatch_speedup = seq_s / pool_s.max(1e-9);
     let _ = writeln!(
         out,
@@ -560,6 +589,10 @@ pub fn parallel_report() -> String {
     );
     root.insert("engine_ops".into(), Value::Array(ops_json));
     root.insert("pool_walk".into(), Value::Object(walk));
+    if smoke {
+        let _ = writeln!(out, "\nsmoke mode: BENCH_parallel.json left untouched");
+        return out;
+    }
     let json = serde_json::to_string_pretty(&Value::Object(root)).expect("serializable");
     match std::fs::write("BENCH_parallel.json", &json) {
         Ok(()) => {

@@ -1,0 +1,730 @@
+//! Fixed-width group-key codec and radix partitioning for the hash
+//! kernels (grouped aggregation and equi-join).
+//!
+//! The executors' hot loops used to build a `Vec<Key>` per row and clone
+//! it on first-seen insert — one or two heap allocations per input row.
+//! This module replaces that with a typed encoder over the key columns:
+//!
+//! - when every key column has a fixed width and the widths sum to at
+//!   most 8 bytes, a row's key packs into a single `u64` (**u64 mode**);
+//! - otherwise the key is serialized into one reusable scratch buffer
+//!   and owned copies are made only per *distinct* key.
+//!
+//! Encodings are injective per codec: every column is either fixed-width
+//! or length-prefixed, so concatenation cannot collide. For joins,
+//! [`join_codecs`] assigns both sides of each equality pair the same
+//! width and value domain (integers joined against decimals are widened
+//! to the scale-6 `i128` domain of [`crate::value::Key`]), so byte
+//! equality coincides exactly with `Key` equality.
+//!
+//! Partitioning uses the top 4 bits of a fixed-seed hash — independent
+//! of thread count, so partition contents (and with them every
+//! deterministic ordering argument) never depend on parallelism.
+
+use crate::error::{EngineError, EngineResult};
+use crate::exec_col::ColVec;
+use crate::value::Value;
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Number of radix partitions. Fixed (not derived from the thread
+/// count) so partition assignment is a pure function of the key.
+pub const NPARTS: usize = 16;
+
+const FX_SEED: u64 = 0x517c_c1b7_2722_0a95;
+
+/// An FxHash-style multiply-rotate hasher: a few cycles per word, which
+/// matters more than distribution quality for small integer keys. The
+/// final xor-shift mix spreads entropy into the high bits that
+/// [`partition`] consumes.
+#[derive(Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn fold(&mut self, w: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ w).wrapping_mul(FX_SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.fold(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.fold(u64::from_le_bytes(buf));
+        }
+        self.fold(bytes.len() as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, w: u64) {
+        self.fold(w);
+    }
+
+    #[inline]
+    fn write_u8(&mut self, b: u8) {
+        self.fold(b as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.fold(n as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        let mut h = self.hash;
+        h ^= h >> 32;
+        h = h.wrapping_mul(0xd6e8_feb8_6659_fd93);
+        h ^ (h >> 32)
+    }
+}
+
+pub type FxBuild = BuildHasherDefault<FxHasher>;
+
+/// Hash one packed `u64` key.
+#[inline]
+pub fn hash_u64(x: u64) -> u64 {
+    let mut h = FxHasher::default();
+    h.write_u64(x);
+    h.finish()
+}
+
+/// Hash one serialized key.
+#[inline]
+pub fn hash_bytes(b: &[u8]) -> u64 {
+    let mut h = FxHasher::default();
+    h.write(b);
+    h.finish()
+}
+
+/// The radix partition of a hash: its top 4 bits.
+#[inline]
+pub fn partition(h: u64) -> usize {
+    (h >> 60) as usize
+}
+
+/// One key column's encoder. Borrowed straight from the evaluated
+/// [`ColVec`]s, so encoding reads the typed storage with no boxing.
+enum ColEnc<'a> {
+    /// `i64` as 8 little-endian bytes.
+    I64(&'a [i64]),
+    /// Days as 4 little-endian bytes.
+    Date(&'a [i32]),
+    /// One byte.
+    Bool(&'a [bool]),
+    /// Decimal rescaled to scale 6 (the [`value::Key`] normalization,
+    /// with the identical overflow check), 16 little-endian bytes.
+    Dec6 {
+        raw: &'a [i128],
+        /// `10^(6 - scale)` when upscaling (checked), else 1.
+        mul: i128,
+        /// `10^(scale - 6)` when downscaling (lossy, like `Key`), else 1.
+        div: i128,
+    },
+    /// `i64` widened into the scale-6 decimal domain (for join pairs
+    /// mixing integer and decimal sides), 16 little-endian bytes.
+    IntDec6(&'a [i64]),
+    /// Length-prefixed UTF-8 bytes (self-delimiting, so multi-column
+    /// concatenations stay injective).
+    Str(&'a [String]),
+    /// A broadcast constant, pre-encoded once.
+    Const(Vec<u8>),
+}
+
+impl ColEnc<'_> {
+    fn dec6(raw: &[i128], scale: u8) -> ColEnc<'_> {
+        let (mul, div) = if scale <= 6 {
+            (10i128.pow((6 - scale) as u32), 1)
+        } else {
+            (1, 10i128.pow((scale - 6) as u32))
+        };
+        ColEnc::Dec6 { raw, mul, div }
+    }
+
+    /// Encoded byte width; `None` for variable-width strings.
+    fn width(&self) -> Option<usize> {
+        match self {
+            ColEnc::I64(_) => Some(8),
+            ColEnc::Date(_) => Some(4),
+            ColEnc::Bool(_) => Some(1),
+            ColEnc::Dec6 { .. } | ColEnc::IntDec6(_) => Some(16),
+            ColEnc::Str(_) => None,
+            ColEnc::Const(b) => Some(b.len()),
+        }
+    }
+}
+
+/// Rescale with the exact failure mode of [`Value::key`]: upscaling is
+/// overflow-checked, downscaling truncates.
+#[inline]
+fn rescale6(raw: i128, mul: i128, div: i128) -> EngineResult<i128> {
+    if div != 1 {
+        Ok(raw / div)
+    } else {
+        raw.checked_mul(mul)
+            .ok_or_else(|| EngineError::Overflow("decimal rescale".into()))
+    }
+}
+
+/// One row's encoded key: packed or borrowed from the scratch buffer.
+#[derive(Clone, Copy)]
+pub enum EncRow<'b> {
+    U64(u64),
+    Bytes(&'b [u8]),
+}
+
+impl EncRow<'_> {
+    #[inline]
+    pub fn hash(&self) -> u64 {
+        match self {
+            EncRow::U64(x) => hash_u64(*x),
+            EncRow::Bytes(b) => hash_bytes(b),
+        }
+    }
+
+    /// Copy out for storage beyond the scratch buffer's lifetime — the
+    /// one place the bytes mode allocates, per distinct key.
+    pub fn to_owned_enc(&self) -> OwnedEnc {
+        match self {
+            EncRow::U64(x) => OwnedEnc::U64(*x),
+            EncRow::Bytes(b) => OwnedEnc::Bytes(b.to_vec()),
+        }
+    }
+}
+
+/// An owned encoded key (per-group state in the partial tables).
+#[derive(Clone)]
+pub enum OwnedEnc {
+    U64(u64),
+    Bytes(Vec<u8>),
+}
+
+impl OwnedEnc {
+    #[inline]
+    pub fn as_row(&self) -> EncRow<'_> {
+        match self {
+            OwnedEnc::U64(x) => EncRow::U64(*x),
+            OwnedEnc::Bytes(b) => EncRow::Bytes(b),
+        }
+    }
+}
+
+/// A whole-row key encoder over evaluated key columns.
+pub struct GroupCodec<'a> {
+    encs: Vec<ColEnc<'a>>,
+    u64_mode: bool,
+}
+
+impl<'a> GroupCodec<'a> {
+    fn new(encs: Vec<ColEnc<'a>>) -> GroupCodec<'a> {
+        let total: Option<usize> = encs.iter().try_fold(0usize, |acc, e| {
+            e.width().map(|w| acc + w)
+        });
+        let u64_mode = matches!(total, Some(t) if t <= 8);
+        GroupCodec { encs, u64_mode }
+    }
+
+    pub fn u64_mode(&self) -> bool {
+        self.u64_mode
+    }
+
+    /// A codec for GROUP BY key columns, or `None` when any column needs
+    /// the legacy `Vec<Key>` path: `Float`/`Val` columns (whose rows mix
+    /// representations that `Key` unifies) and interval constants (which
+    /// must keep erroring per row exactly as `Value::key` does).
+    pub fn for_group(key_cols: &'a [ColVec]) -> Option<GroupCodec<'a>> {
+        let mut encs = Vec::with_capacity(key_cols.len());
+        for col in key_cols {
+            encs.push(match col {
+                ColVec::Int(v) => ColEnc::I64(v),
+                ColVec::Date(v) => ColEnc::Date(v),
+                ColVec::Bool(v) => ColEnc::Bool(v),
+                ColVec::Decimal { raw, scale } => ColEnc::dec6(raw, *scale),
+                ColVec::Str(v) => ColEnc::Str(v),
+                ColVec::Const(Value::Interval { .. }, _) => return None,
+                // Any other constant puts every row in one group; the
+                // encoding just has to be self-consistent.
+                ColVec::Const(..) => ColEnc::Const(Vec::new()),
+                ColVec::Float(_) | ColVec::Val(_) => return None,
+            });
+        }
+        Some(GroupCodec::new(encs))
+    }
+
+    /// Pack one row's key into a `u64`. Only callable in u64 mode, whose
+    /// encoders are all infallible.
+    #[inline]
+    pub fn encode_u64(&self, i: usize) -> u64 {
+        debug_assert!(self.u64_mode);
+        let mut acc = 0u64;
+        for enc in &self.encs {
+            let (w, v) = match enc {
+                ColEnc::I64(v) => (8, v[i] as u64),
+                ColEnc::Date(v) => (4, v[i] as u32 as u64),
+                ColEnc::Bool(v) => (1, v[i] as u64),
+                ColEnc::Const(b) => {
+                    let mut buf = [0u8; 8];
+                    buf[..b.len()].copy_from_slice(b);
+                    (b.len(), u64::from_le_bytes(buf))
+                }
+                _ => unreachable!("u64 mode excludes wide and var-width encoders"),
+            };
+            // Uniform little-endian packing: both join sides shift the
+            // same widths in the same order, so packed keys are equal
+            // iff the serialized keys would be.
+            acc = if w >= 8 { v } else { (acc << (8 * w)) | v };
+        }
+        acc
+    }
+
+    /// Encode one row's key, reusing `buf` as scratch in bytes mode.
+    #[inline]
+    pub fn encode<'b>(&self, i: usize, buf: &'b mut Vec<u8>) -> EngineResult<EncRow<'b>> {
+        if self.u64_mode {
+            return Ok(EncRow::U64(self.encode_u64(i)));
+        }
+        buf.clear();
+        for enc in &self.encs {
+            match enc {
+                ColEnc::I64(v) => buf.extend_from_slice(&v[i].to_le_bytes()),
+                ColEnc::Date(v) => buf.extend_from_slice(&v[i].to_le_bytes()),
+                ColEnc::Bool(v) => buf.push(v[i] as u8),
+                ColEnc::Dec6 { raw, mul, div } => {
+                    buf.extend_from_slice(&rescale6(raw[i], *mul, *div)?.to_le_bytes())
+                }
+                ColEnc::IntDec6(v) => {
+                    buf.extend_from_slice(&(v[i] as i128 * 1_000_000).to_le_bytes())
+                }
+                ColEnc::Str(v) => {
+                    let s = v[i].as_bytes();
+                    buf.extend_from_slice(&(s.len() as u32).to_le_bytes());
+                    buf.extend_from_slice(s);
+                }
+                ColEnc::Const(b) => buf.extend_from_slice(b),
+            }
+        }
+        Ok(EncRow::Bytes(buf))
+    }
+}
+
+/// The type class of one join-key side, used to pick a common encoding
+/// domain for the pair.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum JClass {
+    Int,
+    Dec,
+    Date,
+    Bool,
+    Str,
+}
+
+fn classify(col: &ColVec) -> Option<JClass> {
+    Some(match col {
+        ColVec::Int(_) => JClass::Int,
+        ColVec::Decimal { .. } => JClass::Dec,
+        ColVec::Date(_) => JClass::Date,
+        ColVec::Bool(_) => JClass::Bool,
+        ColVec::Str(_) => JClass::Str,
+        ColVec::Const(v, _) => match v {
+            Value::Int(_) => JClass::Int,
+            Value::Decimal { .. } => JClass::Dec,
+            Value::Date(_) => JClass::Date,
+            Value::Bool(_) => JClass::Bool,
+            Value::Str(_) => JClass::Str,
+            // Null must keep Key::Null == Key::Null matching; floats and
+            // intervals keep their per-row `Value::key` behaviour.
+            _ => return None,
+        },
+        ColVec::Float(_) | ColVec::Val(_) => return None,
+    })
+}
+
+/// Encode one side of a pair in the given common domain. `Dec` widens
+/// integer sides into the scale-6 `i128` domain so cross-type equality
+/// matches [`value::Key`]'s normalization.
+fn enc_in_domain<'a>(col: &'a ColVec, class: JClass) -> EngineResult<ColEnc<'a>> {
+    Ok(match (col, class) {
+        (ColVec::Int(v), JClass::Int) => ColEnc::I64(v),
+        (ColVec::Int(v), JClass::Dec) => ColEnc::IntDec6(v),
+        (ColVec::Decimal { raw, scale }, JClass::Dec) => ColEnc::dec6(raw, *scale),
+        (ColVec::Date(v), JClass::Date) => ColEnc::Date(v),
+        (ColVec::Bool(v), JClass::Bool) => ColEnc::Bool(v),
+        (ColVec::Str(v), JClass::Str) => ColEnc::Str(v),
+        (ColVec::Const(v, _), class) => ColEnc::Const(match (v, class) {
+            (Value::Int(i), JClass::Int) => i.to_le_bytes().to_vec(),
+            (Value::Int(i), JClass::Dec) => (*i as i128 * 1_000_000).to_le_bytes().to_vec(),
+            (Value::Decimal { raw, scale }, JClass::Dec) => {
+                // The same checked rescale `Value::key` performs per row;
+                // a failing constant fails here instead (same error).
+                let (mul, div) = if *scale <= 6 {
+                    (10i128.pow((6 - *scale) as u32), 1)
+                } else {
+                    (1, 10i128.pow((*scale - 6) as u32))
+                };
+                rescale6(*raw, mul, div)?.to_le_bytes().to_vec()
+            }
+            (Value::Date(d), JClass::Date) => d.to_le_bytes().to_vec(),
+            (Value::Bool(b), JClass::Bool) => vec![*b as u8],
+            (Value::Str(s), JClass::Str) => {
+                let mut b = Vec::with_capacity(4 + s.len());
+                b.extend_from_slice(&(s.len() as u32).to_le_bytes());
+                b.extend_from_slice(s.as_bytes());
+                b
+            }
+            _ => unreachable!("classify admitted this constant"),
+        }),
+        _ => unreachable!("classify admitted this column"),
+    })
+}
+
+/// Build matched codecs for the two sides of an equi-join, or `None`
+/// when any pair needs the legacy `Vec<Key>` path (floats, mixed `Val`
+/// columns, NULL constants, or sides in incomparable type classes).
+/// Both codecs get identical per-pair widths, so their u64 modes agree
+/// and byte equality across sides coincides with `Key` equality.
+pub fn join_codecs<'a>(
+    lkeys: &'a [ColVec],
+    rkeys: &'a [ColVec],
+) -> EngineResult<Option<(GroupCodec<'a>, GroupCodec<'a>)>> {
+    let mut lencs = Vec::with_capacity(lkeys.len());
+    let mut rencs = Vec::with_capacity(rkeys.len());
+    for (lcol, rcol) in lkeys.iter().zip(rkeys) {
+        let (Some(lc), Some(rc)) = (classify(lcol), classify(rcol)) else {
+            return Ok(None);
+        };
+        let class = match (lc, rc) {
+            (a, b) if a == b => a,
+            // Integers and decimals compare by value: widen both sides.
+            (JClass::Int, JClass::Dec) | (JClass::Dec, JClass::Int) => JClass::Dec,
+            // Incomparable classes never match, but the legacy path is
+            // the one that knows the exact per-row semantics.
+            _ => return Ok(None),
+        };
+        lencs.push(enc_in_domain(lcol, class)?);
+        rencs.push(enc_in_domain(rcol, class)?);
+    }
+    let l = GroupCodec::new(lencs);
+    let r = GroupCodec::new(rencs);
+    debug_assert_eq!(l.u64_mode, r.u64_mode);
+    Ok(Some((l, r)))
+}
+
+/// Group-id hash table keyed by encoded rows. Bytes mode allocates an
+/// owned key only on first-seen insert.
+pub enum GroupMap {
+    U64(HashMap<u64, u32, FxBuild>),
+    Bytes(HashMap<Vec<u8>, u32, FxBuild>),
+}
+
+impl GroupMap {
+    pub fn new(u64_mode: bool) -> GroupMap {
+        if u64_mode {
+            GroupMap::U64(HashMap::default())
+        } else {
+            GroupMap::Bytes(HashMap::default())
+        }
+    }
+
+    #[inline]
+    pub fn get(&self, k: &EncRow<'_>) -> Option<u32> {
+        match (self, k) {
+            (GroupMap::U64(m), EncRow::U64(x)) => m.get(x).copied(),
+            (GroupMap::Bytes(m), EncRow::Bytes(b)) => m.get(*b).copied(),
+            _ => unreachable!("key mode mismatch"),
+        }
+    }
+
+    #[inline]
+    pub fn insert(&mut self, k: &EncRow<'_>, gid: u32) {
+        match (self, k) {
+            (GroupMap::U64(m), EncRow::U64(x)) => {
+                m.insert(*x, gid);
+            }
+            (GroupMap::Bytes(m), EncRow::Bytes(b)) => {
+                m.insert(b.to_vec(), gid);
+            }
+            _ => unreachable!("key mode mismatch"),
+        }
+    }
+}
+
+/// Join build table: encoded key → build-side row indices in insertion
+/// order. Bytes mode allocates an owned key only per distinct key
+/// (`get_mut`-then-`insert`, never `entry(owned)`).
+pub enum MatchMap {
+    U64(HashMap<u64, Vec<u32>, FxBuild>),
+    Bytes(HashMap<Vec<u8>, Vec<u32>, FxBuild>),
+}
+
+impl MatchMap {
+    pub fn new(u64_mode: bool) -> MatchMap {
+        if u64_mode {
+            MatchMap::U64(HashMap::default())
+        } else {
+            MatchMap::Bytes(HashMap::default())
+        }
+    }
+
+    #[inline]
+    pub fn push(&mut self, k: &EncRow<'_>, row: u32) {
+        match (self, k) {
+            (MatchMap::U64(m), EncRow::U64(x)) => m.entry(*x).or_default().push(row),
+            (MatchMap::Bytes(m), EncRow::Bytes(b)) => match m.get_mut(*b) {
+                Some(v) => v.push(row),
+                None => {
+                    m.insert(b.to_vec(), vec![row]);
+                }
+            },
+            _ => unreachable!("key mode mismatch"),
+        }
+    }
+
+    #[inline]
+    pub fn get(&self, k: &EncRow<'_>) -> Option<&[u32]> {
+        match (self, k) {
+            (MatchMap::U64(m), EncRow::U64(x)) => m.get(x).map(Vec::as_slice),
+            (MatchMap::Bytes(m), EncRow::Bytes(b)) => m.get(*b).map(Vec::as_slice),
+            _ => unreachable!("key mode mismatch"),
+        }
+    }
+}
+
+/// A per-(chunk, partition) arena of encoded build keys: flat storage,
+/// no per-row allocation in bytes mode. Replayed in insertion order
+/// into the partition's [`MatchMap`].
+pub enum Bucket {
+    U64(Vec<(u64, u32)>),
+    Bytes {
+        data: Vec<u8>,
+        /// (start, len, row) triples into `data`.
+        items: Vec<(u32, u32, u32)>,
+    },
+}
+
+impl Bucket {
+    pub fn new(u64_mode: bool) -> Bucket {
+        if u64_mode {
+            Bucket::U64(Vec::new())
+        } else {
+            Bucket::Bytes {
+                data: Vec::new(),
+                items: Vec::new(),
+            }
+        }
+    }
+
+    #[inline]
+    pub fn push(&mut self, k: &EncRow<'_>, row: u32) {
+        match (self, k) {
+            (Bucket::U64(v), EncRow::U64(x)) => v.push((*x, row)),
+            (Bucket::Bytes { data, items }, EncRow::Bytes(b)) => {
+                items.push((data.len() as u32, b.len() as u32, row));
+                data.extend_from_slice(b);
+            }
+            _ => unreachable!("key mode mismatch"),
+        }
+    }
+
+    /// Append this bucket's keys to `m` in insertion order.
+    pub fn append_to(&self, m: &mut MatchMap) {
+        match self {
+            Bucket::U64(v) => {
+                for (x, row) in v {
+                    m.push(&EncRow::U64(*x), *row);
+                }
+            }
+            Bucket::Bytes { data, items } => {
+                for (start, len, row) in items {
+                    let b = &data[*start as usize..(*start + *len) as usize];
+                    m.push(&EncRow::Bytes(b), *row);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_is_stable_and_in_range() {
+        for x in [0u64, 1, 7, 4096, u64::MAX] {
+            let p = partition(hash_u64(x));
+            assert!(p < NPARTS);
+            assert_eq!(p, partition(hash_u64(x)));
+        }
+        // The mix must spread small keys across partitions.
+        let hit: std::collections::HashSet<usize> =
+            (0..4096u64).map(|x| partition(hash_u64(x))).collect();
+        assert!(hit.len() >= NPARTS / 2, "only {} partitions hit", hit.len());
+    }
+
+    #[test]
+    fn group_codec_picks_u64_mode_by_width() {
+        let ints = ColVec::Int(vec![1, 2, 3]);
+        let dates = ColVec::Date(vec![10, 20, 30]);
+        let c = GroupCodec::for_group(std::slice::from_ref(&ints)).unwrap();
+        assert!(c.u64_mode());
+        let cols = [ints.clone(), dates];
+        let c2 = GroupCodec::for_group(&cols).unwrap();
+        assert!(!c2.u64_mode(), "8 + 4 bytes exceeds one u64");
+        let dec = ColVec::Decimal {
+            raw: vec![100],
+            scale: 2,
+        };
+        let c3 = GroupCodec::for_group(std::slice::from_ref(&dec)).unwrap();
+        assert!(!c3.u64_mode());
+    }
+
+    #[test]
+    fn float_and_val_columns_fall_back() {
+        assert!(GroupCodec::for_group(&[ColVec::Float(vec![1.0])]).is_none());
+        assert!(GroupCodec::for_group(&[ColVec::Val(vec![Value::Int(1)])]).is_none());
+        assert!(GroupCodec::for_group(&[ColVec::Const(
+            Value::Interval { months: 1, days: 0 },
+            3
+        )])
+        .is_none());
+        assert!(GroupCodec::for_group(&[ColVec::Const(Value::Null, 3)]).is_some());
+    }
+
+    #[test]
+    fn encode_distinguishes_rows_and_repeats_groups() {
+        let cols = [
+            ColVec::Int(vec![1, 2, 1]),
+            ColVec::Str(vec!["a".into(), "b".into(), "a".into()]),
+        ];
+        let c = GroupCodec::for_group(&cols).unwrap();
+        let mut b0 = Vec::new();
+        let mut b1 = Vec::new();
+        let k0 = c.encode(0, &mut b0).unwrap().to_owned_enc();
+        let k1 = c.encode(1, &mut b1).unwrap().to_owned_enc();
+        let mut b2 = Vec::new();
+        let k2 = c.encode(2, &mut b2).unwrap().to_owned_enc();
+        let bytes = |k: &OwnedEnc| match k {
+            OwnedEnc::Bytes(b) => b.clone(),
+            OwnedEnc::U64(_) => panic!("expected bytes mode"),
+        };
+        assert_eq!(bytes(&k0), bytes(&k2));
+        assert_ne!(bytes(&k0), bytes(&k1));
+    }
+
+    #[test]
+    fn str_length_prefix_keeps_concatenation_injective() {
+        // ("ab", "c") vs ("a", "bc") must not collide.
+        let left = [
+            ColVec::Str(vec!["ab".into()]),
+            ColVec::Str(vec!["c".into()]),
+        ];
+        let right = [
+            ColVec::Str(vec!["a".into()]),
+            ColVec::Str(vec!["bc".into()]),
+        ];
+        let cl = GroupCodec::for_group(&left).unwrap();
+        let cr = GroupCodec::for_group(&right).unwrap();
+        let (mut bl, mut br) = (Vec::new(), Vec::new());
+        let kl = cl.encode(0, &mut bl).unwrap().to_owned_enc();
+        let kr = cr.encode(0, &mut br).unwrap().to_owned_enc();
+        match (kl, kr) {
+            (OwnedEnc::Bytes(a), OwnedEnc::Bytes(b)) => assert_ne!(a, b),
+            _ => panic!("expected bytes mode"),
+        }
+    }
+
+    #[test]
+    fn join_codecs_unify_int_and_decimal_sides() {
+        let l = [ColVec::Int(vec![5, 7])];
+        let r = [ColVec::Decimal {
+            raw: vec![500, 800],
+            scale: 2,
+        }];
+        let (lc, rc) = join_codecs(&l, &r).unwrap().unwrap();
+        let (mut bl, mut br) = (Vec::new(), Vec::new());
+        // 5 == 5.00 in the decimal domain.
+        let kl = lc.encode(0, &mut bl).unwrap().to_owned_enc();
+        let kr = rc.encode(0, &mut br).unwrap().to_owned_enc();
+        match (&kl, &kr) {
+            (OwnedEnc::Bytes(a), OwnedEnc::Bytes(b)) => assert_eq!(a, b),
+            _ => panic!("expected bytes mode"),
+        }
+        // 7 != 8.00.
+        let kl = lc.encode(1, &mut bl).unwrap().to_owned_enc();
+        let kr = rc.encode(1, &mut br).unwrap().to_owned_enc();
+        match (&kl, &kr) {
+            (OwnedEnc::Bytes(a), OwnedEnc::Bytes(b)) => assert_ne!(a, b),
+            _ => panic!("expected bytes mode"),
+        }
+    }
+
+    #[test]
+    fn join_codecs_match_const_against_column() {
+        let l = [ColVec::Int(vec![3, 4])];
+        let r = [ColVec::Const(Value::Int(3), 2)];
+        let (lc, rc) = join_codecs(&l, &r).unwrap().unwrap();
+        assert!(lc.u64_mode() && rc.u64_mode());
+        assert_eq!(lc.encode_u64(0), rc.encode_u64(0));
+        assert_ne!(lc.encode_u64(1), rc.encode_u64(1));
+    }
+
+    #[test]
+    fn join_codecs_reject_null_const_and_floats() {
+        let l = [ColVec::Int(vec![1])];
+        assert!(join_codecs(&l, &[ColVec::Const(Value::Null, 1)])
+            .unwrap()
+            .is_none());
+        assert!(join_codecs(&l, &[ColVec::Float(vec![1.0])])
+            .unwrap()
+            .is_none());
+        // Incomparable classes fall back too.
+        assert!(join_codecs(&l, &[ColVec::Str(vec!["x".into()])])
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn match_map_and_bucket_preserve_insertion_order() {
+        for u64_mode in [true, false] {
+            let keys = [17u64, 4, 17, 17, 4];
+            let mut bucket = Bucket::new(u64_mode);
+            let mut scratch = Vec::new();
+            for (row, k) in keys.iter().enumerate() {
+                let enc = if u64_mode {
+                    EncRow::U64(*k)
+                } else {
+                    scratch.clear();
+                    scratch.extend_from_slice(&k.to_le_bytes());
+                    scratch.extend_from_slice(b"pad-to-var-width");
+                    EncRow::Bytes(&scratch)
+                };
+                bucket.push(&enc, row as u32);
+            }
+            let mut m = MatchMap::new(u64_mode);
+            bucket.append_to(&mut m);
+            let probe = |k: u64, scratch: &mut Vec<u8>| -> Vec<u32> {
+                let enc = if u64_mode {
+                    EncRow::U64(k)
+                } else {
+                    scratch.clear();
+                    scratch.extend_from_slice(&k.to_le_bytes());
+                    scratch.extend_from_slice(b"pad-to-var-width");
+                    EncRow::Bytes(scratch)
+                };
+                m.get(&enc).unwrap_or_default().to_vec()
+            };
+            let mut s = Vec::new();
+            assert_eq!(probe(17, &mut s), vec![0, 2, 3]);
+            assert_eq!(probe(4, &mut s), vec![1, 4]);
+        }
+    }
+}

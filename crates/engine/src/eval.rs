@@ -639,6 +639,41 @@ impl Accumulator {
         Ok(())
     }
 
+    /// Fold one string input without boxing it into a [`Value`]. The
+    /// typed-column aggregation loop feeds `Str` columns through here so
+    /// min/max over strings clone only on replacement, not per row.
+    /// Behaviour is identical to `update(Some(&Value::Str(..)))`.
+    pub fn update_str(&mut self, s: &str) -> EngineResult<()> {
+        if self.seen.is_some()
+            || matches!(&self.extreme, Some(v) if !matches!(v, Value::Str(_)))
+        {
+            // DISTINCT needs the key image, and a mixed-type extreme
+            // needs the generic comparison (to error identically).
+            return self.update(Some(&Value::Str(s.to_owned())));
+        }
+        self.count += 1;
+        match self.func {
+            AggFunc::Count => {}
+            AggFunc::Sum | AggFunc::Avg => {
+                return Err(EngineError::Type("cannot sum varchar".into()))
+            }
+            AggFunc::Min | AggFunc::Max => {
+                let replace = match &self.extreme {
+                    None => true,
+                    Some(Value::Str(cur)) => match self.func {
+                        AggFunc::Min => s < cur.as_str(),
+                        _ => s > cur.as_str(),
+                    },
+                    Some(_) => unreachable!("non-string extremes take the boxed path"),
+                };
+                if replace {
+                    self.extreme = Some(Value::Str(s.to_owned()));
+                }
+            }
+        }
+        Ok(())
+    }
+
     fn add_decimal(&mut self, raw: i128, scale: u8) -> EngineResult<()> {
         if !self.sum_is_decimal {
             self.sum_f += raw as f64 / 10f64.powi(scale as i32);
@@ -819,6 +854,48 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn update_str_matches_boxed_update() {
+        let strings = ["delta", "alpha", "alpha", "zulu", "mike"];
+        for (name, func) in [
+            ("count", AggFunc::Count),
+            ("min", AggFunc::Min),
+            ("max", AggFunc::Max),
+        ] {
+            for distinct in [false, true] {
+                let spec = AggSpec {
+                    func,
+                    distinct,
+                    arg: None,
+                    key: format!("{name}(s)"),
+                };
+                let mut boxed = Accumulator::new(&spec, ArithMode::Float);
+                let mut fast = Accumulator::new(&spec, ArithMode::Float);
+                for s in strings {
+                    boxed.update(Some(&Value::Str(s.into()))).unwrap();
+                    fast.update_str(s).unwrap();
+                }
+                assert_eq!(
+                    format!("{:?}", boxed.finish()),
+                    format!("{:?}", fast.finish()),
+                    "{name} distinct={distinct}"
+                );
+            }
+        }
+        // Summing strings errors identically on both paths.
+        let spec = AggSpec {
+            func: AggFunc::Sum,
+            distinct: false,
+            arg: None,
+            key: "sum(s)".into(),
+        };
+        let mut boxed = Accumulator::new(&spec, ArithMode::GuardedDecimal);
+        let mut fast = Accumulator::new(&spec, ArithMode::GuardedDecimal);
+        let be = boxed.update(Some(&Value::Str("x".into()))).unwrap_err();
+        let fe = fast.update_str("x").unwrap_err();
+        assert_eq!(be.to_string(), fe.to_string());
     }
 
     #[test]

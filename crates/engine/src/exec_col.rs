@@ -14,6 +14,7 @@
 //! string functions) fall back to per-row evaluation over materialized
 //! rows, sharing the semantics in [`crate::eval`].
 
+use crate::codec;
 use crate::error::{EngineError, EngineResult};
 use crate::eval::{
     collect_aggregates, eval, eval_filter, Accumulator, AggFunc, AggSpec, AggValues, Env, EvalCtx,
@@ -226,7 +227,10 @@ impl<'a> ColExec<'a> {
         ColExec {
             db,
             budget,
-            used: if threads > 1 {
+            // A shared (atomic) counter only pays off when a parallel
+            // plan can actually be chosen; otherwise every per-row charge
+            // would eat an atomic increment for nothing.
+            used: if morsel::effective_workers(threads) > 1 {
                 BudgetCounter::shared()
             } else {
                 BudgetCounter::local()
@@ -372,45 +376,13 @@ impl<'a> ColExec<'a> {
             })
             .collect::<EngineResult<_>>()?;
 
-        // Pass 2: group ids and accumulation — morsel-parallel when every
-        // accumulator merges exactly, sequential otherwise.
+        // Pass 2: group ids and accumulation — radix-partitioned and
+        // morsel-parallel when every accumulator merges exactly,
+        // sequential (but still codec-keyed) otherwise.
         let mut groups: Vec<(usize, Vec<Accumulator>)> = // (rep row idx, accs)
             match self.par_aggregate(batch, &key_cols, &arg_cols, &specs)? {
                 Some(groups) => groups,
-                None => {
-                    let mut group_index: HashMap<Vec<Key>, usize> = HashMap::new();
-                    let mut groups: Vec<(usize, Vec<Accumulator>)> = Vec::new();
-                    for i in 0..batch.len {
-                        self.charge(1)?;
-                        let key: Vec<Key> = key_cols
-                            .iter()
-                            .map(|c| c.get(i).key())
-                            .collect::<EngineResult<_>>()?;
-                        let gid = match group_index.get(&key) {
-                            Some(&g) => g,
-                            None => {
-                                let g = groups.len();
-                                group_index.insert(key, g);
-                                groups.push((
-                                    i,
-                                    specs.iter().map(|s| Accumulator::new(s, MODE)).collect(),
-                                ));
-                                g
-                            }
-                        };
-                        let (_, accs) = &mut groups[gid];
-                        for (arg, acc) in arg_cols.iter().zip(accs.iter_mut()) {
-                            match arg {
-                                None => acc.update(None)?,
-                                Some(col) => {
-                                    let v = col.get(i);
-                                    acc.update(Some(&v))?;
-                                }
-                            }
-                        }
-                    }
-                    groups
-                }
+                None => self.seq_aggregate(batch, &key_cols, &arg_cols, &specs)?,
             };
         if groups.is_empty() && bq.group_by.is_empty() {
             groups.push((
@@ -454,13 +426,89 @@ impl<'a> ColExec<'a> {
 
     // ---------------------------------------------------- parallel operators
 
-    /// Morsel-parallel grouped accumulation. Each worker accumulates
-    /// per-morsel partial groups; partials are merged **in morsel order**
-    /// (first morsel's representative row wins), which reproduces the
-    /// sequential first-seen group order exactly. Returns `None` — keeping
-    /// the sequential path — unless every accumulator merges exactly:
-    /// DISTINCT needs one seen-set, and float sums would expose addition
-    /// order.
+    /// Sequential grouped accumulation. Typed key columns go through the
+    /// [`codec`] (no per-row key allocation); `Float`/`Val` columns keep
+    /// the legacy `Vec<Key>` path, whose representation-unifying key
+    /// images those columns genuinely need.
+    fn seq_aggregate(
+        &self,
+        batch: &Batch,
+        key_cols: &[ColVec],
+        arg_cols: &[Option<ColVec>],
+        specs: &[AggSpec],
+    ) -> EngineResult<MergedGroups> {
+        let feeders: Vec<ArgCol> = arg_cols.iter().map(ArgCol::from).collect();
+        let mut groups: MergedGroups = Vec::new();
+        if let Some(codec) = codec::GroupCodec::for_group(key_cols) {
+            let mut map = codec::GroupMap::new(codec.u64_mode());
+            let mut scratch = Vec::new();
+            for i in 0..batch.len {
+                self.charge(1)?;
+                let k = codec.encode(i, &mut scratch)?;
+                let gid = match map.get(&k) {
+                    Some(g) => g as usize,
+                    None => {
+                        let g = groups.len();
+                        map.insert(&k, g as u32);
+                        groups.push((
+                            i,
+                            specs.iter().map(|s| Accumulator::new(s, MODE)).collect(),
+                        ));
+                        g
+                    }
+                };
+                let (_, accs) = &mut groups[gid];
+                for (f, acc) in feeders.iter().zip(accs.iter_mut()) {
+                    f.feed(acc, i)?;
+                }
+            }
+            return Ok(groups);
+        }
+        let mut group_index: HashMap<Vec<Key>, usize> = HashMap::new();
+        for i in 0..batch.len {
+            self.charge(1)?;
+            let key: Vec<Key> = key_cols
+                .iter()
+                .map(|c| c.get(i).key())
+                .collect::<EngineResult<_>>()?;
+            let gid = match group_index.get(&key) {
+                Some(&g) => g,
+                None => {
+                    let g = groups.len();
+                    group_index.insert(key, g);
+                    groups.push((
+                        i,
+                        specs.iter().map(|s| Accumulator::new(s, MODE)).collect(),
+                    ));
+                    g
+                }
+            };
+            let (_, accs) = &mut groups[gid];
+            for (f, acc) in feeders.iter().zip(accs.iter_mut()) {
+                f.feed(acc, i)?;
+            }
+        }
+        Ok(groups)
+    }
+
+    /// Radix-partitioned morsel-parallel grouped accumulation, in three
+    /// deterministic phases:
+    ///
+    /// 1. each worker accumulates one coarse chunk into [`codec::NPARTS`]
+    ///    partition-local tables (partition = pure function of the key);
+    /// 2. partitions are **disjoint**, so they merge in parallel — within
+    ///    a partition, chunks fold in chunk order, so every group keeps
+    ///    the representative row of the first chunk that saw it, i.e. its
+    ///    global first-occurrence row;
+    /// 3. a stitch pass sorts all groups by representative row. First
+    ///    occurrences are unique per group and ascending row order *is*
+    ///    the sequential first-seen order, so the output is byte-identical
+    ///    to the sequential scan at every thread count.
+    ///
+    /// Returns `None` — falling back to [`Self::seq_aggregate`] — unless
+    /// every accumulator merges exactly (DISTINCT needs one seen-set,
+    /// float sums would expose addition order) and the keys have a typed
+    /// codec.
     fn par_aggregate(
         &self,
         batch: &Batch,
@@ -471,7 +519,7 @@ impl<'a> ColExec<'a> {
         let Some(counter) = self.used.handle() else {
             return Ok(None);
         };
-        if self.threads < 2 || batch.len < morsel::MIN_PARALLEL_ROWS {
+        if morsel::effective_workers(self.threads) < 2 || batch.len < morsel::MIN_PARALLEL_ROWS {
             return Ok(None);
         }
         let exactly_mergeable = specs.iter().zip(arg_cols).all(|(s, arg)| {
@@ -499,18 +547,24 @@ impl<'a> ColExec<'a> {
         if !exactly_mergeable {
             return Ok(None);
         }
+        let Some(codec) = codec::GroupCodec::for_group(key_cols) else {
+            return Ok(None);
+        };
 
         let budget = self.budget;
-        type PartialGroups = Vec<(Vec<Key>, usize, Vec<Accumulator>)>;
+        // Per partition, groups in first-seen order within one chunk.
+        type PartGroups = Vec<(codec::OwnedEnc, usize, Vec<Accumulator>)>;
         // Coarse chunks: per-chunk group tables must be merged afterwards,
         // and with 4096-row morsels that merge would rival the
         // accumulation itself when groups are plentiful.
         let chunks = morsel::coarse_morsels(batch.len, self.threads);
-        let partials: Vec<PartialGroups> =
+        let partials: Vec<Vec<PartGroups>> =
             morsel::run_on_ranges(chunks, self.threads, |range| {
-                let mut index: HashMap<Vec<Key>, usize> = HashMap::new();
-                let mut local: PartialGroups = Vec::new();
-                // One charge per morsel, not per row: the accumulated total
+                let mut maps: Vec<codec::GroupMap> = (0..codec::NPARTS)
+                    .map(|_| codec::GroupMap::new(codec.u64_mode()))
+                    .collect();
+                let mut parts: Vec<PartGroups> = vec![Vec::new(); codec::NPARTS];
+                // One charge per chunk, not per row: the accumulated total
                 // (and so whether the budget trips) matches the sequential
                 // per-row charges, without a contended atomic in the loop.
                 let n = range.len() as u64;
@@ -518,55 +572,62 @@ impl<'a> ColExec<'a> {
                 if used > budget {
                     return Err(EngineError::Budget(format!("{used} rows touched")));
                 }
+                let feeders: Vec<ArgCol> = arg_cols.iter().map(ArgCol::from).collect();
+                let mut scratch = Vec::new();
                 for i in range {
-                    let key: Vec<Key> = key_cols
-                        .iter()
-                        .map(|c| c.get(i).key())
-                        .collect::<EngineResult<_>>()?;
-                    let gid = match index.get(&key) {
-                        Some(&g) => g,
+                    let k = codec.encode(i, &mut scratch)?;
+                    let p = codec::partition(k.hash());
+                    let gid = match maps[p].get(&k) {
+                        Some(g) => g as usize,
                         None => {
-                            let g = local.len();
-                            local.push((
-                                key.clone(),
+                            let g = parts[p].len();
+                            maps[p].insert(&k, g as u32);
+                            parts[p].push((
+                                k.to_owned_enc(),
                                 i,
                                 specs.iter().map(|s| Accumulator::new(s, MODE)).collect(),
                             ));
-                            index.insert(key, g);
                             g
                         }
                     };
-                    let (_, _, accs) = &mut local[gid];
-                    for (arg, acc) in arg_cols.iter().zip(accs.iter_mut()) {
-                        match arg {
-                            None => acc.update(None)?,
-                            Some(col) => {
-                                let v = col.get(i);
-                                acc.update(Some(&v))?;
+                    let (_, _, accs) = &mut parts[p][gid];
+                    for (f, acc) in feeders.iter().zip(accs.iter_mut()) {
+                        f.feed(acc, i)?;
+                    }
+                }
+                Ok(parts)
+            })?;
+
+        // Phase 2: disjoint partitions merge in parallel, chunks in order.
+        let merged: Vec<MergedGroups> =
+            morsel::run_indexed(codec::NPARTS, self.threads, |p| {
+                let mut map = codec::GroupMap::new(codec.u64_mode());
+                let mut groups: MergedGroups = Vec::new();
+                for chunk in &partials {
+                    for (key, rep, accs) in &chunk[p] {
+                        let k = key.as_row();
+                        match map.get(&k) {
+                            Some(g) => {
+                                for (acc, other) in
+                                    groups[g as usize].1.iter_mut().zip(accs)
+                                {
+                                    acc.merge(other)?;
+                                }
+                            }
+                            None => {
+                                map.insert(&k, groups.len() as u32);
+                                groups.push((*rep, accs.clone()));
                             }
                         }
                     }
                 }
-                Ok(local)
+                Ok(groups)
             })?;
 
-        let mut group_index: HashMap<Vec<Key>, usize> = HashMap::new();
-        let mut groups: Vec<(usize, Vec<Accumulator>)> = Vec::new();
-        for partial in partials {
-            for (key, rep, accs) in partial {
-                match group_index.get(&key) {
-                    Some(&g) => {
-                        for (acc, other) in groups[g].1.iter_mut().zip(&accs) {
-                            acc.merge(other)?;
-                        }
-                    }
-                    None => {
-                        group_index.insert(key, groups.len());
-                        groups.push((rep, accs));
-                    }
-                }
-            }
-        }
+        // Phase 3: stitch — ascending first-occurrence row index is the
+        // sequential first-seen group order.
+        let mut groups: MergedGroups = merged.into_iter().flatten().collect();
+        groups.sort_unstable_by_key(|(rep, _)| *rep);
         Ok(Some(groups))
     }
 
@@ -589,7 +650,7 @@ impl<'a> ColExec<'a> {
         let Some(counter) = self.used.handle() else {
             return Ok(None);
         };
-        if self.threads < 2
+        if morsel::effective_workers(self.threads) < 2
             || outer.is_some()
             || table.row_count() < morsel::MIN_PARALLEL_ROWS
             || !morsel::parallel_safe(predicate)
@@ -619,49 +680,128 @@ impl<'a> ColExec<'a> {
         Ok(Some(concat_batches(schema, parts)))
     }
 
-    /// Parallel equi-join over already-materialized key columns: build-side
-    /// keys are extracted morsel-parallel into hash partitions, the
-    /// per-partition tables are built in parallel (inserting morsels in
-    /// order keeps each key's match list in global row order), and probing
-    /// runs morsel-parallel over the left side with pair lists concatenated
-    /// in morsel order — the candidate sequence is byte-identical to the
-    /// sequential single-table build/probe.
-    fn par_hash_join(
+    /// Equi-join candidate pairs over already-materialized key columns.
+    /// Typed keys go through the [`codec`] (parallel when configuration
+    /// and input size allow, sequential otherwise); anything the codec
+    /// cannot represent keeps the legacy `Vec<Key>` build/probe. Every
+    /// path emits the identical candidate sequence: probe rows in order,
+    /// each key's match list in build-side row order.
+    fn join_indices(
         &self,
         lbatch: &Batch,
         rbatch: &Batch,
         lkeys: &[ColVec],
         rkeys: &[ColVec],
+    ) -> EngineResult<(Vec<usize>, Vec<usize>)> {
+        // The codec gate: with an empty side the sequential path computes
+        // keys (and surfaces per-row errors) only for the non-empty side,
+        // which the legacy loop reproduces for free; row indices must
+        // also fit the arenas' u32 slots.
+        if lbatch.len > 0 && rbatch.len > 0 && rbatch.len <= u32::MAX as usize {
+            if let Some((lc, rc)) = codec::join_codecs(lkeys, rkeys)? {
+                if let Some(pairs) = self.par_hash_join(lbatch, rbatch, &lc, &rc)? {
+                    return Ok(pairs);
+                }
+                return self.seq_hash_join(lbatch, rbatch, &lc, &rc);
+            }
+        }
+        let mut table: HashMap<Vec<Key>, Vec<usize>> = HashMap::new();
+        for j in 0..rbatch.len {
+            let key: Vec<Key> = rkeys
+                .iter()
+                .map(|c| c.get(j).key())
+                .collect::<EngineResult<_>>()?;
+            table.entry(key).or_default().push(j);
+        }
+        let mut lidx = Vec::new();
+        let mut ridx = Vec::new();
+        for i in 0..lbatch.len {
+            let key: Vec<Key> = lkeys
+                .iter()
+                .map(|c| c.get(i).key())
+                .collect::<EngineResult<_>>()?;
+            if let Some(matches) = table.get(&key) {
+                self.charge(matches.len() as u64)?;
+                for &j in matches {
+                    lidx.push(i);
+                    ridx.push(j);
+                }
+            }
+        }
+        Ok((lidx, ridx))
+    }
+
+    /// Sequential codec-keyed hash join: same budget charges and error
+    /// positions as the legacy loop, no per-row key allocation.
+    fn seq_hash_join(
+        &self,
+        lbatch: &Batch,
+        rbatch: &Batch,
+        lc: &codec::GroupCodec<'_>,
+        rc: &codec::GroupCodec<'_>,
+    ) -> EngineResult<(Vec<usize>, Vec<usize>)> {
+        let mut table = codec::MatchMap::new(rc.u64_mode());
+        let mut scratch = Vec::new();
+        for j in 0..rbatch.len {
+            let k = rc.encode(j, &mut scratch)?;
+            table.push(&k, j as u32);
+        }
+        let mut lidx = Vec::new();
+        let mut ridx = Vec::new();
+        for i in 0..lbatch.len {
+            let k = lc.encode(i, &mut scratch)?;
+            if let Some(matches) = table.get(&k) {
+                self.charge(matches.len() as u64)?;
+                for &j in matches {
+                    lidx.push(i);
+                    ridx.push(j as usize);
+                }
+            }
+        }
+        Ok((lidx, ridx))
+    }
+
+    /// Radix-partitioned parallel equi-join: build-side keys are encoded
+    /// morsel-parallel into per-(chunk, partition) arenas (flat buffers —
+    /// no per-row allocation), each partition's table is then built by one
+    /// worker replaying the arenas in chunk order (so every key's match
+    /// list stays in global build-row order), and probing runs
+    /// morsel-parallel with pair lists concatenated in morsel order — the
+    /// candidate sequence is byte-identical to the sequential build/probe
+    /// at every thread count.
+    fn par_hash_join(
+        &self,
+        lbatch: &Batch,
+        rbatch: &Batch,
+        lc: &codec::GroupCodec<'_>,
+        rc: &codec::GroupCodec<'_>,
     ) -> EngineResult<Option<(Vec<usize>, Vec<usize>)>> {
         let Some(counter) = self.used.handle() else {
             return Ok(None);
         };
-        if self.threads < 2 || lbatch.len.max(rbatch.len) < morsel::MIN_PARALLEL_ROWS {
+        if morsel::effective_workers(self.threads) < 2 || lbatch.len.max(rbatch.len) < morsel::MIN_PARALLEL_ROWS {
             return Ok(None);
         }
         let budget = self.budget;
-        let nparts = self.threads.min(16);
 
-        type Bucket = Vec<(Vec<Key>, usize)>;
-        let bucketed: Vec<Vec<Bucket>> =
-            morsel::run_on_morsels(rbatch.len, self.threads, |range| {
-                let mut buckets: Vec<Bucket> = vec![Vec::new(); nparts];
+        let chunks = morsel::coarse_morsels(rbatch.len, self.threads);
+        let bucketed: Vec<Vec<codec::Bucket>> =
+            morsel::run_on_ranges(chunks, self.threads, |range| {
+                let mut buckets: Vec<codec::Bucket> = (0..codec::NPARTS)
+                    .map(|_| codec::Bucket::new(rc.u64_mode()))
+                    .collect();
+                let mut scratch = Vec::new();
                 for j in range {
-                    let key: Vec<Key> = rkeys
-                        .iter()
-                        .map(|c| c.get(j).key())
-                        .collect::<EngineResult<_>>()?;
-                    buckets[partition_of(&key, nparts)].push((key, j));
+                    let k = rc.encode(j, &mut scratch)?;
+                    buckets[codec::partition(k.hash())].push(&k, j as u32);
                 }
                 Ok(buckets)
             })?;
-        let tables: Vec<HashMap<Vec<Key>, Vec<usize>>> =
-            morsel::run_indexed(nparts, self.threads, |p| {
-                let mut m: HashMap<Vec<Key>, Vec<usize>> = HashMap::new();
-                for morsel_buckets in &bucketed {
-                    for (key, j) in &morsel_buckets[p] {
-                        m.entry(key.clone()).or_default().push(*j);
-                    }
+        let tables: Vec<codec::MatchMap> =
+            morsel::run_indexed(codec::NPARTS, self.threads, |p| {
+                let mut m = codec::MatchMap::new(rc.u64_mode());
+                for chunk in &bucketed {
+                    chunk[p].append_to(&mut m);
                 }
                 Ok(m)
             })?;
@@ -669,12 +809,10 @@ impl<'a> ColExec<'a> {
             morsel::run_on_morsels(lbatch.len, self.threads, |range| {
                 let mut li = Vec::new();
                 let mut ri = Vec::new();
+                let mut scratch = Vec::new();
                 for i in range {
-                    let key: Vec<Key> = lkeys
-                        .iter()
-                        .map(|c| c.get(i).key())
-                        .collect::<EngineResult<_>>()?;
-                    if let Some(matches) = tables[partition_of(&key, nparts)].get(&key) {
+                    let k = lc.encode(i, &mut scratch)?;
+                    if let Some(matches) = tables[codec::partition(k.hash())].get(&k) {
                         let n = matches.len() as u64;
                         let used = counter.fetch_add(n, Ordering::Relaxed) + n;
                         if used > budget {
@@ -682,7 +820,7 @@ impl<'a> ColExec<'a> {
                         }
                         for &j in matches {
                             li.push(i);
-                            ri.push(j);
+                            ri.push(j as usize);
                         }
                     }
                 }
@@ -822,32 +960,9 @@ impl<'a> ColExec<'a> {
                 .map(|(_, re)| self.eval_vec(re, &rbatch, outer))
                 .collect::<EngineResult<_>>()?;
             self.charge((lbatch.len + rbatch.len) as u64)?;
-            if let Some((pl, pr)) = self.par_hash_join(&lbatch, &rbatch, &lkeys, &rkeys)? {
-                lidx = pl;
-                ridx = pr;
-            } else {
-                let mut table: HashMap<Vec<Key>, Vec<usize>> = HashMap::new();
-                for j in 0..rbatch.len {
-                    let key: Vec<Key> = rkeys
-                        .iter()
-                        .map(|c| c.get(j).key())
-                        .collect::<EngineResult<_>>()?;
-                    table.entry(key).or_default().push(j);
-                }
-                for i in 0..lbatch.len {
-                    let key: Vec<Key> = lkeys
-                        .iter()
-                        .map(|c| c.get(i).key())
-                        .collect::<EngineResult<_>>()?;
-                    if let Some(matches) = table.get(&key) {
-                        self.charge(matches.len() as u64)?;
-                        for &j in matches {
-                            lidx.push(i);
-                            ridx.push(j);
-                        }
-                    }
-                }
-            }
+            let (pl, pr) = self.join_indices(&lbatch, &rbatch, &lkeys, &rkeys)?;
+            lidx = pl;
+            ridx = pr;
         }
 
         // Materialize candidates, then apply the residual as a filter.
@@ -897,7 +1012,7 @@ impl<'a> ColExec<'a> {
                     row.extend(std::iter::repeat_n(Value::Null, rwidth));
                     rows.push(row);
                 }
-                return Ok(rows_to_batch(candidates.schema.clone(), &rows));
+                return Ok(rows_to_batch(candidates.schema, &rows));
             }
         }
         Ok(candidates)
@@ -1214,14 +1329,40 @@ fn concat_col(parts: Vec<ColVec>) -> ColVec {
     acc
 }
 
-/// Deterministic hash partition for join keys (SipHash with fixed keys, so
-/// every run and every thread count agrees — though the output never
-/// depends on the partitioning anyway).
-fn partition_of(key: &[Key], nparts: usize) -> usize {
-    use std::hash::{Hash, Hasher};
-    let mut h = std::collections::hash_map::DefaultHasher::new();
-    key.hash(&mut h);
-    (h.finish() as usize) % nparts
+/// One aggregate argument's feeder: how each input row reaches its
+/// accumulator. Splitting this out of the row loop keeps typed string
+/// columns on [`Accumulator::update_str`] (no per-row boxing) and
+/// avoids re-matching the column variant per row per aggregate.
+enum ArgCol<'a> {
+    /// `count(*)`: no argument.
+    Star,
+    /// A typed string column: feed by reference.
+    Str(&'a [String]),
+    /// Everything else: box one value per row (ints and decimals are
+    /// stack-only, so this allocates nothing for numeric columns).
+    Generic(&'a ColVec),
+}
+
+impl<'a> ArgCol<'a> {
+    fn from(arg: &'a Option<ColVec>) -> ArgCol<'a> {
+        match arg {
+            None => ArgCol::Star,
+            Some(ColVec::Str(v)) => ArgCol::Str(v),
+            Some(c) => ArgCol::Generic(c),
+        }
+    }
+
+    #[inline]
+    fn feed(&self, acc: &mut Accumulator, i: usize) -> EngineResult<()> {
+        match self {
+            ArgCol::Star => acc.update(None),
+            ArgCol::Str(v) => acc.update_str(&v[i]),
+            ArgCol::Generic(c) => {
+                let v = c.get(i);
+                acc.update(Some(&v))
+            }
+        }
+    }
 }
 
 /// Collect every column name referenced anywhere in a bound query — its

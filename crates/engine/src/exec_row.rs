@@ -14,7 +14,8 @@ use crate::morsel::{self, BudgetCounter};
 use crate::output::{finish_rows, sort_keys};
 use crate::plan::{BoundQuery, Plan, Planner, Schema};
 use crate::storage::Database;
-use crate::value::{ArithMode, Key, Value};
+use crate::codec::FxBuild;
+use crate::value::{self, ArithMode, Value};
 use sqalpel_sql::ast::{Expr, JoinKind, Query};
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -79,7 +80,10 @@ impl<'a> RowExec<'a> {
         RowExec {
             db,
             budget,
-            used: if threads > 1 {
+            // A shared (atomic) counter only pays off when a parallel
+            // plan can actually be chosen; otherwise every per-row charge
+            // would eat an atomic increment for nothing.
+            used: if morsel::effective_workers(threads) > 1 {
                 BudgetCounter::shared()
             } else {
                 BudgetCounter::local()
@@ -194,24 +198,27 @@ impl<'a> RowExec<'a> {
         let specs = collect_aggregates(&agg_exprs);
         let keys: Vec<String> = specs.iter().map(|s| s.key.clone()).collect();
 
-        // Group state in first-seen order for deterministic output.
-        let mut group_index: HashMap<Vec<Key>, usize> = HashMap::new();
+        // Group state in first-seen order for deterministic output. Keys
+        // are tagged byte encodings ([`value::encode_key`]) built in one
+        // reused buffer — an owned copy exists only per distinct group.
+        let mut group_index: HashMap<Vec<u8>, usize, FxBuild> = HashMap::default();
         let mut groups: Vec<(Vec<Value>, Vec<Accumulator>)> = Vec::new();
+        let mut key_buf: Vec<u8> = Vec::new();
 
         self.execute_core(&bq.core, outer, &mut |row| {
             let env = match outer {
                 Some(o) => Env::with_outer(core_schema, row, o),
                 None => Env::new(core_schema, row),
             };
-            let mut key = Vec::with_capacity(bq.group_by.len());
+            key_buf.clear();
             for g in &bq.group_by {
-                key.push(eval(g, &env, ctx)?.key()?);
+                value::encode_key(&eval(g, &env, ctx)?, &mut key_buf)?;
             }
-            let idx = match group_index.get(&key) {
+            let idx = match group_index.get(key_buf.as_slice()) {
                 Some(&i) => i,
                 None => {
                     let i = groups.len();
-                    group_index.insert(key, i);
+                    group_index.insert(key_buf.clone(), i);
                     groups.push((
                         row.to_vec(),
                         specs.iter().map(|s| Accumulator::new(s, MODE)).collect(),
@@ -286,7 +293,7 @@ impl<'a> RowExec<'a> {
         let Some(counter) = self.used.handle() else {
             return Ok(false);
         };
-        if self.threads < 2
+        if morsel::effective_workers(self.threads) < 2
             || outer.is_some()
             || table.row_count() < morsel::MIN_PARALLEL_ROWS
             || !morsel::parallel_safe(predicate)
@@ -294,6 +301,18 @@ impl<'a> RowExec<'a> {
             return Ok(false);
         }
         let schema = input.schema();
+        // Columns the predicate actually reads. `parallel_safe` already
+        // rejected subqueries, so `predicate.columns()` is the complete
+        // read set; every other column is materialized lazily, only for
+        // rows that survive the filter.
+        let needed: Vec<bool> = {
+            let refs = predicate.columns();
+            schema
+                .iter()
+                .map(|m| refs.iter().any(|r| r.column == m.name))
+                .collect()
+        };
+        let ncols = table.columns.len();
         let db = self.db;
         let budget = self.budget;
         let hash_joins = self.hash_joins;
@@ -302,15 +321,33 @@ impl<'a> RowExec<'a> {
                 let w = RowExec::worker(db, budget, hash_joins, Arc::clone(&counter));
                 let ctx = EvalCtx::new(&w, MODE);
                 let mut rows = Vec::new();
+                let mut row: Vec<Value> = Vec::with_capacity(ncols);
                 // One charge per morsel, not per row: totals (and therefore
                 // whether the budget trips) are identical to the sequential
                 // per-row charges, without a contended atomic in the loop.
                 w.charge(range.len() as u64)?;
                 for i in range {
-                    let row: Vec<Value> = table.columns.iter().map(|c| c.data.get(i)).collect();
+                    row.clear();
+                    row.extend(table.columns.iter().zip(&needed).map(
+                        |(c, &n)| {
+                            if n {
+                                c.data.get(i)
+                            } else {
+                                Value::Null
+                            }
+                        },
+                    ));
                     let env = Env::new(&schema, &row);
                     if eval_filter(predicate, &env, &ctx)? {
-                        rows.push(row);
+                        // Survivor: fill in the columns skipped above.
+                        for (cell, (c, &n)) in
+                            row.iter_mut().zip(table.columns.iter().zip(&needed))
+                        {
+                            if !n {
+                                *cell = c.data.get(i);
+                            }
+                        }
+                        rows.push(std::mem::replace(&mut row, Vec::with_capacity(ncols)));
                     }
                 }
                 Ok(rows)
@@ -333,9 +370,14 @@ impl<'a> RowExec<'a> {
         match plan {
             Plan::Scan { table, .. } => {
                 let cols = &table.columns;
+                // Every sink copies what it keeps, so one row buffer is
+                // reused across the whole scan instead of a fresh
+                // allocation per row.
+                let mut row: Vec<Value> = Vec::with_capacity(cols.len());
                 for i in 0..table.row_count() {
                     self.charge(1)?;
-                    let row: Vec<Value> = cols.iter().map(|c| c.data.get(i)).collect();
+                    row.clear();
+                    row.extend(cols.iter().map(|c| c.data.get(i)));
                     sink(&row)?;
                 }
                 Ok(())
@@ -461,19 +503,27 @@ impl<'a> RowExec<'a> {
             });
         }
 
-        // Hash join: build on right keys.
-        let mut table: HashMap<Vec<Key>, Vec<usize>> = HashMap::new();
+        // Hash join: build on right keys. Keys are tagged byte encodings
+        // ([`value::encode_key`]) built in one reused scratch buffer — an
+        // owned copy exists only per distinct key, not per row.
+        let mut table: HashMap<Vec<u8>, Vec<usize>, FxBuild> = HashMap::default();
+        let mut key_buf: Vec<u8> = Vec::new();
         for (i, rrow) in right_rows.iter().enumerate() {
             self.charge(1)?;
             let env = match outer {
                 Some(o) => Env::with_outer(&right_schema, rrow, o),
                 None => Env::new(&right_schema, rrow),
             };
-            let mut key = Vec::with_capacity(equi.len());
+            key_buf.clear();
             for (_, rexpr) in equi {
-                key.push(eval(rexpr, &env, &ctx)?.key()?);
+                value::encode_key(&eval(rexpr, &env, &ctx)?, &mut key_buf)?;
             }
-            table.entry(key).or_default().push(i);
+            match table.get_mut(key_buf.as_slice()) {
+                Some(list) => list.push(i),
+                None => {
+                    table.insert(key_buf.clone(), vec![i]);
+                }
+            }
         }
 
         self.execute_core(left, outer, &mut |lrow| {
@@ -482,12 +532,12 @@ impl<'a> RowExec<'a> {
                 Some(o) => Env::with_outer(&left_schema, lrow, o),
                 None => Env::new(&left_schema, lrow),
             };
-            let mut key = Vec::with_capacity(equi.len());
+            key_buf.clear();
             for (lexpr, _) in equi {
-                key.push(eval(lexpr, &lenv, &ctx)?.key()?);
+                value::encode_key(&eval(lexpr, &lenv, &ctx)?, &mut key_buf)?;
             }
             let mut matched = false;
-            if let Some(candidates) = table.get(&key) {
+            if let Some(candidates) = table.get(key_buf.as_slice()) {
                 for &ri in candidates {
                     self.charge(1)?;
                     let mut row = lrow.to_vec();

@@ -29,6 +29,7 @@
 //! assert!(a.approx_eq(&b, 1e-9));
 //! ```
 
+pub mod codec;
 pub mod dbms;
 pub mod error;
 pub mod eval;

@@ -14,8 +14,12 @@
 //!    exactly the error the sequential executor would have reported
 //!    (budget messages excepted — those quote the shared counter).
 //!
-//! `threads = 1` never reaches this module: the executors keep their
-//! original single-threaded code paths byte-for-byte.
+//! `threads = 1` never spawns workers: the executors run dedicated
+//! single-threaded code paths. Those paths share the radix key codec
+//! ([`crate::codec`]) with the parallel kernels — the determinism
+//! contract constrains *results*, not code, and the codec's first-seen
+//! group order and build-side match order are the sequential orders by
+//! construction.
 
 use crate::error::{EngineError, EngineResult};
 use std::cell::Cell;
@@ -149,6 +153,34 @@ where
     run_indexed(ranges.len(), threads, |i| f(ranges[i].clone()))
 }
 
+/// Number of OS workers worth spawning: the requested thread count
+/// bounded by what the host can actually run concurrently. The *semantic*
+/// thread count (chunk layout, shared-budget accounting) stays as
+/// requested — results are identical for any worker count by the morsel
+/// discipline — but oversubscribing a small host buys only
+/// context-switch overhead, so the pool never exceeds the core count.
+/// `SQALPEL_FORCE_WORKERS` overrides the host bound; the differential
+/// suites use it to exercise the parallel kernels on single-core hosts.
+fn host_workers() -> usize {
+    static CORES: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *CORES.get_or_init(|| {
+        std::env::var("SQALPEL_FORCE_WORKERS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(default_threads)
+    })
+}
+
+/// Workers a `threads = N` request actually yields on this host. The
+/// executors consult this before choosing a parallel plan: when it says
+/// one worker, partitioned execution would pay its chunk-merge overhead
+/// with zero concurrency in return, so they stay on the (codec-backed)
+/// sequential path — which produces byte-identical results anyway.
+pub fn effective_workers(threads: usize) -> usize {
+    threads.min(host_workers())
+}
+
 /// Run `f(0) .. f(count - 1)` on up to `threads` scoped workers and return
 /// the results in index order; the error of the earliest failing index
 /// wins. The morsel runner and the partitioned join build both sit on this.
@@ -157,7 +189,16 @@ where
     T: Send,
     F: Fn(usize) -> EngineResult<T> + Sync,
 {
-    let workers = threads.clamp(1, count.max(1));
+    let workers = threads.clamp(1, count.max(1)).min(host_workers());
+    if workers == 1 {
+        // Degenerate pool: run inline. Same results, same earliest-error
+        // rule, none of the spawn or scheduling cost.
+        let mut out = Vec::with_capacity(count);
+        for i in 0..count {
+            out.push(f(i)?);
+        }
+        return Ok(out);
+    }
     let cursor = AtomicUsize::new(0);
     let mut slots: Vec<Option<EngineResult<T>>> = Vec::new();
     slots.resize_with(count, || None);

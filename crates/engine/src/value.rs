@@ -135,7 +135,7 @@ pub enum ArithMode {
     GuardedDecimal,
 }
 
-fn rescale(raw: i128, from: u8, to: u8) -> EngineResult<i128> {
+pub(crate) fn rescale(raw: i128, from: u8, to: u8) -> EngineResult<i128> {
     match from.cmp(&to) {
         Ordering::Equal => Ok(raw),
         Ordering::Less => raw
@@ -404,6 +404,56 @@ impl Value {
     }
 }
 
+/// Append the grouping/hashing key image of `v` to `buf` as a tagged
+/// byte string. Byte equality of encodings coincides exactly with
+/// [`Key`] equality: numerics that normalize to the same scale-6
+/// decimal encode identically, and every element is fixed-width or
+/// length-prefixed so multi-column concatenations stay injective. The
+/// row engine's grouping and hash-join loops key on these encodings
+/// instead of allocating a `Vec<Key>` per row.
+pub fn encode_key(v: &Value, buf: &mut Vec<u8>) -> EngineResult<()> {
+    match v {
+        Value::Null => buf.push(0),
+        Value::Bool(b) => {
+            buf.push(1);
+            buf.push(*b as u8);
+        }
+        Value::Int(i) => {
+            buf.push(2);
+            buf.extend_from_slice(&(*i as i128 * 1_000_000).to_le_bytes());
+        }
+        Value::Float(f) => {
+            // Mirror `Value::key`: canonicalize -0.0, fold integral
+            // floats into the decimal domain.
+            let c = if *f == 0.0 { 0.0 } else { *f };
+            if c.fract() == 0.0 && c.abs() < 1e18 {
+                buf.push(2);
+                buf.extend_from_slice(&(c as i128 * 1_000_000).to_le_bytes());
+            } else {
+                buf.push(3);
+                buf.extend_from_slice(&c.to_bits().to_le_bytes());
+            }
+        }
+        Value::Decimal { raw, scale } => {
+            buf.push(2);
+            buf.extend_from_slice(&rescale(*raw, *scale, 6)?.to_le_bytes());
+        }
+        Value::Str(s) => {
+            buf.push(4);
+            buf.extend_from_slice(&(s.len() as u32).to_le_bytes());
+            buf.extend_from_slice(s.as_bytes());
+        }
+        Value::Date(d) => {
+            buf.push(5);
+            buf.extend_from_slice(&d.to_le_bytes());
+        }
+        Value::Interval { .. } => {
+            return Err(EngineError::Type("interval cannot be a key".into()))
+        }
+    }
+    Ok(())
+}
+
 /// SQL `LIKE` with `%` and `_` wildcards (iterative two-pointer matcher).
 pub fn like_match(text: &str, pattern: &str) -> bool {
     let t: Vec<char> = text.chars().collect();
@@ -551,6 +601,39 @@ mod tests {
             Value::Int(5).key().unwrap(),
             Value::Int(6).key().unwrap()
         );
+    }
+
+    #[test]
+    fn encoded_keys_agree_with_key_equality() {
+        let enc = |v: &Value| {
+            let mut b = Vec::new();
+            encode_key(v, &mut b).unwrap();
+            b
+        };
+        // Same Key ⇒ same encoding.
+        assert_eq!(enc(&Value::Int(5)), enc(&Value::cents(500)));
+        assert_eq!(enc(&Value::Float(5.0)), enc(&Value::Int(5)));
+        assert_eq!(enc(&Value::Float(-0.0)), enc(&Value::Float(0.0)));
+        // Different Key ⇒ different encoding, even across types that
+        // share raw bytes (Int 0 vs Bool false vs Null vs empty string).
+        let distinct = [
+            enc(&Value::Int(0)),
+            enc(&Value::Bool(false)),
+            enc(&Value::Null),
+            enc(&Value::Str(String::new())),
+            enc(&Value::Date(0)),
+            enc(&Value::Float(0.5)),
+        ];
+        for (i, a) in distinct.iter().enumerate() {
+            for b in &distinct[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+        assert!(encode_key(
+            &Value::Interval { months: 1, days: 0 },
+            &mut Vec::new()
+        )
+        .is_err());
     }
 
     #[test]

@@ -1,0 +1,105 @@
+//! The radix kernels' allocation contract: aggregation and join inner
+//! loops must not allocate per row for int/decimal keys. A counting
+//! global allocator measures whole-query allocation counts; the bound is
+//! a small fraction of the row count, so any per-row `Vec<Key>` boxing or
+//! key cloning creeping back into the hot loops fails the test loudly.
+//!
+//! One `#[test]` only: the allocator counts globally, so concurrent tests
+//! would pollute each other's deltas.
+
+use sqalpel_engine::storage::{dec_col, int_col};
+use sqalpel_engine::{ColStore, Database, Dbms, Table};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+struct Counting;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for Counting {
+    unsafe fn alloc(&self, l: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(l)
+    }
+    unsafe fn dealloc(&self, p: *mut u8, l: Layout) {
+        System.dealloc(p, l)
+    }
+    unsafe fn realloc(&self, p: *mut u8, l: Layout, n: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(p, l, n)
+    }
+    unsafe fn alloc_zeroed(&self, l: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(l)
+    }
+}
+
+#[global_allocator]
+static A: Counting = Counting;
+
+const ROWS: usize = 100_000;
+const KEYS: usize = 1_000;
+
+fn allocs_during(f: impl FnOnce()) -> u64 {
+    let before = ALLOCS.load(Ordering::Relaxed);
+    f();
+    ALLOCS.load(Ordering::Relaxed) - before
+}
+
+#[test]
+fn kernel_loops_do_not_allocate_per_row() {
+    // Lift the single-core worker bound so the partitioned kernels are
+    // measured too, not just the sequential codec path.
+    std::env::set_var("SQALPEL_FORCE_WORKERS", "8");
+
+    let mut db = Database::new();
+    db.add_table(
+        Table::new(
+            "facts",
+            vec![
+                int_col("k", (0..ROWS).map(|i| (i % KEYS) as i64)),
+                dec_col("amount", (0..ROWS).map(|i| (i % 500) as i64), 2),
+            ],
+        )
+        .expect("facts table"),
+    );
+    db.add_table(
+        Table::new("dims", vec![int_col("k", (0..KEYS).map(|i| i as i64))])
+            .expect("dims table"),
+    );
+    let db = Arc::new(db);
+
+    let agg = "select k, count(*), sum(amount), min(amount), max(amount) from facts group by k";
+    let join = "select count(*) from facts, dims where facts.k = dims.k";
+
+    for threads in [1usize, 4] {
+        let col = ColStore::new(db.clone()).with_threads(threads);
+        // Warm once: lazy one-time state (worker bound, table caches)
+        // must not count against the steady-state budget.
+        col.execute(agg).expect("agg warms");
+        col.execute(join).expect("join warms");
+
+        // Steady-state allocation budget: group state, partition tables,
+        // chunk merges and the result are all O(groups + chunks + cols),
+        // far below the row count. Per-row boxing would cost >= ROWS
+        // allocations and blow straight past ROWS / 2.
+        let agg_allocs = allocs_during(|| {
+            col.execute(agg).expect("agg executes");
+        });
+        assert!(
+            agg_allocs < (ROWS / 2) as u64,
+            "aggregation at threads={threads} allocated {agg_allocs} times \
+             for {ROWS} rows — a per-row allocation is back in the loop"
+        );
+
+        let join_allocs = allocs_during(|| {
+            col.execute(join).expect("join executes");
+        });
+        assert!(
+            join_allocs < (ROWS / 2) as u64,
+            "join at threads={threads} allocated {join_allocs} times \
+             for {ROWS} probe rows — a per-row allocation is back in the loop"
+        );
+    }
+}

@@ -14,7 +14,7 @@ fn tpch_db() -> Arc<Database> {
 fn all_tpch_queries_agree_across_engines() {
     let db = tpch_db();
     let row = RowStore::new(db.clone());
-    let col = ColStore::new(db.clone());
+    let col = ColStore::new(db);
     for (name, sql) in sqalpel_sql::tpch::all_queries() {
         let a = row
             .execute(sql)

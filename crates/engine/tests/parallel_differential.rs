@@ -15,6 +15,15 @@ use std::sync::Arc;
 /// Thread count for the parallel side of every comparison.
 const THREADS: usize = 4;
 
+/// The engines refuse to choose a parallel plan when the host offers a
+/// single core (it would be pure overhead); force the worker bound up so
+/// this suite exercises the parallel kernels on any CI machine. Every
+/// test calls this before its first engine use — the bound is read once,
+/// lazily, so the first caller in the process wins with the same value.
+fn force_parallel() {
+    std::env::set_var("SQALPEL_FORCE_WORKERS", "8");
+}
+
 fn kind(e: &EngineError) -> &'static str {
     match e {
         EngineError::Parse(_) => "parse",
@@ -68,6 +77,7 @@ const SUITE_BUDGET: u64 = 20_000_000;
 
 #[test]
 fn tpch_rowstore_threads_are_invisible() {
+    force_parallel();
     let db = tpch_db();
     let seq = RowStore::new(db.clone()).with_budget(SUITE_BUDGET).with_threads(1);
     let par = RowStore::new(db).with_budget(SUITE_BUDGET).with_threads(THREADS);
@@ -78,6 +88,7 @@ fn tpch_rowstore_threads_are_invisible() {
 
 #[test]
 fn tpch_colstore_threads_are_invisible() {
+    force_parallel();
     let db = tpch_db();
     let seq = ColStore::new(db.clone()).with_budget(SUITE_BUDGET).with_threads(1);
     let par = ColStore::new(db).with_budget(SUITE_BUDGET).with_threads(THREADS);
@@ -88,6 +99,7 @@ fn tpch_colstore_threads_are_invisible() {
 
 #[test]
 fn ssb_flight_threads_are_invisible() {
+    force_parallel();
     let db = Arc::new(Database::ssb(0.005, 7));
     let row_seq = RowStore::new(db.clone()).with_budget(SUITE_BUDGET).with_threads(1);
     let row_par = RowStore::new(db.clone()).with_budget(SUITE_BUDGET).with_threads(THREADS);
@@ -101,6 +113,7 @@ fn ssb_flight_threads_are_invisible() {
 
 #[test]
 fn budget_kill_fires_at_every_thread_count() {
+    force_parallel();
     // A budget small enough that the scan itself blows it: the *kind* of
     // failure must not depend on how many workers shared the counter.
     let db = tpch_db();
@@ -121,6 +134,7 @@ fn budget_kill_fires_at_every_thread_count() {
 
 #[test]
 fn binding_errors_are_identical_at_every_thread_count() {
+    force_parallel();
     // Errors raised before (unknown names) and during (row-level type
     // clash) parallel execution must carry the same kind either way.
     let db = tpch_db();

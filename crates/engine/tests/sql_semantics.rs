@@ -51,7 +51,7 @@ fn on_both(sql: &str, check: impl Fn(&ResultSet, &str)) {
     let db = tiny_db();
     for dbms in [
         Box::new(RowStore::new(db.clone())) as Box<dyn Dbms>,
-        Box::new(ColStore::new(db.clone())),
+        Box::new(ColStore::new(db)),
     ] {
         let result = dbms
             .execute(sql)
@@ -244,7 +244,7 @@ fn division_by_zero_is_an_error_run() {
     let db = tiny_db();
     for dbms in [
         Box::new(RowStore::new(db.clone())) as Box<dyn Dbms>,
-        Box::new(ColStore::new(db.clone())),
+        Box::new(ColStore::new(db)),
     ] {
         let err = dbms
             .execute("select salary / (id - id) from people")
