@@ -1,12 +1,41 @@
 #!/bin/sh
 # Tier-1 gate: what must stay green on every commit.
+#
+#   ./ci.sh                          full gate
+#   ./ci.sh explain-goldens          only the EXPLAIN golden check
+#   ./ci.sh explain-goldens --bless  regenerate the goldens after an
+#                                    intentional rewriter/plan change
 set -eux
+
+explain_goldens() {
+    if [ "${1:-}" = "--bless" ]; then
+        SQALPEL_BLESS=1 cargo test -q --release -p sqalpel-engine --test explain_goldens
+        # Re-check: blessed goldens must round-trip clean.
+        cargo test -q --release -p sqalpel-engine --test explain_goldens
+    else
+        cargo test -q --release -p sqalpel-engine --test explain_goldens
+    fi
+}
+
+if [ "${1:-}" = "explain-goldens" ]; then
+    shift
+    explain_goldens "$@"
+    exit 0
+fi
 
 cargo build --release
 cargo test -q
 # The wire layer's loopback e2e suite: concurrent clients with injected
 # connection drops must drain the queue with zero double-reports.
 cargo test -q -p sqalpel-core --test wire_loopback
+# EXPLAIN plans for the full TPC-H + SSB flights are pinned: any drift in
+# the binder/rewriter/ir output fails here until re-blessed.
+explain_goldens
+# Every logical rewrite must be result-preserving, byte-for-byte, on both
+# engines at 1 and 4 workers.
+cargo test -q --release -p sqalpel-engine --test rewriter_equivalence
+# Clippy over the whole workspace, including the ir module (bind/rewrite/
+# explain) that both engines now lower from.
 cargo clippy --workspace --all-targets -- -D warnings
 # The engine's hot loops must stay allocation-lean: these lints catch the
 # collect-then-iterate and clone-a-key patterns the radix kernels removed.

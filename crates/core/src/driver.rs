@@ -25,6 +25,13 @@ pub trait Connector: Send + Sync {
     fn label(&self) -> String;
     /// Execute one query; returns the number of result rows.
     fn execute(&self, sql: &str) -> Result<usize, String>;
+    /// Canonical logical-plan fingerprint of the query, for systems whose
+    /// EXPLAIN exposes one. Reported alongside the timings so the server
+    /// can group plan-equivalent queries.
+    fn fingerprint(&self, sql: &str) -> Option<u64> {
+        let _ = sql;
+        None
+    }
 }
 
 /// Connector over an in-repo engine.
@@ -48,6 +55,10 @@ impl Connector for EngineConnector {
             .execute(sql)
             .map(|rs| rs.row_count())
             .map_err(|e| e.to_string())
+    }
+
+    fn fingerprint(&self, sql: &str) -> Option<u64> {
+        self.dbms.explain(sql).ok().map(|e| e.fingerprint)
     }
 }
 
@@ -165,6 +176,8 @@ pub struct RunOutcome {
     pub load_before: LoadAvg,
     pub load_after: LoadAvg,
     pub extras: serde_json::Value,
+    /// Plan fingerprint from the connector, when available.
+    pub fingerprint: Option<u64>,
 }
 
 impl Serialize for RunOutcome {
@@ -182,6 +195,13 @@ impl Serialize for RunOutcome {
         m.insert("load_before".into(), self.load_before.to_value());
         m.insert("load_after".into(), self.load_after.to_value());
         m.insert("extras".into(), self.extras.clone());
+        m.insert(
+            "fingerprint".into(),
+            match self.fingerprint {
+                Some(fp) => Value::from(format!("{fp:016x}")),
+                None => Value::Null,
+            },
+        );
         Value::Object(m)
     }
 }
@@ -203,6 +223,9 @@ impl Deserialize for RunOutcome {
             load_before: LoadAvg::from_value(&v["load_before"])?,
             load_after: LoadAvg::from_value(&v["load_after"])?,
             extras: v["extras"].clone(),
+            fingerprint: v["fingerprint"]
+                .as_str()
+                .and_then(|s| u64::from_str_radix(s, 16).ok()),
         })
     }
 }
@@ -227,6 +250,7 @@ impl<C: Connector> ExperimentDriver<C> {
     /// reported (error runs are data, not noise).
     pub fn run(&self, sql: &str) -> RunOutcome {
         let load_before = read_loadavg();
+        let fingerprint = self.connector.fingerprint(sql);
         let mut times_ms = Vec::with_capacity(self.config.repetitions);
         let mut rows = 0;
         let mut error = None;
@@ -257,6 +281,7 @@ impl<C: Connector> ExperimentDriver<C> {
             load_before,
             load_after,
             extras,
+            fingerprint,
         }
     }
 }
@@ -315,6 +340,8 @@ mod tests {
         assert_eq!(outcome.rows, 1);
         assert!(outcome.error.is_none());
         assert_eq!(outcome.extras["connector"], "rowstore-2.0");
+        // The engine connector fingerprints via EXPLAIN.
+        assert!(outcome.fingerprint.is_some());
     }
 
     #[test]
@@ -339,6 +366,7 @@ mod tests {
             load_before: LoadAvg { one: 0.5, five: 0.25, fifteen: 0.125 },
             load_after: LoadAvg::default(),
             extras: serde_json::json!({"connector": "mockdb-1.0"}),
+            fingerprint: Some(0x1234_5678_9abc_def0),
         };
         let text = serde_json::to_string(&outcome).unwrap();
         let back: RunOutcome = serde_json::from_str(&text).unwrap();
@@ -347,6 +375,7 @@ mod tests {
         assert_eq!(back.error, None);
         assert_eq!(back.load_before, outcome.load_before);
         assert_eq!(back.extras["connector"], "mockdb-1.0");
+        assert_eq!(back.fingerprint, Some(0x1234_5678_9abc_def0));
 
         let failed = RunOutcome { error: Some("boom".into()), ..outcome };
         let back: RunOutcome =

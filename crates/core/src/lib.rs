@@ -46,7 +46,7 @@ pub use driver::{
     Connector, DriverConfig, EngineConnector, ExperimentDriver, MockConnector, RemoteConnector,
 };
 pub use error::{PlatformError, PlatformResult};
-pub use pool::{Guidance, Origin, PoolEntry, QueryId, QueryPool, Strategy};
+pub use pool::{Fingerprinter, Guidance, Origin, PoolEntry, QueryId, QueryPool, Strategy};
 pub use project::{Experiment, ExperimentId, Project, ProjectId, Role};
 pub use queue::{QueueSummary, Task, TaskId, TaskQueue, TaskState};
 pub use results::{LoadAvg, ResultRecord, ResultStore};

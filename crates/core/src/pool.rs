@@ -12,13 +12,17 @@
 //!   contribution of sub-queries in highly complex queries".
 //!
 //! Fine-grained guidance restricts which lexical terms may (or must)
-//! appear; the pool is deduplicated on canonical SQL and capped.
+//! appear; the pool is deduplicated on canonical SQL — and, when a
+//! [`Fingerprinter`] is attached, on logical-plan fingerprints, so
+//! lexically distinct mutants that rewrite to the same plan (flipped
+//! comparisons, reordered conjuncts) never bloat the pool — and capped.
 
 use crate::error::{PlatformError, PlatformResult};
 use rand::rngs::StdRng;
 use rand::RngExt;
 use sqalpel_grammar::{instantiate, Choice, Grammar, Template};
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::sync::Arc;
 
 /// Identifier of a pool query.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -85,6 +89,9 @@ pub struct PoolEntry {
     pub origin: Origin,
     /// Creation order (the x-axis of the experiment-history view).
     pub step: usize,
+    /// Canonical logical-plan fingerprint, when the pool has a
+    /// [`Fingerprinter`] and the query plans on the target system.
+    pub fingerprint: Option<u64>,
 }
 
 impl PoolEntry {
@@ -131,6 +138,32 @@ impl Default for StrategyWeights {
     }
 }
 
+/// A pluggable plan fingerprinter: canonical plan hash for a SQL string,
+/// or `None` when the query does not plan (fingerprint pruning then
+/// degrades to SQL-only dedup for that query). Typically backed by
+/// [`Dbms::explain`](sqalpel_engine::Dbms::explain).
+#[derive(Clone)]
+pub struct Fingerprinter(Arc<FingerprintFn>);
+
+/// The function behind a [`Fingerprinter`].
+pub type FingerprintFn = dyn Fn(&str) -> Option<u64> + Send + Sync;
+
+impl Fingerprinter {
+    pub fn new(f: impl Fn(&str) -> Option<u64> + Send + Sync + 'static) -> Self {
+        Fingerprinter(Arc::new(f))
+    }
+
+    pub fn fingerprint(&self, sql: &str) -> Option<u64> {
+        (self.0)(sql)
+    }
+}
+
+impl std::fmt::Debug for Fingerprinter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Fingerprinter(..)")
+    }
+}
+
 /// The query pool over one grammar.
 #[derive(Debug)]
 pub struct QueryPool {
@@ -146,6 +179,10 @@ pub struct QueryPool {
     /// SQL dialect used when instantiating queries (grammar dialect
     /// sections accommodate "minor differences in syntax", §1).
     dialect: Option<String>,
+    /// Plan-fingerprint dedup: mutants whose rewritten plan was already
+    /// seen are dropped just like lexical duplicates.
+    fingerprinter: Option<Fingerprinter>,
+    seen_fingerprints: HashSet<u64>,
 }
 
 impl QueryPool {
@@ -167,12 +204,21 @@ impl QueryPool {
             guidance: Guidance::default(),
             step: 0,
             dialect: None,
+            fingerprinter: None,
+            seen_fingerprints: HashSet::new(),
         })
     }
 
     /// Instantiate queries in the given dialect from here on.
     pub fn set_dialect(&mut self, dialect: Option<String>) {
         self.dialect = dialect;
+    }
+
+    /// Attach a plan fingerprinter: from here on, new queries whose
+    /// canonical plan fingerprint was already seen are dropped exactly
+    /// like lexical duplicates (the prune dedup from the roadmap).
+    pub fn set_fingerprinter(&mut self, f: Option<Fingerprinter>) {
+        self.fingerprinter = f;
     }
 
     pub fn dialect(&self) -> Option<&str> {
@@ -252,6 +298,17 @@ impl QueryPool {
         if self.by_sql.contains_key(&sql) {
             return Ok(None); // "added to the pool unless it was already known"
         }
+        // Plan-level dedup: a lexically novel query whose rewritten plan
+        // fingerprint is already in the pool adds no discriminative value.
+        let fingerprint = self
+            .fingerprinter
+            .as_ref()
+            .and_then(|f| f.fingerprint(&sql));
+        if let Some(fp) = fingerprint {
+            if !self.seen_fingerprints.insert(fp) {
+                return Ok(None);
+            }
+        }
         let id = QueryId(self.entries.len() as u64);
         self.by_sql.insert(sql.clone(), id);
         self.entries.push(PoolEntry {
@@ -261,6 +318,7 @@ impl QueryPool {
             choice,
             origin,
             step: self.step,
+            fingerprint,
         });
         self.step += 1;
         Ok(Some(id))
@@ -634,6 +692,36 @@ mod tests {
         p2.set_dialect(Some("legacydb".into()));
         p2.seed_baseline().unwrap();
         assert!(p2.entries()[0].sql.contains("FETCH FIRST 5 ROWS ONLY"), "{}", p2.entries()[0].sql);
+    }
+
+    #[test]
+    fn fingerprint_prunes_plan_equivalent_mutants() {
+        use sqalpel_engine::Dbms;
+        let src = "q:\n    SELECT n_name FROM nation WHERE ${l_filter}\nl_filter:\n    n_regionkey < 2\n    2 > n_regionkey\n";
+        let g = Grammar::parse(src).unwrap();
+
+        // Control: without a fingerprinter the flipped comparison is a
+        // lexically novel pool entry.
+        let mut rng = seeded_rng(19);
+        let mut control = QueryPool::new(g.clone(), 100, 100).unwrap();
+        control.seed_baseline().unwrap();
+        assert!(control.morph(Strategy::Alter, &mut rng).unwrap().is_some());
+        assert_eq!(control.len(), 2);
+
+        // With an engine-backed fingerprinter the mutant's rewritten plan
+        // canonicalizes to the baseline's plan and the mutant is dropped.
+        let db = Arc::new(sqalpel_engine::Database::tpch(0.001, 42));
+        let store = sqalpel_engine::RowStore::new(db);
+        let mut p = QueryPool::new(g, 100, 100).unwrap();
+        p.set_fingerprinter(Some(Fingerprinter::new(move |sql| {
+            store.explain(sql).ok().map(|e| e.fingerprint)
+        })));
+        let base = p.seed_baseline().unwrap();
+        assert!(p.entry(base).unwrap().fingerprint.is_some());
+        let mut rng = seeded_rng(19);
+        let added = p.morph(Strategy::Alter, &mut rng).unwrap();
+        assert!(added.is_none(), "plan-equivalent mutant must be dropped");
+        assert_eq!(p.len(), 1);
     }
 
     #[test]

@@ -68,6 +68,10 @@ pub struct ResultRecord {
     /// Moderation: hidden results are not served to readers.
     /// Absent in serialized input from older clients; defaults to false.
     pub hidden: bool,
+    /// Canonical logical-plan fingerprint reported by the target system's
+    /// EXPLAIN, when it has one. Lets post-processing group queries that
+    /// are syntactically distinct but plan-equivalent.
+    pub fingerprint: Option<u64>,
 }
 
 impl Serialize for ResultRecord {
@@ -93,6 +97,13 @@ impl Serialize for ResultRecord {
         m.insert("load_after".into(), self.load_after.to_value());
         m.insert("extras".into(), self.extras.clone());
         m.insert("hidden".into(), self.hidden.into());
+        m.insert(
+            "fingerprint".into(),
+            match self.fingerprint {
+                Some(fp) => Value::from(format!("{fp:016x}")),
+                None => Value::Null,
+            },
+        );
         Value::Object(m)
     }
 }
@@ -130,6 +141,10 @@ impl Deserialize for ResultRecord {
             load_after: LoadAvg::from_value(&v["load_after"])?,
             extras: v["extras"].clone(),
             hidden: v["hidden"].as_bool().unwrap_or(false),
+            // Absent in input from older clients; encoded as 16 hex digits.
+            fingerprint: v["fingerprint"]
+                .as_str()
+                .and_then(|s| u64::from_str_radix(s, 16).ok()),
         })
     }
 }
@@ -227,7 +242,7 @@ impl ResultStore {
     /// CSV export (§5.6: "exported in CSV for post-processing").
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
-            "task,project,experiment,query,dbms,host,contributor,median_ms,runs,rows,error,hidden\n",
+            "task,project,experiment,query,dbms,host,contributor,median_ms,runs,rows,error,hidden,fingerprint\n",
         );
         for r in &self.records {
             let median = r
@@ -235,8 +250,12 @@ impl ResultStore {
                 .map(|m| format!("{m:.3}"))
                 .unwrap_or_default();
             let error = r.error.as_deref().unwrap_or("").replace(',', ";");
+            let fingerprint = r
+                .fingerprint
+                .map(|fp| format!("{fp:016x}"))
+                .unwrap_or_default();
             out.push_str(&format!(
-                "{},{},{},{},{},{},{},{},{},{},{},{}\n",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
                 r.task,
                 r.project,
                 r.experiment,
@@ -248,7 +267,8 @@ impl ResultStore {
                 r.times_ms.len(),
                 r.rows,
                 error,
-                r.hidden
+                r.hidden,
+                fingerprint
             ));
         }
         out
@@ -284,6 +304,7 @@ pub fn record(
         load_after: LoadAvg::default(),
         extras: serde_json::Value::Null,
         hidden: false,
+        fingerprint: None,
     }
 }
 
@@ -361,9 +382,34 @@ mod tests {
     fn serde_round_trip() {
         let mut r = sample(0, vec![1.0, 2.0], None);
         r.extras = serde_json::json!({"cache_hits": 42});
+        r.fingerprint = Some(0x00ab_cdef_0123_4567);
         let text = serde_json::to_string(&r).unwrap();
         let back: ResultRecord = serde_json::from_str(&text).unwrap();
         assert_eq!(back.extras["cache_hits"], 42);
         assert_eq!(back.times_ms, vec![1.0, 2.0]);
+        assert_eq!(back.fingerprint, Some(0x00ab_cdef_0123_4567));
+    }
+
+    #[test]
+    fn fingerprint_optional_in_serde_and_csv() {
+        // Older clients omit the field entirely.
+        let r = sample(0, vec![1.0], None);
+        let mut v = r.to_value();
+        if let Value::Object(m) = &mut v {
+            m.remove("fingerprint");
+        }
+        let back = ResultRecord::from_value(&v).unwrap();
+        assert_eq!(back.fingerprint, None);
+
+        let mut s = ResultStore::new();
+        let mut with_fp = sample(0, vec![1.0], None);
+        with_fp.fingerprint = Some(0xdead_beef);
+        s.push(with_fp);
+        s.push(sample(1, vec![2.0], None));
+        let csv = s.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert!(lines[0].ends_with(",fingerprint"));
+        assert!(lines[1].ends_with(",00000000deadbeef"));
+        assert!(lines[2].ends_with(",false,")); // no fingerprint: empty cell
     }
 }

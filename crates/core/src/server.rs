@@ -224,6 +224,24 @@ impl SqalpelServer {
         })
     }
 
+    /// Attach (or detach) a plan fingerprinter to an experiment's pool:
+    /// from here on, morphed mutants whose canonical plan fingerprint the
+    /// pool has already seen are pruned before they reach the task queue.
+    pub fn set_pool_fingerprinter(
+        &self,
+        project: ProjectId,
+        experiment: ExperimentId,
+        actor: UserId,
+        f: Option<crate::pool::Fingerprinter>,
+    ) -> PlatformResult<()> {
+        self.with_project(project, |st, i| {
+            st.projects[i].require(actor, Role::Owner)?;
+            let exp = st.projects[i].experiment_mut(experiment)?;
+            exp.pool.set_fingerprinter(f);
+            Ok(())
+        })
+    }
+
     /// Apply morphing steps; `strategy: None` uses the weighted walk.
     pub fn morph_pool(
         &self,
@@ -376,6 +394,7 @@ impl SqalpelServer {
         rec.load_before = outcome.load_before;
         rec.load_after = outcome.load_after;
         rec.extras = outcome.extras;
+        rec.fingerprint = outcome.fingerprint;
         Ok(st.results.push(rec))
     }
 
@@ -756,6 +775,7 @@ mod tests {
             load_before: Default::default(),
             load_after: Default::default(),
             extras: serde_json::Value::Null,
+            fingerprint: None,
         };
         assert!(server.report_result(&other, first.id, late).is_err());
     }

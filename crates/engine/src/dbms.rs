@@ -11,10 +11,12 @@
 //! - [`ColStore`] — the materializing column-at-a-time engine
 //!   ([`crate::exec_col`]).
 
-use crate::error::EngineResult;
+use crate::error::{EngineError, EngineResult};
 use crate::exec_col::ColExec;
 use crate::exec_row::RowExec;
+use crate::ir::{self, Explain};
 use crate::morsel;
+use crate::plan::Planner;
 use crate::result::ResultSet;
 use crate::storage::Database;
 use std::sync::Arc;
@@ -31,10 +33,30 @@ pub trait Dbms: Send + Sync {
     /// Execute one SQL query.
     fn execute(&self, sql: &str) -> EngineResult<ResultSet>;
 
+    /// Render the rewritten logical plan and its canonical fingerprint
+    /// without executing. Systems without a plan inspector keep the
+    /// default error.
+    fn explain(&self, sql: &str) -> EngineResult<Explain> {
+        let _ = sql;
+        Err(EngineError::Unsupported(
+            "EXPLAIN not supported by this system".into(),
+        ))
+    }
+
     /// `name-version` label used in reports.
     fn label(&self) -> String {
         format!("{}-{}", self.name(), self.version())
     }
+}
+
+/// Bind (and, unless disabled, rewrite) `sql` against `db`, then render
+/// the plan. Both engines share the binder and rewriter, so their EXPLAIN
+/// output — and therefore their fingerprints — are identical by
+/// construction.
+fn explain_sql(db: &Database, sql: &str, rewrite: bool) -> EngineResult<Explain> {
+    let q = sqalpel_sql::parse_query(sql)?;
+    let bound = Planner::new(db).with_rewrite(rewrite).bind(&q)?;
+    Ok(ir::explain(&bound))
 }
 
 /// The row engine as a target system.
@@ -45,6 +67,7 @@ pub struct RowStore {
     version: &'static str,
     hash_joins: bool,
     threads: usize,
+    rewrite: bool,
 }
 
 impl RowStore {
@@ -56,6 +79,7 @@ impl RowStore {
             version: "2.0",
             hash_joins: true,
             threads: morsel::default_threads(),
+            rewrite: true,
         }
     }
 
@@ -69,6 +93,7 @@ impl RowStore {
             version: "1.4",
             hash_joins: false,
             threads: morsel::default_threads(),
+            rewrite: true,
         }
     }
 
@@ -81,6 +106,13 @@ impl RowStore {
     /// execution; results are identical at every setting.
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Toggle the logical rewriter (on by default). The equivalence
+    /// suites diff rewritten against raw plans with this.
+    pub fn with_rewriter(mut self, on: bool) -> Self {
+        self.rewrite = on;
         self
     }
 
@@ -103,9 +135,14 @@ impl Dbms for RowStore {
     }
 
     fn execute(&self, sql: &str) -> EngineResult<ResultSet> {
-        let exec = RowExec::with_threads(&self.db, self.budget, self.hash_joins, self.threads);
+        let exec = RowExec::with_threads(&self.db, self.budget, self.hash_joins, self.threads)
+            .with_rewrite(self.rewrite);
         let (columns, rows) = exec.run_sql(sql)?;
         Ok(ResultSet::new(columns, rows))
+    }
+
+    fn explain(&self, sql: &str) -> EngineResult<Explain> {
+        explain_sql(&self.db, sql, self.rewrite)
     }
 }
 
@@ -115,6 +152,7 @@ pub struct ColStore {
     db: Arc<Database>,
     budget: u64,
     threads: usize,
+    rewrite: bool,
 }
 
 impl ColStore {
@@ -123,6 +161,7 @@ impl ColStore {
             db,
             budget: DEFAULT_BUDGET,
             threads: morsel::default_threads(),
+            rewrite: true,
         }
     }
 
@@ -135,6 +174,13 @@ impl ColStore {
     /// execution; results are identical at every setting.
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Toggle the logical rewriter (on by default). The equivalence
+    /// suites diff rewritten against raw plans with this.
+    pub fn with_rewriter(mut self, on: bool) -> Self {
+        self.rewrite = on;
         self
     }
 
@@ -157,9 +203,14 @@ impl Dbms for ColStore {
     }
 
     fn execute(&self, sql: &str) -> EngineResult<ResultSet> {
-        let exec = ColExec::with_threads(&self.db, self.budget, self.threads);
+        let exec = ColExec::with_threads(&self.db, self.budget, self.threads)
+            .with_rewrite(self.rewrite);
         let (columns, rows) = exec.run_sql(sql)?;
         Ok(ResultSet::new(columns, rows))
+    }
+
+    fn explain(&self, sql: &str) -> EngineResult<Explain> {
+        explain_sql(&self.db, sql, self.rewrite)
     }
 }
 

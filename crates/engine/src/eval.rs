@@ -12,9 +12,10 @@
 //! as false.
 
 use crate::error::{EngineError, EngineResult};
+use crate::ir::Expr;
 use crate::plan::Schema;
 use crate::value::{self, ArithMode, Key, Value};
-use sqalpel_sql::ast::{BinOp, Expr, IntervalUnit, Literal, Query, UnaryOp};
+use sqalpel_sql::ast::{BinOp, IntervalUnit, Literal, Query, UnaryOp};
 use std::collections::HashSet;
 
 /// A row visible to expression evaluation, with a link to the enclosing
@@ -121,7 +122,15 @@ impl<'a> EvalCtx<'a> {
 /// Evaluate an expression to a [`Value`].
 pub fn eval(e: &Expr, env: &Env<'_>, ctx: &EvalCtx<'_>) -> EngineResult<Value> {
     match e {
-        Expr::Column(c) => env.resolve(c),
+        Expr::Col { slot, .. } => Ok(env.row[*slot].clone()),
+        // An outer reference still resolves through the full environment
+        // chain (local schema first) so unresolved and ambiguous names
+        // error exactly as they did pre-IR.
+        Expr::Outer(c) => env.resolve(c),
+        Expr::OutputCol(_) => Err(EngineError::Unsupported(
+            "output-column reference outside ORDER BY".into(),
+        )),
+        Expr::Bool(b) => Ok(Value::Bool(*b)),
         Expr::Literal(l) => literal(l),
         Expr::Wildcard => Err(EngineError::Type("bare * outside count(*)".into())),
         Expr::Unary { op, expr } => {
@@ -781,6 +790,8 @@ impl Accumulator {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ir::bind::bind_expr;
+    use crate::ir::Ty;
     use crate::plan::ColMeta;
     use sqalpel_sql::parse_expr;
 
@@ -798,12 +809,18 @@ mod tests {
             .map(|n| ColMeta {
                 binding: "t".into(),
                 name: n.to_string(),
+                ty: Ty::Unknown,
             })
             .collect()
     }
 
+    /// Parse and bind an expression, then bind aggregates by slot.
+    fn bound(src: &str, sch: &Schema) -> EngineResult<Expr> {
+        bind_expr(&parse_expr(src).unwrap(), sch)
+    }
+
     fn eval_str(src: &str, sch: &Schema, row: &[Value]) -> EngineResult<Value> {
-        let e = parse_expr(src).unwrap();
+        let e = bound(src, sch)?;
         let env = Env::new(sch, row);
         let ctx = EvalCtx::new(&NoSubqueries, ArithMode::Float);
         eval(&e, &env, &ctx)
@@ -928,6 +945,7 @@ mod tests {
         sch.push(ColMeta {
             binding: "u".into(),
             name: "a".into(),
+            ty: Ty::Unknown,
         });
         let row = vec![Value::Int(1), Value::Int(2)];
         assert!(matches!(
@@ -947,7 +965,9 @@ mod tests {
         let inner_row = vec![Value::Int(1)];
         let env = Env::with_outer(&inner_sch, &inner_row, &outer);
         let ctx = EvalCtx::new(&NoSubqueries, ArithMode::Float);
-        let e = parse_expr("x + y").unwrap();
+        // `x` does not resolve locally, so it binds as an outer reference.
+        let e = bound("x + y", &inner_sch).unwrap();
+        assert!(e.contains_outer());
         assert!(matches!(eval(&e, &env, &ctx).unwrap(), Value::Int(100)));
     }
 
@@ -1050,7 +1070,7 @@ mod tests {
     fn decimal_literal_stays_fixed_point() {
         let sch = schema(&["x"]);
         let row = vec![Value::Int(0)];
-        let e = parse_expr("0.05").unwrap();
+        let e = bound("0.05", &sch).unwrap();
         let env = Env::new(&sch, &row);
         let ctx = EvalCtx::new(&NoSubqueries, ArithMode::GuardedDecimal);
         match eval(&e, &env, &ctx).unwrap() {
@@ -1080,18 +1100,20 @@ mod tests {
 
     #[test]
     fn collect_aggregates_dedups() {
-        let a = parse_expr("sum(x) + sum(x) + count(*)").unwrap();
-        let b = parse_expr("avg(y)").unwrap();
+        let sch = schema(&["x", "y"]);
+        let a = bound("sum(x) + sum(x) + count(*)", &sch).unwrap();
+        let b = bound("avg(y)", &sch).unwrap();
         let specs = collect_aggregates(&[&a, &b]);
         assert_eq!(specs.len(), 3);
-        assert_eq!(specs[0].key, "sum(x)");
+        assert_eq!(specs[0].key, "sum(#0)");
         assert_eq!(specs[1].key, "count(*)");
         assert!(specs[1].arg.is_none());
     }
 
     #[test]
     fn accumulator_sum_and_avg() {
-        let spec = &collect_aggregates(&[&parse_expr("sum(x)").unwrap()])[0];
+        let sch = schema(&["x"]);
+        let spec = &collect_aggregates(&[&bound("sum(x)", &sch).unwrap()])[0];
         let mut acc = Accumulator::new(spec, ArithMode::Float);
         for v in [1, 2, 3] {
             acc.update(Some(&Value::Int(v))).unwrap();
@@ -1102,7 +1124,8 @@ mod tests {
 
     #[test]
     fn accumulator_guarded_decimal_sum() {
-        let spec = &collect_aggregates(&[&parse_expr("sum(x)").unwrap()])[0];
+        let sch = schema(&["x"]);
+        let spec = &collect_aggregates(&[&bound("sum(x)", &sch).unwrap()])[0];
         let mut acc = Accumulator::new(spec, ArithMode::GuardedDecimal);
         acc.update(Some(&Value::cents(150))).unwrap();
         acc.update(Some(&Value::cents(250))).unwrap();
@@ -1114,7 +1137,8 @@ mod tests {
 
     #[test]
     fn accumulator_distinct_count() {
-        let e = parse_expr("count(distinct x)").unwrap();
+        let sch = schema(&["x"]);
+        let e = bound("count(distinct x)", &sch).unwrap();
         let spec = &collect_aggregates(&[&e])[0];
         let mut acc = Accumulator::new(spec, ArithMode::Float);
         for v in [1, 2, 2, 3, 1] {
@@ -1125,9 +1149,10 @@ mod tests {
 
     #[test]
     fn accumulator_min_max() {
+        let sch = schema(&["x"]);
         let specs = collect_aggregates(&[
-            &parse_expr("min(x)").unwrap(),
-            &parse_expr("max(x)").unwrap(),
+            &bound("min(x)", &sch).unwrap(),
+            &bound("max(x)", &sch).unwrap(),
         ]);
         let mut mn = Accumulator::new(&specs[0], ArithMode::Float);
         let mut mx = Accumulator::new(&specs[1], ArithMode::Float);
@@ -1141,9 +1166,10 @@ mod tests {
 
     #[test]
     fn empty_group_semantics() {
+        let sch = schema(&["x"]);
         let specs = collect_aggregates(&[
-            &parse_expr("sum(x)").unwrap(),
-            &parse_expr("count(x)").unwrap(),
+            &bound("sum(x)", &sch).unwrap(),
+            &bound("count(x)", &sch).unwrap(),
         ]);
         let sum = Accumulator::new(&specs[0], ArithMode::Float);
         let count = Accumulator::new(&specs[1], ArithMode::Float);

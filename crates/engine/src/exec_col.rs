@@ -20,14 +20,15 @@ use crate::eval::{
     collect_aggregates, eval, eval_filter, Accumulator, AggFunc, AggSpec, AggValues, Env, EvalCtx,
     SubqueryRunner,
 };
+use crate::ir::{Expr, Ty};
 use crate::morsel::{self, BudgetCounter};
 use crate::output::finish_rows;
 use crate::plan::{BoundQuery, Plan, Planner, Schema};
 use crate::storage::{ColumnData, Database, Table};
 use crate::value::{self, ArithMode, Key, Value};
-use sqalpel_sql::ast::{BinOp, Expr, JoinKind, Query, UnaryOp};
+use sqalpel_sql::ast::{BinOp, JoinKind, Query, UnaryOp};
 use std::cell::RefCell;
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 use std::ops::Range;
 use std::rc::Rc;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -172,29 +173,12 @@ impl Batch {
         }
     }
 
-    /// Resolve a column reference against this batch's schema.
-    fn resolve(&self, col: &sqalpel_sql::ColumnRef) -> EngineResult<Option<usize>> {
-        let mut hit = None;
-        for (i, meta) in self.schema.iter().enumerate() {
-            let matches = match &col.table {
-                Some(t) => meta.binding == *t && meta.name == col.column,
-                None => meta.name == col.column,
-            };
-            if matches {
-                if hit.is_some() {
-                    return Err(EngineError::AmbiguousColumn(col.to_string()));
-                }
-                hit = Some(i);
-            }
-        }
-        Ok(hit)
-    }
 }
 
 /// One materialized CTE visible during execution.
 struct CteFrame {
     name: String,
-    cols: Vec<String>,
+    cols: Vec<(String, Ty)>,
     rows: Rc<Vec<Vec<Value>>>,
 }
 
@@ -213,6 +197,9 @@ pub struct ColExec<'a> {
     threads: usize,
     subqueries: RefCell<HashMap<usize, SubState>>,
     ctes: RefCell<Vec<CteFrame>>,
+    /// Whether the logical rewriter runs on bound plans (on by default;
+    /// the equivalence suites turn it off to diff against raw plans).
+    rewrite: bool,
 }
 
 impl<'a> ColExec<'a> {
@@ -238,7 +225,15 @@ impl<'a> ColExec<'a> {
             threads,
             subqueries: RefCell::new(HashMap::new()),
             ctes: RefCell::new(Vec::new()),
+            rewrite: true,
         }
+    }
+
+    /// Toggle the logical rewriter for this execution (and any runtime
+    /// subquery binds it performs).
+    pub fn with_rewrite(mut self, on: bool) -> Self {
+        self.rewrite = on;
+        self
     }
 
     /// A sequential executor for one parallel worker, charging the shared
@@ -251,13 +246,14 @@ impl<'a> ColExec<'a> {
             threads: 1,
             subqueries: RefCell::new(HashMap::new()),
             ctes: RefCell::new(Vec::new()),
+            rewrite: true,
         }
     }
 
     /// Parse, bind and run a SQL query, returning output names and rows.
     pub fn run_sql(&self, sql: &str) -> EngineResult<(Vec<String>, Vec<Vec<Value>>)> {
         let q = sqalpel_sql::parse_query(sql)?;
-        let bound = Planner::new(self.db).bind(&q)?;
+        let bound = Planner::new(self.db).with_rewrite(self.rewrite).bind(&q)?;
         let rows = self.run_query(&bound, None)?;
         Ok((bound.output_names(), rows))
     }
@@ -282,7 +278,7 @@ impl<'a> ColExec<'a> {
             let rows = self.run_query(cte_query, outer)?;
             self.ctes.borrow_mut().push(CteFrame {
                 name: name.clone(),
-                cols: cte_query.output_names(),
+                cols: cte_query.output_schema(),
                 rows: Rc::new(rows),
             });
         }
@@ -296,10 +292,11 @@ impl<'a> ColExec<'a> {
         bq: &BoundQuery,
         outer: Option<&Env<'_>>,
     ) -> EngineResult<Vec<Vec<Value>>> {
-        // Projection pushdown: scans materialize only referenced columns
-        // (the column-store advantage MonetDB's BATs provide).
-        let needed = needed_columns(bq);
-        let batch = self.exec_core(&bq.core, outer, &needed)?;
+        // Projection pushdown happened at plan time: the rewriter's
+        // liveness pass shrank every scan's `live` list, so scans
+        // materialize only referenced columns (the column-store advantage
+        // MonetDB's BATs provide).
+        let batch = self.exec_core(&bq.core, outer)?;
         let mut produced: Vec<(Vec<Value>, Vec<Value>)> = Vec::new();
         if bq.aggregated {
             self.project_aggregated(bq, &batch, outer, &mut produced)?;
@@ -321,19 +318,15 @@ impl<'a> ColExec<'a> {
             .iter()
             .map(|item| self.eval_vec(&item.expr, batch, outer))
             .collect::<EngineResult<_>>()?;
-        // Sort keys: select-list aliases resolve to output columns,
-        // anything else evaluates over the core batch.
+        // Sort keys: select-list aliases were bound to output columns at
+        // plan time, anything else evaluates over the core batch.
         let mut key_cols: Vec<ColVec> = Vec::with_capacity(bq.order_by.len());
-        for item in &bq.order_by {
-            if let Expr::Column(c) = &item.expr {
-                if c.table.is_none() {
-                    if let Some(i) = bq.items.iter().position(|it| it.name == c.column) {
-                        key_cols.push(out_cols[i].clone());
-                        continue;
-                    }
-                }
+        for (key, _) in &bq.order_by {
+            if let Expr::OutputCol(i) = key {
+                key_cols.push(out_cols[*i].clone());
+                continue;
             }
-            key_cols.push(self.eval_vec(&item.expr, batch, outer)?);
+            key_cols.push(self.eval_vec(key, batch, outer)?);
         }
         for i in 0..batch.len {
             let row: Vec<Value> = out_cols.iter().map(|c| c.get(i)).collect();
@@ -354,8 +347,8 @@ impl<'a> ColExec<'a> {
         if let Some(h) = &bq.having {
             agg_exprs.push(h);
         }
-        for o in &bq.order_by {
-            agg_exprs.push(&o.expr);
+        for (k, _) in &bq.order_by {
+            agg_exprs.push(k);
         }
         let specs = collect_aggregates(&agg_exprs);
         let keys: Vec<String> = specs.iter().map(|s| s.key.clone()).collect();
@@ -642,9 +635,8 @@ impl<'a> ColExec<'a> {
         input: &Plan,
         predicate: &Expr,
         outer: Option<&Env<'_>>,
-        needed: &HashSet<String>,
     ) -> EngineResult<Option<Batch>> {
-        let Plan::Scan { table, .. } = input else {
+        let Plan::Scan { table, live, .. } = input else {
             return Ok(None);
         };
         let Some(counter) = self.used.handle() else {
@@ -653,21 +645,17 @@ impl<'a> ColExec<'a> {
         if morsel::effective_workers(self.threads) < 2
             || outer.is_some()
             || table.row_count() < morsel::MIN_PARALLEL_ROWS
-            || !morsel::parallel_safe(predicate)
+            || !predicate.parallel_safe()
         {
             return Ok(None);
         }
-        let schema: Schema = input
-            .schema()
-            .into_iter()
-            .filter(|c| needed.contains(&c.name))
-            .collect();
+        let schema = input.schema();
         let db = self.db;
         let budget = self.budget;
         let parts = morsel::run_on_morsels(table.row_count(), self.threads, |range| {
             let w = ColExec::worker(db, budget, Arc::clone(&counter));
             w.charge(range.len() as u64)?;
-            let batch = scan_batch(table, &schema, needed, range);
+            let batch = scan_batch(table, &schema, live, range);
             let mask = w.eval_vec(predicate, &batch, None)?;
             let mut idx = Vec::new();
             for i in 0..batch.len {
@@ -839,27 +827,16 @@ impl<'a> ColExec<'a> {
 
     // ------------------------------------------------------------- operators
 
-    /// Execute the relational core to a materialized batch. `needed`
-    /// holds every column name the query can touch; scans prune the rest.
-    fn exec_core(
-        &self,
-        plan: &Plan,
-        outer: Option<&Env<'_>>,
-        needed: &std::collections::HashSet<String>,
-    ) -> EngineResult<Batch> {
+    /// Execute the relational core to a materialized batch. Scans
+    /// materialize only their `live` (plan-time pruned) columns.
+    fn exec_core(&self, plan: &Plan, outer: Option<&Env<'_>>) -> EngineResult<Batch> {
         match plan {
-            Plan::Scan { table, binding } => {
+            Plan::Scan { table, live, .. } => {
                 self.charge(table.row_count() as u64)?;
-                let schema: Schema = plan
-                    .schema()
-                    .into_iter()
-                    .filter(|c| needed.contains(&c.name))
-                    .collect();
-                let cols = table
-                    .columns
+                let schema = plan.schema();
+                let cols = live
                     .iter()
-                    .filter(|c| needed.contains(&c.name))
-                    .map(|c| match &c.data {
+                    .map(|&ci| match &table.columns[ci].data {
                         ColumnData::Int(v) => ColVec::Int(v.clone()),
                         // The widening cast: i64 storage to i128 vectors.
                         ColumnData::Decimal { raw, scale } => ColVec::Decimal {
@@ -871,7 +848,6 @@ impl<'a> ColExec<'a> {
                         ColumnData::Float(v) => ColVec::Float(v.clone()),
                     })
                     .collect();
-                let _ = binding;
                 Ok(Batch {
                     schema,
                     len: table.row_count(),
@@ -897,10 +873,10 @@ impl<'a> ColExec<'a> {
                 Ok(rows_to_batch(plan.schema(), &rows))
             }
             Plan::Filter { input, predicate } => {
-                if let Some(filtered) = self.par_filter_scan(input, predicate, outer, needed)? {
+                if let Some(filtered) = self.par_filter_scan(input, predicate, outer)? {
                     return Ok(filtered);
                 }
-                let batch = self.exec_core(input, outer, needed)?;
+                let batch = self.exec_core(input, outer)?;
                 let mask = self.eval_vec(predicate, &batch, outer)?;
                 let mut idx = Vec::new();
                 for i in 0..batch.len {
@@ -916,11 +892,10 @@ impl<'a> ColExec<'a> {
                 kind,
                 equi,
                 residual,
-            } => self.exec_join(left, right, *kind, equi, residual.as_ref(), outer, needed),
+            } => self.exec_join(left, right, *kind, equi, residual.as_ref(), outer),
         }
     }
 
-    #[allow(clippy::too_many_arguments)]
     fn exec_join(
         &self,
         left: &Plan,
@@ -929,10 +904,9 @@ impl<'a> ColExec<'a> {
         equi: &[(Expr, Expr)],
         residual: Option<&Expr>,
         outer: Option<&Env<'_>>,
-        needed: &std::collections::HashSet<String>,
     ) -> EngineResult<Batch> {
-        let lbatch = self.exec_core(left, outer, needed)?;
-        let rbatch = self.exec_core(right, outer, needed)?;
+        let lbatch = self.exec_core(left, outer)?;
+        let rbatch = self.exec_core(right, outer)?;
         let mut combined_schema = lbatch.schema.clone();
         combined_schema.extend(rbatch.schema.iter().cloned());
 
@@ -1029,13 +1003,15 @@ impl<'a> ColExec<'a> {
     ) -> EngineResult<ColVec> {
         let n = batch.len;
         match e {
-            Expr::Column(c) => match batch.resolve(c)? {
-                Some(i) => Ok(batch.cols[i].clone()), // materializing copy
-                None => match outer {
-                    Some(env) => Ok(ColVec::Const(env.resolve(c)?, n)),
-                    None => Err(EngineError::UnknownColumn(c.to_string())),
-                },
+            Expr::Col { slot, .. } => Ok(batch.cols[*slot].clone()), // materializing copy
+            Expr::Outer(c) => match outer {
+                Some(env) => Ok(ColVec::Const(env.resolve(c)?, n)),
+                None => Err(EngineError::UnknownColumn(c.to_string())),
             },
+            Expr::Bool(b) => Ok(ColVec::Const(Value::Bool(*b), n)),
+            Expr::OutputCol(_) => Err(EngineError::Unsupported(
+                "output-column reference outside ORDER BY".into(),
+            )),
             Expr::Literal(_) => {
                 // Reuse the row evaluator for literal conversion.
                 let v = self.eval_one(e, batch, 0, outer, true)?;
@@ -1206,13 +1182,17 @@ impl SubqueryRunner for ColExec<'_> {
                 None => {}
             }
         }
-        let cte_scope: Vec<(String, Vec<String>)> = self
+        let cte_scope: Vec<(String, Vec<(String, Ty)>)> = self
             .ctes
             .borrow()
             .iter()
             .map(|f| (f.name.clone(), f.cols.clone()))
             .collect();
-        let bound = Rc::new(Planner::with_ctes(self.db, cte_scope).bind(q)?);
+        let bound = Rc::new(
+            Planner::with_ctes(self.db, cte_scope)
+                .with_rewrite(self.rewrite)
+                .bind(q)?,
+        );
         match self.run_query(&bound, None) {
             Ok(rows) => {
                 let rows = Rc::new(rows);
@@ -1232,15 +1212,13 @@ impl SubqueryRunner for ColExec<'_> {
     }
 }
 
-/// Materialize one morsel of a base-table scan, pruning to `needed`
-/// columns (the same pruning and `i64 → i128` decimal widening as the
-/// full sequential scan).
-fn scan_batch(table: &Table, schema: &Schema, needed: &HashSet<String>, range: Range<usize>) -> Batch {
-    let cols = table
-        .columns
+/// Materialize one morsel of a base-table scan, pruned to the plan's
+/// `live` columns (the same pruning and `i64 → i128` decimal widening as
+/// the full sequential scan).
+fn scan_batch(table: &Table, schema: &Schema, live: &[usize], range: Range<usize>) -> Batch {
+    let cols = live
         .iter()
-        .filter(|c| needed.contains(&c.name))
-        .map(|c| match &c.data {
+        .map(|&ci| match &table.columns[ci].data {
             ColumnData::Int(v) => ColVec::Int(v[range.clone()].to_vec()),
             ColumnData::Decimal { raw, scale } => ColVec::Decimal {
                 raw: raw[range.clone()].iter().map(|&x| x as i128).collect(),
@@ -1362,117 +1340,6 @@ impl<'a> ArgCol<'a> {
                 acc.update(Some(&v))
             }
         }
-    }
-}
-
-/// Collect every column name referenced anywhere in a bound query — its
-/// projection, grouping, ordering, plan predicates and join keys — and,
-/// transitively, inside subqueries at any depth (whose correlated
-/// references may target this query's scans). Used for projection
-/// pushdown: a scan only materializes columns whose names appear here.
-fn needed_columns(bq: &BoundQuery) -> std::collections::HashSet<String> {
-    let mut out = std::collections::HashSet::new();
-    for item in &bq.items {
-        collect_deep(&item.expr, &mut out);
-    }
-    for e in &bq.group_by {
-        collect_deep(e, &mut out);
-    }
-    if let Some(h) = &bq.having {
-        collect_deep(h, &mut out);
-    }
-    for o in &bq.order_by {
-        collect_deep(&o.expr, &mut out);
-    }
-    collect_plan(&bq.core, &mut out);
-    for (_, cte) in &bq.ctes {
-        out.extend(needed_columns(cte));
-    }
-    out
-}
-
-fn collect_plan(plan: &Plan, out: &mut std::collections::HashSet<String>) {
-    match plan {
-        Plan::Scan { .. } | Plan::Cte { .. } => {}
-        Plan::Derived { query, .. } => out.extend(needed_columns(query)),
-        Plan::Filter { input, predicate } => {
-            collect_deep(predicate, out);
-            collect_plan(input, out);
-        }
-        Plan::Join {
-            left,
-            right,
-            equi,
-            residual,
-            ..
-        } => {
-            for (l, r) in equi {
-                collect_deep(l, out);
-                collect_deep(r, out);
-            }
-            if let Some(res) = residual {
-                collect_deep(res, out);
-            }
-            collect_plan(left, out);
-            collect_plan(right, out);
-        }
-    }
-}
-
-/// Column names in an expression, descending into subqueries (unlike
-/// `Expr::columns`, which stops at subquery boundaries).
-fn collect_deep(e: &Expr, out: &mut std::collections::HashSet<String>) {
-    for c in e.columns() {
-        out.insert(c.column.clone());
-    }
-    e.visit(&mut |x| {
-        let q = match x {
-            Expr::Subquery(q) => q,
-            Expr::InSubquery { query, .. } => query,
-            Expr::Exists { query, .. } => query,
-            _ => return,
-        };
-        collect_query_deep(q, out);
-    });
-}
-
-fn collect_query_deep(q: &Query, out: &mut std::collections::HashSet<String>) {
-    use sqalpel_sql::ast::{SelectItem, TableRef};
-    for item in &q.body.items {
-        if let SelectItem::Expr { expr, .. } = item {
-            collect_deep(expr, out);
-        }
-    }
-    fn table_ref(t: &TableRef, out: &mut std::collections::HashSet<String>) {
-        match t {
-            TableRef::Table { .. } => {}
-            TableRef::Subquery { query, .. } => collect_query_deep(query, out),
-            TableRef::Join {
-                left, right, on, ..
-            } => {
-                table_ref(left, out);
-                table_ref(right, out);
-                collect_deep(on, out);
-            }
-        }
-    }
-    for t in &q.body.from {
-        table_ref(t, out);
-    }
-    if let Some(sel) = &q.body.selection {
-        collect_deep(sel, out);
-    }
-    for e in &q.body.group_by {
-        collect_deep(e, out);
-    }
-    if let Some(h) = &q.body.having {
-        collect_deep(h, out);
-    }
-    for o in &q.order_by {
-        collect_deep(&o.expr, out);
-    }
-    for cte in &q.ctes {
-        collect_query_deep(&cte.query, out);
     }
 }
 

@@ -10,13 +10,14 @@ use crate::error::{EngineError, EngineResult};
 use crate::eval::{
     collect_aggregates, eval, eval_filter, Accumulator, AggValues, Env, EvalCtx, SubqueryRunner,
 };
+use crate::ir::{Expr, Ty};
 use crate::morsel::{self, BudgetCounter};
 use crate::output::{finish_rows, sort_keys};
 use crate::plan::{BoundQuery, Plan, Planner, Schema};
 use crate::storage::Database;
 use crate::codec::FxBuild;
 use crate::value::{self, ArithMode, Value};
-use sqalpel_sql::ast::{Expr, JoinKind, Query};
+use sqalpel_sql::ast::{JoinKind, Query};
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
@@ -27,7 +28,7 @@ use std::sync::Arc;
 /// One materialized CTE visible during execution.
 struct CteFrame {
     name: String,
-    cols: Vec<String>,
+    cols: Vec<(String, Ty)>,
     rows: Rc<Vec<Vec<Value>>>,
 }
 
@@ -57,6 +58,9 @@ pub struct RowExec<'a> {
     /// False for the legacy (pre-hash-join) version: every join runs as a
     /// nested loop over its equality predicates.
     hash_joins: bool,
+    /// Whether the logical rewriter runs on bound plans (on by default;
+    /// the equivalence suites turn it off to diff against raw plans).
+    rewrite: bool,
 }
 
 const MODE: ArithMode = ArithMode::Float;
@@ -92,7 +96,15 @@ impl<'a> RowExec<'a> {
             subqueries: RefCell::new(HashMap::new()),
             ctes: RefCell::new(Vec::new()),
             hash_joins,
+            rewrite: true,
         }
+    }
+
+    /// Toggle the logical rewriter for this execution (and any runtime
+    /// subquery binds it performs).
+    pub fn with_rewrite(mut self, on: bool) -> Self {
+        self.rewrite = on;
+        self
     }
 
     /// A sequential executor for one parallel worker, charging the shared
@@ -106,13 +118,14 @@ impl<'a> RowExec<'a> {
             subqueries: RefCell::new(HashMap::new()),
             ctes: RefCell::new(Vec::new()),
             hash_joins,
+            rewrite: true,
         }
     }
 
     /// Parse, bind and run a SQL query, returning output names and rows.
     pub fn run_sql(&self, sql: &str) -> EngineResult<(Vec<String>, Vec<Vec<Value>>)> {
         let q = sqalpel_sql::parse_query(sql)?;
-        let bound = Planner::new(self.db).bind(&q)?;
+        let bound = Planner::new(self.db).with_rewrite(self.rewrite).bind(&q)?;
         let rows = self.run_query(&bound, None)?;
         Ok((bound.output_names(), rows))
     }
@@ -138,7 +151,7 @@ impl<'a> RowExec<'a> {
             let rows = self.run_query(cte_query, outer)?;
             self.ctes.borrow_mut().push(CteFrame {
                 name: name.clone(),
-                cols: cte_query.output_names(),
+                cols: cte_query.output_schema(),
                 rows: Rc::new(rows),
             });
         }
@@ -192,8 +205,8 @@ impl<'a> RowExec<'a> {
         if let Some(h) = &bq.having {
             agg_exprs.push(h);
         }
-        for o in &bq.order_by {
-            agg_exprs.push(&o.expr);
+        for (k, _) in &bq.order_by {
+            agg_exprs.push(k);
         }
         let specs = collect_aggregates(&agg_exprs);
         let keys: Vec<String> = specs.iter().map(|s| s.key.clone()).collect();
@@ -287,7 +300,7 @@ impl<'a> RowExec<'a> {
         outer: Option<&Env<'_>>,
         sink: &mut dyn FnMut(&[Value]) -> EngineResult<()>,
     ) -> EngineResult<bool> {
-        let Plan::Scan { table, .. } = input else {
+        let Plan::Scan { table, live, .. } = input else {
             return Ok(false);
         };
         let Some(counter) = self.used.handle() else {
@@ -296,23 +309,20 @@ impl<'a> RowExec<'a> {
         if morsel::effective_workers(self.threads) < 2
             || outer.is_some()
             || table.row_count() < morsel::MIN_PARALLEL_ROWS
-            || !morsel::parallel_safe(predicate)
+            || !predicate.parallel_safe()
         {
             return Ok(false);
         }
         let schema = input.schema();
-        // Columns the predicate actually reads. `parallel_safe` already
-        // rejected subqueries, so `predicate.columns()` is the complete
-        // read set; every other column is materialized lazily, only for
-        // rows that survive the filter.
+        // Slots the predicate actually reads. `parallel_safe` already
+        // rejected subqueries, so `predicate.slots()` is the complete
+        // read set; every other live column is materialized lazily, only
+        // for rows that survive the filter.
         let needed: Vec<bool> = {
-            let refs = predicate.columns();
-            schema
-                .iter()
-                .map(|m| refs.iter().any(|r| r.column == m.name))
-                .collect()
+            let slots = predicate.slots();
+            (0..schema.len()).map(|i| slots.contains(&i)).collect()
         };
-        let ncols = table.columns.len();
+        let ncols = live.len();
         let db = self.db;
         let budget = self.budget;
         let hash_joins = self.hash_joins;
@@ -328,10 +338,10 @@ impl<'a> RowExec<'a> {
                 w.charge(range.len() as u64)?;
                 for i in range {
                     row.clear();
-                    row.extend(table.columns.iter().zip(&needed).map(
-                        |(c, &n)| {
+                    row.extend(live.iter().zip(&needed).map(
+                        |(&ci, &n)| {
                             if n {
-                                c.data.get(i)
+                                table.columns[ci].data.get(i)
                             } else {
                                 Value::Null
                             }
@@ -340,11 +350,11 @@ impl<'a> RowExec<'a> {
                     let env = Env::new(&schema, &row);
                     if eval_filter(predicate, &env, &ctx)? {
                         // Survivor: fill in the columns skipped above.
-                        for (cell, (c, &n)) in
-                            row.iter_mut().zip(table.columns.iter().zip(&needed))
+                        for (cell, (&ci, &n)) in
+                            row.iter_mut().zip(live.iter().zip(&needed))
                         {
                             if !n {
-                                *cell = c.data.get(i);
+                                *cell = table.columns[ci].data.get(i);
                             }
                         }
                         rows.push(std::mem::replace(&mut row, Vec::with_capacity(ncols)));
@@ -368,16 +378,16 @@ impl<'a> RowExec<'a> {
         sink: &mut dyn FnMut(&[Value]) -> EngineResult<()>,
     ) -> EngineResult<()> {
         match plan {
-            Plan::Scan { table, .. } => {
-                let cols = &table.columns;
+            Plan::Scan { table, live, .. } => {
                 // Every sink copies what it keeps, so one row buffer is
                 // reused across the whole scan instead of a fresh
-                // allocation per row.
-                let mut row: Vec<Value> = Vec::with_capacity(cols.len());
+                // allocation per row. Only live (pruned) columns are
+                // materialized.
+                let mut row: Vec<Value> = Vec::with_capacity(live.len());
                 for i in 0..table.row_count() {
                     self.charge(1)?;
                     row.clear();
-                    row.extend(cols.iter().map(|c| c.data.get(i)));
+                    row.extend(live.iter().map(|&ci| table.columns[ci].data.get(i)));
                     sink(&row)?;
                 }
                 Ok(())
@@ -458,15 +468,17 @@ impl<'a> RowExec<'a> {
         })?;
 
         // Legacy mode: fold the equality keys back into the residual and
-        // run the nested loop.
+        // run the nested loop. Right-side key slots were bound against the
+        // right schema; shift them into combined-row positions.
         let folded;
         let (equi, residual) = if self.hash_joins || equi.is_empty() {
             (equi, residual)
         } else {
-            let eq_preds = equi
+            let eq_preds: Vec<Expr> = equi
                 .iter()
-                .map(|(l, r)| Expr::eq(l.clone(), r.clone()))
-                .chain(residual.cloned());
+                .map(|(l, r)| Expr::eq_pair(l.clone(), r.shifted(left_schema.len())))
+                .chain(residual.cloned())
+                .collect();
             folded = Expr::conjoin(eq_preds);
             (&[][..], folded.as_ref())
         };
@@ -585,13 +597,17 @@ impl SubqueryRunner for RowExec<'_> {
             }
         }
         // First execution: decide correlated vs cached.
-        let cte_scope: Vec<(String, Vec<String>)> = self
+        let cte_scope: Vec<(String, Vec<(String, Ty)>)> = self
             .ctes
             .borrow()
             .iter()
             .map(|f| (f.name.clone(), f.cols.clone()))
             .collect();
-        let bound = Rc::new(Planner::with_ctes(self.db, cte_scope).bind(q)?);
+        let bound = Rc::new(
+            Planner::with_ctes(self.db, cte_scope)
+                .with_rewrite(self.rewrite)
+                .bind(q)?,
+        );
         match self.run_query(&bound, None) {
             Ok(rows) => {
                 let rows = Rc::new(rows);

@@ -1,0 +1,414 @@
+//! EXPLAIN rendering and canonical plan fingerprints.
+//!
+//! The rendered text is a deterministic, engine-independent tree of the
+//! bound (and rewritten) query — both engines share the binder and
+//! rewriter, so `RowStore` and `ColStore` produce identical EXPLAIN output
+//! for the same SQL. That makes the golden files engine-agnostic.
+//!
+//! The fingerprint is an FNV-1a 64-bit hash of a *normalized* rendering:
+//! filter conjuncts and join equi pairs are sorted lexicographically, and
+//! comparisons with a literal on the left are flipped (with the operator
+//! mirrored), so syntactic permutations of the same plan — the kind the
+//! grammar explorer's mutations produce — collide on purpose. Everything
+//! that can affect the result set (output names, expression structure,
+//! join kinds and order, DISTINCT/LIMIT, grouping, ordering) feeds the
+//! hash; everything that cannot (live-column lists, rendering whitespace)
+//! does not. Both renderings are pure functions of the plan tree, which is
+//! itself a deterministic product of parse → bind → rewrite, so a
+//! fingerprint is stable across runs, platforms and engines.
+
+use crate::ir::expr::Expr;
+use crate::plan::{BoundQuery, Plan};
+use sqalpel_sql::ast::JoinKind;
+use std::fmt::Write;
+
+/// A rendered plan with its canonical fingerprint.
+#[derive(Debug, Clone)]
+pub struct Explain {
+    pub text: String,
+    pub fingerprint: u64,
+}
+
+impl Explain {
+    /// The fingerprint as the 16-digit hex string used on the wire and in
+    /// the results table.
+    pub fn fingerprint_hex(&self) -> String {
+        format!("{:016x}", self.fingerprint)
+    }
+}
+
+/// Render a bound query and compute its fingerprint.
+pub fn explain(bq: &BoundQuery) -> Explain {
+    let mut text = String::new();
+    render_query(bq, 0, &mut text);
+    let mut canon = String::new();
+    canon_query(bq, &mut canon);
+    Explain {
+        fingerprint: fnv1a(&canon),
+        text,
+    }
+}
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+// ------------------------------------------------------------ EXPLAIN text
+
+fn indent(out: &mut String, level: usize) {
+    for _ in 0..level {
+        out.push_str("  ");
+    }
+}
+
+fn render_query(bq: &BoundQuery, level: usize, out: &mut String) {
+    indent(out, level);
+    out.push_str("select");
+    if bq.distinct {
+        out.push_str(" distinct");
+    }
+    if bq.aggregated {
+        out.push_str(" aggregate");
+    }
+    if let Some(n) = bq.limit {
+        let _ = write!(out, " limit {n}");
+    }
+    out.push('\n');
+    indent(out, level + 1);
+    out.push_str("output:");
+    for it in &bq.items {
+        let _ = write!(out, " {}={} ({})", it.name, it.expr, it.ty);
+    }
+    out.push('\n');
+    if !bq.group_by.is_empty() {
+        indent(out, level + 1);
+        out.push_str("group by:");
+        for g in &bq.group_by {
+            let _ = write!(out, " {g}");
+        }
+        out.push('\n');
+    }
+    if let Some(h) = &bq.having {
+        indent(out, level + 1);
+        let _ = writeln!(out, "having: {h}");
+    }
+    if !bq.order_by.is_empty() {
+        indent(out, level + 1);
+        out.push_str("order by:");
+        for (k, desc) in &bq.order_by {
+            let _ = write!(out, " {k}{}", if *desc { " desc" } else { "" });
+        }
+        out.push('\n');
+    }
+    for (name, body) in &bq.ctes {
+        indent(out, level + 1);
+        let _ = writeln!(out, "cte {name}:");
+        render_query(body, level + 2, out);
+    }
+    render_plan(&bq.core, level + 1, out);
+}
+
+fn render_plan(p: &Plan, level: usize, out: &mut String) {
+    match p {
+        Plan::Scan {
+            table,
+            binding,
+            live,
+        } => {
+            indent(out, level);
+            let _ = write!(out, "scan {}", table.name);
+            if binding != &table.name {
+                let _ = write!(out, " as {binding}");
+            }
+            out.push_str(" [");
+            for (i, &ci) in live.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&table.columns[ci].name);
+            }
+            out.push_str("]\n");
+        }
+        Plan::Derived { query, binding } => {
+            indent(out, level);
+            let _ = writeln!(out, "derived {binding}");
+            render_query(query, level + 1, out);
+        }
+        Plan::Cte { name, binding, .. } => {
+            indent(out, level);
+            let _ = write!(out, "cte scan {name}");
+            if binding != name {
+                let _ = write!(out, " as {binding}");
+            }
+            out.push('\n');
+        }
+        Plan::Filter { input, predicate } => {
+            indent(out, level);
+            let _ = writeln!(out, "filter {predicate}");
+            render_plan(input, level + 1, out);
+        }
+        Plan::Join {
+            left,
+            right,
+            kind,
+            equi,
+            residual,
+        } => {
+            indent(out, level);
+            let kname = match kind {
+                JoinKind::Inner => "inner",
+                JoinKind::LeftOuter => "left outer",
+            };
+            let _ = write!(out, "join {kname}");
+            if !equi.is_empty() {
+                out.push_str(" on");
+                for (i, (l, r)) in equi.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(" and");
+                    }
+                    let _ = write!(out, " {l} = {r}");
+                }
+            }
+            if let Some(r) = residual {
+                let _ = write!(out, " residual {r}");
+            }
+            out.push('\n');
+            render_plan(left, level + 1, out);
+            render_plan(right, level + 1, out);
+        }
+    }
+}
+
+// ------------------------------------------------- canonical (fingerprint)
+
+/// Normalize an expression for fingerprinting: comparisons with a literal
+/// on the left flip to literal-on-right with the operator mirrored.
+fn canon_expr(e: &Expr) -> String {
+    normalized(e).to_string()
+}
+
+fn normalized(e: &Expr) -> Expr {
+    let mut e = e.clone();
+    normalize_in_place(&mut e);
+    e
+}
+
+fn normalize_in_place(e: &mut Expr) {
+    use sqalpel_sql::ast::BinOp;
+    // Children first (normalization is structural, subqueries stay as-is).
+    match e {
+        Expr::Unary { expr, .. }
+        | Expr::Extract { expr, .. }
+        | Expr::IsNull { expr, .. }
+        | Expr::InSubquery { expr, .. } => normalize_in_place(expr),
+        Expr::Binary { left, right, .. } => {
+            normalize_in_place(left);
+            normalize_in_place(right);
+        }
+        Expr::Between {
+            expr, low, high, ..
+        } => {
+            normalize_in_place(expr);
+            normalize_in_place(low);
+            normalize_in_place(high);
+        }
+        Expr::InList { expr, list, .. } => {
+            normalize_in_place(expr);
+            for x in list {
+                normalize_in_place(x);
+            }
+        }
+        Expr::Like { expr, pattern, .. } => {
+            normalize_in_place(expr);
+            normalize_in_place(pattern);
+        }
+        Expr::Case {
+            operand,
+            branches,
+            else_branch,
+        } => {
+            if let Some(o) = operand {
+                normalize_in_place(o);
+            }
+            for (w, t) in branches {
+                normalize_in_place(w);
+                normalize_in_place(t);
+            }
+            if let Some(x) = else_branch {
+                normalize_in_place(x);
+            }
+        }
+        Expr::Function { args, .. } => {
+            for a in args {
+                normalize_in_place(a);
+            }
+        }
+        Expr::Substring {
+            expr,
+            start,
+            length,
+        } => {
+            normalize_in_place(expr);
+            normalize_in_place(start);
+            if let Some(l) = length {
+                normalize_in_place(l);
+            }
+        }
+        _ => {}
+    }
+    if let Expr::Binary { left, op, right } = e {
+        let mirrored = match op {
+            BinOp::Eq => Some(BinOp::Eq),
+            BinOp::NotEq => Some(BinOp::NotEq),
+            BinOp::Lt => Some(BinOp::Gt),
+            BinOp::LtEq => Some(BinOp::GtEq),
+            BinOp::Gt => Some(BinOp::Lt),
+            BinOp::GtEq => Some(BinOp::LtEq),
+            _ => None,
+        };
+        if let Some(m) = mirrored {
+            if matches!(left.as_ref(), Expr::Literal(_) | Expr::Bool(_))
+                && !matches!(right.as_ref(), Expr::Literal(_) | Expr::Bool(_))
+            {
+                std::mem::swap(left, right);
+                *op = m;
+            }
+        }
+    }
+}
+
+fn canon_query(bq: &BoundQuery, out: &mut String) {
+    let _ = write!(
+        out,
+        "q distinct={} agg={} limit={:?};",
+        bq.distinct, bq.aggregated, bq.limit
+    );
+    for it in &bq.items {
+        let _ = write!(out, "item {}={};", it.name, canon_expr(&it.expr));
+    }
+    for g in &bq.group_by {
+        let _ = write!(out, "group {};", canon_expr(g));
+    }
+    if let Some(h) = &bq.having {
+        let _ = write!(out, "having {};", canon_expr(h));
+    }
+    for (k, desc) in &bq.order_by {
+        let _ = write!(out, "order {} {};", canon_expr(k), desc);
+    }
+    for (name, body) in &bq.ctes {
+        let _ = write!(out, "cte {name}[");
+        canon_query(body, out);
+        out.push_str("];");
+    }
+    canon_plan(&bq.core, out);
+}
+
+fn canon_plan(p: &Plan, out: &mut String) {
+    match p {
+        Plan::Scan { table, binding, .. } => {
+            // Live-column lists are a physical detail: two fingerprints
+            // must collide whenever the result sets must agree.
+            let _ = write!(out, "scan {} {};", table.name, binding);
+        }
+        Plan::Derived { query, binding } => {
+            let _ = write!(out, "derived {binding}[");
+            canon_query(query, out);
+            out.push_str("];");
+        }
+        Plan::Cte { name, binding, .. } => {
+            let _ = write!(out, "ctescan {name} {binding};");
+        }
+        Plan::Filter { input, predicate } => {
+            let mut cs: Vec<String> = predicate.conjuncts().iter().map(|c| canon_expr(c)).collect();
+            cs.sort();
+            let _ = write!(out, "filter {};", cs.join(" AND "));
+            canon_plan(input, out);
+        }
+        Plan::Join {
+            left,
+            right,
+            kind,
+            equi,
+            residual,
+        } => {
+            let mut pairs: Vec<String> = equi
+                .iter()
+                .map(|(l, r)| format!("{}={}", canon_expr(l), canon_expr(r)))
+                .collect();
+            pairs.sort();
+            let _ = write!(out, "join {kind:?} [{}]", pairs.join(","));
+            if let Some(r) = residual {
+                let mut cs: Vec<String> =
+                    r.conjuncts().iter().map(|c| canon_expr(c)).collect();
+                cs.sort();
+                let _ = write!(out, " residual [{}]", cs.join(" AND "));
+            }
+            out.push(';');
+            out.push('(');
+            canon_plan(left, out);
+            out.push_str(")(");
+            canon_plan(right, out);
+            out.push(')');
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::Planner;
+    use crate::storage::Database;
+    use sqalpel_sql::parse_query;
+
+    fn explain_sql(sql: &str) -> Explain {
+        let db = Database::tpch(0.001, 42);
+        let q = parse_query(sql).unwrap();
+        explain(&Planner::new(&db).bind(&q).unwrap())
+    }
+
+    #[test]
+    fn fingerprints_are_stable_and_text_is_deterministic() {
+        let a = explain_sql("select n_name from nation where n_regionkey = 1");
+        let b = explain_sql("select n_name from nation where n_regionkey = 1");
+        assert_eq!(a.fingerprint, b.fingerprint);
+        assert_eq!(a.text, b.text);
+        assert_eq!(a.fingerprint_hex().len(), 16);
+    }
+
+    #[test]
+    fn flipped_comparisons_collide() {
+        let a = explain_sql("select n_name from nation where n_regionkey < 2");
+        let b = explain_sql("select n_name from nation where 2 > n_regionkey");
+        assert_eq!(a.fingerprint, b.fingerprint);
+    }
+
+    #[test]
+    fn reordered_conjuncts_collide() {
+        let a = explain_sql(
+            "select n_name from nation where n_regionkey = 1 and n_nationkey > 3",
+        );
+        let b = explain_sql(
+            "select n_name from nation where n_nationkey > 3 and n_regionkey = 1",
+        );
+        assert_eq!(a.fingerprint, b.fingerprint);
+    }
+
+    #[test]
+    fn different_predicates_do_not_collide() {
+        let a = explain_sql("select n_name from nation where n_regionkey = 1");
+        let b = explain_sql("select n_name from nation where n_regionkey = 2");
+        assert_ne!(a.fingerprint, b.fingerprint);
+    }
+
+    #[test]
+    fn output_names_feed_the_fingerprint() {
+        let a = explain_sql("select n_name as a from nation");
+        let b = explain_sql("select n_name as b from nation");
+        assert_ne!(a.fingerprint, b.fingerprint);
+    }
+}

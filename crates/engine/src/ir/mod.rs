@@ -1,0 +1,21 @@
+//! The typed logical IR shared by both engines.
+//!
+//! Binding (`crates/engine/src/plan.rs`) lowers the parser's name-based
+//! [`sqalpel_sql::ast::Expr`] into [`Expr`]: column references are resolved
+//! to *slots* (positions in the schema of the plan node the expression is
+//! evaluated against) with an inferred [`Ty`], names that do not resolve
+//! locally become explicit [`Expr::Outer`] references (resolved by climbing
+//! the runtime environment chain, which is how correlated subqueries work),
+//! and `ORDER BY` aliases become [`Expr::OutputCol`] references into the
+//! projected output row.
+//!
+//! On top of the IR sit the [`rewrite`] rules (fixed point, deterministic
+//! order) and the [`explain`] renderer with its canonical plan fingerprint.
+
+pub mod bind;
+pub mod explain;
+pub mod expr;
+pub mod rewrite;
+
+pub use explain::{explain, Explain};
+pub use expr::{Expr, Ty};

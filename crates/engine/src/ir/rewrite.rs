@@ -1,0 +1,1140 @@
+//! Rule-based plan rewriter: fixed point, deterministic rule order.
+//!
+//! Rules (applied bottom-up, then repeated until no rule fires, capped at
+//! ten passes):
+//!
+//! 1. **Constant folding** — checked integer arithmetic, boolean logic on
+//!    folded constants, `IS NULL` of literals, literal comparisons. Float
+//!    and decimal arithmetic is never folded (the engines' arithmetic modes
+//!    differ and results must stay byte-identical).
+//! 2. **Trivial-filter elimination** — `TRUE` conjuncts are dropped and
+//!    empty filters removed. `FALSE` filters are *kept*: an empty result
+//!    still has a defined shape.
+//! 3. **Duplicate conjunct elimination** — by canonical (slot-based)
+//!    rendering, keeping the first occurrence; likewise duplicate equi
+//!    pairs on joins. Subquery conjuncts are never deduplicated (their
+//!    evaluation is budgeted and cached per expression).
+//! 4. **Filter merging** — chained filters collapse into one conjunction,
+//!    inner conjuncts first (preserving evaluation order).
+//! 5. **Predicate pushdown through joins** — single-side conjuncts move
+//!    below the join (left side also through LEFT OUTER joins: null-padded
+//!    rows carry real left values, so filtering the left input is
+//!    equivalent); inner-join ON-residual conjuncts likewise.
+//! 6. **Pushdown into derived tables** — conjuncts over a derived table's
+//!    output are substituted through its projection and pushed inside,
+//!    unless the derived query aggregates or has a LIMIT.
+//! 7. **Pushdown into CTEs** — same, but only when the CTE is scanned
+//!    exactly once in the whole tree, is not shadowed, and is not
+//!    referenced by any lazily-bound subquery.
+//!
+//! Predicates containing subqueries never move (correlation binds against
+//! the environment they were planned for); predicates containing outer
+//! references never move *into* a subtree with a different local schema
+//! (outer resolution scans the local schema first).
+//!
+//! After the fixed point, [`prune`] walks the tree once computing column
+//! liveness and shrinks every [`Plan::Scan`] to its live columns.
+
+use crate::ir::bind::{collect_query_names, collect_query_tables};
+use crate::ir::expr::{Expr, Ty};
+use crate::plan::{BoundQuery, OutputItem, Plan, Schema};
+use sqalpel_sql::ast::{BinOp, JoinKind, Literal, UnaryOp};
+use std::collections::HashSet;
+use std::mem;
+
+/// Run the rewrite rules to a fixed point.
+pub fn rewrite(bq: &mut BoundQuery) {
+    for _ in 0..10 {
+        let mut changed = false;
+        pass(bq, &mut changed);
+        if !changed {
+            break;
+        }
+    }
+}
+
+fn pass(bq: &mut BoundQuery, changed: &mut bool) {
+    for (_, body) in &mut bq.ctes {
+        pass(body, changed);
+    }
+    rewrite_plan(&mut bq.core, changed);
+    for it in &mut bq.items {
+        fold(&mut it.expr, changed);
+    }
+    for g in &mut bq.group_by {
+        fold(g, changed);
+    }
+    if let Some(h) = &mut bq.having {
+        fold(h, changed);
+    }
+    for (k, _) in &mut bq.order_by {
+        fold(k, changed);
+    }
+    cte_pushdown(bq, changed);
+}
+
+fn rewrite_plan(p: &mut Plan, changed: &mut bool) {
+    match p {
+        Plan::Scan { .. } | Plan::Cte { .. } => {}
+        Plan::Derived { query, .. } => pass(query, changed),
+        Plan::Filter { input, predicate } => {
+            fold(predicate, changed);
+            rewrite_plan(input, changed);
+        }
+        Plan::Join {
+            left,
+            right,
+            equi,
+            residual,
+            ..
+        } => {
+            for (l, r) in equi.iter_mut() {
+                fold(l, changed);
+                fold(r, changed);
+            }
+            if let Some(r) = residual {
+                fold(r, changed);
+            }
+            rewrite_plan(left, changed);
+            rewrite_plan(right, changed);
+        }
+    }
+    simplify_filter(p, changed);
+    dedup_equi(p, changed);
+    push_residual_down(p, changed);
+    push_through_join(p, changed);
+    push_into_derived(p, changed);
+}
+
+/// Placeholder plan used while a node is being rebuilt in place.
+fn dummy() -> Plan {
+    Plan::Cte {
+        name: String::new(),
+        binding: String::new(),
+        schema: Vec::new(),
+    }
+}
+
+// ---------------------------------------------------------------- folding
+
+fn fold(e: &mut Expr, changed: &mut bool) {
+    // Children first.
+    match e {
+        Expr::Col { .. }
+        | Expr::Outer(_)
+        | Expr::OutputCol(_)
+        | Expr::Literal(_)
+        | Expr::Bool(_)
+        | Expr::Subquery(_)
+        | Expr::Exists { .. }
+        | Expr::Wildcard => {}
+        Expr::Unary { expr, .. }
+        | Expr::Extract { expr, .. }
+        | Expr::IsNull { expr, .. }
+        | Expr::InSubquery { expr, .. } => fold(expr, changed),
+        Expr::Binary { left, right, .. } => {
+            fold(left, changed);
+            fold(right, changed);
+        }
+        Expr::Between {
+            expr, low, high, ..
+        } => {
+            fold(expr, changed);
+            fold(low, changed);
+            fold(high, changed);
+        }
+        Expr::InList { expr, list, .. } => {
+            fold(expr, changed);
+            for x in list {
+                fold(x, changed);
+            }
+        }
+        Expr::Like { expr, pattern, .. } => {
+            fold(expr, changed);
+            fold(pattern, changed);
+        }
+        Expr::Case {
+            operand,
+            branches,
+            else_branch,
+        } => {
+            if let Some(o) = operand {
+                fold(o, changed);
+            }
+            for (w, t) in branches {
+                fold(w, changed);
+                fold(t, changed);
+            }
+            if let Some(x) = else_branch {
+                fold(x, changed);
+            }
+        }
+        Expr::Function { args, .. } => {
+            for a in args {
+                fold(a, changed);
+            }
+        }
+        Expr::Substring {
+            expr,
+            start,
+            length,
+        } => {
+            fold(expr, changed);
+            fold(start, changed);
+            if let Some(l) = length {
+                fold(l, changed);
+            }
+        }
+    }
+    if let Some(next) = fold_step(e) {
+        *e = next;
+        *changed = true;
+    }
+}
+
+/// One folding step on an already-folded node, or `None`.
+fn fold_step(e: &Expr) -> Option<Expr> {
+    match e {
+        Expr::Unary {
+            op: UnaryOp::Neg,
+            expr,
+        } => match expr.as_ref() {
+            Expr::Literal(Literal::Integer(v)) => {
+                v.checked_neg().map(|n| Expr::Literal(Literal::Integer(n)))
+            }
+            _ => None,
+        },
+        Expr::Unary {
+            op: UnaryOp::Not,
+            expr,
+        } => match expr.as_ref() {
+            Expr::Bool(b) => Some(Expr::Bool(!b)),
+            _ => None,
+        },
+        Expr::IsNull { expr, negated } => match expr.as_ref() {
+            Expr::Literal(Literal::Null) => Some(Expr::Bool(!negated)),
+            Expr::Literal(_) | Expr::Bool(_) => Some(Expr::Bool(*negated)),
+            _ => None,
+        },
+        Expr::Binary { left, op, right } => {
+            match (left.as_ref(), op, right.as_ref()) {
+                // Checked integer arithmetic only — never float/decimal
+                // (their evaluation differs per engine arithmetic mode).
+                (Expr::Literal(Literal::Integer(a)), BinOp::Plus, Expr::Literal(Literal::Integer(b))) => {
+                    a.checked_add(*b).map(|n| Expr::Literal(Literal::Integer(n)))
+                }
+                (Expr::Literal(Literal::Integer(a)), BinOp::Minus, Expr::Literal(Literal::Integer(b))) => {
+                    a.checked_sub(*b).map(|n| Expr::Literal(Literal::Integer(n)))
+                }
+                (Expr::Literal(Literal::Integer(a)), BinOp::Mul, Expr::Literal(Literal::Integer(b))) => {
+                    a.checked_mul(*b).map(|n| Expr::Literal(Literal::Integer(n)))
+                }
+                (Expr::Literal(Literal::Integer(a)), op, Expr::Literal(Literal::Integer(b)))
+                    if op.is_comparison() =>
+                {
+                    Some(Expr::Bool(cmp_holds(a.cmp(b), *op)))
+                }
+                (Expr::Literal(Literal::String(a)), op, Expr::Literal(Literal::String(b)))
+                    if op.is_comparison() =>
+                {
+                    Some(Expr::Bool(cmp_holds(a.cmp(b), *op)))
+                }
+                // Kleene absorption: FALSE dominates AND, TRUE dominates OR
+                // (row engine short-circuits the same way).
+                (Expr::Bool(false), BinOp::And, _) => Some(Expr::Bool(false)),
+                (Expr::Bool(true), BinOp::Or, _) => Some(Expr::Bool(true)),
+                // Identity elements, only when the other side is statically
+                // boolean (so TRUE AND x ≡ x even under three-valued logic).
+                (Expr::Bool(true), BinOp::And, x) | (x, BinOp::And, Expr::Bool(true))
+                    if x.ty() == Ty::Bool =>
+                {
+                    Some(x.clone())
+                }
+                (Expr::Bool(false), BinOp::Or, x) | (x, BinOp::Or, Expr::Bool(false))
+                    if x.ty() == Ty::Bool =>
+                {
+                    Some(x.clone())
+                }
+                _ => None,
+            }
+        }
+        _ => None,
+    }
+}
+
+fn cmp_holds(ord: std::cmp::Ordering, op: BinOp) -> bool {
+    use std::cmp::Ordering::*;
+    match op {
+        BinOp::Eq => ord == Equal,
+        BinOp::NotEq => ord != Equal,
+        BinOp::Lt => ord == Less,
+        BinOp::LtEq => ord != Greater,
+        BinOp::Gt => ord == Greater,
+        BinOp::GtEq => ord != Less,
+        _ => unreachable!("not a comparison"),
+    }
+}
+
+// ------------------------------------------------------- structural rules
+
+/// Merge chained filters, drop `TRUE` conjuncts, deduplicate conjuncts,
+/// and remove the filter entirely when nothing is left.
+fn simplify_filter(p: &mut Plan, changed: &mut bool) {
+    if !matches!(p, Plan::Filter { .. }) {
+        return;
+    }
+    let Plan::Filter {
+        mut input,
+        predicate,
+    } = mem::replace(p, dummy())
+    else {
+        unreachable!()
+    };
+    let mut conjs: Vec<Expr> = predicate.conjuncts().into_iter().cloned().collect();
+    while matches!(&*input, Plan::Filter { .. }) {
+        let Plan::Filter {
+            input: inner,
+            predicate: ip,
+        } = *mem::replace(&mut input, Box::new(dummy()))
+        else {
+            unreachable!()
+        };
+        let mut merged: Vec<Expr> = ip.conjuncts().into_iter().cloned().collect();
+        merged.append(&mut conjs);
+        conjs = merged;
+        input = inner;
+        *changed = true;
+    }
+    let before = conjs.len();
+    conjs.retain(|c| !matches!(c, Expr::Bool(true)));
+    let mut seen = HashSet::new();
+    conjs.retain(|c| c.contains_subquery() || seen.insert(c.to_string()));
+    if conjs.len() != before {
+        *changed = true;
+    }
+    match Expr::conjoin(conjs) {
+        Some(pred) => {
+            *p = Plan::Filter {
+                input,
+                predicate: pred,
+            }
+        }
+        None => {
+            *p = *input;
+            *changed = true;
+        }
+    }
+}
+
+fn dedup_equi(p: &mut Plan, changed: &mut bool) {
+    let Plan::Join { equi, .. } = p else { return };
+    let before = equi.len();
+    let mut seen = HashSet::new();
+    equi.retain(|(l, r)| seen.insert(format!("{l}={r}")));
+    if equi.len() != before {
+        *changed = true;
+    }
+}
+
+/// Can this conjunct move below a join boundary at all?
+fn immovable(c: &Expr, slots: &[usize]) -> bool {
+    c.contains_subquery() || slots.is_empty()
+}
+
+/// Push single-side conjuncts of a `Filter` below its `Join` input.
+fn push_through_join(p: &mut Plan, changed: &mut bool) {
+    let Plan::Filter { input, predicate } = p else {
+        return;
+    };
+    let Plan::Join {
+        left, right, kind, ..
+    } = &mut **input
+    else {
+        return;
+    };
+    let left_len = left.schema().len();
+    let mut to_left = Vec::new();
+    let mut to_right = Vec::new();
+    let mut stay = Vec::new();
+    for c in predicate.conjuncts() {
+        let slots = c.slots();
+        if immovable(c, &slots) {
+            stay.push(c.clone());
+        } else if slots.iter().all(|&s| s < left_len) {
+            // Valid through LEFT OUTER too: null-padded output rows carry
+            // real left values, and every left row appears at least once.
+            to_left.push(c.clone());
+        } else if slots.iter().all(|&s| s >= left_len) && *kind == JoinKind::Inner {
+            let mut e = c.clone();
+            e.map_slots(&|s| s - left_len);
+            to_right.push(e);
+        } else {
+            stay.push(c.clone());
+        }
+    }
+    if to_left.is_empty() && to_right.is_empty() {
+        return;
+    }
+    if let Some(pl) = Expr::conjoin(to_left) {
+        let l = mem::replace(&mut **left, dummy());
+        **left = Plan::Filter {
+            input: Box::new(l),
+            predicate: pl,
+        };
+    }
+    if let Some(pr) = Expr::conjoin(to_right) {
+        let r = mem::replace(&mut **right, dummy());
+        **right = Plan::Filter {
+            input: Box::new(r),
+            predicate: pr,
+        };
+    }
+    match Expr::conjoin(stay) {
+        Some(pred) => *predicate = pred,
+        None => {
+            let inner = mem::replace(&mut **input, dummy());
+            *p = inner;
+        }
+    }
+    *changed = true;
+}
+
+/// Push single-side conjuncts of an inner join's ON-residual below the
+/// join (for an inner join, a candidate pair rejected by a one-side
+/// residual conjunct contributes nothing either way).
+fn push_residual_down(p: &mut Plan, changed: &mut bool) {
+    let Plan::Join {
+        left,
+        right,
+        kind,
+        residual,
+        ..
+    } = p
+    else {
+        return;
+    };
+    if *kind != JoinKind::Inner {
+        return;
+    }
+    let Some(r) = residual else { return };
+    let left_len = left.schema().len();
+    let mut to_left = Vec::new();
+    let mut to_right = Vec::new();
+    let mut stay = Vec::new();
+    for c in r.conjuncts() {
+        let slots = c.slots();
+        if immovable(c, &slots) {
+            stay.push(c.clone());
+        } else if slots.iter().all(|&s| s < left_len) {
+            to_left.push(c.clone());
+        } else if slots.iter().all(|&s| s >= left_len) {
+            let mut e = c.clone();
+            e.map_slots(&|s| s - left_len);
+            to_right.push(e);
+        } else {
+            stay.push(c.clone());
+        }
+    }
+    if to_left.is_empty() && to_right.is_empty() {
+        return;
+    }
+    if let Some(pl) = Expr::conjoin(to_left) {
+        let l = mem::replace(&mut **left, dummy());
+        **left = Plan::Filter {
+            input: Box::new(l),
+            predicate: pl,
+        };
+    }
+    if let Some(pr) = Expr::conjoin(to_right) {
+        let rr = mem::replace(&mut **right, dummy());
+        **right = Plan::Filter {
+            input: Box::new(rr),
+            predicate: pr,
+        };
+    }
+    *residual = Expr::conjoin(stay);
+    *changed = true;
+}
+
+/// Can a conjunct over a derived/CTE output be substituted through the
+/// projection and pushed inside? The conjunct must not contain subqueries
+/// (their binding environment would change) or outer references (outer
+/// resolution scans the local schema first, which differs inside), and the
+/// projection expressions it references must not contain subqueries.
+fn pushable_through_items(c: &Expr, items: &[OutputItem]) -> bool {
+    !c.contains_subquery()
+        && !c.contains_outer()
+        && !c.slots().is_empty()
+        && c.slots()
+            .iter()
+            .all(|&s| !items[s].expr.contains_subquery())
+}
+
+/// `c` with every slot reference replaced by the projection expression it
+/// selects (both are evaluated against the inner core schema).
+fn substituted(c: &Expr, items: &[OutputItem]) -> Expr {
+    let mut e = c.clone();
+    replace_cols(&mut e, items);
+    e
+}
+
+fn replace_cols(e: &mut Expr, items: &[OutputItem]) {
+    if let Expr::Col { slot, .. } = e {
+        *e = items[*slot].expr.clone();
+        return;
+    }
+    match e {
+        Expr::Unary { expr, .. }
+        | Expr::Extract { expr, .. }
+        | Expr::IsNull { expr, .. }
+        | Expr::InSubquery { expr, .. } => replace_cols(expr, items),
+        Expr::Binary { left, right, .. } => {
+            replace_cols(left, items);
+            replace_cols(right, items);
+        }
+        Expr::Between {
+            expr, low, high, ..
+        } => {
+            replace_cols(expr, items);
+            replace_cols(low, items);
+            replace_cols(high, items);
+        }
+        Expr::InList { expr, list, .. } => {
+            replace_cols(expr, items);
+            for x in list {
+                replace_cols(x, items);
+            }
+        }
+        Expr::Like { expr, pattern, .. } => {
+            replace_cols(expr, items);
+            replace_cols(pattern, items);
+        }
+        Expr::Case {
+            operand,
+            branches,
+            else_branch,
+        } => {
+            if let Some(o) = operand {
+                replace_cols(o, items);
+            }
+            for (w, t) in branches {
+                replace_cols(w, items);
+                replace_cols(t, items);
+            }
+            if let Some(x) = else_branch {
+                replace_cols(x, items);
+            }
+        }
+        Expr::Function { args, .. } => {
+            for a in args {
+                replace_cols(a, items);
+            }
+        }
+        Expr::Substring {
+            expr,
+            start,
+            length,
+        } => {
+            replace_cols(expr, items);
+            replace_cols(start, items);
+            if let Some(l) = length {
+                replace_cols(l, items);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Push a filter over a derived table inside it. DISTINCT is fine (the
+/// predicate is a function of the output row, so it keeps or drops a whole
+/// duplicate class); ORDER BY is fine (filtering preserves relative
+/// order); aggregation and LIMIT are not.
+fn push_into_derived(p: &mut Plan, changed: &mut bool) {
+    let Plan::Filter { input, predicate } = p else {
+        return;
+    };
+    let Plan::Derived { query, .. } = &mut **input else {
+        return;
+    };
+    if query.aggregated || query.limit.is_some() {
+        return;
+    }
+    let mut push = Vec::new();
+    let mut stay = Vec::new();
+    for c in predicate.conjuncts() {
+        if pushable_through_items(c, &query.items) {
+            push.push(substituted(c, &query.items));
+        } else {
+            stay.push(c.clone());
+        }
+    }
+    if push.is_empty() {
+        return;
+    }
+    let core = mem::replace(&mut query.core, dummy());
+    query.core = Plan::Filter {
+        input: Box::new(core),
+        predicate: Expr::conjoin(push).expect("non-empty push list"),
+    };
+    match Expr::conjoin(stay) {
+        Some(pred) => *predicate = pred,
+        None => {
+            let inner = mem::replace(&mut **input, dummy());
+            *p = inner;
+        }
+    }
+    *changed = true;
+}
+
+// ------------------------------------------------------------ CTE pushdown
+
+/// Count scans of and declarations of a CTE name across the whole tree.
+fn count_cte(bq: &BoundQuery, name: &str, scans: &mut usize, decls: &mut usize) {
+    for (n, body) in &bq.ctes {
+        if n == name {
+            *decls += 1;
+        }
+        count_cte(body, name, scans, decls);
+    }
+    count_cte_plan(&bq.core, name, scans, decls);
+}
+
+fn count_cte_plan(p: &Plan, name: &str, scans: &mut usize, decls: &mut usize) {
+    match p {
+        Plan::Cte { name: n, .. } => {
+            if n == name {
+                *scans += 1;
+            }
+        }
+        Plan::Scan { .. } => {}
+        Plan::Derived { query, .. } => count_cte(query, name, scans, decls),
+        Plan::Filter { input, .. } => count_cte_plan(input, name, scans, decls),
+        Plan::Join { left, right, .. } => {
+            count_cte_plan(left, name, scans, decls);
+            count_cte_plan(right, name, scans, decls);
+        }
+    }
+}
+
+/// Visit every IR expression in the tree (CTE bodies and derived queries
+/// included).
+fn for_each_expr(bq: &BoundQuery, f: &mut impl FnMut(&Expr)) {
+    for (_, body) in &bq.ctes {
+        for_each_expr(body, f);
+    }
+    for_each_plan_expr(&bq.core, f);
+    for it in &bq.items {
+        f(&it.expr);
+    }
+    for g in &bq.group_by {
+        f(g);
+    }
+    if let Some(h) = &bq.having {
+        f(h);
+    }
+    for (k, _) in &bq.order_by {
+        f(k);
+    }
+}
+
+fn for_each_plan_expr(p: &Plan, f: &mut impl FnMut(&Expr)) {
+    match p {
+        Plan::Scan { .. } | Plan::Cte { .. } => {}
+        Plan::Derived { query, .. } => for_each_expr(query, f),
+        Plan::Filter { input, predicate } => {
+            f(predicate);
+            for_each_plan_expr(input, f);
+        }
+        Plan::Join {
+            left,
+            right,
+            equi,
+            residual,
+            ..
+        } => {
+            for (l, r) in equi {
+                f(l);
+                f(r);
+            }
+            if let Some(r) = residual {
+                f(r);
+            }
+            for_each_plan_expr(left, f);
+            for_each_plan_expr(right, f);
+        }
+    }
+}
+
+/// Table names referenced by any lazily-bound subquery anywhere in the
+/// tree. A CTE in this set may be scanned at runtime by a subquery, so its
+/// materialization must stay unfiltered.
+fn embedded_subquery_tables(bq: &BoundQuery, out: &mut HashSet<String>) {
+    for_each_expr(bq, &mut |top| {
+        top.visit(&mut |e| match e {
+            Expr::Subquery(q) => collect_query_tables(q, out),
+            Expr::InSubquery { query, .. } => collect_query_tables(query, out),
+            Expr::Exists { query, .. } => collect_query_tables(query, out),
+            _ => {}
+        });
+    });
+}
+
+/// Find a `Filter` directly over the (unique) scan of CTE `name` in this
+/// query's core, move its pushable conjuncts out, and return them
+/// substituted through the CTE's projection.
+fn extract_cte_filter(p: &mut Plan, name: &str, items: &[OutputItem]) -> Option<Vec<Expr>> {
+    let is_target = matches!(
+        p,
+        Plan::Filter { input, .. }
+            if matches!(&**input, Plan::Cte { name: n, .. } if n == name)
+    );
+    if is_target {
+        let Plan::Filter { input, predicate } = p else {
+            unreachable!()
+        };
+        let mut push = Vec::new();
+        let mut stay = Vec::new();
+        for c in predicate.conjuncts() {
+            if pushable_through_items(c, items) {
+                push.push(substituted(c, items));
+            } else {
+                stay.push(c.clone());
+            }
+        }
+        if push.is_empty() {
+            return None;
+        }
+        match Expr::conjoin(stay) {
+            Some(pred) => *predicate = pred,
+            None => {
+                let inner = mem::replace(&mut **input, dummy());
+                *p = inner;
+            }
+        }
+        return Some(push);
+    }
+    match p {
+        Plan::Filter { input, .. } => extract_cte_filter(input, name, items),
+        Plan::Join { left, right, .. } => {
+            if let Some(v) = extract_cte_filter(left, name, items) {
+                return Some(v);
+            }
+            extract_cte_filter(right, name, items)
+        }
+        _ => None,
+    }
+}
+
+fn cte_pushdown(bq: &mut BoundQuery, changed: &mut bool) {
+    for idx in 0..bq.ctes.len() {
+        let name = bq.ctes[idx].0.clone();
+        let (mut scans, mut decls) = (0, 0);
+        count_cte(bq, &name, &mut scans, &mut decls);
+        if scans != 1 || decls != 1 {
+            continue;
+        }
+        {
+            let body = &bq.ctes[idx].1;
+            if body.aggregated || body.distinct || body.limit.is_some() {
+                continue;
+            }
+        }
+        let mut sub_tables = HashSet::new();
+        embedded_subquery_tables(bq, &mut sub_tables);
+        if sub_tables.contains(&name) {
+            continue;
+        }
+        let items = bq.ctes[idx].1.items.clone();
+        let Some(push) = extract_cte_filter(&mut bq.core, &name, &items) else {
+            continue;
+        };
+        let body = &mut bq.ctes[idx].1;
+        let core = mem::replace(&mut body.core, dummy());
+        body.core = Plan::Filter {
+            input: Box::new(core),
+            predicate: Expr::conjoin(push).expect("non-empty push list"),
+        };
+        *changed = true;
+    }
+}
+
+// ------------------------------------------------------------------ prune
+
+/// Projection pruning via column liveness: shrink every scan to the
+/// columns actually referenced, plus a *protected* set of names that may
+/// be reached dynamically — outer references and any column name mentioned
+/// inside a lazily-bound subquery (which may turn out to be correlated
+/// into an enclosing scan).
+pub fn prune(bq: &mut BoundQuery) {
+    let mut protected = HashSet::new();
+    collect_protected(bq, &mut protected);
+    prune_query(bq, &protected);
+}
+
+fn collect_protected(bq: &BoundQuery, out: &mut HashSet<String>) {
+    for_each_expr(bq, &mut |top| {
+        top.visit(&mut |e| match e {
+            Expr::Outer(c) => {
+                out.insert(c.column.clone());
+            }
+            Expr::Subquery(q) => collect_query_names(q, out),
+            Expr::InSubquery { query, .. } => collect_query_names(query, out),
+            Expr::Exists { query, .. } => collect_query_names(query, out),
+            _ => {}
+        });
+    });
+}
+
+fn mark_used(e: &Expr, schema: &Schema, used: &mut HashSet<(String, String)>) {
+    for s in e.slots() {
+        let c = &schema[s];
+        used.insert((c.binding.clone(), c.name.clone()));
+    }
+}
+
+fn collect_used(p: &Plan, used: &mut HashSet<(String, String)>) {
+    match p {
+        Plan::Scan { .. } | Plan::Cte { .. } | Plan::Derived { .. } => {}
+        Plan::Filter { input, predicate } => {
+            mark_used(predicate, &input.schema(), used);
+            collect_used(input, used);
+        }
+        Plan::Join {
+            left,
+            right,
+            equi,
+            residual,
+            ..
+        } => {
+            let ls = left.schema();
+            let rs = right.schema();
+            for (l, r) in equi {
+                mark_used(l, &ls, used);
+                mark_used(r, &rs, used);
+            }
+            if let Some(rr) = residual {
+                let mut combined = ls.clone();
+                combined.extend(rs);
+                mark_used(rr, &combined, used);
+            }
+            collect_used(left, used);
+            collect_used(right, used);
+        }
+    }
+}
+
+fn remap(e: &mut Expr, mapping: &[Option<usize>]) {
+    e.map_slots(&|s| mapping[s].expect("pruned a live slot"));
+}
+
+fn prune_query(bq: &mut BoundQuery, protected: &HashSet<String>) {
+    let mut used: HashSet<(String, String)> = HashSet::new();
+    let core_schema = bq.core.schema();
+    for it in &bq.items {
+        mark_used(&it.expr, &core_schema, &mut used);
+    }
+    for g in &bq.group_by {
+        mark_used(g, &core_schema, &mut used);
+    }
+    if let Some(h) = &bq.having {
+        mark_used(h, &core_schema, &mut used);
+    }
+    for (k, _) in &bq.order_by {
+        mark_used(k, &core_schema, &mut used);
+    }
+    collect_used(&bq.core, &mut used);
+
+    let mapping = prune_plan(&mut bq.core, &used, protected);
+    for it in &mut bq.items {
+        remap(&mut it.expr, &mapping);
+    }
+    for g in &mut bq.group_by {
+        remap(g, &mapping);
+    }
+    if let Some(h) = &mut bq.having {
+        remap(h, &mapping);
+    }
+    for (k, _) in &mut bq.order_by {
+        remap(k, &mapping);
+    }
+    for (_, body) in &mut bq.ctes {
+        prune_query(body, protected);
+    }
+}
+
+/// Prune the subtree and return the old→new slot mapping for its schema.
+fn prune_plan(
+    p: &mut Plan,
+    used: &HashSet<(String, String)>,
+    protected: &HashSet<String>,
+) -> Vec<Option<usize>> {
+    match p {
+        Plan::Scan {
+            table,
+            binding,
+            live,
+        } => {
+            let mut mapping = vec![None; live.len()];
+            let mut new_live = Vec::new();
+            for (old_pos, &ci) in live.iter().enumerate() {
+                let name = &table.columns[ci].name;
+                if used.contains(&(binding.clone(), name.clone())) || protected.contains(name) {
+                    mapping[old_pos] = Some(new_live.len());
+                    new_live.push(ci);
+                }
+            }
+            // Keep at least one column so row counts survive (`count(*)`
+            // over a fully-pruned scan).
+            if new_live.is_empty() && !live.is_empty() {
+                new_live.push(live[0]);
+            }
+            *live = new_live;
+            mapping
+        }
+        Plan::Derived { query, .. } => {
+            // Derived output columns are never pruned (the parent indexes
+            // them positionally); prune inside instead.
+            prune_query(query, protected);
+            (0..query.items.len()).map(Some).collect()
+        }
+        Plan::Cte { schema, .. } => (0..schema.len()).map(Some).collect(),
+        Plan::Filter { input, predicate } => {
+            let m = prune_plan(input, used, protected);
+            remap(predicate, &m);
+            m
+        }
+        Plan::Join {
+            left,
+            right,
+            equi,
+            residual,
+            ..
+        } => {
+            let ml = prune_plan(left, used, protected);
+            let mr = prune_plan(right, used, protected);
+            let new_left_len = left.schema().len();
+            for (l, r) in equi.iter_mut() {
+                remap(l, &ml);
+                remap(r, &mr);
+            }
+            let mut combined: Vec<Option<usize>> = Vec::with_capacity(ml.len() + mr.len());
+            combined.extend(ml.iter().copied());
+            combined.extend(mr.iter().map(|x| x.map(|n| n + new_left_len)));
+            if let Some(rr) = residual {
+                remap(rr, &combined);
+            }
+            combined
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::Planner;
+    use crate::storage::Database;
+    use sqalpel_sql::parse_query;
+
+    fn raw(sql: &str) -> BoundQuery {
+        let db = Database::tpch(0.001, 42);
+        let q = parse_query(sql).unwrap();
+        Planner::new(&db).with_rewrite(false).bind(&q).unwrap()
+    }
+
+    fn rewritten(sql: &str) -> BoundQuery {
+        let mut bq = raw(sql);
+        rewrite(&mut bq);
+        bq
+    }
+
+    fn lit(v: i64) -> Expr {
+        Expr::Literal(Literal::Integer(v))
+    }
+
+    #[test]
+    fn folds_integer_arithmetic_and_comparisons() {
+        let mut e = Expr::Binary {
+            left: Box::new(Expr::Binary {
+                left: Box::new(lit(2)),
+                op: BinOp::Plus,
+                right: Box::new(lit(3)),
+            }),
+            op: BinOp::Gt,
+            right: Box::new(lit(4)),
+        };
+        let mut changed = false;
+        fold(&mut e, &mut changed);
+        assert!(changed);
+        assert_eq!(e, Expr::Bool(true));
+        // Overflow is left alone for the engine to report.
+        let mut e = Expr::Binary {
+            left: Box::new(lit(i64::MAX)),
+            op: BinOp::Plus,
+            right: Box::new(lit(1)),
+        };
+        changed = false;
+        fold(&mut e, &mut changed);
+        assert!(!changed);
+    }
+
+    #[test]
+    fn trivial_and_duplicate_conjuncts_are_removed() {
+        let b = rewritten(
+            "select n_name from nation \
+             where n_regionkey = 1 and n_regionkey = 1 and 1 = 1",
+        );
+        match &b.core {
+            Plan::Filter { predicate, .. } => {
+                assert_eq!(predicate.conjuncts().len(), 1, "{predicate}");
+            }
+            other => panic!("expected single filter, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn false_filters_are_kept() {
+        let b = rewritten("select n_name from nation where 1 = 2");
+        match &b.core {
+            Plan::Filter { predicate, .. } => {
+                assert_eq!(predicate.conjuncts()[0], &Expr::Bool(false))
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn on_residual_single_side_conjuncts_sink_below_inner_join() {
+        let b = rewritten(
+            "select c_custkey from customer join orders \
+             on c_custkey = o_custkey and o_totalprice > 100",
+        );
+        match &b.core {
+            Plan::Join {
+                right, residual, ..
+            } => {
+                assert!(residual.is_none());
+                assert!(matches!(&**right, Plan::Filter { .. }), "{right:?}");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn filters_push_into_derived_tables() {
+        let b = rewritten(
+            "select x from (select n_regionkey as x, n_name as y from nation) t \
+             where x > 1",
+        );
+        fn derived_has_filter(p: &Plan) -> bool {
+            match p {
+                Plan::Derived { query, .. } => matches!(query.core, Plan::Filter { .. }),
+                Plan::Filter { input, .. } => derived_has_filter(input),
+                _ => false,
+            }
+        }
+        assert!(derived_has_filter(&b.core), "{:?}", b.core);
+        // And the outer filter is gone entirely.
+        assert!(matches!(b.core, Plan::Derived { .. }), "{:?}", b.core);
+    }
+
+    #[test]
+    fn filters_push_into_nonaggregated_ctes() {
+        let b = rewritten(
+            "with t as (select n_regionkey as x, n_name from nation) \
+             select x from t where x > 1",
+        );
+        assert!(
+            matches!(b.ctes[0].1.core, Plan::Filter { .. }),
+            "{:?}",
+            b.ctes[0].1.core
+        );
+    }
+
+    #[test]
+    fn aggregated_ctes_are_not_pushed_into() {
+        let b = rewritten(
+            "with t as (select n_regionkey as x, count(*) as n from nation group by n_regionkey) \
+             select x from t where n > 1",
+        );
+        assert!(
+            !matches!(b.ctes[0].1.core, Plan::Filter { .. }),
+            "{:?}",
+            b.ctes[0].1.core
+        );
+    }
+
+    #[test]
+    fn subquery_conjuncts_never_move() {
+        let b = rewritten(
+            "select x from (select n_regionkey as x from nation) t \
+             where x in (select r_regionkey from region)",
+        );
+        match &b.core {
+            Plan::Filter { predicate, .. } => assert!(predicate.contains_subquery()),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn prune_shrinks_scans_to_live_columns() {
+        let mut b = raw("select n_name from nation");
+        rewrite(&mut b);
+        prune(&mut b);
+        match &b.core {
+            Plan::Scan { live, .. } => assert_eq!(live, &vec![1]),
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(b.items[0].expr, Expr::Col { slot: 0, .. }));
+    }
+
+    #[test]
+    fn prune_keeps_one_column_for_bare_counts() {
+        let mut b = raw("select count(*) from nation");
+        rewrite(&mut b);
+        prune(&mut b);
+        match &b.core {
+            Plan::Scan { live, .. } => assert_eq!(live.len(), 1),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn prune_protects_names_reached_by_subqueries() {
+        // s_suppkey is referenced inside the subquery and correlates into
+        // the outer scan — it must survive pruning everywhere.
+        let mut b = raw(
+            "select s_name from supplier where s_suppkey in \
+             (select ps_suppkey from partsupp where ps_suppkey = s_suppkey)",
+        );
+        rewrite(&mut b);
+        prune(&mut b);
+        fn scan_names(p: &Plan, out: &mut Vec<String>) {
+            match p {
+                Plan::Scan { table, live, .. } => {
+                    out.extend(live.iter().map(|&i| table.columns[i].name.clone()))
+                }
+                Plan::Filter { input, .. } => scan_names(input, out),
+                Plan::Join { left, right, .. } => {
+                    scan_names(left, out);
+                    scan_names(right, out);
+                }
+                _ => {}
+            }
+        }
+        let mut names = Vec::new();
+        scan_names(&b.core, &mut names);
+        assert!(names.contains(&"s_suppkey".to_string()), "{names:?}");
+        assert!(names.contains(&"s_name".to_string()), "{names:?}");
+    }
+
+    #[test]
+    fn rewrite_and_prune_handle_all_tpch_queries() {
+        let db = Database::tpch(0.001, 42);
+        for (name, sql) in sqalpel_sql::tpch::all_queries() {
+            let q = parse_query(sql).unwrap();
+            Planner::new(&db)
+                .bind(&q)
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+    }
+}

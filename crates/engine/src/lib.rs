@@ -35,6 +35,7 @@ pub mod error;
 pub mod eval;
 pub mod exec_col;
 pub mod exec_row;
+pub mod ir;
 pub mod morsel;
 pub mod output;
 pub mod plan;
@@ -44,6 +45,7 @@ pub mod value;
 
 pub use dbms::{ColStore, Dbms, RowStore, DEFAULT_BUDGET};
 pub use error::{EngineError, EngineResult};
+pub use ir::Explain;
 pub use result::ResultSet;
 pub use storage::{Database, Table};
 pub use value::Value;

@@ -26,7 +26,6 @@ use std::cell::Cell;
 use std::ops::Range;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
-use sqalpel_sql::ast::Expr;
 
 /// Rows per morsel. Small enough that a skewed predicate still load-balances
 /// across workers, large enough that per-morsel overhead (a batch header,
@@ -114,22 +113,6 @@ impl BudgetCounter {
             BudgetCounter::Shared(a) => Some(Arc::clone(a)),
         }
     }
-}
-
-/// Can `e` be evaluated by parallel workers? Subqueries hold per-execution
-/// caches (`Rc`/`RefCell` state) and must stay on the owning thread;
-/// everything else is a pure function of (row, database).
-pub fn parallel_safe(e: &Expr) -> bool {
-    let mut safe = true;
-    e.visit(&mut |x| {
-        if matches!(
-            x,
-            Expr::Subquery(_) | Expr::InSubquery { .. } | Expr::Exists { .. }
-        ) {
-            safe = false;
-        }
-    });
-    safe
 }
 
 /// Run `f` over every morsel of `0..len` on up to `threads` scoped workers
@@ -328,13 +311,4 @@ mod tests {
         assert_eq!(local.add(4), 7);
     }
 
-    #[test]
-    fn parallel_safety_detects_subqueries() {
-        let safe = sqalpel_sql::parse_expr("l_quantity < 24 and l_shipdate <= date '1998-09-02'")
-            .unwrap();
-        assert!(parallel_safe(&safe));
-        let unsafe_expr =
-            sqalpel_sql::parse_expr("l_quantity < (select avg(l_quantity) from lineitem)").unwrap();
-        assert!(!parallel_safe(&unsafe_expr));
-    }
 }

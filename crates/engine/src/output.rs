@@ -7,14 +7,14 @@
 
 use crate::error::EngineResult;
 use crate::eval::{eval, AggValues, Env, EvalCtx};
+use crate::ir::Expr;
 use crate::plan::BoundQuery;
 use crate::value::{Key, Value};
-use sqalpel_sql::ast::Expr;
 
 /// Compute sort key values for one output row.
 ///
-/// `ORDER BY` resolves select-list aliases first (`ORDER BY revenue DESC`),
-/// then falls back to evaluating the expression in the row environment.
+/// `ORDER BY` aliases were bound to output-column references at plan time
+/// ([`Expr::OutputCol`]); anything else evaluates in the row environment.
 pub fn sort_keys(
     bq: &BoundQuery,
     out: &[Value],
@@ -23,18 +23,14 @@ pub fn sort_keys(
     aggs: Option<&AggValues<'_>>,
 ) -> EngineResult<Vec<Value>> {
     let mut keys = Vec::with_capacity(bq.order_by.len());
-    for item in &bq.order_by {
-        if let Expr::Column(c) = &item.expr {
-            if c.table.is_none() {
-                if let Some(i) = bq.items.iter().position(|it| it.name == c.column) {
-                    keys.push(out[i].clone());
-                    continue;
-                }
-            }
+    for (key, _) in &bq.order_by {
+        if let Expr::OutputCol(i) = key {
+            keys.push(out[*i].clone());
+            continue;
         }
         let v = match aggs {
-            Some(a) => eval(&item.expr, env, &ctx.with_aggs(a))?,
-            None => eval(&item.expr, env, ctx)?,
+            Some(a) => eval(key, env, &ctx.with_aggs(a))?,
+            None => eval(key, env, ctx)?,
         };
         keys.push(v);
     }
@@ -74,9 +70,9 @@ pub fn finish_rows(
     }
     if !bq.order_by.is_empty() {
         produced.sort_by(|(_, ka), (_, kb)| {
-            for (i, item) in bq.order_by.iter().enumerate() {
+            for (i, (_, desc)) in bq.order_by.iter().enumerate() {
                 let o = sort_cmp(&ka[i], &kb[i]);
-                let o = if item.desc { o.reverse() } else { o };
+                let o = if *desc { o.reverse() } else { o };
                 if o != std::cmp::Ordering::Equal {
                     return o;
                 }

@@ -3,39 +3,64 @@
 //! The planner binds a parsed [`Query`] against a [`Database`] and produces
 //! a [`BoundQuery`]: a relational *core* (scans, joins, filters) plus the
 //! declarative tail (projection, grouping, having, ordering, limit) that
-//! each engine executes in its own style.
+//! each engine executes in its own style. Binding lowers every expression
+//! into the typed IR ([`crate::ir::Expr`]): column names become slots into
+//! the schema of the plan node the expression is evaluated against, with
+//! inferred [`Ty`]s; unresolved names become explicit outer references.
 //!
-//! Join planning is deliberately simple and deterministic — relations join
-//! in `FROM` order with hash joins on the equality conjuncts that connect
-//! them, exactly what the paper's target systems would do without a
-//! cost-based optimizer. Predicates that touch a single relation are pushed
-//! down to its scan; predicates containing subqueries are never pushed
-//! (their correlation needs the full row in scope).
+//! After binding, the rule-based rewriter (`crate::ir::rewrite`) runs to a
+//! fixed point — constant folding, predicate pushdown through joins and
+//! into derived tables/CTEs, duplicate conjunct elimination, trivial-filter
+//! elimination — followed by projection pruning, so scans materialize only
+//! live columns. Join planning itself stays deliberately simple and
+//! deterministic: relations join in `FROM` order with hash joins on the
+//! equality conjuncts that connect them. Predicates containing subqueries
+//! are never moved (their correlation needs the full row in scope).
 
 use crate::error::{EngineError, EngineResult};
-use crate::storage::{Database, Table};
-use sqalpel_sql::ast::{
-    Expr, JoinKind, OrderItem, Query, Select, SelectItem, TableRef,
-};
+use crate::ir::bind::{bind_expr, bind_order_key};
+use crate::ir::{self, Ty};
+use crate::storage::{ColumnType, Database, Table};
+use sqalpel_sql::ast::{Expr, JoinKind, Query, Select, SelectItem, TableRef};
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
-/// One column of a plan node's output: the relation binding it came from
-/// plus its name.
+/// One column of a plan node's output: the relation binding it came from,
+/// its name, and its inferred type.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ColMeta {
     pub binding: String,
     pub name: String,
+    pub ty: Ty,
 }
 
 /// An ordered list of output columns.
 pub type Schema = Vec<ColMeta>;
 
-/// The relational core: scans, joins and filters.
+fn ty_of(ct: ColumnType) -> Ty {
+    match ct {
+        ColumnType::Int => Ty::Int,
+        ColumnType::Decimal(_) => Ty::Decimal,
+        ColumnType::Str => Ty::Str,
+        ColumnType::Date => Ty::Date,
+        ColumnType::Float => Ty::Float,
+    }
+}
+
+/// The relational core: scans, joins and filters. All predicates are typed
+/// IR bound against the schema of the node they are evaluated on: `Filter`
+/// predicates against the input schema, `Join` equi keys against their own
+/// side, the join residual against the concatenated schema.
 #[derive(Debug, Clone)]
 pub enum Plan {
     /// Scan of a stored table under a binding (alias or table name).
-    Scan { table: Arc<Table>, binding: String },
+    /// `live` lists the materialized column indices (projection pruning
+    /// shrinks it; slot `i` of the scan schema is column `live[i]`).
+    Scan {
+        table: Arc<Table>,
+        binding: String,
+        live: Vec<usize>,
+    },
     /// Scan of a derived table (`(select ...) alias`).
     Derived {
         query: Box<BoundQuery>,
@@ -48,15 +73,15 @@ pub enum Plan {
         schema: Schema,
     },
     /// Row filter.
-    Filter { input: Box<Plan>, predicate: Expr },
+    Filter { input: Box<Plan>, predicate: ir::Expr },
     /// Join with hash keys (`equi`) and an optional residual predicate
     /// evaluated on candidate matches. Empty `equi` means a cross join.
     Join {
         left: Box<Plan>,
         right: Box<Plan>,
         kind: JoinKind,
-        equi: Vec<(Expr, Expr)>,
-        residual: Option<Expr>,
+        equi: Vec<(ir::Expr, ir::Expr)>,
+        residual: Option<ir::Expr>,
     },
 }
 
@@ -64,20 +89,24 @@ impl Plan {
     /// Output schema of this node.
     pub fn schema(&self) -> Schema {
         match self {
-            Plan::Scan { table, binding } => table
-                .columns
+            Plan::Scan { table, binding, live } => live
                 .iter()
-                .map(|c| ColMeta {
-                    binding: binding.clone(),
-                    name: c.name.clone(),
+                .map(|&i| {
+                    let c = &table.columns[i];
+                    ColMeta {
+                        binding: binding.clone(),
+                        name: c.name.clone(),
+                        ty: ty_of(c.data.column_type()),
+                    }
                 })
                 .collect(),
             Plan::Derived { query, binding } => query
-                .output_names()
-                .into_iter()
-                .map(|name| ColMeta {
+                .items
+                .iter()
+                .map(|it| ColMeta {
                     binding: binding.clone(),
-                    name,
+                    name: it.name.clone(),
+                    ty: it.ty,
                 })
                 .collect(),
             Plan::Cte { schema, .. } => schema.clone(),
@@ -99,11 +128,14 @@ impl Plan {
 /// One projected output column.
 #[derive(Debug, Clone)]
 pub struct OutputItem {
-    pub expr: Expr,
+    pub expr: ir::Expr,
     pub name: String,
+    pub ty: Ty,
 }
 
-/// A fully bound query, ready for either executor.
+/// A fully bound query, ready for either executor. All expressions are
+/// typed IR bound against the core schema (`ORDER BY` keys may instead be
+/// [`ir::Expr::OutputCol`] references into `items`).
 #[derive(Debug, Clone)]
 pub struct BoundQuery {
     /// CTEs in definition order (each may reference earlier ones).
@@ -111,9 +143,10 @@ pub struct BoundQuery {
     pub core: Plan,
     pub items: Vec<OutputItem>,
     pub distinct: bool,
-    pub group_by: Vec<Expr>,
-    pub having: Option<Expr>,
-    pub order_by: Vec<OrderItem>,
+    pub group_by: Vec<ir::Expr>,
+    pub having: Option<ir::Expr>,
+    /// `(key, descending)` pairs.
+    pub order_by: Vec<(ir::Expr, bool)>,
     pub limit: Option<u64>,
     /// True when the query computes aggregates (with or without GROUP BY).
     pub aggregated: bool,
@@ -124,13 +157,20 @@ impl BoundQuery {
     pub fn output_names(&self) -> Vec<String> {
         self.items.iter().map(|i| i.name.clone()).collect()
     }
+
+    /// `(name, type)` of the output columns, in order.
+    pub fn output_schema(&self) -> Vec<(String, Ty)> {
+        self.items.iter().map(|i| (i.name.clone(), i.ty)).collect()
+    }
 }
 
 /// Planner state: the database plus CTE names visible during binding.
 pub struct Planner<'a> {
     db: &'a Database,
     /// CTE name → output schema, for scans that target a CTE.
-    ctes: Vec<(String, Vec<String>)>,
+    ctes: Vec<(String, Vec<(String, Ty)>)>,
+    /// Whether to run the rewrite rules + projection pruning after binding.
+    rewrite: bool,
 }
 
 impl<'a> Planner<'a> {
@@ -138,6 +178,7 @@ impl<'a> Planner<'a> {
         Planner {
             db,
             ctes: Vec::new(),
+            rewrite: true,
         }
     }
 
@@ -145,17 +186,38 @@ impl<'a> Planner<'a> {
     /// subqueries at runtime, where the enclosing query's CTEs must stay
     /// visible (e.g. TPC-H Q15's `(select max(total_revenue) from
     /// revenue)`).
-    pub fn with_ctes(db: &'a Database, ctes: Vec<(String, Vec<String>)>) -> Self {
-        Planner { db, ctes }
+    pub fn with_ctes(db: &'a Database, ctes: Vec<(String, Vec<(String, Ty)>)>) -> Self {
+        Planner {
+            db,
+            ctes,
+            rewrite: true,
+        }
     }
 
-    /// Bind a parsed query.
+    /// Toggle the rewriter (on by default). With it off the binder output
+    /// runs unrewritten and unpruned — the configuration the
+    /// rewriter-equivalence suite compares against.
+    pub fn with_rewrite(mut self, on: bool) -> Self {
+        self.rewrite = on;
+        self
+    }
+
+    /// Bind a parsed query, then (unless disabled) rewrite and prune it.
     pub fn bind(&mut self, q: &Query) -> EngineResult<BoundQuery> {
+        let mut bq = self.bind_query(q)?;
+        if self.rewrite {
+            ir::rewrite::rewrite(&mut bq);
+            ir::rewrite::prune(&mut bq);
+        }
+        Ok(bq)
+    }
+
+    fn bind_query(&mut self, q: &Query) -> EngineResult<BoundQuery> {
         let cte_depth = self.ctes.len();
         let mut bound_ctes = Vec::with_capacity(q.ctes.len());
         for cte in &q.ctes {
-            let bound = self.bind(&cte.query)?;
-            self.ctes.push((cte.name.clone(), bound.output_names()));
+            let bound = self.bind_query(&cte.query)?;
+            self.ctes.push((cte.name.clone(), bound.output_schema()));
             bound_ctes.push((cte.name.clone(), bound));
         }
         let result = self.bind_select(&q.body, q, bound_ctes);
@@ -208,35 +270,44 @@ impl<'a> Planner<'a> {
             }
         }
 
-        // 3. Apply pushed-down filters.
-        let fragments: Vec<Plan> = fragments
-            .into_iter()
-            .zip(pushed)
-            .map(|(frag, preds)| match Expr::conjoin(preds) {
-                Some(p) => Plan::Filter {
-                    input: Box::new(frag),
-                    predicate: p,
-                },
-                None => frag,
-            })
-            .collect();
+        // 3. Apply pushed-down filters, lowering each conjunction against
+        // its fragment's schema.
+        let mut filtered: Vec<Plan> = Vec::with_capacity(fragments.len());
+        for (frag, preds) in fragments.into_iter().zip(pushed) {
+            match Expr::conjoin(preds) {
+                Some(p) => {
+                    let predicate = bind_expr(&p, &frag.schema())?;
+                    filtered.push(Plan::Filter {
+                        input: Box::new(frag),
+                        predicate,
+                    });
+                }
+                None => filtered.push(frag),
+            }
+        }
 
         // 4. Join fragments in FROM order, picking up connecting equi keys.
-        let mut iter = fragments.into_iter();
+        let mut iter = filtered.into_iter();
         let mut current = iter.next().expect("non-empty FROM");
         let mut current_bindings = current.bindings();
         for frag in iter {
             let right_bindings = frag.bindings();
-            let mut equi = Vec::new();
+            let mut pairs: Vec<(Expr, Expr)> = Vec::new();
             join_candidates.retain(|c| {
-                match split_equi(c, &current_bindings, &right_bindings, self, &frag_schemas) {
+                match split_equi(c, &current_bindings, &right_bindings, &frag_schemas) {
                     Some(pair) => {
-                        equi.push(pair);
+                        pairs.push(pair);
                         false
                     }
                     None => true,
                 }
             });
+            let left_schema = current.schema();
+            let right_schema = frag.schema();
+            let mut equi = Vec::with_capacity(pairs.len());
+            for (a, b) in pairs {
+                equi.push((bind_expr(&a, &left_schema)?, bind_expr(&b, &right_schema)?));
+            }
             current_bindings.extend(right_bindings);
             current = Plan::Join {
                 left: Box::new(current),
@@ -250,50 +321,78 @@ impl<'a> Planner<'a> {
         // 5. Any unconsumed join candidates become residual filters.
         residual.extend(join_candidates);
         if let Some(p) = Expr::conjoin(residual) {
+            let predicate = bind_expr(&p, &current.schema())?;
             current = Plan::Filter {
                 input: Box::new(current),
-                predicate: p,
+                predicate,
             };
         }
 
-        // 6. Projection items.
+        // 6. Projection items, lowered against the core schema.
         let core_schema = current.schema();
-        let mut items = Vec::new();
+        let mut items: Vec<OutputItem> = Vec::new();
         for item in &s.items {
             match item {
                 SelectItem::Wildcard => {
-                    for col in &core_schema {
+                    for (slot, col) in core_schema.iter().enumerate() {
                         items.push(OutputItem {
-                            expr: Expr::Column(sqalpel_sql::ColumnRef::qualified(
-                                col.binding.clone(),
-                                col.name.clone(),
-                            )),
+                            expr: ir::Expr::Col { slot, ty: col.ty },
                             name: col.name.clone(),
+                            ty: col.ty,
                         });
                     }
                 }
                 SelectItem::Expr { expr, alias } => {
+                    let bound = bind_expr(expr, &core_schema)?;
                     let name = alias.clone().unwrap_or_else(|| default_name(expr));
-                    items.push(OutputItem {
-                        expr: expr.clone(),
-                        name,
-                    });
+                    let ty = bound.ty();
+                    // Disambiguate colliding *derived* names with a
+                    // positional suffix: two unaliased expressions with the
+                    // same printed form must not produce duplicate output
+                    // names (they make derived-table schemas ambiguous).
+                    let name = if alias.is_none() && items.iter().any(|it| it.name == name) {
+                        let mut candidate = format!("{}_{}", name, items.len() + 1);
+                        while items.iter().any(|it| it.name == candidate) {
+                            candidate.push('_');
+                        }
+                        candidate
+                    } else {
+                        name
+                    };
+                    items.push(OutputItem { expr: bound, name, ty });
                 }
             }
         }
 
-        let aggregated = !s.group_by.is_empty()
+        let group_by = s
+            .group_by
+            .iter()
+            .map(|e| bind_expr(e, &core_schema))
+            .collect::<EngineResult<Vec<_>>>()?;
+        let having = s
+            .having
+            .as_ref()
+            .map(|h| bind_expr(h, &core_schema))
+            .transpose()?;
+        let item_names: Vec<String> = items.iter().map(|i| i.name.clone()).collect();
+        let order_by = q
+            .order_by
+            .iter()
+            .map(|o| Ok((bind_order_key(&o.expr, &core_schema, &item_names)?, o.desc)))
+            .collect::<EngineResult<Vec<_>>>()?;
+
+        let aggregated = !group_by.is_empty()
             || items.iter().any(|i| i.expr.contains_aggregate())
-            || s.having.as_ref().is_some_and(|h| h.contains_aggregate());
+            || having.as_ref().is_some_and(|h| h.contains_aggregate());
 
         Ok(BoundQuery {
             ctes,
             core: current,
             items,
             distinct: s.distinct,
-            group_by: s.group_by.clone(),
-            having: s.having.clone(),
-            order_by: q.order_by.clone(),
+            group_by,
+            having,
+            order_by,
             limit: q.limit,
             aggregated,
         })
@@ -307,9 +406,10 @@ impl<'a> Planner<'a> {
                 if let Some((_, cols)) = self.ctes.iter().rev().find(|(n, _)| n == name) {
                     let schema = cols
                         .iter()
-                        .map(|c| ColMeta {
+                        .map(|(c, ty)| ColMeta {
                             binding: binding.clone(),
                             name: c.clone(),
+                            ty: *ty,
                         })
                         .collect();
                     return Ok(Plan::Cte {
@@ -319,10 +419,11 @@ impl<'a> Planner<'a> {
                     });
                 }
                 let table = self.db.table(name)?.clone();
-                Ok(Plan::Scan { table, binding })
+                let live = (0..table.columns.len()).collect();
+                Ok(Plan::Scan { table, binding, live })
             }
             TableRef::Subquery { query, alias } => {
-                let bound = self.bind(query)?;
+                let bound = self.bind_query(query)?;
                 Ok(Plan::Derived {
                     query: Box::new(bound),
                     binding: alias.clone(),
@@ -344,25 +445,32 @@ impl<'a> Planner<'a> {
                 let mut residual = Vec::new();
                 for c in on.conjuncts() {
                     if !contains_subquery(c) {
-                        if let Some(pair) = split_equi(
+                        if let Some((a, b)) = split_equi(
                             c,
                             &l_bind,
                             &r_bind,
-                            self,
                             &[l_schema.clone(), r_schema.clone()],
                         ) {
-                            equi.push(pair);
+                            equi.push((bind_expr(&a, &l_schema)?, bind_expr(&b, &r_schema)?));
                             continue;
                         }
                     }
                     residual.push(c.clone());
                 }
+                let residual = match Expr::conjoin(residual) {
+                    Some(p) => {
+                        let mut combined = l_schema;
+                        combined.extend(r_schema);
+                        Some(bind_expr(&p, &combined)?)
+                    }
+                    None => None,
+                };
                 Ok(Plan::Join {
                     left: Box::new(l),
                     right: Box::new(r),
                     kind: *kind,
                     equi,
-                    residual: Expr::conjoin(residual),
+                    residual,
                 })
             }
         }
@@ -447,7 +555,6 @@ fn split_equi(
     e: &Expr,
     left: &BTreeSet<String>,
     right: &BTreeSet<String>,
-    planner: &Planner<'_>,
     schemas: &[Schema],
 ) -> Option<(Expr, Expr)> {
     let Expr::Binary {
@@ -487,7 +594,6 @@ fn split_equi(
                 _ => return None,
             }
         }
-        let _ = planner; // reserved for future catalog-assisted resolution
         if sides.len() == 1 {
             sides.into_iter().next()
         } else {
@@ -506,29 +612,48 @@ mod tests {
     use super::*;
     use sqalpel_sql::parse_query;
 
+    /// Full pipeline: bind + rewrite + prune (what the engines execute).
     fn plan(sql: &str) -> BoundQuery {
         let db = Database::tpch(0.001, 42);
         let q = parse_query(sql).unwrap();
         Planner::new(&db).bind(&q).unwrap()
     }
 
+    /// Binder output only — for tests asserting binder-level shapes.
+    fn plan_raw(sql: &str) -> BoundQuery {
+        let db = Database::tpch(0.001, 42);
+        let q = parse_query(sql).unwrap();
+        Planner::new(&db).with_rewrite(false).bind(&q).unwrap()
+    }
+
     #[test]
     fn scan_schema_carries_binding() {
-        let b = plan("select n_name from nation");
+        let b = plan_raw("select n_name from nation");
         let schema = b.core.schema();
         assert_eq!(schema[1].binding, "nation");
         assert_eq!(schema[1].name, "n_name");
+        assert_eq!(schema[1].ty, Ty::Str);
+        assert_eq!(schema[0].ty, Ty::Int);
+    }
+
+    #[test]
+    fn pruned_scan_keeps_only_live_columns() {
+        let b = plan("select n_name from nation");
+        let schema = b.core.schema();
+        assert_eq!(schema.len(), 1, "{schema:?}");
+        assert_eq!(schema[0].name, "n_name");
+        assert!(matches!(&b.items[0].expr, ir::Expr::Col { slot: 0, .. }));
     }
 
     #[test]
     fn alias_becomes_binding() {
-        let b = plan("select l.l_tax from lineitem l");
+        let b = plan_raw("select l.l_tax from lineitem l");
         assert!(b.core.bindings().contains("l"));
     }
 
     #[test]
     fn single_table_predicates_are_pushed_down() {
-        let b = plan(
+        let b = plan_raw(
             "select n_name from nation, region \
              where n_regionkey = r_regionkey and r_name = 'EUROPE'",
         );
@@ -544,7 +669,7 @@ mod tests {
 
     #[test]
     fn equi_join_keys_extracted() {
-        let b = plan(
+        let b = plan_raw(
             "select c_name from customer, orders, lineitem \
              where c_custkey = o_custkey and l_orderkey = o_orderkey",
         );
@@ -560,15 +685,21 @@ mod tests {
 
     #[test]
     fn subquery_predicates_stay_residual() {
-        let b = plan(
-            "select s_name from supplier \
-             where s_suppkey in (select ps_suppkey from partsupp) and s_nationkey = 3",
-        );
-        // IN-subquery must not be pushed below anything: top is a filter
-        // whose predicate contains the subquery.
-        match &b.core {
-            Plan::Filter { predicate, .. } => assert!(contains_subquery(predicate)),
-            other => panic!("{other:?}"),
+        for b in [
+            plan_raw(
+                "select s_name from supplier \
+                 where s_suppkey in (select ps_suppkey from partsupp) and s_nationkey = 3",
+            ),
+            // The rewriter must not move subquery predicates either.
+            plan(
+                "select s_name from supplier \
+                 where s_suppkey in (select ps_suppkey from partsupp) and s_nationkey = 3",
+            ),
+        ] {
+            match &b.core {
+                Plan::Filter { predicate, .. } => assert!(predicate.contains_subquery()),
+                other => panic!("{other:?}"),
+            }
         }
     }
 
@@ -588,6 +719,28 @@ mod tests {
     }
 
     #[test]
+    fn duplicate_default_names_get_positional_suffixes() {
+        let b = plan_raw("select count(*), count(*), n_name, n_name from nation group by n_name");
+        assert_eq!(b.items[0].name, "count(*)");
+        assert_eq!(b.items[1].name, "count(*)_2");
+        assert_eq!(b.items[2].name, "n_name");
+        assert_eq!(b.items[3].name, "n_name_4");
+        // Aliased duplicates are the user's choice and stay untouched.
+        let b = plan_raw("select n_name as x, n_regionkey as x from nation");
+        assert_eq!(b.items[0].name, "x");
+        assert_eq!(b.items[1].name, "x");
+    }
+
+    #[test]
+    fn order_by_alias_binds_to_output_column() {
+        let b = plan_raw(
+            "select n_regionkey as k, count(*) as n from nation group by n_regionkey order by n desc, n_regionkey",
+        );
+        assert!(matches!(b.order_by[0], (ir::Expr::OutputCol(1), true)));
+        assert!(matches!(b.order_by[1], (ir::Expr::Col { .. }, false)));
+    }
+
+    #[test]
     fn aggregation_detected_without_group_by() {
         let b = plan("select sum(l_quantity) from lineitem");
         assert!(b.aggregated);
@@ -597,22 +750,31 @@ mod tests {
 
     #[test]
     fn left_outer_join_on_split() {
-        let b = plan(
-            "select c_custkey from customer left outer join orders \
-             on c_custkey = o_custkey and o_comment not like '%x%'",
-        );
-        match &b.core {
-            Plan::Join {
-                kind,
-                equi,
-                residual,
-                ..
-            } => {
-                assert_eq!(*kind, JoinKind::LeftOuter);
-                assert_eq!(equi.len(), 1);
-                assert!(residual.is_some());
+        for b in [
+            plan_raw(
+                "select c_custkey from customer left outer join orders \
+                 on c_custkey = o_custkey and o_comment not like '%x%'",
+            ),
+            // The ON-residual of an outer join affects *matching*, not
+            // filtering — the rewriter must leave it on the join.
+            plan(
+                "select c_custkey from customer left outer join orders \
+                 on c_custkey = o_custkey and o_comment not like '%x%'",
+            ),
+        ] {
+            match &b.core {
+                Plan::Join {
+                    kind,
+                    equi,
+                    residual,
+                    ..
+                } => {
+                    assert_eq!(*kind, JoinKind::LeftOuter);
+                    assert_eq!(equi.len(), 1);
+                    assert!(residual.is_some());
+                }
+                other => panic!("{other:?}"),
             }
-            other => panic!("{other:?}"),
         }
     }
 
@@ -679,5 +841,6 @@ mod tests {
         let schema = b.core.schema();
         assert!(schema.iter().all(|c| c.binding == "t"));
         assert_eq!(schema[1].name, "c_count");
+        assert_eq!(schema[1].ty, Ty::Int);
     }
 }

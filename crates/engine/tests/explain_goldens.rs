@@ -1,0 +1,105 @@
+//! EXPLAIN golden files for the full TPC-H and SSB flights.
+//!
+//! Every query's rendered plan (and its canonical fingerprint) is pinned
+//! in `tests/goldens/explain/`. The rewriter is deterministic, so any
+//! drift in the goldens means a rule changed plan shapes — which must be
+//! a conscious decision, re-blessed with `SQALPEL_BLESS=1` (or
+//! `./ci.sh explain-goldens --bless`).
+//!
+//! Both engines share the binder and rewriter, so the suite also asserts
+//! RowStore and ColStore produce byte-identical EXPLAIN output.
+
+use sqalpel_engine::{ColStore, Database, Dbms, RowStore};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("goldens")
+        .join("explain")
+}
+
+fn golden_name(query: &str) -> String {
+    format!(
+        "{}.txt",
+        query.to_lowercase().replace(['.', '-'], "_")
+    )
+}
+
+fn check_flight(db: Arc<Database>, queries: &[(&str, &str)]) {
+    let bless = std::env::var_os("SQALPEL_BLESS").is_some();
+    let row = RowStore::new(db.clone());
+    let col = ColStore::new(db);
+    let dir = golden_dir();
+    if bless {
+        std::fs::create_dir_all(&dir).unwrap();
+    }
+    let mut drifted = Vec::new();
+    for (name, sql) in queries {
+        let a = row
+            .explain(sql)
+            .unwrap_or_else(|e| panic!("{name} failed to explain on rowstore: {e}"));
+        let b = col
+            .explain(sql)
+            .unwrap_or_else(|e| panic!("{name} failed to explain on colstore: {e}"));
+        assert_eq!(
+            a.text, b.text,
+            "{name}: engines disagree on EXPLAIN text"
+        );
+        assert_eq!(
+            a.fingerprint, b.fingerprint,
+            "{name}: engines disagree on fingerprint"
+        );
+        let rendered = format!("fingerprint: {}\n{}", a.fingerprint_hex(), a.text);
+        let path = dir.join(golden_name(name));
+        if bless {
+            std::fs::write(&path, &rendered).unwrap();
+            continue;
+        }
+        let golden = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("{name}: missing golden {}: {e}", path.display()));
+        if golden != rendered {
+            drifted.push(format!(
+                "{name}: EXPLAIN drifted from {}\n--- golden ---\n{golden}\n--- actual ---\n{rendered}",
+                path.display()
+            ));
+        }
+    }
+    assert!(
+        drifted.is_empty(),
+        "{} golden(s) drifted; re-bless with SQALPEL_BLESS=1 if intended\n\n{}",
+        drifted.len(),
+        drifted.join("\n")
+    );
+}
+
+#[test]
+fn tpch_explain_matches_goldens() {
+    // Tiny scale factor: goldens depend only on the schema, not the data.
+    let db = Arc::new(Database::tpch(0.001, 42));
+    check_flight(db, &sqalpel_sql::tpch::all_queries());
+}
+
+#[test]
+fn ssb_explain_matches_goldens() {
+    let db = Arc::new(Database::ssb(0.001, 42));
+    check_flight(db, &sqalpel_sql::ssb::all_queries());
+}
+
+#[test]
+fn goldens_cover_the_whole_flight() {
+    // 22 TPC-H + 8 SSB golden files, no strays.
+    let mut files: Vec<String> = std::fs::read_dir(golden_dir())
+        .expect("golden dir exists")
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .collect();
+    files.sort();
+    let mut expected: Vec<String> = sqalpel_sql::tpch::all_queries()
+        .iter()
+        .chain(sqalpel_sql::ssb::all_queries().iter())
+        .map(|(name, _)| golden_name(name))
+        .collect();
+    expected.sort();
+    assert_eq!(files, expected);
+}
