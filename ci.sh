@@ -10,10 +10,13 @@ set -eux
 explain_goldens() {
     if [ "${1:-}" = "--bless" ]; then
         SQALPEL_BLESS=1 cargo test -q --release -p sqalpel-engine --test explain_goldens
+        SQALPEL_BLESS=1 cargo test -q --release -p sqalpel-engine --test explain_analyze_goldens analyze_slice
         # Re-check: blessed goldens must round-trip clean.
         cargo test -q --release -p sqalpel-engine --test explain_goldens
+        cargo test -q --release -p sqalpel-engine --test explain_analyze_goldens
     else
         cargo test -q --release -p sqalpel-engine --test explain_goldens
+        cargo test -q --release -p sqalpel-engine --test explain_analyze_goldens
     fi
 }
 
@@ -34,6 +37,12 @@ explain_goldens
 # Every logical rewrite must be result-preserving, byte-for-byte, on both
 # engines at 1 and 4 workers.
 cargo test -q --release -p sqalpel-engine --test rewriter_equivalence
+# Profiling must be observation-only: both flights, both engines, 1 and 4
+# workers, profiler on vs off — identical results and row counts.
+cargo test -q --release -p sqalpel-engine --test metrics_invariance
+# The merge algebra under the profiler and the metrics histograms.
+cargo test -q --release -p sqalpel-engine --test profile_props
+cargo test -q --release -p sqalpel-core --test metrics_props
 # Clippy over the whole workspace, including the ir module (bind/rewrite/
 # explain) that both engines now lower from.
 cargo clippy --workspace --all-targets -- -D warnings

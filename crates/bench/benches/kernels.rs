@@ -146,6 +146,13 @@ fn bench_partitioned_aggregation(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("colstore", t), &sql, |b, sql| {
             b.iter(|| col.execute(black_box(sql)).unwrap())
         });
+        // Profiler-on companion: the gap between this and the plain
+        // variant is the full cost of operator profiling; the plain
+        // variant itself carries the profiler-off hooks, whose overhead
+        // must stay within noise of the pre-profiler numbers.
+        g.bench_with_input(BenchmarkId::new("colstore-profiled", t), &sql, |b, sql| {
+            b.iter(|| col.execute_analyzed(black_box(sql)).unwrap())
+        });
     }
     g.finish();
 }

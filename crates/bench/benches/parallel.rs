@@ -31,6 +31,14 @@ fn bench_scan(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("rowstore", t), &sql, |b, sql| {
             b.iter(|| row.execute(black_box(sql)).unwrap())
         });
+        // Profiler-on companions: per-morsel shard recording rides the
+        // parallel scan path, so its cost shows up here if anywhere.
+        g.bench_with_input(BenchmarkId::new("colstore-profiled", t), &sql, |b, sql| {
+            b.iter(|| col.execute_analyzed(black_box(sql)).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("rowstore-profiled", t), &sql, |b, sql| {
+            b.iter(|| row.execute_analyzed(black_box(sql)).unwrap())
+        });
     }
     g.finish();
 }

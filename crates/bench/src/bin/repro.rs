@@ -4,6 +4,7 @@
 //! repro table1 | table2 | fig1 | fig2 | fig3 | fig4 | fig5 | fig6 | fig7 | ablation | parallel [--smoke] | wire | all
 //! repro serve [addr]                          # demo platform over HTTP (default 127.0.0.1:7878)
 //! repro contribute <addr> <key> [dbms] [host] # drain the queue as a remote contributor
+//! repro metrics [addr]                        # print a server's /v1/metrics snapshot
 //! ```
 //!
 //! Environment: `SQALPEL_SF` sets the base TPC-H scale factor (default
@@ -25,6 +26,10 @@ fn main() {
             contribute(&args);
             return;
         }
+        "metrics" => {
+            metrics(args.get(1).map(String::as_str));
+            return;
+        }
         _ => {}
     }
     let known = [
@@ -35,6 +40,7 @@ fn main() {
         eprintln!("usage: repro [{}]", known.join(" | "));
         eprintln!("       repro serve [addr]");
         eprintln!("       repro contribute <addr> <key> [dbms] [host]");
+        eprintln!("       repro metrics [addr]");
         std::process::exit(2);
     }
     let t0 = Instant::now();
@@ -123,6 +129,65 @@ fn serve(addr: &str) {
     println!("  POST http://{local}/v1/result/report  {{\"key\": ..., \"task\": ..., \"outcome\": ...}}");
     loop {
         std::thread::park();
+    }
+}
+
+/// `repro metrics [addr]`: fetch `GET /v1/metrics` from a running server
+/// and print the snapshot. Without an address, spins up a loopback demo
+/// (bootstrap + one drained experiment) and prints the metrics that run
+/// produced, so the output format can be inspected offline.
+fn metrics(addr: Option<&str>) {
+    use sqalpel_core::{
+        bootstrap_server, DriverConfig, EngineConnector, ExperimentDriver, SqalpelServer,
+        WireClient, WireConfig, WireServer, Worker,
+    };
+    use sqalpel_engine::{Database, RowStore};
+    use std::net::ToSocketAddrs;
+
+    let client = match addr {
+        Some(addr) => {
+            let addr = addr
+                .to_socket_addrs()
+                .ok()
+                .and_then(|mut a| a.next())
+                .unwrap_or_else(|| {
+                    eprintln!("cannot resolve address {addr}");
+                    std::process::exit(2);
+                });
+            WireClient::new(addr)
+        }
+        None => {
+            // Loopback demo: serve a bootstrapped platform, drain one
+            // experiment through the wire, and read back the metrics the
+            // run left behind. The WireServer thread is leaked — the
+            // process exits right after printing.
+            let server = Arc::new(SqalpelServer::new());
+            let boot = bootstrap_server(&server, 4, 42).expect("bootstrap demo projects");
+            let exp = boot.tpch_experiments.first().expect("a demo experiment").1;
+            server
+                .enqueue_experiment(boot.tpch, exp, boot.admin)
+                .expect("enqueue");
+            let wire = WireServer::start(Arc::clone(&server), "127.0.0.1:0", WireConfig::default())
+                .expect("bind loopback");
+            let client = WireClient::new(wire.local_addr());
+            let key = server.issue_key(boot.admin).expect("contributor key");
+            let db = Arc::new(Database::tpch(0.002, 42));
+            let driver = ExperimentDriver::new(
+                EngineConnector::new(Arc::new(RowStore::new(db))),
+                DriverConfig::parse("dbms = rowstore-2.0\nhost = bench-server\nrepetitions = 2")
+                    .expect("driver config"),
+            );
+            sqalpel_core::run_worker_pool(&client, vec![Worker::new(key, driver)]);
+            std::mem::forget(wire);
+            client
+        }
+    };
+    match client.metrics() {
+        Ok(snap) => print!("{}", sqalpel_bench::format_metrics(&snap)),
+        Err(e) => {
+            eprintln!("metrics fetch failed: {e}");
+            std::process::exit(1);
+        }
     }
 }
 

@@ -607,6 +607,30 @@ pub fn parallel_report_opts(smoke: bool) -> String {
 
 // ----------------------------------------------------- wire benchmark
 
+/// Render a [`sqalpel_core::MetricsSnapshot`] as the two-section text
+/// report printed by `repro metrics`.
+pub fn format_metrics(snap: &sqalpel_core::MetricsSnapshot) -> String {
+    let mut out = String::from("## Server metrics\n\ncounters:\n");
+    if snap.counters.is_empty() {
+        out.push_str("  (none)\n");
+    }
+    for (name, n) in &snap.counters {
+        let _ = writeln!(out, "  {name} = {n}");
+    }
+    out.push_str("\nhistograms (nanoseconds):\n");
+    if snap.histograms.is_empty() {
+        out.push_str("  (none)\n");
+    }
+    for (name, h) in &snap.histograms {
+        let _ = writeln!(
+            out,
+            "  {name}: count={} sum={} p50<={} p95<={} p99<={}",
+            h.count, h.sum, h.p50, h.p95, h.p99
+        );
+    }
+    out
+}
+
 /// Nearest-rank percentile over an ascending-sorted slice.
 fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
     if sorted_ms.is_empty() {

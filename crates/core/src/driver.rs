@@ -32,6 +32,58 @@ pub trait Connector: Send + Sync {
         let _ = sql;
         None
     }
+    /// Per-operator profile (EXPLAIN ANALYZE), for systems that expose
+    /// one. Runs the query once more with the profiler on, so the driver
+    /// only calls it *after* the timed repetitions.
+    fn profile(&self, sql: &str) -> Option<Vec<OperatorProfile>> {
+        let _ = sql;
+        None
+    }
+}
+
+/// One operator's row of an executed profile — the wire-facing mirror of
+/// `sqalpel_engine::OpProfile`, flattened so the platform crate owns its
+/// own serialization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OperatorProfile {
+    /// Operator label, e.g. `"scan lineitem"`, `"join inner"`.
+    pub op: String,
+    pub rows_in: u64,
+    pub rows_out: u64,
+    pub batches: u64,
+    pub nanos: u64,
+}
+
+impl Serialize for OperatorProfile {
+    fn to_value(&self) -> Value {
+        let mut m = serde_json::Map::new();
+        m.insert("op".into(), self.op.clone().into());
+        m.insert("rows_in".into(), self.rows_in.into());
+        m.insert("rows_out".into(), self.rows_out.into());
+        m.insert("batches".into(), self.batches.into());
+        m.insert("nanos".into(), self.nanos.into());
+        Value::Object(m)
+    }
+}
+
+impl Deserialize for OperatorProfile {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        let num = |k: &str| -> Result<u64, String> {
+            v[k].as_i64()
+                .map(|n| n as u64)
+                .ok_or_else(|| format!("operator profile: missing {k}"))
+        };
+        Ok(OperatorProfile {
+            op: v["op"]
+                .as_str()
+                .ok_or("operator profile: missing op")?
+                .to_string(),
+            rows_in: num("rows_in")?,
+            rows_out: num("rows_out")?,
+            batches: num("batches")?,
+            nanos: num("nanos")?,
+        })
+    }
 }
 
 /// Connector over an in-repo engine.
@@ -59,6 +111,22 @@ impl Connector for EngineConnector {
 
     fn fingerprint(&self, sql: &str) -> Option<u64> {
         self.dbms.explain(sql).ok().map(|e| e.fingerprint)
+    }
+
+    fn profile(&self, sql: &str) -> Option<Vec<OperatorProfile>> {
+        let plan = self.dbms.explain_analyze(sql).ok()?;
+        Some(
+            plan.ops
+                .into_iter()
+                .map(|o| OperatorProfile {
+                    op: o.op,
+                    rows_in: o.metrics.rows_in,
+                    rows_out: o.metrics.rows_out,
+                    batches: o.metrics.batches,
+                    nanos: o.metrics.nanos,
+                })
+                .collect(),
+        )
     }
 }
 
@@ -178,6 +246,9 @@ pub struct RunOutcome {
     pub extras: serde_json::Value,
     /// Plan fingerprint from the connector, when available.
     pub fingerprint: Option<u64>,
+    /// Per-operator profile from the connector's EXPLAIN ANALYZE, when
+    /// available. Collected outside the timed repetitions.
+    pub profile: Option<Vec<OperatorProfile>>,
 }
 
 impl Serialize for RunOutcome {
@@ -199,6 +270,13 @@ impl Serialize for RunOutcome {
             "fingerprint".into(),
             match self.fingerprint {
                 Some(fp) => Value::from(format!("{fp:016x}")),
+                None => Value::Null,
+            },
+        );
+        m.insert(
+            "profile".into(),
+            match &self.profile {
+                Some(ops) => Value::Array(ops.iter().map(|o| o.to_value()).collect()),
                 None => Value::Null,
             },
         );
@@ -226,6 +304,16 @@ impl Deserialize for RunOutcome {
             fingerprint: v["fingerprint"]
                 .as_str()
                 .and_then(|s| u64::from_str_radix(s, 16).ok()),
+            // Absent-tolerant: outcomes serialized before profiles
+            // existed deserialize to None.
+            profile: match &v["profile"] {
+                Value::Array(ops) => Some(
+                    ops.iter()
+                        .map(OperatorProfile::from_value)
+                        .collect::<Result<_, _>>()?,
+                ),
+                _ => None,
+            },
         })
     }
 }
@@ -267,6 +355,13 @@ impl<C: Connector> ExperimentDriver<C> {
                 }
             }
         }
+        // Profile after the timed loop so the profiler run never
+        // pollutes the reported wall-clock times.
+        let profile = if error.is_none() {
+            self.connector.profile(sql)
+        } else {
+            None
+        };
         let load_after = read_loadavg();
         let extras = serde_json::json!({
             "driver": "sqalpel-rs",
@@ -282,6 +377,7 @@ impl<C: Connector> ExperimentDriver<C> {
             load_after,
             extras,
             fingerprint,
+            profile,
         }
     }
 }
@@ -367,6 +463,13 @@ mod tests {
             load_after: LoadAvg::default(),
             extras: serde_json::json!({"connector": "mockdb-1.0"}),
             fingerprint: Some(0x1234_5678_9abc_def0),
+            profile: Some(vec![OperatorProfile {
+                op: "scan nation".into(),
+                rows_in: 25,
+                rows_out: 25,
+                batches: 1,
+                nanos: 12_345,
+            }]),
         };
         let text = serde_json::to_string(&outcome).unwrap();
         let back: RunOutcome = serde_json::from_str(&text).unwrap();
@@ -376,6 +479,14 @@ mod tests {
         assert_eq!(back.load_before, outcome.load_before);
         assert_eq!(back.extras["connector"], "mockdb-1.0");
         assert_eq!(back.fingerprint, Some(0x1234_5678_9abc_def0));
+        assert_eq!(back.profile, outcome.profile);
+
+        // Pre-profile payloads (no "profile" member) deserialize to None.
+        let legacy: RunOutcome = serde_json::from_str(
+            &text.replace("\"profile\":[", "\"ignored\":["),
+        )
+        .unwrap();
+        assert_eq!(legacy.profile, None);
 
         let failed = RunOutcome { error: Some("boom".into()), ..outcome };
         let back: RunOutcome =

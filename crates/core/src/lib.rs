@@ -30,6 +30,7 @@ pub mod bootstrap;
 pub mod catalog;
 pub mod driver;
 pub mod error;
+pub mod metrics;
 pub mod pool;
 pub mod project;
 pub mod queue;
@@ -43,9 +44,11 @@ pub mod workers;
 pub use bootstrap::{bootstrap_server, Bootstrap};
 pub use catalog::{Catalogs, DbmsEntry, HostEntry, Visibility};
 pub use driver::{
-    Connector, DriverConfig, EngineConnector, ExperimentDriver, MockConnector, RemoteConnector,
+    Connector, DriverConfig, EngineConnector, ExperimentDriver, MockConnector, OperatorProfile,
+    RemoteConnector, RunOutcome,
 };
 pub use error::{PlatformError, PlatformResult};
+pub use metrics::{Histogram, HistogramSummary, MetricsRegistry, MetricsSnapshot};
 pub use pool::{Fingerprinter, Guidance, Origin, PoolEntry, QueryId, QueryPool, Strategy};
 pub use project::{Experiment, ExperimentId, Project, ProjectId, Role};
 pub use queue::{QueueSummary, Task, TaskId, TaskQueue, TaskState};

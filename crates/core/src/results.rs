@@ -6,6 +6,7 @@
 //! these results private until sufficient clarification has been obtained
 //! from the contributor."
 
+use crate::driver::OperatorProfile;
 use crate::pool::QueryId;
 use crate::project::{ExperimentId, ProjectId};
 use crate::queue::TaskId;
@@ -72,6 +73,12 @@ pub struct ResultRecord {
     /// EXPLAIN, when it has one. Lets post-processing group queries that
     /// are syntactically distinct but plan-equivalent.
     pub fingerprint: Option<u64>,
+    /// Per-operator EXPLAIN ANALYZE profile from the contributor's
+    /// system, when it has one — lets post-processing attribute a
+    /// discriminative query to the operator that diverged. Kept out of
+    /// the CSV export (the column set there is pinned); consumers read
+    /// it from the JSON records.
+    pub profile: Option<Vec<OperatorProfile>>,
 }
 
 impl Serialize for ResultRecord {
@@ -101,6 +108,13 @@ impl Serialize for ResultRecord {
             "fingerprint".into(),
             match self.fingerprint {
                 Some(fp) => Value::from(format!("{fp:016x}")),
+                None => Value::Null,
+            },
+        );
+        m.insert(
+            "profile".into(),
+            match &self.profile {
+                Some(ops) => Value::Array(ops.iter().map(|o| o.to_value()).collect()),
                 None => Value::Null,
             },
         );
@@ -145,6 +159,14 @@ impl Deserialize for ResultRecord {
             fingerprint: v["fingerprint"]
                 .as_str()
                 .and_then(|s| u64::from_str_radix(s, 16).ok()),
+            profile: match &v["profile"] {
+                Value::Array(ops) => Some(
+                    ops.iter()
+                        .map(OperatorProfile::from_value)
+                        .collect::<Result<_, _>>()?,
+                ),
+                _ => None,
+            },
         })
     }
 }
@@ -305,6 +327,7 @@ pub fn record(
         extras: serde_json::Value::Null,
         hidden: false,
         fingerprint: None,
+        profile: None,
     }
 }
 
@@ -383,11 +406,19 @@ mod tests {
         let mut r = sample(0, vec![1.0, 2.0], None);
         r.extras = serde_json::json!({"cache_hits": 42});
         r.fingerprint = Some(0x00ab_cdef_0123_4567);
+        r.profile = Some(vec![OperatorProfile {
+            op: "filter".into(),
+            rows_in: 100,
+            rows_out: 10,
+            batches: 1,
+            nanos: 5_000,
+        }]);
         let text = serde_json::to_string(&r).unwrap();
         let back: ResultRecord = serde_json::from_str(&text).unwrap();
         assert_eq!(back.extras["cache_hits"], 42);
         assert_eq!(back.times_ms, vec![1.0, 2.0]);
         assert_eq!(back.fingerprint, Some(0x00ab_cdef_0123_4567));
+        assert_eq!(back.profile, r.profile);
     }
 
     #[test]

@@ -10,6 +10,7 @@
 
 use crate::catalog::{Catalogs, DbmsEntry, HostEntry, Visibility};
 use crate::error::{PlatformError, PlatformResult};
+use crate::metrics::MetricsRegistry;
 use crate::pool::{QueryId, Strategy};
 use crate::project::{ExperimentId, Project, ProjectId, Role};
 use crate::queue::{QueueSummary, Task, TaskId, TaskQueue, TaskState};
@@ -44,6 +45,13 @@ pub trait Platform: Send + Sync {
 
     /// Per-state task counts.
     fn queue_summary(&self) -> PlatformResult<QueueSummary>;
+
+    /// The platform's metrics registry, for instrumented callers like
+    /// the worker pool. Remote implementations (the wire client) return
+    /// `None` — their server keeps the registry.
+    fn metrics(&self) -> Option<&MetricsRegistry> {
+        None
+    }
 }
 
 struct State {
@@ -57,6 +65,8 @@ struct State {
 /// The platform server.
 pub struct SqalpelServer {
     state: RwLock<State>,
+    /// Sharded, so instrumentation never contends with the state lock.
+    metrics: MetricsRegistry,
 }
 
 impl Default for SqalpelServer {
@@ -76,7 +86,13 @@ impl SqalpelServer {
                 queue: TaskQueue::new(),
                 results: ResultStore::new(),
             }),
+            metrics: MetricsRegistry::new(),
         }
+    }
+
+    /// The server's metrics registry (also served as `GET /v1/metrics`).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
     }
 
     // ------------------------------------------------------------- users
@@ -327,27 +343,31 @@ impl SqalpelServer {
         dbms_label: &str,
         host: &str,
     ) -> PlatformResult<Option<Task>> {
-        let mut st = self.state.write();
-        let user = st
-            .users
-            .resolve_key(key)
-            .ok_or_else(|| PlatformError::AccessDenied("unknown contributor key".into()))?;
-        if let Some(held) = st.queue.running_claim(key, dbms_label, host) {
-            return Ok(Some(held.clone()));
-        }
-        // Only tasks for this exact (dbms, host) target are visited — the
-        // queue serves them from its hand-out index.
-        let candidate = st.queue.queued_for(dbms_label, host).into_iter().find(|id| {
-            let t = st.queue.task(*id).expect("indexed task exists");
-            st.projects
-                .iter()
-                .find(|p| p.id == t.project)
-                .is_some_and(|p| p.role_of(user) >= Role::Contributor && !p.taken_down)
-        });
-        match candidate {
-            Some(id) => Ok(Some(st.queue.claim(id, key)?)),
-            None => Ok(None),
-        }
+        self.metrics.time("server.request_task_nanos", || {
+            self.metrics.incr("server.request_task");
+            let mut st = self.state.write();
+            let user = st
+                .users
+                .resolve_key(key)
+                .ok_or_else(|| PlatformError::AccessDenied("unknown contributor key".into()))?;
+            if let Some(held) = st.queue.running_claim(key, dbms_label, host) {
+                self.metrics.incr("server.request_task.rehandout");
+                return Ok(Some(held.clone()));
+            }
+            // Only tasks for this exact (dbms, host) target are visited — the
+            // queue serves them from its hand-out index.
+            let candidate = st.queue.queued_for(dbms_label, host).into_iter().find(|id| {
+                let t = st.queue.task(*id).expect("indexed task exists");
+                st.projects
+                    .iter()
+                    .find(|p| p.id == t.project)
+                    .is_some_and(|p| p.role_of(user) >= Role::Contributor && !p.taken_down)
+            });
+            match candidate {
+                Some(id) => Ok(Some(st.queue.claim(id, key)?)),
+                None => Ok(None),
+            }
+        })
     }
 
     /// The driver's "report back" call.
@@ -363,39 +383,44 @@ impl SqalpelServer {
         task_id: TaskId,
         outcome: RunOutcome,
     ) -> PlatformResult<usize> {
-        let mut st = self.state.write();
-        // The idempotency check applies only when this key does NOT hold
-        // the task: a running claim means this is a fresh report (e.g. the
-        // task failed, was requeued and re-claimed by the same key), not a
-        // retry of an accepted one.
-        let held_by_key = matches!(
-            &st.queue.task(task_id)?.state,
-            TaskState::Running { contributor } if contributor == key
-        );
-        if !held_by_key {
-            if let Some(existing) = st.results.index_of(task_id, &key.0) {
-                return Ok(existing);
+        self.metrics.time("server.report_result_nanos", || {
+            let mut st = self.state.write();
+            // The idempotency check applies only when this key does NOT hold
+            // the task: a running claim means this is a fresh report (e.g. the
+            // task failed, was requeued and re-claimed by the same key), not a
+            // retry of an accepted one.
+            let held_by_key = matches!(
+                &st.queue.task(task_id)?.state,
+                TaskState::Running { contributor } if contributor == key
+            );
+            if !held_by_key {
+                if let Some(existing) = st.results.index_of(task_id, &key.0) {
+                    self.metrics.incr("server.report_result.duplicate");
+                    return Ok(existing);
+                }
             }
-        }
-        st.queue.complete(task_id, key, outcome.error.clone())?;
-        let task = st.queue.task(task_id)?.clone();
-        let mut rec: ResultRecord = record(
-            task_id,
-            task.project,
-            task.experiment,
-            task.query,
-            &task.dbms_label,
-            &task.host,
-            key,
-            outcome.times_ms,
-            outcome.rows,
-            outcome.error,
-        );
-        rec.load_before = outcome.load_before;
-        rec.load_after = outcome.load_after;
-        rec.extras = outcome.extras;
-        rec.fingerprint = outcome.fingerprint;
-        Ok(st.results.push(rec))
+            st.queue.complete(task_id, key, outcome.error.clone())?;
+            let task = st.queue.task(task_id)?.clone();
+            let mut rec: ResultRecord = record(
+                task_id,
+                task.project,
+                task.experiment,
+                task.query,
+                &task.dbms_label,
+                &task.host,
+                key,
+                outcome.times_ms,
+                outcome.rows,
+                outcome.error,
+            );
+            rec.load_before = outcome.load_before;
+            rec.load_after = outcome.load_after;
+            rec.extras = outcome.extras;
+            rec.fingerprint = outcome.fingerprint;
+            rec.profile = outcome.profile;
+            self.metrics.incr("server.report_result.accepted");
+            Ok(st.results.push(rec))
+        })
     }
 
     /// Reap stuck runs (moderator cron).
@@ -530,6 +555,10 @@ impl Platform for SqalpelServer {
 
     fn queue_summary(&self) -> PlatformResult<QueueSummary> {
         Ok(SqalpelServer::queue_summary(self))
+    }
+
+    fn metrics(&self) -> Option<&MetricsRegistry> {
+        Some(SqalpelServer::metrics(self))
     }
 }
 
@@ -776,6 +805,7 @@ mod tests {
             load_after: Default::default(),
             extras: serde_json::Value::Null,
             fingerprint: None,
+            profile: None,
         };
         assert!(server.report_result(&other, first.id, late).is_err());
     }

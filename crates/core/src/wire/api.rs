@@ -33,6 +33,14 @@
 //! | `GET  /v1/queue/summary`                           | → `QueueSummary` |
 //! | `POST /v1/queue/reap`                              | `{timeout_ms}` → `{reaped}` |
 //! | `POST /v1/task/{t}/requeue`                        | `{}` → `{}` |
+//! | `GET  /v1/metrics`                                 | → `MetricsSnapshot` |
+//!
+//! Every request is counted into the server's
+//! [`MetricsRegistry`](crate::metrics::MetricsRegistry) under
+//! `wire.requests`, a per-route counter (`wire.route.<METHOD /path>`,
+//! with numeric segments normalized to `:id`), a status-class counter
+//! (`wire.status.2xx` …) and a per-route latency histogram
+//! (`wire.latency.<METHOD /path>`), all served back by `GET /v1/metrics`.
 
 use crate::catalog::{DbmsEntry, HostEntry, Visibility};
 use crate::driver::RunOutcome;
@@ -134,11 +142,41 @@ fn query_u64(req: &Request, key: &str) -> PlatformResult<u64> {
 
 /// Dispatch one parsed request against the server. Never panics on
 /// malformed input — every failure becomes a typed error response.
+/// Every call is instrumented into the server's metrics registry.
 pub fn handle(server: &SqalpelServer, req: &Request) -> Response {
-    match route(server, req) {
+    let label = route_label(req);
+    let start = std::time::Instant::now();
+    let resp = match route(server, req) {
         Ok(resp) => resp,
         Err(e) => error_response(status_of(&e), &e),
-    }
+    };
+    let metrics = server.metrics();
+    metrics.incr("wire.requests");
+    metrics.incr(&format!("wire.route.{label}"));
+    metrics.incr(&format!("wire.status.{}xx", resp.status / 100));
+    metrics.observe_nanos(
+        &format!("wire.latency.{label}"),
+        start.elapsed().as_nanos() as u64,
+    );
+    resp
+}
+
+/// A bounded-cardinality metric label for a request: the method plus the
+/// path with numeric segments normalized to `:id`, so `/v1/project/7` and
+/// `/v1/project/9` share one counter.
+fn route_label(req: &Request) -> String {
+    let parts: Vec<&str> = req
+        .segments()
+        .iter()
+        .map(|seg| {
+            if !seg.is_empty() && seg.chars().all(|c| c.is_ascii_digit()) {
+                ":id"
+            } else {
+                *seg
+            }
+        })
+        .collect();
+    format!("{} /{}", req.method, parts.join("/"))
 }
 
 fn route(server: &SqalpelServer, req: &Request) -> PlatformResult<Response> {
@@ -329,6 +367,7 @@ fn route(server: &SqalpelServer, req: &Request) -> PlatformResult<Response> {
             Ok(ok(obj(vec![("index", index.into())])))
         }
         ("GET", ["v1", "queue", "summary"]) => Ok(ok(server.queue_summary().to_value())),
+        ("GET", ["v1", "metrics"]) => Ok(ok(server.metrics().snapshot().to_value())),
         ("POST", ["v1", "queue", "reap"]) => {
             let timeout = Duration::from_millis(need_u64(&body, "timeout_ms")?);
             let reaped: Vec<Value> = server
@@ -419,6 +458,27 @@ mod tests {
         let resp = handle(&server, &get("/v1/queue/summary", vec![]));
         let summary: QueueSummary = QueueSummary::from_value(&body_of(&resp)).unwrap();
         assert_eq!(summary.total(), 0);
+    }
+
+    #[test]
+    fn metrics_endpoint_reports_instrumented_routes() {
+        let server = SqalpelServer::new();
+        handle(&server, &get("/v1/queue/summary", vec![]));
+        // Numeric segments collapse to one :id label per route.
+        handle(&server, &get("/v1/project/7/role", vec![("user", "1")]));
+        handle(&server, &get("/v1/project/9/role", vec![("user", "1")]));
+        let resp = handle(&server, &get("/v1/metrics", vec![]));
+        assert_eq!(resp.status, 200);
+        let snap = crate::metrics::MetricsSnapshot::from_value(&body_of(&resp)).unwrap();
+        assert_eq!(snap.counter("wire.route.GET /v1/queue/summary"), Some(1));
+        assert_eq!(snap.counter("wire.route.GET /v1/project/:id/role"), Some(2));
+        assert_eq!(snap.counter("wire.requests"), Some(3));
+        assert_eq!(
+            snap.histogram("wire.latency.GET /v1/queue/summary")
+                .unwrap()
+                .count,
+            1
+        );
     }
 
     #[test]

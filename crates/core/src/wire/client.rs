@@ -26,6 +26,7 @@
 use crate::catalog::{DbmsEntry, HostEntry, Visibility};
 use crate::driver::RunOutcome;
 use crate::error::{PlatformError, PlatformResult};
+use crate::metrics::MetricsSnapshot;
 use crate::pool::{QueryId, Strategy};
 use crate::project::{ExperimentId, ProjectId, Role};
 use crate::queue::{QueueSummary, Task, TaskId};
@@ -438,6 +439,12 @@ impl WireClient {
     pub fn queue_summary(&self) -> PlatformResult<QueueSummary> {
         let v = self.get("/v1/queue/summary")?;
         QueueSummary::from_value(&v).map_err(PlatformError::Transport)
+    }
+
+    /// The server's metrics snapshot (`GET /v1/metrics`).
+    pub fn metrics(&self) -> PlatformResult<MetricsSnapshot> {
+        let v = self.get("/v1/metrics")?;
+        MetricsSnapshot::from_value(&v).map_err(PlatformError::Transport)
     }
 
     pub fn reap_stuck(&self, timeout: Duration) -> PlatformResult<Vec<TaskId>> {

@@ -100,10 +100,26 @@ pub fn run_worker_pool<C: Connector, P: Platform + ?Sized>(
                             Ok(None) => break,
                             Err(_) => break,
                         };
+                        let run_started = Instant::now();
                         let outcome = w.driver.run(&task.sql);
-                        match server.report_result(&w.key, task.id, outcome) {
-                            Ok(_) => completed += 1,
-                            Err(_) => rejected += 1,
+                        if let Some(metrics) = server.metrics() {
+                            metrics.observe_nanos(
+                                "pool.task_nanos",
+                                run_started.elapsed().as_nanos() as u64,
+                            );
+                        }
+                        let accepted = server.report_result(&w.key, task.id, outcome).is_ok();
+                        if accepted {
+                            completed += 1;
+                        } else {
+                            rejected += 1;
+                        }
+                        if let Some(metrics) = server.metrics() {
+                            metrics.incr(if accepted {
+                                "pool.tasks_completed"
+                            } else {
+                                "pool.tasks_rejected"
+                            });
                         }
                     }
                     WorkerReport {
@@ -201,6 +217,16 @@ mod tests {
         let s = server.queue_summary();
         assert_eq!((s.queued, s.running, s.timed_out), (0, 0, 0));
         assert_eq!(s.finished + s.failed, total);
+
+        // The pool instrumented the server's registry as it drained.
+        let snap = server.metrics().snapshot();
+        assert_eq!(snap.counter("pool.tasks_completed"), Some(total as u64));
+        assert_eq!(snap.counter("pool.tasks_rejected"), None);
+        assert_eq!(snap.histogram("pool.task_nanos").unwrap().count, total as u64);
+        assert_eq!(
+            snap.counter("server.report_result.accepted"),
+            Some(total as u64)
+        );
     }
 
     #[test]

@@ -1,0 +1,118 @@
+//! Property tests for the metrics registry's histogram algebra.
+//!
+//! Histograms are merged across registry shards when a snapshot is cut,
+//! so the merge must be associative and commutative and must conserve
+//! counts and sums; quantiles must be monotone in `q` and bound every
+//! recorded sample they claim to bound.
+
+use proptest::prelude::*;
+use sqalpel_core::Histogram;
+
+/// Deterministically expand a seed into `len` samples spanning many
+/// orders of magnitude (log₂ buckets make uniform draws uninteresting).
+fn samples_from_seed(seed: u64, len: usize) -> Vec<u64> {
+    let mut x = seed | 1;
+    let mut next = || {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        x >> 33
+    };
+    (0..len)
+        .map(|_| {
+            let magnitude = next() % 30;
+            next() % (1u64 << magnitude).max(1)
+        })
+        .collect()
+}
+
+fn histogram_of(samples: &[u64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &v in samples {
+        h.record(v);
+    }
+    h
+}
+
+fn arb_samples2() -> impl Strategy<Value = (Vec<u64>, Vec<u64>)> {
+    (any::<u64>(), any::<u64>(), 0usize..200, 0usize..200).prop_map(|(s1, s2, l1, l2)| {
+        (samples_from_seed(s1, l1), samples_from_seed(s2, l2))
+    })
+}
+
+fn arb_samples3() -> impl Strategy<Value = (Vec<u64>, Vec<u64>, Vec<u64>)> {
+    (any::<u64>(), any::<u64>(), any::<u64>(), 0usize..200).prop_map(|(s1, s2, s3, len)| {
+        (
+            samples_from_seed(s1, len),
+            samples_from_seed(s2, len / 2 + 1),
+            samples_from_seed(s3, len / 3 + 2),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// a ⊕ b == b ⊕ a.
+    #[test]
+    fn merge_is_commutative(samples in arb_samples2()) {
+        let (xs, ys) = samples;
+        let (a, b) = (histogram_of(&xs), histogram_of(&ys));
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(ab, ba);
+    }
+
+    /// (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c), and both equal recording every
+    /// sample into one histogram.
+    #[test]
+    fn merge_is_associative_and_equals_single_pass(samples in arb_samples3()) {
+        let (xs, ys, zs) = samples;
+        let (a, b, c) = (histogram_of(&xs), histogram_of(&ys), histogram_of(&zs));
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a;
+        right.merge(&bc);
+        prop_assert_eq!(&left, &right);
+
+        let all: Vec<u64> = xs.iter().chain(&ys).chain(&zs).copied().collect();
+        prop_assert_eq!(left, histogram_of(&all));
+    }
+
+    /// Merging conserves count and sum exactly.
+    #[test]
+    fn merge_conserves_count_and_sum(samples in arb_samples2()) {
+        let (xs, ys) = samples;
+        let (a, b) = (histogram_of(&xs), histogram_of(&ys));
+        let mut merged = a.clone();
+        merged.merge(&b);
+        prop_assert_eq!(merged.count(), a.count() + b.count());
+        prop_assert_eq!(merged.sum(), a.sum() + b.sum());
+        prop_assert_eq!(merged.count(), (xs.len() + ys.len()) as u64);
+        prop_assert_eq!(merged.sum(), xs.iter().chain(&ys).sum::<u64>());
+    }
+
+    /// quantile is monotone in q, and the reported bound really bounds
+    /// at least ⌈q·count⌉ of the recorded samples.
+    #[test]
+    fn quantiles_are_monotone_and_sound(input in (arb_samples2(), 1u32..101, 1u32..101)) {
+        let ((xs, _), a, b) = input;
+        let h = histogram_of(&xs);
+        let (lo, hi) = (a.min(b) as f64 / 100.0, a.max(b) as f64 / 100.0);
+        prop_assert!(h.quantile(lo) <= h.quantile(hi));
+
+        if !xs.is_empty() {
+            let bound = h.quantile(lo);
+            let target = (lo * xs.len() as f64).ceil() as usize;
+            let covered = xs.iter().filter(|&&v| v <= bound).count();
+            prop_assert!(
+                covered >= target.clamp(1, xs.len()),
+                "quantile({}) = {} covers {} of {} samples, needs {}",
+                lo, bound, covered, xs.len(), target
+            );
+        }
+    }
+}

@@ -254,6 +254,84 @@ fn worker_pool_runs_unchanged_against_a_wire_client() {
     assert_eq!(summary.terminal(), total);
 }
 
+/// `GET /v1/metrics` after a contribute run: the snapshot carries the
+/// wire/server instrumentation, every counter and histogram is monotone
+/// across requests, and an injected-drop retry storm never
+/// double-counts an accepted report — retried reports land in the
+/// `duplicate` counter, not in `accepted`.
+#[test]
+fn metrics_endpoint_is_monotone_and_drop_safe_over_the_wire() {
+    let server = Arc::new(SqalpelServer::new());
+    let wire = start_wire(&server);
+
+    let admin = WireClient::new(wire.local_addr()).with_retry(fast_retry());
+    let owner = admin.register_user("mlk", "mlk@cwi.nl").unwrap();
+    let project = admin
+        .create_project(owner, "metered", "metrics over wire", Visibility::Public)
+        .unwrap();
+    admin
+        .set_targets(project, owner, vec![DBMS.into()], vec![HOST.into()])
+        .unwrap();
+    let exp = admin
+        .add_experiment(project, owner, "nation", SQL, None, 1000, 100)
+        .unwrap();
+    admin.seed_pool(project, exp, owner, 1, 5).unwrap();
+    let total = admin.enqueue_experiment(project, exp, owner).unwrap();
+
+    // Drain with a flaky client: every second connection drops after the
+    // request is written, so the server processes it, the client never
+    // hears back and retries — claims get re-handed, reports go through
+    // the idempotent duplicate path.
+    let key = admin.issue_key(owner).unwrap();
+    let flaky = WireClient::new(wire.local_addr())
+        .with_retry(fast_retry())
+        .inject_drop_every(2);
+    let d = driver();
+    while let Some(task) = flaky.request_task(&key, DBMS, HOST).unwrap() {
+        flaky.report_result(&key, task.id, &d.run(&task.sql)).unwrap();
+    }
+
+    let snap = flaky.metrics().unwrap();
+
+    // The retry storm reached the server, but every task was accepted
+    // exactly once; the replays are all accounted for as duplicates.
+    assert_eq!(
+        snap.counter("server.report_result.accepted"),
+        Some(total as u64),
+        "accepted reports must equal tasks despite retries"
+    );
+    assert!(snap.counter("server.report_result.duplicate").unwrap_or(0) >= 1);
+    let claims = snap.counter("server.request_task").unwrap();
+    assert!(claims > total as u64, "dropped claims were replayed");
+
+    // Wire-level instrumentation is present for the routes we exercised,
+    // with latency histograms to match.
+    assert!(snap.counter("wire.requests").unwrap() >= claims);
+    assert!(snap.counter("wire.route.POST /v1/task/request").is_some());
+    assert!(snap.counter("wire.route.POST /v1/result/report").is_some());
+    assert!(snap.counter("wire.status.2xx").is_some());
+    let lat = snap.histogram("wire.latency.POST /v1/result/report").unwrap();
+    assert!(lat.count >= total as u64 && lat.sum > 0);
+    assert!(snap.histogram("server.report_result_nanos").unwrap().count >= total as u64);
+
+    // Monotonicity: more traffic can only grow every counter and
+    // histogram — and must grow the request counter.
+    admin.queue_summary().unwrap();
+    let later = flaky.metrics().unwrap();
+    for (name, n) in &snap.counters {
+        assert!(
+            later.counter(name).unwrap_or(0) >= *n,
+            "counter {name} went backwards"
+        );
+    }
+    for (name, h) in &snap.histograms {
+        let grown = later.histogram(name).unwrap();
+        assert!(grown.count >= h.count, "histogram {name} lost samples");
+        assert!(grown.sum >= h.sum, "histogram {name} lost time");
+    }
+    assert!(later.counter("wire.requests").unwrap() > snap.counter("wire.requests").unwrap());
+}
+
 /// Every error family crosses the wire as its exact typed variant, and
 /// the moderation/catalog surface works end to end remotely.
 #[test]

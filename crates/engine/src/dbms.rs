@@ -17,12 +17,31 @@ use crate::exec_row::RowExec;
 use crate::ir::{self, Explain};
 use crate::morsel;
 use crate::plan::Planner;
+use crate::profile::NodeMetrics;
 use crate::result::ResultSet;
 use crate::storage::Database;
 use std::sync::Arc;
 
 /// Default execution budget: rows an execution may touch before aborting.
 pub const DEFAULT_BUDGET: u64 = 200_000_000;
+
+/// One operator's metrics row in an executed profile, in EXPLAIN render
+/// order — the shape the platform ships over the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpProfile {
+    /// Operator label, e.g. `"scan lineitem"`, `"join inner"`.
+    pub op: String,
+    pub metrics: NodeMetrics,
+}
+
+/// The product of EXPLAIN ANALYZE: the annotated EXPLAIN tree plus the
+/// flat per-operator rows. The fingerprint is the plain EXPLAIN
+/// fingerprint — profiling never changes plan identity.
+#[derive(Debug, Clone)]
+pub struct AnalyzedPlan {
+    pub explain: Explain,
+    pub ops: Vec<OpProfile>,
+}
 
 /// A benchmarkable target system.
 pub trait Dbms: Send + Sync {
@@ -40,6 +59,16 @@ pub trait Dbms: Send + Sync {
         let _ = sql;
         Err(EngineError::Unsupported(
             "EXPLAIN not supported by this system".into(),
+        ))
+    }
+
+    /// Execute `sql` with the profiler on and render the EXPLAIN tree
+    /// annotated with per-operator metrics. Systems without a profiler
+    /// keep the default error.
+    fn explain_analyze(&self, sql: &str) -> EngineResult<AnalyzedPlan> {
+        let _ = sql;
+        Err(EngineError::Unsupported(
+            "EXPLAIN ANALYZE not supported by this system".into(),
         ))
     }
 
@@ -123,6 +152,27 @@ impl RowStore {
     pub fn database(&self) -> &Arc<Database> {
         &self.db
     }
+
+    /// Execute with the profiler on, returning both the result set and
+    /// the annotated plan. The invariance suite checks the rows are
+    /// byte-identical to a profiler-off `execute`.
+    pub fn execute_analyzed(&self, sql: &str) -> EngineResult<(ResultSet, AnalyzedPlan)> {
+        let q = sqalpel_sql::parse_query(sql)?;
+        let bound = Planner::new(&self.db).with_rewrite(self.rewrite).bind(&q)?;
+        let exec = RowExec::with_threads(&self.db, self.budget, self.hash_joins, self.threads)
+            .with_rewrite(self.rewrite)
+            .with_profiler();
+        let rows = exec.run_query(&bound, None)?;
+        let profile = exec.take_profile();
+        let plan = AnalyzedPlan {
+            explain: ir::explain_analyze(&bound, &profile),
+            ops: ir::profile_ops(&bound, &profile)
+                .into_iter()
+                .map(|(op, metrics)| OpProfile { op, metrics })
+                .collect(),
+        };
+        Ok((ResultSet::new(bound.output_names(), rows), plan))
+    }
 }
 
 impl Dbms for RowStore {
@@ -143,6 +193,10 @@ impl Dbms for RowStore {
 
     fn explain(&self, sql: &str) -> EngineResult<Explain> {
         explain_sql(&self.db, sql, self.rewrite)
+    }
+
+    fn explain_analyze(&self, sql: &str) -> EngineResult<AnalyzedPlan> {
+        self.execute_analyzed(sql).map(|(_, plan)| plan)
     }
 }
 
@@ -191,6 +245,27 @@ impl ColStore {
     pub fn database(&self) -> &Arc<Database> {
         &self.db
     }
+
+    /// Execute with the profiler on, returning both the result set and
+    /// the annotated plan. The invariance suite checks the rows are
+    /// byte-identical to a profiler-off `execute`.
+    pub fn execute_analyzed(&self, sql: &str) -> EngineResult<(ResultSet, AnalyzedPlan)> {
+        let q = sqalpel_sql::parse_query(sql)?;
+        let bound = Planner::new(&self.db).with_rewrite(self.rewrite).bind(&q)?;
+        let exec = ColExec::with_threads(&self.db, self.budget, self.threads)
+            .with_rewrite(self.rewrite)
+            .with_profiler();
+        let rows = exec.run_query(&bound, None)?;
+        let profile = exec.take_profile();
+        let plan = AnalyzedPlan {
+            explain: ir::explain_analyze(&bound, &profile),
+            ops: ir::profile_ops(&bound, &profile)
+                .into_iter()
+                .map(|(op, metrics)| OpProfile { op, metrics })
+                .collect(),
+        };
+        Ok((ResultSet::new(bound.output_names(), rows), plan))
+    }
 }
 
 impl Dbms for ColStore {
@@ -211,6 +286,10 @@ impl Dbms for ColStore {
 
     fn explain(&self, sql: &str) -> EngineResult<Explain> {
         explain_sql(&self.db, sql, self.rewrite)
+    }
+
+    fn explain_analyze(&self, sql: &str) -> EngineResult<AnalyzedPlan> {
+        self.execute_analyzed(sql).map(|(_, plan)| plan)
     }
 }
 
@@ -269,6 +348,41 @@ mod tests {
         let col1 = ColStore::new(db.clone()).with_threads(1).execute(sql).unwrap();
         let col4 = ColStore::new(db).with_threads(4).execute(sql).unwrap();
         assert!(col1.approx_eq(&col4, 0.0), "\n{col1}\nvs\n{col4}");
+    }
+
+    #[test]
+    fn explain_analyze_agrees_across_engines_and_keeps_the_fingerprint() {
+        let db = tpch();
+        let sql = "select l_returnflag, count(*) from lineitem \
+                   where l_quantity < 24 group by l_returnflag order by l_returnflag";
+        let row = RowStore::new(db.clone()).with_threads(1);
+        let col = ColStore::new(db).with_threads(1);
+        let (r_rows, r_plan) = row.execute_analyzed(sql).unwrap();
+        let (c_rows, c_plan) = col.execute_analyzed(sql).unwrap();
+        // Profiling changes no result bytes.
+        assert!(r_rows.approx_eq(&row.execute(sql).unwrap(), 0.0));
+        assert!(c_rows.approx_eq(&col.execute(sql).unwrap(), 0.0));
+        // ANALYZE never changes plan identity.
+        let plain = row.explain(sql).unwrap();
+        assert_eq!(r_plan.explain.fingerprint, plain.fingerprint);
+        assert_eq!(c_plan.explain.fingerprint, plain.fingerprint);
+        // Rows and batches agree across engines at threads=1; only the
+        // timings are engine-specific.
+        let strip = |ops: &[OpProfile]| {
+            ops.iter()
+                .map(|o| {
+                    (
+                        o.op.clone(),
+                        o.metrics.rows_in,
+                        o.metrics.rows_out,
+                        o.metrics.batches,
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(strip(&r_plan.ops), strip(&c_plan.ops));
+        assert!(r_plan.explain.text.contains("rows_in="), "{}", r_plan.explain.text);
+        assert!(!plain.text.contains("rows_in="));
     }
 
     #[test]

@@ -24,6 +24,7 @@ use crate::ir::{Expr, Ty};
 use crate::morsel::{self, BudgetCounter};
 use crate::output::finish_rows;
 use crate::plan::{BoundQuery, Plan, Planner, Schema};
+use crate::profile::{self, NodeMetrics, ProfileShard, Profiler};
 use crate::storage::{ColumnData, Database, Table};
 use crate::value::{self, ArithMode, Key, Value};
 use sqalpel_sql::ast::{BinOp, JoinKind, Query, UnaryOp};
@@ -33,6 +34,7 @@ use std::ops::Range;
 use std::rc::Rc;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 const MODE: ArithMode = ArithMode::GuardedDecimal;
 
@@ -200,6 +202,9 @@ pub struct ColExec<'a> {
     /// Whether the logical rewriter runs on bound plans (on by default;
     /// the equivalence suites turn it off to diff against raw plans).
     rewrite: bool,
+    /// Per-node metrics collection; `None` (the default) keeps every
+    /// operator on an early-return path with no metrics code at all.
+    profiler: Option<Profiler>,
 }
 
 impl<'a> ColExec<'a> {
@@ -226,6 +231,7 @@ impl<'a> ColExec<'a> {
             subqueries: RefCell::new(HashMap::new()),
             ctes: RefCell::new(Vec::new()),
             rewrite: true,
+            profiler: None,
         }
     }
 
@@ -236,8 +242,26 @@ impl<'a> ColExec<'a> {
         self
     }
 
+    /// Collect per-node metrics during execution; retrieve the profile
+    /// with [`Self::take_profile`] afterwards.
+    pub fn with_profiler(mut self) -> Self {
+        self.profiler = Some(Profiler::new());
+        self
+    }
+
+    /// The metrics accumulated so far, draining the profiler. Empty when
+    /// profiling was never enabled.
+    pub fn take_profile(&self) -> ProfileShard {
+        self.profiler
+            .as_ref()
+            .map(|p| p.take())
+            .unwrap_or_default()
+    }
+
     /// A sequential executor for one parallel worker, charging the shared
-    /// budget of the coordinating execution.
+    /// budget of the coordinating execution. Workers never profile into
+    /// the coordinator directly; morsel kernels collect per-worker
+    /// [`ProfileShard`]s and merge them after the parallel region.
     fn worker(db: &'a Database, budget: u64, counter: Arc<AtomicU64>) -> Self {
         ColExec {
             db,
@@ -247,6 +271,7 @@ impl<'a> ColExec<'a> {
             subqueries: RefCell::new(HashMap::new()),
             ctes: RefCell::new(Vec::new()),
             rewrite: true,
+            profiler: None,
         }
     }
 
@@ -269,6 +294,33 @@ impl<'a> ColExec<'a> {
 
     /// Execute a bound query with an optional outer row in scope.
     pub fn run_query(
+        &self,
+        bq: &BoundQuery,
+        outer: Option<&Env<'_>>,
+    ) -> EngineResult<Vec<Vec<Value>>> {
+        let Some(prof) = &self.profiler else {
+            return self.run_query_inner(bq, outer);
+        };
+        // The select node's rows_in is the *delta* of the core's
+        // cumulative rows_out across this execution, so repeated runs of
+        // one bound tree (correlated subqueries) never double-count.
+        let root = profile::node_key(&bq.core);
+        let before = prof.rows_out_of(root);
+        let start = Instant::now();
+        let rows = self.run_query_inner(bq, outer)?;
+        prof.record(
+            profile::node_key(bq),
+            NodeMetrics {
+                rows_in: prof.rows_out_of(root) - before,
+                rows_out: rows.len() as u64,
+                batches: 1,
+                nanos: start.elapsed().as_nanos() as u64,
+            },
+        );
+        Ok(rows)
+    }
+
+    fn run_query_inner(
         &self,
         bq: &BoundQuery,
         outer: Option<&Env<'_>>,
@@ -652,10 +704,30 @@ impl<'a> ColExec<'a> {
         let schema = input.schema();
         let db = self.db;
         let budget = self.budget;
+        // This kernel bypasses `exec_core` for the scan child, so when
+        // profiling each worker records the scan's share of the work in a
+        // private shard (a `Profiler` is not `Sync`); the coordinator
+        // merges the shards after the parallel region, in morsel order.
+        let profiling = self.profiler.is_some();
+        let scan_key = profile::node_key(input);
         let parts = morsel::run_on_morsels(table.row_count(), self.threads, |range| {
             let w = ColExec::worker(db, budget, Arc::clone(&counter));
             w.charge(range.len() as u64)?;
+            let start = profiling.then(Instant::now);
             let batch = scan_batch(table, &schema, live, range);
+            let shard = start.map(|t| {
+                let mut s = ProfileShard::new();
+                s.record(
+                    scan_key,
+                    NodeMetrics {
+                        rows_in: batch.len as u64,
+                        rows_out: batch.len as u64,
+                        batches: 1,
+                        nanos: t.elapsed().as_nanos() as u64,
+                    },
+                );
+                s
+            });
             let mask = w.eval_vec(predicate, &batch, None)?;
             let mut idx = Vec::new();
             for i in 0..batch.len {
@@ -663,9 +735,16 @@ impl<'a> ColExec<'a> {
                     idx.push(i);
                 }
             }
-            Ok(batch.gather(&idx))
+            Ok((batch.gather(&idx), shard))
         })?;
-        Ok(Some(concat_batches(schema, parts)))
+        let mut batches = Vec::with_capacity(parts.len());
+        for (batch, shard) in parts {
+            if let (Some(prof), Some(s)) = (&self.profiler, &shard) {
+                prof.absorb(s);
+            }
+            batches.push(batch);
+        }
+        Ok(Some(concat_batches(schema, batches)))
     }
 
     /// Equi-join candidate pairs over already-materialized key columns.
@@ -827,9 +906,36 @@ impl<'a> ColExec<'a> {
 
     // ------------------------------------------------------------- operators
 
-    /// Execute the relational core to a materialized batch. Scans
-    /// materialize only their `live` (plan-time pruned) columns.
+    /// Execute the relational core to a materialized batch, recording
+    /// per-node metrics when profiling is on. The off path is one branch
+    /// and a tail call into [`Self::exec_node`].
     fn exec_core(&self, plan: &Plan, outer: Option<&Env<'_>>) -> EngineResult<Batch> {
+        let Some(prof) = &self.profiler else {
+            return self.exec_node(plan, outer);
+        };
+        let before = child_rows_out(prof, plan);
+        let start = Instant::now();
+        let batch = self.exec_node(plan, outer)?;
+        let rows_in = match plan {
+            Plan::Scan { table, .. } => table.row_count() as u64,
+            Plan::Derived { .. } | Plan::Cte { .. } => batch.len as u64,
+            Plan::Filter { .. } | Plan::Join { .. } => child_rows_out(prof, plan) - before,
+        };
+        prof.record(
+            profile::node_key(plan),
+            NodeMetrics {
+                rows_in,
+                rows_out: batch.len as u64,
+                batches: 1,
+                nanos: start.elapsed().as_nanos() as u64,
+            },
+        );
+        Ok(batch)
+    }
+
+    /// The unprofiled node dispatch. Scans materialize only their `live`
+    /// (plan-time pruned) columns.
+    fn exec_node(&self, plan: &Plan, outer: Option<&Env<'_>>) -> EngineResult<Batch> {
         match plan {
             Plan::Scan { table, live, .. } => {
                 self.charge(table.row_count() as u64)?;
@@ -1208,6 +1314,20 @@ impl SubqueryRunner for ColExec<'_> {
                 self.run_query(&bound, Some(outer))
             }
             Err(other) => Err(other),
+        }
+    }
+}
+
+/// Cumulative profiled rows_out of a node's direct children — read before
+/// and after an execution, the difference is the rows the node consumed
+/// *this* time (stable under repeated executions of one bound tree).
+fn child_rows_out(prof: &Profiler, plan: &Plan) -> u64 {
+    match plan {
+        Plan::Scan { .. } | Plan::Derived { .. } | Plan::Cte { .. } => 0,
+        Plan::Filter { input, .. } => prof.rows_out_of(profile::node_key(&**input)),
+        Plan::Join { left, right, .. } => {
+            prof.rows_out_of(profile::node_key(&**left))
+                + prof.rows_out_of(profile::node_key(&**right))
         }
     }
 }

@@ -14,6 +14,7 @@ use crate::ir::{Expr, Ty};
 use crate::morsel::{self, BudgetCounter};
 use crate::output::{finish_rows, sort_keys};
 use crate::plan::{BoundQuery, Plan, Planner, Schema};
+use crate::profile::{self, NodeMetrics, ProfileShard, Profiler};
 use crate::storage::Database;
 use crate::codec::FxBuild;
 use crate::value::{self, ArithMode, Value};
@@ -23,6 +24,7 @@ use std::collections::HashMap;
 use std::rc::Rc;
 use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// How a subquery behaved on first execution.
 /// One materialized CTE visible during execution.
@@ -61,6 +63,9 @@ pub struct RowExec<'a> {
     /// Whether the logical rewriter runs on bound plans (on by default;
     /// the equivalence suites turn it off to diff against raw plans).
     rewrite: bool,
+    /// Per-node metrics collection; `None` (the default) keeps every
+    /// operator on an early-return path with no metrics code at all.
+    profiler: Option<Profiler>,
 }
 
 const MODE: ArithMode = ArithMode::Float;
@@ -97,6 +102,7 @@ impl<'a> RowExec<'a> {
             ctes: RefCell::new(Vec::new()),
             hash_joins,
             rewrite: true,
+            profiler: None,
         }
     }
 
@@ -107,8 +113,26 @@ impl<'a> RowExec<'a> {
         self
     }
 
+    /// Collect per-node metrics during execution; retrieve the profile
+    /// with [`Self::take_profile`] afterwards.
+    pub fn with_profiler(mut self) -> Self {
+        self.profiler = Some(Profiler::new());
+        self
+    }
+
+    /// The metrics accumulated so far, draining the profiler. Empty when
+    /// profiling was never enabled.
+    pub fn take_profile(&self) -> ProfileShard {
+        self.profiler
+            .as_ref()
+            .map(|p| p.take())
+            .unwrap_or_default()
+    }
+
     /// A sequential executor for one parallel worker, charging the shared
-    /// budget of the coordinating execution.
+    /// budget of the coordinating execution. Workers never profile into
+    /// the coordinator directly; morsel kernels collect per-worker
+    /// [`ProfileShard`]s and merge them after the parallel region.
     fn worker(db: &'a Database, budget: u64, hash_joins: bool, counter: Arc<AtomicU64>) -> Self {
         RowExec {
             db,
@@ -119,6 +143,7 @@ impl<'a> RowExec<'a> {
             ctes: RefCell::new(Vec::new()),
             hash_joins,
             rewrite: true,
+            profiler: None,
         }
     }
 
@@ -141,6 +166,33 @@ impl<'a> RowExec<'a> {
 
     /// Execute a bound query, with `outer` in scope for correlation.
     pub fn run_query(
+        &self,
+        bq: &BoundQuery,
+        outer: Option<&Env<'_>>,
+    ) -> EngineResult<Vec<Vec<Value>>> {
+        let Some(prof) = &self.profiler else {
+            return self.run_query_inner(bq, outer);
+        };
+        // The select node's rows_in is the *delta* of the core's
+        // cumulative rows_out across this execution, so repeated runs of
+        // one bound tree (correlated subqueries) never double-count.
+        let root = profile::node_key(&bq.core);
+        let before = prof.rows_out_of(root);
+        let start = Instant::now();
+        let rows = self.run_query_inner(bq, outer)?;
+        prof.record(
+            profile::node_key(bq),
+            NodeMetrics {
+                rows_in: prof.rows_out_of(root) - before,
+                rows_out: rows.len() as u64,
+                batches: 1,
+                nanos: start.elapsed().as_nanos() as u64,
+            },
+        );
+        Ok(rows)
+    }
+
+    fn run_query_inner(
         &self,
         bq: &BoundQuery,
         outer: Option<&Env<'_>>,
@@ -326,7 +378,13 @@ impl<'a> RowExec<'a> {
         let db = self.db;
         let budget = self.budget;
         let hash_joins = self.hash_joins;
-        let kept: Vec<Vec<Vec<Value>>> =
+        // This kernel bypasses `execute_core` for the scan child, so when
+        // profiling each worker records the scan's share of the work in a
+        // private shard (a `Profiler` is not `Sync`); the coordinator
+        // merges the shards after the parallel region, in morsel order.
+        let profiling = self.profiler.is_some();
+        let scan_key = profile::node_key(input);
+        let kept: Vec<(Vec<Vec<Value>>, Option<ProfileShard>)> =
             morsel::run_on_morsels(table.row_count(), self.threads, |range| {
                 let w = RowExec::worker(db, budget, hash_joins, Arc::clone(&counter));
                 let ctx = EvalCtx::new(&w, MODE);
@@ -336,6 +394,8 @@ impl<'a> RowExec<'a> {
                 // whether the budget trips) are identical to the sequential
                 // per-row charges, without a contended atomic in the loop.
                 w.charge(range.len() as u64)?;
+                let scanned = range.len() as u64;
+                let start = profiling.then(Instant::now);
                 for i in range {
                     row.clear();
                     row.extend(live.iter().zip(&needed).map(
@@ -360,9 +420,25 @@ impl<'a> RowExec<'a> {
                         rows.push(std::mem::replace(&mut row, Vec::with_capacity(ncols)));
                     }
                 }
-                Ok(rows)
+                let shard = start.map(|t| {
+                    let mut s = ProfileShard::new();
+                    s.record(
+                        scan_key,
+                        NodeMetrics {
+                            rows_in: scanned,
+                            rows_out: scanned,
+                            batches: 1,
+                            nanos: t.elapsed().as_nanos() as u64,
+                        },
+                    );
+                    s
+                });
+                Ok((rows, shard))
             })?;
-        for rows in &kept {
+        for (rows, shard) in &kept {
+            if let (Some(prof), Some(s)) = (&self.profiler, shard) {
+                prof.absorb(s);
+            }
             for row in rows {
                 sink(row)?;
             }
@@ -370,8 +446,45 @@ impl<'a> RowExec<'a> {
         Ok(true)
     }
 
-    /// Push rows of the relational core through `sink`.
+    /// Push rows of the relational core through `sink`, recording
+    /// per-node metrics when profiling is on. The off path is one branch
+    /// and a tail call into [`Self::exec_node`].
     fn execute_core(
+        &self,
+        plan: &Plan,
+        outer: Option<&Env<'_>>,
+        sink: &mut dyn FnMut(&[Value]) -> EngineResult<()>,
+    ) -> EngineResult<()> {
+        let Some(prof) = &self.profiler else {
+            return self.exec_node(plan, outer, sink);
+        };
+        let before = child_rows_out(prof, plan);
+        let mut rows_out = 0u64;
+        let start = Instant::now();
+        self.exec_node(plan, outer, &mut |row| {
+            rows_out += 1;
+            sink(row)
+        })?;
+        let nanos = start.elapsed().as_nanos() as u64;
+        let rows_in = match plan {
+            Plan::Scan { table, .. } => table.row_count() as u64,
+            Plan::Derived { .. } | Plan::Cte { .. } => rows_out,
+            Plan::Filter { .. } | Plan::Join { .. } => child_rows_out(prof, plan) - before,
+        };
+        prof.record(
+            profile::node_key(plan),
+            NodeMetrics {
+                rows_in,
+                rows_out,
+                batches: 1,
+                nanos,
+            },
+        );
+        Ok(())
+    }
+
+    /// The unprofiled node dispatch.
+    fn exec_node(
         &self,
         plan: &Plan,
         outer: Option<&Env<'_>>,
@@ -577,6 +690,20 @@ impl<'a> RowExec<'a> {
             }
             Ok(())
         })
+    }
+}
+
+/// Cumulative profiled rows_out of a node's direct children — read before
+/// and after an execution, the difference is the rows the node consumed
+/// *this* time (stable under repeated executions of one bound tree).
+fn child_rows_out(prof: &Profiler, plan: &Plan) -> u64 {
+    match plan {
+        Plan::Scan { .. } | Plan::Derived { .. } | Plan::Cte { .. } => 0,
+        Plan::Filter { input, .. } => prof.rows_out_of(profile::node_key(&**input)),
+        Plan::Join { left, right, .. } => {
+            prof.rows_out_of(profile::node_key(&**left))
+                + prof.rows_out_of(profile::node_key(&**right))
+        }
     }
 }
 

@@ -19,6 +19,7 @@
 
 use crate::ir::expr::Expr;
 use crate::plan::{BoundQuery, Plan};
+use crate::profile::{self, NodeMetrics, ProfileShard};
 use sqalpel_sql::ast::JoinKind;
 use std::fmt::Write;
 
@@ -39,13 +40,70 @@ impl Explain {
 
 /// Render a bound query and compute its fingerprint.
 pub fn explain(bq: &BoundQuery) -> Explain {
+    render(bq, None)
+}
+
+/// Render the same tree annotated with an executed profile. The
+/// fingerprint is computed from the canonical form only, so it is
+/// identical to the plain [`explain`] fingerprint — ANALYZE never
+/// changes plan identity.
+pub fn explain_analyze(bq: &BoundQuery, prof: &ProfileShard) -> Explain {
+    render(bq, Some(prof))
+}
+
+fn render(bq: &BoundQuery, prof: Option<&ProfileShard>) -> Explain {
     let mut text = String::new();
-    render_query(bq, 0, &mut text);
+    render_query(bq, 0, &mut text, prof);
     let mut canon = String::new();
     canon_query(bq, &mut canon);
     Explain {
         fingerprint: fnv1a(&canon),
         text,
+    }
+}
+
+/// Flat list of `(operator label, metrics)` in render order — the shape
+/// the platform ships over the wire (labels like `select`,
+/// `scan lineitem`, `filter`, `join inner`, `derived d`, `cte scan c`).
+pub fn profile_ops(bq: &BoundQuery, prof: &ProfileShard) -> Vec<(String, NodeMetrics)> {
+    let mut out = Vec::new();
+    ops_query(bq, prof, &mut out);
+    out
+}
+
+fn ops_query(bq: &BoundQuery, prof: &ProfileShard, out: &mut Vec<(String, NodeMetrics)>) {
+    let m = prof.get(profile::node_key(bq)).copied().unwrap_or_default();
+    out.push(("select".to_string(), m));
+    for (_, body) in &bq.ctes {
+        ops_query(body, prof, out);
+    }
+    ops_plan(&bq.core, prof, out);
+}
+
+fn ops_plan(p: &Plan, prof: &ProfileShard, out: &mut Vec<(String, NodeMetrics)>) {
+    let m = prof.get(profile::node_key(p)).copied().unwrap_or_default();
+    match p {
+        Plan::Scan { table, .. } => out.push((format!("scan {}", table.name), m)),
+        Plan::Derived { query, binding } => {
+            out.push((format!("derived {binding}"), m));
+            ops_query(query, prof, out);
+        }
+        Plan::Cte { name, .. } => out.push((format!("cte scan {name}"), m)),
+        Plan::Filter { input, .. } => {
+            out.push(("filter".to_string(), m));
+            ops_plan(input, prof, out);
+        }
+        Plan::Join {
+            left, right, kind, ..
+        } => {
+            let kname = match kind {
+                JoinKind::Inner => "inner",
+                JoinKind::LeftOuter => "left outer",
+            };
+            out.push((format!("join {kname}"), m));
+            ops_plan(left, prof, out);
+            ops_plan(right, prof, out);
+        }
     }
 }
 
@@ -66,7 +124,24 @@ fn indent(out: &mut String, level: usize) {
     }
 }
 
-fn render_query(bq: &BoundQuery, level: usize, out: &mut String) {
+/// Append the ANALYZE annotation for `node` when rendering a profile.
+/// Nodes the execution never reached (short-circuited subtrees) are
+/// marked rather than silently skipped.
+fn annotate<T>(out: &mut String, prof: Option<&ProfileShard>, node: &T) {
+    let Some(prof) = prof else { return };
+    match prof.get(profile::node_key(node)) {
+        Some(m) => {
+            let _ = write!(
+                out,
+                " (rows_in={} rows_out={} batches={} time={}ns)",
+                m.rows_in, m.rows_out, m.batches, m.nanos
+            );
+        }
+        None => out.push_str(" (not executed)"),
+    }
+}
+
+fn render_query(bq: &BoundQuery, level: usize, out: &mut String, prof: Option<&ProfileShard>) {
     indent(out, level);
     out.push_str("select");
     if bq.distinct {
@@ -78,6 +153,7 @@ fn render_query(bq: &BoundQuery, level: usize, out: &mut String) {
     if let Some(n) = bq.limit {
         let _ = write!(out, " limit {n}");
     }
+    annotate(out, prof, bq);
     out.push('\n');
     indent(out, level + 1);
     out.push_str("output:");
@@ -108,12 +184,12 @@ fn render_query(bq: &BoundQuery, level: usize, out: &mut String) {
     for (name, body) in &bq.ctes {
         indent(out, level + 1);
         let _ = writeln!(out, "cte {name}:");
-        render_query(body, level + 2, out);
+        render_query(body, level + 2, out, prof);
     }
-    render_plan(&bq.core, level + 1, out);
+    render_plan(&bq.core, level + 1, out, prof);
 }
 
-fn render_plan(p: &Plan, level: usize, out: &mut String) {
+fn render_plan(p: &Plan, level: usize, out: &mut String, prof: Option<&ProfileShard>) {
     match p {
         Plan::Scan {
             table,
@@ -132,12 +208,16 @@ fn render_plan(p: &Plan, level: usize, out: &mut String) {
                 }
                 out.push_str(&table.columns[ci].name);
             }
-            out.push_str("]\n");
+            out.push(']');
+            annotate(out, prof, p);
+            out.push('\n');
         }
         Plan::Derived { query, binding } => {
             indent(out, level);
-            let _ = writeln!(out, "derived {binding}");
-            render_query(query, level + 1, out);
+            let _ = write!(out, "derived {binding}");
+            annotate(out, prof, p);
+            out.push('\n');
+            render_query(query, level + 1, out, prof);
         }
         Plan::Cte { name, binding, .. } => {
             indent(out, level);
@@ -145,12 +225,15 @@ fn render_plan(p: &Plan, level: usize, out: &mut String) {
             if binding != name {
                 let _ = write!(out, " as {binding}");
             }
+            annotate(out, prof, p);
             out.push('\n');
         }
         Plan::Filter { input, predicate } => {
             indent(out, level);
-            let _ = writeln!(out, "filter {predicate}");
-            render_plan(input, level + 1, out);
+            let _ = write!(out, "filter {predicate}");
+            annotate(out, prof, p);
+            out.push('\n');
+            render_plan(input, level + 1, out, prof);
         }
         Plan::Join {
             left,
@@ -177,9 +260,10 @@ fn render_plan(p: &Plan, level: usize, out: &mut String) {
             if let Some(r) = residual {
                 let _ = write!(out, " residual {r}");
             }
+            annotate(out, prof, p);
             out.push('\n');
-            render_plan(left, level + 1, out);
-            render_plan(right, level + 1, out);
+            render_plan(left, level + 1, out, prof);
+            render_plan(right, level + 1, out, prof);
         }
     }
 }

@@ -17,5 +17,5 @@ pub mod explain;
 pub mod expr;
 pub mod rewrite;
 
-pub use explain::{explain, Explain};
+pub use explain::{explain, explain_analyze, profile_ops, Explain};
 pub use expr::{Expr, Ty};

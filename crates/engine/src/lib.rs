@@ -39,13 +39,15 @@ pub mod ir;
 pub mod morsel;
 pub mod output;
 pub mod plan;
+pub mod profile;
 pub mod result;
 pub mod storage;
 pub mod value;
 
-pub use dbms::{ColStore, Dbms, RowStore, DEFAULT_BUDGET};
+pub use dbms::{AnalyzedPlan, ColStore, Dbms, OpProfile, RowStore, DEFAULT_BUDGET};
 pub use error::{EngineError, EngineResult};
 pub use ir::Explain;
+pub use profile::{NodeMetrics, ProfileShard, Profiler};
 pub use result::ResultSet;
 pub use storage::{Database, Table};
 pub use value::Value;

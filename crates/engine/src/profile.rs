@@ -1,0 +1,190 @@
+//! Operator-level profiling for both executors.
+//!
+//! A [`Profiler`] is an *optional* hook owned by an executor. When absent
+//! (the default), the execution paths take an early return and no
+//! metrics code runs — profiling is zero-cost when off. When present,
+//! every IR node execution records a [`NodeMetrics`] sample keyed by the
+//! node's address ([`node_key`]), which is stable for the lifetime of
+//! the bound plan tree.
+//!
+//! Morsel-parallel kernels cannot write into the coordinator's profiler
+//! from worker threads; instead each worker fills a private
+//! [`ProfileShard`] and the coordinator [`Profiler::absorb`]s the shards
+//! *after* `run_on_morsels` returns — in morsel order, though the merge
+//! is order-independent by construction (sums only). The property tests
+//! in `tests/profile_props.rs` pin merge associativity/commutativity and
+//! count conservation.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+/// Per-node counters: everything is a sum, so shard merges commute.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct NodeMetrics {
+    /// Rows consumed from the node's children (table rows for scans).
+    pub rows_in: u64,
+    /// Rows the node handed to its parent.
+    pub rows_out: u64,
+    /// Distinct executions (morsels for worker-side scans, invocations
+    /// otherwise).
+    pub batches: u64,
+    /// Inclusive wall-clock nanoseconds spent in the node and below.
+    pub nanos: u64,
+}
+
+impl NodeMetrics {
+    /// Accumulate another sample into this one.
+    pub fn absorb(&mut self, other: &NodeMetrics) {
+        self.rows_in += other.rows_in;
+        self.rows_out += other.rows_out;
+        self.batches += other.batches;
+        self.nanos += other.nanos;
+    }
+}
+
+/// One thread's worth of per-node metrics; mergeable.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct ProfileShard {
+    nodes: HashMap<usize, NodeMetrics>,
+}
+
+impl ProfileShard {
+    pub fn new() -> ProfileShard {
+        ProfileShard::default()
+    }
+
+    /// Add a sample for `key`.
+    pub fn record(&mut self, key: usize, sample: NodeMetrics) {
+        self.nodes.entry(key).or_default().absorb(&sample);
+    }
+
+    /// Fold another shard in. Associative and commutative: every field
+    /// is a sum.
+    pub fn merge(&mut self, other: &ProfileShard) {
+        for (key, m) in &other.nodes {
+            self.nodes.entry(*key).or_default().absorb(m);
+        }
+    }
+
+    pub fn get(&self, key: usize) -> Option<&NodeMetrics> {
+        self.nodes.get(&key)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &NodeMetrics)> {
+        self.nodes.iter().map(|(k, m)| (*k, m))
+    }
+
+    /// Total rows_out across all nodes — the conserved quantity the
+    /// property tests check under arbitrary merge orders.
+    pub fn total_rows_out(&self) -> u64 {
+        self.nodes.values().map(|m| m.rows_out).sum()
+    }
+}
+
+/// The coordinator-side profiler an executor optionally owns.
+///
+/// Interior mutability because the executors take `&self` everywhere;
+/// executors are single-threaded per worker, so a `RefCell` suffices.
+#[derive(Debug, Default)]
+pub struct Profiler {
+    shard: RefCell<ProfileShard>,
+}
+
+impl Profiler {
+    pub fn new() -> Profiler {
+        Profiler::default()
+    }
+
+    pub fn record(&self, key: usize, sample: NodeMetrics) {
+        self.shard.borrow_mut().record(key, sample);
+    }
+
+    /// Merge a worker's shard in (after morsel execution).
+    pub fn absorb(&self, shard: &ProfileShard) {
+        self.shard.borrow_mut().merge(shard);
+    }
+
+    /// The cumulative rows_out of one node so far — used by parents to
+    /// compute their rows_in as a delta across a child execution, which
+    /// stays correct when a subtree runs more than once (correlated
+    /// subqueries).
+    pub fn rows_out_of(&self, key: usize) -> u64 {
+        self.shard
+            .borrow()
+            .get(key)
+            .map(|m| m.rows_out)
+            .unwrap_or(0)
+    }
+
+    /// Take the accumulated profile, leaving the profiler empty.
+    pub fn take(&self) -> ProfileShard {
+        std::mem::take(&mut self.shard.borrow_mut())
+    }
+
+    pub fn snapshot(&self) -> ProfileShard {
+        self.shard.borrow().clone()
+    }
+}
+
+/// Address-based key for a plan node. Bound plan trees are immutable and
+/// outlive execution, so the address is a stable identity — the same
+/// trick `exec_*`'s subquery caches use.
+pub fn node_key<T>(node: &T) -> usize {
+    node as *const T as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(rows_in: u64, rows_out: u64, batches: u64, nanos: u64) -> NodeMetrics {
+        NodeMetrics {
+            rows_in,
+            rows_out,
+            batches,
+            nanos,
+        }
+    }
+
+    #[test]
+    fn record_accumulates_per_key() {
+        let mut s = ProfileShard::new();
+        s.record(1, sample(10, 5, 1, 100));
+        s.record(1, sample(20, 15, 1, 50));
+        s.record(2, sample(1, 1, 1, 1));
+        assert_eq!(s.get(1), Some(&sample(30, 20, 2, 150)));
+        assert_eq!(s.get(2), Some(&sample(1, 1, 1, 1)));
+        assert_eq!(s.total_rows_out(), 21);
+    }
+
+    #[test]
+    fn merge_is_commutative_on_disjoint_and_overlapping_keys() {
+        let mut a = ProfileShard::new();
+        a.record(1, sample(10, 10, 1, 5));
+        a.record(2, sample(3, 2, 1, 7));
+        let mut b = ProfileShard::new();
+        b.record(2, sample(1, 1, 1, 1));
+        b.record(3, sample(9, 9, 2, 2));
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.total_rows_out(), a.total_rows_out() + b.total_rows_out());
+    }
+
+    #[test]
+    fn profiler_take_drains() {
+        let p = Profiler::new();
+        p.record(7, sample(4, 4, 1, 9));
+        assert_eq!(p.rows_out_of(7), 4);
+        let taken = p.take();
+        assert_eq!(taken.get(7), Some(&sample(4, 4, 1, 9)));
+        assert!(p.take().is_empty());
+    }
+}

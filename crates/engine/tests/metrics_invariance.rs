@@ -1,0 +1,119 @@
+//! The profiler's contract: observing an execution never changes it.
+//!
+//! Both full flights (TPC-H, SSB) run on both engines, sequentially and
+//! with 4 morsel workers, profiler on (`execute_analyzed`) and off
+//! (`execute`). Every pairing must produce byte-identical ResultSets,
+//! the ANALYZE fingerprint must equal the plain EXPLAIN fingerprint, and
+//! the profiled (op, rows_in, rows_out) strip must be identical across
+//! engines and across thread counts — row counts are a property of the
+//! plan's semantics, not of who executes it or how many workers it gets.
+//! (Batch counts and timings are engine- and schedule-specific, so they
+//! are deliberately left out of the cross-engine comparison.)
+
+use sqalpel_engine::{
+    AnalyzedPlan, ColStore, Database, Dbms, EngineResult, ResultSet, RowStore,
+};
+use std::sync::Arc;
+
+/// Byte-identical comparison: Value has no PartialEq by design, so the
+/// rows are compared through their exact debug rendering.
+fn assert_identical(name: &str, ctx: &str, a: &ResultSet, b: &ResultSet) {
+    assert_eq!(a.columns, b.columns, "{name} [{ctx}]: column names differ");
+    assert_eq!(
+        format!("{:?}", a.rows),
+        format!("{:?}", b.rows),
+        "{name} [{ctx}]: rows differ"
+    );
+}
+
+/// Either engine behind one face, so the checks below read uniformly.
+enum Store {
+    Row(RowStore),
+    Col(ColStore),
+}
+
+impl Store {
+    fn execute(&self, sql: &str) -> EngineResult<ResultSet> {
+        match self {
+            Store::Row(s) => s.execute(sql),
+            Store::Col(s) => s.execute(sql),
+        }
+    }
+
+    fn execute_analyzed(&self, sql: &str) -> EngineResult<(ResultSet, AnalyzedPlan)> {
+        match self {
+            Store::Row(s) => s.execute_analyzed(sql),
+            Store::Col(s) => s.execute_analyzed(sql),
+        }
+    }
+
+    fn plain_fingerprint(&self, sql: &str) -> u64 {
+        match self {
+            Store::Row(s) => s.explain(sql).expect("plain explain").fingerprint,
+            Store::Col(s) => s.explain(sql).expect("plain explain").fingerprint,
+        }
+    }
+}
+
+/// The schedule-independent part of a profile: per operator, the rows
+/// that flowed in and out.
+type RowStrip = Vec<(String, u64, u64)>;
+
+fn row_strip(plan: &AnalyzedPlan) -> RowStrip {
+    plan.ops
+        .iter()
+        .map(|op| (op.op.clone(), op.metrics.rows_in, op.metrics.rows_out))
+        .collect()
+}
+
+fn check_queries(db: Arc<Database>, queries: &[(&str, &str)]) {
+    for (name, sql) in queries {
+        // One strip per (engine, threads) pairing; all four must agree.
+        let mut strips: Vec<(String, RowStrip)> = Vec::new();
+        for &threads in &[1usize, 4] {
+            let stores = [
+                ("rowstore", Store::Row(RowStore::new(db.clone()).with_threads(threads))),
+                ("colstore", Store::Col(ColStore::new(db.clone()).with_threads(threads))),
+            ];
+            for (engine, store) in &stores {
+                let ctx = format!("{engine}, threads={threads}");
+                let off = store
+                    .execute(sql)
+                    .unwrap_or_else(|e| panic!("{name} [{ctx}, profiler off] failed: {e}"));
+                let (on, plan) = store
+                    .execute_analyzed(sql)
+                    .unwrap_or_else(|e| panic!("{name} [{ctx}, profiler on] failed: {e}"));
+                assert_identical(name, &ctx, &off, &on);
+                assert_eq!(
+                    plan.explain.fingerprint,
+                    store.plain_fingerprint(sql),
+                    "{name} [{ctx}]: ANALYZE changed the plan fingerprint"
+                );
+                assert!(
+                    plan.explain.text.contains("rows_in="),
+                    "{name} [{ctx}]: ANALYZE text carries no metrics"
+                );
+                strips.push((ctx, row_strip(&plan)));
+            }
+        }
+        let (base_ctx, base) = &strips[0];
+        for (ctx, strip) in &strips[1..] {
+            assert_eq!(
+                strip, base,
+                "{name}: profiled rows differ between [{base_ctx}] and [{ctx}]"
+            );
+        }
+    }
+}
+
+#[test]
+fn tpch_flight_profiles_invariantly() {
+    let db = Arc::new(Database::tpch(0.0005, 7));
+    check_queries(db, &sqalpel_sql::tpch::all_queries());
+}
+
+#[test]
+fn ssb_flight_profiles_invariantly() {
+    let db = Arc::new(Database::ssb(0.002, 7));
+    check_queries(db, &sqalpel_sql::ssb::all_queries());
+}

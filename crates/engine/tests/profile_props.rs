@@ -1,0 +1,120 @@
+//! Property tests for the profiler's merge algebra.
+//!
+//! Morsel workers fill private [`ProfileShard`]s that the coordinator
+//! absorbs in whatever order the morsels completed, so the merge must be
+//! associative and commutative and must conserve every counter — the
+//! final profile may not depend on scheduling.
+
+use proptest::prelude::*;
+use sqalpel_engine::{NodeMetrics, ProfileShard, Profiler};
+
+/// Deterministically expand a seed into a shard of `len` samples over a
+/// small key space (so shards overlap, exercising the accumulate path).
+fn shard_from_seed(seed: u64, len: usize) -> ProfileShard {
+    let mut shard = ProfileShard::new();
+    let mut x = seed | 1;
+    let mut next = || {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        x >> 33
+    };
+    for _ in 0..len {
+        let key = (next() % 8) as usize;
+        shard.record(
+            key,
+            NodeMetrics {
+                rows_in: next() % 1000,
+                rows_out: next() % 1000,
+                batches: 1 + next() % 4,
+                nanos: next() % 1_000_000,
+            },
+        );
+    }
+    shard
+}
+
+fn arb_shards2() -> impl Strategy<Value = (ProfileShard, ProfileShard)> {
+    (any::<u64>(), any::<u64>(), 0usize..40, 0usize..40)
+        .prop_map(|(s1, s2, l1, l2)| (shard_from_seed(s1, l1), shard_from_seed(s2, l2)))
+}
+
+fn arb_shards3() -> impl Strategy<Value = (ProfileShard, ProfileShard, ProfileShard)> {
+    (any::<u64>(), any::<u64>(), any::<u64>(), 0usize..40).prop_map(|(s1, s2, s3, len)| {
+        (
+            shard_from_seed(s1, len),
+            shard_from_seed(s2, len / 2 + 1),
+            shard_from_seed(s3, len / 3 + 2),
+        )
+    })
+}
+
+fn totals(shard: &ProfileShard) -> (u64, u64, u64, u64) {
+    let mut t = (0, 0, 0, 0);
+    for (_, m) in shard.iter() {
+        t.0 += m.rows_in;
+        t.1 += m.rows_out;
+        t.2 += m.batches;
+        t.3 += m.nanos;
+    }
+    t
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// a ⊕ b == b ⊕ a.
+    #[test]
+    fn merge_is_commutative(shards in arb_shards2()) {
+        let (a, b) = shards;
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(ab, ba);
+    }
+
+    /// (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c).
+    #[test]
+    fn merge_is_associative(shards in arb_shards3()) {
+        let (a, b, c) = shards;
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a;
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    /// Merging conserves every counter, not just rows_out.
+    #[test]
+    fn merge_conserves_counters(shards in arb_shards2()) {
+        let (a, b) = shards;
+        let (ta, tb) = (totals(&a), totals(&b));
+        let mut merged = a.clone();
+        merged.merge(&b);
+        let tm = totals(&merged);
+        prop_assert_eq!(tm, (ta.0 + tb.0, ta.1 + tb.1, ta.2 + tb.2, ta.3 + tb.3));
+        prop_assert_eq!(merged.total_rows_out(), a.total_rows_out() + b.total_rows_out());
+    }
+
+    /// A coordinator absorbing worker shards one at a time — in either
+    /// order — ends with the same profile as a single pre-merged shard.
+    #[test]
+    fn profiler_absorb_is_order_independent(shards in arb_shards3()) {
+        let (a, b, c) = shards;
+        let forward = Profiler::new();
+        for s in [&a, &b, &c] {
+            forward.absorb(s);
+        }
+        let backward = Profiler::new();
+        for s in [&c, &b, &a] {
+            backward.absorb(s);
+        }
+        let mut all = a;
+        all.merge(&b);
+        all.merge(&c);
+        prop_assert_eq!(forward.snapshot(), all.clone());
+        prop_assert_eq!(backward.take(), all);
+    }
+}
