@@ -1,0 +1,12 @@
+use sqalpel_engine::{Planner, Database};
+
+#[test]
+fn boundquery_core_offset() {
+    let db = Database::tpch_sample();
+    let q = sqalpel_sql::parse_query("select n_name from nation").unwrap();
+    let bound = Planner::new(&db).bind(&q).unwrap();
+    let bq_addr = &bound as *const _ as usize;
+    let core_addr = &bound.core as *const _ as usize;
+    eprintln!("bq={bq_addr:#x} core={core_addr:#x} offset={}", core_addr - bq_addr);
+    assert_ne!(bq_addr, core_addr, "select node and core plan share a profile key");
+}
