@@ -43,6 +43,11 @@ cargo test -q --release -p sqalpel-engine --test metrics_invariance
 # The merge algebra under the profiler and the metrics histograms.
 cargo test -q --release -p sqalpel-engine --test profile_props
 cargo test -q --release -p sqalpel-core --test metrics_props
+# Compressed storage: dict/FoR round-trips and zone-map soundness (a
+# skipped chunk must hold no qualifying row, checked against raw data).
+cargo test -q --release -p sqalpel-engine --test storage_props
+# Selection-vector filters and dict probes must stay allocation-lean.
+cargo test -q --release -p sqalpel-engine --test alloc_discipline
 # Clippy over the whole workspace, including the ir module (bind/rewrite/
 # explain) that both engines now lower from.
 cargo clippy --workspace --all-targets -- -D warnings

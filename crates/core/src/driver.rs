@@ -52,6 +52,10 @@ pub struct OperatorProfile {
     pub rows_out: u64,
     pub batches: u64,
     pub nanos: u64,
+    /// Storage chunks a scan materialized / skipped via zone maps. Zero
+    /// for non-scan operators and engines without chunked storage.
+    pub chunks_scanned: u64,
+    pub chunks_skipped: u64,
 }
 
 impl Serialize for OperatorProfile {
@@ -62,6 +66,8 @@ impl Serialize for OperatorProfile {
         m.insert("rows_out".into(), self.rows_out.into());
         m.insert("batches".into(), self.batches.into());
         m.insert("nanos".into(), self.nanos.into());
+        m.insert("chunks_scanned".into(), self.chunks_scanned.into());
+        m.insert("chunks_skipped".into(), self.chunks_skipped.into());
         Value::Object(m)
     }
 }
@@ -82,6 +88,9 @@ impl Deserialize for OperatorProfile {
             rows_out: num("rows_out")?,
             batches: num("batches")?,
             nanos: num("nanos")?,
+            // Absent in payloads recorded before chunked storage existed.
+            chunks_scanned: v["chunks_scanned"].as_i64().unwrap_or(0) as u64,
+            chunks_skipped: v["chunks_skipped"].as_i64().unwrap_or(0) as u64,
         })
     }
 }
@@ -124,6 +133,8 @@ impl Connector for EngineConnector {
                     rows_out: o.metrics.rows_out,
                     batches: o.metrics.batches,
                     nanos: o.metrics.nanos,
+                    chunks_scanned: o.metrics.chunks_scanned,
+                    chunks_skipped: o.metrics.chunks_skipped,
                 })
                 .collect(),
         )
@@ -469,6 +480,8 @@ mod tests {
                 rows_out: 25,
                 batches: 1,
                 nanos: 12_345,
+                chunks_scanned: 1,
+                chunks_skipped: 0,
             }]),
         };
         let text = serde_json::to_string(&outcome).unwrap();

@@ -412,6 +412,8 @@ mod tests {
             rows_out: 10,
             batches: 1,
             nanos: 5_000,
+            chunks_scanned: 0,
+            chunks_skipped: 0,
         }]);
         let text = serde_json::to_string(&r).unwrap();
         let back: ResultRecord = serde_json::from_str(&text).unwrap();

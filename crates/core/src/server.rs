@@ -418,6 +418,19 @@ impl SqalpelServer {
             rec.extras = outcome.extras;
             rec.fingerprint = outcome.fingerprint;
             rec.profile = outcome.profile;
+            // Zone-map effectiveness across everything reported to this
+            // server, visible at GET /v1/metrics.
+            if let Some(profile) = &rec.profile {
+                let (scanned, skipped) = profile.iter().fold((0, 0), |(a, b), op| {
+                    (a + op.chunks_scanned, b + op.chunks_skipped)
+                });
+                if scanned > 0 {
+                    self.metrics.add("scan.chunks_scanned", scanned);
+                }
+                if skipped > 0 {
+                    self.metrics.add("scan.chunks_skipped", skipped);
+                }
+            }
             self.metrics.incr("server.report_result.accepted");
             Ok(st.results.push(rec))
         })

@@ -137,6 +137,16 @@ enum ColEnc<'a> {
     /// Length-prefixed UTF-8 bytes (self-delimiting, so multi-column
     /// concatenations stay injective).
     Str(&'a [String]),
+    /// Dictionary codes as 4 little-endian bytes. Valid for GROUP BY
+    /// keys: within one column, equal codes ⇔ equal strings.
+    DictCode(&'a [u32]),
+    /// Dictionary codes decoded to their length-prefixed string bytes —
+    /// the join-side encoding, where the two sides may use different
+    /// dictionaries and only the strings are comparable.
+    DictStr {
+        codes: &'a [u32],
+        dict: &'a [String],
+    },
     /// A broadcast constant, pre-encoded once.
     Const(Vec<u8>),
 }
@@ -158,7 +168,8 @@ impl ColEnc<'_> {
             ColEnc::Date(_) => Some(4),
             ColEnc::Bool(_) => Some(1),
             ColEnc::Dec6 { .. } | ColEnc::IntDec6(_) => Some(16),
-            ColEnc::Str(_) => None,
+            ColEnc::DictCode(_) => Some(4),
+            ColEnc::Str(_) | ColEnc::DictStr { .. } => None,
             ColEnc::Const(b) => Some(b.len()),
         }
     }
@@ -251,6 +262,9 @@ impl<'a> GroupCodec<'a> {
                 ColVec::Bool(v) => ColEnc::Bool(v),
                 ColVec::Decimal { raw, scale } => ColEnc::dec6(raw, *scale),
                 ColVec::Str(v) => ColEnc::Str(v),
+                // Grouping happens within one column, so the 4-byte code
+                // is an injective stand-in for the string.
+                ColVec::Dict { codes, .. } => ColEnc::DictCode(codes),
                 ColVec::Const(Value::Interval { .. }, _) => return None,
                 // Any other constant puts every row in one group; the
                 // encoding just has to be self-consistent.
@@ -272,6 +286,7 @@ impl<'a> GroupCodec<'a> {
                 ColEnc::I64(v) => (8, v[i] as u64),
                 ColEnc::Date(v) => (4, v[i] as u32 as u64),
                 ColEnc::Bool(v) => (1, v[i] as u64),
+                ColEnc::DictCode(v) => (4, v[i] as u64),
                 ColEnc::Const(b) => {
                     let mut buf = [0u8; 8];
                     buf[..b.len()].copy_from_slice(b);
@@ -310,6 +325,12 @@ impl<'a> GroupCodec<'a> {
                     buf.extend_from_slice(&(s.len() as u32).to_le_bytes());
                     buf.extend_from_slice(s);
                 }
+                ColEnc::DictCode(v) => buf.extend_from_slice(&v[i].to_le_bytes()),
+                ColEnc::DictStr { codes, dict } => {
+                    let s = dict[codes[i] as usize].as_bytes();
+                    buf.extend_from_slice(&(s.len() as u32).to_le_bytes());
+                    buf.extend_from_slice(s);
+                }
                 ColEnc::Const(b) => buf.extend_from_slice(b),
             }
         }
@@ -334,7 +355,7 @@ fn classify(col: &ColVec) -> Option<JClass> {
         ColVec::Decimal { .. } => JClass::Dec,
         ColVec::Date(_) => JClass::Date,
         ColVec::Bool(_) => JClass::Bool,
-        ColVec::Str(_) => JClass::Str,
+        ColVec::Str(_) | ColVec::Dict { .. } => JClass::Str,
         ColVec::Const(v, _) => match v {
             Value::Int(_) => JClass::Int,
             Value::Decimal { .. } => JClass::Dec,
@@ -360,6 +381,12 @@ fn enc_in_domain<'a>(col: &'a ColVec, class: JClass) -> EngineResult<ColEnc<'a>>
         (ColVec::Date(v), JClass::Date) => ColEnc::Date(v),
         (ColVec::Bool(v), JClass::Bool) => ColEnc::Bool(v),
         (ColVec::Str(v), JClass::Str) => ColEnc::Str(v),
+        // Joins may pair different dictionaries (or a dict against raw
+        // strings): encode the underlying bytes, not the codes.
+        (ColVec::Dict { codes, dict }, JClass::Str) => ColEnc::DictStr {
+            codes,
+            dict: dict.as_slice(),
+        },
         (ColVec::Const(v, _), class) => ColEnc::Const(match (v, class) {
             (Value::Int(i), JClass::Int) => i.to_le_bytes().to_vec(),
             (Value::Int(i), JClass::Dec) => (*i as i128 * 1_000_000).to_le_bytes().to_vec(),

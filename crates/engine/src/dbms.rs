@@ -207,6 +207,7 @@ pub struct ColStore {
     budget: u64,
     threads: usize,
     rewrite: bool,
+    zone_maps: bool,
 }
 
 impl ColStore {
@@ -216,6 +217,7 @@ impl ColStore {
             budget: DEFAULT_BUDGET,
             threads: morsel::default_threads(),
             rewrite: true,
+            zone_maps: true,
         }
     }
 
@@ -238,6 +240,14 @@ impl ColStore {
         self
     }
 
+    /// Toggle zone-map scan skipping (on by default). Results are
+    /// identical either way; the benches use this to measure how much
+    /// of a selective scan the zone maps let the engine skip.
+    pub fn with_zone_maps(mut self, on: bool) -> Self {
+        self.zone_maps = on;
+        self
+    }
+
     pub fn threads(&self) -> usize {
         self.threads
     }
@@ -254,6 +264,7 @@ impl ColStore {
         let bound = Planner::new(&self.db).with_rewrite(self.rewrite).bind(&q)?;
         let exec = ColExec::with_threads(&self.db, self.budget, self.threads)
             .with_rewrite(self.rewrite)
+            .with_zone_maps(self.zone_maps)
             .with_profiler();
         let rows = exec.run_query(&bound, None)?;
         let profile = exec.take_profile();
@@ -279,7 +290,8 @@ impl Dbms for ColStore {
 
     fn execute(&self, sql: &str) -> EngineResult<ResultSet> {
         let exec = ColExec::with_threads(&self.db, self.budget, self.threads)
-            .with_rewrite(self.rewrite);
+            .with_rewrite(self.rewrite)
+            .with_zone_maps(self.zone_maps);
         let (columns, rows) = exec.run_sql(sql)?;
         Ok(ResultSet::new(columns, rows))
     }

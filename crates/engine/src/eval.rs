@@ -341,7 +341,7 @@ pub fn eval(e: &Expr, env: &Env<'_>, ctx: &EvalCtx<'_>) -> EngineResult<Value> {
     }
 }
 
-fn literal(l: &Literal) -> EngineResult<Value> {
+pub(crate) fn literal(l: &Literal) -> EngineResult<Value> {
     Ok(match l {
         Literal::Integer(i) => Value::Int(*i),
         Literal::Decimal(d) => {

@@ -56,6 +56,13 @@ pub enum ColVec {
     Val(Vec<Value>),
     /// A broadcast constant (literals, outer-row references).
     Const(Value, usize),
+    /// Dictionary-coded strings sharing the storage dictionary. The
+    /// dictionary is sorted, so code order is string order and predicate
+    /// kernels compare codes instead of strings.
+    Dict {
+        codes: Vec<u32>,
+        dict: Arc<Vec<String>>,
+    },
 }
 
 impl ColVec {
@@ -69,6 +76,7 @@ impl ColVec {
             ColVec::Bool(v) => v.len(),
             ColVec::Val(v) => v.len(),
             ColVec::Const(_, n) => *n,
+            ColVec::Dict { codes, .. } => codes.len(),
         }
     }
 
@@ -90,6 +98,7 @@ impl ColVec {
             ColVec::Bool(v) => Value::Bool(v[i]),
             ColVec::Val(v) => v[i].clone(),
             ColVec::Const(v, _) => v.clone(),
+            ColVec::Dict { codes, dict } => Value::Str(dict[codes[i] as usize].clone()),
         }
     }
 
@@ -107,6 +116,11 @@ impl ColVec {
             ColVec::Bool(v) => ColVec::Bool(idx.iter().map(|&i| v[i]).collect()),
             ColVec::Val(v) => ColVec::Val(idx.iter().map(|&i| v[i].clone()).collect()),
             ColVec::Const(v, _) => ColVec::Const(v.clone(), idx.len()),
+            // Gathering codes keeps the encoding: no string is touched.
+            ColVec::Dict { codes, dict } => ColVec::Dict {
+                codes: idx.iter().map(|&i| codes[i]).collect(),
+                dict: Arc::clone(dict),
+            },
         }
     }
 
@@ -202,6 +216,10 @@ pub struct ColExec<'a> {
     /// Whether the logical rewriter runs on bound plans (on by default;
     /// the equivalence suites turn it off to diff against raw plans).
     rewrite: bool,
+    /// Whether predicate-bearing scans consult per-chunk zone maps to
+    /// skip chunks outright (on by default; the scan benchmarks turn it
+    /// off to measure the skipping itself).
+    zone_maps: bool,
     /// Per-node metrics collection; `None` (the default) keeps every
     /// operator on an early-return path with no metrics code at all.
     profiler: Option<Profiler>,
@@ -231,6 +249,7 @@ impl<'a> ColExec<'a> {
             subqueries: RefCell::new(HashMap::new()),
             ctes: RefCell::new(Vec::new()),
             rewrite: true,
+            zone_maps: true,
             profiler: None,
         }
     }
@@ -239,6 +258,13 @@ impl<'a> ColExec<'a> {
     /// subquery binds it performs).
     pub fn with_rewrite(mut self, on: bool) -> Self {
         self.rewrite = on;
+        self
+    }
+
+    /// Toggle zone-map scan skipping (on by default). Results are
+    /// identical either way; only the chunks a scan touches change.
+    pub fn with_zone_maps(mut self, on: bool) -> Self {
+        self.zone_maps = on;
         self
     }
 
@@ -271,6 +297,7 @@ impl<'a> ColExec<'a> {
             subqueries: RefCell::new(HashMap::new()),
             ctes: RefCell::new(Vec::new()),
             rewrite: true,
+            zone_maps: true,
             profiler: None,
         }
     }
@@ -315,6 +342,7 @@ impl<'a> ColExec<'a> {
                 rows_out: rows.len() as u64,
                 batches: 1,
                 nanos: start.elapsed().as_nanos() as u64,
+                ..NodeMetrics::default()
             },
         );
         Ok(rows)
@@ -676,12 +704,166 @@ impl<'a> ColExec<'a> {
         Ok(Some(groups))
     }
 
-    /// Morsel-parallel filter over a base-table scan: each worker
-    /// materializes one morsel of the table, evaluates the predicate and
-    /// keeps its qualifying rows; morsel outputs are concatenated in order,
-    /// so the surviving rows appear exactly as the sequential scan emits
-    /// them. Returns `None` when the shape or configuration keeps this on
-    /// the sequential path.
+    /// Filter one storage chunk of a base-table scan with zone-map
+    /// skipping and a staged selection vector. Returns the chunk's
+    /// surviving rows (late-materialized: payload columns are fetched
+    /// only at survivor positions) and whether the zone test skipped the
+    /// chunk outright.
+    ///
+    /// This is THE per-chunk filter kernel: the sequential scan and every
+    /// parallel morsel worker run this same function, so budget charges,
+    /// error positions and zone decisions are identical at every thread
+    /// count — the property the parallel differential walls pin.
+    fn filter_chunk(
+        &self,
+        table: &Table,
+        schema: &Schema,
+        live: &[usize],
+        range: Range<usize>,
+        conjs: &[&Expr],
+        zpreds: &[ZonePred],
+    ) -> EngineResult<(Batch, bool)> {
+        self.charge(range.len() as u64)?;
+        let chunk = range.start / crate::storage::CHUNK_ROWS;
+        for zp in zpreds {
+            if let Some(zm) = table.zone_map(zp.col) {
+                if !zm.overlaps(chunk, zp.lo, zp.hi) {
+                    // Provably no qualifying row: emit a typed empty batch
+                    // (so chunk concatenation keeps its representation).
+                    let cols = live
+                        .iter()
+                        .map(|&ci| gather_table_col(&table.columns[ci].data, &[]))
+                        .collect();
+                    return Ok((
+                        Batch {
+                            schema: schema.clone(),
+                            len: 0,
+                            cols,
+                        },
+                        true,
+                    ));
+                }
+            }
+        }
+        // Staged conjunct evaluation over a selection vector of global row
+        // ids. Each conjunct materializes only the columns it reads, only
+        // at the rows still in play; a row survives iff every conjunct is
+        // true, so evaluating later conjuncts on earlier survivors only is
+        // exact (Kleene AND: any false or NULL conjunct drops the row).
+        let mut sel: Option<Vec<usize>> = None; // None = the whole chunk
+        for conj in conjs {
+            let n_cur = sel.as_ref().map_or(range.len(), Vec::len);
+            let mut slots = conj.slots();
+            slots.sort_unstable();
+            slots.dedup();
+            let mut cols: Vec<ColVec> = schema
+                .iter()
+                .map(|_| ColVec::Const(Value::Null, n_cur))
+                .collect();
+            for &slot in &slots {
+                let data = &table.columns[live[slot]].data;
+                cols[slot] = match &sel {
+                    None => materialize_col(data, range.clone()),
+                    Some(s) => gather_table_col(data, s),
+                };
+            }
+            let batch = Batch {
+                schema: schema.clone(),
+                len: n_cur,
+                cols,
+            };
+            let mask = self.eval_vec(conj, &batch, None)?;
+            let mut next = Vec::new();
+            for i in 0..n_cur {
+                if mask.truth(i)? == Some(true) {
+                    next.push(match &sel {
+                        None => range.start + i,
+                        Some(s) => s[i],
+                    });
+                }
+            }
+            sel = Some(next);
+        }
+        let sel = sel.unwrap_or_default();
+        let cols = live
+            .iter()
+            .map(|&ci| gather_table_col(&table.columns[ci].data, &sel))
+            .collect();
+        Ok((
+            Batch {
+                schema: schema.clone(),
+                len: sel.len(),
+                cols,
+            },
+            false,
+        ))
+    }
+
+    /// Sequential fused filter-scan: one pass over the table's chunks
+    /// through [`Self::filter_chunk`], so zone maps skip chunks and
+    /// filters never materialize a full-table intermediate. Returns
+    /// `None` when the shape keeps this on the materialize-then-filter
+    /// path (non-vectorizable predicates, correlated outer rows).
+    fn seq_filter_scan(
+        &self,
+        input: &Plan,
+        predicate: &Expr,
+        outer: Option<&Env<'_>>,
+    ) -> EngineResult<Option<Batch>> {
+        let Plan::Scan { table, live, .. } = input else {
+            return Ok(None);
+        };
+        if outer.is_some() || table.row_count() == 0 {
+            return Ok(None);
+        }
+        let conjs = predicate.conjuncts();
+        if !conjs.iter().copied().all(vectorizable) {
+            return Ok(None);
+        }
+        let schema = input.schema();
+        let zpreds = if self.zone_maps {
+            zone_preds(&conjs, table, live)
+        } else {
+            Vec::new()
+        };
+        let start = self.profiler.as_ref().map(|_| Instant::now());
+        let mut parts = Vec::new();
+        let (mut scanned, mut skipped) = (0u64, 0u64);
+        for range in morsel::morsels(table.row_count()) {
+            let (batch, skip) = self.filter_chunk(table, &schema, live, range, &conjs, &zpreds)?;
+            if skip {
+                skipped += 1;
+            } else {
+                scanned += 1;
+            }
+            parts.push(batch);
+        }
+        if let (Some(prof), Some(t)) = (&self.profiler, start) {
+            // One scan sample, as if the scan had produced the whole
+            // table: skipped chunks still count their rows, so the
+            // per-operator row flow is engine- and knob-independent.
+            prof.record(
+                profile::node_key(input),
+                NodeMetrics {
+                    rows_in: table.row_count() as u64,
+                    rows_out: table.row_count() as u64,
+                    batches: 1,
+                    nanos: t.elapsed().as_nanos() as u64,
+                    chunks_scanned: scanned,
+                    chunks_skipped: skipped,
+                },
+            );
+        }
+        Ok(Some(concat_batches(schema, parts)))
+    }
+
+    /// Morsel-parallel filter over a base-table scan: each worker filters
+    /// one chunk (through the same [`Self::filter_chunk`] kernel as the
+    /// sequential scan when the predicate is vectorizable, the generic
+    /// materialize-then-filter loop otherwise); chunk outputs are
+    /// concatenated in order, so the surviving rows appear exactly as the
+    /// sequential scan emits them. Returns `None` when the shape or
+    /// configuration keeps this on the sequential path.
     fn par_filter_scan(
         &self,
         input: &Plan,
@@ -702,6 +884,13 @@ impl<'a> ColExec<'a> {
             return Ok(None);
         }
         let schema = input.schema();
+        let conjs = predicate.conjuncts();
+        let staged = conjs.iter().copied().all(vectorizable);
+        let zpreds = if staged && self.zone_maps {
+            zone_preds(&conjs, table, live)
+        } else {
+            Vec::new()
+        };
         let db = self.db;
         let budget = self.budget;
         // This kernel bypasses `exec_core` for the scan child, so when
@@ -712,6 +901,28 @@ impl<'a> ColExec<'a> {
         let scan_key = profile::node_key(input);
         let parts = morsel::run_on_morsels(table.row_count(), self.threads, |range| {
             let w = ColExec::worker(db, budget, Arc::clone(&counter));
+            if staged {
+                let n = range.len() as u64;
+                let start = profiling.then(Instant::now);
+                let (batch, skip) =
+                    w.filter_chunk(table, &schema, live, range, &conjs, &zpreds)?;
+                let shard = start.map(|t| {
+                    let mut s = ProfileShard::new();
+                    s.record(
+                        scan_key,
+                        NodeMetrics {
+                            rows_in: n,
+                            rows_out: n,
+                            batches: 1,
+                            nanos: t.elapsed().as_nanos() as u64,
+                            chunks_scanned: u64::from(!skip),
+                            chunks_skipped: u64::from(skip),
+                        },
+                    );
+                    s
+                });
+                return Ok((batch, shard));
+            }
             w.charge(range.len() as u64)?;
             let start = profiling.then(Instant::now);
             let batch = scan_batch(table, &schema, live, range);
@@ -724,6 +935,7 @@ impl<'a> ColExec<'a> {
                         rows_out: batch.len as u64,
                         batches: 1,
                         nanos: t.elapsed().as_nanos() as u64,
+                        ..NodeMetrics::default()
                     },
                 );
                 s
@@ -928,6 +1140,7 @@ impl<'a> ColExec<'a> {
                 rows_out: batch.len as u64,
                 batches: 1,
                 nanos: start.elapsed().as_nanos() as u64,
+                ..NodeMetrics::default()
             },
         );
         Ok(batch)
@@ -942,17 +1155,7 @@ impl<'a> ColExec<'a> {
                 let schema = plan.schema();
                 let cols = live
                     .iter()
-                    .map(|&ci| match &table.columns[ci].data {
-                        ColumnData::Int(v) => ColVec::Int(v.clone()),
-                        // The widening cast: i64 storage to i128 vectors.
-                        ColumnData::Decimal { raw, scale } => ColVec::Decimal {
-                            raw: raw.iter().map(|&x| x as i128).collect(),
-                            scale: *scale,
-                        },
-                        ColumnData::Str(v) => ColVec::Str(v.clone()),
-                        ColumnData::Date(v) => ColVec::Date(v.clone()),
-                        ColumnData::Float(v) => ColVec::Float(v.clone()),
-                    })
+                    .map(|&ci| materialize_col(&table.columns[ci].data, 0..table.row_count()))
                     .collect();
                 Ok(Batch {
                     schema,
@@ -982,6 +1185,9 @@ impl<'a> ColExec<'a> {
                 if let Some(filtered) = self.par_filter_scan(input, predicate, outer)? {
                     return Ok(filtered);
                 }
+                if let Some(filtered) = self.seq_filter_scan(input, predicate, outer)? {
+                    return Ok(filtered);
+                }
                 let batch = self.exec_core(input, outer)?;
                 let mask = self.eval_vec(predicate, &batch, outer)?;
                 let mut idx = Vec::new();
@@ -1002,6 +1208,61 @@ impl<'a> ColExec<'a> {
         }
     }
 
+    /// Execute one join input. An inner equi-join input that is a plain
+    /// base-table scan whose keys are all bare columns executes *lazily*:
+    /// only the key columns materialize now (null-constant placeholders
+    /// hold the other slots — invisible to the join, which touches key
+    /// slots only), and the returned table reference lets the caller
+    /// fetch payload columns at the matched rows alone.
+    fn join_input<'p>(
+        &self,
+        plan: &'p Plan,
+        kind: JoinKind,
+        key_slots: Option<Vec<usize>>,
+        outer: Option<&Env<'_>>,
+    ) -> EngineResult<(Batch, Option<LazySide<'p>>)> {
+        if let (JoinKind::Inner, Some(mut slots), Plan::Scan { table, live, .. }) =
+            (kind, key_slots, plan)
+        {
+            self.charge(table.row_count() as u64)?;
+            let start = self.profiler.as_ref().map(|_| Instant::now());
+            let schema = plan.schema();
+            let n = table.row_count();
+            slots.sort_unstable();
+            slots.dedup();
+            let mut cols: Vec<ColVec> = schema
+                .iter()
+                .map(|_| ColVec::Const(Value::Null, n))
+                .collect();
+            for &slot in &slots {
+                cols[slot] = materialize_col(&table.columns[live[slot]].data, 0..n);
+            }
+            if let (Some(prof), Some(t)) = (&self.profiler, start) {
+                // `exec_core` is bypassed, so record the scan sample here
+                // (same row flow as an eager scan of the whole table).
+                prof.record(
+                    profile::node_key(plan),
+                    NodeMetrics {
+                        rows_in: n as u64,
+                        rows_out: n as u64,
+                        batches: 1,
+                        nanos: t.elapsed().as_nanos() as u64,
+                        ..NodeMetrics::default()
+                    },
+                );
+            }
+            return Ok((
+                Batch {
+                    schema,
+                    len: n,
+                    cols,
+                },
+                Some((table.as_ref(), live.as_slice())),
+            ));
+        }
+        Ok((self.exec_core(plan, outer)?, None))
+    }
+
     fn exec_join(
         &self,
         left: &Plan,
@@ -1011,8 +1272,26 @@ impl<'a> ColExec<'a> {
         residual: Option<&Expr>,
         outer: Option<&Env<'_>>,
     ) -> EngineResult<Batch> {
-        let lbatch = self.exec_core(left, outer)?;
-        let rbatch = self.exec_core(right, outer)?;
+        // Bare-column key slots per side, when *every* key is one — the
+        // late-materialization gate (expressions over placeholder slots
+        // would otherwise reach the row-wise evaluator).
+        let col_slots = |exprs: Vec<&Expr>| -> Option<Vec<usize>> {
+            (!exprs.is_empty())
+                .then(|| {
+                    exprs
+                        .iter()
+                        .map(|e| match e {
+                            Expr::Col { slot, .. } => Some(*slot),
+                            _ => None,
+                        })
+                        .collect()
+                })
+                .flatten()
+        };
+        let (lbatch, llazy) =
+            self.join_input(left, kind, col_slots(equi.iter().map(|(l, _)| l).collect()), outer)?;
+        let (rbatch, rlazy) =
+            self.join_input(right, kind, col_slots(equi.iter().map(|(_, r)| r).collect()), outer)?;
         let mut combined_schema = lbatch.schema.clone();
         combined_schema.extend(rbatch.schema.iter().cloned());
 
@@ -1046,13 +1325,25 @@ impl<'a> ColExec<'a> {
         }
 
         // Materialize candidates, then apply the residual as a filter.
+        // Lazily-scanned sides fetch payload columns straight from table
+        // storage at the matched rows only (late materialization); their
+        // placeholder slots are exactly the `Const(Null)` columns.
+        let fetch = |batch: &Batch,
+                     lazy: &Option<LazySide<'_>>,
+                     idx: &[usize],
+                     cols: &mut Vec<ColVec>| {
+            for (slot, c) in batch.cols.iter().enumerate() {
+                cols.push(match (lazy, c) {
+                    (Some((table, live)), ColVec::Const(Value::Null, _)) => {
+                        gather_table_col(&table.columns[live[slot]].data, idx)
+                    }
+                    _ => c.gather(idx),
+                });
+            }
+        };
         let mut cols: Vec<ColVec> = Vec::with_capacity(combined_schema.len());
-        for c in &lbatch.cols {
-            cols.push(c.gather(&lidx));
-        }
-        for c in &rbatch.cols {
-            cols.push(c.gather(&ridx));
-        }
+        fetch(&lbatch, &llazy, &lidx, &mut cols);
+        fetch(&rbatch, &rlazy, &ridx, &mut cols);
         let mut candidates = Batch {
             schema: combined_schema,
             len: lidx.len(),
@@ -1179,6 +1470,19 @@ impl<'a> ColExec<'a> {
                         .collect();
                     return Ok(ColVec::Bool(out));
                 }
+                // Dict fast path: match the pattern once per dictionary
+                // entry, then map codes through the result table.
+                if let (ColVec::Dict { codes, dict }, ColVec::Const(Value::Str(pat), _)) =
+                    (&v, &p)
+                {
+                    let table: Vec<bool> = dict
+                        .iter()
+                        .map(|t| value::like_match(t, pat) != *negated)
+                        .collect();
+                    return Ok(ColVec::Bool(
+                        codes.iter().map(|&c| table[c as usize]).collect(),
+                    ));
+                }
                 let mut out = Vec::with_capacity(n);
                 for i in 0..n {
                     out.push(match (v.get(i), p.get(i)) {
@@ -1216,6 +1520,26 @@ impl<'a> ColExec<'a> {
                     .map(|it| self.eval_vec(it, batch, outer))
                     .collect::<EngineResult<_>>()?;
                 self.charge(n as u64)?;
+                // Dict fast path: constant string lists (`l_shipmode in
+                // ('MAIL', 'SHIP')`) become a per-code membership table.
+                if let ColVec::Dict { codes, dict } = &v {
+                    if items
+                        .iter()
+                        .all(|it| matches!(it, ColVec::Const(Value::Str(_), _)))
+                    {
+                        let mut member = vec![false; dict.len()];
+                        for it in &items {
+                            if let ColVec::Const(Value::Str(s), _) = it {
+                                if let Ok(p) = dict.binary_search(s) {
+                                    member[p] = true;
+                                }
+                            }
+                        }
+                        return Ok(ColVec::Bool(
+                            codes.iter().map(|&c| member[c as usize] != *negated).collect(),
+                        ));
+                    }
+                }
                 let mut out = Vec::with_capacity(n);
                 for i in 0..n {
                     let x = v.get(i);
@@ -1332,22 +1656,214 @@ fn child_rows_out(prof: &Profiler, plan: &Plan) -> u64 {
     }
 }
 
+/// Whether every node of `e` stays on `eval_vec`'s vectorized kernels.
+/// A lazily-scanned join input: the stored table plus the scan's live
+/// column mapping, enough to fetch payload columns at matched rows only.
+type LazySide<'p> = (&'p Table, &'p [usize]);
+
+/// The staged filter builds batches whose unreferenced slots are null
+/// placeholders, so any expression that could reach the row-wise fallback
+/// (which materializes *all* slots) must be rejected here.
+fn vectorizable(e: &Expr) -> bool {
+    match e {
+        Expr::Col { .. } | Expr::Literal(_) | Expr::Bool(_) => true,
+        Expr::Binary { left, right, .. } => vectorizable(left) && vectorizable(right),
+        Expr::Between {
+            expr, low, high, ..
+        } => vectorizable(expr) && vectorizable(low) && vectorizable(high),
+        Expr::Like { expr, pattern, .. } => vectorizable(expr) && vectorizable(pattern),
+        Expr::Unary {
+            op: UnaryOp::Not,
+            expr,
+        } => vectorizable(expr),
+        Expr::InList { expr, list, .. } => {
+            vectorizable(expr) && list.iter().all(vectorizable)
+        }
+        _ => false,
+    }
+}
+
+/// A scan-range constraint harvested from one filter conjunct, expressed
+/// in the column's zone-map domain ([`crate::storage::ZoneMap`]): integer
+/// value, decimal raw, day number, or dictionary code.
+struct ZonePred {
+    /// Table column index (`live[slot]` of the scan).
+    col: usize,
+    lo: Option<i64>,
+    hi: Option<i64>,
+}
+
+/// Mirror a comparison across `lit op col` → `col op' lit`.
+fn flip_cmp(op: BinOp) -> BinOp {
+    match op {
+        BinOp::Lt => BinOp::Gt,
+        BinOp::LtEq => BinOp::GtEq,
+        BinOp::Gt => BinOp::Lt,
+        BinOp::GtEq => BinOp::LtEq,
+        other => other,
+    }
+}
+
+/// Translate `col op literal` into zone-domain bounds, or `None` when the
+/// literal doesn't map exactly into the column's domain. Bounds only ever
+/// *widen* on inexact edges (saturating ±1), so a skip decision is always
+/// sound: the zone test may scan a chunk it could have skipped, never the
+/// reverse.
+fn zone_bounds(
+    op: BinOp,
+    v: &Value,
+    data: &ColumnData,
+) -> Option<(Option<i64>, Option<i64>)> {
+    let point: i64 = match (data, v) {
+        (ColumnData::Int(_) | ColumnData::ForInt(_), Value::Int(i)) => *i,
+        (ColumnData::Date(_) | ColumnData::ForDate(_), Value::Date(d)) => *d as i64,
+        (ColumnData::Decimal { scale, .. }, Value::Decimal { raw, scale: ls }) => {
+            let raw = if ls <= scale {
+                raw.checked_mul(10i128.checked_pow((scale - ls) as u32)?)?
+            } else {
+                let f = 10i128.checked_pow((ls - scale) as u32)?;
+                if raw % f != 0 {
+                    return None; // not representable at the column's scale
+                }
+                raw / f
+            };
+            i64::try_from(raw).ok()?
+        }
+        (ColumnData::Decimal { scale, .. }, Value::Int(i)) => {
+            i.checked_mul(10i64.checked_pow(*scale as u32)?)?
+        }
+        // Dictionary columns: the dictionary is sorted, so string bounds
+        // become code bounds through one binary search. An absent string
+        // folds `<`/`<=` (and `>`/`>=`) together at the insertion point;
+        // an absent equality is provably empty (lo > hi skips everything).
+        (ColumnData::Dict { dict, .. }, Value::Str(s)) => {
+            return Some(match (op, dict.binary_search(s)) {
+                (BinOp::Eq, Ok(p)) => (Some(p as i64), Some(p as i64)),
+                (BinOp::Eq, Err(_)) => (Some(0), Some(-1)),
+                (BinOp::Lt, Ok(p)) => (None, Some(p as i64 - 1)),
+                (BinOp::LtEq, Ok(p)) => (None, Some(p as i64)),
+                (BinOp::Lt | BinOp::LtEq, Err(p)) => (None, Some(p as i64 - 1)),
+                (BinOp::Gt, Ok(p)) => (Some(p as i64 + 1), None),
+                (BinOp::GtEq, Ok(p)) => (Some(p as i64), None),
+                (BinOp::Gt | BinOp::GtEq, Err(p)) => (Some(p as i64), None),
+                _ => return None,
+            });
+        }
+        _ => return None,
+    };
+    Some(match op {
+        BinOp::Eq => (Some(point), Some(point)),
+        BinOp::Lt => (None, Some(point.saturating_sub(1))),
+        BinOp::LtEq => (None, Some(point)),
+        BinOp::Gt => (Some(point.saturating_add(1)), None),
+        BinOp::GtEq => (Some(point), None),
+        _ => return None,
+    })
+}
+
+/// Harvest zone predicates from a conjunct list: `col ⋈ literal` in
+/// either order and non-negated `BETWEEN` over literals. Conjuncts that
+/// don't fit contribute no constraint (never an unsound one).
+fn zone_preds(conjs: &[&Expr], table: &Table, live: &[usize]) -> Vec<ZonePred> {
+    let mut out = Vec::new();
+    let mut push = |slot: usize, op: BinOp, lit: &sqalpel_sql::ast::Literal| {
+        let Ok(v) = crate::eval::literal(lit) else {
+            return;
+        };
+        let col = live[slot];
+        if let Some((lo, hi)) = zone_bounds(op, &v, &table.columns[col].data) {
+            out.push(ZonePred { col, lo, hi });
+        }
+    };
+    for conj in conjs {
+        match conj {
+            Expr::Binary { left, op, right } => match (left.as_ref(), right.as_ref()) {
+                (Expr::Col { slot, .. }, Expr::Literal(l)) => push(*slot, *op, l),
+                (Expr::Literal(l), Expr::Col { slot, .. }) => push(*slot, flip_cmp(*op), l),
+                _ => {}
+            },
+            Expr::Between {
+                expr,
+                negated: false,
+                low,
+                high,
+            } => {
+                if let Expr::Col { slot, .. } = expr.as_ref() {
+                    if let Expr::Literal(l) = low.as_ref() {
+                        push(*slot, BinOp::GtEq, l);
+                    }
+                    if let Expr::Literal(h) = high.as_ref() {
+                        push(*slot, BinOp::LtEq, h);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Materialize one range of a stored column into an executor vector:
+/// `i64 → i128` decimal widening, frame-of-reference unpacking, and
+/// dictionary code slicing (codes move, strings never do).
+fn materialize_col(data: &ColumnData, range: Range<usize>) -> ColVec {
+    match data {
+        ColumnData::Int(v) => ColVec::Int(v[range].to_vec()),
+        ColumnData::Decimal { raw, scale } => ColVec::Decimal {
+            raw: raw[range].iter().map(|&x| x as i128).collect(),
+            scale: *scale,
+        },
+        ColumnData::Str(v) => ColVec::Str(v[range].to_vec()),
+        ColumnData::Date(v) => ColVec::Date(v[range].to_vec()),
+        ColumnData::Float(v) => ColVec::Float(v[range].to_vec()),
+        ColumnData::Dict { codes, dict } => ColVec::Dict {
+            codes: codes[range].to_vec(),
+            dict: Arc::clone(dict),
+        },
+        ColumnData::ForInt(v) => {
+            let mut out = Vec::new();
+            v.decode_range(range, &mut out);
+            ColVec::Int(out)
+        }
+        ColumnData::ForDate(v) => {
+            let mut out = Vec::with_capacity(range.len());
+            for i in range {
+                out.push(v.get(i) as i32);
+            }
+            ColVec::Date(out)
+        }
+    }
+}
+
+/// Gather single rows of a stored column directly, bypassing full
+/// materialization — the late-materialization fetch used for join payload
+/// columns and zone-map filter output.
+fn gather_table_col(data: &ColumnData, idx: &[usize]) -> ColVec {
+    match data {
+        ColumnData::Int(v) => ColVec::Int(idx.iter().map(|&i| v[i]).collect()),
+        ColumnData::Decimal { raw, scale } => ColVec::Decimal {
+            raw: idx.iter().map(|&i| raw[i] as i128).collect(),
+            scale: *scale,
+        },
+        ColumnData::Str(v) => ColVec::Str(idx.iter().map(|&i| v[i].clone()).collect()),
+        ColumnData::Date(v) => ColVec::Date(idx.iter().map(|&i| v[i]).collect()),
+        ColumnData::Float(v) => ColVec::Float(idx.iter().map(|&i| v[i]).collect()),
+        ColumnData::Dict { codes, dict } => ColVec::Dict {
+            codes: idx.iter().map(|&i| codes[i]).collect(),
+            dict: Arc::clone(dict),
+        },
+        ColumnData::ForInt(v) => ColVec::Int(idx.iter().map(|&i| v.get(i)).collect()),
+        ColumnData::ForDate(v) => ColVec::Date(idx.iter().map(|&i| v.get(i) as i32).collect()),
+    }
+}
+
 /// Materialize one morsel of a base-table scan, pruned to the plan's
-/// `live` columns (the same pruning and `i64 → i128` decimal widening as
-/// the full sequential scan).
+/// `live` columns (the same pruning and decoding as the full sequential
+/// scan).
 fn scan_batch(table: &Table, schema: &Schema, live: &[usize], range: Range<usize>) -> Batch {
     let cols = live
         .iter()
-        .map(|&ci| match &table.columns[ci].data {
-            ColumnData::Int(v) => ColVec::Int(v[range.clone()].to_vec()),
-            ColumnData::Decimal { raw, scale } => ColVec::Decimal {
-                raw: raw[range.clone()].iter().map(|&x| x as i128).collect(),
-                scale: *scale,
-            },
-            ColumnData::Str(v) => ColVec::Str(v[range.clone()].to_vec()),
-            ColumnData::Date(v) => ColVec::Date(v[range.clone()].to_vec()),
-            ColumnData::Float(v) => ColVec::Float(v[range.clone()].to_vec()),
-        })
+        .map(|&ci| materialize_col(&table.columns[ci].data, range.clone()))
         .collect();
     Batch {
         schema: schema.clone(),
@@ -1413,6 +1929,16 @@ fn concat_col(parts: Vec<ColVec>) -> ColVec {
                 a.extend(b);
                 ColVec::Val(a)
             }
+            (
+                ColVec::Dict {
+                    codes: mut a,
+                    dict: da,
+                },
+                ColVec::Dict { codes: b, dict: db },
+            ) if Arc::ptr_eq(&da, &db) => {
+                a.extend(b);
+                ColVec::Dict { codes: a, dict: da }
+            }
             (a, b) => {
                 let mut out = Vec::with_capacity(total);
                 for c in [a, b] {
@@ -1436,6 +1962,12 @@ enum ArgCol<'a> {
     Star,
     /// A typed string column: feed by reference.
     Str(&'a [String]),
+    /// A dictionary column: decode the code to a borrowed string, no
+    /// per-row allocation.
+    Dict {
+        codes: &'a [u32],
+        dict: &'a [String],
+    },
     /// Everything else: box one value per row (ints and decimals are
     /// stack-only, so this allocates nothing for numeric columns).
     Generic(&'a ColVec),
@@ -1446,6 +1978,10 @@ impl<'a> ArgCol<'a> {
         match arg {
             None => ArgCol::Star,
             Some(ColVec::Str(v)) => ArgCol::Str(v),
+            Some(ColVec::Dict { codes, dict }) => ArgCol::Dict {
+                codes,
+                dict: dict.as_slice(),
+            },
             Some(c) => ArgCol::Generic(c),
         }
     }
@@ -1455,6 +1991,7 @@ impl<'a> ArgCol<'a> {
         match self {
             ArgCol::Star => acc.update(None),
             ArgCol::Str(v) => acc.update_str(&v[i]),
+            ArgCol::Dict { codes, dict } => acc.update_str(&dict[codes[i] as usize]),
             ArgCol::Generic(c) => {
                 let v = c.get(i);
                 acc.update(Some(&v))
@@ -1631,6 +2168,73 @@ fn cmp_kernel(op: BinOp, l: &ColVec, r: &ColVec, n: usize) -> EngineResult<ColVe
         (ColVec::Date(a), ColVec::Date(b)) => {
             return Ok(ColVec::Bool(
                 a.iter().zip(b).map(|(&x, &y)| apply(x.cmp(&y), op)).collect(),
+            ))
+        }
+        // Dictionary column against a constant string: the dictionary is
+        // sorted, so the whole comparison collapses into code space — one
+        // binary search, then an integer compare per row.
+        (ColVec::Dict { codes, dict }, ColVec::Const(Value::Str(c), _)) => {
+            let out: Vec<bool> = match dict.binary_search(c) {
+                Ok(p) => {
+                    let p = p as u32;
+                    codes.iter().map(|&x| apply(x.cmp(&p), op)).collect()
+                }
+                // The constant is absent: equality is constant-false,
+                // inequality constant-true, and for range ops `p` is the
+                // insertion point, so `x < p` ⇔ `dict[x] < c` (no code
+                // equals `c`, which folds `<`/`<=` and `>`/`>=` together).
+                Err(p) => {
+                    let p = p as u32;
+                    match op {
+                        BinOp::Eq => vec![false; codes.len()],
+                        BinOp::NotEq => vec![true; codes.len()],
+                        BinOp::Lt | BinOp::LtEq => codes.iter().map(|&x| x < p).collect(),
+                        BinOp::Gt | BinOp::GtEq => codes.iter().map(|&x| x >= p).collect(),
+                        _ => unreachable!("cmp_kernel only sees comparison ops"),
+                    }
+                }
+            };
+            return Ok(ColVec::Bool(out));
+        }
+        (
+            ColVec::Dict {
+                codes: a,
+                dict: da,
+            },
+            ColVec::Dict {
+                codes: b,
+                dict: db,
+            },
+        ) => {
+            // Same dictionary: pure code compare; different dictionaries:
+            // compare the strings by reference, still allocation-free.
+            let out: Vec<bool> = if Arc::ptr_eq(da, db) {
+                a.iter().zip(b).map(|(&x, &y)| apply(x.cmp(&y), op)).collect()
+            } else {
+                a.iter()
+                    .zip(b)
+                    .map(|(&x, &y)| {
+                        apply(da[x as usize].as_str().cmp(db[y as usize].as_str()), op)
+                    })
+                    .collect()
+            };
+            return Ok(ColVec::Bool(out));
+        }
+        (ColVec::Dict { codes, dict }, ColVec::Str(b)) => {
+            return Ok(ColVec::Bool(
+                codes
+                    .iter()
+                    .zip(b)
+                    .map(|(&x, y)| apply(dict[x as usize].as_str().cmp(y.as_str()), op))
+                    .collect(),
+            ))
+        }
+        (ColVec::Str(a), ColVec::Dict { codes, dict }) => {
+            return Ok(ColVec::Bool(
+                a.iter()
+                    .zip(codes)
+                    .map(|(x, &y)| apply(x.as_str().cmp(dict[y as usize].as_str()), op))
+                    .collect(),
             ))
         }
         _ => {}

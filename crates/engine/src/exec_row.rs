@@ -187,6 +187,7 @@ impl<'a> RowExec<'a> {
                 rows_out: rows.len() as u64,
                 batches: 1,
                 nanos: start.elapsed().as_nanos() as u64,
+                ..NodeMetrics::default()
             },
         );
         Ok(rows)
@@ -429,6 +430,7 @@ impl<'a> RowExec<'a> {
                             rows_out: scanned,
                             batches: 1,
                             nanos: t.elapsed().as_nanos() as u64,
+                            ..NodeMetrics::default()
                         },
                     );
                     s
@@ -478,6 +480,7 @@ impl<'a> RowExec<'a> {
                 rows_out,
                 batches: 1,
                 nanos,
+                ..NodeMetrics::default()
             },
         );
         Ok(())

@@ -133,9 +133,19 @@ fn annotate<T>(out: &mut String, prof: Option<&ProfileShard>, node: &T) {
         Some(m) => {
             let _ = write!(
                 out,
-                " (rows_in={} rows_out={} batches={} time={}ns)",
+                " (rows_in={} rows_out={} batches={} time={}ns",
                 m.rows_in, m.rows_out, m.batches, m.nanos
             );
+            // Zone-map effectiveness, present only where chunked storage
+            // was actually consulted (column-engine scans).
+            if m.chunks_scanned + m.chunks_skipped > 0 {
+                let _ = write!(
+                    out,
+                    " chunks_scanned={} chunks_skipped={}",
+                    m.chunks_scanned, m.chunks_skipped
+                );
+            }
+            out.push(')');
         }
         None => out.push_str(" (not executed)"),
     }

@@ -29,8 +29,11 @@ use std::sync::Arc;
 
 /// Rows per morsel. Small enough that a skewed predicate still load-balances
 /// across workers, large enough that per-morsel overhead (a batch header,
-/// a hash-table allocation) stays invisible.
-pub const MORSEL_ROWS: usize = 4096;
+/// a hash-table allocation) stays invisible. Equal to the storage chunk
+/// size by construction: a morsel is exactly one zone-mapped chunk, so
+/// parallel scans can skip morsels with the same zone test the
+/// sequential scan uses.
+pub const MORSEL_ROWS: usize = crate::storage::CHUNK_ROWS;
 
 /// Inputs below this row count stay on the sequential path: spawning
 /// threads costs more than the scan.

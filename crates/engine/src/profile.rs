@@ -30,6 +30,12 @@ pub struct NodeMetrics {
     pub batches: u64,
     /// Inclusive wall-clock nanoseconds spent in the node and below.
     pub nanos: u64,
+    /// Storage chunks a scan actually materialized. Zero for non-scan
+    /// nodes and for engines without chunked storage (the row engine).
+    pub chunks_scanned: u64,
+    /// Storage chunks a scan skipped outright because the zone map proved
+    /// no row could pass the predicate.
+    pub chunks_skipped: u64,
 }
 
 impl NodeMetrics {
@@ -39,6 +45,8 @@ impl NodeMetrics {
         self.rows_out += other.rows_out;
         self.batches += other.batches;
         self.nanos += other.nanos;
+        self.chunks_scanned += other.chunks_scanned;
+        self.chunks_skipped += other.chunks_skipped;
     }
 }
 
@@ -147,6 +155,7 @@ mod tests {
             rows_out,
             batches,
             nanos,
+            ..NodeMetrics::default()
         }
     }
 

@@ -10,6 +10,12 @@ use crate::value::{Day, Value};
 use std::collections::HashMap;
 use std::sync::Arc;
 
+/// Rows per storage chunk. Zone maps are computed at this granularity and
+/// the morsel scheduler slices scans at the same boundary
+/// ([`crate::morsel::MORSEL_ROWS`] is defined as this constant), so a
+/// zone-map decision always covers exactly one morsel.
+pub const CHUNK_ROWS: usize = 4096;
+
 /// Column types understood by the storage layer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ColumnType {
@@ -21,6 +27,118 @@ pub enum ColumnType {
     Float,
 }
 
+/// A frame-of-reference bit-packed integer vector. Each [`CHUNK_ROWS`]
+/// chunk stores its minimum as the frame and packs `value - min` into
+/// `bits`-wide little-endian lanes, so a cell read is a shift and a mask
+/// and the per-chunk bounds double as the zone map.
+#[derive(Debug, Clone)]
+pub struct ForVec {
+    len: usize,
+    chunks: Vec<ForChunk>,
+}
+
+#[derive(Debug, Clone)]
+struct ForChunk {
+    min: i64,
+    max: i64,
+    bits: u32,
+    words: Vec<u64>,
+}
+
+impl ForChunk {
+    fn encode(values: &[i64]) -> ForChunk {
+        let min = values.iter().copied().min().unwrap_or(0);
+        let max = values.iter().copied().max().unwrap_or(0);
+        let span = (max as i128 - min as i128) as u64;
+        let bits = 64 - span.leading_zeros();
+        let mut words = vec![0u64; (values.len() * bits as usize).div_ceil(64)];
+        if bits > 0 {
+            for (i, &v) in values.iter().enumerate() {
+                let delta = (v as i128 - min as i128) as u64;
+                let bit = i * bits as usize;
+                let (word, off) = (bit / 64, (bit % 64) as u32);
+                words[word] |= delta << off;
+                if off + bits > 64 {
+                    words[word + 1] |= delta >> (64 - off);
+                }
+            }
+        }
+        ForChunk {
+            min,
+            max,
+            bits,
+            words,
+        }
+    }
+
+    #[inline]
+    fn get(&self, i: usize) -> i64 {
+        if self.bits == 0 {
+            return self.min;
+        }
+        let bit = i * self.bits as usize;
+        let (word, off) = (bit / 64, (bit % 64) as u32);
+        let mut delta = self.words[word] >> off;
+        if off + self.bits > 64 {
+            delta |= self.words[word + 1] << (64 - off);
+        }
+        let mask = if self.bits == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.bits) - 1
+        };
+        (self.min as i128 + (delta & mask) as i128) as i64
+    }
+}
+
+impl ForVec {
+    pub fn encode(values: &[i64]) -> ForVec {
+        ForVec {
+            len: values.len(),
+            chunks: values.chunks(CHUNK_ROWS).map(ForChunk::encode).collect(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Packed payload size in bytes (frames excluded) — the compression
+    /// decision in [`int_col`]/[`date_col`] compares this to raw storage.
+    pub fn packed_bytes(&self) -> usize {
+        self.chunks.iter().map(|c| c.words.len() * 8).sum()
+    }
+
+    #[inline]
+    pub fn get(&self, idx: usize) -> i64 {
+        self.chunks[idx / CHUNK_ROWS].get(idx % CHUNK_ROWS)
+    }
+
+    /// Decode `range` (must lie within one chunk or span whole chunks)
+    /// by appending onto `out`.
+    pub fn decode_range(&self, range: std::ops::Range<usize>, out: &mut Vec<i64>) {
+        out.reserve(range.len());
+        for idx in range {
+            out.push(self.get(idx));
+        }
+    }
+
+    pub fn decode(&self) -> Vec<i64> {
+        let mut out = Vec::with_capacity(self.len);
+        self.decode_range(0..self.len, &mut out);
+        out
+    }
+
+    /// Per-chunk `(min, max)` bounds — free zone-map material.
+    pub fn chunk_bounds(&self) -> impl Iterator<Item = (i64, i64)> + '_ {
+        self.chunks.iter().map(|c| (c.min, c.max))
+    }
+}
+
 /// A typed column vector.
 #[derive(Debug, Clone)]
 pub enum ColumnData {
@@ -30,6 +148,17 @@ pub enum ColumnData {
     Str(Vec<String>),
     Date(Vec<Day>),
     Float(Vec<f64>),
+    /// Dictionary-encoded strings: `dict` is sorted and deduplicated, so
+    /// code order equals lexicographic string order and range predicates
+    /// can compare codes directly.
+    Dict {
+        codes: Vec<u32>,
+        dict: Arc<Vec<String>>,
+    },
+    /// Frame-of-reference bit-packed integers.
+    ForInt(ForVec),
+    /// Frame-of-reference bit-packed dates (days since epoch).
+    ForDate(ForVec),
 }
 
 impl ColumnData {
@@ -40,6 +169,8 @@ impl ColumnData {
             ColumnData::Str(v) => v.len(),
             ColumnData::Date(v) => v.len(),
             ColumnData::Float(v) => v.len(),
+            ColumnData::Dict { codes, .. } => codes.len(),
+            ColumnData::ForInt(v) | ColumnData::ForDate(v) => v.len(),
         }
     }
 
@@ -49,10 +180,10 @@ impl ColumnData {
 
     pub fn column_type(&self) -> ColumnType {
         match self {
-            ColumnData::Int(_) => ColumnType::Int,
+            ColumnData::Int(_) | ColumnData::ForInt(_) => ColumnType::Int,
             ColumnData::Decimal { scale, .. } => ColumnType::Decimal(*scale),
-            ColumnData::Str(_) => ColumnType::Str,
-            ColumnData::Date(_) => ColumnType::Date,
+            ColumnData::Str(_) | ColumnData::Dict { .. } => ColumnType::Str,
+            ColumnData::Date(_) | ColumnData::ForDate(_) => ColumnType::Date,
             ColumnData::Float(_) => ColumnType::Float,
         }
     }
@@ -68,7 +199,63 @@ impl ColumnData {
             ColumnData::Str(v) => Value::Str(v[idx].clone()),
             ColumnData::Date(v) => Value::Date(v[idx]),
             ColumnData::Float(v) => Value::Float(v[idx]),
+            ColumnData::Dict { codes, dict } => Value::Str(dict[codes[idx] as usize].clone()),
+            ColumnData::ForInt(v) => Value::Int(v.get(idx)),
+            ColumnData::ForDate(v) => Value::Date(v.get(idx) as Day),
         }
+    }
+
+    /// Per-chunk `(min, max)` zone bounds in the column's raw i64 domain
+    /// (value for ints, day for dates, raw for decimals, code for dicts).
+    /// `None` for types zone maps cannot order (floats, raw strings).
+    fn zone_map(&self) -> Option<ZoneMap> {
+        fn bounds<T: Copy, F: Fn(T) -> i64>(vals: &[T], f: F) -> ZoneMap {
+            let mut zm = ZoneMap::default();
+            for chunk in vals.chunks(CHUNK_ROWS) {
+                let mut min = i64::MAX;
+                let mut max = i64::MIN;
+                for &v in chunk {
+                    let x = f(v);
+                    min = min.min(x);
+                    max = max.max(x);
+                }
+                zm.mins.push(min);
+                zm.maxs.push(max);
+            }
+            zm
+        }
+        match self {
+            ColumnData::Int(v) => Some(bounds(v, |x| x)),
+            ColumnData::Decimal { raw, .. } => Some(bounds(raw, |x| x)),
+            ColumnData::Date(v) => Some(bounds(v, |x| x as i64)),
+            ColumnData::Dict { codes, .. } => Some(bounds(codes, |x| x as i64)),
+            ColumnData::ForInt(v) | ColumnData::ForDate(v) => {
+                let mut zm = ZoneMap::default();
+                for (min, max) in v.chunk_bounds() {
+                    zm.mins.push(min);
+                    zm.maxs.push(max);
+                }
+                Some(zm)
+            }
+            ColumnData::Str(_) | ColumnData::Float(_) => None,
+        }
+    }
+}
+
+/// Per-chunk min/max bounds for one column, in the column's raw i64
+/// domain. Empty chunks never occur: chunk `i` covers rows
+/// `[i * CHUNK_ROWS, min((i + 1) * CHUNK_ROWS, rows))`.
+#[derive(Debug, Clone, Default)]
+pub struct ZoneMap {
+    pub mins: Vec<i64>,
+    pub maxs: Vec<i64>,
+}
+
+impl ZoneMap {
+    /// Could any row of chunk `chunk` satisfy `value ∈ [lo, hi]`?
+    #[inline]
+    pub fn overlaps(&self, chunk: usize, lo: Option<i64>, hi: Option<i64>) -> bool {
+        lo.is_none_or(|lo| self.maxs[chunk] >= lo) && hi.is_none_or(|hi| self.mins[chunk] <= hi)
     }
 }
 
@@ -85,10 +272,15 @@ pub struct Table {
     pub name: String,
     pub columns: Vec<Column>,
     rows: usize,
+    /// Per-column zone maps, parallel to `columns` (`None` where the
+    /// column type has no zone-map order).
+    zones: Vec<Option<ZoneMap>>,
 }
 
 impl Table {
     /// Build a table, checking that all columns have equal length.
+    /// Zone maps are computed here, once, for every chunk of every
+    /// orderable column.
     pub fn new(name: impl Into<String>, columns: Vec<Column>) -> EngineResult<Table> {
         let name = name.into();
         let rows = columns.first().map_or(0, |c| c.data.len());
@@ -101,15 +293,27 @@ impl Table {
                 )));
             }
         }
+        let zones = columns.iter().map(|c| c.data.zone_map()).collect();
         Ok(Table {
             name,
             columns,
             rows,
+            zones,
         })
     }
 
     pub fn row_count(&self) -> usize {
         self.rows
+    }
+
+    /// Number of [`CHUNK_ROWS`] storage chunks.
+    pub fn chunk_count(&self) -> usize {
+        self.rows.div_ceil(CHUNK_ROWS)
+    }
+
+    /// The zone map for column `ci`, if its type supports one.
+    pub fn zone_map(&self, ci: usize) -> Option<&ZoneMap> {
+        self.zones.get(ci).and_then(|z| z.as_ref())
     }
 
     pub fn column(&self, name: &str) -> Option<&Column> {
@@ -277,33 +481,42 @@ impl Database {
             .expect("orders columns"),
         );
 
+        // Cluster the fact table on its dominant range-filter column
+        // before chunking. Same multiset of rows, but each chunk now
+        // covers a narrow shipdate band, so zone maps can prune
+        // date-range scans (TPC-H Q6) instead of touching every chunk.
+        // Ties break on (orderkey, linenumber) to keep the layout
+        // deterministic for a given generator seed.
+        let mut lineitem: Vec<&sqalpel_datagen::tpch::LineItem> = d.lineitem.iter().collect();
+        lineitem.sort_by_key(|l| (l.l_shipdate, l.l_orderkey, l.l_linenumber));
+
         db.add_table(
             Table::new(
                 "lineitem",
                 vec![
-                    int_col("l_orderkey", d.lineitem.iter().map(|l| l.l_orderkey)),
-                    int_col("l_partkey", d.lineitem.iter().map(|l| l.l_partkey)),
-                    int_col("l_suppkey", d.lineitem.iter().map(|l| l.l_suppkey)),
-                    int_col("l_linenumber", d.lineitem.iter().map(|l| l.l_linenumber)),
-                    int_col("l_quantity", d.lineitem.iter().map(|l| l.l_quantity)),
+                    int_col("l_orderkey", lineitem.iter().map(|l| l.l_orderkey)),
+                    int_col("l_partkey", lineitem.iter().map(|l| l.l_partkey)),
+                    int_col("l_suppkey", lineitem.iter().map(|l| l.l_suppkey)),
+                    int_col("l_linenumber", lineitem.iter().map(|l| l.l_linenumber)),
+                    int_col("l_quantity", lineitem.iter().map(|l| l.l_quantity)),
                     dec_col(
                         "l_extendedprice",
-                        d.lineitem.iter().map(|l| l.l_extendedprice),
+                        lineitem.iter().map(|l| l.l_extendedprice),
                         2,
                     ),
-                    dec_col("l_discount", d.lineitem.iter().map(|l| l.l_discount), 2),
-                    dec_col("l_tax", d.lineitem.iter().map(|l| l.l_tax), 2),
-                    str_col("l_returnflag", d.lineitem.iter().map(|l| l.l_returnflag.clone())),
-                    str_col("l_linestatus", d.lineitem.iter().map(|l| l.l_linestatus.clone())),
-                    date_col("l_shipdate", d.lineitem.iter().map(|l| l.l_shipdate)),
-                    date_col("l_commitdate", d.lineitem.iter().map(|l| l.l_commitdate)),
-                    date_col("l_receiptdate", d.lineitem.iter().map(|l| l.l_receiptdate)),
+                    dec_col("l_discount", lineitem.iter().map(|l| l.l_discount), 2),
+                    dec_col("l_tax", lineitem.iter().map(|l| l.l_tax), 2),
+                    str_col("l_returnflag", lineitem.iter().map(|l| l.l_returnflag.clone())),
+                    str_col("l_linestatus", lineitem.iter().map(|l| l.l_linestatus.clone())),
+                    date_col("l_shipdate", lineitem.iter().map(|l| l.l_shipdate)),
+                    date_col("l_commitdate", lineitem.iter().map(|l| l.l_commitdate)),
+                    date_col("l_receiptdate", lineitem.iter().map(|l| l.l_receiptdate)),
                     str_col(
                         "l_shipinstruct",
-                        d.lineitem.iter().map(|l| l.l_shipinstruct.clone()),
+                        lineitem.iter().map(|l| l.l_shipinstruct.clone()),
                     ),
-                    str_col("l_shipmode", d.lineitem.iter().map(|l| l.l_shipmode.clone())),
-                    str_col("l_comment", d.lineitem.iter().map(|l| l.l_comment.clone())),
+                    str_col("l_shipmode", lineitem.iter().map(|l| l.l_shipmode.clone())),
+                    str_col("l_comment", lineitem.iter().map(|l| l.l_comment.clone())),
                 ],
             )
             .expect("lineitem columns"),
@@ -335,29 +548,33 @@ impl Database {
             )
             .expect("date_dim columns"),
         );
+        // Same load-time clustering as lineitem: order the fact table by
+        // its date column so zone maps can prune year/range scans.
+        let mut lineorder: Vec<&sqalpel_datagen::ssb::LineOrder> = ssb.lineorder.iter().collect();
+        lineorder.sort_by_key(|l| (l.lo_orderdate, l.lo_orderkey, l.lo_linenumber));
         db.add_table(
             Table::new(
                 "lineorder",
                 vec![
-                    int_col("lo_orderkey", ssb.lineorder.iter().map(|l| l.lo_orderkey)),
-                    int_col("lo_linenumber", ssb.lineorder.iter().map(|l| l.lo_linenumber)),
-                    int_col("lo_custkey", ssb.lineorder.iter().map(|l| l.lo_custkey)),
-                    int_col("lo_partkey", ssb.lineorder.iter().map(|l| l.lo_partkey)),
-                    int_col("lo_suppkey", ssb.lineorder.iter().map(|l| l.lo_suppkey)),
-                    date_col("lo_orderdate", ssb.lineorder.iter().map(|l| l.lo_orderdate)),
+                    int_col("lo_orderkey", lineorder.iter().map(|l| l.lo_orderkey)),
+                    int_col("lo_linenumber", lineorder.iter().map(|l| l.lo_linenumber)),
+                    int_col("lo_custkey", lineorder.iter().map(|l| l.lo_custkey)),
+                    int_col("lo_partkey", lineorder.iter().map(|l| l.lo_partkey)),
+                    int_col("lo_suppkey", lineorder.iter().map(|l| l.lo_suppkey)),
+                    date_col("lo_orderdate", lineorder.iter().map(|l| l.lo_orderdate)),
                     str_col(
                         "lo_orderpriority",
-                        ssb.lineorder.iter().map(|l| l.lo_orderpriority.clone()),
+                        lineorder.iter().map(|l| l.lo_orderpriority.clone()),
                     ),
-                    int_col("lo_quantity", ssb.lineorder.iter().map(|l| l.lo_quantity)),
+                    int_col("lo_quantity", lineorder.iter().map(|l| l.lo_quantity)),
                     dec_col(
                         "lo_extendedprice",
-                        ssb.lineorder.iter().map(|l| l.lo_extendedprice),
+                        lineorder.iter().map(|l| l.lo_extendedprice),
                         2,
                     ),
-                    dec_col("lo_discount", ssb.lineorder.iter().map(|l| l.lo_discount), 2),
-                    dec_col("lo_revenue", ssb.lineorder.iter().map(|l| l.lo_revenue), 2),
-                    dec_col("lo_supplycost", ssb.lineorder.iter().map(|l| l.lo_supplycost), 2),
+                    dec_col("lo_discount", lineorder.iter().map(|l| l.lo_discount), 2),
+                    dec_col("lo_revenue", lineorder.iter().map(|l| l.lo_revenue), 2),
+                    dec_col("lo_supplycost", lineorder.iter().map(|l| l.lo_supplycost), 2),
                 ],
             )
             .expect("lineorder columns"),
@@ -391,11 +608,45 @@ impl Database {
     }
 }
 
-/// Helper: integer column from an iterator.
+/// Dictionary-encode when the column is low-NDV enough for codes to pay
+/// off: at most this many distinct values.
+const DICT_MAX_NDV: usize = 1024;
+
+/// Keep a frame-of-reference encoding only when it actually compresses:
+/// packed payload under 3/4 of the raw width.
+fn for_profitable(packed: &ForVec, raw_bytes: usize) -> bool {
+    packed.packed_bytes() * 4 < raw_bytes * 3
+}
+
+/// Dictionary-encode `values` if the distinct count is small; the
+/// dictionary is sorted so code order is string order.
+pub fn dict_encode(values: &[String]) -> Option<(Vec<u32>, Arc<Vec<String>>)> {
+    let mut dict: Vec<String> = values.to_vec();
+    dict.sort_unstable();
+    dict.dedup();
+    if dict.is_empty() || dict.len() > DICT_MAX_NDV {
+        return None;
+    }
+    let codes = values
+        .iter()
+        .map(|v| dict.binary_search(v).expect("dict covers values") as u32)
+        .collect();
+    Some((codes, Arc::new(dict)))
+}
+
+/// Helper: integer column from an iterator. Frame-of-reference packs the
+/// values when the packed form is materially smaller than raw `i64`s.
 pub fn int_col(name: &str, values: impl Iterator<Item = i64>) -> Column {
+    let values: Vec<i64> = values.collect();
+    let packed = ForVec::encode(&values);
+    let data = if for_profitable(&packed, values.len() * 8) {
+        ColumnData::ForInt(packed)
+    } else {
+        ColumnData::Int(values)
+    };
     Column {
         name: name.to_string(),
-        data: ColumnData::Int(values.collect()),
+        data,
     }
 }
 
@@ -410,19 +661,43 @@ pub fn dec_col(name: &str, values: impl Iterator<Item = i64>, scale: u8) -> Colu
     }
 }
 
-/// Helper: string column.
+/// Helper: string column. Low-NDV columns (`l_returnflag`, `l_shipmode`,
+/// nation/region names, …) come out dictionary-encoded; high-NDV columns
+/// stay as raw strings.
 pub fn str_col(name: &str, values: impl Iterator<Item = String>) -> Column {
+    let values: Vec<String> = values.collect();
+    let data = match dict_encode(&values) {
+        Some((codes, dict)) => ColumnData::Dict { codes, dict },
+        None => ColumnData::Str(values),
+    };
+    Column {
+        name: name.to_string(),
+        data,
+    }
+}
+
+/// Helper: string column that is never dictionary-encoded (benchmarks
+/// compare dict and raw predicate paths on identical data).
+pub fn raw_str_col(name: &str, values: impl Iterator<Item = String>) -> Column {
     Column {
         name: name.to_string(),
         data: ColumnData::Str(values.collect()),
     }
 }
 
-/// Helper: date column.
+/// Helper: date column, frame-of-reference packed when profitable (dates
+/// cluster in a few thousand distinct days, so they almost always are).
 pub fn date_col(name: &str, values: impl Iterator<Item = Day>) -> Column {
+    let values: Vec<i64> = values.map(|d| d as i64).collect();
+    let packed = ForVec::encode(&values);
+    let data = if for_profitable(&packed, values.len() * 4) {
+        ColumnData::ForDate(packed)
+    } else {
+        ColumnData::Date(values.into_iter().map(|v| v as Day).collect())
+    };
     Column {
         name: name.to_string(),
-        data: ColumnData::Date(values.collect()),
+        data,
     }
 }
 

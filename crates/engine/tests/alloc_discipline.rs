@@ -7,7 +7,7 @@
 //! One `#[test]` only: the allocator counts globally, so concurrent tests
 //! would pollute each other's deltas.
 
-use sqalpel_engine::storage::{dec_col, int_col};
+use sqalpel_engine::storage::{dec_col, int_col, str_col};
 use sqalpel_engine::{ColStore, Database, Dbms, Table};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -60,6 +60,9 @@ fn kernel_loops_do_not_allocate_per_row() {
             vec![
                 int_col("k", (0..ROWS).map(|i| (i % KEYS) as i64)),
                 dec_col("amount", (0..ROWS).map(|i| (i % 500) as i64), 2),
+                // Low-NDV, so the loader dictionary-encodes it: predicates
+                // and probes on this column run over u32 codes.
+                str_col("tag", (0..ROWS).map(|i| format!("tag-{:02}", i % 40))),
             ],
         )
         .expect("facts table"),
@@ -68,10 +71,23 @@ fn kernel_loops_do_not_allocate_per_row() {
         Table::new("dims", vec![int_col("k", (0..KEYS).map(|i| i as i64))])
             .expect("dims table"),
     );
+    // A second dimension keyed on the dict-encoded string: its own
+    // (distinct) dictionary, so the join compares via string bytes.
+    db.add_table(
+        Table::new("tags", vec![str_col("tag", (0..40).map(|i| format!("tag-{i:02}")))])
+            .expect("tags table"),
+    );
     let db = Arc::new(db);
 
     let agg = "select k, count(*), sum(amount), min(amount), max(amount) from facts group by k";
     let join = "select count(*) from facts, dims where facts.k = dims.k";
+    // Selection-vector path: vectorizable conjuncts evaluated stage by
+    // stage over each chunk, the dict equality comparing u32 codes.
+    let filt = "select count(*), sum(amount) from facts \
+                where k >= 100 and k < 900 and tag = 'tag-07'";
+    // Dict-probe path: both join keys are dictionary-encoded with
+    // different dictionaries.
+    let probe = "select count(*) from facts, tags where facts.tag = tags.tag";
 
     for threads in [1usize, 4] {
         let col = ColStore::new(db.clone()).with_threads(threads);
@@ -79,6 +95,8 @@ fn kernel_loops_do_not_allocate_per_row() {
         // must not count against the steady-state budget.
         col.execute(agg).expect("agg warms");
         col.execute(join).expect("join warms");
+        col.execute(filt).expect("filter warms");
+        col.execute(probe).expect("probe warms");
 
         // Steady-state allocation budget: group state, partition tables,
         // chunk merges and the result are all O(groups + chunks + cols),
@@ -99,6 +117,29 @@ fn kernel_loops_do_not_allocate_per_row() {
         assert!(
             join_allocs < (ROWS / 2) as u64,
             "join at threads={threads} allocated {join_allocs} times \
+             for {ROWS} probe rows — a per-row allocation is back in the loop"
+        );
+
+        // Selection-vector filters stay in the code domain: a dict
+        // equality must not materialize strings per row, and the staged
+        // conjuncts must not clone surviving rows between stages.
+        let filt_allocs = allocs_during(|| {
+            col.execute(filt).expect("filter executes");
+        });
+        assert!(
+            filt_allocs < (ROWS / 2) as u64,
+            "selection-vector filter at threads={threads} allocated {filt_allocs} times \
+             for {ROWS} rows — a per-row allocation is back in the loop"
+        );
+
+        // Dict-keyed probe: key encoding reads dictionary bytes in place;
+        // per-row String materialization would blow the budget.
+        let probe_allocs = allocs_during(|| {
+            col.execute(probe).expect("probe executes");
+        });
+        assert!(
+            probe_allocs < (ROWS / 2) as u64,
+            "dict probe at threads={threads} allocated {probe_allocs} times \
              for {ROWS} probe rows — a per-row allocation is back in the loop"
         );
     }

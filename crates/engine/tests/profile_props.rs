@@ -26,6 +26,7 @@ fn shard_from_seed(seed: u64, len: usize) -> ProfileShard {
                 rows_out: next() % 1000,
                 batches: 1 + next() % 4,
                 nanos: next() % 1_000_000,
+                ..NodeMetrics::default()
             },
         );
     }

@@ -1,0 +1,184 @@
+//! Property tests for the compressed storage layer.
+//!
+//! Dictionary and frame-of-reference encodings must be lossless, and a
+//! zone map may only skip a chunk when no row in the *unencoded* data
+//! could satisfy the predicate — a false skip silently drops rows, which
+//! no differential wall would catch if both engines shared the bug.
+
+use proptest::prelude::*;
+use sqalpel_engine::storage::{
+    date_col, dict_encode, int_col, str_col, ColumnData, ForVec, Table, CHUNK_ROWS,
+};
+use sqalpel_engine::value::Day;
+
+/// Deterministic splitmix-style expansion of a proptest-drawn seed, the
+/// same idiom the profiler property tests use for structured inputs.
+struct Gen(u64);
+
+impl Gen {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.0 >> 17
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// Strings drawn from a small random pool so dictionary encoding engages;
+/// the pool itself is arbitrary, so dictionaries see unsorted, duplicated,
+/// and empty-string inputs. Spans multiple chunks.
+fn low_ndv_strings(seed: u64, len: usize) -> Vec<String> {
+    let mut g = Gen(seed | 1);
+    let pool_size = 1 + g.below(24) as usize;
+    let alphabet = [
+        "", "a", "b", "z", "aa", "ab", "ship", "mail", "rail", "air", "truck", "Ä", "名",
+    ];
+    let pool: Vec<String> = (0..pool_size)
+        .map(|_| {
+            let n = g.below(4);
+            (0..n)
+                .map(|_| alphabet[g.below(alphabet.len() as u64) as usize])
+                .collect::<Vec<_>>()
+                .join("-")
+        })
+        .collect();
+    (0..len)
+        .map(|_| pool[g.below(pool.len() as u64) as usize].clone())
+        .collect()
+}
+
+/// Integer vectors spanning several chunks, mixing narrow clusters (where
+/// bit-packing engages) with full-range outliers (where it must not lose
+/// bits).
+fn mixed_ints(seed: u64, len: usize) -> Vec<i64> {
+    let mut g = Gen(seed | 1);
+    (0..len)
+        .map(|_| {
+            if g.below(10) == 0 {
+                g.next() as i64 ^ (g.next() as i64) << 32
+            } else {
+                g.below(10_000) as i64
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// dict_encode is lossless: `dict[codes[i]] == values[i]`, and the
+    /// dictionary is strictly sorted so code order is string order.
+    #[test]
+    fn dict_encode_round_trips(seed in any::<u64>(), len in 1usize..6000) {
+        let values = low_ndv_strings(seed, len);
+        let (codes, dict) = dict_encode(&values).expect("low-NDV input must encode");
+        prop_assert_eq!(codes.len(), values.len());
+        prop_assert!(dict.windows(2).all(|w| w[0] < w[1]), "dict must be strictly sorted");
+        for (code, value) in codes.iter().zip(&values) {
+            prop_assert_eq!(&dict[*code as usize], value);
+        }
+    }
+
+    /// Frame-of-reference bit-packing is lossless for any i64 input,
+    /// including full-range outliers, via both `get` and `decode`.
+    #[test]
+    fn for_encode_round_trips(seed in any::<u64>(), len in 0usize..10_000) {
+        let values = mixed_ints(seed, len);
+        let packed = ForVec::encode(&values);
+        prop_assert_eq!(packed.len(), values.len());
+        prop_assert_eq!(&packed.decode(), &values);
+        for (i, &v) in values.iter().enumerate() {
+            prop_assert_eq!(packed.get(i), v);
+        }
+    }
+
+    /// ForVec chunk bounds are exact: each chunk's (min, max) equals the
+    /// true min/max of the raw values in that chunk.
+    #[test]
+    fn for_chunk_bounds_are_exact(seed in any::<u64>(), len in 1usize..10_000) {
+        let values = mixed_ints(seed, len);
+        let packed = ForVec::encode(&values);
+        let bounds: Vec<(i64, i64)> = packed.chunk_bounds().collect();
+        let raw: Vec<&[i64]> = values.chunks(CHUNK_ROWS).collect();
+        prop_assert_eq!(bounds.len(), raw.len());
+        for (b, chunk) in bounds.iter().zip(&raw) {
+            prop_assert_eq!(b.0, chunk.iter().copied().min().unwrap());
+            prop_assert_eq!(b.1, chunk.iter().copied().max().unwrap());
+        }
+    }
+
+    /// Zone-map soundness for numeric scans: when `overlaps` says a chunk
+    /// can be skipped for `v ∈ [lo, hi]`, no row of the unencoded input in
+    /// that chunk satisfies the predicate — whichever physical encoding
+    /// the loader picked.
+    #[test]
+    fn zone_skip_never_drops_qualifying_rows(
+        seed in any::<u64>(),
+        len in 1usize..10_000,
+        lo in any::<i64>(),
+        span in 0i64..1_000_000,
+    ) {
+        let values = mixed_ints(seed, len);
+        let hi = lo.saturating_add(span);
+        let table = Table::new(
+            "t",
+            vec![
+                int_col("v", values.iter().copied()),
+                date_col("d", values.iter().map(|&v| (v as i32).unsigned_abs().min(1 << 20) as Day)),
+            ],
+        )
+        .unwrap();
+        let zm = table.zone_map(0).expect("int columns always have zone maps");
+        for (chunk, raw) in values.chunks(CHUNK_ROWS).enumerate() {
+            if !zm.overlaps(chunk, Some(lo), Some(hi)) {
+                prop_assert!(
+                    raw.iter().all(|&v| v < lo || v > hi),
+                    "chunk {} skipped but contains a qualifying row", chunk
+                );
+            }
+        }
+        let dzm = table.zone_map(1).expect("date columns always have zone maps");
+        for (chunk, raw) in values.chunks(CHUNK_ROWS).enumerate() {
+            if !dzm.overlaps(chunk, Some(lo), Some(hi)) {
+                prop_assert!(
+                    raw.iter()
+                        .map(|&v| (v as i32).unsigned_abs().min(1 << 20) as i64)
+                        .all(|v| v < lo || v > hi),
+                    "date chunk {} skipped but contains a qualifying row", chunk
+                );
+            }
+        }
+    }
+
+    /// Zone-map completeness for dictionary columns: a chunk that contains
+    /// string `s` always overlaps the code-domain point predicate for `s`,
+    /// so an equality scan can never skip a chunk holding a match.
+    #[test]
+    fn dict_zone_map_covers_every_present_string(seed in any::<u64>(), len in 1usize..6000) {
+        let values = low_ndv_strings(seed, len);
+        let table = Table::new("t", vec![str_col("s", values.iter().cloned())]).unwrap();
+        let ColumnData::Dict { dict, .. } = &table.columns[0].data else {
+            panic!("low-NDV strings must dictionary-encode");
+        };
+        let zm = table.zone_map(0).expect("dict columns have code-domain zone maps");
+        for (chunk, raw) in values.chunks(CHUNK_ROWS).enumerate() {
+            for s in raw {
+                let code = dict.binary_search(s).expect("dict covers values") as i64;
+                prop_assert!(
+                    zm.overlaps(chunk, Some(code), Some(code)),
+                    "chunk {} holds {:?} but its zone map excludes code {}", chunk, s, code
+                );
+            }
+        }
+    }
+}
+
+/// Above DICT_MAX_NDV distinct values the encoder must decline rather
+/// than build an unprofitable dictionary.
+#[test]
+fn dict_encode_rejects_high_ndv() {
+    let values: Vec<String> = (0..2000).map(|i| format!("val-{i:04}")).collect();
+    assert!(dict_encode(&values).is_none());
+}
