@@ -31,6 +31,11 @@ cargo test -q
 # The wire layer's loopback e2e suite: concurrent clients with injected
 # connection drops must drain the queue with zero double-reports.
 cargo test -q -p sqalpel-core --test wire_loopback
+# The v1-vs-v2 differential wall: one server over both transports must
+# answer with identical decoded values everywhere (replies, typed
+# errors, CSV, pipelined-vs-serial), v2 mid-frame drops never double-
+# report, and warm plan-cache hits return byte-identical results.
+cargo test -q -p sqalpel-core --test wire_differential
 # EXPLAIN plans for the full TPC-H + SSB flights are pinned: any drift in
 # the binder/rewriter/ir output fails here until re-blessed.
 explain_goldens

@@ -2,8 +2,9 @@
 //!
 //! ```text
 //! repro table1 | table2 | fig1 | fig2 | fig3 | fig4 | fig5 | fig6 | fig7 | ablation | parallel [--smoke] | wire | all
-//! repro serve [addr]                          # demo platform over HTTP (default 127.0.0.1:7878)
-//! repro contribute <addr> <key> [dbms] [host] # drain the queue as a remote contributor
+//! repro serve [addr]                          # demo platform: HTTP /v1 on addr, framed v2 on port+1
+//! repro contribute <addr> <key> [dbms] [host] [--proto v1|v2]
+//!                                             # drain the queue as a remote contributor
 //! repro metrics [addr]                        # print a server's /v1/metrics snapshot
 //! ```
 //!
@@ -39,7 +40,7 @@ fn main() {
     if !known.contains(&what) {
         eprintln!("usage: repro [{}]", known.join(" | "));
         eprintln!("       repro serve [addr]");
-        eprintln!("       repro contribute <addr> <key> [dbms] [host]");
+        eprintln!("       repro contribute <addr> <key> [dbms] [host] [--proto v1|v2]");
         eprintln!("       repro metrics [addr]");
         std::process::exit(2);
     }
@@ -97,9 +98,15 @@ fn main() {
 }
 
 /// `repro serve [addr]`: bootstrap the demo projects, enqueue the TPC-H
-/// experiments, and serve the platform API over HTTP until killed.
+/// experiments, and serve the platform API until killed — v1 JSON/HTTP
+/// on `addr` and the framed binary v2 protocol on `port+1`, both with an
+/// engine execution backend attached so `Execute` (and its plan cache)
+/// works remotely.
 fn serve(addr: &str) {
-    use sqalpel_core::{bootstrap_server, SqalpelServer, WireConfig, WireServer};
+    use sqalpel_core::{
+        bootstrap_server, ExecBackend, SqalpelServer, V2Config, V2Server, WireConfig, WireServer,
+    };
+    use sqalpel_engine::{Database, PlanCache, RowStore};
 
     let server = Arc::new(SqalpelServer::new());
     let boot = bootstrap_server(&server, 6, 42).expect("bootstrap demo projects");
@@ -110,18 +117,35 @@ fn serve(addr: &str) {
             .expect("enqueue");
     }
     let key = server.issue_key(boot.admin).expect("contributor key");
-    let wire = WireServer::start(Arc::clone(&server), addr, WireConfig::default())
+    let db = Arc::new(Database::tpch(sqalpel_bench::base_sf(), 42));
+    let backend = ExecBackend::new(Arc::new(
+        RowStore::new(db).with_plan_cache(Arc::new(PlanCache::new(256))),
+    ));
+    let wire = WireServer::start_with_backend(
+        Arc::clone(&server),
+        Some(backend.clone()),
+        addr,
+        WireConfig::default(),
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("cannot bind {addr}: {e}");
+        std::process::exit(1);
+    });
+    let local = wire.local_addr();
+    let v2_addr = std::net::SocketAddr::new(local.ip(), local.port().wrapping_add(1));
+    let v2 = V2Server::start(Arc::clone(&server), Some(backend), v2_addr, V2Config::default())
         .unwrap_or_else(|e| {
-            eprintln!("cannot bind {addr}: {e}");
+            eprintln!("cannot bind {v2_addr} for protocol v2: {e}");
             std::process::exit(1);
         });
-    let local = wire.local_addr();
     println!("sqalpel platform serving on http://{local}/v1");
+    println!("framed binary protocol v2 on tcp://{}", v2.local_addr());
     println!("{tasks} tasks queued across {} TPC-H experiments", boot.tpch_experiments.len());
     println!("demo contributor key: {}", key.0);
     println!();
     println!("drain the queue from another terminal:");
     println!("  repro contribute {local} {} rowstore-2.0 bench-server", key.0);
+    println!("  repro contribute {} {} rowstore-2.0 bench-server --proto v2", v2.local_addr(), key.0);
     println!();
     println!("or poke the API directly:");
     println!("  GET  http://{local}/v1/queue/summary");
@@ -154,7 +178,7 @@ fn metrics(addr: Option<&str>) {
                     eprintln!("cannot resolve address {addr}");
                     std::process::exit(2);
                 });
-            WireClient::new(addr)
+            WireClient::builder(addr).build()
         }
         None => {
             // Loopback demo: serve a bootstrapped platform, drain one
@@ -169,7 +193,7 @@ fn metrics(addr: Option<&str>) {
                 .expect("enqueue");
             let wire = WireServer::start(Arc::clone(&server), "127.0.0.1:0", WireConfig::default())
                 .expect("bind loopback");
-            let client = WireClient::new(wire.local_addr());
+            let client = WireClient::builder(wire.local_addr()).build();
             let key = server.issue_key(boot.admin).expect("contributor key");
             let db = Arc::new(Database::tpch(0.002, 42));
             let driver = ExperimentDriver::new(
@@ -191,20 +215,43 @@ fn metrics(addr: Option<&str>) {
     }
 }
 
-/// `repro contribute <addr> <key> [dbms] [host]`: connect to a running
-/// `repro serve`, claim tasks for one target, run them on the local
-/// engine, and report the measurements back.
+/// `repro contribute <addr> <key> [dbms] [host] [--proto v1|v2]`:
+/// connect to a running `repro serve`, claim tasks for one target, run
+/// them on the local engine, and report the measurements back — over
+/// JSON/HTTP (`v1`, the default) or the framed binary protocol (`v2`).
 fn contribute(args: &[String]) {
-    use sqalpel_core::{ContributorKey, DriverConfig, EngineConnector, ExperimentDriver, WireClient};
+    use sqalpel_core::{
+        ContributorKey, DriverConfig, EngineConnector, ExperimentDriver, Proto, WireClient,
+    };
     use sqalpel_engine::{ColStore, Database, RowStore};
     use std::net::ToSocketAddrs;
 
-    let (Some(addr), Some(key)) = (args.get(1), args.get(2)) else {
-        eprintln!("usage: repro contribute <addr> <key> [dbms] [host]");
+    // Split off `--proto <v>` wherever it appears; the rest stay
+    // positional.
+    let mut proto = Proto::V1Http;
+    let mut positional: Vec<&String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--proto" {
+            proto = match it.next().map(String::as_str) {
+                Some("v1") => Proto::V1Http,
+                Some("v2") => Proto::V2Framed,
+                other => {
+                    eprintln!("--proto takes v1 or v2, got {other:?}");
+                    std::process::exit(2);
+                }
+            };
+        } else {
+            positional.push(arg);
+        }
+    }
+    let args = positional;
+    let (Some(addr), Some(key)) = (args.get(1).copied(), args.get(2).copied()) else {
+        eprintln!("usage: repro contribute <addr> <key> [dbms] [host] [--proto v1|v2]");
         std::process::exit(2);
     };
-    let dbms = args.get(3).map(String::as_str).unwrap_or("rowstore-2.0");
-    let host = args.get(4).map(String::as_str).unwrap_or("bench-server");
+    let dbms = args.get(3).map(|s| s.as_str()).unwrap_or("rowstore-2.0");
+    let host = args.get(4).map(|s| s.as_str()).unwrap_or("bench-server");
     let addr = addr
         .to_socket_addrs()
         .ok()
@@ -238,7 +285,7 @@ fn contribute(args: &[String]) {
         .expect("driver config"),
     );
 
-    let client = WireClient::new(addr);
+    let client = WireClient::builder(addr).transport(proto).build();
     let key = ContributorKey(key.clone());
     let mut completed = 0usize;
     loop {

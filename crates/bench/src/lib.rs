@@ -640,45 +640,116 @@ fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
     sorted_ms[idx]
 }
 
-/// `repro wire`: loopback throughput and task hand-out latency of the
-/// JSON-over-HTTP platform API, written machine-readably to
-/// `BENCH_wire.json`. Two measurements:
+/// `repro wire`: loopback v1-vs-v2 sweep of the platform wire layer,
+/// written machine-readably to `BENCH_wire.json`. Four measurements:
 ///
-/// * **requests/s** — four concurrent clients hammering the cheapest
-///   endpoint (`GET /v1/queue/summary`), so the number reflects
-///   connection setup + HTTP parsing + dispatch, not query work;
+/// * **requests/s, three ways** — four concurrent clients hammering the
+///   cheapest op (`QueueSummary`) over v1 JSON/HTTP (one connection per
+///   request), v2 framed serial (one persistent connection), and v2
+///   pipelined (batches of tagged frames in flight); the numbers
+///   reflect transport + codec + dispatch, not query work;
+/// * **plan cache** — `Execute` over v2 against an engine backend, one
+///   cold miss then a warm fingerprint-keyed loop, average hit vs miss
+///   latency plus the server's `plan_cache.*` counters;
 /// * **hand-out latency** — one contributor drains a ~100-task queue over
-///   the wire, timing every `request_task` round trip (p50/p99).
+///   v1, timing every `request_task` round trip (p50/p99).
 pub fn wire_report() -> String {
     use serde_json::{Map, Value};
-    use sqalpel_core::{DriverConfig, ExperimentDriver, MockConnector, WireClient, WireConfig, WireServer};
+    use sqalpel_core::wire::Request;
+    use sqalpel_core::{
+        DriverConfig, ExecBackend, ExperimentDriver, MockConnector, Proto, V2Config, V2Server,
+        WireClient, WireConfig, WireServer,
+    };
+    use sqalpel_engine::{Database, PlanCache, RowStore};
 
     let (server, contrib, total) = walk_server(100);
     let server = Arc::new(server);
-    let wire = WireServer::start(Arc::clone(&server), "127.0.0.1:0", WireConfig::default())
-        .expect("bind loopback");
+    let backend = ExecBackend::new(Arc::new(
+        RowStore::new(Arc::new(Database::tpch(0.001, 42)))
+            .with_plan_cache(Arc::new(PlanCache::new(64))),
+    ));
+    let wire = WireServer::start_with_backend(
+        Arc::clone(&server),
+        Some(backend.clone()),
+        "127.0.0.1:0",
+        WireConfig::default(),
+    )
+    .expect("bind v1 loopback");
+    let v2 = V2Server::start(
+        Arc::clone(&server),
+        Some(backend),
+        "127.0.0.1:0",
+        V2Config::default(),
+    )
+    .expect("bind v2 loopback");
     let addr = wire.local_addr();
+    let v2_addr = v2.local_addr();
 
     const CLIENTS: usize = 4;
     const CALLS_PER_CLIENT: usize = 250;
-    let t0 = Instant::now();
-    std::thread::scope(|scope| {
-        for _ in 0..CLIENTS {
-            scope.spawn(|| {
-                let client = WireClient::new(addr);
-                for _ in 0..CALLS_PER_CLIENT {
-                    client.queue_summary().expect("summary over loopback");
-                }
-            });
-        }
-    });
-    let wall = t0.elapsed().as_secs_f64();
-    let rps = (CLIENTS * CALLS_PER_CLIENT) as f64 / wall.max(1e-9);
+    const PIPELINE_DEPTH: usize = 25;
+
+    fn rps_sweep<F>(make: &F, pipelined: bool) -> (f64, f64)
+    where
+        F: Fn() -> WireClient + Sync,
+    {
+        let t0 = Instant::now();
+        std::thread::scope(|scope| {
+            for _ in 0..CLIENTS {
+                scope.spawn(move || {
+                    let client = make();
+                    if pipelined {
+                        let batch = vec![Request::QueueSummary; PIPELINE_DEPTH];
+                        for _ in 0..CALLS_PER_CLIENT / PIPELINE_DEPTH {
+                            for reply in client.pipeline(&batch).expect("pipelined batch") {
+                                reply.expect("summary over loopback");
+                            }
+                        }
+                    } else {
+                        for _ in 0..CALLS_PER_CLIENT {
+                            client.queue_summary().expect("summary over loopback");
+                        }
+                    }
+                });
+            }
+        });
+        let wall = t0.elapsed().as_secs_f64();
+        ((CLIENTS * CALLS_PER_CLIENT) as f64 / wall.max(1e-9), wall)
+    }
+
+    let (v1_rps, v1_wall) = rps_sweep(&|| WireClient::builder(addr).build(), false);
+    let v2_client = || WireClient::builder(v2_addr).transport(Proto::V2Framed).build();
+    let (v2_rps, v2_wall) = rps_sweep(&v2_client, false);
+    let (v2p_rps, v2p_wall) = rps_sweep(&v2_client, true);
+
+    // Plan cache: one cold Execute (parse + bind + plan, cache miss),
+    // then a warm fingerprint-keyed loop that skips straight to the
+    // cached plan. Hit/miss truth comes from the per-response CacheStatus
+    // and the server-side plan_cache.* counters.
+    let exec_client = v2_client();
+    let exec_sql = "select count(*) from lineitem where l_quantity < 24";
+    let t_cold = Instant::now();
+    let cold = exec_client.execute(exec_sql, None).expect("cold execute");
+    let cold_ms = t_cold.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(cold.cache.as_str(), "miss");
+    const WARM_CALLS: usize = 50;
+    let t_warm = Instant::now();
+    for _ in 0..WARM_CALLS {
+        let warm = exec_client
+            .execute(exec_sql, Some(cold.fingerprint))
+            .expect("warm execute");
+        assert_eq!(warm.cache.as_str(), "hit");
+        assert_eq!(warm.result.data, cold.result.data, "hit must equal miss");
+    }
+    let warm_ms = t_warm.elapsed().as_secs_f64() * 1e3 / WARM_CALLS as f64;
+    let snap = exec_client.metrics().expect("metrics over v2");
+    let cache_hits = snap.counter("plan_cache.hits").unwrap_or(0);
+    let cache_misses = snap.counter("plan_cache.misses").unwrap_or(0);
 
     // Drain the queue over the wire, timing each claim. The connector is
     // a zero-spin mock so the round trip dominates, not query execution.
     let key = server.issue_key(contrib).expect("key");
-    let client = WireClient::new(addr);
+    let client = WireClient::builder(addr).build();
     let driver = ExperimentDriver::new(
         MockConnector {
             label: "rowstore-2.0".into(),
@@ -706,25 +777,49 @@ pub fn wire_report() -> String {
     let p50 = percentile(&claim_ms, 50.0);
     let p99 = percentile(&claim_ms, 99.0);
 
+    let v2_speedup = v2_rps / v1_rps.max(1e-9);
+    let v2p_speedup = v2p_rps / v1_rps.max(1e-9);
     let mut out = format!(
-        "## Wire layer — JSON-over-HTTP platform API on loopback\n\n\
-         throughput: {rps:.0} requests/s ({CLIENTS} clients x {CALLS_PER_CLIENT} summary calls in {wall:.2}s)\n\
-         task hand-out: {} tasks drained, claim latency p50 {p50:.3}ms / p99 {p99:.3}ms\n",
+        "## Wire layer — v1 JSON/HTTP vs v2 framed binary on loopback\n\n\
+         throughput ({CLIENTS} clients x {CALLS_PER_CLIENT} summary calls each):\n\
+         \x20 v1 http           : {v1_rps:>9.0} requests/s  ({v1_wall:.2}s)\n\
+         \x20 v2 framed serial  : {v2_rps:>9.0} requests/s  ({v2_wall:.2}s)  {v2_speedup:.1}x v1\n\
+         \x20 v2 framed pipelined (depth {PIPELINE_DEPTH}): {v2p_rps:>9.0} requests/s  ({v2p_wall:.2}s)  {v2p_speedup:.1}x v1\n\
+         plan cache over v2: cold miss {cold_ms:.3}ms, warm hit avg {warm_ms:.3}ms over {WARM_CALLS} calls \
+         (server counters: {cache_hits} hits / {cache_misses} misses)\n\
+         task hand-out (v1): {} tasks drained, claim latency p50 {p50:.3}ms / p99 {p99:.3}ms\n",
         claim_ms.len()
     );
 
+    let proto_entry = |rps: f64, wall: f64| {
+        let mut m = Map::new();
+        m.insert("requests_per_s".into(), Value::Float(rps));
+        m.insert("wall_s".into(), Value::Float(wall));
+        Value::Object(m)
+    };
     let mut handout = Map::new();
     handout.insert("tasks".into(), Value::Int(claim_ms.len() as i64));
     handout.insert("p50_ms".into(), Value::Float(p50));
     handout.insert("p99_ms".into(), Value::Float(p99));
+    let mut cache = Map::new();
+    cache.insert("cold_miss_ms".into(), Value::Float(cold_ms));
+    cache.insert("warm_hit_avg_ms".into(), Value::Float(warm_ms));
+    cache.insert("warm_calls".into(), Value::Int(WARM_CALLS as i64));
+    cache.insert("hits".into(), Value::Int(cache_hits as i64));
+    cache.insert("misses".into(), Value::Int(cache_misses as i64));
     let mut root = Map::new();
-    root.insert("requests_per_s".into(), Value::Float(rps));
+    root.insert("v1".into(), proto_entry(v1_rps, v1_wall));
+    root.insert("v2_serial".into(), proto_entry(v2_rps, v2_wall));
+    root.insert("v2_pipelined".into(), proto_entry(v2p_rps, v2p_wall));
+    root.insert("pipeline_depth".into(), Value::Int(PIPELINE_DEPTH as i64));
+    root.insert("v2_serial_speedup".into(), Value::Float(v2_speedup));
+    root.insert("v2_pipelined_speedup".into(), Value::Float(v2p_speedup));
     root.insert("throughput_clients".into(), Value::Int(CLIENTS as i64));
     root.insert(
         "throughput_calls".into(),
         Value::Int((CLIENTS * CALLS_PER_CLIENT) as i64),
     );
-    root.insert("throughput_wall_s".into(), Value::Float(wall));
+    root.insert("plan_cache".into(), Value::Object(cache));
     root.insert("handout".into(), Value::Object(handout));
     let json = serde_json::to_string_pretty(&Value::Object(root)).expect("serializable");
     match std::fs::write("BENCH_wire.json", &json) {

@@ -55,5 +55,8 @@ pub use queue::{QueueSummary, Task, TaskId, TaskQueue, TaskState};
 pub use results::{LoadAvg, ResultRecord, ResultStore};
 pub use server::{Platform, SqalpelServer};
 pub use user::{ContributorKey, User, UserId, UserRegistry};
-pub use wire::{RetryPolicy, WireClient, WireConfig, WireServer};
+pub use wire::{
+    CacheStatus, ErrorCode, ExecBackend, ExecOutcome, Proto, RetryPolicy, V2Config, V2Server,
+    WireClient, WireClientBuilder, WireConfig, WireServer,
+};
 pub use workers::{run_worker_pool, PoolReport, Worker, WorkerReport};

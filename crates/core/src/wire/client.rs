@@ -1,4 +1,4 @@
-//! The typed client: the in-process server's Rust surface, over HTTP.
+//! The typed client: the platform's Rust surface over either transport.
 //!
 //! Every method mirrors a [`crate::SqalpelServer`] operation and returns
 //! the same `PlatformResult` types, so code written against the server —
@@ -6,22 +6,34 @@
 //! harness — runs against a remote platform unchanged (the client
 //! implements [`Platform`]).
 //!
-//! Robustness model:
+//! The client is transport-agnostic: build it with
+//! [`WireClient::builder`] and pick the muscle with
+//! [`WireClientBuilder::transport`] —
 //!
-//! * every call opens a fresh connection with a connect timeout and
-//!   socket I/O timeouts — no stalled request can hang a worker;
-//! * connect failures, I/O errors and 5xx responses are retried with
-//!   deterministic exponential backoff ([`RetryPolicy`]) — safe because
-//!   the server keeps claim/report idempotent per contributor key;
-//! * 4xx responses are **never** retried: the body is a serialized
-//!   [`PlatformError`] which is reconstructed and returned typed;
+//! * [`Proto::V1Http`]: JSON over HTTP/1.1, one fresh connection per
+//!   call (`Connection: close`). Maximally debuggable, `curl`-able.
+//! * [`Proto::V2Framed`]: the length-framed binary protocol over one
+//!   persistent TCP connection, with [`WireClient::pipeline`] for many
+//!   in-flight requests. Same typed surface, same errors.
+//!
+//! Robustness model (identical across transports):
+//!
+//! * every attempt is bounded by connect and socket I/O timeouts — no
+//!   stalled request can hang a worker;
+//! * connect failures, I/O errors and server-side transport errors are
+//!   retried with deterministic exponential backoff ([`RetryPolicy`]) —
+//!   safe because the server keeps claim/report idempotent per
+//!   contributor key;
+//! * typed platform errors are **never** retried: the exact
+//!   [`PlatformError`] variant is reconstructed and returned;
 //! * exhausted retries surface as [`PlatformError::Transport`].
 //!
-//! For tests, [`WireClient::inject_drop_every`] makes the client write a
-//! full request and then close the socket without reading the response
-//! every Nth call — the server processes the request but the response is
-//! lost, which is exactly the failure the retry + idempotency pair must
-//! absorb without double-counting.
+//! For tests, [`WireClientBuilder::inject_drop_every`] makes every Nth
+//! request lose its response: on v1 the client writes the full HTTP
+//! request then closes without reading; on v2 it writes *half a frame*
+//! and slams the connection, which the server must discard without
+//! dispatching. Either way the retry + idempotency pair must absorb the
+//! failure without double-counting.
 
 use crate::catalog::{DbmsEntry, HostEntry, Visibility};
 use crate::driver::RunOutcome;
@@ -33,11 +45,12 @@ use crate::queue::{QueueSummary, Task, TaskId};
 use crate::results::ResultRecord;
 use crate::server::Platform;
 use crate::user::{ContributorKey, UserId};
-use crate::wire::http::{read_response, write_request};
-use serde::{Deserialize, Serialize, Value};
-use std::io;
+use crate::wire::proto::{v1, ExecOutcome, Reply, Request};
+use crate::wire::transport::framed::FramedConn;
+use crate::wire::transport::http::{read_response, write_request};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::Duration;
 
 /// Bounded retry with deterministic exponential backoff: attempt `i`
@@ -72,9 +85,82 @@ impl RetryPolicy {
     }
 }
 
-/// A typed HTTP client for one sqalpel server.
+/// Which wire protocol a [`WireClient`] speaks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Proto {
+    /// JSON over HTTP/1.1, one connection per request (the original).
+    #[default]
+    V1Http,
+    /// Length-framed binary over one persistent connection, pipelinable.
+    V2Framed,
+}
+
+/// Builder for [`WireClient`] — the one way to configure a client.
+///
+/// ```no_run
+/// use sqalpel_core::wire::{Proto, RetryPolicy, WireClient};
+/// let client = WireClient::builder("127.0.0.1:8080".parse().unwrap())
+///     .transport(Proto::V2Framed)
+///     .retry(RetryPolicy::default())
+///     .build();
+/// ```
+pub struct WireClientBuilder {
+    addr: SocketAddr,
+    proto: Proto,
+    retry: RetryPolicy,
+    connect_timeout: Duration,
+    io_timeout: Duration,
+    max_body: usize,
+    drop_every: u64,
+}
+
+impl WireClientBuilder {
+    /// Select the wire protocol (default [`Proto::V1Http`]).
+    pub fn transport(mut self, proto: Proto) -> WireClientBuilder {
+        self.proto = proto;
+        self
+    }
+
+    pub fn retry(mut self, retry: RetryPolicy) -> WireClientBuilder {
+        self.retry = retry;
+        self
+    }
+
+    pub fn connect_timeout(mut self, t: Duration) -> WireClientBuilder {
+        self.connect_timeout = t;
+        self
+    }
+
+    pub fn io_timeout(mut self, t: Duration) -> WireClientBuilder {
+        self.io_timeout = t;
+        self
+    }
+
+    /// Lose the response of every `n`th request (see module docs).
+    pub fn inject_drop_every(mut self, n: u64) -> WireClientBuilder {
+        self.drop_every = n;
+        self
+    }
+
+    pub fn build(self) -> WireClient {
+        WireClient {
+            addr: self.addr,
+            proto: self.proto,
+            retry: self.retry,
+            connect_timeout: self.connect_timeout,
+            io_timeout: self.io_timeout,
+            max_body: self.max_body,
+            drop_every: self.drop_every,
+            requests: AtomicU64::new(0),
+            conn: Mutex::new(None),
+        }
+    }
+}
+
+/// A typed client for one sqalpel server, over either protocol.
 pub struct WireClient {
     addr: SocketAddr,
+    proto: Proto,
     retry: RetryPolicy,
     connect_timeout: Duration,
     io_timeout: Duration,
@@ -83,101 +169,83 @@ pub struct WireClient {
     /// request, losing the response. 0 = disabled.
     drop_every: u64,
     requests: AtomicU64,
+    /// The persistent v2 connection, lazily established, dropped on any
+    /// I/O error so the next attempt reconnects. Unused on v1.
+    conn: Mutex<Option<FramedConn>>,
+}
+
+/// One attempt's outcome: retry-worthy transport failure, or a final
+/// typed result (success *or* a platform error — never retried).
+enum Attempt {
+    Retry(String),
+    Final(PlatformResult<Reply>),
 }
 
 impl WireClient {
-    pub fn new(addr: SocketAddr) -> WireClient {
-        WireClient {
+    /// Start configuring a client (see [`WireClientBuilder`]).
+    pub fn builder(addr: SocketAddr) -> WireClientBuilder {
+        WireClientBuilder {
             addr,
+            proto: Proto::V1Http,
             retry: RetryPolicy::default(),
             connect_timeout: Duration::from_secs(5),
             io_timeout: Duration::from_secs(10),
             max_body: 1 << 24,
             drop_every: 0,
-            requests: AtomicU64::new(0),
         }
     }
 
+    /// Deprecated constructor, kept for API compatibility.
+    #[deprecated(since = "0.7.0", note = "use WireClient::builder(addr).build()")]
+    pub fn new(addr: SocketAddr) -> WireClient {
+        WireClient::builder(addr).build()
+    }
+
+    /// Deprecated post-construction tweak, kept for API compatibility.
+    #[deprecated(since = "0.7.0", note = "use WireClient::builder(addr).retry(..)")]
     pub fn with_retry(mut self, retry: RetryPolicy) -> WireClient {
         self.retry = retry;
         self
     }
 
-    /// Lose the response of every `n`th request (see module docs).
+    /// Deprecated post-construction tweak, kept for API compatibility.
+    #[deprecated(
+        since = "0.7.0",
+        note = "use WireClient::builder(addr).inject_drop_every(n)"
+    )]
     pub fn inject_drop_every(mut self, n: u64) -> WireClient {
         self.drop_every = n;
         self
     }
 
-    /// Total HTTP requests sent, retries and injected drops included.
+    /// The protocol this client speaks.
+    pub fn proto(&self) -> Proto {
+        self.proto
+    }
+
+    /// Total requests sent, retries and injected drops included.
     pub fn requests_sent(&self) -> u64 {
         self.requests.load(Ordering::Relaxed)
     }
 
     // ---------------------------------------------------------- transport
 
-    fn attempt(&self, method: &str, path: &str, body: &[u8]) -> io::Result<(u16, Vec<u8>)> {
-        let n = self.requests.fetch_add(1, Ordering::Relaxed) + 1;
-        let mut stream = TcpStream::connect_timeout(&self.addr, self.connect_timeout)?;
-        stream.set_read_timeout(Some(self.io_timeout))?;
-        stream.set_write_timeout(Some(self.io_timeout))?;
-        write_request(&mut stream, method, path, body)?;
-        if self.drop_every != 0 && n.is_multiple_of(self.drop_every) {
-            // The full request is on the wire (the server will process
-            // it); closing now loses the response, simulating a network
-            // failure between processing and delivery.
-            drop(stream);
-            return Err(io::Error::new(
-                io::ErrorKind::ConnectionReset,
-                "injected connection drop",
-            ));
-        }
-        read_response(&mut stream, self.max_body)
-    }
-
-    /// One API call: retried transport, typed errors.
-    fn call(&self, method: &str, path: &str, body: Option<&Value>) -> PlatformResult<Value> {
-        let encoded = match body {
-            Some(v) => serde_json::to_string(v)
-                .map_err(|e| PlatformError::Transport(format!("encode: {e}")))?
-                .into_bytes(),
-            None => Vec::new(),
-        };
+    /// One typed call with retry — the generic surface every convenience
+    /// method below goes through, also usable directly (the differential
+    /// suite drives it with every [`Request`] variant).
+    pub fn call(&self, op: &Request) -> PlatformResult<Reply> {
         let mut last_failure = String::new();
         for attempt in 0..self.retry.attempts.max(1) {
             if attempt > 0 {
                 std::thread::sleep(self.retry.backoff(attempt - 1));
             }
-            match self.attempt(method, path, &encoded) {
-                // 5xx: the server (or a proxy) failed; safe to retry
-                // because the API is idempotent per contributor key.
-                Ok((status, resp)) if status >= 500 => {
-                    last_failure = format!(
-                        "{method} {path}: server error {status}: {}",
-                        String::from_utf8_lossy(&resp)
-                    );
-                }
-                // 4xx: a typed platform error — never retried.
-                Ok((status, resp)) if status >= 400 => {
-                    let text = String::from_utf8_lossy(&resp);
-                    let err = serde_json::from_str::<Value>(&text)
-                        .ok()
-                        .and_then(|v| PlatformError::from_value(&v).ok());
-                    return Err(err.unwrap_or_else(|| {
-                        PlatformError::Transport(format!(
-                            "{method} {path}: status {status} with undecodable body: {text}"
-                        ))
-                    }));
-                }
-                Ok((_, resp)) => {
-                    let text = String::from_utf8_lossy(&resp);
-                    return serde_json::from_str(&text).map_err(|e| {
-                        PlatformError::Transport(format!("{method} {path}: bad JSON: {e}"))
-                    });
-                }
-                Err(e) => {
-                    last_failure = format!("{method} {path}: {e}");
-                }
+            let outcome = match self.proto {
+                Proto::V1Http => self.attempt_v1(op),
+                Proto::V2Framed => self.attempt_v2(op),
+            };
+            match outcome {
+                Attempt::Final(result) => return result,
+                Attempt::Retry(msg) => last_failure = msg,
             }
         }
         Err(PlatformError::Transport(format!(
@@ -186,49 +254,190 @@ impl WireClient {
         )))
     }
 
-    fn post(&self, path: &str, body: Value) -> PlatformResult<Value> {
-        self.call("POST", path, Some(&body))
+    /// v1: fresh connection, one HTTP exchange. 5xx and I/O failures are
+    /// retryable; anything else decodes to a final typed outcome.
+    fn attempt_v1(&self, op: &Request) -> Attempt {
+        let n = self.requests.fetch_add(1, Ordering::Relaxed) + 1;
+        let http = v1::encode_request(op);
+        let path = if http.query.is_empty() {
+            http.path.clone()
+        } else {
+            let qs: Vec<String> = http
+                .query
+                .iter()
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect();
+            format!("{}?{}", http.path, qs.join("&"))
+        };
+        let exchange = (|| -> std::io::Result<(u16, Vec<u8>)> {
+            let mut stream = TcpStream::connect_timeout(&self.addr, self.connect_timeout)?;
+            stream.set_read_timeout(Some(self.io_timeout))?;
+            stream.set_write_timeout(Some(self.io_timeout))?;
+            write_request(&mut stream, &http.method, &path, &http.body)?;
+            if self.drop_every != 0 && n.is_multiple_of(self.drop_every) {
+                // The full request is on the wire (the server will
+                // process it); closing now loses the response, simulating
+                // a network failure between processing and delivery.
+                drop(stream);
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::ConnectionReset,
+                    "injected connection drop",
+                ));
+            }
+            read_response(&mut stream, self.max_body)
+        })();
+        match exchange {
+            // 5xx: the server (or a proxy) failed; safe to retry because
+            // the API is idempotent per contributor key.
+            Ok((status, resp)) if status >= 500 => Attempt::Retry(format!(
+                "{} {path}: server error {status}: {}",
+                http.method,
+                String::from_utf8_lossy(&resp)
+            )),
+            Ok((status, resp)) => Attempt::Final(v1::decode_reply(op, status, &resp)),
+            Err(e) => Attempt::Retry(format!("{} {path}: {e}", http.method)),
+        }
     }
 
-    fn get(&self, path: &str) -> PlatformResult<Value> {
-        self.call("GET", path, None)
+    /// v2: reuse (or establish) the persistent framed connection. Any
+    /// I/O failure tears the connection down so the next attempt starts
+    /// from a clean handshake.
+    fn attempt_v2(&self, op: &Request) -> Attempt {
+        let n = self.requests.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut guard = self.conn.lock().expect("conn lock");
+        if guard.is_none() {
+            match FramedConn::connect(
+                &self.addr.to_string(),
+                self.connect_timeout,
+                self.io_timeout,
+                self.max_body,
+            ) {
+                Ok(conn) => *guard = Some(conn),
+                Err(e) => return Attempt::Retry(format!("{}: connect: {e}", op.op_name())),
+            }
+        }
+        // Take the connection out of the slot: only a clean exchange
+        // puts it back, so any failure path reconnects next attempt.
+        let mut conn = guard.take().expect("connection just established");
+        if self.drop_every != 0 && n.is_multiple_of(self.drop_every) {
+            // Half a frame on the wire, then gone — the server must
+            // discard it without dispatching (unlike v1's drop, the
+            // request is NOT processed; the retry is the only delivery).
+            let _ = conn.send_truncated(op);
+            return Attempt::Retry(format!("{}: injected connection drop", op.op_name()));
+        }
+        match conn.call(op) {
+            // A server-side transport error is the v2 analogue of 5xx.
+            Ok(Err(PlatformError::Transport(msg))) => {
+                *guard = Some(conn);
+                Attempt::Retry(format!("{}: server transport error: {msg}", op.op_name()))
+            }
+            Ok(outcome) => {
+                *guard = Some(conn);
+                Attempt::Final(outcome)
+            }
+            Err(e) => Attempt::Retry(format!("{}: {e}", op.op_name())),
+        }
+    }
+
+    /// Send many requests down the one v2 connection before reading any
+    /// response, then match responses to requests by frame tag. Single
+    /// attempt, no retry — a broken pipeline is one typed transport
+    /// error, and the caller decides what was idempotent.
+    ///
+    /// Returns one outcome per request, in request order.
+    pub fn pipeline(&self, ops: &[Request]) -> PlatformResult<Vec<PlatformResult<Reply>>> {
+        if self.proto != Proto::V2Framed {
+            return Err(PlatformError::Invalid(
+                "pipelining requires the v2 framed transport".into(),
+            ));
+        }
+        let mut guard = self.conn.lock().expect("conn lock");
+        if guard.is_none() {
+            *guard = Some(
+                FramedConn::connect(
+                    &self.addr.to_string(),
+                    self.connect_timeout,
+                    self.io_timeout,
+                    self.max_body,
+                )
+                .map_err(|e| PlatformError::Transport(format!("pipeline connect: {e}")))?,
+            );
+        }
+        // Take the connection out of the slot: on any failure it stays
+        // out (dropped), so the next call starts from a clean handshake.
+        let mut conn = guard.take().expect("connection just established");
+        let mut tags = Vec::with_capacity(ops.len());
+        for op in ops {
+            self.requests.fetch_add(1, Ordering::Relaxed);
+            let tag = conn
+                .send(op)
+                .map_err(|e| PlatformError::Transport(format!("pipeline send: {e}")))?;
+            tags.push(tag);
+        }
+        let mut by_tag = std::collections::HashMap::with_capacity(tags.len());
+        for _ in 0..tags.len() {
+            let (tag, outcome) = conn
+                .recv()
+                .map_err(|e| PlatformError::Transport(format!("pipeline recv: {e}")))?;
+            by_tag.insert(tag, outcome);
+        }
+        *guard = Some(conn);
+        tags.iter()
+            .map(|tag| {
+                by_tag.remove(tag).ok_or_else(|| {
+                    PlatformError::Transport(format!("pipeline: no response for tag {tag}"))
+                })
+            })
+            .collect::<PlatformResult<Vec<_>>>()
+    }
+
+    fn expect<T>(
+        reply: Reply,
+        what: &str,
+        extract: impl FnOnce(Reply) -> Option<T>,
+    ) -> PlatformResult<T> {
+        let debug = format!("{reply:?}");
+        extract(reply).ok_or_else(|| {
+            PlatformError::Transport(format!("expected {what} reply, got {debug}"))
+        })
     }
 
     // ------------------------------------------------- the typed surface
 
     pub fn register_user(&self, nickname: &str, email: &str) -> PlatformResult<UserId> {
-        let v = self.post(
-            "/v1/user/register",
-            obj(vec![("nickname", nickname.into()), ("email", email.into())]),
-        )?;
-        Ok(UserId(field_u64(&v, "user")?))
+        let reply = self.call(&Request::RegisterUser {
+            nickname: nickname.into(),
+            email: email.into(),
+        })?;
+        Self::expect(reply, "user", |r| match r {
+            Reply::User(u) => Some(u),
+            _ => None,
+        })
     }
 
     pub fn issue_key(&self, user: UserId) -> PlatformResult<ContributorKey> {
-        let v = self.post("/v1/user/key", obj(vec![("user", user.0.into())]))?;
-        Ok(ContributorKey(field_str(&v, "key")?))
+        let reply = self.call(&Request::IssueKey { user })?;
+        Self::expect(reply, "key", |r| match r {
+            Reply::Key(k) => Some(k),
+            _ => None,
+        })
     }
 
     pub fn add_dbms(&self, entry: DbmsEntry) -> PlatformResult<()> {
-        self.post("/v1/dbms", entry.to_value()).map(|_| ())
+        self.call(&Request::AddDbms { entry }).map(|_| ())
     }
 
     pub fn add_host(&self, entry: HostEntry) -> PlatformResult<()> {
-        self.post("/v1/host", entry.to_value()).map(|_| ())
+        self.call(&Request::AddHost { entry }).map(|_| ())
     }
 
     pub fn dbms_labels(&self) -> PlatformResult<Vec<String>> {
-        let v = self.get("/v1/dbms")?;
-        v["labels"]
-            .as_array()
-            .ok_or_else(|| PlatformError::Transport("missing labels".into()))?
-            .iter()
-            .map(|l| {
-                l.as_str()
-                    .map(str::to_string)
-                    .ok_or_else(|| PlatformError::Transport("non-string label".into()))
-            })
-            .collect()
+        let reply = self.call(&Request::DbmsLabels)?;
+        Self::expect(reply, "labels", |r| match r {
+            Reply::Labels(l) => Some(l),
+            _ => None,
+        })
     }
 
     pub fn create_project(
@@ -238,24 +447,20 @@ impl WireClient {
         synopsis: &str,
         visibility: Visibility,
     ) -> PlatformResult<ProjectId> {
-        let v = self.post(
-            "/v1/project/create",
-            obj(vec![
-                ("owner", owner.0.into()),
-                ("title", title.into()),
-                ("synopsis", synopsis.into()),
-                ("visibility", visibility.to_value()),
-            ]),
-        )?;
-        Ok(ProjectId(field_u64(&v, "project")?))
+        let reply = self.call(&Request::CreateProject {
+            owner,
+            title: title.into(),
+            synopsis: synopsis.into(),
+            visibility,
+        })?;
+        Self::expect(reply, "project", |r| match r {
+            Reply::Project(p) => Some(p),
+            _ => None,
+        })
     }
 
     pub fn invite(&self, project: ProjectId, owner: UserId, user: UserId) -> PlatformResult<()> {
-        self.post(
-            &format!("/v1/project/{}/invite", project.0),
-            obj(vec![("owner", owner.0.into()), ("user", user.0.into())]),
-        )
-        .map(|_| ())
+        self.call(&Request::Invite { project, owner, user }).map(|_| ())
     }
 
     pub fn set_targets(
@@ -265,33 +470,34 @@ impl WireClient {
         dbms_labels: Vec<String>,
         hosts: Vec<String>,
     ) -> PlatformResult<()> {
-        self.post(
-            &format!("/v1/project/{}/targets", project.0),
-            obj(vec![
-                ("actor", actor.0.into()),
-                ("dbms_labels", strings(dbms_labels)),
-                ("hosts", strings(hosts)),
-            ]),
-        )
+        self.call(&Request::SetTargets {
+            project,
+            actor,
+            dbms_labels,
+            hosts,
+        })
         .map(|_| ())
     }
 
     pub fn comment(&self, project: ProjectId, author: UserId, text: &str) -> PlatformResult<()> {
-        self.post(
-            &format!("/v1/project/{}/comment", project.0),
-            obj(vec![("author", author.0.into()), ("text", text.into())]),
-        )
+        self.call(&Request::Comment {
+            project,
+            author,
+            text: text.into(),
+        })
         .map(|_| ())
     }
 
     pub fn take_down(&self, project: ProjectId) -> PlatformResult<()> {
-        self.post(&format!("/v1/project/{}/take_down", project.0), obj(vec![]))
-            .map(|_| ())
+        self.call(&Request::TakeDown { project }).map(|_| ())
     }
 
     pub fn role_of(&self, project: ProjectId, user: UserId) -> PlatformResult<Role> {
-        let v = self.get(&format!("/v1/project/{}/role?user={}", project.0, user.0))?;
-        Role::from_value(&v["role"]).map_err(PlatformError::Transport)
+        let reply = self.call(&Request::RoleOf { project, user })?;
+        Self::expect(reply, "role", |r| match r {
+            Reply::Role(role) => Some(role),
+            _ => None,
+        })
     }
 
     /// Add an experiment; the grammar travels as source text and is
@@ -308,24 +514,19 @@ impl WireClient {
         template_cap: usize,
         pool_cap: usize,
     ) -> PlatformResult<ExperimentId> {
-        let v = self.post(
-            &format!("/v1/project/{}/experiment", project.0),
-            obj(vec![
-                ("actor", actor.0.into()),
-                ("title", title.into()),
-                ("baseline_sql", baseline_sql.into()),
-                (
-                    "grammar",
-                    match grammar_source {
-                        Some(src) => src.into(),
-                        None => Value::Null,
-                    },
-                ),
-                ("template_cap", template_cap.into()),
-                ("pool_cap", pool_cap.into()),
-            ]),
-        )?;
-        Ok(ExperimentId(field_u64(&v, "experiment")?))
+        let reply = self.call(&Request::AddExperiment {
+            project,
+            actor,
+            title: title.into(),
+            baseline_sql: baseline_sql.into(),
+            grammar: grammar_source.map(str::to_string),
+            template_cap: template_cap as u64,
+            pool_cap: pool_cap as u64,
+        })?;
+        Self::expect(reply, "experiment", |r| match r {
+            Reply::Experiment(e) => Some(e),
+            _ => None,
+        })
     }
 
     pub fn seed_pool(
@@ -336,15 +537,17 @@ impl WireClient {
         n_random: usize,
         seed: u64,
     ) -> PlatformResult<usize> {
-        let v = self.post(
-            &format!("/v1/project/{}/experiment/{}/seed", project.0, experiment.0),
-            obj(vec![
-                ("actor", actor.0.into()),
-                ("n_random", n_random.into()),
-                ("seed", seed.into()),
-            ]),
-        )?;
-        Ok(field_u64(&v, "seeded")? as usize)
+        let reply = self.call(&Request::SeedPool {
+            project,
+            experiment,
+            actor,
+            n_random: n_random as u64,
+            seed,
+        })?;
+        Self::expect(reply, "seeded count", |r| match r {
+            Reply::Seeded(n) => Some(n as usize),
+            _ => None,
+        })
     }
 
     pub fn morph_pool(
@@ -356,31 +559,18 @@ impl WireClient {
         steps: usize,
         seed: u64,
     ) -> PlatformResult<Vec<QueryId>> {
-        let v = self.post(
-            &format!("/v1/project/{}/experiment/{}/morph", project.0, experiment.0),
-            obj(vec![
-                ("actor", actor.0.into()),
-                (
-                    "strategy",
-                    match strategy {
-                        Some(s) => s.name().into(),
-                        None => Value::Null,
-                    },
-                ),
-                ("steps", steps.into()),
-                ("seed", seed.into()),
-            ]),
-        )?;
-        v["added"]
-            .as_array()
-            .ok_or_else(|| PlatformError::Transport("missing added".into()))?
-            .iter()
-            .map(|q| {
-                q.as_i64()
-                    .map(|n| QueryId(n as u64))
-                    .ok_or_else(|| PlatformError::Transport("non-numeric query id".into()))
-            })
-            .collect()
+        let reply = self.call(&Request::MorphPool {
+            project,
+            experiment,
+            actor,
+            strategy: strategy.map(|s| s.name().to_string()),
+            steps: steps as u64,
+            seed,
+        })?;
+        Self::expect(reply, "added queries", |r| match r {
+            Reply::Added(ids) => Some(ids),
+            _ => None,
+        })
     }
 
     pub fn enqueue_experiment(
@@ -389,14 +579,15 @@ impl WireClient {
         experiment: ExperimentId,
         actor: UserId,
     ) -> PlatformResult<usize> {
-        let v = self.post(
-            &format!(
-                "/v1/project/{}/experiment/{}/enqueue",
-                project.0, experiment.0
-            ),
-            obj(vec![("actor", actor.0.into())]),
-        )?;
-        Ok(field_u64(&v, "enqueued")? as usize)
+        let reply = self.call(&Request::EnqueueExperiment {
+            project,
+            experiment,
+            actor,
+        })?;
+        Self::expect(reply, "enqueued count", |r| match r {
+            Reply::Enqueued(n) => Some(n as usize),
+            _ => None,
+        })
     }
 
     pub fn request_task(
@@ -405,18 +596,15 @@ impl WireClient {
         dbms_label: &str,
         host: &str,
     ) -> PlatformResult<Option<Task>> {
-        let v = self.post(
-            "/v1/task/request",
-            obj(vec![
-                ("key", key.0.clone().into()),
-                ("dbms_label", dbms_label.into()),
-                ("host", host.into()),
-            ]),
-        )?;
-        match &v["task"] {
-            Value::Null => Ok(None),
-            t => Task::from_value(t).map(Some).map_err(PlatformError::Transport),
-        }
+        let reply = self.call(&Request::RequestTask {
+            key: key.clone(),
+            dbms_label: dbms_label.into(),
+            host: host.into(),
+        })?;
+        Self::expect(reply, "task handout", |r| match r {
+            Reply::Handout(t) => Some(t),
+            _ => None,
+        })
     }
 
     pub fn report_result(
@@ -425,48 +613,46 @@ impl WireClient {
         task: TaskId,
         outcome: &RunOutcome,
     ) -> PlatformResult<usize> {
-        let v = self.post(
-            "/v1/result/report",
-            obj(vec![
-                ("key", key.0.clone().into()),
-                ("task", task.0.into()),
-                ("outcome", outcome.to_value()),
-            ]),
-        )?;
-        Ok(field_u64(&v, "index")? as usize)
+        let reply = self.call(&Request::ReportResult {
+            key: key.clone(),
+            task,
+            outcome: outcome.clone(),
+        })?;
+        Self::expect(reply, "record index", |r| match r {
+            Reply::Index(n) => Some(n as usize),
+            _ => None,
+        })
     }
 
     pub fn queue_summary(&self) -> PlatformResult<QueueSummary> {
-        let v = self.get("/v1/queue/summary")?;
-        QueueSummary::from_value(&v).map_err(PlatformError::Transport)
+        let reply = self.call(&Request::QueueSummary)?;
+        Self::expect(reply, "queue summary", |r| match r {
+            Reply::Queue(q) => Some(q),
+            _ => None,
+        })
     }
 
     /// The server's metrics snapshot (`GET /v1/metrics`).
     pub fn metrics(&self) -> PlatformResult<MetricsSnapshot> {
-        let v = self.get("/v1/metrics")?;
-        MetricsSnapshot::from_value(&v).map_err(PlatformError::Transport)
+        let reply = self.call(&Request::Metrics)?;
+        Self::expect(reply, "metrics snapshot", |r| match r {
+            Reply::Metrics(m) => Some(m),
+            _ => None,
+        })
     }
 
     pub fn reap_stuck(&self, timeout: Duration) -> PlatformResult<Vec<TaskId>> {
-        let v = self.post(
-            "/v1/queue/reap",
-            obj(vec![("timeout_ms", (timeout.as_millis() as u64).into())]),
-        )?;
-        v["reaped"]
-            .as_array()
-            .ok_or_else(|| PlatformError::Transport("missing reaped".into()))?
-            .iter()
-            .map(|t| {
-                t.as_i64()
-                    .map(|n| TaskId(n as u64))
-                    .ok_or_else(|| PlatformError::Transport("non-numeric task id".into()))
-            })
-            .collect()
+        let reply = self.call(&Request::ReapStuck {
+            timeout_ms: timeout.as_millis() as u64,
+        })?;
+        Self::expect(reply, "reaped tasks", |r| match r {
+            Reply::Reaped(ids) => Some(ids),
+            _ => None,
+        })
     }
 
     pub fn requeue(&self, task: TaskId) -> PlatformResult<()> {
-        self.post(&format!("/v1/task/{}/requeue", task.0), obj(vec![]))
-            .map(|_| ())
+        self.call(&Request::Requeue { task }).map(|_| ())
     }
 
     pub fn results_for_key(
@@ -474,13 +660,14 @@ impl WireClient {
         project: ProjectId,
         key: &ContributorKey,
     ) -> PlatformResult<Vec<ResultRecord>> {
-        let v = self.get(&format!("/v1/project/{}/results?key={}", project.0, key.0))?;
-        v["results"]
-            .as_array()
-            .ok_or_else(|| PlatformError::Transport("missing results".into()))?
-            .iter()
-            .map(|r| ResultRecord::from_value(r).map_err(PlatformError::Transport))
-            .collect()
+        let reply = self.call(&Request::ResultsForKey {
+            project,
+            key: key.clone(),
+        })?;
+        Self::expect(reply, "results", |r| match r {
+            Reply::Results(rs) => Some(rs),
+            _ => None,
+        })
     }
 
     pub fn hide_result(
@@ -490,44 +677,36 @@ impl WireClient {
         index: usize,
         hidden: bool,
     ) -> PlatformResult<()> {
-        self.post(
-            "/v1/result/hide",
-            obj(vec![
-                ("project", project.0.into()),
-                ("actor", actor.0.into()),
-                ("index", index.into()),
-                ("hidden", hidden.into()),
-            ]),
-        )
+        self.call(&Request::HideResult {
+            project,
+            actor,
+            index: index as u64,
+            hidden,
+        })
         .map(|_| ())
     }
 
-    /// CSV export is the one non-JSON response; fetched raw.
+    /// CSV export (a raw-text response on v1, a string frame on v2).
     pub fn export_csv(&self, project: ProjectId, viewer: UserId) -> PlatformResult<String> {
-        let path = format!("/v1/project/{}/csv?viewer={}", project.0, viewer.0);
-        let mut last_failure = String::new();
-        for attempt in 0..self.retry.attempts.max(1) {
-            if attempt > 0 {
-                std::thread::sleep(self.retry.backoff(attempt - 1));
-            }
-            match self.attempt("GET", &path, b"") {
-                Ok((status, _)) if status >= 500 => {
-                    last_failure = format!("csv: server error {status}");
-                }
-                Ok((status, resp)) if status >= 400 => {
-                    let text = String::from_utf8_lossy(&resp);
-                    let err = serde_json::from_str::<Value>(&text)
-                        .ok()
-                        .and_then(|v| PlatformError::from_value(&v).ok());
-                    return Err(err.unwrap_or_else(|| {
-                        PlatformError::Transport(format!("csv: status {status}"))
-                    }));
-                }
-                Ok((_, resp)) => return Ok(String::from_utf8_lossy(&resp).into_owned()),
-                Err(e) => last_failure = format!("csv: {e}"),
-            }
-        }
-        Err(PlatformError::Transport(last_failure))
+        let reply = self.call(&Request::ExportCsv { project, viewer })?;
+        Self::expect(reply, "csv", |r| match r {
+            Reply::Csv(text) => Some(text),
+            _ => None,
+        })
+    }
+
+    /// Execute SQL on the server's attached engine. Passing back the
+    /// fingerprint from a previous outcome lets the server's plan cache
+    /// skip parse/bind/rewrite on a hit.
+    pub fn execute(&self, sql: &str, fingerprint: Option<u64>) -> PlatformResult<ExecOutcome> {
+        let reply = self.call(&Request::Execute {
+            sql: sql.into(),
+            fingerprint,
+        })?;
+        Self::expect(reply, "execution outcome", |r| match r {
+            Reply::Execution(out) => Some(out),
+            _ => None,
+        })
     }
 }
 
@@ -557,33 +736,6 @@ impl Platform for WireClient {
     }
 }
 
-fn obj(pairs: Vec<(&str, Value)>) -> Value {
-    let mut m = serde_json::Map::new();
-    for (k, v) in pairs {
-        m.insert(k.to_string(), v);
-    }
-    Value::Object(m)
-}
-
-fn strings(items: Vec<String>) -> Value {
-    Value::Array(items.into_iter().map(Value::from).collect())
-}
-
-fn field_u64(v: &Value, key: &str) -> PlatformResult<u64> {
-    v[key]
-        .as_i64()
-        .filter(|n| *n >= 0)
-        .map(|n| n as u64)
-        .ok_or_else(|| PlatformError::Transport(format!("response missing {key:?}")))
-}
-
-fn field_str(v: &Value, key: &str) -> PlatformResult<String> {
-    v[key]
-        .as_str()
-        .map(str::to_string)
-        .ok_or_else(|| PlatformError::Transport(format!("response missing {key:?}")))
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -602,22 +754,71 @@ mod tests {
         assert_eq!(p.backoff(30), Duration::from_millis(50));
     }
 
+    fn unreachable_addr() -> SocketAddr {
+        // Bind-then-drop yields an address nobody listens on.
+        let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        l.local_addr().unwrap()
+    }
+
     #[test]
     fn connect_refused_exhausts_into_transport_error() {
-        // Bind-then-drop yields an address nobody listens on.
-        let addr = {
-            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
-            l.local_addr().unwrap()
-        };
-        let client = WireClient::new(addr).with_retry(RetryPolicy {
-            attempts: 2,
-            base_backoff: Duration::from_millis(1),
-            max_backoff: Duration::from_millis(2),
-        });
+        let client = WireClient::builder(unreachable_addr())
+            .retry(RetryPolicy {
+                attempts: 2,
+                base_backoff: Duration::from_millis(1),
+                max_backoff: Duration::from_millis(2),
+            })
+            .build();
         match client.queue_summary() {
             Err(PlatformError::Transport(msg)) => assert!(msg.contains("2 attempts"), "{msg}"),
             other => panic!("expected transport error, got {other:?}"),
         }
         assert_eq!(client.requests_sent(), 2);
+    }
+
+    #[test]
+    fn v2_connect_refused_also_exhausts() {
+        let client = WireClient::builder(unreachable_addr())
+            .transport(Proto::V2Framed)
+            .retry(RetryPolicy {
+                attempts: 3,
+                base_backoff: Duration::from_millis(1),
+                max_backoff: Duration::from_millis(2),
+            })
+            .build();
+        match client.queue_summary() {
+            Err(PlatformError::Transport(msg)) => assert!(msg.contains("3 attempts"), "{msg}"),
+            other => panic!("expected transport error, got {other:?}"),
+        }
+        // Pipelining on a dead server is a single typed failure.
+        match client.pipeline(&[Request::QueueSummary]) {
+            Err(PlatformError::Transport(msg)) => assert!(msg.contains("connect"), "{msg}"),
+            other => panic!("expected transport error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pipelining_requires_v2() {
+        let client = WireClient::builder(unreachable_addr()).build();
+        match client.pipeline(&[Request::QueueSummary]) {
+            Err(PlatformError::Invalid(msg)) => assert!(msg.contains("v2"), "{msg}"),
+            other => panic!("expected invalid, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_constructors_still_build_working_clients() {
+        // The back-compat shims must keep configuring the same client.
+        let client = WireClient::new(unreachable_addr())
+            .with_retry(RetryPolicy {
+                attempts: 1,
+                base_backoff: Duration::from_millis(1),
+                max_backoff: Duration::from_millis(1),
+            })
+            .inject_drop_every(0);
+        assert_eq!(client.proto(), Proto::V1Http);
+        assert!(client.queue_summary().is_err());
+        assert_eq!(client.requests_sent(), 1);
     }
 }

@@ -1,0 +1,330 @@
+//! The one execution path behind every protocol version.
+//!
+//! Both the v1 HTTP handler and the v2 framed server decode bytes into
+//! the same typed [`Request`] and call [`dispatch`]; protocol codecs
+//! only translate, they never decide. That makes v1/v2 behavioral
+//! equivalence a property of the structure rather than of discipline —
+//! the differential suite then checks the codecs themselves.
+
+use super::proto::{CacheStatus, ExecOutcome, Reply, Request, WireResultSet};
+use crate::error::{PlatformError, PlatformResult};
+use crate::pool::Strategy;
+use crate::server::SqalpelServer;
+use sqalpel_engine::{CacheOutcome, Dbms};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The SQL execution backend a wire server may attach: a target system
+/// reachable through [`Request::Execute`]. Kept separate from
+/// [`SqalpelServer`] so the management/queue surface stays usable
+/// without an engine in the process.
+#[derive(Clone)]
+pub struct ExecBackend {
+    pub dbms: Arc<dyn Dbms>,
+}
+
+impl ExecBackend {
+    pub fn new(dbms: Arc<dyn Dbms>) -> ExecBackend {
+        ExecBackend { dbms }
+    }
+}
+
+/// Execute one typed request against the server. Every failure is a
+/// typed [`PlatformError`]; protocol layers map it to their own frame.
+pub fn dispatch(
+    server: &SqalpelServer,
+    backend: Option<&ExecBackend>,
+    req: &Request,
+) -> PlatformResult<Reply> {
+    match req {
+        Request::RegisterUser { nickname, email } => {
+            Ok(Reply::User(server.register_user(nickname, email)?))
+        }
+        Request::IssueKey { user } => Ok(Reply::Key(server.issue_key(*user)?)),
+        Request::AddDbms { entry } => {
+            server.add_dbms(entry.clone())?;
+            Ok(Reply::Unit)
+        }
+        Request::AddHost { entry } => {
+            server.add_host(entry.clone())?;
+            Ok(Reply::Unit)
+        }
+        Request::DbmsLabels => Ok(Reply::Labels(server.dbms_labels())),
+        Request::CreateProject {
+            owner,
+            title,
+            synopsis,
+            visibility,
+        } => Ok(Reply::Project(server.create_project(
+            *owner,
+            title,
+            synopsis,
+            *visibility,
+        )?)),
+        Request::Invite {
+            project,
+            owner,
+            user,
+        } => {
+            server.invite(*project, *owner, *user)?;
+            Ok(Reply::Unit)
+        }
+        Request::SetTargets {
+            project,
+            actor,
+            dbms_labels,
+            hosts,
+        } => {
+            server.set_targets(*project, *actor, dbms_labels.clone(), hosts.clone())?;
+            Ok(Reply::Unit)
+        }
+        Request::Comment {
+            project,
+            author,
+            text,
+        } => {
+            server.comment(*project, *author, text)?;
+            Ok(Reply::Unit)
+        }
+        Request::TakeDown { project } => {
+            server.take_down(*project)?;
+            Ok(Reply::Unit)
+        }
+        Request::RoleOf { project, user } => Ok(Reply::Role(server.role_of(*project, *user)?)),
+        Request::AddExperiment {
+            project,
+            actor,
+            title,
+            baseline_sql,
+            grammar,
+            template_cap,
+            pool_cap,
+        } => {
+            // Grammar source travels as text and is parsed server-side,
+            // same as v1 has always done — parse errors are Grammar(422).
+            let grammar = match grammar {
+                None => None,
+                Some(src) => Some(sqalpel_grammar::Grammar::parse(src)?),
+            };
+            Ok(Reply::Experiment(server.add_experiment(
+                *project,
+                *actor,
+                title,
+                baseline_sql,
+                grammar,
+                *template_cap as usize,
+                *pool_cap as usize,
+            )?))
+        }
+        Request::SeedPool {
+            project,
+            experiment,
+            actor,
+            n_random,
+            seed,
+        } => Ok(Reply::Seeded(server.seed_pool(
+            *project,
+            *experiment,
+            *actor,
+            *n_random as usize,
+            *seed,
+        )? as u64)),
+        Request::MorphPool {
+            project,
+            experiment,
+            actor,
+            strategy,
+            steps,
+            seed,
+        } => {
+            let strategy = match strategy {
+                None => None,
+                Some(name) => Some(Strategy::from_name(name).map_err(PlatformError::Invalid)?),
+            };
+            Ok(Reply::Added(server.morph_pool(
+                *project,
+                *experiment,
+                *actor,
+                strategy,
+                *steps as usize,
+                *seed,
+            )?))
+        }
+        Request::EnqueueExperiment {
+            project,
+            experiment,
+            actor,
+        } => Ok(Reply::Enqueued(
+            server.enqueue_experiment(*project, *experiment, *actor)? as u64,
+        )),
+        Request::ResultsForKey { project, key } => {
+            Ok(Reply::Results(server.results_for_key(*project, key)?))
+        }
+        Request::ExportCsv { project, viewer } => {
+            Ok(Reply::Csv(server.export_csv(*project, *viewer)?))
+        }
+        Request::HideResult {
+            project,
+            actor,
+            index,
+            hidden,
+        } => {
+            server.hide_result(*project, *actor, *index as usize, *hidden)?;
+            Ok(Reply::Unit)
+        }
+        Request::RequestTask {
+            key,
+            dbms_label,
+            host,
+        } => Ok(Reply::Handout(server.request_task(key, dbms_label, host)?)),
+        Request::ReportResult { key, task, outcome } => Ok(Reply::Index(
+            server.report_result(key, *task, outcome.clone())? as u64,
+        )),
+        Request::QueueSummary => Ok(Reply::Queue(server.queue_summary())),
+        Request::ReapStuck { timeout_ms } => Ok(Reply::Reaped(
+            server.reap_stuck(Duration::from_millis(*timeout_ms)),
+        )),
+        Request::Requeue { task } => {
+            server.requeue(*task)?;
+            Ok(Reply::Unit)
+        }
+        Request::Metrics => Ok(Reply::Metrics(server.metrics().snapshot())),
+        Request::Execute { sql, fingerprint } => {
+            let backend = backend.ok_or_else(|| {
+                PlatformError::Invalid("no execution backend attached to this server".into())
+            })?;
+            let exec = backend
+                .dbms
+                .execute_by_fingerprint(sql, *fingerprint)
+                .map_err(|e| PlatformError::Invalid(e.to_string()))?;
+            let metrics = server.metrics();
+            let cache = match exec.cache {
+                CacheOutcome::Hit => {
+                    metrics.incr("plan_cache.hits");
+                    CacheStatus::Hit
+                }
+                CacheOutcome::Miss { evicted } => {
+                    metrics.incr("plan_cache.misses");
+                    if evicted {
+                        metrics.incr("plan_cache.evictions");
+                    }
+                    CacheStatus::Miss
+                }
+                CacheOutcome::Bypass => CacheStatus::Bypass,
+            };
+            Ok(Reply::Execution(ExecOutcome {
+                result: WireResultSet::from_result_set(&exec.result),
+                fingerprint: exec.fingerprint,
+                cache,
+            }))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Visibility;
+    use sqalpel_engine::{Database, PlanCache, RowStore};
+
+    #[test]
+    fn execute_without_backend_is_invalid() {
+        let server = SqalpelServer::new();
+        let err = dispatch(
+            &server,
+            None,
+            &Request::Execute {
+                sql: "select 1 from region".into(),
+                fingerprint: None,
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, PlatformError::Invalid(_)));
+    }
+
+    #[test]
+    fn execute_counts_plan_cache_traffic() {
+        let server = SqalpelServer::new();
+        let db = Arc::new(Database::tpch(0.001, 42));
+        let dbms = RowStore::new(db).with_plan_cache(Arc::new(PlanCache::new(8)));
+        let backend = ExecBackend::new(Arc::new(dbms));
+        let sql = "select count(*) from lineitem";
+
+        // Miss first (cache cold), then a hit via the returned fingerprint.
+        let fp = match dispatch(
+            &server,
+            Some(&backend),
+            &Request::Execute { sql: sql.into(), fingerprint: None },
+        )
+        .unwrap()
+        {
+            Reply::Execution(out) => {
+                assert_eq!(out.cache, CacheStatus::Miss);
+                out.fingerprint
+            }
+            other => panic!("{other:?}"),
+        };
+        match dispatch(
+            &server,
+            Some(&backend),
+            &Request::Execute { sql: sql.into(), fingerprint: Some(fp) },
+        )
+        .unwrap()
+        {
+            Reply::Execution(out) => assert_eq!(out.cache, CacheStatus::Hit),
+            other => panic!("{other:?}"),
+        }
+        let snap = server.metrics().snapshot();
+        assert_eq!(snap.counter("plan_cache.hits"), Some(1));
+        assert_eq!(snap.counter("plan_cache.misses"), Some(1));
+    }
+
+    #[test]
+    fn management_ops_round_trip_through_dispatch() {
+        let server = SqalpelServer::new();
+        let user = match dispatch(
+            &server,
+            None,
+            &Request::RegisterUser { nickname: "mlk".into(), email: "mlk@cwi.nl".into() },
+        )
+        .unwrap()
+        {
+            Reply::User(u) => u,
+            other => panic!("{other:?}"),
+        };
+        let project = match dispatch(
+            &server,
+            None,
+            &Request::CreateProject {
+                owner: user,
+                title: "demo".into(),
+                synopsis: "dispatch test".into(),
+                visibility: Visibility::Public,
+            },
+        )
+        .unwrap()
+        {
+            Reply::Project(p) => p,
+            other => panic!("{other:?}"),
+        };
+        match dispatch(&server, None, &Request::RoleOf { project, user }).unwrap() {
+            Reply::Role(role) => assert_eq!(role, crate::project::Role::Owner),
+            other => panic!("{other:?}"),
+        }
+        // A bad strategy name fails typed, not panicking.
+        let err = dispatch(
+            &server,
+            None,
+            &Request::MorphPool {
+                project,
+                experiment: crate::project::ExperimentId(0),
+                actor: user,
+                strategy: Some("no-such-strategy".into()),
+                steps: 1,
+                seed: 1,
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, PlatformError::Invalid(_)));
+    }
+}

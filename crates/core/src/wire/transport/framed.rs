@@ -1,0 +1,131 @@
+//! Framed TCP: the v2 transport muscle.
+//!
+//! One persistent TCP connection carries length-framed binary messages
+//! (see [`crate::wire::proto::v2`] for the frame layout). This module
+//! only moves frames: [`read_frame`]/[`write_frame`] for blocking
+//! streams and [`FramedConn`], the client-side connection with the
+//! version handshake, serial calls and pipelined send/recv. All
+//! encoding decisions live in the codec.
+
+use crate::error::{PlatformError, PlatformResult};
+use crate::wire::proto::v2::{self, DecodedReply, HEADER_LEN};
+use crate::wire::proto::{Reply, Request};
+use std::io::{self, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Write one already-encoded frame (header included) to the stream.
+pub fn write_frame(stream: &mut TcpStream, frame: &[u8]) -> io::Result<()> {
+    stream.write_all(frame)
+}
+
+/// Read exactly one frame off a blocking stream. Oversized or truncated
+/// frames are `InvalidData`/`UnexpectedEof` — the connection is dead.
+pub fn read_frame(stream: &mut TcpStream, max_frame: usize) -> io::Result<(u32, Vec<u8>)> {
+    let mut header = [0u8; HEADER_LEN];
+    stream.read_exact(&mut header)?;
+    let len = u32::from_le_bytes(header[0..4].try_into().unwrap()) as usize;
+    let tag = u32::from_le_bytes(header[4..8].try_into().unwrap());
+    if len == 0 || len > max_frame {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame body of {len} bytes outside (0, {max_frame}]"),
+        ));
+    }
+    let mut body = vec![0u8; len];
+    stream.read_exact(&mut body)?;
+    Ok((tag, body))
+}
+
+fn bad(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+/// A client-side framed connection: connected, version-checked, ready
+/// for serial calls or pipelined send/recv. Tag allocation is internal —
+/// tags only need to be unique among in-flight frames on one connection.
+pub struct FramedConn {
+    stream: TcpStream,
+    max_frame: usize,
+    next_tag: u32,
+}
+
+impl FramedConn {
+    /// Connect and run the Hello handshake. Any version disagreement is
+    /// a hard `InvalidData` error.
+    pub fn connect(
+        addr: &str,
+        connect_timeout: Duration,
+        io_timeout: Duration,
+        max_frame: usize,
+    ) -> io::Result<FramedConn> {
+        let sock = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| bad(format!("address {addr:?} did not resolve")))?;
+        let stream = TcpStream::connect_timeout(&sock, connect_timeout)?;
+        stream.set_read_timeout(Some(io_timeout))?;
+        stream.set_write_timeout(Some(io_timeout))?;
+        stream.set_nodelay(true)?;
+        let mut conn = FramedConn {
+            stream,
+            max_frame,
+            next_tag: 1,
+        };
+        write_frame(&mut conn.stream, &v2::encode_hello_frame(0))?;
+        let (_, body) = read_frame(&mut conn.stream, max_frame)?;
+        match v2::decode_reply(&body).map_err(bad)? {
+            DecodedReply::Hello { version } if version == v2::PROTO_VERSION => Ok(conn),
+            DecodedReply::Hello { version } => Err(bad(format!(
+                "server speaks protocol {version}, client speaks {}",
+                v2::PROTO_VERSION
+            ))),
+            DecodedReply::Outcome(_) => Err(bad("expected hello, got a reply".into())),
+        }
+    }
+
+    /// Send one request, returning its tag for later matching.
+    pub fn send(&mut self, req: &Request) -> io::Result<u32> {
+        let tag = self.next_tag;
+        self.next_tag = self.next_tag.wrapping_add(1).max(1);
+        write_frame(&mut self.stream, &v2::encode_request_frame(tag, req))?;
+        Ok(tag)
+    }
+
+    /// Receive the next response frame, whichever request it answers.
+    pub fn recv(&mut self) -> io::Result<(u32, PlatformResult<Reply>)> {
+        let (tag, body) = read_frame(&mut self.stream, self.max_frame)?;
+        match v2::decode_reply(&body).map_err(bad)? {
+            DecodedReply::Outcome(outcome) => Ok((tag, outcome)),
+            DecodedReply::Hello { .. } => Err(bad("unexpected mid-stream hello".into())),
+        }
+    }
+
+    /// One serial request/response exchange.
+    pub fn call(&mut self, req: &Request) -> io::Result<PlatformResult<Reply>> {
+        let sent = self.send(req)?;
+        let (tag, outcome) = self.recv()?;
+        if tag != sent {
+            return Err(bad(format!(
+                "response tag {tag} does not match request tag {sent}"
+            )));
+        }
+        Ok(outcome)
+    }
+
+    /// Fault injection for the drop tests: write only the first half of
+    /// the encoded frame, then slam the connection shut. The server must
+    /// discard the partial frame without dispatching it.
+    pub fn send_truncated(&mut self, req: &Request) -> io::Result<()> {
+        let frame = v2::encode_request_frame(self.next_tag, req);
+        let half = frame.len() / 2;
+        self.stream.write_all(&frame[..half])?;
+        self.stream.shutdown(std::net::Shutdown::Both)
+    }
+}
+
+/// Map an exhausted-retries io failure into the typed transport error,
+/// same wording as the v1 client uses.
+pub fn transport_error(detail: &str, attempts: u32) -> PlatformError {
+    PlatformError::Transport(format!("{detail} (after {attempts} attempts)"))
+}

@@ -1,0 +1,11 @@
+//! The transport "muscles": everything that moves protocol bytes.
+//!
+//! [`http`] is the v1 muscle — a deliberately small HTTP/1.1 subset, one
+//! request per connection. [`framed`] is the v2 muscle — length-framed
+//! binary messages over one persistent TCP connection, with tagged
+//! frames so multiple requests can be in flight (pipelining). Neither
+//! module interprets payloads: encoding and decoding live entirely in
+//! [`crate::wire::proto`].
+
+pub mod framed;
+pub mod http;

@@ -108,7 +108,7 @@ fn concurrent_flaky_wire_clients_match_the_in_process_run() {
 
     // The entire management surface runs over the wire too (through a
     // clean client: management calls are not idempotent by design).
-    let admin = WireClient::new(addr).with_retry(fast_retry());
+    let admin = WireClient::builder(addr).retry(fast_retry()).build();
     let owner = admin.register_user("mlk", "mlk@cwi.nl").unwrap();
     let contrib = admin.register_user("pk", "pk@monetdb.com").unwrap();
     let project = admin
@@ -134,9 +134,10 @@ fn concurrent_flaky_wire_clients_match_the_in_process_run() {
             .map(|_| {
                 let key = admin.issue_key(contrib).unwrap();
                 scope.spawn(move || {
-                    let client = WireClient::new(addr)
-                        .with_retry(fast_retry())
-                        .inject_drop_every(7);
+                    let client = WireClient::builder(addr)
+                        .retry(fast_retry())
+                        .inject_drop_every(7)
+                        .build();
                     let d = driver();
                     let mut completed = 0usize;
                     while let Some(task) = client.request_task(&key, DBMS, HOST).unwrap() {
@@ -173,7 +174,7 @@ fn lost_responses_are_absorbed_by_idempotent_retries() {
     let server = Arc::new(SqalpelServer::new());
     let wire = start_wire(&server);
 
-    let admin = WireClient::new(wire.local_addr()).with_retry(fast_retry());
+    let admin = WireClient::builder(wire.local_addr()).retry(fast_retry()).build();
     let owner = admin.register_user("mlk", "mlk@cwi.nl").unwrap();
     let project = admin
         .create_project(owner, "drops", "lost responses", Visibility::Public)
@@ -189,9 +190,10 @@ fn lost_responses_are_absorbed_by_idempotent_retries() {
     assert_eq!(total, 2);
 
     let key = admin.issue_key(owner).unwrap();
-    let flaky = WireClient::new(wire.local_addr())
-        .with_retry(fast_retry())
-        .inject_drop_every(2);
+    let flaky = WireClient::builder(wire.local_addr())
+        .retry(fast_retry())
+        .inject_drop_every(2)
+        .build();
     let d = driver();
     let mut indices = Vec::new();
     let mut calls = 0u64;
@@ -225,7 +227,7 @@ fn worker_pool_runs_unchanged_against_a_wire_client() {
     let server = Arc::new(SqalpelServer::new());
     let wire = start_wire(&server);
 
-    let admin = WireClient::new(wire.local_addr()).with_retry(fast_retry());
+    let admin = WireClient::builder(wire.local_addr()).retry(fast_retry()).build();
     let owner = admin.register_user("mlk", "mlk@cwi.nl").unwrap();
     let project = admin
         .create_project(owner, "pool-over-wire", "generic pool", Visibility::Public)
@@ -239,9 +241,10 @@ fn worker_pool_runs_unchanged_against_a_wire_client() {
     admin.seed_pool(project, exp, owner, 3, 7).unwrap();
     let total = admin.enqueue_experiment(project, exp, owner).unwrap();
 
-    let pool_client = WireClient::new(wire.local_addr())
-        .with_retry(fast_retry())
-        .inject_drop_every(9);
+    let pool_client = WireClient::builder(wire.local_addr())
+        .retry(fast_retry())
+        .inject_drop_every(9)
+        .build();
     let workers = (0..4)
         .map(|_| Worker::new(admin.issue_key(owner).unwrap(), driver()))
         .collect();
@@ -264,7 +267,7 @@ fn metrics_endpoint_is_monotone_and_drop_safe_over_the_wire() {
     let server = Arc::new(SqalpelServer::new());
     let wire = start_wire(&server);
 
-    let admin = WireClient::new(wire.local_addr()).with_retry(fast_retry());
+    let admin = WireClient::builder(wire.local_addr()).retry(fast_retry()).build();
     let owner = admin.register_user("mlk", "mlk@cwi.nl").unwrap();
     let project = admin
         .create_project(owner, "metered", "metrics over wire", Visibility::Public)
@@ -283,9 +286,10 @@ fn metrics_endpoint_is_monotone_and_drop_safe_over_the_wire() {
     // hears back and retries — claims get re-handed, reports go through
     // the idempotent duplicate path.
     let key = admin.issue_key(owner).unwrap();
-    let flaky = WireClient::new(wire.local_addr())
-        .with_retry(fast_retry())
-        .inject_drop_every(2);
+    let flaky = WireClient::builder(wire.local_addr())
+        .retry(fast_retry())
+        .inject_drop_every(2)
+        .build();
     let d = driver();
     while let Some(task) = flaky.request_task(&key, DBMS, HOST).unwrap() {
         flaky.report_result(&key, task.id, &d.run(&task.sql)).unwrap();
@@ -338,7 +342,7 @@ fn metrics_endpoint_is_monotone_and_drop_safe_over_the_wire() {
 fn typed_errors_and_moderation_over_the_wire() {
     let server = Arc::new(SqalpelServer::new());
     let wire = start_wire(&server);
-    let client = WireClient::new(wire.local_addr()).with_retry(fast_retry());
+    let client = WireClient::builder(wire.local_addr()).retry(fast_retry()).build();
 
     // invalid → 400 → PlatformError::Invalid
     assert!(matches!(

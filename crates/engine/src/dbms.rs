@@ -16,7 +16,8 @@ use crate::exec_col::ColExec;
 use crate::exec_row::RowExec;
 use crate::ir::{self, Explain};
 use crate::morsel;
-use crate::plan::Planner;
+use crate::plan::{BoundQuery, Planner};
+use crate::plan_cache::{CacheOutcome, FpExecution, PlanCache};
 use crate::profile::NodeMetrics;
 use crate::result::ResultSet;
 use crate::storage::Database;
@@ -72,10 +73,74 @@ pub trait Dbms: Send + Sync {
         ))
     }
 
+    /// Execute with prepared-statement semantics: if the system has a
+    /// plan cache and `fingerprint` names a cached plan, parse/bind/
+    /// rewrite are skipped and the cached [`BoundQuery`] runs directly.
+    /// The returned [`FpExecution`] always carries the authoritative
+    /// fingerprint of the plan that ran — on a miss, that is the key the
+    /// caller should reuse to hit next time. Systems without a cache
+    /// fall through to plain [`Dbms::execute`] and report
+    /// [`CacheOutcome::Bypass`].
+    fn execute_by_fingerprint(
+        &self,
+        sql: &str,
+        fingerprint: Option<u64>,
+    ) -> EngineResult<FpExecution> {
+        let _ = fingerprint;
+        let fp = self.explain(sql).map(|e| e.fingerprint).unwrap_or(0);
+        Ok(FpExecution {
+            result: self.execute(sql)?,
+            fingerprint: fp,
+            cache: CacheOutcome::Bypass,
+        })
+    }
+
     /// `name-version` label used in reports.
     fn label(&self) -> String {
         format!("{}-{}", self.name(), self.version())
     }
+}
+
+/// The shared hit/miss/bypass protocol of `execute_by_fingerprint`,
+/// parameterized over how a store binds SQL and runs a bound plan so
+/// both engines get identical cache semantics.
+fn cached_execute(
+    cache: Option<&Arc<PlanCache>>,
+    fingerprint: Option<u64>,
+    bind: impl FnOnce() -> EngineResult<BoundQuery>,
+    run: impl Fn(&BoundQuery) -> EngineResult<ResultSet>,
+) -> EngineResult<FpExecution> {
+    let Some(cache) = cache else {
+        let bound = bind()?;
+        let fp = ir::explain(&bound).fingerprint;
+        return Ok(FpExecution {
+            result: run(&bound)?,
+            fingerprint: fp,
+            cache: CacheOutcome::Bypass,
+        });
+    };
+    if let Some(fp) = fingerprint {
+        if let Some(bound) = cache.get(fp) {
+            return Ok(FpExecution {
+                result: run(&bound)?,
+                fingerprint: fp,
+                cache: CacheOutcome::Hit,
+            });
+        }
+    } else {
+        cache.count_miss();
+    }
+    // Miss: build the plan, insert it under its *authoritative*
+    // fingerprint (a stale or wrong client key must not poison the
+    // cache), then execute the plan we just cached.
+    let bound = Arc::new(bind()?);
+    let fp = ir::explain(&bound).fingerprint;
+    let evicted = cache.insert(fp, bound.clone());
+    Ok(FpExecution {
+        result: run(&bound)?,
+        fingerprint: fp,
+        cache: CacheOutcome::Miss { evicted },
+    })
 }
 
 /// Bind (and, unless disabled, rewrite) `sql` against `db`, then render
@@ -97,6 +162,7 @@ pub struct RowStore {
     hash_joins: bool,
     threads: usize,
     rewrite: bool,
+    plan_cache: Option<Arc<PlanCache>>,
 }
 
 impl RowStore {
@@ -109,6 +175,7 @@ impl RowStore {
             hash_joins: true,
             threads: morsel::default_threads(),
             rewrite: true,
+            plan_cache: None,
         }
     }
 
@@ -123,6 +190,7 @@ impl RowStore {
             hash_joins: false,
             threads: morsel::default_threads(),
             rewrite: true,
+            plan_cache: None,
         }
     }
 
@@ -145,12 +213,31 @@ impl RowStore {
         self
     }
 
+    /// Attach a shared plan cache: `execute_by_fingerprint` hits skip
+    /// parse/bind/rewrite entirely.
+    pub fn with_plan_cache(mut self, cache: Arc<PlanCache>) -> Self {
+        self.plan_cache = Some(cache);
+        self
+    }
+
     pub fn threads(&self) -> usize {
         self.threads
     }
 
     pub fn database(&self) -> &Arc<Database> {
         &self.db
+    }
+
+    fn bind_sql(&self, sql: &str) -> EngineResult<BoundQuery> {
+        let q = sqalpel_sql::parse_query(sql)?;
+        Planner::new(&self.db).with_rewrite(self.rewrite).bind(&q)
+    }
+
+    fn run_bound(&self, bound: &BoundQuery) -> EngineResult<ResultSet> {
+        let exec = RowExec::with_threads(&self.db, self.budget, self.hash_joins, self.threads)
+            .with_rewrite(self.rewrite);
+        let rows = exec.run_query(bound, None)?;
+        Ok(ResultSet::new(bound.output_names(), rows))
     }
 
     /// Execute with the profiler on, returning both the result set and
@@ -198,6 +285,19 @@ impl Dbms for RowStore {
     fn explain_analyze(&self, sql: &str) -> EngineResult<AnalyzedPlan> {
         self.execute_analyzed(sql).map(|(_, plan)| plan)
     }
+
+    fn execute_by_fingerprint(
+        &self,
+        sql: &str,
+        fingerprint: Option<u64>,
+    ) -> EngineResult<FpExecution> {
+        cached_execute(
+            self.plan_cache.as_ref(),
+            fingerprint,
+            || self.bind_sql(sql),
+            |bound| self.run_bound(bound),
+        )
+    }
 }
 
 /// The column engine as a target system.
@@ -208,6 +308,7 @@ pub struct ColStore {
     threads: usize,
     rewrite: bool,
     zone_maps: bool,
+    plan_cache: Option<Arc<PlanCache>>,
 }
 
 impl ColStore {
@@ -218,6 +319,7 @@ impl ColStore {
             threads: morsel::default_threads(),
             rewrite: true,
             zone_maps: true,
+            plan_cache: None,
         }
     }
 
@@ -248,12 +350,32 @@ impl ColStore {
         self
     }
 
+    /// Attach a shared plan cache: `execute_by_fingerprint` hits skip
+    /// parse/bind/rewrite entirely.
+    pub fn with_plan_cache(mut self, cache: Arc<PlanCache>) -> Self {
+        self.plan_cache = Some(cache);
+        self
+    }
+
     pub fn threads(&self) -> usize {
         self.threads
     }
 
     pub fn database(&self) -> &Arc<Database> {
         &self.db
+    }
+
+    fn bind_sql(&self, sql: &str) -> EngineResult<BoundQuery> {
+        let q = sqalpel_sql::parse_query(sql)?;
+        Planner::new(&self.db).with_rewrite(self.rewrite).bind(&q)
+    }
+
+    fn run_bound(&self, bound: &BoundQuery) -> EngineResult<ResultSet> {
+        let exec = ColExec::with_threads(&self.db, self.budget, self.threads)
+            .with_rewrite(self.rewrite)
+            .with_zone_maps(self.zone_maps);
+        let rows = exec.run_query(bound, None)?;
+        Ok(ResultSet::new(bound.output_names(), rows))
     }
 
     /// Execute with the profiler on, returning both the result set and
@@ -302,6 +424,19 @@ impl Dbms for ColStore {
 
     fn explain_analyze(&self, sql: &str) -> EngineResult<AnalyzedPlan> {
         self.execute_analyzed(sql).map(|(_, plan)| plan)
+    }
+
+    fn execute_by_fingerprint(
+        &self,
+        sql: &str,
+        fingerprint: Option<u64>,
+    ) -> EngineResult<FpExecution> {
+        cached_execute(
+            self.plan_cache.as_ref(),
+            fingerprint,
+            || self.bind_sql(sql),
+            |bound| self.run_bound(bound),
+        )
     }
 }
 

@@ -39,6 +39,7 @@ pub mod ir;
 pub mod morsel;
 pub mod output;
 pub mod plan;
+pub mod plan_cache;
 pub mod profile;
 pub mod result;
 pub mod storage;
@@ -47,6 +48,7 @@ pub mod value;
 pub use dbms::{AnalyzedPlan, ColStore, Dbms, OpProfile, RowStore, DEFAULT_BUDGET};
 pub use error::{EngineError, EngineResult};
 pub use ir::Explain;
+pub use plan_cache::{CacheOutcome, FpExecution, PlanCache, PlanCacheStats};
 pub use profile::{NodeMetrics, ProfileShard, Profiler};
 pub use result::ResultSet;
 pub use storage::{Database, Table};

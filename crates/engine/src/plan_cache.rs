@@ -1,0 +1,242 @@
+//! Fingerprint-keyed LRU plan cache.
+//!
+//! The wire layer's `ExecuteByFingerprint` op sends a canonical plan
+//! fingerprint (see [`crate::ir`]) alongside — or instead of re-sending —
+//! the SQL text. A cache hit hands the executor an already bound and
+//! rewritten [`BoundQuery`], skipping parse/bind/rewrite entirely: the
+//! prepared-statement fast path of the v2 protocol.
+//!
+//! The cache is shared (`Arc`) between the serving threads, so the map
+//! sits behind a mutex; entries are `Arc<BoundQuery>` so execution never
+//! holds the lock. Recency is tracked with an intrusive-free `VecDeque`
+//! of keys — capacities are small (hundreds of plans), so the O(n) key
+//! scan on touch is noise next to executing the query.
+
+use crate::plan::BoundQuery;
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// How an `execute_by_fingerprint` call interacted with the plan cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// The fingerprint was cached: parse/bind/rewrite were skipped.
+    Hit,
+    /// The plan was (re)built from SQL and inserted. `evicted` reports
+    /// whether the insert pushed out a colder entry.
+    Miss { evicted: bool },
+    /// The target system has no plan cache configured.
+    Bypass,
+}
+
+/// The product of [`crate::Dbms::execute_by_fingerprint`]: the rows, the
+/// authoritative fingerprint of the plan that produced them, and how the
+/// cache was involved.
+#[derive(Debug, Clone)]
+pub struct FpExecution {
+    pub result: crate::result::ResultSet,
+    /// Canonical fingerprint of the executed plan — on a miss this is
+    /// the key the plan was inserted under, which the client reuses on
+    /// its next call to hit.
+    pub fingerprint: u64,
+    pub cache: CacheOutcome,
+}
+
+/// Monotone counters, readable without locking the map.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub evictions: u64,
+}
+
+struct Inner {
+    map: HashMap<u64, Arc<BoundQuery>>,
+    /// Keys, least recently used first.
+    recency: VecDeque<u64>,
+}
+
+/// A bounded, fingerprint-keyed LRU cache of bound query plans.
+pub struct PlanCache {
+    capacity: usize,
+    inner: Mutex<Inner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl PlanCache {
+    /// A cache holding at most `capacity` plans (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        PlanCache {
+            capacity: capacity.max(1),
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                recency: VecDeque::new(),
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Look up a fingerprint, counting a hit or a miss and refreshing
+    /// recency on hit.
+    pub fn get(&self, fingerprint: u64) -> Option<Arc<BoundQuery>> {
+        let mut inner = self.inner.lock().unwrap();
+        match inner.map.get(&fingerprint).cloned() {
+            Some(plan) => {
+                if let Some(pos) = inner.recency.iter().position(|&k| k == fingerprint) {
+                    inner.recency.remove(pos);
+                }
+                inner.recency.push_back(fingerprint);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(plan)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Count a miss without probing the map — the caller had no
+    /// fingerprint to probe with (plain `Execute` warming the cache).
+    pub fn count_miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Insert (or refresh) a plan; returns whether a colder entry was
+    /// evicted to make room.
+    pub fn insert(&self, fingerprint: u64, plan: Arc<BoundQuery>) -> bool {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.map.insert(fingerprint, plan).is_some() {
+            // Refresh: key already present, just touch recency.
+            if let Some(pos) = inner.recency.iter().position(|&k| k == fingerprint) {
+                inner.recency.remove(pos);
+            }
+            inner.recency.push_back(fingerprint);
+            return false;
+        }
+        inner.recency.push_back(fingerprint);
+        if inner.map.len() > self.capacity {
+            if let Some(cold) = inner.recency.pop_front() {
+                inner.map.remove(&cold);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+                return true;
+            }
+        }
+        false
+    }
+
+    pub fn stats(&self) -> PlanCacheStats {
+        PlanCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::Planner;
+    use crate::storage::Database;
+    use crate::{ir, Dbms, RowStore};
+
+    fn bound(db: &Database, sql: &str) -> (u64, Arc<BoundQuery>) {
+        let q = sqalpel_sql::parse_query(sql).unwrap();
+        let b = Planner::new(db).bind(&q).unwrap();
+        (ir::explain(&b).fingerprint, Arc::new(b))
+    }
+
+    #[test]
+    fn lru_evicts_coldest_and_counts() {
+        let db = Database::tpch(0.001, 42);
+        let cache = PlanCache::new(2);
+        let (f1, p1) = bound(&db, "select count(*) from region");
+        let (f2, p2) = bound(&db, "select count(*) from nation");
+        let (f3, p3) = bound(&db, "select count(*) from supplier");
+        assert!(!cache.insert(f1, p1));
+        assert!(!cache.insert(f2, p2));
+        // Touch f1 so f2 is coldest.
+        assert!(cache.get(f1).is_some());
+        assert!(cache.insert(f3, p3), "third insert must evict");
+        assert!(cache.get(f2).is_none(), "coldest entry gone");
+        assert!(cache.get(f1).is_some());
+        assert!(cache.get(f3).is_some());
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.evictions), (3, 1, 1));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn reinsert_refreshes_without_evicting() {
+        let db = Database::tpch(0.001, 42);
+        let cache = PlanCache::new(2);
+        let (f1, p1) = bound(&db, "select count(*) from region");
+        cache.insert(f1, p1.clone());
+        assert!(!cache.insert(f1, p1));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.stats().evictions, 0);
+    }
+
+    #[test]
+    fn execute_by_fingerprint_hit_skips_replanning_and_matches_bytes() {
+        let db = Arc::new(Database::tpch(0.001, 42));
+        let cache = Arc::new(PlanCache::new(16));
+        let store = RowStore::new(db).with_plan_cache(cache.clone());
+        let sql = "select n_regionkey, count(*) from nation group by n_regionkey order by n_regionkey";
+
+        let cold = store.execute_by_fingerprint(sql, None).unwrap();
+        assert_eq!(cold.cache, CacheOutcome::Miss { evicted: false });
+        let fp = cold.fingerprint;
+        assert_eq!(fp, store.explain(sql).unwrap().fingerprint);
+
+        let warm = store.execute_by_fingerprint(sql, Some(fp)).unwrap();
+        assert_eq!(warm.cache, CacheOutcome::Hit);
+        assert_eq!(warm.fingerprint, fp);
+        assert_eq!(cold.result.to_csv(), warm.result.to_csv());
+        assert_eq!(warm.result.to_csv(), store.execute(sql).unwrap().to_csv());
+        let s = cache.stats();
+        assert!(s.hits >= 1 && s.misses >= 1);
+    }
+
+    #[test]
+    fn unknown_fingerprint_falls_back_to_sql() {
+        let db = Arc::new(Database::tpch(0.001, 42));
+        let store = RowStore::new(db).with_plan_cache(Arc::new(PlanCache::new(4)));
+        let sql = "select count(*) from region";
+        let out = store.execute_by_fingerprint(sql, Some(0xdead_beef)).unwrap();
+        assert!(matches!(out.cache, CacheOutcome::Miss { .. }));
+        assert_ne!(out.fingerprint, 0xdead_beef, "authoritative key wins");
+        // The authoritative key now hits.
+        let again = store.execute_by_fingerprint(sql, Some(out.fingerprint)).unwrap();
+        assert_eq!(again.cache, CacheOutcome::Hit);
+    }
+
+    #[test]
+    fn no_cache_means_bypass() {
+        let db = Arc::new(Database::tpch(0.001, 42));
+        let store = RowStore::new(db);
+        let out = store
+            .execute_by_fingerprint("select count(*) from region", None)
+            .unwrap();
+        assert_eq!(out.cache, CacheOutcome::Bypass);
+        assert_eq!(out.fingerprint, store.explain("select count(*) from region").unwrap().fingerprint);
+    }
+}
