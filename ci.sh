@@ -5,6 +5,9 @@
 #   ./ci.sh explain-goldens          only the EXPLAIN golden check
 #   ./ci.sh explain-goldens --bless  regenerate the goldens after an
 #                                    intentional rewriter/plan change
+#   ./ci.sh plan-goldens [--bless]   the join-order goldens: Q5/Q7/Q8/Q9/Q21
+#                                    chosen order + estimated vs actual
+#                                    cardinalities (timings masked)
 set -eux
 
 explain_goldens() {
@@ -20,9 +23,24 @@ explain_goldens() {
     fi
 }
 
+plan_goldens() {
+    if [ "${1:-}" = "--bless" ]; then
+        SQALPEL_BLESS=1 cargo test -q --release -p sqalpel-engine --test plan_goldens adaptive_plans
+        cargo test -q --release -p sqalpel-engine --test plan_goldens
+    else
+        cargo test -q --release -p sqalpel-engine --test plan_goldens
+    fi
+}
+
 if [ "${1:-}" = "explain-goldens" ]; then
     shift
     explain_goldens "$@"
+    exit 0
+fi
+
+if [ "${1:-}" = "plan-goldens" ]; then
+    shift
+    plan_goldens "$@"
     exit 0
 fi
 
@@ -39,9 +57,19 @@ cargo test -q -p sqalpel-core --test wire_differential
 # EXPLAIN plans for the full TPC-H + SSB flights are pinned: any drift in
 # the binder/rewriter/ir output fails here until re-blessed.
 explain_goldens
+# The cost-based optimizer's plan goldens: chosen join order plus
+# estimated-vs-actual cardinalities for the five join-heavy queries,
+# including the adaptive second pass.
+plan_goldens
 # Every logical rewrite must be result-preserving, byte-for-byte, on both
 # engines at 1 and 4 workers.
 cargo test -q --release -p sqalpel-engine --test rewriter_equivalence
+# Join reordering must be result-preserving too: optimizer on vs off,
+# both engines, 1 and 4 workers, identical row sets and fingerprints.
+cargo test -q --release -p sqalpel-engine --test optimizer_equivalence
+# The cardinality estimator's invariants (selectivity in [0,1], conjunct
+# monotonicity) under random predicates and degenerate statistics.
+cargo test -q --release -p sqalpel-engine --test cost_props
 # Profiling must be observation-only: both flights, both engines, 1 and 4
 # workers, profiler on vs off — identical results and row counts.
 cargo test -q --release -p sqalpel-engine --test metrics_invariance
@@ -62,3 +90,7 @@ cargo clippy -p sqalpel-engine --all-targets -- -D warnings -D clippy::needless_
 # Smoke the parallel repro harness end to end (tiny scale, one rep, no
 # BENCH_parallel.json rewrite).
 cargo run --release -p sqalpel-bench --bin repro -- parallel --smoke
+# Smoke the optimizer repro harness (tiny scale, one rep, no
+# BENCH_optimizer.json rewrite): exercises the syntactic/cold/adaptive
+# three-way measurement including the plan-cache reoptimization path.
+cargo run --release -p sqalpel-bench --bin repro -- optimizer --smoke

@@ -1,0 +1,69 @@
+//! Criterion benchmarks for the cost-based join-order optimizer: the
+//! execution win on the join-heavy TPC-H queries (syntactic vs cold
+//! cost-based vs adaptively reoptimized order) and the planning tax the
+//! memo search itself adds to a bind.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sqalpel_engine::{CacheOutcome, Database, Dbms, PlanCache, RowStore};
+use std::hint::black_box;
+use std::sync::Arc;
+
+const SF: f64 = 0.01;
+
+fn bench_join_order(c: &mut Criterion) {
+    let db = Arc::new(Database::tpch(SF, 42));
+    let mut g = c.benchmark_group("optimizer/join_order");
+    g.sample_size(10);
+    // Q21 is excluded: its cost is correlated-subquery-bound, so it
+    // measures the subquery executor, not the join order.
+    for name in ["Q5", "Q7", "Q8", "Q9"] {
+        let sql = sqalpel_sql::tpch::query(name).unwrap();
+        let off = RowStore::new(db.clone())
+            .with_threads(1)
+            .with_optimizer(false);
+        let on = RowStore::new(db.clone()).with_threads(1);
+        let adaptive = RowStore::new(db.clone())
+            .with_threads(1)
+            .with_plan_cache(Arc::new(PlanCache::new(8)));
+        // Prime the adaptive plan: profiled run feeds back actual
+        // cardinalities, the next fingerprint execution re-plans.
+        let (_, plan) = adaptive.execute_analyzed(sql).unwrap();
+        let fp = plan.explain.fingerprint;
+        let primed = adaptive.execute_by_fingerprint(sql, Some(fp)).unwrap();
+        assert!(matches!(primed.cache, CacheOutcome::Reoptimized));
+        g.bench_with_input(BenchmarkId::new(name, "syntactic"), &sql, |b, sql| {
+            b.iter(|| off.execute(black_box(sql)).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new(name, "cold"), &sql, |b, sql| {
+            b.iter(|| on.execute(black_box(sql)).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new(name, "reoptimized"), &sql, |b, sql| {
+            b.iter(|| adaptive.execute_by_fingerprint(black_box(sql), Some(fp)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_planning_tax(c: &mut Criterion) {
+    // The memo search must stay cheap enough to run on every bind: EXPLAIN
+    // with the optimizer on vs off isolates the DP itself (binding,
+    // rewriting and rendering are common to both sides).
+    let db = Arc::new(Database::tpch(0.001, 42));
+    let on = RowStore::new(db.clone()).with_threads(1);
+    let off = RowStore::new(db).with_threads(1).with_optimizer(false);
+    let mut g = c.benchmark_group("optimizer/planning_tax");
+    g.sample_size(20);
+    for name in ["Q5", "Q8", "Q9"] {
+        let sql = sqalpel_sql::tpch::query(name).unwrap();
+        g.bench_with_input(BenchmarkId::new(name, "bind+optimize"), &sql, |b, sql| {
+            b.iter(|| on.explain(black_box(sql)).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new(name, "bind"), &sql, |b, sql| {
+            b.iter(|| off.explain(black_box(sql)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_join_order, bench_planning_tax);
+criterion_main!(benches);

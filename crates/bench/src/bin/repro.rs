@@ -1,7 +1,7 @@
 //! Regenerate the paper's tables and figures, or run the platform live.
 //!
 //! ```text
-//! repro table1 | table2 | fig1 | fig2 | fig3 | fig4 | fig5 | fig6 | fig7 | ablation | parallel [--smoke] | wire | all
+//! repro table1 | table2 | fig1 | fig2 | fig3 | fig4 | fig5 | fig6 | fig7 | ablation | parallel [--smoke] | optimizer [--smoke] | wire | all
 //! repro serve [addr]                          # demo platform: HTTP /v1 on addr, framed v2 on port+1
 //! repro contribute <addr> <key> [dbms] [host] [--proto v1|v2]
 //!                                             # drain the queue as a remote contributor
@@ -35,7 +35,7 @@ fn main() {
     }
     let known = [
         "table1", "table2", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
-        "ablation", "parallel", "wire", "all",
+        "ablation", "parallel", "optimizer", "wire", "all",
     ];
     if !known.contains(&what) {
         eprintln!("usage: repro [{}]", known.join(" | "));
@@ -90,6 +90,10 @@ fn main() {
     if run("parallel") {
         let smoke = args.iter().any(|a| a == "--smoke");
         println!("{}", sqalpel_bench::parallel_report_opts(smoke));
+    }
+    if run("optimizer") {
+        let smoke = args.iter().any(|a| a == "--smoke");
+        println!("{}", sqalpel_bench::optimizer_report_opts(smoke));
     }
     if run("wire") {
         println!("{}", sqalpel_bench::wire_report());

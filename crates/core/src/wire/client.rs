@@ -195,29 +195,6 @@ impl WireClient {
         }
     }
 
-    /// Deprecated constructor, kept for API compatibility.
-    #[deprecated(since = "0.7.0", note = "use WireClient::builder(addr).build()")]
-    pub fn new(addr: SocketAddr) -> WireClient {
-        WireClient::builder(addr).build()
-    }
-
-    /// Deprecated post-construction tweak, kept for API compatibility.
-    #[deprecated(since = "0.7.0", note = "use WireClient::builder(addr).retry(..)")]
-    pub fn with_retry(mut self, retry: RetryPolicy) -> WireClient {
-        self.retry = retry;
-        self
-    }
-
-    /// Deprecated post-construction tweak, kept for API compatibility.
-    #[deprecated(
-        since = "0.7.0",
-        note = "use WireClient::builder(addr).inject_drop_every(n)"
-    )]
-    pub fn inject_drop_every(mut self, n: u64) -> WireClient {
-        self.drop_every = n;
-        self
-    }
-
     /// The protocol this client speaks.
     pub fn proto(&self) -> Proto {
         self.proto
@@ -806,19 +783,4 @@ mod tests {
         }
     }
 
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_constructors_still_build_working_clients() {
-        // The back-compat shims must keep configuring the same client.
-        let client = WireClient::new(unreachable_addr())
-            .with_retry(RetryPolicy {
-                attempts: 1,
-                base_backoff: Duration::from_millis(1),
-                max_backoff: Duration::from_millis(1),
-            })
-            .inject_drop_every(0);
-        assert_eq!(client.proto(), Proto::V1Http);
-        assert!(client.queue_summary().is_err());
-        assert_eq!(client.requests_sent(), 1);
-    }
 }

@@ -210,6 +210,10 @@ pub fn dispatch(
                     }
                     CacheStatus::Miss
                 }
+                CacheOutcome::Reoptimized => {
+                    metrics.incr("plan_cache.reoptimized");
+                    CacheStatus::Reoptimized
+                }
                 CacheOutcome::Bypass => CacheStatus::Bypass,
             };
             Ok(Reply::Execution(ExecOutcome {
@@ -277,6 +281,50 @@ mod tests {
         let snap = server.metrics().snapshot();
         assert_eq!(snap.counter("plan_cache.hits"), Some(1));
         assert_eq!(snap.counter("plan_cache.misses"), Some(1));
+    }
+
+    #[test]
+    fn execute_reports_adaptive_reoptimization() {
+        // The adaptive loop over the wire: a profiled run records
+        // cardinality feedback against the fingerprint, so the next
+        // Execute re-plans (counted as plan_cache.reoptimized) and the
+        // one after that is a plain hit on the improved plan.
+        let server = SqalpelServer::new();
+        let db = Arc::new(Database::tpch(0.001, 42));
+        let store = RowStore::new(db)
+            .with_threads(1)
+            .with_plan_cache(Arc::new(PlanCache::new(8)));
+        // The clone shares the Arc'd plan cache with the backend.
+        let backend = ExecBackend::new(Arc::new(store.clone()));
+        let sql = "select count(*) from lineitem, orders, customer \
+                   where l_orderkey = o_orderkey and o_custkey = c_custkey \
+                     and c_acctbal > 0";
+
+        let exec = |fingerprint: Option<u64>| match dispatch(
+            &server,
+            Some(&backend),
+            &Request::Execute { sql: sql.into(), fingerprint },
+        )
+        .unwrap()
+        {
+            Reply::Execution(out) => out,
+            other => panic!("{other:?}"),
+        };
+        let cold = exec(None);
+        assert_eq!(cold.cache, CacheStatus::Miss);
+        store.execute_analyzed(sql).unwrap();
+        let warm = exec(Some(cold.fingerprint));
+        assert_eq!(warm.cache, CacheStatus::Reoptimized);
+        assert_eq!(warm.fingerprint, cold.fingerprint);
+        assert_eq!(
+            format!("{:?}", warm.result),
+            format!("{:?}", cold.result),
+            "reoptimized plan changed the result"
+        );
+        assert_eq!(exec(Some(cold.fingerprint)).cache, CacheStatus::Hit);
+        let snap = server.metrics().snapshot();
+        assert_eq!(snap.counter("plan_cache.reoptimized"), Some(1));
+        assert_eq!(snap.counter("plan_cache.hits"), Some(1));
     }
 
     #[test]

@@ -277,6 +277,9 @@ pub enum Reply {
 pub enum CacheStatus {
     Hit,
     Miss,
+    /// The cached plan was stale against newer cardinality feedback and
+    /// was re-planned with observed actuals before executing.
+    Reoptimized,
     Bypass,
 }
 
@@ -285,6 +288,7 @@ impl CacheStatus {
         match self {
             CacheStatus::Hit => "hit",
             CacheStatus::Miss => "miss",
+            CacheStatus::Reoptimized => "reoptimized",
             CacheStatus::Bypass => "bypass",
         }
     }
@@ -293,6 +297,7 @@ impl CacheStatus {
         match s {
             "hit" => Ok(CacheStatus::Hit),
             "miss" => Ok(CacheStatus::Miss),
+            "reoptimized" => Ok(CacheStatus::Reoptimized),
             "bypass" => Ok(CacheStatus::Bypass),
             other => Err(format!("unknown cache status {other:?}")),
         }
@@ -303,6 +308,7 @@ impl CacheStatus {
             CacheStatus::Hit => 0,
             CacheStatus::Miss => 1,
             CacheStatus::Bypass => 2,
+            CacheStatus::Reoptimized => 3,
         }
     }
 
@@ -311,6 +317,7 @@ impl CacheStatus {
             0 => Ok(CacheStatus::Hit),
             1 => Ok(CacheStatus::Miss),
             2 => Ok(CacheStatus::Bypass),
+            3 => Ok(CacheStatus::Reoptimized),
             other => Err(format!("bad cache status byte {other}")),
         }
     }

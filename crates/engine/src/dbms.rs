@@ -101,17 +101,24 @@ pub trait Dbms: Send + Sync {
     }
 }
 
-/// The shared hit/miss/bypass protocol of `execute_by_fingerprint`,
-/// parameterized over how a store binds SQL and runs a bound plan so
-/// both engines get identical cache semantics.
+/// The shared hit/miss/reoptimize/bypass protocol of
+/// `execute_by_fingerprint`, parameterized over how a store binds SQL
+/// (optionally with cardinality hints) and runs a bound plan so both
+/// engines get identical cache semantics.
+///
+/// The adaptive loop closes here: when profiled runs have recorded
+/// actual cardinalities newer than the cached plan (see
+/// [`PlanCache::record_feedback`]), the query is re-planned with those
+/// actuals as hints, the stale entry is replaced in place, and the call
+/// reports [`CacheOutcome::Reoptimized`].
 fn cached_execute(
     cache: Option<&Arc<PlanCache>>,
     fingerprint: Option<u64>,
-    bind: impl FnOnce() -> EngineResult<BoundQuery>,
+    bind: impl Fn(Option<&ir::cost::CardHints>) -> EngineResult<BoundQuery>,
     run: impl Fn(&BoundQuery) -> EngineResult<ResultSet>,
 ) -> EngineResult<FpExecution> {
     let Some(cache) = cache else {
-        let bound = bind()?;
+        let bound = bind(None)?;
         let fp = ir::explain(&bound).fingerprint;
         return Ok(FpExecution {
             result: run(&bound)?,
@@ -121,6 +128,21 @@ fn cached_execute(
     };
     if let Some(fp) = fingerprint {
         if let Some(bound) = cache.get(fp) {
+            if let Some((hints, generation)) = cache.stale_hints(fp) {
+                // Fresh actuals arrived since this plan was built:
+                // re-search the join order with corrected cardinalities
+                // and replace the cached entry.
+                let rebound = Arc::new(bind(Some(&hints))?);
+                let new_fp = ir::explain(&rebound).fingerprint;
+                cache.insert(new_fp, rebound.clone());
+                cache.mark_planned(fp, generation);
+                cache.count_reoptimized();
+                return Ok(FpExecution {
+                    result: run(&rebound)?,
+                    fingerprint: new_fp,
+                    cache: CacheOutcome::Reoptimized,
+                });
+            }
             return Ok(FpExecution {
                 result: run(&bound)?,
                 fingerprint: fp,
@@ -132,9 +154,25 @@ fn cached_execute(
     }
     // Miss: build the plan, insert it under its *authoritative*
     // fingerprint (a stale or wrong client key must not poison the
-    // cache), then execute the plan we just cached.
-    let bound = Arc::new(bind()?);
-    let fp = ir::explain(&bound).fingerprint;
+    // cache), then execute the plan we just cached. If feedback is
+    // already waiting for this fingerprint (entry evicted, actuals
+    // kept), re-plan with it immediately rather than caching a plan
+    // known to be built on bad estimates.
+    let plain = bind(None)?;
+    let fp = ir::explain(&plain).fingerprint;
+    if let Some((hints, generation)) = cache.stale_hints(fp) {
+        let rebound = Arc::new(bind(Some(&hints))?);
+        let new_fp = ir::explain(&rebound).fingerprint;
+        cache.insert(new_fp, rebound.clone());
+        cache.mark_planned(fp, generation);
+        cache.count_reoptimized();
+        return Ok(FpExecution {
+            result: run(&rebound)?,
+            fingerprint: new_fp,
+            cache: CacheOutcome::Reoptimized,
+        });
+    }
+    let bound = Arc::new(plain);
     let evicted = cache.insert(fp, bound.clone());
     Ok(FpExecution {
         result: run(&bound)?,
@@ -143,13 +181,16 @@ fn cached_execute(
     })
 }
 
-/// Bind (and, unless disabled, rewrite) `sql` against `db`, then render
-/// the plan. Both engines share the binder and rewriter, so their EXPLAIN
-/// output — and therefore their fingerprints — are identical by
-/// construction.
-fn explain_sql(db: &Database, sql: &str, rewrite: bool) -> EngineResult<Explain> {
+/// Bind (and, unless disabled, rewrite and optimize) `sql` against `db`,
+/// then render the plan. Both engines share the binder, rewriter and
+/// optimizer, so their EXPLAIN output — and therefore their fingerprints
+/// — are identical by construction.
+fn explain_sql(db: &Database, sql: &str, rewrite: bool, optimize: bool) -> EngineResult<Explain> {
     let q = sqalpel_sql::parse_query(sql)?;
-    let bound = Planner::new(db).with_rewrite(rewrite).bind(&q)?;
+    let bound = Planner::new(db)
+        .with_rewrite(rewrite)
+        .with_optimize(optimize)
+        .bind(&q)?;
     Ok(ir::explain(&bound))
 }
 
@@ -162,6 +203,7 @@ pub struct RowStore {
     hash_joins: bool,
     threads: usize,
     rewrite: bool,
+    optimize: bool,
     plan_cache: Option<Arc<PlanCache>>,
 }
 
@@ -175,6 +217,7 @@ impl RowStore {
             hash_joins: true,
             threads: morsel::default_threads(),
             rewrite: true,
+            optimize: true,
             plan_cache: None,
         }
     }
@@ -190,6 +233,7 @@ impl RowStore {
             hash_joins: false,
             threads: morsel::default_threads(),
             rewrite: true,
+            optimize: true,
             plan_cache: None,
         }
     }
@@ -213,6 +257,14 @@ impl RowStore {
         self
     }
 
+    /// Toggle the cost-based join-order optimizer (on by default). The
+    /// equivalence suites diff optimized against syntactic-order plans
+    /// with this.
+    pub fn with_optimizer(mut self, on: bool) -> Self {
+        self.optimize = on;
+        self
+    }
+
     /// Attach a shared plan cache: `execute_by_fingerprint` hits skip
     /// parse/bind/rewrite entirely.
     pub fn with_plan_cache(mut self, cache: Arc<PlanCache>) -> Self {
@@ -228,9 +280,19 @@ impl RowStore {
         &self.db
     }
 
-    fn bind_sql(&self, sql: &str) -> EngineResult<BoundQuery> {
+    fn bind_sql(
+        &self,
+        sql: &str,
+        hints: Option<&ir::cost::CardHints>,
+    ) -> EngineResult<BoundQuery> {
         let q = sqalpel_sql::parse_query(sql)?;
-        Planner::new(&self.db).with_rewrite(self.rewrite).bind(&q)
+        let mut p = Planner::new(&self.db)
+            .with_rewrite(self.rewrite)
+            .with_optimize(self.optimize);
+        if let Some(h) = hints {
+            p = p.with_hints(h.clone());
+        }
+        p.bind(&q)
     }
 
     fn run_bound(&self, bound: &BoundQuery) -> EngineResult<ResultSet> {
@@ -242,10 +304,12 @@ impl RowStore {
 
     /// Execute with the profiler on, returning both the result set and
     /// the annotated plan. The invariance suite checks the rows are
-    /// byte-identical to a profiler-off `execute`.
+    /// byte-identical to a profiler-off `execute`. When a plan cache is
+    /// attached, the observed per-operator cardinalities are recorded as
+    /// feedback so the next `execute_by_fingerprint` re-optimizes with
+    /// actuals.
     pub fn execute_analyzed(&self, sql: &str) -> EngineResult<(ResultSet, AnalyzedPlan)> {
-        let q = sqalpel_sql::parse_query(sql)?;
-        let bound = Planner::new(&self.db).with_rewrite(self.rewrite).bind(&q)?;
+        let bound = self.bind_sql(sql, None)?;
         let exec = RowExec::with_threads(&self.db, self.budget, self.hash_joins, self.threads)
             .with_rewrite(self.rewrite)
             .with_profiler();
@@ -258,7 +322,39 @@ impl RowStore {
                 .map(|(op, metrics)| OpProfile { op, metrics })
                 .collect(),
         };
+        if let Some(cache) = &self.plan_cache {
+            let hints = crate::profile::extract_feedback(&bound, &profile);
+            cache.record_feedback(plan.explain.fingerprint, hints);
+        }
         Ok((ResultSet::new(bound.output_names(), rows), plan))
+    }
+
+    /// Two-pass adaptive EXPLAIN: run the cold (stats-only) plan with
+    /// the profiler on and render `est_rows` next to the actuals, then
+    /// re-plan with the observed cardinalities as hints and render the
+    /// reoptimized plan the same way. The pair is what the plan goldens
+    /// pin — the second pass shows both any join-order change and the
+    /// estimates converging on the actuals.
+    pub fn explain_adaptive(&self, sql: &str) -> EngineResult<(Explain, Explain)> {
+        let profiled_run = |bound: &BoundQuery| -> EngineResult<crate::profile::ProfileShard> {
+            let exec = RowExec::with_threads(&self.db, self.budget, self.hash_joins, self.threads)
+                .with_rewrite(self.rewrite)
+                .with_profiler();
+            exec.run_query(bound, None)?;
+            Ok(exec.take_profile())
+        };
+        let cold_bound = self.bind_sql(sql, None)?;
+        let cold_profile = profiled_run(&cold_bound)?;
+        let cold = ir::explain_estimates(
+            &cold_bound,
+            &cold_profile,
+            &ir::cost::CardHints::default(),
+        );
+        let hints = crate::profile::extract_feedback(&cold_bound, &cold_profile);
+        let warm_bound = self.bind_sql(sql, Some(&hints))?;
+        let warm_profile = profiled_run(&warm_bound)?;
+        let warm = ir::explain_estimates(&warm_bound, &warm_profile, &hints);
+        Ok((cold, warm))
     }
 }
 
@@ -279,7 +375,7 @@ impl Dbms for RowStore {
     }
 
     fn explain(&self, sql: &str) -> EngineResult<Explain> {
-        explain_sql(&self.db, sql, self.rewrite)
+        explain_sql(&self.db, sql, self.rewrite, self.optimize)
     }
 
     fn explain_analyze(&self, sql: &str) -> EngineResult<AnalyzedPlan> {
@@ -294,7 +390,7 @@ impl Dbms for RowStore {
         cached_execute(
             self.plan_cache.as_ref(),
             fingerprint,
-            || self.bind_sql(sql),
+            |hints| self.bind_sql(sql, hints),
             |bound| self.run_bound(bound),
         )
     }
@@ -307,6 +403,7 @@ pub struct ColStore {
     budget: u64,
     threads: usize,
     rewrite: bool,
+    optimize: bool,
     zone_maps: bool,
     plan_cache: Option<Arc<PlanCache>>,
 }
@@ -318,6 +415,7 @@ impl ColStore {
             budget: DEFAULT_BUDGET,
             threads: morsel::default_threads(),
             rewrite: true,
+            optimize: true,
             zone_maps: true,
             plan_cache: None,
         }
@@ -339,6 +437,14 @@ impl ColStore {
     /// suites diff rewritten against raw plans with this.
     pub fn with_rewriter(mut self, on: bool) -> Self {
         self.rewrite = on;
+        self
+    }
+
+    /// Toggle the cost-based join-order optimizer (on by default). The
+    /// equivalence suites diff optimized against syntactic-order plans
+    /// with this.
+    pub fn with_optimizer(mut self, on: bool) -> Self {
+        self.optimize = on;
         self
     }
 
@@ -365,9 +471,19 @@ impl ColStore {
         &self.db
     }
 
-    fn bind_sql(&self, sql: &str) -> EngineResult<BoundQuery> {
+    fn bind_sql(
+        &self,
+        sql: &str,
+        hints: Option<&ir::cost::CardHints>,
+    ) -> EngineResult<BoundQuery> {
         let q = sqalpel_sql::parse_query(sql)?;
-        Planner::new(&self.db).with_rewrite(self.rewrite).bind(&q)
+        let mut p = Planner::new(&self.db)
+            .with_rewrite(self.rewrite)
+            .with_optimize(self.optimize);
+        if let Some(h) = hints {
+            p = p.with_hints(h.clone());
+        }
+        p.bind(&q)
     }
 
     fn run_bound(&self, bound: &BoundQuery) -> EngineResult<ResultSet> {
@@ -380,10 +496,12 @@ impl ColStore {
 
     /// Execute with the profiler on, returning both the result set and
     /// the annotated plan. The invariance suite checks the rows are
-    /// byte-identical to a profiler-off `execute`.
+    /// byte-identical to a profiler-off `execute`. When a plan cache is
+    /// attached, the observed per-operator cardinalities are recorded as
+    /// feedback so the next `execute_by_fingerprint` re-optimizes with
+    /// actuals.
     pub fn execute_analyzed(&self, sql: &str) -> EngineResult<(ResultSet, AnalyzedPlan)> {
-        let q = sqalpel_sql::parse_query(sql)?;
-        let bound = Planner::new(&self.db).with_rewrite(self.rewrite).bind(&q)?;
+        let bound = self.bind_sql(sql, None)?;
         let exec = ColExec::with_threads(&self.db, self.budget, self.threads)
             .with_rewrite(self.rewrite)
             .with_zone_maps(self.zone_maps)
@@ -397,6 +515,10 @@ impl ColStore {
                 .map(|(op, metrics)| OpProfile { op, metrics })
                 .collect(),
         };
+        if let Some(cache) = &self.plan_cache {
+            let hints = crate::profile::extract_feedback(&bound, &profile);
+            cache.record_feedback(plan.explain.fingerprint, hints);
+        }
         Ok((ResultSet::new(bound.output_names(), rows), plan))
     }
 }
@@ -419,7 +541,7 @@ impl Dbms for ColStore {
     }
 
     fn explain(&self, sql: &str) -> EngineResult<Explain> {
-        explain_sql(&self.db, sql, self.rewrite)
+        explain_sql(&self.db, sql, self.rewrite, self.optimize)
     }
 
     fn explain_analyze(&self, sql: &str) -> EngineResult<AnalyzedPlan> {
@@ -434,7 +556,7 @@ impl Dbms for ColStore {
         cached_execute(
             self.plan_cache.as_ref(),
             fingerprint,
-            || self.bind_sql(sql),
+            |hints| self.bind_sql(sql, hints),
             |bound| self.run_bound(bound),
         )
     }

@@ -1,0 +1,501 @@
+//! Cardinality estimation and the cost model for the join-order search.
+//!
+//! Selectivities are estimated from the load-time [`super::stats`] —
+//! NDV for equality predicates, min/max interpolation for ranges —
+//! with textbook fallback constants where no statistic applies. The
+//! estimator is deliberately simple (independence assumed everywhere:
+//! conjunctions multiply, disjunctions use inclusion–exclusion); the
+//! adaptive feedback loop corrects its worst mistakes with observed
+//! row counts keyed by relation subset ([`CardHints`]).
+
+use super::expr::Expr;
+use super::stats::ColStats;
+use sqalpel_sql::ast::{BinOp, IntervalUnit, Literal, UnaryOp};
+use std::collections::BTreeMap;
+
+/// Default selectivity for predicates the estimator cannot analyze.
+pub const DEFAULT_SEL: f64 = 1.0 / 3.0;
+/// Equality against a literal when the column has no NDV statistic.
+pub const EQ_DEFAULT_SEL: f64 = 0.1;
+/// `LIKE '%..%'` (contains) and `LIKE 'x%'` (prefix) guesses.
+pub const LIKE_CONTAINS_SEL: f64 = 0.1;
+pub const LIKE_PREFIX_SEL: f64 = 0.05;
+/// `IS NULL` — the generated data is essentially null-free.
+pub const IS_NULL_SEL: f64 = 0.05;
+/// Any predicate involving a subquery (IN/EXISTS/scalar).
+pub const SUBQUERY_SEL: f64 = 0.3;
+
+/// Cost weights for a hash join: the build side is hashed (insert per
+/// row), the probe side streams (lookup per row), and every output row
+/// is materialized. Both executors build on the RIGHT input and probe
+/// from the LEFT, so the optimizer puts the smaller input right.
+pub const BUILD_W: f64 = 2.0;
+pub const PROBE_W: f64 = 1.0;
+pub const OUT_W: f64 = 1.0;
+
+/// Cost of one hash join given input/output cardinalities (inputs'
+/// own subtree costs are added by the search).
+pub fn hash_join_cost(probe_left: f64, build_right: f64, out: f64) -> f64 {
+    BUILD_W * build_right + PROBE_W * probe_left + OUT_W * out
+}
+
+/// Per-slot statistics for one plan frame (a schema the estimator's
+/// expressions are bound against). `None` where nothing is known —
+/// derived-table outputs, computed columns.
+#[derive(Debug, Clone, Default)]
+pub struct FrameStats {
+    pub slots: Vec<Option<SlotStat>>,
+}
+
+/// Statistics for one slot, in the column's raw i64 domain. `scale` is
+/// the decimal scale when that domain is `value * 10^scale` (literals
+/// must be scaled to compare against `min`/`max`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlotStat {
+    pub min: Option<i64>,
+    pub max: Option<i64>,
+    pub ndv: f64,
+    pub scale: Option<u8>,
+}
+
+impl SlotStat {
+    pub fn from_col(stats: &ColStats, scale: Option<u8>) -> SlotStat {
+        SlotStat {
+            min: stats.min,
+            max: stats.max,
+            ndv: stats.ndv,
+            scale,
+        }
+    }
+
+    fn ndv_floor(&self) -> f64 {
+        self.ndv.max(1.0)
+    }
+}
+
+impl FrameStats {
+    pub fn slot(&self, i: usize) -> Option<&SlotStat> {
+        self.slots.get(i).and_then(|s| s.as_ref())
+    }
+}
+
+fn clamp(s: f64) -> f64 {
+    if s.is_nan() {
+        return DEFAULT_SEL;
+    }
+    s.clamp(0.0, 1.0)
+}
+
+/// Estimated fraction of input rows satisfying predicate `e`, always in
+/// `[0, 1]`. Conjunctions multiply their parts' selectivities, so adding
+/// a conjunct never increases the estimate (pinned by proptest).
+pub fn selectivity(e: &Expr, frame: &FrameStats) -> f64 {
+    clamp(sel(e, frame))
+}
+
+fn sel(e: &Expr, frame: &FrameStats) -> f64 {
+    if e.contains_subquery() {
+        return SUBQUERY_SEL;
+    }
+    match e {
+        Expr::Bool(b) => {
+            if *b {
+                1.0
+            } else {
+                0.0
+            }
+        }
+        Expr::Unary {
+            op: UnaryOp::Not,
+            expr,
+        } => 1.0 - clamp(sel(expr, frame)),
+        Expr::Binary { left, op, right } => match op {
+            BinOp::And => clamp(sel(left, frame)) * clamp(sel(right, frame)),
+            BinOp::Or => {
+                let a = clamp(sel(left, frame));
+                let b = clamp(sel(right, frame));
+                a + b - a * b
+            }
+            op if op.is_comparison() => comparison_sel(left, *op, right, frame),
+            _ => DEFAULT_SEL,
+        },
+        Expr::Between {
+            expr,
+            negated,
+            low,
+            high,
+        } => {
+            let s = range_sel(expr, low, high, frame);
+            if *negated {
+                1.0 - s
+            } else {
+                s
+            }
+        }
+        Expr::InList {
+            expr,
+            negated,
+            list,
+        } => {
+            let per = match col_stat(expr, frame) {
+                Some(st) => 1.0 / st.ndv_floor(),
+                None => EQ_DEFAULT_SEL,
+            };
+            let s = clamp(per * list.len() as f64);
+            if *negated {
+                1.0 - s
+            } else {
+                s
+            }
+        }
+        Expr::Like { negated, pattern, .. } => {
+            let s = match pattern.as_ref() {
+                Expr::Literal(Literal::String(p)) if !p.starts_with('%') => LIKE_PREFIX_SEL,
+                _ => LIKE_CONTAINS_SEL,
+            };
+            if *negated {
+                1.0 - s
+            } else {
+                s
+            }
+        }
+        Expr::IsNull { negated, .. } => {
+            if *negated {
+                1.0 - IS_NULL_SEL
+            } else {
+                IS_NULL_SEL
+            }
+        }
+        _ => DEFAULT_SEL,
+    }
+}
+
+/// `a op b` where one side is a plain column and the other folds to a
+/// constant in the column's raw domain.
+fn comparison_sel(a: &Expr, op: BinOp, b: &Expr, frame: &FrameStats) -> f64 {
+    let (st, lit, op) = match (col_stat(a, frame), col_stat(b, frame)) {
+        (Some(st), _) => match literal_raw(b, st.scale) {
+            Some(v) => (st, v, op),
+            None => return DEFAULT_SEL,
+        },
+        (None, Some(st)) => match literal_raw(a, st.scale) {
+            // Flip `lit op col` to `col op' lit`.
+            Some(v) => (st, v, mirror(op)),
+            None => return DEFAULT_SEL,
+        },
+        (None, None) => {
+            // Column-to-column or uninstrumented comparison.
+            return if op == BinOp::Eq {
+                EQ_DEFAULT_SEL
+            } else {
+                DEFAULT_SEL
+            };
+        }
+    };
+    match op {
+        BinOp::Eq => 1.0 / st.ndv_floor(),
+        BinOp::NotEq => 1.0 - 1.0 / st.ndv_floor(),
+        BinOp::Lt | BinOp::LtEq => fraction_below(st, lit),
+        BinOp::Gt | BinOp::GtEq => 1.0 - fraction_below(st, lit),
+        _ => DEFAULT_SEL,
+    }
+}
+
+fn mirror(op: BinOp) -> BinOp {
+    match op {
+        BinOp::Lt => BinOp::Gt,
+        BinOp::LtEq => BinOp::GtEq,
+        BinOp::Gt => BinOp::Lt,
+        BinOp::GtEq => BinOp::LtEq,
+        other => other,
+    }
+}
+
+/// Linear-interpolated fraction of values strictly below `v`, assuming
+/// a uniform distribution over `[min, max]`.
+fn fraction_below(st: &SlotStat, v: f64) -> f64 {
+    let (Some(min), Some(max)) = (st.min, st.max) else {
+        return DEFAULT_SEL;
+    };
+    let (min, max) = (min as f64, max as f64);
+    if max <= min {
+        // Single-valued column: a range predicate either takes all or none;
+        // split the difference without more information.
+        return 0.5;
+    }
+    clamp((v - min) / (max - min))
+}
+
+fn range_sel(expr: &Expr, low: &Expr, high: &Expr, frame: &FrameStats) -> f64 {
+    let Some(st) = col_stat(expr, frame) else {
+        return DEFAULT_SEL * DEFAULT_SEL;
+    };
+    match (literal_raw(low, st.scale), literal_raw(high, st.scale)) {
+        (Some(lo), Some(hi)) => clamp(fraction_below(st, hi) - fraction_below(st, lo)),
+        _ => DEFAULT_SEL * DEFAULT_SEL,
+    }
+}
+
+/// The statistic behind `e` when it is a plain column reference.
+fn col_stat<'a>(e: &Expr, frame: &'a FrameStats) -> Option<&'a SlotStat> {
+    match e {
+        Expr::Col { slot, .. } => frame.slot(*slot),
+        _ => None,
+    }
+}
+
+/// Fold `e` to a constant in a column's raw i64 domain: integer and
+/// decimal literals (scaled by `10^scale` for decimal columns), date
+/// literals (days), and `date ± interval` arithmetic.
+fn literal_raw(e: &Expr, scale: Option<u8>) -> Option<f64> {
+    let factor = 10f64.powi(i32::from(scale.unwrap_or(0)));
+    match e {
+        Expr::Literal(Literal::Integer(i)) => Some(*i as f64 * factor),
+        Expr::Literal(Literal::Decimal(d)) => Some(d * factor),
+        Expr::Literal(Literal::Date(text)) => {
+            sqalpel_datagen::calendar::parse_days(text).map(f64::from)
+        }
+        Expr::Unary {
+            op: UnaryOp::Neg,
+            expr,
+        } => literal_raw(expr, scale).map(|v| -v),
+        Expr::Binary { left, op, right } if matches!(op, BinOp::Plus | BinOp::Minus) => {
+            date_shift(left, *op, right).map(f64::from)
+        }
+        _ => None,
+    }
+}
+
+/// Fold `date 'x' ± interval 'n' unit` to days.
+fn date_shift(left: &Expr, op: BinOp, right: &Expr) -> Option<i32> {
+    let Expr::Literal(Literal::Date(text)) = left else {
+        return None;
+    };
+    let Expr::Literal(Literal::Interval { value, unit }) = right else {
+        return None;
+    };
+    let days = sqalpel_datagen::calendar::parse_days(text)?;
+    let sign: i64 = if op == BinOp::Minus { -1 } else { 1 };
+    let n = sign * value;
+    Some(match unit {
+        IntervalUnit::Day => days + n as i32,
+        IntervalUnit::Month => sqalpel_datagen::calendar::add_months(days, n as i32),
+        IntervalUnit::Year => sqalpel_datagen::calendar::add_years(days, n as i32),
+    })
+}
+
+/// Selectivity of one equi-join edge `left_slot = right_slot`: the
+/// classic `1 / max(ndv_l, ndv_r)`, with each side's distinct count
+/// defaulting to its input cardinality when no statistic exists.
+pub fn equi_edge_selectivity(
+    left: Option<&SlotStat>,
+    right: Option<&SlotStat>,
+    left_rows: f64,
+    right_rows: f64,
+) -> f64 {
+    let ndv_l = left.map_or(left_rows.max(1.0), SlotStat::ndv_floor);
+    let ndv_r = right.map_or(right_rows.max(1.0), SlotStat::ndv_floor);
+    1.0 / ndv_l.max(ndv_r).max(1.0)
+}
+
+/// Observed cardinalities from a prior profiled run, keyed by the
+/// *sorted* set of relation bindings a subplan covers — stable across
+/// join orders, which is what lets a re-search consume them.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CardHints {
+    map: BTreeMap<Vec<String>, f64>,
+}
+
+impl CardHints {
+    pub fn insert(&mut self, mut bindings: Vec<String>, rows: f64) {
+        bindings.sort();
+        self.map.insert(bindings, rows);
+    }
+
+    /// Look up the observed row count for a binding set (any order).
+    pub fn get(&self, bindings: &[String]) -> Option<f64> {
+        if bindings.windows(2).all(|w| w[0] <= w[1]) {
+            return self.map.get(bindings).copied();
+        }
+        let mut sorted = bindings.to_vec();
+        sorted.sort();
+        self.map.get(&sorted).copied()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (&Vec<String>, f64)> {
+        self.map.iter().map(|(k, &v)| (k, v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::expr::Ty;
+
+    fn frame(st: SlotStat) -> FrameStats {
+        FrameStats {
+            slots: vec![Some(st)],
+        }
+    }
+
+    fn col() -> Expr {
+        Expr::Col { slot: 0, ty: Ty::Int }
+    }
+
+    fn lit(i: i64) -> Expr {
+        Expr::Literal(Literal::Integer(i))
+    }
+
+    fn stat(min: i64, max: i64, ndv: f64) -> SlotStat {
+        SlotStat {
+            min: Some(min),
+            max: Some(max),
+            ndv,
+            scale: None,
+        }
+    }
+
+    #[test]
+    fn equality_uses_ndv() {
+        let f = frame(stat(0, 99, 100.0));
+        let s = selectivity(&Expr::eq_pair(col(), lit(7)), &f);
+        assert!((s - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn range_interpolates_between_min_and_max() {
+        let f = frame(stat(0, 100, 100.0));
+        let e = Expr::Binary {
+            left: Box::new(col()),
+            op: BinOp::Lt,
+            right: Box::new(lit(25)),
+        };
+        assert!((selectivity(&e, &f) - 0.25).abs() < 1e-12);
+        // Flipped literal-left form mirrors the operator.
+        let e = Expr::Binary {
+            left: Box::new(lit(25)),
+            op: BinOp::Gt,
+            right: Box::new(col()),
+        };
+        assert!((selectivity(&e, &f) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn out_of_range_literals_clamp() {
+        let f = frame(stat(10, 20, 10.0));
+        let below = Expr::Binary {
+            left: Box::new(col()),
+            op: BinOp::Lt,
+            right: Box::new(lit(-5)),
+        };
+        assert_eq!(selectivity(&below, &f), 0.0);
+        let above = Expr::Binary {
+            left: Box::new(col()),
+            op: BinOp::Lt,
+            right: Box::new(lit(50)),
+        };
+        assert_eq!(selectivity(&above, &f), 1.0);
+    }
+
+    #[test]
+    fn conjunction_multiplies() {
+        let f = frame(stat(0, 100, 100.0));
+        let a = Expr::eq_pair(col(), lit(7));
+        let b = Expr::Binary {
+            left: Box::new(col()),
+            op: BinOp::Lt,
+            right: Box::new(lit(50)),
+        };
+        let sa = selectivity(&a, &f);
+        let both = selectivity(&Expr::and(a, b), &f);
+        assert!(both <= sa);
+        assert!((both - sa * 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn decimal_scale_converts_literals() {
+        // Column stores 0.00 .. 100.00 at scale 2 (raw 0..10000).
+        let st = SlotStat {
+            min: Some(0),
+            max: Some(10_000),
+            ndv: 10_000.0,
+            scale: Some(2),
+        };
+        let e = Expr::Binary {
+            left: Box::new(col()),
+            op: BinOp::Lt,
+            right: Box::new(Expr::Literal(Literal::Decimal(25.0))),
+        };
+        assert!((selectivity(&e, &frame(st)) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn date_interval_arithmetic_folds() {
+        let jan1 = sqalpel_datagen::calendar::parse_days("1994-01-01").unwrap();
+        let next = sqalpel_datagen::calendar::parse_days("1995-01-01").unwrap();
+        let shifted = Expr::Binary {
+            left: Box::new(Expr::Literal(Literal::Date("1994-01-01".into()))),
+            op: BinOp::Plus,
+            right: Box::new(Expr::Literal(Literal::Interval {
+                value: 1,
+                unit: IntervalUnit::Year,
+            })),
+        };
+        assert_eq!(literal_raw(&shifted, None), Some(f64::from(next)));
+        assert_eq!(
+            literal_raw(&Expr::Literal(Literal::Date("1994-01-01".into())), None),
+            Some(f64::from(jan1))
+        );
+    }
+
+    #[test]
+    fn join_edge_selectivity_uses_larger_ndv() {
+        let l = stat(0, 0, 1_000.0);
+        let r = stat(0, 0, 50.0);
+        let s = equi_edge_selectivity(Some(&l), Some(&r), 1e6, 1e6);
+        assert!((s - 0.001).abs() < 1e-12);
+        // Missing stats fall back to input cardinality.
+        let s = equi_edge_selectivity(None, Some(&r), 200.0, 1e6);
+        assert!((s - 1.0 / 200.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hints_ignore_binding_order() {
+        let mut h = CardHints::default();
+        h.insert(vec!["b".into(), "a".into()], 42.0);
+        assert_eq!(h.get(&["a".into(), "b".into()]), Some(42.0));
+        assert_eq!(h.get(&["b".into(), "a".into()]), Some(42.0));
+        assert_eq!(h.get(&["a".into()]), None);
+    }
+
+    #[test]
+    fn everything_stays_in_unit_interval() {
+        let f = frame(stat(0, 10, 5.0));
+        for e in [
+            Expr::Bool(true),
+            Expr::Bool(false),
+            Expr::IsNull { expr: Box::new(col()), negated: true },
+            Expr::Like {
+                expr: Box::new(col()),
+                negated: false,
+                pattern: Box::new(Expr::Literal(Literal::String("%x%".into()))),
+            },
+            Expr::InList {
+                expr: Box::new(col()),
+                negated: false,
+                list: vec![lit(1), lit(2), lit(3)],
+            },
+        ] {
+            let s = selectivity(&e, &f);
+            assert!((0.0..=1.0).contains(&s), "{e} -> {s}");
+        }
+    }
+}

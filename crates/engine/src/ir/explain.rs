@@ -38,9 +38,19 @@ impl Explain {
     }
 }
 
+/// Annotation sources threaded through the renderer: an executed
+/// profile (ANALYZE actuals) and/or cardinality hints driving the
+/// estimator (plan-golden `est_rows`). Neither touches the canonical
+/// form, so neither moves the fingerprint.
+#[derive(Clone, Copy, Default)]
+struct Ann<'a> {
+    prof: Option<&'a ProfileShard>,
+    est: Option<&'a crate::ir::cost::CardHints>,
+}
+
 /// Render a bound query and compute its fingerprint.
 pub fn explain(bq: &BoundQuery) -> Explain {
-    render(bq, None)
+    render(bq, Ann::default())
 }
 
 /// Render the same tree annotated with an executed profile. The
@@ -48,12 +58,36 @@ pub fn explain(bq: &BoundQuery) -> Explain {
 /// identical to the plain [`explain`] fingerprint — ANALYZE never
 /// changes plan identity.
 pub fn explain_analyze(bq: &BoundQuery, prof: &ProfileShard) -> Explain {
-    render(bq, Some(prof))
+    render(
+        bq,
+        Ann {
+            prof: Some(prof),
+            est: None,
+        },
+    )
 }
 
-fn render(bq: &BoundQuery, prof: Option<&ProfileShard>) -> Explain {
+/// Render the tree with *both* the optimizer's estimated cardinalities
+/// (under `hints` — pass empty hints for the cold, stats-only numbers)
+/// and the executed actuals side by side. This is the shape the plan
+/// goldens pin: estimate-vs-actual drift is visible per operator.
+pub fn explain_estimates(
+    bq: &BoundQuery,
+    prof: &ProfileShard,
+    hints: &crate::ir::cost::CardHints,
+) -> Explain {
+    render(
+        bq,
+        Ann {
+            prof: Some(prof),
+            est: Some(hints),
+        },
+    )
+}
+
+fn render(bq: &BoundQuery, ann: Ann) -> Explain {
     let mut text = String::new();
-    render_query(bq, 0, &mut text, prof);
+    render_query(bq, 0, &mut text, ann);
     let mut canon = String::new();
     canon_query(bq, &mut canon);
     Explain {
@@ -151,7 +185,18 @@ fn annotate<T>(out: &mut String, prof: Option<&ProfileShard>, node: &T) {
     }
 }
 
-fn render_query(bq: &BoundQuery, level: usize, out: &mut String, prof: Option<&ProfileShard>) {
+/// Plan-node annotation: the estimator's prediction first (when hints
+/// are being rendered), then the executed actuals. Estimates are
+/// rounded to whole rows — the goldens pin drift direction, not float
+/// noise.
+fn annotate_plan(out: &mut String, ann: Ann, p: &Plan) {
+    if let Some(h) = ann.est {
+        let _ = write!(out, " (est_rows={:.0})", crate::ir::memo::estimated_rows(p, h));
+    }
+    annotate(out, ann.prof, p);
+}
+
+fn render_query(bq: &BoundQuery, level: usize, out: &mut String, ann: Ann) {
     indent(out, level);
     out.push_str("select");
     if bq.distinct {
@@ -163,7 +208,7 @@ fn render_query(bq: &BoundQuery, level: usize, out: &mut String, prof: Option<&P
     if let Some(n) = bq.limit {
         let _ = write!(out, " limit {n}");
     }
-    annotate(out, prof, bq);
+    annotate(out, ann.prof, bq);
     out.push('\n');
     indent(out, level + 1);
     out.push_str("output:");
@@ -194,12 +239,12 @@ fn render_query(bq: &BoundQuery, level: usize, out: &mut String, prof: Option<&P
     for (name, body) in &bq.ctes {
         indent(out, level + 1);
         let _ = writeln!(out, "cte {name}:");
-        render_query(body, level + 2, out, prof);
+        render_query(body, level + 2, out, ann);
     }
-    render_plan(&bq.core, level + 1, out, prof);
+    render_plan(&bq.core, level + 1, out, ann);
 }
 
-fn render_plan(p: &Plan, level: usize, out: &mut String, prof: Option<&ProfileShard>) {
+fn render_plan(p: &Plan, level: usize, out: &mut String, ann: Ann) {
     match p {
         Plan::Scan {
             table,
@@ -219,15 +264,15 @@ fn render_plan(p: &Plan, level: usize, out: &mut String, prof: Option<&ProfileSh
                 out.push_str(&table.columns[ci].name);
             }
             out.push(']');
-            annotate(out, prof, p);
+            annotate_plan(out, ann, p);
             out.push('\n');
         }
         Plan::Derived { query, binding } => {
             indent(out, level);
             let _ = write!(out, "derived {binding}");
-            annotate(out, prof, p);
+            annotate_plan(out, ann, p);
             out.push('\n');
-            render_query(query, level + 1, out, prof);
+            render_query(query, level + 1, out, ann);
         }
         Plan::Cte { name, binding, .. } => {
             indent(out, level);
@@ -235,15 +280,15 @@ fn render_plan(p: &Plan, level: usize, out: &mut String, prof: Option<&ProfileSh
             if binding != name {
                 let _ = write!(out, " as {binding}");
             }
-            annotate(out, prof, p);
+            annotate_plan(out, ann, p);
             out.push('\n');
         }
         Plan::Filter { input, predicate } => {
             indent(out, level);
             let _ = write!(out, "filter {predicate}");
-            annotate(out, prof, p);
+            annotate_plan(out, ann, p);
             out.push('\n');
-            render_plan(input, level + 1, out, prof);
+            render_plan(input, level + 1, out, ann);
         }
         Plan::Join {
             left,
@@ -270,20 +315,77 @@ fn render_plan(p: &Plan, level: usize, out: &mut String, prof: Option<&ProfileSh
             if let Some(r) = residual {
                 let _ = write!(out, " residual {r}");
             }
-            annotate(out, prof, p);
+            annotate_plan(out, ann, p);
             out.push('\n');
-            render_plan(left, level + 1, out, prof);
-            render_plan(right, level + 1, out, prof);
+            render_plan(left, level + 1, out, ann);
+            render_plan(right, level + 1, out, ann);
         }
     }
 }
 
 // ------------------------------------------------- canonical (fingerprint)
+//
+// The canonical form must be *join-order-invariant*: the cost-based
+// optimizer permutes inner-join trees (and with them every slot number),
+// and a fingerprint that moved with the join order would split the plan
+// cache and the feedback store by physical order. Two devices achieve
+// invariance:
+//
+// 1. Slots are never hashed raw. Every expression is rendered after
+//    remapping each slot to the *rank* of its qualified `binding.column`
+//    name in the sorted name list of the schema it is evaluated against.
+//    Schemas on both sides of an optimizer run are permutations of the
+//    same qualified-name set, so ranks are identical.
+// 2. Maximal inner-join regions (plus filters directly above them) are
+//    flattened: sorted leaf canons + sorted predicate canons, with
+//    single-leaf predicates sunk into their leaf and equality predicates
+//    rendered with their sides in sorted order. The join *tree* never
+//    reaches the hash — only the region's contents do.
 
-/// Normalize an expression for fingerprinting: comparisons with a literal
-/// on the left flip to literal-on-right with the operator mirrored.
-fn canon_expr(e: &Expr) -> String {
-    normalized(e).to_string()
+/// Slot → rank of the slot's qualified name in the sorted schema.
+fn ranks(schema: &[crate::plan::ColMeta]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..schema.len()).collect();
+    idx.sort_by(|&a, &b| {
+        (&schema[a].binding, &schema[a].name).cmp(&(&schema[b].binding, &schema[b].name))
+    });
+    let mut rank = vec![0usize; schema.len()];
+    for (r, &i) in idx.iter().enumerate() {
+        rank[i] = r;
+    }
+    rank
+}
+
+/// Normalize an expression for fingerprinting: slots become name ranks,
+/// and comparisons with a literal on the left flip to literal-on-right
+/// with the operator mirrored.
+fn canon_expr_at(e: &Expr, rank: &[usize]) -> String {
+    let mut n = normalized(e);
+    n.map_slots(&|s| rank.get(s).copied().unwrap_or(s));
+    n.to_string()
+}
+
+/// Predicate rendering: like [`canon_expr_at`], but a top-level equality
+/// additionally sorts its two sides — the optimizer may emit `a = b` or
+/// `b = a` for the same join edge depending on which side builds.
+fn canon_pred_at(e: &Expr, rank: &[usize]) -> String {
+    use sqalpel_sql::ast::BinOp;
+    let mut n = normalized(e);
+    n.map_slots(&|s| rank.get(s).copied().unwrap_or(s));
+    if let Expr::Binary {
+        left,
+        op: BinOp::Eq,
+        right,
+    } = &n
+    {
+        let a = left.to_string();
+        let b = right.to_string();
+        return if a <= b {
+            format!("({a} = {b})")
+        } else {
+            format!("({b} = {a})")
+        };
+    }
+    n.to_string()
 }
 
 fn normalized(e: &Expr) -> Expr {
@@ -377,22 +479,23 @@ fn normalize_in_place(e: &mut Expr) {
 }
 
 fn canon_query(bq: &BoundQuery, out: &mut String) {
+    let rank = ranks(&bq.core.schema());
     let _ = write!(
         out,
         "q distinct={} agg={} limit={:?};",
         bq.distinct, bq.aggregated, bq.limit
     );
     for it in &bq.items {
-        let _ = write!(out, "item {}={};", it.name, canon_expr(&it.expr));
+        let _ = write!(out, "item {}={};", it.name, canon_expr_at(&it.expr, &rank));
     }
     for g in &bq.group_by {
-        let _ = write!(out, "group {};", canon_expr(g));
+        let _ = write!(out, "group {};", canon_expr_at(g, &rank));
     }
     if let Some(h) = &bq.having {
-        let _ = write!(out, "having {};", canon_expr(h));
+        let _ = write!(out, "having {};", canon_expr_at(h, &rank));
     }
     for (k, desc) in &bq.order_by {
-        let _ = write!(out, "order {} {};", canon_expr(k), desc);
+        let _ = write!(out, "order {} {};", canon_expr_at(k, &rank), desc);
     }
     for (name, body) in &bq.ctes {
         let _ = write!(out, "cte {name}[");
@@ -402,7 +505,23 @@ fn canon_query(bq: &BoundQuery, out: &mut String) {
     canon_plan(&bq.core, out);
 }
 
+/// Is `p` an inner-join region (an inner join, possibly under filters)?
+fn is_region_root(p: &Plan) -> bool {
+    match p {
+        Plan::Join {
+            kind: JoinKind::Inner,
+            ..
+        } => true,
+        Plan::Filter { input, .. } => is_region_root(input),
+        _ => false,
+    }
+}
+
 fn canon_plan(p: &Plan, out: &mut String) {
+    if is_region_root(p) {
+        canon_region(p, out);
+        return;
+    }
     match p {
         Plan::Scan { table, binding, .. } => {
             // Live-column lists are a physical detail: two fingerprints
@@ -417,11 +536,20 @@ fn canon_plan(p: &Plan, out: &mut String) {
         Plan::Cte { name, binding, .. } => {
             let _ = write!(out, "ctescan {name} {binding};");
         }
-        Plan::Filter { input, predicate } => {
-            let mut cs: Vec<String> = predicate.conjuncts().iter().map(|c| canon_expr(c)).collect();
+        Plan::Filter { .. } => {
+            // Merge the whole filter chain: `filter a (filter b X)` and
+            // `filter a AND b X` are the same plan.
+            let mut conjs: Vec<&Expr> = Vec::new();
+            let mut base = p;
+            while let Plan::Filter { input, predicate } = base {
+                conjs.extend(predicate.conjuncts());
+                base = input;
+            }
+            let rank = ranks(&base.schema());
+            let mut cs: Vec<String> = conjs.iter().map(|c| canon_pred_at(c, &rank)).collect();
             cs.sort();
             let _ = write!(out, "filter {};", cs.join(" AND "));
-            canon_plan(input, out);
+            canon_plan(base, out);
         }
         Plan::Join {
             left,
@@ -430,15 +558,30 @@ fn canon_plan(p: &Plan, out: &mut String) {
             equi,
             residual,
         } => {
+            // Only outer joins reach here (inner joins are regions); the
+            // sides of an outer join never swap, but the subtrees may
+            // have been permuted internally, so slots still rank-remap.
+            let lrank = ranks(&left.schema());
+            let rrank = ranks(&right.schema());
             let mut pairs: Vec<String> = equi
                 .iter()
-                .map(|(l, r)| format!("{}={}", canon_expr(l), canon_expr(r)))
+                .map(|(l, r)| {
+                    format!(
+                        "{}={}",
+                        canon_expr_at(l, &lrank),
+                        canon_expr_at(r, &rrank)
+                    )
+                })
                 .collect();
             pairs.sort();
             let _ = write!(out, "join {kind:?} [{}]", pairs.join(","));
             if let Some(r) = residual {
-                let mut cs: Vec<String> =
-                    r.conjuncts().iter().map(|c| canon_expr(c)).collect();
+                let rank = ranks(&p.schema());
+                let mut cs: Vec<String> = r
+                    .conjuncts()
+                    .iter()
+                    .map(|c| canon_pred_at(c, &rank))
+                    .collect();
                 cs.sort();
                 let _ = write!(out, " residual [{}]", cs.join(" AND "));
             }
@@ -450,6 +593,125 @@ fn canon_plan(p: &Plan, out: &mut String) {
             out.push(')');
         }
     }
+}
+
+/// A leaf of a flattened inner-join region: the subtree, its span in the
+/// region frame, and any single-leaf region predicates sunk onto it.
+struct CanonLeaf<'a> {
+    plan: &'a Plan,
+    off: usize,
+    width: usize,
+    extra: Vec<Expr>,
+}
+
+/// Render a maximal inner-join region in join-order-invariant form:
+/// sorted leaf canons plus sorted region predicates over the region
+/// frame's name ranks. Mirrors the optimizer's own flatten
+/// ([`crate::ir::memo`]) so optimized and syntactic-order plans collide.
+fn canon_region(p: &Plan, out: &mut String) {
+    let rank = ranks(&p.schema());
+    let mut leaves: Vec<CanonLeaf> = Vec::new();
+    let mut preds: Vec<Expr> = Vec::new();
+    collect_region(p, 0, &mut leaves, &mut preds);
+    // Sink movable single-leaf predicates into their leaf — the
+    // optimizer evaluates them there, the syntactic plan may hold them
+    // on a join; both must hash alike.
+    let mut pool: Vec<Expr> = Vec::new();
+    'next: for e in preds {
+        let slots = e.slots();
+        if !e.contains_subquery() && !slots.is_empty() {
+            for lf in leaves.iter_mut() {
+                if slots.iter().all(|&s| s >= lf.off && s < lf.off + lf.width) {
+                    let off = lf.off;
+                    let mut local = e.clone();
+                    local.map_slots(&|s| s - off);
+                    lf.extra.push(local);
+                    continue 'next;
+                }
+            }
+        }
+        pool.push(e);
+    }
+    let mut leaf_strs: Vec<String> = leaves.iter().map(canon_leaf).collect();
+    leaf_strs.sort();
+    let mut pred_strs: Vec<String> = pool.iter().map(|e| canon_pred_at(e, &rank)).collect();
+    pred_strs.sort();
+    let _ = write!(
+        out,
+        "region [{}] where [{}];",
+        leaf_strs.join("|"),
+        pred_strs.join(" AND ")
+    );
+}
+
+/// Flatten the region in-order: leaves keep their subtree, predicates
+/// (equi pairs, residuals, filters above inner joins) shift into the
+/// region frame. Returns the subtree's width in the frame.
+fn collect_region<'a>(
+    p: &'a Plan,
+    off: usize,
+    leaves: &mut Vec<CanonLeaf<'a>>,
+    preds: &mut Vec<Expr>,
+) -> usize {
+    match p {
+        Plan::Join {
+            kind: JoinKind::Inner,
+            left,
+            right,
+            equi,
+            residual,
+        } => {
+            let lw = collect_region(left, off, leaves, preds);
+            let rw = collect_region(right, off + lw, leaves, preds);
+            for (l, r) in equi {
+                preds.push(Expr::eq_pair(l.shifted(off), r.shifted(off + lw)));
+            }
+            if let Some(res) = residual {
+                for c in res.conjuncts() {
+                    preds.push(c.shifted(off));
+                }
+            }
+            lw + rw
+        }
+        Plan::Filter { input, predicate } if is_region_root(input) => {
+            let w = collect_region(input, off, leaves, preds);
+            for c in predicate.conjuncts() {
+                preds.push(c.shifted(off));
+            }
+            w
+        }
+        _ => {
+            let width = p.schema().len();
+            leaves.push(CanonLeaf {
+                plan: p,
+                off,
+                width,
+                extra: Vec::new(),
+            });
+            width
+        }
+    }
+}
+
+/// One region leaf's canon: its filter chain (plus sunk region
+/// predicates) merged and sorted over the leaf base's name ranks,
+/// rendered exactly like a standalone filtered plan.
+fn canon_leaf(lf: &CanonLeaf) -> String {
+    let mut all: Vec<Expr> = lf.extra.clone();
+    let mut base = lf.plan;
+    while let Plan::Filter { input, predicate } = base {
+        all.extend(predicate.conjuncts().into_iter().cloned());
+        base = input;
+    }
+    let mut s = String::new();
+    if !all.is_empty() {
+        let rank = ranks(&base.schema());
+        let mut cs: Vec<String> = all.iter().map(|c| canon_pred_at(c, &rank)).collect();
+        cs.sort();
+        let _ = write!(s, "filter {};", cs.join(" AND "));
+    }
+    canon_plan(base, &mut s);
+    s
 }
 
 #[cfg(test)]
@@ -504,5 +766,46 @@ mod tests {
         let a = explain_sql("select n_name as a from nation");
         let b = explain_sql("select n_name as b from nation");
         assert_ne!(a.fingerprint, b.fingerprint);
+    }
+
+    #[test]
+    fn fingerprints_are_join_order_invariant() {
+        // The optimizer reorders this FROM list (part × supplier is a
+        // cross join as written); the fingerprint must not move, while
+        // the rendered plan visibly does.
+        let db = Database::tpch(0.001, 42);
+        let sql = "select n_name, count(*) from part, supplier, partsupp, nation \
+                   where ps_partkey = p_partkey and ps_suppkey = s_suppkey \
+                   and s_nationkey = n_nationkey and p_size < 15 \
+                   group by n_name order by n_name";
+        let q = parse_query(sql).unwrap();
+        let opt = explain(&Planner::new(&db).bind(&q).unwrap());
+        let raw = explain(
+            &Planner::new(&db)
+                .with_optimize(false)
+                .bind(&q)
+                .unwrap(),
+        );
+        assert_ne!(opt.text, raw.text, "optimizer should reorder this join");
+        assert_eq!(opt.fingerprint, raw.fingerprint);
+    }
+
+    #[test]
+    fn syntactic_join_permutations_collide() {
+        // Same query, FROM list permuted by hand: different syntactic
+        // trees, same region — with the optimizer off on both sides.
+        let db = Database::tpch(0.001, 42);
+        let mk = |from: &str| {
+            let sql = format!(
+                "select s_name from {from} \
+                 where s_suppkey = ps_suppkey and ps_partkey = p_partkey \
+                 and p_size = 15 order by s_name"
+            );
+            let q = parse_query(&sql).unwrap();
+            explain(&Planner::new(&db).with_optimize(false).bind(&q).unwrap())
+        };
+        let a = mk("supplier, partsupp, part");
+        let b = mk("part, partsupp, supplier");
+        assert_eq!(a.fingerprint, b.fingerprint);
     }
 }

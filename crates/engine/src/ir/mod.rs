@@ -10,12 +10,18 @@
 //! projected output row.
 //!
 //! On top of the IR sit the [`rewrite`] rules (fixed point, deterministic
-//! order) and the [`explain`] renderer with its canonical plan fingerprint.
+//! order), the cost-based join-order optimizer ([`stats`] load-time
+//! column statistics, the [`cost`] cardinality/cost estimator, the
+//! [`memo`] DP plan enumerator), and the [`explain`] renderer with its
+//! canonical, join-order-invariant plan fingerprint.
 
 pub mod bind;
+pub mod cost;
 pub mod explain;
 pub mod expr;
+pub mod memo;
 pub mod rewrite;
+pub mod stats;
 
-pub use explain::{explain, explain_analyze, profile_ops, Explain};
+pub use explain::{explain, explain_analyze, explain_estimates, profile_ops, Explain};
 pub use expr::{Expr, Ty};

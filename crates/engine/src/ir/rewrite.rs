@@ -938,7 +938,11 @@ mod tests {
     fn raw(sql: &str) -> BoundQuery {
         let db = Database::tpch(0.001, 42);
         let q = parse_query(sql).unwrap();
-        Planner::new(&db).with_rewrite(false).bind(&q).unwrap()
+        Planner::new(&db)
+            .with_rewrite(false)
+            .with_optimize(false)
+            .bind(&q)
+            .unwrap()
     }
 
     fn rewritten(sql: &str) -> BoundQuery {

@@ -171,6 +171,10 @@ pub struct Planner<'a> {
     ctes: Vec<(String, Vec<(String, Ty)>)>,
     /// Whether to run the rewrite rules + projection pruning after binding.
     rewrite: bool,
+    /// Whether to run the cost-based join-order search after rewriting.
+    optimize: bool,
+    /// Observed cardinalities fed back from a prior profiled run.
+    hints: ir::cost::CardHints,
 }
 
 impl<'a> Planner<'a> {
@@ -179,6 +183,8 @@ impl<'a> Planner<'a> {
             db,
             ctes: Vec::new(),
             rewrite: true,
+            optimize: true,
+            hints: ir::cost::CardHints::default(),
         }
     }
 
@@ -191,6 +197,8 @@ impl<'a> Planner<'a> {
             db,
             ctes,
             rewrite: true,
+            optimize: true,
+            hints: ir::cost::CardHints::default(),
         }
     }
 
@@ -202,12 +210,31 @@ impl<'a> Planner<'a> {
         self
     }
 
-    /// Bind a parsed query, then (unless disabled) rewrite and prune it.
+    /// Toggle the cost-based join-order optimizer (on by default). It is
+    /// independent of the rewriter: equivalence suites can hold one fixed
+    /// while toggling the other.
+    pub fn with_optimize(mut self, on: bool) -> Self {
+        self.optimize = on;
+        self
+    }
+
+    /// Supply observed cardinalities (from EXPLAIN ANALYZE feedback) to
+    /// the join-order search.
+    pub fn with_hints(mut self, hints: ir::cost::CardHints) -> Self {
+        self.hints = hints;
+        self
+    }
+
+    /// Bind a parsed query, then (unless disabled) rewrite, prune and
+    /// cost-optimize it.
     pub fn bind(&mut self, q: &Query) -> EngineResult<BoundQuery> {
         let mut bq = self.bind_query(q)?;
         if self.rewrite {
             ir::rewrite::rewrite(&mut bq);
             ir::rewrite::prune(&mut bq);
+        }
+        if self.optimize {
+            ir::memo::optimize(&mut bq, &self.hints);
         }
         Ok(bq)
     }
@@ -623,7 +650,11 @@ mod tests {
     fn plan_raw(sql: &str) -> BoundQuery {
         let db = Database::tpch(0.001, 42);
         let q = parse_query(sql).unwrap();
-        Planner::new(&db).with_rewrite(false).bind(&q).unwrap()
+        Planner::new(&db)
+            .with_rewrite(false)
+            .with_optimize(false)
+            .bind(&q)
+            .unwrap()
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! of keys — capacities are small (hundreds of plans), so the O(n) key
 //! scan on touch is noise next to executing the query.
 
+use crate::ir::cost::CardHints;
 use crate::plan::BoundQuery;
 use std::collections::HashMap;
 use std::collections::VecDeque;
@@ -26,6 +27,10 @@ pub enum CacheOutcome {
     /// The plan was (re)built from SQL and inserted. `evicted` reports
     /// whether the insert pushed out a colder entry.
     Miss { evicted: bool },
+    /// The cached plan was stale against newer cardinality feedback: the
+    /// query was re-planned with the observed cardinalities and the cache
+    /// entry replaced in place. The adaptive slow-path of the fast path.
+    Reoptimized,
     /// The target system has no plan cache configured.
     Bypass,
 }
@@ -49,6 +54,9 @@ pub struct PlanCacheStats {
     pub hits: u64,
     pub misses: u64,
     pub evictions: u64,
+    /// Plans rebuilt with profile-observed cardinalities replacing a
+    /// stale cached entry (or seeding a miss that had feedback waiting).
+    pub reoptimized: u64,
 }
 
 struct Inner {
@@ -57,13 +65,28 @@ struct Inner {
     recency: VecDeque<u64>,
 }
 
+/// Per-fingerprint cardinality feedback from executed (profiled) runs.
+///
+/// `generation` bumps every time fresh actuals arrive; `planned` records
+/// the generation the currently cached plan was built against. A cached
+/// plan whose `planned < generation` is stale and gets re-optimized on
+/// its next fingerprint execution.
+#[derive(Debug, Default, Clone)]
+struct Feedback {
+    hints: CardHints,
+    generation: u64,
+    planned: u64,
+}
+
 /// A bounded, fingerprint-keyed LRU cache of bound query plans.
 pub struct PlanCache {
     capacity: usize,
     inner: Mutex<Inner>,
+    feedback: Mutex<HashMap<u64, Feedback>>,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    reoptimized: AtomicU64,
 }
 
 impl PlanCache {
@@ -75,9 +98,11 @@ impl PlanCache {
                 map: HashMap::new(),
                 recency: VecDeque::new(),
             }),
+            feedback: Mutex::new(HashMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            reoptimized: AtomicU64::new(0),
         }
     }
 
@@ -142,11 +167,51 @@ impl PlanCache {
         false
     }
 
+    /// Record actual cardinalities observed for `fingerprint` (from a
+    /// profiled run). Bumps the feedback generation, making any cached
+    /// plan for that fingerprint stale. Empty hint sets are ignored.
+    pub fn record_feedback(&self, fingerprint: u64, hints: CardHints) {
+        if hints.is_empty() {
+            return;
+        }
+        let mut fb = self.feedback.lock().unwrap();
+        let entry = fb.entry(fingerprint).or_default();
+        entry.hints = hints;
+        entry.generation += 1;
+    }
+
+    /// The hints to re-plan `fingerprint` with, if fresher feedback has
+    /// arrived since the cached plan was built.
+    pub fn stale_hints(&self, fingerprint: u64) -> Option<(CardHints, u64)> {
+        let fb = self.feedback.lock().unwrap();
+        let entry = fb.get(&fingerprint)?;
+        if entry.generation > entry.planned {
+            Some((entry.hints.clone(), entry.generation))
+        } else {
+            None
+        }
+    }
+
+    /// Mark the cached plan for `fingerprint` as built against feedback
+    /// `generation`, ending its staleness.
+    pub fn mark_planned(&self, fingerprint: u64, generation: u64) {
+        let mut fb = self.feedback.lock().unwrap();
+        if let Some(entry) = fb.get_mut(&fingerprint) {
+            entry.planned = entry.planned.max(generation);
+        }
+    }
+
+    /// Count one adaptive re-optimization.
+    pub fn count_reoptimized(&self) {
+        self.reoptimized.fetch_add(1, Ordering::Relaxed);
+    }
+
     pub fn stats(&self) -> PlanCacheStats {
         PlanCacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            reoptimized: self.reoptimized.load(Ordering::Relaxed),
         }
     }
 }
@@ -227,6 +292,44 @@ mod tests {
         // The authoritative key now hits.
         let again = store.execute_by_fingerprint(sql, Some(out.fingerprint)).unwrap();
         assert_eq!(again.cache, CacheOutcome::Hit);
+    }
+
+    #[test]
+    fn feedback_reoptimizes_stale_cached_plans() {
+        let db = Arc::new(Database::tpch(0.001, 42));
+        let cache = Arc::new(PlanCache::new(16));
+        let store = RowStore::new(db)
+            .with_plan_cache(cache.clone())
+            .with_threads(1);
+        let sql = "select n_name, count(*) from part, supplier, partsupp, nation \
+                   where ps_partkey = p_partkey and ps_suppkey = s_suppkey \
+                   and s_nationkey = n_nationkey group by n_name order by n_name";
+
+        let cold = store.execute_by_fingerprint(sql, None).unwrap();
+        assert!(matches!(cold.cache, CacheOutcome::Miss { .. }));
+        assert_eq!(cache.stats().reoptimized, 0);
+
+        // A profiled run records actual cardinalities as feedback under
+        // the same (join-order-invariant) fingerprint.
+        let (_, plan) = store.execute_analyzed(sql).unwrap();
+        assert_eq!(plan.explain.fingerprint, cold.fingerprint);
+
+        // The next fingerprint execution sees newer feedback than the
+        // cached plan, re-plans with actuals, and replaces the entry.
+        let warm = store
+            .execute_by_fingerprint(sql, Some(cold.fingerprint))
+            .unwrap();
+        assert_eq!(warm.cache, CacheOutcome::Reoptimized);
+        assert_eq!(warm.fingerprint, cold.fingerprint);
+        assert_eq!(warm.result.to_csv(), cold.result.to_csv());
+        assert_eq!(cache.stats().reoptimized, 1);
+
+        // Once re-planned, the same fingerprint is a plain hit again.
+        let again = store
+            .execute_by_fingerprint(sql, Some(cold.fingerprint))
+            .unwrap();
+        assert_eq!(again.cache, CacheOutcome::Hit);
+        assert_eq!(cache.stats().reoptimized, 1);
     }
 
     #[test]

@@ -145,6 +145,55 @@ pub fn node_key<T>(node: &T) -> usize {
     node as *const T as usize
 }
 
+/// Distill an executed profile into cardinality hints for the optimizer.
+///
+/// Walks the bound plan that produced `prof` (profile keys are node
+/// addresses, so it must be the *same* tree instance) and records each
+/// node's actual `rows_out` under its binding set — the join-order
+/// invariant currency [`crate::ir::cost::CardHints`] trades in. The walk
+/// is top-down and first-writer-wins, so for a leaf the topmost operator
+/// over that single binding (its filter, if any) provides the post-filter
+/// cardinality the optimizer actually wants.
+pub fn extract_feedback(
+    bq: &crate::plan::BoundQuery,
+    prof: &ProfileShard,
+) -> crate::ir::cost::CardHints {
+    let mut hints = crate::ir::cost::CardHints::default();
+    feedback_plan(&bq.core, prof, &mut hints);
+    for (_, body) in &bq.ctes {
+        feedback_plan(&body.core, prof, &mut hints);
+    }
+    hints
+}
+
+fn feedback_plan(
+    p: &crate::plan::Plan,
+    prof: &ProfileShard,
+    hints: &mut crate::ir::cost::CardHints,
+) {
+    use crate::plan::Plan;
+    let bindings: Vec<String> = p.bindings().into_iter().collect();
+    if let Some(m) = prof.get(node_key(p)) {
+        if hints.get(&bindings).is_none() {
+            hints.insert(bindings, m.rows_out as f64);
+        }
+    }
+    match p {
+        Plan::Filter { input, .. } => feedback_plan(input, prof, hints),
+        Plan::Join { left, right, .. } => {
+            feedback_plan(left, prof, hints);
+            feedback_plan(right, prof, hints);
+        }
+        Plan::Derived { query, .. } => {
+            for (_, body) in &query.ctes {
+                feedback_plan(&body.core, prof, hints);
+            }
+            feedback_plan(&query.core, prof, hints);
+        }
+        Plan::Scan { .. } | Plan::Cte { .. } => {}
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

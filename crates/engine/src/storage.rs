@@ -275,12 +275,14 @@ pub struct Table {
     /// Per-column zone maps, parallel to `columns` (`None` where the
     /// column type has no zone-map order).
     zones: Vec<Option<ZoneMap>>,
+    /// Per-column optimizer statistics, parallel to `columns`.
+    stats: Vec<crate::ir::stats::ColStats>,
 }
 
 impl Table {
     /// Build a table, checking that all columns have equal length.
-    /// Zone maps are computed here, once, for every chunk of every
-    /// orderable column.
+    /// Zone maps and optimizer statistics (min/max + NDV sketches) are
+    /// computed here, once, for every column.
     pub fn new(name: impl Into<String>, columns: Vec<Column>) -> EngineResult<Table> {
         let name = name.into();
         let rows = columns.first().map_or(0, |c| c.data.len());
@@ -294,11 +296,16 @@ impl Table {
             }
         }
         let zones = columns.iter().map(|c| c.data.zone_map()).collect();
+        let stats = columns
+            .iter()
+            .map(|c| crate::ir::stats::collect(&c.data))
+            .collect();
         Ok(Table {
             name,
             columns,
             rows,
             zones,
+            stats,
         })
     }
 
@@ -314,6 +321,11 @@ impl Table {
     /// The zone map for column `ci`, if its type supports one.
     pub fn zone_map(&self, ci: usize) -> Option<&ZoneMap> {
         self.zones.get(ci).and_then(|z| z.as_ref())
+    }
+
+    /// The optimizer statistics for column `ci`.
+    pub fn col_stats(&self, ci: usize) -> Option<&crate::ir::stats::ColStats> {
+        self.stats.get(ci)
     }
 
     pub fn column(&self, name: &str) -> Option<&Column> {

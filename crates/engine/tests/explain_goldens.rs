@@ -76,7 +76,9 @@ fn check_flight(db: Arc<Database>, queries: &[(&str, &str)]) {
 
 #[test]
 fn tpch_explain_matches_goldens() {
-    // Tiny scale factor: goldens depend only on the schema, not the data.
+    // Fixed tiny scale and seed: the join-order optimizer consults
+    // load-time statistics, so the goldens depend on reproducible data,
+    // not just the schema.
     let db = Arc::new(Database::tpch(0.001, 42));
     check_flight(db, &sqalpel_sql::tpch::all_queries());
 }

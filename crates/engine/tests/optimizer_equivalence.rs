@@ -1,0 +1,161 @@
+//! The optimizer's contract: join reordering is result-preserving.
+//!
+//! Both full flights (TPC-H, SSB) plus handcrafted multi-join queries
+//! run with the cost-based optimizer on and off, on both engines,
+//! sequentially and with 4 morsel workers. Every pairing must produce
+//! the same *result set*: identical column names and identical rows
+//! after sorting their debug renderings — a reordered join legally
+//! permutes row order wherever ORDER BY is absent or not a total
+//! order, so exact row order is the rewriter wall's concern, not this
+//! one's. On top of row equality, the optimizer must never move a
+//! fingerprint: the canonical form is join-order-invariant, so EXPLAIN
+//! with the optimizer on and off must hash identically.
+
+use sqalpel_engine::{ColStore, Database, Dbms, ResultSet, RowStore};
+use std::sync::Arc;
+
+/// Order-insensitive byte-exact comparison: each row's debug rendering
+/// is collected and sorted, so any permutation of identical rows
+/// passes and any value difference fails.
+fn sorted_rows(rs: &ResultSet) -> Vec<String> {
+    let mut v: Vec<String> = rs.rows.iter().map(|r| format!("{r:?}")).collect();
+    v.sort();
+    v
+}
+
+fn assert_same_set(name: &str, ctx: &str, a: &ResultSet, b: &ResultSet) {
+    assert_eq!(a.columns, b.columns, "{name} [{ctx}]: column names differ");
+    assert_eq!(
+        sorted_rows(a),
+        sorted_rows(b),
+        "{name} [{ctx}]: row sets differ"
+    );
+}
+
+fn check_queries(db: Arc<Database>, queries: &[(&str, &str)]) {
+    // Fingerprint invariance is thread-independent; check it once.
+    let on = RowStore::new(db.clone());
+    let off = RowStore::new(db.clone()).with_optimizer(false);
+    for (name, sql) in queries {
+        let a = on.explain(sql).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let b = off.explain(sql).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(
+            a.fingerprint, b.fingerprint,
+            "{name}: fingerprint moved with the join order\n--- optimized ---\n{}\n--- syntactic ---\n{}",
+            a.text, b.text
+        );
+    }
+    for &threads in &[1usize, 4] {
+        let row_on = RowStore::new(db.clone()).with_threads(threads);
+        let row_off = RowStore::new(db.clone())
+            .with_threads(threads)
+            .with_optimizer(false);
+        let col_on = ColStore::new(db.clone()).with_threads(threads);
+        let col_off = ColStore::new(db.clone())
+            .with_threads(threads)
+            .with_optimizer(false);
+        for (name, sql) in queries {
+            let ctx_row = format!("rowstore, threads={threads}");
+            let ctx_col = format!("colstore, threads={threads}");
+            let a = row_on
+                .execute(sql)
+                .unwrap_or_else(|e| panic!("{name} [{ctx_row}, optimizer on] failed: {e}"));
+            let b = row_off
+                .execute(sql)
+                .unwrap_or_else(|e| panic!("{name} [{ctx_row}, optimizer off] failed: {e}"));
+            assert_same_set(name, &ctx_row, &a, &b);
+            let c = col_on
+                .execute(sql)
+                .unwrap_or_else(|e| panic!("{name} [{ctx_col}, optimizer on] failed: {e}"));
+            let d = col_off
+                .execute(sql)
+                .unwrap_or_else(|e| panic!("{name} [{ctx_col}, optimizer off] failed: {e}"));
+            assert_same_set(name, &ctx_col, &c, &d);
+            // No cross-engine assert here: the engines intentionally
+            // differ in aggregate value representation (float vs
+            // decimal); cross_engine.rs owns that comparison with the
+            // appropriate normalization.
+        }
+    }
+}
+
+#[test]
+fn tpch_flight_is_join_order_invariant() {
+    let db = Arc::new(Database::tpch(0.0005, 7));
+    check_queries(db, &sqalpel_sql::tpch::all_queries());
+}
+
+#[test]
+fn ssb_flight_is_join_order_invariant() {
+    let db = Arc::new(Database::ssb(0.002, 7));
+    check_queries(db, &sqalpel_sql::ssb::all_queries());
+}
+
+#[test]
+fn multi_join_corner_cases_are_join_order_invariant() {
+    let db = Arc::new(Database::tpch(0.001, 42));
+    let queries: &[(&str, &str)] = &[
+        // A FROM list written in the worst order: big relations first,
+        // the selective region filter dead last.
+        (
+            "worst-syntactic-order",
+            "select count(*) from lineitem, orders, customer, nation, region \
+             where l_orderkey = o_orderkey and o_custkey = c_custkey \
+               and c_nationkey = n_nationkey and n_regionkey = r_regionkey \
+               and r_name = 'ASIA'",
+        ),
+        // An unconnected FROM item: the optimizer must cope with a
+        // genuine cross product in the region.
+        (
+            "cross-product-region",
+            "select count(*) from region, nation, supplier \
+             where n_nationkey = s_nationkey",
+        ),
+        // Join with a non-equi (residual) predicate between two tables.
+        (
+            "residual-join",
+            "select count(*) from part, lineitem \
+             where p_partkey = l_partkey and l_quantity < p_size",
+        ),
+        // LEFT OUTER is a reorder barrier; inner regions on both sides.
+        (
+            "outer-barrier",
+            "select n_name, count(r_name) from nation \
+             left join region on n_regionkey = r_regionkey and r_name like 'A%' \
+             group by n_name order by n_name",
+        ),
+        // A derived table as a region leaf, its body its own region.
+        (
+            "derived-leaf",
+            "select count(*) from \
+             (select o_orderkey, o_custkey from orders where o_totalprice > 1000) o, \
+             customer, nation \
+             where o_custkey = c_custkey and c_nationkey = n_nationkey",
+        ),
+        // CTE referenced twice: both references are leaves of one region.
+        (
+            "cte-twice",
+            "with n as (select n_nationkey, n_name, n_regionkey from nation) \
+             select count(*) from n a, n b, region \
+             where a.n_regionkey = r_regionkey and b.n_regionkey = r_regionkey \
+               and a.n_nationkey < b.n_nationkey",
+        ),
+        // Correlated subquery predicate: immovable, must stay above the
+        // region while the rest reorders.
+        (
+            "correlated-immovable",
+            "select count(*) from supplier, nation \
+             where s_nationkey = n_nationkey \
+               and s_acctbal > (select min(c_acctbal) from customer \
+                                where c_nationkey = n_nationkey)",
+        ),
+        // Self-join chain with an ORDER BY that is not a total order.
+        (
+            "partial-order-by",
+            "select a.n_regionkey, b.n_name from nation a, nation b, region \
+             where a.n_regionkey = b.n_regionkey and a.n_regionkey = r_regionkey \
+             order by a.n_regionkey",
+        ),
+    ];
+    check_queries(db, queries);
+}

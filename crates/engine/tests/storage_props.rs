@@ -94,6 +94,28 @@ proptest! {
         }
     }
 
+    /// Optimizer statistics are encoding-blind: a bit-packed column and
+    /// its raw twin collect identical min/max/NDV, so the join-order
+    /// search sees the same numbers regardless of storage layout.
+    #[test]
+    fn for_encoding_does_not_change_stats(seed in any::<u64>(), len in 0usize..10_000) {
+        let values = mixed_ints(seed, len);
+        let raw = sqalpel_engine::ir::stats::collect(&ColumnData::Int(values.clone()));
+        let packed = sqalpel_engine::ir::stats::collect(&ColumnData::ForInt(ForVec::encode(&values)));
+        prop_assert_eq!(raw, packed);
+    }
+
+    /// Same for dictionary encoding: the sketch hashes strings, not
+    /// codes, so the NDV estimate survives the encoding exactly.
+    #[test]
+    fn dict_encoding_does_not_change_stats(seed in any::<u64>(), len in 1usize..6000) {
+        let values = low_ndv_strings(seed, len);
+        let raw = sqalpel_engine::ir::stats::collect(&ColumnData::Str(values.clone()));
+        let (codes, dict) = dict_encode(&values).expect("low-NDV input must encode");
+        let encoded = sqalpel_engine::ir::stats::collect(&ColumnData::Dict { codes, dict });
+        prop_assert_eq!(raw, encoded);
+    }
+
     /// ForVec chunk bounds are exact: each chunk's (min, max) equals the
     /// true min/max of the raw values in that chunk.
     #[test]
