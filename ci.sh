@@ -94,3 +94,14 @@ cargo run --release -p sqalpel-bench --bin repro -- parallel --smoke
 # BENCH_optimizer.json rewrite): exercises the syntactic/cold/adaptive
 # three-way measurement including the plan-cache reoptimization path.
 cargo run --release -p sqalpel-bench --bin repro -- optimizer --smoke
+# Smoke the multi-tenant scale harness (miniature populate/load/recovery
+# phases, no BENCH_scale.json rewrite): drains a sharded queue through
+# the v2 wire under admission control and times a WAL-tail replay.
+cargo run --release -p sqalpel-bench --bin repro -- scale --smoke
+# Admission-control invariants (the per-user in-flight bound is exact and
+# every release path — report, error, reaper — returns the slot).
+cargo test -q --release -p sqalpel-core --test admission_props
+# Crash-recovery e2e: kill -9 a durable `repro serve` mid-walk, restart,
+# and require byte-identical acked results, re-hand-out of the open claim
+# to its original key only, and a snapshot on SIGTERM.
+cargo test -q --release -p sqalpel-bench --test crash_recovery

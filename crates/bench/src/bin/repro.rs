@@ -1,8 +1,10 @@
 //! Regenerate the paper's tables and figures, or run the platform live.
 //!
 //! ```text
-//! repro table1 | table2 | fig1 | fig2 | fig3 | fig4 | fig5 | fig6 | fig7 | ablation | parallel [--smoke] | optimizer [--smoke] | wire | all
-//! repro serve [addr]                          # demo platform: HTTP /v1 on addr, framed v2 on port+1
+//! repro table1 | table2 | fig1 | fig2 | fig3 | fig4 | fig5 | fig6 | fig7 | ablation | parallel [--smoke] | optimizer [--smoke] | wire | scale [--smoke] | all
+//! repro serve [addr] [--state-dir DIR]        # demo platform: HTTP /v1 on addr, framed v2 on port+1;
+//!                                             # with a state dir the platform is durable (WAL + snapshots)
+//!                                             # and SIGINT/SIGTERM shut down gracefully
 //! repro contribute <addr> <key> [dbms] [host] [--proto v1|v2]
 //!                                             # drain the queue as a remote contributor
 //! repro metrics [addr]                        # print a server's /v1/metrics snapshot
@@ -20,7 +22,7 @@ fn main() {
     let what = args.first().map(String::as_str).unwrap_or("all");
     match what {
         "serve" => {
-            serve(args.get(1).map(String::as_str).unwrap_or("127.0.0.1:7878"));
+            serve(&args);
             return;
         }
         "contribute" => {
@@ -35,11 +37,11 @@ fn main() {
     }
     let known = [
         "table1", "table2", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
-        "ablation", "parallel", "optimizer", "wire", "all",
+        "ablation", "parallel", "optimizer", "wire", "scale", "all",
     ];
     if !known.contains(&what) {
         eprintln!("usage: repro [{}]", known.join(" | "));
-        eprintln!("       repro serve [addr]");
+        eprintln!("       repro serve [addr] [--state-dir DIR]");
         eprintln!("       repro contribute <addr> <key> [dbms] [host] [--proto v1|v2]");
         eprintln!("       repro metrics [addr]");
         std::process::exit(2);
@@ -98,37 +100,112 @@ fn main() {
     if run("wire") {
         println!("{}", sqalpel_bench::wire_report());
     }
+    if what == "scale" {
+        // Deliberately not part of `all`: the full run registers ~1M
+        // users and is sized for a dedicated benchmark pass.
+        let smoke = args.iter().any(|a| a == "--smoke");
+        println!("{}", sqalpel_bench::scale_report_opts(smoke));
+    }
     eprintln!("[repro {what} done in {:.1?}]", t0.elapsed());
 }
 
-/// `repro serve [addr]`: bootstrap the demo projects, enqueue the TPC-H
-/// experiments, and serve the platform API until killed — v1 JSON/HTTP
-/// on `addr` and the framed binary v2 protocol on `port+1`, both with an
-/// engine execution backend attached so `Execute` (and its plan cache)
-/// works remotely.
-fn serve(addr: &str) {
+/// Set by the SIGINT/SIGTERM handler; the serve loop polls it.
+static SHUTDOWN: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+extern "C" fn on_signal(_sig: i32) {
+    // Only async-signal-safe work here: one atomic store.
+    SHUTDOWN.store(true, std::sync::atomic::Ordering::SeqCst);
+}
+
+/// Route SIGINT and SIGTERM to the shutdown flag via raw libc `signal`
+/// (no crate dependency; the handler address is a plain fn pointer).
+fn install_signal_handlers() {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGINT, on_signal as *const () as usize);
+        signal(SIGTERM, on_signal as *const () as usize);
+    }
+}
+
+/// `repro serve [addr] [--state-dir DIR]`: bootstrap the demo projects,
+/// enqueue the TPC-H experiments, and serve the platform API — v1
+/// JSON/HTTP on `addr` and the framed binary v2 protocol on `port+1`,
+/// both with an engine execution backend attached so `Execute` (and its
+/// plan cache) works remotely.
+///
+/// With `--state-dir` the platform is durable: every mutation is WAL-
+/// logged before it is acknowledged, snapshots land every 10k records,
+/// and a restart recovers snapshot + WAL tail — the demo bootstrap runs
+/// only when the directory is empty. SIGINT/SIGTERM drain the in-flight
+/// wire handlers, take a final snapshot and fsync the WAL before exit.
+fn serve(args: &[String]) {
     use sqalpel_core::{
-        bootstrap_server, ExecBackend, SqalpelServer, V2Config, V2Server, WireConfig, WireServer,
+        bootstrap_server, AdmissionConfig, ExecBackend, SqalpelServer, UserId, V2Config, V2Server,
+        WireConfig, WireServer,
     };
     use sqalpel_engine::{Database, PlanCache, RowStore};
 
-    let server = Arc::new(SqalpelServer::new());
-    let boot = bootstrap_server(&server, 6, 42).expect("bootstrap demo projects");
-    let mut tasks = 0;
-    for (_, exp) in &boot.tpch_experiments {
-        tasks += server
-            .enqueue_experiment(boot.tpch, *exp, boot.admin)
-            .expect("enqueue");
+    let mut addr = String::from("127.0.0.1:7878");
+    let mut state_dir: Option<std::path::PathBuf> = None;
+    let mut it = args.iter().skip(1);
+    while let Some(a) = it.next() {
+        if a == "--state-dir" {
+            match it.next() {
+                Some(dir) => state_dir = Some(dir.into()),
+                None => {
+                    eprintln!("--state-dir takes a directory");
+                    std::process::exit(2);
+                }
+            }
+        } else {
+            addr = a.clone();
+        }
     }
-    let key = server.issue_key(boot.admin).expect("contributor key");
+
+    let server = match &state_dir {
+        Some(dir) => Arc::new(
+            SqalpelServer::open_with(dir, AdmissionConfig::default(), Some(10_000))
+                .unwrap_or_else(|e| {
+                    eprintln!("cannot open state dir {}: {e}", dir.display());
+                    std::process::exit(1);
+                }),
+        ),
+        None => Arc::new(SqalpelServer::new()),
+    };
+
+    // Bootstrap demo data only on a fresh boot; a recovered state dir
+    // already carries its projects, queue and results.
+    let (admin, tasks) = if server.recovered_fresh() {
+        let boot = bootstrap_server(&server, 6, 42).expect("bootstrap demo projects");
+        let mut tasks = 0;
+        for (_, exp) in &boot.tpch_experiments {
+            tasks += server
+                .enqueue_experiment(boot.tpch, *exp, boot.admin)
+                .expect("enqueue");
+        }
+        (boot.admin, tasks)
+    } else {
+        let s = server.queue_summary();
+        eprintln!(
+            "recovered state: {} queued, {} running, {} finished, {} failed",
+            s.queued, s.running, s.finished, s.failed
+        );
+        // The bootstrap admin is always user #1 in a dir this command wrote.
+        (UserId(1), s.queued)
+    };
+    let key = server.issue_key(admin).expect("contributor key");
     let db = Arc::new(Database::tpch(sqalpel_bench::base_sf(), 42));
     let backend = ExecBackend::new(Arc::new(
         RowStore::new(db).with_plan_cache(Arc::new(PlanCache::new(256))),
     ));
-    let wire = WireServer::start_with_backend(
+    let mut wire = WireServer::start_with_backend(
         Arc::clone(&server),
         Some(backend.clone()),
-        addr,
+        &addr,
         WireConfig::default(),
     )
     .unwrap_or_else(|e| {
@@ -137,14 +214,14 @@ fn serve(addr: &str) {
     });
     let local = wire.local_addr();
     let v2_addr = std::net::SocketAddr::new(local.ip(), local.port().wrapping_add(1));
-    let v2 = V2Server::start(Arc::clone(&server), Some(backend), v2_addr, V2Config::default())
+    let mut v2 = V2Server::start(Arc::clone(&server), Some(backend), v2_addr, V2Config::default())
         .unwrap_or_else(|e| {
             eprintln!("cannot bind {v2_addr} for protocol v2: {e}");
             std::process::exit(1);
         });
     println!("sqalpel platform serving on http://{local}/v1");
     println!("framed binary protocol v2 on tcp://{}", v2.local_addr());
-    println!("{tasks} tasks queued across {} TPC-H experiments", boot.tpch_experiments.len());
+    println!("{tasks} tasks queued");
     println!("demo contributor key: {}", key.0);
     println!();
     println!("drain the queue from another terminal:");
@@ -155,9 +232,26 @@ fn serve(addr: &str) {
     println!("  GET  http://{local}/v1/queue/summary");
     println!("  POST http://{local}/v1/task/request   {{\"key\": ..., \"dbms_label\": ..., \"host\": ...}}");
     println!("  POST http://{local}/v1/result/report  {{\"key\": ..., \"task\": ..., \"outcome\": ...}}");
-    loop {
-        std::thread::park();
+
+    install_signal_handlers();
+    while !SHUTDOWN.load(std::sync::atomic::Ordering::SeqCst) {
+        std::thread::sleep(std::time::Duration::from_millis(50));
     }
+    // Graceful shutdown: stop accepting and drain in-flight handlers
+    // first (they may still append WAL records), then persist.
+    eprintln!("signal received: draining connections");
+    wire.shutdown();
+    v2.shutdown();
+    if state_dir.is_some() {
+        match server.snapshot_now() {
+            Ok(lsn) => eprintln!("final snapshot at lsn {lsn}"),
+            Err(e) => eprintln!("final snapshot failed: {e}"),
+        }
+        if let Err(e) = server.flush_wal() {
+            eprintln!("wal fsync failed: {e}");
+        }
+    }
+    eprintln!("shutdown complete");
 }
 
 /// `repro metrics [addr]`: fetch `GET /v1/metrics` from a running server
@@ -225,7 +319,8 @@ fn metrics(addr: Option<&str>) {
 /// JSON/HTTP (`v1`, the default) or the framed binary protocol (`v2`).
 fn contribute(args: &[String]) {
     use sqalpel_core::{
-        ContributorKey, DriverConfig, EngineConnector, ExperimentDriver, Proto, WireClient,
+        ContributorKey, DriverConfig, EngineConnector, ExperimentDriver, PlatformError,
+        PollPolicy, Proto, WireClient,
     };
     use sqalpel_engine::{ColStore, Database, RowStore};
     use std::net::ToSocketAddrs;
@@ -292,15 +387,32 @@ fn contribute(args: &[String]) {
     let client = WireClient::builder(addr).transport(proto).build();
     let key = ContributorKey(key.clone());
     let mut completed = 0usize;
+    // Empty polls and admission throttling back off with jitter instead
+    // of hammering the server: a few retries ride out a queue that is
+    // refilling (or a momentarily-exceeded in-flight bound) before the
+    // contributor concludes the study is drained.
+    let policy = PollPolicy::polling(5);
+    let mut empty = 0u32;
+    let mut rng = std::process::id() as u64 ^ 0x5bd1e995;
     loop {
         let task = match client.request_task(&key, dbms, host) {
-            Ok(t) => t,
+            Ok(Some(t)) => {
+                empty = 0;
+                t
+            }
+            Ok(None) | Err(PlatformError::Throttled(_)) => {
+                if empty >= policy.max_empty_polls {
+                    break;
+                }
+                std::thread::sleep(policy.backoff(empty, &mut rng));
+                empty += 1;
+                continue;
+            }
             Err(e) => {
                 eprintln!("request failed: {e}");
                 std::process::exit(1);
             }
         };
-        let Some(task) = task else { break };
         let outcome = driver.run(&task.sql);
         let status = match &outcome.error {
             Some(e) => format!("error: {e}"),

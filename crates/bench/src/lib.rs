@@ -989,6 +989,306 @@ pub fn wire_report() -> String {
     out
 }
 
+/// `repro scale`: full-size load generation (see
+/// [`scale_report_opts`]), written to `BENCH_scale.json`.
+pub fn scale_report() -> String {
+    scale_report_opts(false)
+}
+
+/// `repro scale [--smoke]`: multi-tenant load generator for the sharded
+/// platform. Three phases:
+///
+/// * **populate** — register ~1M users, create several public projects,
+///   invite ~10k of the users as contributors, seed one grammar walk per
+///   project and enqueue it against every cataloged DBMS×host target;
+/// * **load** — a pool of worker threads, each holding one persistent v2
+///   framed connection and a distinct target combo, multiplexes the ~10k
+///   contributor keys over the wire: claim, run against a zero-spin mock
+///   connector (the platform is under test, not the engine), report,
+///   until every shard's queue is drained. Reports hand-out latency
+///   p50/p99 and wire requests/s;
+/// * **recovery** — build a durable server in a temp state dir (users,
+///   a project, half-drained queue, a few claims left in flight), drop
+///   it *without* a snapshot to simulate a crash, and time the reopen
+///   that replays the whole WAL tail.
+///
+/// `--smoke` runs a miniature of all three phases and leaves
+/// `BENCH_scale.json` untouched.
+pub fn scale_report_opts(smoke: bool) -> String {
+    use serde_json::{Map, Value};
+    use sqalpel_core::{
+        DriverConfig, ExperimentDriver, MockConnector, PlatformError, Proto, SqalpelServer,
+        UserId, V2Config, V2Server, Visibility, WireClient,
+    };
+
+    // Full mode sizes to the paper's ambition (~1M registered users,
+    // ~10k concurrent contributors); smoke keeps the same shape at CI
+    // scale.
+    let (n_users, n_contrib, n_projects, n_seed, r_users) = if smoke {
+        (5_000usize, 200usize, 2usize, 40usize, 1_000usize)
+    } else {
+        (1_000_000, 10_000, 8, 480, 20_000)
+    };
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(8)
+        .clamp(6, 24); // >= 6 so every DBMS×host combo below gets drained
+
+    // ------------------------------------------------------- populate
+    let t_pop = Instant::now();
+    let server = SqalpelServer::new();
+    let admin = server.register_user("admin", "admin@sqalpel.io").expect("admin");
+    let contributors: Vec<UserId> = (0..n_contrib)
+        .map(|i| {
+            server
+                .register_user(&format!("c{i}"), &format!("c{i}@scale.test"))
+                .expect("contributor")
+        })
+        .collect();
+    for i in n_contrib + 1..n_users {
+        server
+            .register_user(&format!("u{i}"), &format!("u{i}@scale.test"))
+            .expect("user");
+    }
+    let combos: [(&str, &str); 6] = [
+        ("rowstore-2.0", "bench-server"),
+        ("rowstore-1.4", "bench-server"),
+        ("colstore-5.1", "bench-server"),
+        ("rowstore-2.0", "raspberry-pi"),
+        ("rowstore-1.4", "raspberry-pi"),
+        ("colstore-5.1", "raspberry-pi"),
+    ];
+    let mut total_tasks = 0usize;
+    for p in 0..n_projects {
+        let project = server
+            .create_project(admin, &format!("scale-{p}"), "load generator study", Visibility::Public)
+            .expect("project");
+        server
+            .set_targets(
+                project,
+                admin,
+                vec!["rowstore-2.0".into(), "rowstore-1.4".into(), "colstore-5.1".into()],
+                vec!["bench-server".into(), "raspberry-pi".into()],
+            )
+            .expect("targets");
+        for &user in &contributors {
+            server.invite(project, admin, user).expect("invite");
+        }
+        let exp = server
+            .add_experiment(project, admin, "q1 scale", sqalpel_sql::tpch::Q1, None, 10_000, 10_000)
+            .expect("experiment");
+        server.seed_pool(project, exp, admin, n_seed, 42 + p as u64).expect("seed");
+        total_tasks += server.enqueue_experiment(project, exp, admin).expect("enqueue");
+    }
+    let keys: Vec<_> = contributors
+        .iter()
+        .map(|&u| server.issue_key(u).expect("key"))
+        .collect();
+    let pop_s = t_pop.elapsed().as_secs_f64();
+
+    // ----------------------------------------------------------- load
+    let server = Arc::new(server);
+    let mut v2 = V2Server::start(Arc::clone(&server), None, "127.0.0.1:0", V2Config::default())
+        .expect("bind v2 loopback");
+    let v2_addr = v2.local_addr();
+    let t_load = Instant::now();
+    let per_thread: Vec<(Vec<f64>, u64, u64, u64)> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            let keys = &keys;
+            let (dbms, host) = combos[t % combos.len()];
+            handles.push(scope.spawn(move || {
+                let client = WireClient::builder(v2_addr).transport(Proto::V2Framed).build();
+                let driver = ExperimentDriver::new(
+                    MockConnector { label: dbms.into(), fail_pattern: None, spin: 0, rows: 1 },
+                    DriverConfig::parse(&format!("dbms = {dbms}\nhost = {host}\nrepetitions = 1"))
+                        .expect("driver config"),
+                );
+                // One persistent v2 connection multiplexing an even
+                // slice of the contributor keys against one target.
+                let my: Vec<_> = keys.iter().skip(t).step_by(threads).collect();
+                let mut lat = Vec::new();
+                let (mut reports, mut throttled, mut polls) = (0u64, 0u64, 0u64);
+                let mut empty = 0usize;
+                let mut i = 0usize;
+                // Claims are reported immediately and failed tasks are
+                // terminal, so a drained target never refills: two
+                // consecutive empty polls end the thread.
+                while empty < 2 {
+                    let key = my[i % my.len()];
+                    i += 1;
+                    polls += 1;
+                    let t0 = Instant::now();
+                    match client.request_task(key, dbms, host) {
+                        Ok(Some(task)) => {
+                            lat.push(t0.elapsed().as_secs_f64() * 1e3);
+                            empty = 0;
+                            client
+                                .report_result(key, task.id, &driver.run(&task.sql))
+                                .expect("report over loopback");
+                            reports += 1;
+                        }
+                        Ok(None) => empty += 1,
+                        // Shouldn't fire (each key holds at most one
+                        // claim here); counted, and bumping `empty`
+                        // guarantees termination regardless.
+                        Err(PlatformError::Throttled(_)) => {
+                            throttled += 1;
+                            empty += 1;
+                        }
+                        Err(e) => panic!("scale worker {t}: {e}"),
+                    }
+                }
+                (lat, reports, throttled, polls)
+            }));
+        }
+        handles.into_iter().map(|h| h.join().expect("scale worker")).collect()
+    });
+    let load_wall = t_load.elapsed().as_secs_f64();
+    let mut claim_ms: Vec<f64> = Vec::new();
+    let (mut reports, mut throttled, mut polls) = (0u64, 0u64, 0u64);
+    for (lat, r, th, p) in per_thread {
+        claim_ms.extend(lat);
+        reports += r;
+        throttled += th;
+        polls += p;
+    }
+    assert_eq!(claim_ms.len(), total_tasks, "every enqueued task must drain");
+    claim_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let p50 = percentile(&claim_ms, 50.0);
+    let p99 = percentile(&claim_ms, 99.0);
+    let round_trips = polls + reports;
+    let rps = round_trips as f64 / load_wall.max(1e-9);
+    let snap = server.metrics().snapshot();
+    let handouts = snap.counter("shard.handouts").unwrap_or(0);
+    let empty_polls = snap.counter("queue.empty_polls").unwrap_or(0);
+    let adm_throttled = snap.counter("admission.throttled").unwrap_or(0);
+    v2.shutdown();
+
+    // ------------------------------------------------------- recovery
+    let dir = std::env::temp_dir().join(format!(
+        "sqalpel-scale-recovery-{}-{}",
+        if smoke { "smoke" } else { "full" },
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("recovery state dir");
+    let (wal_records, inflight) = {
+        let srv = SqalpelServer::open(&dir).expect("open durable server");
+        let owner = srv.register_user("owner", "owner@scale.test").expect("owner");
+        let contrib = srv.register_user("worker", "worker@scale.test").expect("worker");
+        for i in 0..r_users {
+            srv.register_user(&format!("r{i}"), &format!("r{i}@scale.test"))
+                .expect("user");
+        }
+        let project = srv
+            .create_project(owner, "recovery", "crash replay timing", Visibility::Public)
+            .expect("project");
+        srv.set_targets(project, owner, vec!["rowstore-2.0".into()], vec!["bench-server".into()])
+            .expect("targets");
+        srv.invite(project, owner, contrib).expect("invite");
+        let exp = srv
+            .add_experiment(project, owner, "q1 recovery", sqalpel_sql::tpch::Q1, None, 10_000, 10_000)
+            .expect("experiment");
+        srv.seed_pool(project, exp, owner, 60, 42).expect("seed");
+        let total = srv.enqueue_experiment(project, exp, owner).expect("enqueue");
+        let key = srv.issue_key(contrib).expect("key");
+        let driver = ExperimentDriver::new(
+            MockConnector { label: "rowstore-2.0".into(), fail_pattern: None, spin: 0, rows: 1 },
+            DriverConfig::parse("dbms = rowstore-2.0\nhost = bench-server\nrepetitions = 1")
+                .expect("driver config"),
+        );
+        for _ in 0..total / 2 {
+            let Some(task) = srv
+                .request_task(&key, "rowstore-2.0", "bench-server")
+                .expect("claim")
+            else {
+                break;
+            };
+            srv.report_result(&key, task.id, driver.run(&task.sql)).expect("report");
+        }
+        // Leave a handful of claims open: the reopen must restore them
+        // as running with their admission slots still held.
+        let inflight = 5usize.min(total.saturating_sub(total / 2));
+        for _ in 0..inflight {
+            let k = srv.issue_key(contrib).expect("key");
+            let _ = srv
+                .request_task(&k, "rowstore-2.0", "bench-server")
+                .expect("claim");
+        }
+        let wal_records = srv.metrics().snapshot().counter("wal.records").unwrap_or(0);
+        (wal_records, inflight)
+        // Dropped without a snapshot: a simulated crash. The WAL tail
+        // holds everything.
+    };
+    let t_rec = Instant::now();
+    let srv2 = SqalpelServer::open(&dir).expect("recover after crash");
+    let recovery_ms = t_rec.elapsed().as_secs_f64() * 1e3;
+    let replayed = srv2.metrics().snapshot().counter("wal.replayed_records").unwrap_or(0);
+    let summary = srv2.queue_summary();
+    assert_eq!(replayed, wal_records, "crash loses no acknowledged record");
+    assert_eq!(summary.running, inflight, "open claims survive the crash");
+    drop(srv2);
+    let _ = std::fs::remove_dir_all(&dir);
+    let rec_rate = replayed as f64 / (recovery_ms / 1e3).max(1e-9);
+
+    let mut out = format!(
+        "## Platform scale — {n_contrib} contributors over {n_users} registered users (v2 wire)\n\n\
+         populate: {n_users} users, {n_projects} projects, {total_tasks} tasks enqueued ({pop_s:.1}s)\n\
+         load ({threads} threads x 1 persistent v2 connection, {} keys multiplexed):\n\
+         \x20 hand-out: {} claims, latency p50 {p50:.3}ms / p99 {p99:.3}ms\n\
+         \x20 throughput: {rps:.0} requests/s over {round_trips} round trips ({load_wall:.2}s wall)\n\
+         \x20 server: {handouts} handouts, {empty_polls} empty polls, {adm_throttled} throttled \
+         (client saw {throttled})\n\
+         recovery: {replayed} WAL records replayed in {recovery_ms:.1}ms ({rec_rate:.0} records/s), \
+         {inflight} in-flight claims restored\n",
+        keys.len(),
+        claim_ms.len(),
+    );
+
+    if smoke {
+        let _ = writeln!(out, "\nsmoke mode: BENCH_scale.json left untouched");
+        return out;
+    }
+    let mut handout = Map::new();
+    handout.insert("claims".into(), Value::Int(claim_ms.len() as i64));
+    handout.insert("p50_ms".into(), Value::Float(p50));
+    handout.insert("p99_ms".into(), Value::Float(p99));
+    let mut load = Map::new();
+    load.insert("threads".into(), Value::Int(threads as i64));
+    load.insert("contributor_keys".into(), Value::Int(keys.len() as i64));
+    load.insert("requests_per_s".into(), Value::Float(rps));
+    load.insert("round_trips".into(), Value::Int(round_trips as i64));
+    load.insert("wall_s".into(), Value::Float(load_wall));
+    load.insert("empty_polls".into(), Value::Int(empty_polls as i64));
+    load.insert("throttled".into(), Value::Int(adm_throttled as i64));
+    let mut recovery = Map::new();
+    recovery.insert("wal_records".into(), Value::Int(replayed as i64));
+    recovery.insert("recovery_ms".into(), Value::Float(recovery_ms));
+    recovery.insert("records_per_s".into(), Value::Float(rec_rate));
+    recovery.insert("inflight_restored".into(), Value::Int(inflight as i64));
+    recovery.insert("registered_users".into(), Value::Int(r_users as i64));
+    let mut root = Map::new();
+    root.insert("registered_users".into(), Value::Int(n_users as i64));
+    root.insert("contributors".into(), Value::Int(n_contrib as i64));
+    root.insert("projects".into(), Value::Int(n_projects as i64));
+    root.insert("tasks".into(), Value::Int(total_tasks as i64));
+    root.insert("transport".into(), Value::String("v2-framed".into()));
+    root.insert("handout".into(), Value::Object(handout));
+    root.insert("load".into(), Value::Object(load));
+    root.insert("recovery".into(), Value::Object(recovery));
+    let json = serde_json::to_string_pretty(&Value::Object(root)).expect("serializable");
+    match std::fs::write("BENCH_scale.json", &json) {
+        Ok(()) => {
+            let _ = writeln!(out, "\nwrote BENCH_scale.json");
+        }
+        Err(e) => {
+            let _ = writeln!(out, "\ncould not write BENCH_scale.json: {e}");
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

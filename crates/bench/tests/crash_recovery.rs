@@ -1,0 +1,172 @@
+//! End-to-end crash recovery: `kill -9` a durable `repro serve` mid-walk,
+//! restart it on the same state directory, and check that
+//!
+//! * every report acknowledged before the kill survives — the results
+//!   CSV exported before the crash and after the restart are
+//!   byte-identical (zero lost, zero duplicated reports);
+//! * the claim left open at the kill comes back as running, is re-handed
+//!   to its original contributor key (and to nobody else), and can still
+//!   be reported;
+//! * a SIGTERM shutdown writes a final snapshot that the next boot
+//!   recovers from.
+
+use sqalpel_core::{ContributorKey, LoadAvg, ProjectId, RunOutcome, UserId, WireClient};
+use std::io::{BufRead, BufReader};
+use std::net::SocketAddr;
+use std::process::{Child, Command, Stdio};
+
+/// A serve child that is killed when the test panics mid-way.
+struct Serve {
+    child: Child,
+    addr: SocketAddr,
+    key: ContributorKey,
+}
+
+impl Drop for Serve {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Spawn `repro serve 127.0.0.1:0 --state-dir <dir>` and parse the bound
+/// address and the demo contributor key from its stdout. A tiny scale
+/// factor keeps the engine bootstrap instant.
+fn spawn_serve(dir: &std::path::Path) -> Serve {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["serve", "127.0.0.1:0", "--state-dir"])
+        .arg(dir)
+        .env("SQALPEL_SF", "0.001")
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .stdin(Stdio::null())
+        .spawn()
+        .expect("spawn repro serve");
+    let stdout = child.stdout.take().expect("serve stdout");
+    let mut addr = None;
+    let mut key = None;
+    for line in BufReader::new(stdout).lines() {
+        let line = line.expect("serve output");
+        if let Some(rest) = line.strip_prefix("sqalpel platform serving on http://") {
+            let host = rest.strip_suffix("/v1").unwrap_or(rest);
+            addr = Some(host.parse().expect("server address"));
+        }
+        if let Some(k) = line.strip_prefix("demo contributor key: ") {
+            key = Some(ContributorKey(k.trim().to_string()));
+        }
+        if addr.is_some() && key.is_some() {
+            break;
+        }
+    }
+    Serve {
+        child,
+        addr: addr.expect("serve printed its address"),
+        key: key.expect("serve printed a contributor key"),
+    }
+}
+
+fn outcome() -> RunOutcome {
+    RunOutcome {
+        times_ms: vec![2.5, 2.5],
+        rows: 25,
+        error: None,
+        load_before: LoadAvg::default(),
+        load_after: LoadAvg::default(),
+        extras: serde_json::Value::Null,
+        fingerprint: None,
+        profile: None,
+    }
+}
+
+const DBMS: &str = "rowstore-2.0";
+const HOST: &str = "bench-server";
+/// The demo bootstrap's TPC-H project, and its admin (always the first
+/// registered user in a state dir this command wrote).
+const PROJECT: ProjectId = ProjectId(1);
+const ADMIN: UserId = UserId(1);
+
+#[test]
+fn kill_nine_mid_walk_loses_nothing() {
+    let dir = std::env::temp_dir().join(format!("sqalpel-crash-e2e-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("state dir");
+
+    // Boot 1: walk part of the queue, then die without warning.
+    let mut serve = spawn_serve(&dir);
+    let client = WireClient::builder(serve.addr).build();
+    for _ in 0..5 {
+        let task = client
+            .request_task(&serve.key, DBMS, HOST)
+            .expect("claim")
+            .expect("demo queue has work");
+        client.report_result(&serve.key, task.id, &outcome()).expect("report");
+    }
+    let open = client
+        .request_task(&serve.key, DBMS, HOST)
+        .expect("claim")
+        .expect("demo queue still has work");
+    let csv_before = client.export_csv(PROJECT, ADMIN).expect("csv before crash");
+    assert_eq!(csv_before.lines().count(), 1 + 5, "header + five acked reports");
+    let before = client.queue_summary().expect("summary");
+    serve.child.kill().expect("SIGKILL serve"); // kill -9: no flush, no snapshot
+    serve.child.wait().expect("reap serve");
+    let old_key = serve.key.clone();
+
+    // Boot 2: replay the WAL tail.
+    let mut serve2 = spawn_serve(&dir);
+    let client2 = WireClient::builder(serve2.addr).build();
+    let csv_after = client2.export_csv(PROJECT, ADMIN).expect("csv after recovery");
+    assert_eq!(csv_after, csv_before, "acked reports must survive kill -9 byte-for-byte");
+    let after = client2.queue_summary().expect("summary");
+    assert_eq!(after.finished, before.finished);
+    assert_eq!(after.running, before.running, "open claim recovered as running");
+    assert_eq!(after.queued, before.queued);
+
+    // The open claim is re-handed to its original key — same task, no
+    // second hand-out of it to anyone else.
+    let stranger = client2
+        .request_task(&serve2.key, DBMS, HOST)
+        .expect("fresh key claims")
+        .expect("queue not empty");
+    assert_ne!(stranger.id, open.id, "a recovered running task must not be handed out twice");
+    let again = client2
+        .request_task(&old_key, DBMS, HOST)
+        .expect("re-hand-out")
+        .expect("held task returned");
+    assert_eq!(again.id, open.id, "the original holder gets its open claim back");
+    assert_eq!(again.sql, open.sql);
+
+    // The recovered claim is still reportable, exactly once.
+    client2.report_result(&old_key, open.id, &outcome()).expect("report after recovery");
+    let csv_done = client2.export_csv(PROJECT, ADMIN).expect("csv after report");
+    assert_eq!(csv_done.lines().count(), 1 + 6, "exactly one new row for the recovered claim");
+
+    // SIGTERM: graceful shutdown writes a final snapshot.
+    let pid = serve2.child.id().to_string();
+    let status = Command::new("kill").args(["-TERM", &pid]).status().expect("send SIGTERM");
+    assert!(status.success());
+    let exit = serve2.child.wait().expect("graceful exit");
+    assert!(exit.success(), "SIGTERM shutdown exits cleanly");
+    let snapshots = std::fs::read_dir(&dir)
+        .expect("state dir listing")
+        .filter_map(|e| e.ok())
+        .filter(|e| {
+            let name = e.file_name();
+            let name = name.to_string_lossy();
+            name.starts_with("snapshot-") && name.ends_with(".jsonl")
+        })
+        .count();
+    assert!(snapshots >= 1, "graceful shutdown leaves a snapshot behind");
+
+    // Boot 3: recover from the snapshot; nothing changed since.
+    let serve3 = spawn_serve(&dir);
+    let client3 = WireClient::builder(serve3.addr).build();
+    let csv_final = client3.export_csv(PROJECT, ADMIN).expect("csv after snapshot boot");
+    assert_eq!(csv_final, csv_done);
+    let summary = client3.queue_summary().expect("summary");
+    assert_eq!(summary.finished, after.finished + 1);
+    assert_eq!(summary.running, after.running - 1 + 1, "stranger's claim is still open");
+
+    drop(serve3);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,267 @@
+//! Admission control: per-user in-flight bounds and per-project queue
+//! quotas.
+//!
+//! A public platform hands benchmark tasks to strangers. Without a
+//! bound, one contributor script stuck in a crash loop can check out the
+//! entire queue and starve everyone else, and one moderator can enqueue
+//! an experiment so large the server's memory becomes the limit. Two
+//! caps police this:
+//!
+//! * **Per-user in-flight bound** — a user (across all of their
+//!   contributor keys) may hold at most `max_inflight_per_user` tasks
+//!   that are handed out but not yet reported. Excess `request_task`
+//!   calls get [`PlatformError::Throttled`].
+//! * **Per-project queue quota** — enqueueing past
+//!   `max_queued_per_project` outstanding (non-terminal) tasks is
+//!   rejected with `Throttled`.
+//!
+//! Reservation is race-free across shards: `try_reserve` atomically
+//! checks and increments the user's count *before* the shard sweep
+//! begins, `confirm` records the claimed task, and `cancel` returns the
+//! slot if the sweep found nothing. Release happens on report, reap or
+//! requeue.
+
+use crate::error::{PlatformError, PlatformResult};
+use crate::queue::TaskId;
+use crate::user::{ContributorKey, UserId};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// Tunable admission bounds.
+#[derive(Debug, Clone, Copy)]
+pub struct AdmissionConfig {
+    /// Most tasks a single user may hold in flight at once.
+    pub max_inflight_per_user: usize,
+    /// Most outstanding (queued + running) tasks a project may carry.
+    pub max_queued_per_project: usize,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            max_inflight_per_user: 64,
+            max_queued_per_project: 100_000,
+        }
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    /// Tasks currently held under each contributor key.
+    by_key: HashMap<ContributorKey, Vec<TaskId>>,
+    /// In-flight count per user (sum over that user's keys, plus any
+    /// not-yet-confirmed reservations).
+    by_user: HashMap<UserId, usize>,
+    /// Which user each key's held tasks are charged to.
+    owner_of: HashMap<ContributorKey, UserId>,
+}
+
+/// Cross-shard admission state. One small mutex: every operation is a
+/// couple of hash-map probes, and it is the only lock `request_task`
+/// takes before picking a shard.
+pub struct AdmissionControl {
+    config: AdmissionConfig,
+    inner: Mutex<Inner>,
+}
+
+impl AdmissionControl {
+    pub fn new(config: AdmissionConfig) -> Self {
+        AdmissionControl {
+            config,
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    pub fn config(&self) -> AdmissionConfig {
+        self.config
+    }
+
+    /// Atomically claim an in-flight slot for `user`, or `Throttled` if
+    /// the bound is already met. Must be paired with `confirm` or
+    /// `cancel`.
+    pub fn try_reserve(&self, user: UserId) -> PlatformResult<()> {
+        let mut inner = self.inner.lock();
+        let count = inner.by_user.entry(user).or_insert(0);
+        if *count >= self.config.max_inflight_per_user {
+            return Err(PlatformError::Throttled(format!(
+                "user #{} already holds {} in-flight tasks (bound {})",
+                user.0, count, self.config.max_inflight_per_user
+            )));
+        }
+        *count += 1;
+        Ok(())
+    }
+
+    /// Attach a claimed task to the reservation made by `try_reserve`.
+    pub fn confirm(&self, key: &ContributorKey, user: UserId, task: TaskId) {
+        let mut inner = self.inner.lock();
+        inner.by_key.entry(key.clone()).or_default().push(task);
+        inner.owner_of.insert(key.clone(), user);
+    }
+
+    /// Return an unused reservation (the shard sweep found no task).
+    pub fn cancel(&self, user: UserId) {
+        let mut inner = self.inner.lock();
+        if let Some(count) = inner.by_user.get_mut(&user) {
+            *count = count.saturating_sub(1);
+        }
+    }
+
+    /// Drop a held task (reported, reaped or requeued). Returns whether
+    /// the task was actually held — duplicate reports release nothing.
+    pub fn release(&self, key: &ContributorKey, task: TaskId) -> bool {
+        let mut inner = self.inner.lock();
+        let Some(held) = inner.by_key.get_mut(key) else {
+            return false;
+        };
+        let Some(pos) = held.iter().position(|t| *t == task) else {
+            return false;
+        };
+        held.swap_remove(pos);
+        if held.is_empty() {
+            inner.by_key.remove(key);
+        }
+        if let Some(user) = inner.owner_of.get(key).copied() {
+            if let Some(count) = inner.by_user.get_mut(&user) {
+                *count = count.saturating_sub(1);
+            }
+        }
+        true
+    }
+
+    /// Drop a held task without knowing the key — the reaper's path,
+    /// where the queue has already forgotten who held it. Returns
+    /// whether any holder was found.
+    pub fn release_any(&self, task: TaskId) -> bool {
+        let key = {
+            let inner = self.inner.lock();
+            match inner
+                .by_key
+                .iter()
+                .find(|(_, held)| held.contains(&task))
+            {
+                Some((key, _)) => key.clone(),
+                None => return false,
+            }
+        };
+        self.release(&key, task)
+    }
+
+    /// Tasks currently held under a key (for idempotent re-hand-out).
+    pub fn held_by(&self, key: &ContributorKey) -> Vec<TaskId> {
+        self.inner
+            .lock()
+            .by_key
+            .get(key)
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Current in-flight count for a user.
+    pub fn inflight_of(&self, user: UserId) -> usize {
+        self.inner.lock().by_user.get(&user).copied().unwrap_or(0)
+    }
+
+    /// Rebuild one held task during recovery (no bound check: the bound
+    /// was enforced when the hand-out was first acknowledged).
+    pub fn restore(&self, key: &ContributorKey, user: UserId, task: TaskId) {
+        let mut inner = self.inner.lock();
+        inner.by_key.entry(key.clone()).or_default().push(task);
+        inner.owner_of.insert(key.clone(), user);
+        *inner.by_user.entry(user).or_insert(0) += 1;
+    }
+
+    /// Enforce the per-project queue quota before enqueueing `adding`
+    /// more tasks on top of `outstanding` ones.
+    pub fn check_quota(&self, outstanding: usize, adding: usize) -> PlatformResult<()> {
+        if outstanding + adding > self.config.max_queued_per_project {
+            return Err(PlatformError::Throttled(format!(
+                "project queue quota exceeded: {outstanding} outstanding + {adding} new > {}",
+                self.config.max_queued_per_project
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> AdmissionControl {
+        AdmissionControl::new(AdmissionConfig {
+            max_inflight_per_user: 2,
+            max_queued_per_project: 10,
+        })
+    }
+
+    #[test]
+    fn reserve_confirm_release_cycle_enforces_bound() {
+        let adm = small();
+        let user = UserId(1);
+        let key = ContributorKey("ck_a".into());
+
+        adm.try_reserve(user).unwrap();
+        adm.confirm(&key, user, TaskId(100));
+        adm.try_reserve(user).unwrap();
+        adm.confirm(&key, user, TaskId(101));
+        assert_eq!(adm.inflight_of(user), 2);
+        assert!(matches!(
+            adm.try_reserve(user),
+            Err(PlatformError::Throttled(_))
+        ));
+
+        assert!(adm.release(&key, TaskId(100)));
+        assert_eq!(adm.inflight_of(user), 1);
+        adm.try_reserve(user).unwrap();
+        adm.cancel(user); // sweep found nothing: slot returned
+        assert_eq!(adm.inflight_of(user), 1);
+
+        // Duplicate release is a no-op.
+        assert!(!adm.release(&key, TaskId(100)));
+        assert_eq!(adm.inflight_of(user), 1);
+    }
+
+    #[test]
+    fn bound_spans_all_keys_of_a_user() {
+        let adm = small();
+        let user = UserId(7);
+        let (k1, k2) = (ContributorKey("ck_1".into()), ContributorKey("ck_2".into()));
+        adm.try_reserve(user).unwrap();
+        adm.confirm(&k1, user, TaskId(1));
+        adm.try_reserve(user).unwrap();
+        adm.confirm(&k2, user, TaskId(2));
+        assert!(adm.try_reserve(user).is_err());
+        assert_eq!(adm.held_by(&k1), vec![TaskId(1)]);
+        assert_eq!(adm.held_by(&k2), vec![TaskId(2)]);
+        assert!(adm.release(&k2, TaskId(2)));
+        adm.try_reserve(user).unwrap();
+        adm.cancel(user);
+    }
+
+    #[test]
+    fn restore_rebuilds_counts() {
+        let adm = small();
+        let user = UserId(3);
+        let key = ContributorKey("ck_r".into());
+        adm.restore(&key, user, TaskId(5));
+        adm.restore(&key, user, TaskId(6));
+        assert_eq!(adm.inflight_of(user), 2);
+        assert_eq!(adm.held_by(&key).len(), 2);
+        assert!(adm.try_reserve(user).is_err());
+        assert!(adm.release(&key, TaskId(5)));
+        adm.try_reserve(user).unwrap();
+        adm.cancel(user);
+    }
+
+    #[test]
+    fn quota_check() {
+        let adm = small();
+        adm.check_quota(4, 6).unwrap();
+        assert!(matches!(
+            adm.check_quota(5, 6),
+            Err(PlatformError::Throttled(_))
+        ));
+        adm.check_quota(0, 10).unwrap();
+    }
+}

@@ -1,0 +1,83 @@
+//! Durability for the platform state: write-ahead record log, periodic
+//! snapshots, boot-time recovery.
+//!
+//! The contract: **once an operation is acknowledged, it survives a
+//! crash.** The server logs a typed [`WalRecord`] for every mutation
+//! *before* releasing the lock that made it (so WAL order equals
+//! mutation order per lock domain), flushed to the OS per record.
+//! Snapshots bound replay time; the WAL is truncated when one lands and
+//! is therefore always the tail since the latest snapshot. On boot,
+//! [`recover`] loads the newest snapshot and replays that tail; a torn
+//! final record — the crash interrupted an append whose operation was
+//! never acknowledged — is discarded, which is precisely the at-least-
+//! acknowledged, at-most-once semantics the wire protocol's idempotent
+//! retries expect.
+
+pub mod recovery;
+pub mod snapshot;
+pub mod wal;
+
+pub use recovery::{recover, RecoveredState};
+pub use snapshot::{latest_snapshot, read_snapshot, state_fingerprint, write_snapshot};
+pub use wal::{read_wal, WalRecord, WalWriter, WAL_FILE};
+
+use crate::shard::{GlobalShard, ProjectShard};
+use parking_lot::Mutex;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Handle to a state directory: the open WAL plus snapshot plumbing.
+pub struct Durability {
+    dir: PathBuf,
+    wal: Mutex<WalWriter>,
+}
+
+impl Durability {
+    /// Open a state directory: recover whatever is there, then position
+    /// the WAL for appending. Creates the directory if needed.
+    pub fn open(dir: &Path) -> io::Result<(Durability, RecoveredState)> {
+        std::fs::create_dir_all(dir)?;
+        let recovered = recover(dir)?;
+        let wal = WalWriter::open(dir, recovered.next_lsn)?;
+        Ok((
+            Durability {
+                dir: dir.to_path_buf(),
+                wal: Mutex::new(wal),
+            },
+            recovered,
+        ))
+    }
+
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Append one record, flushed to the OS. Returns the framed byte
+    /// length. The caller must hold the lock of the state it mutated.
+    pub fn log(&self, record: &WalRecord) -> io::Result<u64> {
+        self.wal.lock().append(record)
+    }
+
+    /// Current record sequence number.
+    pub fn lsn(&self) -> u64 {
+        self.wal.lock().lsn()
+    }
+
+    /// Write a snapshot of the given state and truncate the WAL behind
+    /// it. The caller must hold **all** platform locks (global, shard
+    /// map, every shard) so the state cannot move between the snapshot
+    /// and the truncation.
+    pub fn snapshot(&self, global: &GlobalShard, shards: &[&ProjectShard]) -> io::Result<u64> {
+        let mut wal = self.wal.lock();
+        let lsn = wal.lsn();
+        write_snapshot(&self.dir, lsn, global, shards)?;
+        wal.reset_after_snapshot()?;
+        snapshot::prune_older(&self.dir, lsn)?;
+        Ok(lsn)
+    }
+
+    /// Fsync the WAL without truncating (graceful shutdown).
+    pub fn sync(&self) -> io::Result<()> {
+        self.wal.lock().sync()
+    }
+}

@@ -1,0 +1,501 @@
+//! Boot-time recovery: latest snapshot + WAL tail → platform state.
+//!
+//! Replay applies each [`WalRecord`] as the physical outcome it logged,
+//! in log order, against plain (un-locked) state parts — recovery is
+//! single-threaded, locks come afterwards when the parts are wrapped in
+//! a [`crate::shard::ShardedState`]. Replay errors mean a corrupt log
+//! (records that contradict the state they claim to extend) and abort
+//! recovery rather than guessing.
+
+use super::snapshot::{latest_snapshot, read_snapshot};
+use super::wal::{read_wal, WalRecord, WAL_FILE};
+use crate::catalog::Catalogs;
+use crate::project::Project;
+use crate::shard::{GlobalShard, ProjectShard};
+use crate::user::UserRegistry;
+use sqalpel_grammar::Grammar;
+use std::io;
+use std::path::Path;
+
+fn corrupt(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("recovery: {}", msg.into()))
+}
+
+/// The state a state directory recovered to.
+pub struct RecoveredState {
+    pub global: GlobalShard,
+    pub shards: Vec<ProjectShard>,
+    /// True when the directory held neither snapshot nor WAL records —
+    /// the server should run its usual bootstrap (demo data etc.).
+    pub fresh: bool,
+    /// LSN of the snapshot replay started from (0 = none).
+    pub snapshot_lsn: u64,
+    /// WAL records replayed on top of the snapshot.
+    pub replayed_records: u64,
+    /// Sequence number the reopened WAL continues from.
+    pub next_lsn: u64,
+    /// Torn lines discarded at the WAL tail.
+    pub torn_records: usize,
+}
+
+/// Recover platform state from `dir`. An empty or missing directory
+/// yields a fresh state (bootstrap catalogs, no users, no projects).
+pub fn recover(dir: &Path) -> io::Result<RecoveredState> {
+    let (mut global, mut shards, snapshot_lsn) = match latest_snapshot(dir)? {
+        Some((path, lsn)) => {
+            let (g, s) = read_snapshot(&path)?;
+            (g, s, lsn)
+        }
+        None => (
+            GlobalShard {
+                users: UserRegistry::new(),
+                catalogs: Catalogs::bootstrap(),
+            },
+            Vec::new(),
+            0,
+        ),
+    };
+
+    let (records, torn_records) = read_wal(&dir.join(WAL_FILE))?;
+    let replayed_records = records.len() as u64;
+    for record in records {
+        apply(&record, &mut global, &mut shards).map_err(corrupt)?;
+    }
+
+    Ok(RecoveredState {
+        fresh: snapshot_lsn == 0 && replayed_records == 0 && shards.is_empty() && global.users.is_empty(),
+        global,
+        shards,
+        snapshot_lsn,
+        replayed_records,
+        next_lsn: snapshot_lsn + replayed_records,
+        torn_records,
+    })
+}
+
+/// Apply one WAL record to the state parts.
+pub fn apply(
+    record: &WalRecord,
+    global: &mut GlobalShard,
+    shards: &mut Vec<ProjectShard>,
+) -> Result<(), String> {
+    fn shard_mut(
+        shards: &mut [ProjectShard],
+        id: crate::project::ProjectId,
+    ) -> Result<&mut ProjectShard, String> {
+        if id.0 == 0 {
+            return Err("record for project 0".to_string());
+        }
+        shards
+            .get_mut((id.0 - 1) as usize)
+            .ok_or(format!("record for unknown project #{}", id.0))
+    }
+    match record {
+        WalRecord::UserRegistered {
+            id,
+            nickname,
+            email,
+        } => global.users.restore_user(*id, nickname, email),
+        WalRecord::KeyIssued { user, key, counter } => {
+            global.users.restore_key(key.clone(), *user, *counter);
+            Ok(())
+        }
+        WalRecord::DbmsAdded { entry } => global
+            .catalogs
+            .add_dbms(entry.clone())
+            .map_err(|e| e.to_string()),
+        WalRecord::HostAdded { entry } => global
+            .catalogs
+            .add_host(entry.clone())
+            .map_err(|e| e.to_string()),
+        WalRecord::ProjectCreated {
+            id,
+            owner,
+            title,
+            synopsis,
+            visibility,
+        } => {
+            if id.0 as usize != shards.len() + 1 {
+                return Err(format!("project #{} replayed out of order", id.0));
+            }
+            shards.push(ProjectShard::new(Project::new(
+                *id,
+                title.clone(),
+                synopsis.clone(),
+                *owner,
+                *visibility,
+            )));
+            Ok(())
+        }
+        WalRecord::Invited { project, user } => {
+            let shard = shard_mut(shards, *project)?;
+            if *user != shard.project.owner {
+                shard.project.contributors.insert(*user);
+            }
+            Ok(())
+        }
+        WalRecord::TargetsSet {
+            project,
+            dbms_labels,
+            hosts,
+        } => {
+            let shard = shard_mut(shards, *project)?;
+            shard.project.dbms_labels = dbms_labels.clone();
+            shard.project.hosts = hosts.clone();
+            // No publication re-check: it passed when the record was
+            // acknowledged, and the catalogs replay in the same order.
+            Ok(())
+        }
+        WalRecord::CommentAdded {
+            project,
+            author,
+            text,
+        } => {
+            let shard = shard_mut(shards, *project)?;
+            shard.project.comments.push(crate::project::Comment {
+                author: *author,
+                text: text.clone(),
+            });
+            Ok(())
+        }
+        WalRecord::TakenDown { project } => {
+            shard_mut(shards, *project)?.project.taken_down = true;
+            Ok(())
+        }
+        WalRecord::ExperimentAdded {
+            project,
+            id,
+            title,
+            baseline_sql,
+            grammar,
+            template_cap,
+            pool_cap,
+            dialect,
+        } => {
+            let grammar = Grammar::parse(grammar).map_err(|e| format!("grammar: {e}"))?;
+            shard_mut(shards, *project)?
+                .project
+                .restore_experiment(
+                    *id,
+                    title,
+                    baseline_sql,
+                    grammar,
+                    *template_cap,
+                    *pool_cap,
+                    dialect.clone(),
+                )
+                .map_err(|e| e.to_string())
+        }
+        WalRecord::PoolExtended {
+            project,
+            experiment,
+            entries,
+        } => {
+            let shard = shard_mut(shards, *project)?;
+            let pool = &mut shard
+                .project
+                .experiment_mut(*experiment)
+                .map_err(|e| e.to_string())?
+                .pool;
+            for entry in entries {
+                pool.restore_entry(entry.clone())?;
+            }
+            Ok(())
+        }
+        WalRecord::TasksEnqueued { project, tasks } => {
+            let shard = shard_mut(shards, *project)?;
+            for task in tasks {
+                shard.queue.restore_task(task.clone())?;
+            }
+            Ok(())
+        }
+        WalRecord::TaskClaimed { task, key } => {
+            let shard = shard_mut(shards, crate::shard::project_of_task(*task))?;
+            shard
+                .queue
+                .claim(*task, key)
+                .map(|_| ())
+                .map_err(|e| e.to_string())
+        }
+        WalRecord::ReportAccepted {
+            task,
+            key,
+            error,
+            record,
+        } => {
+            let shard = shard_mut(shards, crate::shard::project_of_task(*task))?;
+            shard
+                .queue
+                .complete(*task, key, error.clone())
+                .map_err(|e| e.to_string())?;
+            shard.results.push(record.clone());
+            Ok(())
+        }
+        WalRecord::TasksReaped { project, tasks } => {
+            let shard = shard_mut(shards, *project)?;
+            for task in tasks {
+                shard.queue.restore_timeout(*task).map_err(|e| e.to_string())?;
+            }
+            Ok(())
+        }
+        WalRecord::TaskRequeued { task } => {
+            let shard = shard_mut(shards, crate::shard::project_of_task(*task))?;
+            shard.queue.requeue(*task).map_err(|e| e.to_string())
+        }
+        WalRecord::ResultHidden {
+            project,
+            index,
+            hidden,
+        } => {
+            let shard = shard_mut(shards, *project)?;
+            if !shard.results.set_hidden(*index, *hidden) {
+                return Err(format!("hidden flag for unknown result #{index}"));
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::wal::WalWriter;
+    use super::super::Durability;
+    use super::*;
+    use crate::catalog::Visibility;
+    use crate::queue::{TaskId, TaskState};
+    use crate::results;
+    use crate::user::{ContributorKey, UserId};
+    use std::path::PathBuf;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "sqalpel-recover-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn empty_dir_recovers_fresh() {
+        let dir = tmp_dir("fresh");
+        let rec = recover(&dir).unwrap();
+        assert!(rec.fresh);
+        assert!(rec.shards.is_empty());
+        assert!(rec.global.catalogs.dbms("rowstore-2.0").is_some());
+        assert_eq!(rec.next_lsn, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// A miniature history: user, key, project, experiment, pool, queue,
+    /// one claimed, one reported — written straight to the WAL.
+    fn write_history(dir: &Path) -> ContributorKey {
+        let key = ContributorKey("ck_demo".into());
+        let grammar =
+            Grammar::parse(sqalpel_grammar::FIG1_GRAMMAR).unwrap();
+        let mut pool = crate::pool::QueryPool::new(grammar.clone(), 1000, 100).unwrap();
+        pool.seed_baseline().unwrap();
+        let entry = pool.entries()[0].clone();
+        let base = 1u64 << 32;
+
+        let mut wal = WalWriter::open(dir, 0).unwrap();
+        let records = vec![
+            WalRecord::UserRegistered {
+                id: UserId(1),
+                nickname: "mlk".into(),
+                email: "mlk@cwi.nl".into(),
+            },
+            WalRecord::KeyIssued {
+                user: UserId(1),
+                key: key.clone(),
+                counter: 1,
+            },
+            WalRecord::ProjectCreated {
+                id: crate::project::ProjectId(1),
+                owner: UserId(1),
+                title: "nation".into(),
+                synopsis: "s".into(),
+                visibility: Visibility::Public,
+            },
+            WalRecord::TargetsSet {
+                project: crate::project::ProjectId(1),
+                dbms_labels: vec!["rowstore-2.0".into()],
+                hosts: vec!["bench-server".into()],
+            },
+            WalRecord::ExperimentAdded {
+                project: crate::project::ProjectId(1),
+                id: crate::project::ExperimentId(0),
+                title: "nation".into(),
+                baseline_sql: "select count(*) from nation where n_name = 'BRAZIL'".into(),
+                grammar: grammar.to_string(),
+                template_cap: 1000,
+                pool_cap: 100,
+                dialect: None,
+            },
+            WalRecord::PoolExtended {
+                project: crate::project::ProjectId(1),
+                experiment: crate::project::ExperimentId(0),
+                entries: vec![entry.clone()],
+            },
+            WalRecord::TasksEnqueued {
+                project: crate::project::ProjectId(1),
+                tasks: vec![
+                    crate::queue::Task {
+                        id: TaskId(base),
+                        project: crate::project::ProjectId(1),
+                        experiment: crate::project::ExperimentId(0),
+                        query: entry.id,
+                        sql: entry.sql.clone(),
+                        dbms_label: "rowstore-2.0".into(),
+                        host: "bench-server".into(),
+                        state: TaskState::Queued,
+                        started: None,
+                    },
+                    crate::queue::Task {
+                        id: TaskId(base + 1),
+                        project: crate::project::ProjectId(1),
+                        experiment: crate::project::ExperimentId(0),
+                        query: entry.id,
+                        sql: entry.sql.clone(),
+                        dbms_label: "colstore-5.1".into(),
+                        host: "bench-server".into(),
+                        state: TaskState::Queued,
+                        started: None,
+                    },
+                ],
+            },
+            WalRecord::TaskClaimed {
+                task: TaskId(base),
+                key: key.clone(),
+            },
+            WalRecord::ReportAccepted {
+                task: TaskId(base),
+                key: key.clone(),
+                error: None,
+                record: results::record(
+                    TaskId(base),
+                    crate::project::ProjectId(1),
+                    crate::project::ExperimentId(0),
+                    entry.id,
+                    "rowstore-2.0",
+                    "bench-server",
+                    &key,
+                    vec![1.0, 2.0, 3.0],
+                    5,
+                    None,
+                ),
+            },
+            WalRecord::TaskClaimed {
+                task: TaskId(base + 1),
+                key: key.clone(),
+            },
+        ];
+        for r in &records {
+            wal.append(r).unwrap();
+        }
+        key
+    }
+
+    #[test]
+    fn wal_only_replay_rebuilds_everything() {
+        let dir = tmp_dir("replay");
+        let key = write_history(&dir);
+        let rec = recover(&dir).unwrap();
+        assert!(!rec.fresh);
+        assert_eq!(rec.replayed_records, 10);
+        assert_eq!(rec.next_lsn, 10);
+
+        assert_eq!(rec.global.users.resolve_key(&key), Some(UserId(1)));
+        let shard = &rec.shards[0];
+        assert_eq!(shard.project.title, "nation");
+        assert_eq!(shard.project.experiments[0].pool.len(), 1);
+        let s = shard.queue.summary();
+        assert_eq!((s.finished, s.running, s.queued), (1, 1, 0));
+        // The in-flight claim is re-held: idempotent re-hand-out works.
+        assert!(shard
+            .queue
+            .running_claim(&key, "colstore-5.1", "bench-server")
+            .is_some());
+        assert_eq!(shard.results.len(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_plus_tail_equals_wal_only() {
+        let dir = tmp_dir("snap-tail");
+        let key = write_history(&dir);
+        let wal_only = recover(&dir).unwrap();
+
+        // Re-open through the Durability handle, snapshot, then log two
+        // more records: replay must continue from the snapshot.
+        let (dur, rec) = Durability::open(&dir).unwrap();
+        dur.snapshot(&rec.global, &rec.shards.iter().collect::<Vec<_>>())
+            .unwrap();
+        let base = 1u64 << 32;
+        dur.log(&WalRecord::ReportAccepted {
+            task: TaskId(base + 1),
+            key: key.clone(),
+            error: Some("boom".into()),
+            record: results::record(
+                TaskId(base + 1),
+                crate::project::ProjectId(1),
+                crate::project::ExperimentId(0),
+                crate::pool::QueryId(0),
+                "colstore-5.1",
+                "bench-server",
+                &key,
+                vec![],
+                0,
+                Some("boom".into()),
+            ),
+        })
+        .unwrap();
+        dur.log(&WalRecord::ResultHidden {
+            project: crate::project::ProjectId(1),
+            index: 1,
+            hidden: true,
+        })
+        .unwrap();
+        drop(dur);
+
+        let rec2 = recover(&dir).unwrap();
+        assert_eq!(rec2.snapshot_lsn, 10);
+        assert_eq!(rec2.replayed_records, 2);
+        assert_eq!(rec2.next_lsn, 12);
+        let shard = &rec2.shards[0];
+        let s = shard.queue.summary();
+        assert_eq!((s.finished, s.failed, s.running), (1, 1, 0));
+        assert_eq!(shard.results.len(), 2);
+        assert!(shard.results.all()[1].hidden);
+        // Users/catalogs carried through the snapshot.
+        assert_eq!(
+            rec2.global.users.len(),
+            wal_only.global.users.len()
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn contradictory_replay_is_rejected() {
+        let dir = tmp_dir("contradict");
+        let mut wal = WalWriter::open(&dir, 0).unwrap();
+        // A claim for a task that was never enqueued.
+        wal.append(&WalRecord::ProjectCreated {
+            id: crate::project::ProjectId(1),
+            owner: UserId(1),
+            title: "x".into(),
+            synopsis: "y".into(),
+            visibility: Visibility::Public,
+        })
+        .unwrap();
+        wal.append(&WalRecord::TaskClaimed {
+            task: TaskId(1u64 << 32),
+            key: ContributorKey("ck_x".into()),
+        })
+        .unwrap();
+        drop(wal);
+        assert!(recover(&dir).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,508 @@
+//! Checkpointing: the full platform state as one JSONL file.
+//!
+//! A snapshot bounds recovery time — replay starts from the latest
+//! snapshot instead of the beginning of history. The format is
+//! line-oriented so huge states stream out without building one giant
+//! JSON value: a `meta` line (snapshot LSN), then one line per item in
+//! restore order, then an `end` marker that proves the file is whole.
+//!
+//! Written to a temp file and atomically renamed into place as
+//! `snapshot-<lsn>.jsonl`; the directory is fsynced so the rename
+//! survives a crash. Readers pick the highest LSN present; older
+//! snapshots are pruned after a new one lands.
+
+use super::wal::fnv64;
+use crate::pool::PoolEntry;
+use crate::project::{Comment, ExperimentId, Project, ProjectId};
+use crate::queue::Task;
+use crate::results::ResultRecord;
+use crate::shard::{GlobalShard, ProjectShard};
+use crate::user::{ContributorKey, UserId};
+use serde::{Deserialize, Serialize, Value};
+use sqalpel_grammar::Grammar;
+use std::fs::{self, File};
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+fn corrupt(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("snapshot: {}", msg.into()))
+}
+
+fn line(out: &mut impl Write, t: &str, mut fields: serde_json::Map) -> io::Result<()> {
+    fields.insert("t".into(), t.into());
+    writeln!(out, "{}", Value::Object(fields))
+}
+
+fn one(key: &str, value: Value) -> serde_json::Map {
+    let mut m = serde_json::Map::new();
+    m.insert(key.into(), value);
+    m
+}
+
+/// Write a snapshot of the given state at `lsn`. The caller must hold
+/// every shard lock (the state must not move under the writer). Returns
+/// the final snapshot path.
+pub fn write_snapshot(
+    dir: &Path,
+    lsn: u64,
+    global: &GlobalShard,
+    shards: &[&ProjectShard],
+) -> io::Result<PathBuf> {
+    let tmp = dir.join(format!("snapshot-{lsn:020}.tmp"));
+    let path = dir.join(format!("snapshot-{lsn:020}.jsonl"));
+    let mut out = BufWriter::new(File::create(&tmp)?);
+
+    line(&mut out, "meta", {
+        let mut m = one("lsn", lsn.into());
+        m.insert("projects".into(), shards.len().into());
+        m
+    })?;
+
+    for u in global.users.users() {
+        let mut m = one("id", u.id.0.into());
+        m.insert("nickname".into(), u.nickname.clone().into());
+        m.insert("email".into(), u.email_for_legal_contact().into());
+        line(&mut out, "user", m)?;
+    }
+    for (key, user) in global.users.keys() {
+        let mut m = one("key", key.0.clone().into());
+        m.insert("user".into(), user.0.into());
+        line(&mut out, "key", m)?;
+    }
+    line(
+        &mut out,
+        "key_counter",
+        one("value", global.users.key_counter().into()),
+    )?;
+    for entry in global.catalogs.dbms_entries() {
+        line(&mut out, "dbms", one("entry", entry.to_value()))?;
+    }
+    for entry in global.catalogs.host_entries() {
+        line(&mut out, "host", one("entry", entry.to_value()))?;
+    }
+
+    for shard in shards {
+        let p = &shard.project;
+        let mut m = one("id", p.id.0.into());
+        m.insert("title".into(), p.title.clone().into());
+        m.insert("synopsis".into(), p.synopsis.clone().into());
+        m.insert("owner".into(), p.owner.0.into());
+        m.insert("visibility".into(), p.visibility.to_value());
+        m.insert(
+            "contributors".into(),
+            Value::Array(p.contributors.iter().map(|u| Value::from(u.0)).collect()),
+        );
+        m.insert(
+            "comments".into(),
+            Value::Array(
+                p.comments
+                    .iter()
+                    .map(|c| {
+                        let mut m = one("author", c.author.0.into());
+                        m.insert("text".into(), c.text.clone().into());
+                        Value::Object(m)
+                    })
+                    .collect(),
+            ),
+        );
+        m.insert("dbms_labels".into(), p.dbms_labels.clone().into());
+        m.insert("hosts".into(), p.hosts.clone().into());
+        m.insert("taken_down".into(), p.taken_down.into());
+        line(&mut out, "project", m)?;
+
+        for e in &p.experiments {
+            let mut m = one("project", p.id.0.into());
+            m.insert("id".into(), e.id.0.into());
+            m.insert("title".into(), e.title.clone().into());
+            m.insert("baseline_sql".into(), e.baseline_sql.clone().into());
+            m.insert("grammar".into(), e.pool.grammar().to_string().into());
+            m.insert("template_cap".into(), e.pool.template_cap().into());
+            m.insert("pool_cap".into(), e.pool.pool_cap().into());
+            if let Some(d) = e.pool.dialect() {
+                m.insert("dialect".into(), d.into());
+            }
+            line(&mut out, "experiment", m)?;
+            for entry in e.pool.entries() {
+                let mut m = one("project", p.id.0.into());
+                m.insert("experiment".into(), e.id.0.into());
+                m.insert("entry".into(), entry.to_value());
+                line(&mut out, "pool_entry", m)?;
+            }
+        }
+        for task in shard.queue.tasks() {
+            line(&mut out, "task", one("task", task.to_value()))?;
+        }
+        for record in shard.results.all() {
+            line(&mut out, "result", one("record", record.to_value()))?;
+        }
+    }
+
+    line(&mut out, "end", serde_json::Map::new())?;
+    out.flush()?;
+    out.into_inner()
+        .map_err(|e| io::Error::other(e.to_string()))?
+        .sync_all()?;
+    fs::rename(&tmp, &path)?;
+    // Fsync the directory so the rename itself is durable.
+    File::open(dir)?.sync_all()?;
+    Ok(path)
+}
+
+/// The newest complete snapshot in `dir`, as `(path, lsn)`.
+pub fn latest_snapshot(dir: &Path) -> io::Result<Option<(PathBuf, u64)>> {
+    let mut best: Option<(PathBuf, u64)> = None;
+    let entries = match fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e),
+    };
+    for entry in entries {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(lsn) = name
+            .strip_prefix("snapshot-")
+            .and_then(|s| s.strip_suffix(".jsonl"))
+            .and_then(|s| s.parse::<u64>().ok())
+        else {
+            continue;
+        };
+        if best.as_ref().is_none_or(|(_, b)| lsn > *b) {
+            best = Some((entry.path(), lsn));
+        }
+    }
+    Ok(best)
+}
+
+/// Remove snapshots (and stray temp files) older than `keep_lsn`.
+pub fn prune_older(dir: &Path, keep_lsn: u64) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let stale = name
+            .strip_prefix("snapshot-")
+            .and_then(|s| s.strip_suffix(".jsonl"))
+            .and_then(|s| s.parse::<u64>().ok())
+            .is_some_and(|lsn| lsn < keep_lsn)
+            || name.ends_with(".tmp");
+        if stale {
+            fs::remove_file(entry.path())?;
+        }
+    }
+    Ok(())
+}
+
+/// Load a snapshot back into state parts. Restore order inside the file
+/// matches write order, so the per-structure `restore_*` methods see
+/// ids arrive densely.
+pub fn read_snapshot(path: &Path) -> io::Result<(GlobalShard, Vec<ProjectShard>)> {
+    let mut global = GlobalShard {
+        users: crate::user::UserRegistry::new(),
+        catalogs: crate::catalog::Catalogs::new(),
+    };
+    let mut shards: Vec<ProjectShard> = Vec::new();
+    let mut ended = false;
+
+    for text in BufReader::new(File::open(path)?).lines() {
+        let text = text?;
+        if text.is_empty() {
+            continue;
+        }
+        let v: Value = serde_json::from_str(&text)
+            .map_err(|e| corrupt(format!("bad line: {e}")))?;
+        let num = |k: &str| {
+            v[k].as_i64()
+                .map(|x| x as u64)
+                .ok_or_else(|| corrupt(format!("missing {k}")))
+        };
+        let text_field = |k: &str| {
+            v[k].as_str()
+                .map(str::to_string)
+                .ok_or_else(|| corrupt(format!("missing {k}")))
+        };
+        match v["t"].as_str().ok_or_else(|| corrupt("untagged line"))? {
+            "meta" => {}
+            "user" => {
+                global
+                    .users
+                    .restore_user(
+                        UserId(num("id")?),
+                        &text_field("nickname")?,
+                        &text_field("email")?,
+                    )
+                    .map_err(corrupt)?;
+            }
+            "key" => {
+                // Counter comes as its own line; 0 here, maxed later.
+                global
+                    .users
+                    .restore_key(ContributorKey(text_field("key")?), UserId(num("user")?), 0);
+            }
+            "key_counter" => {
+                global.users.restore_key_counter(num("value")?);
+            }
+            "dbms" => {
+                let entry = crate::catalog::DbmsEntry::from_value(&v["entry"]).map_err(corrupt)?;
+                global.catalogs.add_dbms(entry).map_err(|e| corrupt(e.to_string()))?;
+            }
+            "host" => {
+                let entry = crate::catalog::HostEntry::from_value(&v["entry"]).map_err(corrupt)?;
+                global.catalogs.add_host(entry).map_err(|e| corrupt(e.to_string()))?;
+            }
+            "project" => {
+                let id = ProjectId(num("id")?);
+                if id.0 as usize != shards.len() + 1 {
+                    return Err(corrupt(format!("project #{} out of order", id.0)));
+                }
+                let mut p = Project::new(
+                    id,
+                    text_field("title")?,
+                    text_field("synopsis")?,
+                    UserId(num("owner")?),
+                    crate::catalog::Visibility::from_value(&v["visibility"]).map_err(corrupt)?,
+                );
+                for u in v["contributors"].as_array().ok_or_else(|| corrupt("missing contributors"))? {
+                    p.contributors.insert(UserId(
+                        u.as_i64().ok_or_else(|| corrupt("bad contributor"))? as u64,
+                    ));
+                }
+                for c in v["comments"].as_array().ok_or_else(|| corrupt("missing comments"))? {
+                    p.comments.push(Comment {
+                        author: UserId(c["author"].as_i64().ok_or_else(|| corrupt("bad author"))? as u64),
+                        text: c["text"].as_str().ok_or_else(|| corrupt("bad comment"))?.to_string(),
+                    });
+                }
+                for l in v["dbms_labels"].as_array().ok_or_else(|| corrupt("missing dbms_labels"))? {
+                    p.dbms_labels.push(l.as_str().ok_or_else(|| corrupt("bad label"))?.to_string());
+                }
+                for h in v["hosts"].as_array().ok_or_else(|| corrupt("missing hosts"))? {
+                    p.hosts.push(h.as_str().ok_or_else(|| corrupt("bad host"))?.to_string());
+                }
+                p.taken_down = v["taken_down"].as_bool().unwrap_or(false);
+                shards.push(ProjectShard::new(p));
+            }
+            "experiment" => {
+                let shard = shard_mut(&mut shards, ProjectId(num("project")?))?;
+                let grammar = Grammar::parse(&text_field("grammar")?)
+                    .map_err(|e| corrupt(format!("grammar: {e}")))?;
+                shard
+                    .project
+                    .restore_experiment(
+                        ExperimentId(num("id")?),
+                        &text_field("title")?,
+                        &text_field("baseline_sql")?,
+                        grammar,
+                        num("template_cap")? as usize,
+                        num("pool_cap")? as usize,
+                        v["dialect"].as_str().map(str::to_string),
+                    )
+                    .map_err(|e| corrupt(e.to_string()))?;
+            }
+            "pool_entry" => {
+                let shard = shard_mut(&mut shards, ProjectId(num("project")?))?;
+                let exp = ExperimentId(num("experiment")?);
+                let entry = PoolEntry::from_value(&v["entry"]).map_err(corrupt)?;
+                shard
+                    .project
+                    .experiment_mut(exp)
+                    .map_err(|e| corrupt(e.to_string()))?
+                    .pool
+                    .restore_entry(entry)
+                    .map_err(corrupt)?;
+            }
+            "task" => {
+                let task = Task::from_value(&v["task"]).map_err(corrupt)?;
+                let shard = shard_mut(&mut shards, task.project)?;
+                shard.queue.restore_task(task).map_err(corrupt)?;
+            }
+            "result" => {
+                let record = ResultRecord::from_value(&v["record"]).map_err(corrupt)?;
+                let shard = shard_mut(&mut shards, ProjectId(record.project))?;
+                shard.results.push(record);
+            }
+            "end" => {
+                ended = true;
+            }
+            other => return Err(corrupt(format!("unknown tag {other:?}"))),
+        }
+    }
+    if !ended {
+        return Err(corrupt("missing end marker (truncated snapshot)"));
+    }
+    Ok((global, shards))
+}
+
+fn shard_mut(shards: &mut [ProjectShard], id: ProjectId) -> io::Result<&mut ProjectShard> {
+    if id.0 == 0 {
+        return Err(corrupt("project id 0"));
+    }
+    shards
+        .get_mut((id.0 - 1) as usize)
+        .ok_or_else(|| corrupt(format!("item for unknown project #{}", id.0)))
+}
+
+/// A cheap whole-state integrity fingerprint, used by tests to compare
+/// a recovered state against the original.
+pub fn state_fingerprint(global: &GlobalShard, shards: &[&ProjectShard]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for u in global.users.users() {
+        h ^= fnv64(u.nickname.as_bytes()).wrapping_add(u.id.0);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    for shard in shards {
+        for task in shard.queue.tasks() {
+            h ^= fnv64(serde_json::to_string(task).unwrap_or_default().as_bytes());
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        for record in shard.results.all() {
+            h ^= fnv64(serde_json::to_string(record).unwrap_or_default().as_bytes());
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{Catalogs, Visibility};
+    use crate::user::UserRegistry;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "sqalpel-snap-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn populated() -> (GlobalShard, Vec<ProjectShard>) {
+        let mut users = UserRegistry::new();
+        let owner = users.register("mlk", "mlk@cwi.nl").unwrap();
+        let worker = users.register("pk", "pk@cwi.nl").unwrap();
+        let key = users.issue_key(worker).unwrap();
+
+        let mut project = Project::new(
+            ProjectId(1),
+            "nation-study",
+            "TPC-H nation walk",
+            owner,
+            Visibility::Public,
+        );
+        project.invite(owner, worker).unwrap();
+        project.dbms_labels.push("rowstore-2.0".into());
+        project.hosts.push("bench-server".into());
+        project
+            .add_experiment(
+                owner,
+                "nation",
+                "select count(*) from nation where n_name = 'BRAZIL'",
+                None,
+                1000,
+                100,
+            )
+            .unwrap();
+        let exp = &mut project.experiments[0];
+        exp.pool.seed_baseline().unwrap();
+        let mut rng = sqalpel_grammar::seeded_rng(42);
+        exp.pool.add_random(4, &mut rng).unwrap();
+
+        let mut shard = ProjectShard::new(project);
+        for entry in shard.project.experiments[0].pool.entries().to_vec() {
+            for dbms in ["rowstore-2.0", "colstore-5.1"] {
+                shard
+                    .queue
+                    .enqueue(
+                        ProjectId(1),
+                        ExperimentId(0),
+                        entry.id,
+                        entry.sql.clone(),
+                        dbms,
+                        "bench-server",
+                    )
+                    .unwrap();
+            }
+        }
+        let task = shard
+            .queue
+            .checkout(&key, "rowstore-2.0", "bench-server")
+            .unwrap();
+        shard.queue.complete(task.id, &key, None).unwrap();
+        shard.queue.checkout(&key, "colstore-5.1", "bench-server").unwrap();
+        (
+            GlobalShard {
+                users,
+                catalogs: Catalogs::bootstrap(),
+            },
+            vec![shard],
+        )
+    }
+
+    #[test]
+    fn snapshot_round_trips_full_state() {
+        let dir = tmp_dir("roundtrip");
+        let (global, shards) = populated();
+        let refs: Vec<&ProjectShard> = shards.iter().collect();
+        let path = write_snapshot(&dir, 7, &global, &refs).unwrap();
+        assert_eq!(latest_snapshot(&dir).unwrap().unwrap(), (path.clone(), 7));
+
+        let (g2, s2) = read_snapshot(&path).unwrap();
+        assert_eq!(g2.users.len(), global.users.len());
+        assert_eq!(g2.users.key_counter(), global.users.key_counter());
+        assert_eq!(
+            g2.catalogs.dbms_entries().len(),
+            global.catalogs.dbms_entries().len()
+        );
+        assert_eq!(s2.len(), 1);
+        let (a, b) = (&shards[0], &s2[0]);
+        assert_eq!(b.project.title, a.project.title);
+        assert_eq!(b.project.contributors, a.project.contributors);
+        assert_eq!(
+            b.project.experiments[0].pool.len(),
+            a.project.experiments[0].pool.len()
+        );
+        assert_eq!(b.queue.summary(), a.queue.summary());
+        assert_eq!(b.queue.id_base(), a.queue.id_base());
+        assert_eq!(b.results.len(), a.results.len());
+        assert_eq!(
+            state_fingerprint(&g2, &s2.iter().collect::<Vec<_>>()),
+            state_fingerprint(&global, &refs)
+        );
+
+        // A newer snapshot wins; pruning removes the older one.
+        let path2 = write_snapshot(&dir, 9, &global, &refs).unwrap();
+        assert_eq!(latest_snapshot(&dir).unwrap().unwrap().1, 9);
+        prune_older(&dir, 9).unwrap();
+        assert!(!path.exists());
+        assert!(path2.exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncated_snapshot_is_rejected() {
+        let dir = tmp_dir("truncated");
+        let (global, shards) = populated();
+        let refs: Vec<&ProjectShard> = shards.iter().collect();
+        let path = write_snapshot(&dir, 1, &global, &refs).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        // Drop the end marker.
+        let cut = text.rfind("{\"").unwrap();
+        std::fs::write(&path, &text[..cut]).unwrap();
+        let err = read_snapshot(&path).unwrap_err();
+        assert!(err.to_string().contains("end marker"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_dir_has_no_snapshot() {
+        let dir = tmp_dir("empty");
+        assert!(latest_snapshot(&dir).unwrap().is_none());
+        assert!(latest_snapshot(Path::new("/nonexistent-state-dir"))
+            .unwrap()
+            .is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -30,6 +30,10 @@ pub enum PlatformError {
     /// The wire transport failed after exhausting retries (connect
     /// refused, timeout, malformed response). Never raised in-process.
     Transport(String),
+    /// Admission control rejected the request: the caller is over a
+    /// per-user in-flight bound or a per-project queue quota. Retry
+    /// after backing off; nothing was handed out or enqueued.
+    Throttled(String),
 }
 
 impl PlatformError {
@@ -48,6 +52,7 @@ impl PlatformError {
             PlatformError::PoolFull(_) => "pool_full",
             PlatformError::Publication(_) => "publication",
             PlatformError::Transport(_) => "transport",
+            PlatformError::Throttled(_) => "throttled",
         }
     }
 
@@ -79,6 +84,7 @@ impl PlatformError {
             "pool_full" => PlatformError::PoolFull(num()? as usize),
             "publication" => PlatformError::Publication(text()?),
             "transport" => PlatformError::Transport(text()?),
+            "throttled" => PlatformError::Throttled(text()?),
             other => return Err(format!("unknown error code {other:?}")),
         })
     }
@@ -91,7 +97,8 @@ impl Serialize for PlatformError {
             | PlatformError::AccessDenied(m)
             | PlatformError::Grammar(m)
             | PlatformError::Publication(m)
-            | PlatformError::Transport(m) => m.clone().into(),
+            | PlatformError::Transport(m)
+            | PlatformError::Throttled(m) => m.clone().into(),
             PlatformError::UnknownUser(id)
             | PlatformError::UnknownProject(id)
             | PlatformError::UnknownExperiment(id)
@@ -128,6 +135,7 @@ impl fmt::Display for PlatformError {
             PlatformError::PoolFull(cap) => write!(f, "query pool cap ({cap}) reached"),
             PlatformError::Publication(m) => write!(f, "publication rule violated: {m}"),
             PlatformError::Transport(m) => write!(f, "transport failure: {m}"),
+            PlatformError::Throttled(m) => write!(f, "throttled: {m}"),
         }
     }
 }
@@ -188,6 +196,7 @@ mod tests {
             ("pool_full", PlatformError::PoolFull(1000)),
             ("publication", PlatformError::Publication("taken down".into())),
             ("transport", PlatformError::Transport("connection refused".into())),
+            ("throttled", PlatformError::Throttled("in-flight bound".into())),
         ];
         let mut seen = std::collections::HashSet::new();
         for (code, err) in table {

@@ -25,10 +25,12 @@
 //! assert!(seeded >= 1);
 //! ```
 
+pub mod admission;
 pub mod analytics;
 pub mod bootstrap;
 pub mod catalog;
 pub mod driver;
+pub mod durability;
 pub mod error;
 pub mod metrics;
 pub mod pool;
@@ -37,11 +39,14 @@ pub mod queue;
 pub mod reports;
 pub mod results;
 pub mod server;
+pub mod shard;
 pub mod user;
 pub mod wire;
 pub mod workers;
 
+pub use admission::{AdmissionConfig, AdmissionControl};
 pub use bootstrap::{bootstrap_server, Bootstrap};
+pub use durability::{recover, Durability, RecoveredState, WalRecord};
 pub use catalog::{Catalogs, DbmsEntry, HostEntry, Visibility};
 pub use driver::{
     Connector, DriverConfig, EngineConnector, ExperimentDriver, MockConnector, OperatorProfile,
@@ -54,9 +59,10 @@ pub use project::{Experiment, ExperimentId, Project, ProjectId, Role};
 pub use queue::{QueueSummary, Task, TaskId, TaskQueue, TaskState};
 pub use results::{LoadAvg, ResultRecord, ResultStore};
 pub use server::{Platform, SqalpelServer};
+pub use shard::{GlobalShard, ProjectShard, ShardedState};
 pub use user::{ContributorKey, User, UserId, UserRegistry};
 pub use wire::{
     CacheStatus, ErrorCode, ExecBackend, ExecOutcome, Proto, RetryPolicy, V2Config, V2Server,
     WireClient, WireClientBuilder, WireConfig, WireServer,
 };
-pub use workers::{run_worker_pool, PoolReport, Worker, WorkerReport};
+pub use workers::{run_worker_pool, run_worker_pool_with, PollPolicy, PoolReport, Worker, WorkerReport};

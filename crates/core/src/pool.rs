@@ -20,6 +20,7 @@
 use crate::error::{PlatformError, PlatformResult};
 use rand::rngs::StdRng;
 use rand::RngExt;
+use serde::{Deserialize, Serialize, Value};
 use sqalpel_grammar::{instantiate, Choice, Grammar, Template};
 use std::collections::{BTreeSet, HashMap, HashSet};
 use std::sync::Arc;
@@ -92,6 +93,115 @@ pub struct PoolEntry {
     /// Canonical logical-plan fingerprint, when the pool has a
     /// [`Fingerprinter`] and the query plans on the target system.
     pub fingerprint: Option<u64>,
+}
+
+impl Serialize for Origin {
+    fn to_value(&self) -> Value {
+        let mut m = serde_json::Map::new();
+        match self {
+            Origin::Baseline => {
+                m.insert("kind".into(), "baseline".into());
+            }
+            Origin::Random => {
+                m.insert("kind".into(), "random".into());
+            }
+            Origin::Morph { strategy, parent } => {
+                m.insert("kind".into(), "morph".into());
+                m.insert("strategy".into(), strategy.name().into());
+                m.insert("parent".into(), parent.0.into());
+            }
+        }
+        Value::Object(m)
+    }
+}
+
+impl Deserialize for Origin {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        match v["kind"].as_str().ok_or("origin: missing kind")? {
+            "baseline" => Ok(Origin::Baseline),
+            "random" => Ok(Origin::Random),
+            "morph" => Ok(Origin::Morph {
+                strategy: Strategy::from_name(
+                    v["strategy"].as_str().ok_or("origin: missing strategy")?,
+                )?,
+                parent: QueryId(
+                    v["parent"].as_i64().ok_or("origin: missing parent")? as u64
+                ),
+            }),
+            other => Err(format!("unknown origin {other:?}")),
+        }
+    }
+}
+
+impl Serialize for PoolEntry {
+    fn to_value(&self) -> Value {
+        let mut m = serde_json::Map::new();
+        m.insert("id".into(), self.id.0.into());
+        m.insert("sql".into(), self.sql.clone().into());
+        m.insert("template".into(), self.template.into());
+        let choice: serde_json::Map = self
+            .choice
+            .iter()
+            .map(|(class, idxs)| {
+                let idxs: Vec<Value> = idxs.iter().map(|&i| Value::from(i)).collect();
+                (class.clone(), Value::Array(idxs))
+            })
+            .collect();
+        m.insert("choice".into(), Value::Object(choice));
+        m.insert("origin".into(), self.origin.to_value());
+        m.insert("step".into(), self.step.into());
+        // Hex text keeps the full u64 out of i64 number territory, same
+        // trick as the results CSV.
+        if let Some(fp) = self.fingerprint {
+            m.insert("fingerprint".into(), format!("{fp:016x}").into());
+        }
+        Value::Object(m)
+    }
+}
+
+impl Deserialize for PoolEntry {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        let num =
+            |k: &str| v[k].as_i64().map(|x| x as u64).ok_or(format!("pool entry: missing {k}"));
+        let mut choice = Choice::new();
+        match &v["choice"] {
+            Value::Object(m) => {
+                for (class, idxs) in m.iter() {
+                    let idxs = idxs
+                        .as_array()
+                        .ok_or("pool entry: choice class not an array")?
+                        .iter()
+                        .map(|i| {
+                            i.as_i64()
+                                .map(|x| x as usize)
+                                .ok_or("pool entry: bad literal index".to_string())
+                        })
+                        .collect::<Result<Vec<usize>, String>>()?;
+                    choice.insert(class.clone(), idxs);
+                }
+            }
+            _ => return Err("pool entry: missing choice".into()),
+        }
+        let fingerprint = match v["fingerprint"].as_str() {
+            None => None,
+            Some(hex) => Some(
+                u64::from_str_radix(hex, 16)
+                    .map_err(|e| format!("pool entry: bad fingerprint: {e}"))?,
+            ),
+        };
+        Ok(PoolEntry {
+            id: QueryId(num("id")?),
+            sql: v["sql"]
+                .as_str()
+                .ok_or("pool entry: missing sql")?
+                .to_string(),
+            template: num("template")? as usize,
+            choice,
+            origin: Origin::from_value(&v["origin"])?,
+            step: num("step")? as usize,
+            fingerprint,
+        })
+    }
 }
 
 impl PoolEntry {
@@ -174,6 +284,9 @@ pub struct QueryPool {
     entries: Vec<PoolEntry>,
     by_sql: HashMap<String, QueryId>,
     cap: usize,
+    /// The template-enumeration cap this pool was built with — kept so a
+    /// snapshot can rebuild the identical template set from the grammar.
+    template_cap: usize,
     pub guidance: Guidance,
     step: usize,
     /// SQL dialect used when instantiating queries (grammar dialect
@@ -201,6 +314,7 @@ impl QueryPool {
             entries: Vec::new(),
             by_sql: HashMap::new(),
             cap: pool_cap,
+            template_cap,
             guidance: Guidance::default(),
             step: 0,
             dialect: None,
@@ -235,6 +349,42 @@ impl QueryPool {
 
     pub fn entries(&self) -> &[PoolEntry] {
         &self.entries
+    }
+
+    pub fn template_cap(&self) -> usize {
+        self.template_cap
+    }
+
+    pub fn pool_cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Re-insert an entry during recovery, bypassing instantiation: the
+    /// stored SQL is authoritative, and the (non-serializable)
+    /// fingerprinter need not be attached for the dedup sets to rebuild.
+    pub fn restore_entry(&mut self, entry: PoolEntry) -> Result<(), String> {
+        if entry.id.0 as usize != self.entries.len() {
+            return Err(format!(
+                "pool entry #{} restored out of order (expected #{})",
+                entry.id.0,
+                self.entries.len()
+            ));
+        }
+        if entry.template >= self.templates.len() {
+            return Err(format!(
+                "pool entry #{} references template {} of {}",
+                entry.id.0,
+                entry.template,
+                self.templates.len()
+            ));
+        }
+        self.by_sql.insert(entry.sql.clone(), entry.id);
+        if let Some(fp) = entry.fingerprint {
+            self.seen_fingerprints.insert(fp);
+        }
+        self.step = self.step.max(entry.step + 1);
+        self.entries.push(entry);
+        Ok(())
     }
 
     pub fn entry(&self, id: QueryId) -> PlatformResult<&PoolEntry> {
@@ -722,6 +872,47 @@ mod tests {
         let added = p.morph(Strategy::Alter, &mut rng).unwrap();
         assert!(added.is_none(), "plan-equivalent mutant must be dropped");
         assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn entries_round_trip_and_restore_rebuilds_dedup() {
+        let mut p = pool();
+        p.seed_baseline().unwrap();
+        let mut rng = seeded_rng(23);
+        p.add_random(5, &mut rng).unwrap();
+        for _ in 0..10 {
+            p.morph_auto(&mut rng).unwrap();
+        }
+        let g = Grammar::parse(sqalpel_grammar::FIG1_GRAMMAR).unwrap();
+        let mut back = QueryPool::new(g, p.template_cap(), p.pool_cap()).unwrap();
+        for e in p.entries() {
+            let text = serde_json::to_string(e).unwrap();
+            let e2: PoolEntry = serde_json::from_str(&text).unwrap();
+            assert_eq!(e2.id, e.id);
+            assert_eq!(e2.sql, e.sql);
+            assert_eq!(e2.choice, e.choice);
+            assert_eq!(e2.origin, e.origin);
+            back.restore_entry(e2).unwrap();
+        }
+        assert_eq!(back.len(), p.len());
+        // The rebuilt dedup set rejects re-inserting a known query: the
+        // next morph walk continues instead of duplicating.
+        let before = back.len();
+        let mut rng2 = seeded_rng(29);
+        for _ in 0..5 {
+            back.morph_auto(&mut rng2).unwrap();
+        }
+        let mut sqls: Vec<&str> = back.entries().iter().map(|e| e.sql.as_str()).collect();
+        let n = sqls.len();
+        sqls.sort_unstable();
+        sqls.dedup();
+        assert_eq!(sqls.len(), n);
+        assert!(back.len() >= before);
+        // Out-of-order restore is rejected.
+        let mut empty =
+            QueryPool::new(Grammar::parse(sqalpel_grammar::FIG1_GRAMMAR).unwrap(), 10_000, 1000)
+                .unwrap();
+        assert!(empty.restore_entry(p.entries()[1].clone()).is_err());
     }
 
     #[test]

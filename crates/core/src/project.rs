@@ -14,6 +14,7 @@ use crate::pool::QueryPool;
 use crate::user::UserId;
 use serde::{Deserialize, Serialize, Value};
 use sqalpel_grammar::Grammar;
+use std::collections::BTreeSet;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ProjectId(pub u64);
@@ -86,7 +87,9 @@ pub struct Project {
     pub synopsis: String,
     pub owner: UserId,
     pub visibility: Visibility,
-    pub contributors: Vec<UserId>,
+    /// Invited contributors. A set, not a list: `role_of` sits on the
+    /// task hand-out hot path and must stay cheap with 10k contributors.
+    pub contributors: BTreeSet<UserId>,
     pub comments: Vec<Comment>,
     pub experiments: Vec<Experiment>,
     /// DBMS labels this project measures (checked against the catalogs).
@@ -113,7 +116,7 @@ impl Project {
             synopsis: synopsis.into(),
             owner,
             visibility,
-            contributors: Vec::new(),
+            contributors: BTreeSet::new(),
             comments: Vec::new(),
             experiments: Vec::new(),
             dbms_labels: Vec::new(),
@@ -152,8 +155,8 @@ impl Project {
     /// contributors per project").
     pub fn invite(&mut self, inviter: UserId, user: UserId) -> PlatformResult<()> {
         self.require(inviter, Role::Owner)?;
-        if !self.contributors.contains(&user) && user != self.owner {
-            self.contributors.push(user);
+        if user != self.owner {
+            self.contributors.insert(user);
         }
         Ok(())
     }
@@ -184,6 +187,32 @@ impl Project {
             pool,
         });
         Ok(id)
+    }
+
+    /// Re-create an experiment during recovery: no role check, explicit
+    /// id, grammar already parsed from its logged source. The pool comes
+    /// back empty — entries are replayed separately.
+    #[allow(clippy::too_many_arguments)] // mirrors the WAL record's field set
+    pub fn restore_experiment(
+        &mut self,
+        id: ExperimentId,
+        title: &str,
+        baseline_sql: &str,
+        grammar: Grammar,
+        template_cap: usize,
+        pool_cap: usize,
+        dialect: Option<String>,
+    ) -> PlatformResult<()> {
+        let mut pool = QueryPool::new(grammar, template_cap, pool_cap)?;
+        pool.set_dialect(dialect);
+        self.next_experiment = self.next_experiment.max(id.0 + 1);
+        self.experiments.push(Experiment {
+            id,
+            title: title.to_string(),
+            baseline_sql: baseline_sql.to_string(),
+            pool,
+        });
+        Ok(())
     }
 
     pub fn experiment(&self, id: ExperimentId) -> PlatformResult<&Experiment> {

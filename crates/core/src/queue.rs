@@ -193,6 +193,10 @@ impl Deserialize for QueueSummary {
 #[derive(Debug, Default)]
 pub struct TaskQueue {
     tasks: Vec<Task>,
+    /// First task id this queue hands out. Per-project shards carve the
+    /// id space by project (`project << 32`), so a task id alone names
+    /// its owning shard; a standalone queue uses base 0.
+    id_base: u64,
     /// Dedup: each (experiment, query, dbms, host) is queued once.
     seen: HashSet<(ProjectId, ExperimentId, QueryId, String, String)>,
     /// Hand-out index: queued task ids per (dbms_label, host), FIFO.
@@ -207,6 +211,24 @@ pub struct TaskQueue {
 impl TaskQueue {
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A queue whose ids start at `base` instead of 0.
+    pub fn with_base(base: u64) -> Self {
+        TaskQueue {
+            id_base: base,
+            ..Self::default()
+        }
+    }
+
+    /// Slot of `id` in this queue, or `UnknownTask` if the id is outside
+    /// the queue's allocated range.
+    fn slot(&self, id: TaskId) -> PlatformResult<usize> {
+        let idx = id.0.wrapping_sub(self.id_base) as usize;
+        if id.0 < self.id_base || idx >= self.tasks.len() {
+            return Err(PlatformError::UnknownTask(id.0));
+        }
+        Ok(idx)
     }
 
     /// Enqueue a query for one DBMS + host combination. Returns `None`
@@ -227,7 +249,7 @@ impl TaskQueue {
         if !self.seen.insert(key) {
             return None;
         }
-        let id = TaskId(self.tasks.len() as u64);
+        let id = TaskId(self.id_base + self.tasks.len() as u64);
         self.ready
             .entry((dbms_label.clone(), host.clone()))
             .or_default()
@@ -269,7 +291,8 @@ impl TaskQueue {
         host: &str,
     ) -> Option<Task> {
         let id = self.pop_ready(dbms_label, host)?;
-        Some(self.mark_running(id.0 as usize, contributor))
+        let idx = self.slot(id).expect("ready index holds only own ids");
+        Some(self.mark_running(idx, contributor))
     }
 
     /// Pop the oldest still-queued id from the target's ready deque,
@@ -278,8 +301,9 @@ impl TaskQueue {
         let bucket = self
             .ready
             .get_mut(&(dbms_label.to_string(), host.to_string()))?;
+        let base = self.id_base;
         while let Some(id) = bucket.pop_front() {
-            if self.tasks[id.0 as usize].state == TaskState::Queued {
+            if self.tasks[(id.0 - base) as usize].state == TaskState::Queued {
                 return Some(id);
             }
         }
@@ -294,7 +318,7 @@ impl TaskQueue {
             Some(bucket) => bucket
                 .iter()
                 .copied()
-                .filter(|id| self.tasks[id.0 as usize].state == TaskState::Queued)
+                .filter(|id| self.tasks[(id.0 - self.id_base) as usize].state == TaskState::Queued)
                 .collect(),
             None => Vec::new(),
         }
@@ -310,7 +334,7 @@ impl TaskQueue {
         host: &str,
     ) -> Option<&Task> {
         self.running.get(contributor)?.iter().find_map(|id| {
-            let t = &self.tasks[id.0 as usize];
+            let t = &self.tasks[(id.0 - self.id_base) as usize];
             let held = matches!(&t.state, TaskState::Running { contributor: c } if c == contributor);
             (held && t.dbms_label == dbms_label && t.host == host).then_some(t)
         })
@@ -319,23 +343,19 @@ impl TaskQueue {
     /// Claim a specific queued task for a contributor (used by the server,
     /// which applies project-role filtering before choosing the task).
     pub fn claim(&mut self, id: TaskId, contributor: &ContributorKey) -> PlatformResult<Task> {
-        let task = self
-            .tasks
-            .get(id.0 as usize)
-            .ok_or(PlatformError::UnknownTask(id.0))?;
-        if task.state != TaskState::Queued {
+        let idx = self.slot(id)?;
+        if self.tasks[idx].state != TaskState::Queued {
             return Err(PlatformError::Invalid(format!(
                 "task #{} is not queued",
                 id.0
             )));
         }
-        Ok(self.mark_running(id.0 as usize, contributor))
+        Ok(self.mark_running(idx, contributor))
     }
 
     pub fn task(&self, id: TaskId) -> PlatformResult<&Task> {
-        self.tasks
-            .get(id.0 as usize)
-            .ok_or(PlatformError::UnknownTask(id.0))
+        let idx = self.slot(id)?;
+        Ok(&self.tasks[idx])
     }
 
     fn drop_running(&mut self, id: TaskId, contributor: &ContributorKey) {
@@ -355,10 +375,8 @@ impl TaskQueue {
         contributor: &ContributorKey,
         error: Option<String>,
     ) -> PlatformResult<()> {
-        let task = self
-            .tasks
-            .get_mut(id.0 as usize)
-            .ok_or(PlatformError::UnknownTask(id.0))?;
+        let idx = self.slot(id)?;
+        let task = &mut self.tasks[idx];
         match &task.state {
             TaskState::Running { contributor: c } if c == contributor => {
                 task.state = match error {
@@ -406,10 +424,8 @@ impl TaskQueue {
 
     /// Requeue a timed-out or failed task (moderator action).
     pub fn requeue(&mut self, id: TaskId) -> PlatformResult<()> {
-        let task = self
-            .tasks
-            .get_mut(id.0 as usize)
-            .ok_or(PlatformError::UnknownTask(id.0))?;
+        let idx = self.slot(id)?;
+        let task = &mut self.tasks[idx];
         match task.state {
             TaskState::TimedOut | TaskState::Failed(_) => {
                 task.state = TaskState::Queued;
@@ -427,6 +443,63 @@ impl TaskQueue {
 
     pub fn tasks(&self) -> &[Task] {
         &self.tasks
+    }
+
+    pub fn id_base(&self) -> u64 {
+        self.id_base
+    }
+
+    /// Re-insert a task during recovery. Tasks must arrive in id order
+    /// (snapshot/WAL order). A `Running` task restarts its hand-out clock
+    /// — the reaper measures from recovery, not from the original claim,
+    /// which `started` being server-side state makes unavoidable.
+    pub fn restore_task(&mut self, mut task: Task) -> Result<(), String> {
+        let expect = self.id_base + self.tasks.len() as u64;
+        if task.id.0 != expect {
+            return Err(format!(
+                "task #{} restored out of order (expected #{expect})",
+                task.id.0
+            ));
+        }
+        self.seen.insert((
+            task.project,
+            task.experiment,
+            task.query,
+            task.dbms_label.clone(),
+            task.host.clone(),
+        ));
+        match &task.state {
+            TaskState::Queued => {
+                self.ready
+                    .entry((task.dbms_label.clone(), task.host.clone()))
+                    .or_default()
+                    .push_back(task.id);
+                task.started = None;
+            }
+            TaskState::Running { contributor } => {
+                self.running
+                    .entry(contributor.clone())
+                    .or_default()
+                    .push(task.id);
+                task.started = Some(Instant::now());
+            }
+            _ => task.started = None,
+        }
+        self.tasks.push(task);
+        Ok(())
+    }
+
+    /// Replay of a reap record: force a running task to `TimedOut`
+    /// without consulting the (not replayable) hand-out clock.
+    pub fn restore_timeout(&mut self, id: TaskId) -> PlatformResult<()> {
+        let idx = self.slot(id)?;
+        let task = &mut self.tasks[idx];
+        if let TaskState::Running { contributor } = task.state.clone() {
+            task.state = TaskState::TimedOut;
+            task.started = None;
+            self.drop_running(id, &contributor);
+        }
+        Ok(())
     }
 
     /// Count of tasks per state.
@@ -609,6 +682,60 @@ mod tests {
         q.checkout(&key(1), "rowstore-2.0", "bench-server").unwrap();
         assert!(q.reap_stuck(Duration::from_secs(3600)).is_empty());
         assert_eq!(q.summary().running, 1);
+    }
+
+    #[test]
+    fn based_queue_allocates_offset_ids_and_rejects_foreign_ids() {
+        let base = 7u64 << 32;
+        let mut q = TaskQueue::with_base(base);
+        let id = q
+            .enqueue(
+                ProjectId(7),
+                ExperimentId(0),
+                QueryId(0),
+                "select 1 from t",
+                "rowstore-2.0",
+                "bench-server",
+            )
+            .unwrap();
+        assert_eq!(id, TaskId(base));
+        let t = q.checkout(&key(1), "rowstore-2.0", "bench-server").unwrap();
+        assert_eq!(t.id, id);
+        // Ids below the base or past the end are unknown, not a panic.
+        assert!(matches!(q.task(TaskId(0)), Err(PlatformError::UnknownTask(0))));
+        assert!(q.task(TaskId(base + 1)).is_err());
+        assert!(q.complete(TaskId(3), &key(1), None).is_err());
+        q.complete(id, &key(1), None).unwrap();
+        assert_eq!(q.task(id).unwrap().state, TaskState::Done);
+    }
+
+    #[test]
+    fn restore_rebuilds_indexes_and_orders() {
+        let mut q = queue_with_two();
+        let t = q.checkout(&key(1), "rowstore-2.0", "bench-server").unwrap();
+        let mut rebuilt = TaskQueue::new();
+        for task in q.tasks() {
+            rebuilt.restore_task(task.clone()).unwrap();
+        }
+        // The running hold and the ready index both survive the rebuild.
+        assert_eq!(
+            rebuilt
+                .running_claim(&key(1), "rowstore-2.0", "bench-server")
+                .unwrap()
+                .id,
+            t.id
+        );
+        assert_eq!(rebuilt.queued_for("rowstore-2.0", "bench-server"), vec![TaskId(1)]);
+        assert_eq!(rebuilt.summary(), q.summary());
+        // Out-of-order restore is a corrupt snapshot, reported typed.
+        let mut bad = TaskQueue::new();
+        assert!(bad.restore_task(q.task(TaskId(1)).unwrap().clone()).is_err());
+        // Reap replay forces TimedOut without a clock.
+        rebuilt.restore_timeout(t.id).unwrap();
+        assert_eq!(rebuilt.task(t.id).unwrap().state, TaskState::TimedOut);
+        assert!(rebuilt
+            .running_claim(&key(1), "rowstore-2.0", "bench-server")
+            .is_none());
     }
 
     #[test]

@@ -5,20 +5,44 @@
 //! provides the same operations as the web endpoints: user administration,
 //! the catalogs, project/experiment management, pool extension, the task
 //! hand-out loop used by the experiment driver, result collection and
-//! moderation. State lives behind a [`parking_lot::RwLock`]; the server is
-//! `Send + Sync` and exercised concurrently in the integration tests.
+//! moderation.
+//!
+//! State is sharded per project ([`ShardedState`]): each project's queue,
+//! results and membership live behind their own lock, users and catalogs
+//! in a small global shard, so contributors working distinct projects
+//! never contend. Three orthogonal concerns wrap every mutation:
+//!
+//! * **Durability** — a server opened with [`SqalpelServer::open`] logs a
+//!   [`WalRecord`] for each mutation *before* the owning lock is
+//!   released, takes periodic snapshots, and recovers snapshot + WAL
+//!   tail on the next open. `new()` stays purely in-memory.
+//! * **Admission** — [`AdmissionControl`] bounds per-user in-flight
+//!   hand-outs and per-project queue depth; violations surface as
+//!   [`PlatformError::Throttled`].
+//! * **Fairness** — `request_task` sweeps shards round-robin from a
+//!   rotating cursor, so one project with a deep queue cannot starve the
+//!   hand-out of the others.
+//!
+//! Lock order everywhere: global shard → shard map → project shard →
+//! WAL. The admission mutex is leaf-level (never held across another
+//! acquisition).
 
-use crate::catalog::{Catalogs, DbmsEntry, HostEntry, Visibility};
+use crate::admission::{AdmissionConfig, AdmissionControl};
+use crate::catalog::{DbmsEntry, HostEntry, Visibility};
+use crate::driver::RunOutcome;
+use crate::durability::{Durability, WalRecord};
 use crate::error::{PlatformError, PlatformResult};
 use crate::metrics::MetricsRegistry;
-use crate::pool::{QueryId, Strategy};
+use crate::pool::{PoolEntry, QueryId, Strategy};
 use crate::project::{ExperimentId, Project, ProjectId, Role};
-use crate::queue::{QueueSummary, Task, TaskId, TaskQueue, TaskState};
+use crate::queue::{QueueSummary, Task, TaskId, TaskState};
 use crate::results::{record, ResultRecord, ResultStore};
-use crate::user::{ContributorKey, UserId, UserRegistry};
-use crate::driver::RunOutcome;
-use parking_lot::RwLock;
-use std::time::Duration;
+use crate::shard::{ProjectShard, ShardedState};
+use crate::user::{ContributorKey, UserId};
+use std::io;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
 
 /// The contribution surface of the platform — what a driver loop needs,
 /// abstracted over the transport. [`SqalpelServer`] implements it
@@ -54,18 +78,22 @@ pub trait Platform: Send + Sync {
     }
 }
 
-struct State {
-    users: UserRegistry,
-    catalogs: Catalogs,
-    projects: Vec<Project>,
-    queue: TaskQueue,
-    results: ResultStore,
-}
-
 /// The platform server.
 pub struct SqalpelServer {
-    state: RwLock<State>,
-    /// Sharded, so instrumentation never contends with the state lock.
+    state: ShardedState,
+    admission: AdmissionControl,
+    /// `Some` when opened on a state directory; `new()` servers are
+    /// purely in-memory.
+    durability: Option<Durability>,
+    /// Take a snapshot (and truncate the WAL) every this many logged
+    /// records; `None` leaves snapshots to explicit `snapshot_now` calls.
+    snapshot_every: Option<u64>,
+    ops_since_snapshot: AtomicU64,
+    snapshotting: AtomicBool,
+    /// Whether `open` found an empty state directory (callers bootstrap
+    /// demo data only then).
+    fresh: bool,
+    /// Sharded, so instrumentation never contends with the state locks.
     metrics: MetricsRegistry,
 }
 
@@ -76,18 +104,72 @@ impl Default for SqalpelServer {
 }
 
 impl SqalpelServer {
-    /// A server with the built-in catalogs loaded.
+    /// A purely in-memory server with the built-in catalogs loaded.
     pub fn new() -> Self {
+        Self::with_admission(AdmissionConfig::default())
+    }
+
+    /// An in-memory server with explicit admission bounds.
+    pub fn with_admission(config: AdmissionConfig) -> Self {
         SqalpelServer {
-            state: RwLock::new(State {
-                users: UserRegistry::new(),
-                catalogs: Catalogs::bootstrap(),
-                projects: Vec::new(),
-                queue: TaskQueue::new(),
-                results: ResultStore::new(),
-            }),
+            state: ShardedState::new(),
+            admission: AdmissionControl::new(config),
+            durability: None,
+            snapshot_every: None,
+            ops_since_snapshot: AtomicU64::new(0),
+            snapshotting: AtomicBool::new(false),
+            fresh: true,
             metrics: MetricsRegistry::new(),
         }
+    }
+
+    /// Open a durable server on a state directory: recover the latest
+    /// snapshot plus the WAL tail, then log every further mutation.
+    pub fn open(dir: &Path) -> io::Result<Self> {
+        Self::open_with(dir, AdmissionConfig::default(), None)
+    }
+
+    /// [`SqalpelServer::open`] with explicit admission bounds and an
+    /// automatic snapshot interval (in logged records).
+    pub fn open_with(
+        dir: &Path,
+        config: AdmissionConfig,
+        snapshot_every: Option<u64>,
+    ) -> io::Result<Self> {
+        let started = Instant::now();
+        let (durability, recovered) = Durability::open(dir)?;
+        let metrics = MetricsRegistry::new();
+        metrics.add("wal.replayed_records", recovered.replayed_records);
+        metrics.add("wal.recovery_nanos", started.elapsed().as_nanos() as u64);
+
+        // Rebuild in-flight admission state from the recovered queues:
+        // every Running task still counts against its holder's bound.
+        let admission = AdmissionControl::new(config);
+        for shard in &recovered.shards {
+            for task in shard.queue.tasks() {
+                if let TaskState::Running { contributor } = &task.state {
+                    if let Some(user) = recovered.global.users.resolve_key(contributor) {
+                        admission.restore(contributor, user, task.id);
+                    }
+                }
+            }
+        }
+        Ok(SqalpelServer {
+            fresh: recovered.fresh,
+            state: ShardedState::from_parts(recovered.global, recovered.shards),
+            admission,
+            durability: Some(durability),
+            snapshot_every,
+            ops_since_snapshot: AtomicU64::new(0),
+            snapshotting: AtomicBool::new(false),
+            metrics,
+        })
+    }
+
+    /// Whether `open` found an empty state directory (no snapshot, no
+    /// WAL) — callers seed demo data only on a fresh boot.
+    pub fn recovered_fresh(&self) -> bool {
+        self.fresh
     }
 
     /// The server's metrics registry (also served as `GET /v1/metrics`).
@@ -95,28 +177,121 @@ impl SqalpelServer {
         &self.metrics
     }
 
+    /// The admission controller (read-only handles for tests/tools).
+    pub fn admission(&self) -> &AdmissionControl {
+        &self.admission
+    }
+
+    // --------------------------------------------------------- durability
+
+    /// Append one record to the WAL (no-op on in-memory servers). Called
+    /// while holding the lock that guards the mutated state, so WAL
+    /// order equals mutation order per lock domain.
+    fn log(&self, record: &WalRecord) -> PlatformResult<()> {
+        let Some(d) = &self.durability else {
+            return Ok(());
+        };
+        let bytes = d
+            .log(record)
+            .map_err(|e| PlatformError::Invalid(format!("durability: {e}")))?;
+        self.metrics.incr("wal.records");
+        self.metrics.add("wal.bytes", bytes);
+        self.ops_since_snapshot.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Snapshot the full state and truncate the WAL behind it. Takes
+    /// read locks on the global shard and every project shard (in lock
+    /// order), which excludes all writers — the cut is consistent.
+    pub fn snapshot_now(&self) -> PlatformResult<u64> {
+        let d = self.durability.as_ref().ok_or_else(|| {
+            PlatformError::Invalid("server has no state directory".into())
+        })?;
+        let global = self.state.global.read();
+        let shards = self.state.all_shards();
+        let guards: Vec<_> = shards.iter().map(|s| s.read()).collect();
+        let refs: Vec<&ProjectShard> = guards.iter().map(|g| &**g).collect();
+        let lsn = d
+            .snapshot(&global, &refs)
+            .map_err(|e| PlatformError::Invalid(format!("durability: {e}")))?;
+        self.metrics.incr("wal.snapshots");
+        self.ops_since_snapshot.store(0, Ordering::Relaxed);
+        Ok(lsn)
+    }
+
+    /// Fsync the WAL (graceful shutdown; per-record appends only flush
+    /// to the OS).
+    pub fn flush_wal(&self) -> io::Result<()> {
+        match &self.durability {
+            Some(d) => d.sync(),
+            None => Ok(()),
+        }
+    }
+
+    /// Take the automatic snapshot if the interval has elapsed. Must be
+    /// called with **no** state locks held.
+    fn maybe_snapshot(&self) {
+        let Some(every) = self.snapshot_every else {
+            return;
+        };
+        if self.durability.is_none() || self.ops_since_snapshot.load(Ordering::Relaxed) < every {
+            return;
+        }
+        if self
+            .snapshotting
+            .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            return;
+        }
+        if let Err(e) = self.snapshot_now() {
+            self.metrics.incr("wal.snapshot_errors");
+            let _ = e;
+        }
+        self.snapshotting.store(false, Ordering::Release);
+    }
+
     // ------------------------------------------------------------- users
 
     pub fn register_user(&self, nickname: &str, email: &str) -> PlatformResult<UserId> {
-        self.state.write().users.register(nickname, email)
+        let mut g = self.state.global.write();
+        let id = g.users.register(nickname, email)?;
+        self.log(&WalRecord::UserRegistered {
+            id,
+            nickname: nickname.to_string(),
+            email: email.to_string(),
+        })?;
+        Ok(id)
     }
 
     pub fn issue_key(&self, user: UserId) -> PlatformResult<ContributorKey> {
-        self.state.write().users.issue_key(user)
+        let mut g = self.state.global.write();
+        let key = g.users.issue_key(user)?;
+        self.log(&WalRecord::KeyIssued {
+            user,
+            key: key.clone(),
+            counter: g.users.key_counter(),
+        })?;
+        Ok(key)
     }
 
     // ----------------------------------------------------------- catalogs
 
     pub fn add_dbms(&self, entry: DbmsEntry) -> PlatformResult<()> {
-        self.state.write().catalogs.add_dbms(entry)
+        let mut g = self.state.global.write();
+        g.catalogs.add_dbms(entry.clone())?;
+        self.log(&WalRecord::DbmsAdded { entry })
     }
 
     pub fn add_host(&self, entry: HostEntry) -> PlatformResult<()> {
-        self.state.write().catalogs.add_host(entry)
+        let mut g = self.state.global.write();
+        g.catalogs.add_host(entry.clone())?;
+        self.log(&WalRecord::HostAdded { entry })
     }
 
     pub fn dbms_labels(&self) -> Vec<String> {
         self.state
+            .global
             .read()
             .catalogs
             .dbms_entries()
@@ -134,37 +309,46 @@ impl SqalpelServer {
         synopsis: &str,
         visibility: Visibility,
     ) -> PlatformResult<ProjectId> {
-        let mut st = self.state.write();
-        st.users.get(owner)?;
-        let id = ProjectId(st.projects.len() as u64 + 1);
-        st.projects
-            .push(Project::new(id, title, synopsis, owner, visibility));
-        Ok(id)
+        self.state.global.read().users.get(owner)?;
+        // The log callback runs under the shard-map write lock, so
+        // project creations reach the WAL in id order.
+        self.state.add_project_with(
+            |id| Project::new(id, title, synopsis, owner, visibility),
+            |p| {
+                self.log(&WalRecord::ProjectCreated {
+                    id: p.id,
+                    owner,
+                    title: title.to_string(),
+                    synopsis: synopsis.to_string(),
+                    visibility,
+                })
+            },
+        )
     }
 
-    fn with_project<T>(
+    fn with_shard<T>(
         &self,
         id: ProjectId,
-        f: impl FnOnce(&mut State, usize) -> PlatformResult<T>,
+        f: impl FnOnce(&mut ProjectShard) -> PlatformResult<T>,
     ) -> PlatformResult<T> {
-        let mut st = self.state.write();
-        let idx = st
-            .projects
-            .iter()
-            .position(|p| p.id == id)
-            .ok_or(PlatformError::UnknownProject(id.0))?;
-        f(&mut st, idx)
+        let shard = self.state.shard(id)?;
+        let mut s = shard.write();
+        f(&mut s)
     }
 
     pub fn invite(&self, project: ProjectId, owner: UserId, user: UserId) -> PlatformResult<()> {
-        self.with_project(project, |st, i| {
-            st.users.get(user)?;
-            st.projects[i].invite(owner, user)
-        })
+        let shard = self.state.shard(project)?;
+        // Lock order: global before shard.
+        let g = self.state.global.read();
+        g.users.get(user)?;
+        let mut s = shard.write();
+        s.project.invite(owner, user)?;
+        self.log(&WalRecord::Invited { project, user })
     }
 
     /// Declare the DBMS/host targets of the project; public projects are
-    /// checked against the catalogs (§4.2's publication rule).
+    /// checked against the catalogs (§4.2's publication rule). A failed
+    /// check leaves the previous targets in place.
     pub fn set_targets(
         &self,
         project: ProjectId,
@@ -172,35 +356,47 @@ impl SqalpelServer {
         dbms_labels: Vec<String>,
         hosts: Vec<String>,
     ) -> PlatformResult<()> {
-        self.with_project(project, |st, i| {
-            st.projects[i].require(actor, Role::Owner)?;
-            st.projects[i].dbms_labels = dbms_labels;
-            st.projects[i].hosts = hosts;
-            st.projects[i].check_publication(&st.catalogs)
+        let shard = self.state.shard(project)?;
+        let g = self.state.global.read();
+        let mut s = shard.write();
+        s.project.require(actor, Role::Owner)?;
+        let old = (
+            std::mem::replace(&mut s.project.dbms_labels, dbms_labels.clone()),
+            std::mem::replace(&mut s.project.hosts, hosts.clone()),
+        );
+        if let Err(e) = s.project.check_publication(&g.catalogs) {
+            (s.project.dbms_labels, s.project.hosts) = old;
+            return Err(e);
+        }
+        self.log(&WalRecord::TargetsSet {
+            project,
+            dbms_labels,
+            hosts,
         })
     }
 
     pub fn comment(&self, project: ProjectId, author: UserId, text: &str) -> PlatformResult<()> {
-        self.with_project(project, |st, i| st.projects[i].comment(author, text))
+        self.with_shard(project, |s| {
+            s.project.comment(author, text)?;
+            self.log(&WalRecord::CommentAdded {
+                project,
+                author,
+                text: text.to_string(),
+            })
+        })
     }
 
     /// Vendor notice-and-takedown (§4.3): results stop being served.
     pub fn take_down(&self, project: ProjectId) -> PlatformResult<()> {
-        self.with_project(project, |st, i| {
-            st.projects[i].taken_down = true;
-            Ok(())
+        self.with_shard(project, |s| {
+            s.project.taken_down = true;
+            self.log(&WalRecord::TakenDown { project })
         })
     }
 
     /// The role a user holds on a project.
     pub fn role_of(&self, project: ProjectId, user: UserId) -> PlatformResult<Role> {
-        let st = self.state.read();
-        let p = st
-            .projects
-            .iter()
-            .find(|p| p.id == project)
-            .ok_or(PlatformError::UnknownProject(project.0))?;
-        Ok(p.role_of(user))
+        Ok(self.state.shard(project)?.read().project.role_of(user))
     }
 
     // -------------------------------------------------------- experiments
@@ -216,8 +412,24 @@ impl SqalpelServer {
         template_cap: usize,
         pool_cap: usize,
     ) -> PlatformResult<ExperimentId> {
-        self.with_project(project, |st, i| {
-            st.projects[i].add_experiment(actor, title, baseline_sql, grammar, template_cap, pool_cap)
+        self.with_shard(project, |s| {
+            let id = s
+                .project
+                .add_experiment(actor, title, baseline_sql, grammar, template_cap, pool_cap)?;
+            let exp = s.project.experiment(id)?;
+            self.log(&WalRecord::ExperimentAdded {
+                project,
+                id,
+                title: title.to_string(),
+                baseline_sql: baseline_sql.to_string(),
+                // The *resolved* grammar (hand-written or auto-converted),
+                // rendered back to the DSL for replay.
+                grammar: exp.pool.grammar().to_string(),
+                template_cap: exp.pool.template_cap(),
+                pool_cap: exp.pool.pool_cap(),
+                dialect: exp.pool.dialect().map(str::to_string),
+            })?;
+            Ok(id)
         })
     }
 
@@ -230,19 +442,34 @@ impl SqalpelServer {
         n_random: usize,
         seed: u64,
     ) -> PlatformResult<usize> {
-        self.with_project(project, |st, i| {
-            st.projects[i].require(actor, Role::Owner)?;
-            let exp = st.projects[i].experiment_mut(experiment)?;
+        self.with_shard(project, |s| {
+            s.project.require(actor, Role::Owner)?;
+            let exp = s.project.experiment_mut(experiment)?;
+            let before = exp.pool.entries().len();
             exp.pool.seed_baseline()?;
             let mut rng = sqalpel_grammar::seeded_rng(seed);
             let added = exp.pool.add_random(n_random, &mut rng)?;
-            Ok(added.len() + 1)
+            let count = added.len() + 1;
+            let new_entries: Vec<PoolEntry> = exp.pool.entries()[before..].to_vec();
+            if !new_entries.is_empty() {
+                self.log(&WalRecord::PoolExtended {
+                    project,
+                    experiment,
+                    entries: new_entries,
+                })?;
+            }
+            Ok(count)
         })
     }
 
     /// Attach (or detach) a plan fingerprinter to an experiment's pool:
     /// from here on, morphed mutants whose canonical plan fingerprint the
     /// pool has already seen are pruned before they reach the task queue.
+    ///
+    /// The fingerprinter is an in-process closure and is **not** logged
+    /// or restored: after recovery it must be re-attached. The dedup sets
+    /// it fed are rebuilt from the persisted entries, so already-pruned
+    /// duplicates stay pruned.
     pub fn set_pool_fingerprinter(
         &self,
         project: ProjectId,
@@ -250,9 +477,9 @@ impl SqalpelServer {
         actor: UserId,
         f: Option<crate::pool::Fingerprinter>,
     ) -> PlatformResult<()> {
-        self.with_project(project, |st, i| {
-            st.projects[i].require(actor, Role::Owner)?;
-            let exp = st.projects[i].experiment_mut(experiment)?;
+        self.with_shard(project, |s| {
+            s.project.require(actor, Role::Owner)?;
+            let exp = s.project.experiment_mut(experiment)?;
             exp.pool.set_fingerprinter(f);
             Ok(())
         })
@@ -268,60 +495,92 @@ impl SqalpelServer {
         steps: usize,
         seed: u64,
     ) -> PlatformResult<Vec<QueryId>> {
-        self.with_project(project, |st, i| {
-            st.projects[i].require(actor, Role::Owner)?;
-            let exp = st.projects[i].experiment_mut(experiment)?;
+        self.with_shard(project, |s| {
+            s.project.require(actor, Role::Owner)?;
+            let exp = s.project.experiment_mut(experiment)?;
+            let before = exp.pool.entries().len();
             let mut rng = sqalpel_grammar::seeded_rng(seed);
             let mut added = Vec::new();
             for _ in 0..steps {
                 let id = match strategy {
-                    Some(s) => exp.pool.morph(s, &mut rng)?,
+                    Some(st) => exp.pool.morph(st, &mut rng)?,
                     None => exp.pool.morph_auto(&mut rng)?,
                 };
                 if let Some(id) = id {
                     added.push(id);
                 }
             }
+            // Log the physical entries (instantiated SQL), not the walk
+            // that found them — replay needs no RNG.
+            let new_entries: Vec<PoolEntry> = exp.pool.entries()[before..].to_vec();
+            if !new_entries.is_empty() {
+                self.log(&WalRecord::PoolExtended {
+                    project,
+                    experiment,
+                    entries: new_entries,
+                })?;
+            }
             Ok(added)
         })
     }
 
     /// Enqueue every pool query for every declared target combination.
-    /// Returns the number of tasks created.
+    /// Returns the number of tasks created. Enqueueing past the
+    /// per-project quota is refused with `Throttled`.
     pub fn enqueue_experiment(
         &self,
         project: ProjectId,
         experiment: ExperimentId,
         actor: UserId,
     ) -> PlatformResult<usize> {
-        self.with_project(project, |st, i| {
-            st.projects[i].require(actor, Role::Owner)?;
+        self.with_shard(project, |s| {
+            s.project.require(actor, Role::Owner)?;
             let (entries, dbms_labels, hosts) = {
-                let p = &st.projects[i];
-                let exp = p.experiment(experiment)?;
+                let exp = s.project.experiment(experiment)?;
                 (
                     exp.pool
                         .entries()
                         .iter()
                         .map(|e| (e.id, e.sql.clone()))
                         .collect::<Vec<_>>(),
-                    p.dbms_labels.clone(),
-                    p.hosts.clone(),
+                    s.project.dbms_labels.clone(),
+                    s.project.hosts.clone(),
                 )
             };
-            let mut n = 0;
+            // Quota check against the upper bound (dedup may admit
+            // fewer): refuse before mutating anything.
+            let sum = s.queue.summary();
+            let adding = entries.len() * dbms_labels.len() * hosts.len();
+            if let Err(e) = self
+                .admission
+                .check_quota(sum.queued + sum.running, adding)
+            {
+                self.metrics.incr("admission.throttled");
+                return Err(e);
+            }
+            let mut created = Vec::new();
             for (qid, sql) in &entries {
                 for d in &dbms_labels {
                     for h in &hosts {
-                        if st
-                            .queue
-                            .enqueue(project, experiment, *qid, sql.clone(), d.clone(), h.clone())
-                            .is_some()
-                        {
-                            n += 1;
+                        if let Some(id) = s.queue.enqueue(
+                            project,
+                            experiment,
+                            *qid,
+                            sql.clone(),
+                            d.clone(),
+                            h.clone(),
+                        ) {
+                            created.push(s.queue.task(id).expect("just enqueued").clone());
                         }
                     }
                 }
+            }
+            let n = created.len();
+            if n > 0 {
+                self.log(&WalRecord::TasksEnqueued {
+                    project,
+                    tasks: created,
+                })?;
             }
             Ok(n)
         })
@@ -337,37 +596,77 @@ impl SqalpelServer {
     /// task for the target (the response to an earlier claim was lost in
     /// transit and the client retried), that same task is handed out
     /// again instead of a second one.
+    ///
+    /// Hand-out is **fair across projects**: the sweep starts from a
+    /// rotating cursor, so each call begins at a different shard.
     pub fn request_task(
         &self,
         key: &ContributorKey,
         dbms_label: &str,
         host: &str,
     ) -> PlatformResult<Option<Task>> {
-        self.metrics.time("server.request_task_nanos", || {
+        let out = self.metrics.time("server.request_task_nanos", || {
             self.metrics.incr("server.request_task");
-            let mut st = self.state.write();
-            let user = st
+            let user = self
+                .state
+                .global
+                .read()
                 .users
                 .resolve_key(key)
                 .ok_or_else(|| PlatformError::AccessDenied("unknown contributor key".into()))?;
-            if let Some(held) = st.queue.running_claim(key, dbms_label, host) {
-                self.metrics.incr("server.request_task.rehandout");
-                return Ok(Some(held.clone()));
+            // Idempotent re-hand-out of a claim whose response was lost.
+            for id in self.admission.held_by(key) {
+                let Ok(shard) = self.state.shard_of_task(id) else {
+                    continue;
+                };
+                let s = shard.read();
+                if let Ok(t) = s.queue.task(id) {
+                    let held = matches!(
+                        &t.state,
+                        TaskState::Running { contributor } if contributor == key
+                    );
+                    if held && t.dbms_label == dbms_label && t.host == host {
+                        self.metrics.incr("server.request_task.rehandout");
+                        return Ok(Some(t.clone()));
+                    }
+                }
             }
-            // Only tasks for this exact (dbms, host) target are visited — the
-            // queue serves them from its hand-out index.
-            let candidate = st.queue.queued_for(dbms_label, host).into_iter().find(|id| {
-                let t = st.queue.task(*id).expect("indexed task exists");
-                st.projects
-                    .iter()
-                    .find(|p| p.id == t.project)
-                    .is_some_and(|p| p.role_of(user) >= Role::Contributor && !p.taken_down)
-            });
-            match candidate {
-                Some(id) => Ok(Some(st.queue.claim(id, key)?)),
-                None => Ok(None),
+            // Reserve the in-flight slot before touching any shard, so
+            // the bound holds even with concurrent sweeps.
+            if let Err(e) = self.admission.try_reserve(user) {
+                self.metrics.incr("admission.throttled");
+                return Err(e);
             }
-        })
+            self.metrics.incr("admission.reserved");
+            let shards = self.state.all_shards();
+            if !shards.is_empty() {
+                let start = self.state.next_cursor() % shards.len();
+                for i in 0..shards.len() {
+                    let shard = &shards[(start + i) % shards.len()];
+                    let mut s = shard.write();
+                    if s.project.role_of(user) < Role::Contributor || s.project.taken_down {
+                        continue;
+                    }
+                    if let Some(task) = s.queue.checkout(key, dbms_label, host) {
+                        if let Err(e) = self.log(&WalRecord::TaskClaimed {
+                            task: task.id,
+                            key: key.clone(),
+                        }) {
+                            self.admission.cancel(user);
+                            return Err(e);
+                        }
+                        self.admission.confirm(key, user, task.id);
+                        self.metrics.incr("shard.handouts");
+                        return Ok(Some(task));
+                    }
+                }
+            }
+            self.admission.cancel(user);
+            self.metrics.incr("queue.empty_polls");
+            Ok(None)
+        });
+        self.maybe_snapshot();
+        out
     }
 
     /// The driver's "report back" call.
@@ -383,24 +682,26 @@ impl SqalpelServer {
         task_id: TaskId,
         outcome: RunOutcome,
     ) -> PlatformResult<usize> {
-        self.metrics.time("server.report_result_nanos", || {
-            let mut st = self.state.write();
+        let out = self.metrics.time("server.report_result_nanos", || {
+            let shard = self.state.shard_of_task(task_id)?;
+            let mut s = shard.write();
             // The idempotency check applies only when this key does NOT hold
             // the task: a running claim means this is a fresh report (e.g. the
             // task failed, was requeued and re-claimed by the same key), not a
             // retry of an accepted one.
             let held_by_key = matches!(
-                &st.queue.task(task_id)?.state,
+                &s.queue.task(task_id)?.state,
                 TaskState::Running { contributor } if contributor == key
             );
             if !held_by_key {
-                if let Some(existing) = st.results.index_of(task_id, &key.0) {
+                if let Some(existing) = s.results.index_of(task_id, &key.0) {
                     self.metrics.incr("server.report_result.duplicate");
                     return Ok(existing);
                 }
             }
-            st.queue.complete(task_id, key, outcome.error.clone())?;
-            let task = st.queue.task(task_id)?.clone();
+            let error = outcome.error.clone();
+            s.queue.complete(task_id, key, error.clone())?;
+            let task = s.queue.task(task_id)?.clone();
             let mut rec: ResultRecord = record(
                 task_id,
                 task.project,
@@ -431,22 +732,73 @@ impl SqalpelServer {
                     self.metrics.add("scan.chunks_skipped", skipped);
                 }
             }
+            // One combined record: replay applies the queue completion
+            // and the stored result atomically.
+            self.log(&WalRecord::ReportAccepted {
+                task: task_id,
+                key: key.clone(),
+                error,
+                record: rec.clone(),
+            })?;
+            let idx = s.results.push(rec);
+            if self.admission.release(key, task_id) {
+                self.metrics.incr("admission.released");
+            }
+            self.metrics.incr("shard.reports");
             self.metrics.incr("server.report_result.accepted");
-            Ok(st.results.push(rec))
-        })
+            Ok(idx)
+        });
+        self.maybe_snapshot();
+        out
     }
 
     /// Reap stuck runs (moderator cron).
     pub fn reap_stuck(&self, timeout: Duration) -> Vec<TaskId> {
-        self.state.write().queue.reap_stuck(timeout)
+        let mut all = Vec::new();
+        for shard in self.state.all_shards() {
+            let mut s = shard.write();
+            let reaped = s.queue.reap_stuck(timeout);
+            if reaped.is_empty() {
+                continue;
+            }
+            if self
+                .log(&WalRecord::TasksReaped {
+                    project: s.project.id,
+                    tasks: reaped.clone(),
+                })
+                .is_err()
+            {
+                self.metrics.incr("wal.errors");
+            }
+            for &t in &reaped {
+                if self.admission.release_any(t) {
+                    self.metrics.incr("admission.released");
+                }
+            }
+            all.extend(reaped);
+        }
+        all
     }
 
     pub fn requeue(&self, task: TaskId) -> PlatformResult<()> {
-        self.state.write().queue.requeue(task)
+        let shard = self.state.shard_of_task(task)?;
+        let mut s = shard.write();
+        s.queue.requeue(task)?;
+        self.log(&WalRecord::TaskRequeued { task })
     }
 
+    /// Task counts aggregated over every shard.
     pub fn queue_summary(&self) -> QueueSummary {
-        self.state.read().queue.summary()
+        let mut total = QueueSummary::default();
+        for shard in self.state.all_shards() {
+            let s = shard.read().queue.summary();
+            total.queued += s.queued;
+            total.running += s.running;
+            total.finished += s.finished;
+            total.failed += s.failed;
+            total.timed_out += s.timed_out;
+        }
+        total
     }
 
     // ------------------------------------------------------------ results
@@ -459,40 +811,46 @@ impl SqalpelServer {
         project: ProjectId,
         viewer: UserId,
     ) -> PlatformResult<Vec<ResultRecord>> {
-        let st = self.state.read();
-        let p = st
-            .projects
-            .iter()
-            .find(|p| p.id == project)
-            .ok_or(PlatformError::UnknownProject(project.0))?;
-        let role = p.role_of(viewer);
+        let shard = self.state.shard(project)?;
+        let s = shard.read();
+        let role = s.project.role_of(viewer);
         if role < Role::Reader {
             return Err(PlatformError::AccessDenied(format!(
                 "project #{} is private",
                 project.0
             )));
         }
-        if p.taken_down {
+        if s.project.taken_down {
             return Err(PlatformError::Publication(format!(
                 "project #{} was taken down",
                 project.0
             )));
         }
-        Ok(st
-            .results
+        Ok(s.results
             .all()
             .iter()
-            .filter(|r| r.project == project.0)
             .filter(|r| role >= Role::Contributor || !r.hidden)
             .cloned()
             .collect())
     }
 
-    pub fn hide_result(&self, project: ProjectId, actor: UserId, index: usize, hidden: bool) -> PlatformResult<()> {
-        self.with_project(project, |st, i| {
-            st.projects[i].require(actor, Role::Owner)?;
-            if st.results.set_hidden(index, hidden) {
-                Ok(())
+    /// Hide or unhide one result. `index` is shard-local (the index
+    /// `report_result` returned).
+    pub fn hide_result(
+        &self,
+        project: ProjectId,
+        actor: UserId,
+        index: usize,
+        hidden: bool,
+    ) -> PlatformResult<()> {
+        self.with_shard(project, |s| {
+            s.project.require(actor, Role::Owner)?;
+            if s.results.set_hidden(index, hidden) {
+                self.log(&WalRecord::ResultHidden {
+                    project,
+                    index,
+                    hidden,
+                })
             } else {
                 Err(PlatformError::Invalid(format!("no result #{index}")))
             }
@@ -517,6 +875,7 @@ impl SqalpelServer {
     ) -> PlatformResult<Vec<ResultRecord>> {
         let viewer = self
             .state
+            .global
             .read()
             .users
             .resolve_key(key)
@@ -531,19 +890,15 @@ impl SqalpelServer {
         viewer: UserId,
         f: impl FnOnce(&Project) -> T,
     ) -> PlatformResult<T> {
-        let st = self.state.read();
-        let p = st
-            .projects
-            .iter()
-            .find(|p| p.id == project)
-            .ok_or(PlatformError::UnknownProject(project.0))?;
-        if p.role_of(viewer) < Role::Reader {
+        let shard = self.state.shard(project)?;
+        let s = shard.read();
+        if s.project.role_of(viewer) < Role::Reader {
             return Err(PlatformError::AccessDenied(format!(
                 "project #{} is private",
                 project.0
             )));
         }
-        Ok(f(p))
+        Ok(f(&s.project))
     }
 }
 
@@ -583,7 +938,10 @@ mod tests {
     use std::sync::Arc;
 
     fn setup() -> (SqalpelServer, UserId, UserId, ProjectId, ExperimentId) {
-        let server = SqalpelServer::new();
+        setup_on(SqalpelServer::new())
+    }
+
+    fn setup_on(server: SqalpelServer) -> (SqalpelServer, UserId, UserId, ProjectId, ExperimentId) {
         let owner = server.register_user("mlk", "mlk@cwi.nl").unwrap();
         let contrib = server.register_user("pk", "pk@monetdb.com").unwrap();
         let project = server
@@ -728,6 +1086,11 @@ mod tests {
             .set_targets(project, owner, vec!["secretdb-9".into()], vec!["bench-server".into()])
             .unwrap_err();
         assert!(matches!(err, PlatformError::Publication(_)));
+        // The failed call left the previous targets intact.
+        let labels = server
+            .with_project_view(project, owner, |p| p.dbms_labels.clone())
+            .unwrap();
+        assert_eq!(labels, vec!["rowstore-2.0".to_string()]);
     }
 
     #[test]
@@ -821,5 +1184,166 @@ mod tests {
             profile: None,
         };
         assert!(server.report_result(&other, first.id, late).is_err());
+    }
+
+    fn fake_outcome() -> RunOutcome {
+        RunOutcome {
+            times_ms: vec![1.0],
+            rows: 1,
+            error: None,
+            load_before: Default::default(),
+            load_after: Default::default(),
+            extras: serde_json::Value::Null,
+            fingerprint: None,
+            profile: None,
+        }
+    }
+
+    #[test]
+    fn inflight_bound_throttles_request_task() {
+        let (server, owner, contrib, project, exp) = setup_on(SqalpelServer::with_admission(
+            AdmissionConfig {
+                max_inflight_per_user: 1,
+                max_queued_per_project: 100_000,
+            },
+        ));
+        // Two targets so the second request is not an idempotent
+        // re-hand-out of the first claim.
+        server
+            .set_targets(
+                project,
+                owner,
+                vec!["rowstore-2.0".into(), "colstore-5.1".into()],
+                vec!["bench-server".into()],
+            )
+            .unwrap();
+        server.enqueue_experiment(project, exp, owner).unwrap();
+        let key = server.issue_key(contrib).unwrap();
+
+        let first = server
+            .request_task(&key, "rowstore-2.0", "bench-server")
+            .unwrap()
+            .unwrap();
+        // The held claim is re-handed out, not double-counted...
+        let retry = server
+            .request_task(&key, "rowstore-2.0", "bench-server")
+            .unwrap()
+            .unwrap();
+        assert_eq!(retry.id, first.id);
+        // ...but a second *distinct* hand-out exceeds the bound.
+        assert!(matches!(
+            server.request_task(&key, "colstore-5.1", "bench-server"),
+            Err(PlatformError::Throttled(_))
+        ));
+        // Reporting releases the slot.
+        server.report_result(&key, first.id, fake_outcome()).unwrap();
+        assert!(server
+            .request_task(&key, "colstore-5.1", "bench-server")
+            .unwrap()
+            .is_some());
+    }
+
+    #[test]
+    fn project_quota_throttles_enqueue() {
+        let (server, owner, _c, project, exp) = setup_on(SqalpelServer::with_admission(
+            AdmissionConfig {
+                max_inflight_per_user: 64,
+                max_queued_per_project: 3,
+            },
+        ));
+        // The seeded pool (6 entries × 1 target) exceeds a quota of 3.
+        let err = server.enqueue_experiment(project, exp, owner).unwrap_err();
+        assert!(matches!(err, PlatformError::Throttled(_)));
+        assert_eq!(server.queue_summary().queued, 0, "refused before enqueueing");
+    }
+
+    #[test]
+    fn handout_rotates_across_projects() {
+        let (server, owner, contrib, p1, e1) = setup();
+        // A second project with the same shape and membership.
+        let p2 = server
+            .create_project(owner, "second", "another study", Visibility::Public)
+            .unwrap();
+        server
+            .set_targets(p2, owner, vec!["rowstore-2.0".into()], vec!["bench-server".into()])
+            .unwrap();
+        server.invite(p2, owner, contrib).unwrap();
+        let e2 = server
+            .add_experiment(p2, owner, "copy", "select n_name from nation", None, 1000, 100)
+            .unwrap();
+        server.seed_pool(p2, e2, owner, 5, 42).unwrap();
+        server.enqueue_experiment(p1, e1, owner).unwrap();
+        server.enqueue_experiment(p2, e2, owner).unwrap();
+
+        let key = server.issue_key(contrib).unwrap();
+        let mut projects_seen = std::collections::BTreeSet::new();
+        for _ in 0..2 {
+            let task = server
+                .request_task(&key, "rowstore-2.0", "bench-server")
+                .unwrap()
+                .unwrap();
+            projects_seen.insert(task.project);
+            server.report_result(&key, task.id, fake_outcome()).unwrap();
+        }
+        assert_eq!(
+            projects_seen.len(),
+            2,
+            "round-robin cursor alternates shards while both have work"
+        );
+    }
+
+    #[test]
+    fn durable_server_recovers_across_reopen() {
+        let dir = std::env::temp_dir().join(format!("sqalpel-server-reopen-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let key;
+        let held;
+        let total;
+        {
+            let server = SqalpelServer::open(&dir).unwrap();
+            assert!(server.recovered_fresh());
+            let (server, owner, contrib, project, exp) = setup_on(server);
+            total = server.enqueue_experiment(project, exp, owner).unwrap();
+            key = server.issue_key(contrib).unwrap();
+            held = server
+                .request_task(&key, "rowstore-2.0", "bench-server")
+                .unwrap()
+                .unwrap();
+            server
+                .report_result(&key, held.id, fake_outcome())
+                .unwrap();
+            let second = server
+                .request_task(&key, "rowstore-2.0", "bench-server")
+                .unwrap()
+                .unwrap();
+            assert_ne!(second.id, held.id);
+            // Crash: the server is dropped without snapshot or shutdown.
+        }
+
+        let server = SqalpelServer::open(&dir).unwrap();
+        assert!(!server.recovered_fresh());
+        let s = server.queue_summary();
+        assert_eq!(
+            (s.finished + s.failed, s.running, s.queued),
+            (1, 1, total - 2),
+            "one acked report, one open claim, the rest still queued"
+        );
+        // The open claim is re-handed out idempotently, and the admission
+        // book knows it is held.
+        let again = server
+            .request_task(&key, "rowstore-2.0", "bench-server")
+            .unwrap()
+            .unwrap();
+        assert!(matches!(&again.state, TaskState::Running { contributor } if contributor == &key));
+        assert_eq!(server.queue_summary().running, 1);
+
+        // A snapshot truncates the WAL; a third open recovers from it.
+        server.snapshot_now().unwrap();
+        drop(server);
+        let server = SqalpelServer::open(&dir).unwrap();
+        assert!(!server.recovered_fresh());
+        assert_eq!(server.queue_summary().running, 1);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -121,6 +121,54 @@ impl UserRegistry {
     pub fn is_empty(&self) -> bool {
         self.users.is_empty()
     }
+
+    /// All users, for the snapshot writer. Emails still only leave
+    /// through [`User::email_for_legal_contact`].
+    pub fn users(&self) -> &[User] {
+        &self.users
+    }
+
+    /// All issued keys with their owners, for the snapshot writer.
+    pub fn keys(&self) -> impl Iterator<Item = (&ContributorKey, UserId)> {
+        self.keys.iter().map(|(k, id)| (k, *id))
+    }
+
+    pub fn key_counter(&self) -> u64 {
+        self.key_counter
+    }
+
+    /// Re-insert a user during recovery. Ids must arrive in registration
+    /// order (snapshot/WAL order) so the dense id space stays dense.
+    pub fn restore_user(&mut self, id: UserId, nickname: &str, email: &str) -> Result<(), String> {
+        let expect = self.users.len() as u64 + 1;
+        if id.0 != expect {
+            return Err(format!(
+                "user #{} restored out of order (expected #{expect})",
+                id.0
+            ));
+        }
+        self.users.push(User {
+            id,
+            nickname: nickname.to_string(),
+            email: email.to_string(),
+        });
+        self.by_nickname.insert(nickname.to_string(), id);
+        Ok(())
+    }
+
+    /// Re-insert an issued key during recovery. `counter` is the issue
+    /// counter at derivation time; the registry counter advances past it
+    /// so future keys never collide with replayed ones.
+    pub fn restore_key(&mut self, key: ContributorKey, user: UserId, counter: u64) {
+        self.keys.insert(key, user);
+        self.key_counter = self.key_counter.max(counter);
+    }
+
+    /// Advance the issue counter during recovery (snapshots carry it as
+    /// one global value rather than per key).
+    pub fn restore_key_counter(&mut self, counter: u64) {
+        self.key_counter = self.key_counter.max(counter);
+    }
 }
 
 #[cfg(test)]
@@ -171,6 +219,36 @@ mod tests {
         assert!(!k1.0.contains("mlk"));
         assert_eq!(r.resolve_key(&k1), Some(id));
         assert_eq!(r.resolve_key(&ContributorKey("ck_bogus".into())), None);
+    }
+
+    #[test]
+    fn restore_rebuilds_registry_without_key_collisions() {
+        let mut r = UserRegistry::new();
+        let a = r.register("a", "a@b.io").unwrap();
+        let b = r.register("b", "b@b.io").unwrap();
+        let k1 = r.issue_key(a).unwrap();
+        let k2 = r.issue_key(b).unwrap();
+
+        let mut back = UserRegistry::new();
+        for u in r.users() {
+            back.restore_user(u.id, &u.nickname, u.email_for_legal_contact())
+                .unwrap();
+        }
+        for (k, owner) in r.keys() {
+            // Counter per key is unknown here; the max bound is what matters.
+            back.restore_key(k.clone(), owner, r.key_counter());
+        }
+        assert_eq!(back.resolve_key(&k1), Some(a));
+        assert_eq!(back.resolve_key(&k2), Some(b));
+        assert_eq!(back.by_nickname("b").unwrap().id, b);
+        assert_eq!(back.get(a).unwrap().email_for_legal_contact(), "a@b.io");
+        // Fresh keys after recovery don't collide with replayed ones.
+        let k3 = back.issue_key(a).unwrap();
+        assert_ne!(k3, k1);
+        assert_ne!(k3, k2);
+        // Out-of-order restore is rejected.
+        let mut bad = UserRegistry::new();
+        assert!(bad.restore_user(UserId(2), "x", "x@y.io").is_err());
     }
 
     #[test]

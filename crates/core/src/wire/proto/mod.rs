@@ -48,6 +48,7 @@ pub enum ErrorCode {
     PoolFull = 9,
     Publication = 10,
     Transport = 11,
+    Throttled = 12,
 }
 
 impl ErrorCode {
@@ -64,6 +65,7 @@ impl ErrorCode {
             PlatformError::PoolFull(_) => ErrorCode::PoolFull,
             PlatformError::Publication(_) => ErrorCode::Publication,
             PlatformError::Transport(_) => ErrorCode::Transport,
+            PlatformError::Throttled(_) => ErrorCode::Throttled,
         }
     }
 
@@ -81,6 +83,7 @@ impl ErrorCode {
             ErrorCode::PoolFull => 409,
             ErrorCode::Publication => 451,
             ErrorCode::Transport => 500,
+            ErrorCode::Throttled => 429,
         }
     }
 
@@ -98,6 +101,7 @@ impl ErrorCode {
             ErrorCode::PoolFull => "pool_full",
             ErrorCode::Publication => "publication",
             ErrorCode::Transport => "transport",
+            ErrorCode::Throttled => "throttled",
         }
     }
 
@@ -119,6 +123,7 @@ impl ErrorCode {
             9 => ErrorCode::PoolFull,
             10 => ErrorCode::Publication,
             11 => ErrorCode::Transport,
+            12 => ErrorCode::Throttled,
             _ => return None,
         })
     }

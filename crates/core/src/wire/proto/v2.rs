@@ -857,7 +857,8 @@ fn write_error_detail(w: &mut W, err: &PlatformError) {
         | PlatformError::AccessDenied(m)
         | PlatformError::Grammar(m)
         | PlatformError::Publication(m)
-        | PlatformError::Transport(m) => {
+        | PlatformError::Transport(m)
+        | PlatformError::Throttled(m) => {
             w.u8(0);
             w.str(m);
         }
@@ -1548,6 +1549,7 @@ mod tests {
             PlatformError::AccessDenied("nope".into()),
             PlatformError::PoolFull(10),
             PlatformError::Transport("io".into()),
+            PlatformError::Throttled("in-flight bound".into()),
         ] {
             let back = round_trip_reply(Err(err.clone()));
             assert_eq!(back.unwrap_err(), err);

@@ -16,9 +16,84 @@
 //! matter how the pool races.
 
 use crate::driver::{Connector, ExperimentDriver};
+use crate::error::PlatformError;
 use crate::server::Platform;
 use crate::user::ContributorKey;
 use std::time::{Duration, Instant};
+
+/// How a worker waits when the platform hands it nothing.
+///
+/// An empty poll no longer means the study is over — with per-project
+/// sharding, queues refill as moderators enqueue and the reaper
+/// requeues, and admission control can throttle a worker temporarily.
+/// Instead of hammering `request_task` in a tight loop, a worker backs
+/// off exponentially from `base` up to `cap`, with each sleep scaled by
+/// a random factor in `[1 - jitter, 1]` so a fleet of workers does not
+/// wake in lockstep. After `max_empty_polls` consecutive empty polls the
+/// worker exits. The default budget is `0`: drain and terminate, the
+/// original pool semantics.
+#[derive(Debug, Clone)]
+pub struct PollPolicy {
+    /// Consecutive empty polls tolerated before the worker exits.
+    pub max_empty_polls: u32,
+    /// First backoff sleep.
+    pub base: Duration,
+    /// Backoff ceiling.
+    pub cap: Duration,
+    /// Jitter fraction in `[0, 1]`.
+    pub jitter: f64,
+}
+
+impl Default for PollPolicy {
+    fn default() -> Self {
+        PollPolicy {
+            max_empty_polls: 0,
+            base: Duration::from_millis(10),
+            cap: Duration::from_secs(2),
+            jitter: 0.5,
+        }
+    }
+}
+
+impl PollPolicy {
+    /// A polling policy that retries `max_empty_polls` times before
+    /// giving up, with the default backoff curve.
+    pub fn polling(max_empty_polls: u32) -> Self {
+        PollPolicy {
+            max_empty_polls,
+            ..Default::default()
+        }
+    }
+
+    /// The jittered sleep before retry number `attempt` (0-based). `rng`
+    /// is a caller-owned xorshift64* state, advanced per draw.
+    pub fn backoff(&self, attempt: u32, rng: &mut u64) -> Duration {
+        let exp = self
+            .base
+            .saturating_mul(1u32.checked_shl(attempt.min(16)).unwrap_or(u32::MAX));
+        let capped = exp.min(self.cap);
+        let mut x = *rng | 1;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        *rng = x;
+        let unit = (x >> 11) as f64 / (1u64 << 53) as f64;
+        let scale = 1.0 - self.jitter * unit;
+        Duration::from_nanos((capped.as_nanos() as f64 * scale) as u64)
+    }
+}
+
+/// A per-worker jitter seed: worker index mixed with the clock, so
+/// workers started together still draw different backoff schedules.
+fn jitter_seed(idx: usize) -> u64 {
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.subsec_nanos() as u64)
+        .unwrap_or(0);
+    (idx as u64 + 1)
+        .wrapping_mul(0x9e3779b97f4a7c15)
+        .wrapping_add(nanos) | 1
+}
 
 /// One pool worker: a contributor identity plus the driver (owning its
 /// connector) that executes tasks on that contributor's behalf.
@@ -82,7 +157,20 @@ pub fn run_worker_pool<C: Connector, P: Platform + ?Sized>(
     server: &P,
     workers: Vec<Worker<C>>,
 ) -> PoolReport {
+    run_worker_pool_with(server, workers, PollPolicy::default())
+}
+
+/// [`run_worker_pool`] with an explicit empty-queue [`PollPolicy`]:
+/// empty polls (and `Throttled` rejections from admission control) back
+/// off with jittered exponential sleeps and retry, up to the policy's
+/// budget of consecutive empty polls.
+pub fn run_worker_pool_with<C: Connector, P: Platform + ?Sized>(
+    server: &P,
+    workers: Vec<Worker<C>>,
+    policy: PollPolicy,
+) -> PoolReport {
     let start = Instant::now();
+    let policy = &policy;
     let reports: Vec<WorkerReport> = std::thread::scope(|scope| {
         let handles: Vec<_> = workers
             .into_iter()
@@ -92,12 +180,27 @@ pub fn run_worker_pool<C: Connector, P: Platform + ?Sized>(
                     let began = Instant::now();
                     let mut completed = 0usize;
                     let mut rejected = 0usize;
+                    let mut empty_polls = 0u32;
+                    let mut rng = jitter_seed(idx);
                     let dbms = w.driver.config().dbms_label.clone();
                     let host = w.driver.config().host.clone();
                     loop {
                         let task = match server.request_task(&w.key, &dbms, &host) {
-                            Ok(Some(t)) => t,
-                            Ok(None) => break,
+                            Ok(Some(t)) => {
+                                empty_polls = 0;
+                                t
+                            }
+                            Ok(None) | Err(PlatformError::Throttled(_)) => {
+                                if empty_polls >= policy.max_empty_polls {
+                                    break;
+                                }
+                                if let Some(metrics) = server.metrics() {
+                                    metrics.incr("pool.backoffs");
+                                }
+                                std::thread::sleep(policy.backoff(empty_polls, &mut rng));
+                                empty_polls += 1;
+                                continue;
+                            }
                             Err(_) => break,
                         };
                         let run_started = Instant::now();
@@ -227,6 +330,80 @@ mod tests {
             snap.counter("server.report_result.accepted"),
             Some(total as u64)
         );
+    }
+
+    #[test]
+    fn polling_policy_backs_off_and_picks_up_late_work() {
+        let (server, owner, contrib, project, exp) = setup();
+
+        // An empty queue with a zero-retry policy: one poll, then out.
+        let report = run_worker_pool(&server, vec![mock_worker(&server, contrib, 0)]);
+        assert_eq!(report.completed(), 0);
+        let empty_before = server
+            .metrics()
+            .snapshot()
+            .counter("queue.empty_polls")
+            .unwrap_or(0);
+        assert!(empty_before >= 1);
+
+        // With a retry budget, the worker sleeps through the gap and
+        // drains work enqueued after it started polling.
+        let policy = PollPolicy {
+            max_empty_polls: 50,
+            base: Duration::from_millis(2),
+            cap: Duration::from_millis(20),
+            jitter: 0.5,
+        };
+        let total = std::thread::scope(|scope| {
+            let enqueue = scope.spawn(|| {
+                std::thread::sleep(Duration::from_millis(30));
+                server.enqueue_experiment(project, exp, owner).unwrap()
+            });
+            let report = run_worker_pool_with(
+                &server,
+                vec![mock_worker(&server, contrib, 0)],
+                policy,
+            );
+            let total = enqueue.join().expect("enqueue thread panicked");
+            assert_eq!(report.completed(), total);
+            total
+        });
+        let s = server.queue_summary();
+        assert_eq!((s.queued, s.running), (0, 0));
+        assert_eq!(s.finished + s.failed, total);
+
+        let snap = server.metrics().snapshot();
+        assert!(
+            snap.counter("pool.backoffs").unwrap_or(0) >= 1,
+            "the worker waited at least once before the queue filled"
+        );
+        assert!(snap.counter("queue.empty_polls").unwrap_or(0) > empty_before);
+    }
+
+    #[test]
+    fn backoff_grows_to_cap_and_jitters_below_it() {
+        let policy = PollPolicy {
+            max_empty_polls: 10,
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(100),
+            jitter: 0.5,
+        };
+        let mut rng = jitter_seed(0);
+        for attempt in 0..12 {
+            let d = policy.backoff(attempt, &mut rng);
+            let ceiling = policy.cap.min(policy.base * 1u32.checked_shl(attempt).unwrap_or(u32::MAX));
+            assert!(d <= ceiling, "attempt {attempt}: {d:?} > {ceiling:?}");
+            let floor = ceiling
+                .mul_f64(1.0 - policy.jitter)
+                .saturating_sub(Duration::from_nanos(2));
+            assert!(d >= floor, "attempt {attempt}: {d:?} under jitter floor");
+        }
+        // Distinct seeds draw distinct schedules (the whole point of
+        // jitter: workers must not wake in lockstep).
+        let (mut a, mut b) = (1u64, 2u64);
+        let da: Vec<_> = (0..4).map(|i| policy.backoff(i, &mut a)).collect();
+        let db: Vec<_> = (0..4).map(|i| policy.backoff(i, &mut b)).collect();
+        assert_ne!(da, db);
     }
 
     #[test]
