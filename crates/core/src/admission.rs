@@ -104,11 +104,19 @@ impl AdmissionControl {
         let mut inner = self.inner.lock();
         if let Some(count) = inner.by_user.get_mut(&user) {
             *count = count.saturating_sub(1);
+            if *count == 0 {
+                inner.by_user.remove(&user);
+            }
         }
     }
 
     /// Drop a held task (reported, reaped or requeued). Returns whether
     /// the task was actually held — duplicate reports release nothing.
+    ///
+    /// Emptied bookkeeping is removed, not left at zero: a platform
+    /// serving many contributors over a long uptime must not grow an
+    /// entry per key or user ever seen. `confirm` re-records the owner
+    /// on the key's next claim.
     pub fn release(&self, key: &ContributorKey, task: TaskId) -> bool {
         let mut inner = self.inner.lock();
         let Some(held) = inner.by_key.get_mut(key) else {
@@ -118,13 +126,18 @@ impl AdmissionControl {
             return false;
         };
         held.swap_remove(pos);
-        if held.is_empty() {
-            inner.by_key.remove(key);
-        }
+        let emptied = held.is_empty();
         if let Some(user) = inner.owner_of.get(key).copied() {
             if let Some(count) = inner.by_user.get_mut(&user) {
                 *count = count.saturating_sub(1);
+                if *count == 0 {
+                    inner.by_user.remove(&user);
+                }
             }
+        }
+        if emptied {
+            inner.by_key.remove(key);
+            inner.owner_of.remove(key);
         }
         true
     }
@@ -160,6 +173,14 @@ impl AdmissionControl {
     /// Current in-flight count for a user.
     pub fn inflight_of(&self, user: UserId) -> usize {
         self.inner.lock().by_user.get(&user).copied().unwrap_or(0)
+    }
+
+    /// Current bookkeeping sizes as `(keys held, users counted, owners
+    /// recorded)` — the bounded-state invariant: all three must return
+    /// to zero once every hand-out is released.
+    pub fn footprint(&self) -> (usize, usize, usize) {
+        let inner = self.inner.lock();
+        (inner.by_key.len(), inner.by_user.len(), inner.owner_of.len())
     }
 
     /// Rebuild one held task during recovery (no bound check: the bound
@@ -237,6 +258,30 @@ mod tests {
         assert!(adm.release(&k2, TaskId(2)));
         adm.try_reserve(user).unwrap();
         adm.cancel(user);
+    }
+
+    #[test]
+    fn release_clears_all_bookkeeping() {
+        let adm = small();
+        let user = UserId(9);
+        let key = ContributorKey("ck_gc".into());
+        adm.try_reserve(user).unwrap();
+        adm.confirm(&key, user, TaskId(1));
+        adm.try_reserve(user).unwrap();
+        adm.confirm(&key, user, TaskId(2));
+        assert_eq!(adm.footprint(), (1, 1, 1));
+        assert!(adm.release(&key, TaskId(1)));
+        assert_eq!(adm.footprint(), (1, 1, 1), "one task still held");
+        assert!(adm.release(&key, TaskId(2)));
+        assert_eq!(
+            adm.footprint(),
+            (0, 0, 0),
+            "no per-key or per-user residue after the last release"
+        );
+        // A cancelled reservation leaves nothing behind either.
+        adm.try_reserve(user).unwrap();
+        adm.cancel(user);
+        assert_eq!(adm.footprint(), (0, 0, 0));
     }
 
     #[test]

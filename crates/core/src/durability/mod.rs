@@ -5,13 +5,14 @@
 //! crash.** The server logs a typed [`WalRecord`] for every mutation
 //! *before* releasing the lock that made it (so WAL order equals
 //! mutation order per lock domain), flushed to the OS per record.
-//! Snapshots bound replay time; the WAL is truncated when one lands and
-//! is therefore always the tail since the latest snapshot. On boot,
-//! [`recover`] loads the newest snapshot and replays that tail; a torn
-//! final record — the crash interrupted an append whose operation was
-//! never acknowledged — is discarded, which is precisely the at-least-
-//! acknowledged, at-most-once semantics the wire protocol's idempotent
-//! retries expect.
+//! Snapshots bound replay time; the WAL is truncated when one lands.
+//! Records carry their LSN, so on boot [`recover`] loads the newest
+//! snapshot and replays only records past its LSN — a crash between the
+//! snapshot rename and the truncation leaves a stale prefix that is
+//! skipped, not double-applied. A torn final record — the crash
+//! interrupted an append whose operation was never acknowledged — is
+//! discarded, which is precisely the at-least-acknowledged, at-most-once
+//! semantics the wire protocol's idempotent retries expect.
 
 pub mod recovery;
 pub mod snapshot;

@@ -32,6 +32,10 @@ pub struct RecoveredState {
     pub snapshot_lsn: u64,
     /// WAL records replayed on top of the snapshot.
     pub replayed_records: u64,
+    /// WAL records skipped because the snapshot already contained them
+    /// (a crash landed between persisting the snapshot and truncating
+    /// the log).
+    pub skipped_records: u64,
     /// Sequence number the reopened WAL continues from.
     pub next_lsn: u64,
     /// Torn lines discarded at the WAL tail.
@@ -57,9 +61,25 @@ pub fn recover(dir: &Path) -> io::Result<RecoveredState> {
     };
 
     let (records, torn_records) = read_wal(&dir.join(WAL_FILE))?;
-    let replayed_records = records.len() as u64;
-    for record in records {
+    let mut replayed_records = 0u64;
+    let mut skipped_records = 0u64;
+    let mut last_lsn = snapshot_lsn;
+    for (lsn, record) in records {
+        if lsn <= snapshot_lsn {
+            // The crash landed after the snapshot was persisted but
+            // before the WAL truncation reached disk: the record's
+            // effect is already inside the snapshot.
+            skipped_records += 1;
+            continue;
+        }
+        if lsn <= last_lsn {
+            return Err(corrupt(format!(
+                "wal lsn {lsn} out of order (after {last_lsn})"
+            )));
+        }
         apply(&record, &mut global, &mut shards).map_err(corrupt)?;
+        last_lsn = lsn;
+        replayed_records += 1;
     }
 
     Ok(RecoveredState {
@@ -68,7 +88,8 @@ pub fn recover(dir: &Path) -> io::Result<RecoveredState> {
         shards,
         snapshot_lsn,
         replayed_records,
-        next_lsn: snapshot_lsn + replayed_records,
+        skipped_records,
+        next_lsn: last_lsn,
         torn_records,
     })
 }
@@ -473,6 +494,47 @@ mod tests {
             rec2.global.users.len(),
             wal_only.global.users.len()
         );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stale_wal_after_snapshot_is_skipped_not_replayed() {
+        let dir = tmp_dir("stale-wal");
+        write_history(&dir);
+        let wal_bytes = std::fs::read(dir.join(WAL_FILE)).unwrap();
+
+        let (dur, rec) = Durability::open(&dir).unwrap();
+        dur.snapshot(&rec.global, &rec.shards.iter().collect::<Vec<_>>())
+            .unwrap();
+        drop(dur);
+        // Crash window: the snapshot rename + dir fsync made it to disk
+        // but the WAL truncation did not — the full pre-snapshot log is
+        // still there next to the snapshot that already contains it.
+        std::fs::write(dir.join(WAL_FILE), &wal_bytes).unwrap();
+
+        let rec2 = recover(&dir).unwrap();
+        assert_eq!(rec2.snapshot_lsn, 10);
+        assert_eq!(rec2.skipped_records, 10, "stale prefix ignored");
+        assert_eq!(rec2.replayed_records, 0);
+        assert_eq!(rec2.next_lsn, 10);
+        let s = rec2.shards[0].queue.summary();
+        assert_eq!((s.finished, s.running), (1, 1));
+        assert_eq!(rec2.shards[0].results.len(), 1, "no duplicated report");
+
+        // Life goes on past the stale tail: a record logged after the
+        // reopen replays on the next boot while the prefix stays skipped.
+        let (dur, _rec) = Durability::open(&dir).unwrap();
+        dur.log(&WalRecord::ResultHidden {
+            project: crate::project::ProjectId(1),
+            index: 0,
+            hidden: true,
+        })
+        .unwrap();
+        drop(dur);
+        let rec3 = recover(&dir).unwrap();
+        assert_eq!((rec3.skipped_records, rec3.replayed_records), (10, 1));
+        assert_eq!(rec3.next_lsn, 11);
+        assert!(rec3.shards[0].results.all()[0].hidden);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -10,11 +10,15 @@
 //! that cannot be serialized, and without which a replayed morph walk
 //! would diverge.)
 //!
-//! Framing is one record per line: `<len> <fnv64> <json>\n`, where
-//! `len` is the byte length of the JSON text and `fnv64` its FNV-1a
-//! checksum. A torn tail — short line, bad length, bad checksum — ends
-//! replay at the last intact record, which is exactly the prefix the
-//! platform acknowledged before the crash.
+//! Framing is one record per line: `<lsn> <len> <fnv64> <json>\n`,
+//! where `lsn` is the record's log sequence number, `len` the byte
+//! length of the JSON text and `fnv64` its FNV-1a checksum. A torn
+//! tail — short line, bad length, bad checksum — ends replay at the
+//! last intact record, which is exactly the prefix the platform
+//! acknowledged before the crash. The LSN stamp lets recovery skip
+//! records a snapshot already contains: if a crash lands between
+//! persisting a snapshot and truncating the log, the stale prefix
+//! (lsn <= snapshot lsn) is ignored instead of replayed twice.
 //!
 //! Each append is flushed to the OS before the operation acks, which
 //! survives process death (`kill -9`). Full fsync happens at snapshot
@@ -471,15 +475,26 @@ impl WalWriter {
         self.lsn
     }
 
-    /// Append one record and flush it to the OS. Returns the framed
-    /// line's byte length (for the `wal.bytes` counter).
+    /// Append one record, stamped with the next LSN, and flush it to the
+    /// OS. Returns the framed line's byte length (for the `wal.bytes`
+    /// counter). A failed append truncates back to the pre-append length
+    /// so a partial line cannot tear off later, successful records.
     pub fn append(&mut self, record: &WalRecord) -> io::Result<u64> {
         let json = serde_json::to_string(record)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("wal encode: {e}")))?;
-        let line = format!("{} {:016x} {}\n", json.len(), fnv64(json.as_bytes()), json);
-        self.file.write_all(line.as_bytes())?;
-        self.file.flush()?;
-        self.lsn += 1;
+        let lsn = self.lsn + 1;
+        let line = format!("{lsn} {} {:016x} {}\n", json.len(), fnv64(json.as_bytes()), json);
+        let start = self.file.metadata()?.len();
+        if let Err(e) = self
+            .file
+            .write_all(line.as_bytes())
+            .and_then(|()| self.file.flush())
+        {
+            let _ = self.file.set_len(start);
+            let _ = self.file.seek(SeekFrom::End(0));
+            return Err(e);
+        }
+        self.lsn = lsn;
         Ok(line.len() as u64)
     }
 
@@ -506,8 +521,9 @@ impl WalWriter {
 }
 
 /// Read every intact record from a WAL file, stopping silently at a torn
-/// tail. Returns the records and the count of torn (ignored) lines.
-pub fn read_wal(path: &Path) -> io::Result<(Vec<WalRecord>, usize)> {
+/// tail. Returns the `(lsn, record)` pairs and the count of torn
+/// (ignored) lines.
+pub fn read_wal(path: &Path) -> io::Result<(Vec<(u64, WalRecord)>, usize)> {
     let file = match File::open(path) {
         Ok(f) => f,
         Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok((Vec::new(), 0)),
@@ -528,16 +544,18 @@ pub fn read_wal(path: &Path) -> io::Result<(Vec<WalRecord>, usize)> {
     Ok((records, torn))
 }
 
-fn parse_line(line: &[u8]) -> Option<WalRecord> {
+fn parse_line(line: &[u8]) -> Option<(u64, WalRecord)> {
     let text = std::str::from_utf8(line).ok()?;
-    let (len, rest) = text.split_once(' ')?;
+    let (lsn, rest) = text.split_once(' ')?;
+    let (len, rest) = rest.split_once(' ')?;
     let (sum, json) = rest.split_once(' ')?;
+    let lsn: u64 = lsn.parse().ok()?;
     let len: usize = len.parse().ok()?;
     let sum = u64::from_str_radix(sum, 16).ok()?;
     if json.len() != len || fnv64(json.as_bytes()) != sum {
         return None;
     }
-    serde_json::from_str(json).ok()
+    serde_json::from_str(json).ok().map(|r| (lsn, r))
 }
 
 #[cfg(test)]
@@ -641,12 +659,15 @@ mod tests {
         let (back, torn) = read_wal(&dir.join(WAL_FILE)).unwrap();
         assert_eq!(torn, 0);
         assert_eq!(back.len(), sample_records().len());
+        // LSNs stamp the records 1..=n in append order.
+        let lsns: Vec<u64> = back.iter().map(|(lsn, _)| *lsn).collect();
+        assert_eq!(lsns, (1..=back.len() as u64).collect::<Vec<_>>());
         // Spot-check a couple of payloads survived verbatim.
-        let WalRecord::ReportAccepted { record, .. } = &back[6] else {
-            panic!("wrong op at 6: {:?}", back[6].op());
+        let WalRecord::ReportAccepted { record, .. } = &back[6].1 else {
+            panic!("wrong op at 6: {:?}", back[6].1.op());
         };
         assert_eq!(record.times_ms, vec![1.0, 2.0]);
-        let WalRecord::TasksEnqueued { tasks, .. } = &back[4] else {
+        let WalRecord::TasksEnqueued { tasks, .. } = &back[4].1 else {
             panic!()
         };
         assert_eq!(tasks[0].id, TaskId(1 << 32));
@@ -693,10 +714,11 @@ mod tests {
         assert_eq!(wal.lsn(), 2, "lsn keeps counting across truncation");
         let (back, _) = read_wal(&dir.join(WAL_FILE)).unwrap();
         assert!(back.is_empty());
-        // Appends continue on the truncated file.
+        // Appends continue on the truncated file, LSNs past the snapshot.
         wal.append(&sample_records()[0]).unwrap();
         let (back, _) = read_wal(&dir.join(WAL_FILE)).unwrap();
         assert_eq!(back.len(), 1);
+        assert_eq!(back[0].0, 3, "post-truncation records carry lsns past the snapshot");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -358,6 +358,28 @@ impl TaskQueue {
         Ok(&self.tasks[idx])
     }
 
+    /// Undo a claim that could not be made durable: the task returns to
+    /// the *head* of its ready queue as if it was never handed out. Only
+    /// the contributor holding the claim may undo it.
+    pub fn unclaim(&mut self, id: TaskId, contributor: &ContributorKey) -> PlatformResult<()> {
+        let idx = self.slot(id)?;
+        let task = &mut self.tasks[idx];
+        match &task.state {
+            TaskState::Running { contributor: c } if c == contributor => {
+                task.state = TaskState::Queued;
+                task.started = None;
+                let target = (task.dbms_label.clone(), task.host.clone());
+                self.ready.entry(target).or_default().push_front(id);
+                self.drop_running(id, contributor);
+                Ok(())
+            }
+            _ => Err(PlatformError::Invalid(format!(
+                "task #{} is not held by this contributor",
+                id.0
+            ))),
+        }
+    }
+
     fn drop_running(&mut self, id: TaskId, contributor: &ContributorKey) {
         if let Some(held) = self.running.get_mut(contributor) {
             held.retain(|&t| t != id);
@@ -653,6 +675,26 @@ mod tests {
         let mut q = queue_with_two();
         assert!(q.complete(TaskId(0), &key(1), None).is_err());
         assert!(q.complete(TaskId(99), &key(1), None).is_err());
+    }
+
+    #[test]
+    fn unclaim_returns_task_to_queue_head() {
+        let mut q = queue_with_two();
+        let t = q.checkout(&key(1), "rowstore-2.0", "bench-server").unwrap();
+        assert_eq!(q.summary().running, 1);
+        q.unclaim(t.id, &key(1)).unwrap();
+        assert_eq!(
+            q.summary(),
+            QueueSummary { queued: 2, ..Default::default() }
+        );
+        assert!(q.running_claim(&key(1), "rowstore-2.0", "bench-server").is_none());
+        // Head of the line again: the next checkout hands out the same task.
+        let again = q.checkout(&key(2), "rowstore-2.0", "bench-server").unwrap();
+        assert_eq!(again.id, t.id);
+        // Only the holder may unclaim, and only while the task runs.
+        assert!(q.unclaim(again.id, &key(1)).is_err());
+        q.complete(again.id, &key(2), None).unwrap();
+        assert!(q.unclaim(again.id, &key(2)).is_err());
     }
 
     #[test]

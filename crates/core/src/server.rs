@@ -140,6 +140,7 @@ impl SqalpelServer {
         let (durability, recovered) = Durability::open(dir)?;
         let metrics = MetricsRegistry::new();
         metrics.add("wal.replayed_records", recovered.replayed_records);
+        metrics.add("wal.skipped_records", recovered.skipped_records);
         metrics.add("wal.recovery_nanos", started.elapsed().as_nanos() as u64);
 
         // Rebuild in-flight admission state from the recovered queues:
@@ -201,18 +202,25 @@ impl SqalpelServer {
     }
 
     /// Snapshot the full state and truncate the WAL behind it. Takes
-    /// read locks on the global shard and every project shard (in lock
-    /// order), which excludes all writers — the cut is consistent.
+    /// read locks on the global shard, the shard map and every project
+    /// shard (in lock order), which excludes all writers — the cut is
+    /// consistent. Holding the *map* lock for the duration matters: a
+    /// concurrent `create_project` (global read + map write) could
+    /// otherwise install a shard and log records for it between the
+    /// shard-list read and the WAL truncation, and the truncation would
+    /// silently drop the acknowledged project.
     pub fn snapshot_now(&self) -> PlatformResult<u64> {
         let d = self.durability.as_ref().ok_or_else(|| {
             PlatformError::Invalid("server has no state directory".into())
         })?;
         let global = self.state.global.read();
-        let shards = self.state.all_shards();
-        let guards: Vec<_> = shards.iter().map(|s| s.read()).collect();
-        let refs: Vec<&ProjectShard> = guards.iter().map(|g| &**g).collect();
-        let lsn = d
-            .snapshot(&global, &refs)
+        let lsn = self
+            .state
+            .with_shards_locked(|shards| {
+                let guards: Vec<_> = shards.iter().map(|s| s.read()).collect();
+                let refs: Vec<&ProjectShard> = guards.iter().map(|g| &**g).collect();
+                d.snapshot(&global, &refs)
+            })
             .map_err(|e| PlatformError::Invalid(format!("durability: {e}")))?;
         self.metrics.incr("wal.snapshots");
         self.ops_since_snapshot.store(0, Ordering::Relaxed);
@@ -652,6 +660,12 @@ impl SqalpelServer {
                             task: task.id,
                             key: key.clone(),
                         }) {
+                            // The claim never became durable: undo it so
+                            // the task is immediately claimable again
+                            // instead of stranded Running with no holder.
+                            s.queue
+                                .unclaim(task.id, key)
+                                .expect("just checked out under this lock");
                             self.admission.cancel(user);
                             return Err(e);
                         }
@@ -685,12 +699,13 @@ impl SqalpelServer {
         let out = self.metrics.time("server.report_result_nanos", || {
             let shard = self.state.shard_of_task(task_id)?;
             let mut s = shard.write();
+            let task = s.queue.task(task_id)?.clone();
             // The idempotency check applies only when this key does NOT hold
             // the task: a running claim means this is a fresh report (e.g. the
             // task failed, was requeued and re-claimed by the same key), not a
             // retry of an accepted one.
             let held_by_key = matches!(
-                &s.queue.task(task_id)?.state,
+                &task.state,
                 TaskState::Running { contributor } if contributor == key
             );
             if !held_by_key {
@@ -698,10 +713,21 @@ impl SqalpelServer {
                     self.metrics.incr("server.report_result.duplicate");
                     return Ok(existing);
                 }
+                // Refused up front — the same typed errors `queue.complete`
+                // would raise — so nothing is logged or mutated for a
+                // report that cannot be accepted.
+                return Err(match &task.state {
+                    TaskState::Running { .. } => PlatformError::AccessDenied(format!(
+                        "task #{} belongs to another contributor",
+                        task_id.0
+                    )),
+                    other => PlatformError::Invalid(format!(
+                        "task #{} is not running (state {other:?})",
+                        task_id.0
+                    )),
+                });
             }
             let error = outcome.error.clone();
-            s.queue.complete(task_id, key, error.clone())?;
-            let task = s.queue.task(task_id)?.clone();
             let mut rec: ResultRecord = record(
                 task_id,
                 task.project,
@@ -733,13 +759,20 @@ impl SqalpelServer {
                 }
             }
             // One combined record: replay applies the queue completion
-            // and the stored result atomically.
+            // and the stored result atomically. Logged *before* the queue
+            // mutation: if the append fails, the task stays Running and
+            // the admission slot stays held, so the contributor's retry
+            // can complete it once the log is writable again — in-memory,
+            // on-disk and admission state never diverge.
             self.log(&WalRecord::ReportAccepted {
                 task: task_id,
                 key: key.clone(),
-                error,
+                error: error.clone(),
                 record: rec.clone(),
             })?;
+            s.queue
+                .complete(task_id, key, error)
+                .expect("validated above under this lock: task is held by this key");
             let idx = s.results.push(rec);
             if self.admission.release(key, task_id) {
                 self.metrics.incr("admission.released");
@@ -1344,6 +1377,49 @@ mod tests {
         let server = SqalpelServer::open(&dir).unwrap();
         assert!(!server.recovered_fresh());
         assert_eq!(server.queue_summary().running, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Regression: a snapshot must hold the shard-map lock for its whole
+    /// cut. Without it, a concurrent `create_project` can append its
+    /// `ProjectCreated` record between the shard-list read and the WAL
+    /// truncation — the snapshot then misses the project and the
+    /// truncation drops its record, silently losing an acked creation.
+    #[test]
+    fn snapshot_racing_project_creation_loses_nothing() {
+        let dir = std::env::temp_dir().join(format!(
+            "sqalpel-server-snap-race-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let total = 50u64;
+        let owner;
+        {
+            let server = SqalpelServer::open(&dir).unwrap();
+            owner = server.register_user("mlk", "mlk@cwi.nl").unwrap();
+            std::thread::scope(|sc| {
+                sc.spawn(|| {
+                    for _ in 0..40 {
+                        server.snapshot_now().unwrap();
+                    }
+                });
+                sc.spawn(|| {
+                    for i in 0..total {
+                        server
+                            .create_project(owner, &format!("p{i}"), "s", Visibility::Public)
+                            .unwrap();
+                    }
+                });
+            });
+        }
+        let server = SqalpelServer::open(&dir).unwrap();
+        for i in 1..=total {
+            assert_eq!(
+                server.role_of(ProjectId(i), owner).unwrap(),
+                Role::Owner,
+                "acked project #{i} survived the racing snapshots"
+            );
+        }
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

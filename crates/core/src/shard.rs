@@ -157,6 +157,14 @@ impl ShardedState {
         self.shards.read().clone()
     }
 
+    /// Run `f` against the shard list while holding the map read lock
+    /// for the whole call. Project creation needs the map write lock, so
+    /// no shard can be installed — nor records for it logged — while `f`
+    /// runs; the snapshotter's consistency cut depends on this.
+    pub fn with_shards_locked<T>(&self, f: impl FnOnce(&[Arc<RwLock<ProjectShard>>]) -> T) -> T {
+        f(&self.shards.read())
+    }
+
     pub fn shard_count(&self) -> usize {
         self.shards.read().len()
     }
