@@ -101,7 +101,23 @@ cargo run --release -p sqalpel-bench --bin repro -- scale --smoke
 # Admission-control invariants (the per-user in-flight bound is exact and
 # every release path — report, error, reaper — returns the slot).
 cargo test -q --release -p sqalpel-core --test admission_props
+# Bulk-upload differential wall: the same experiment reported per-record
+# over v1, per-record over v2 and as one streamed v2 batch must export
+# byte-identical CSVs with identical queue counters; a connection killed
+# mid-continuation-frame leaves no partial batch and a retry delivers
+# exactly once.
+cargo test -q --release -p sqalpel-core --test bulk_differential
+# Server-push delivery contract: exactly one QueueReady per parked
+# subscription per wake event (proptest vs a reference model), nothing to
+# closed subscriptions, and push-subscribed worker pools drain late work
+# with queue.empty_polls pinned at zero.
+cargo test -q --release -p sqalpel-core --test push_props
 # Crash-recovery e2e: kill -9 a durable `repro serve` mid-walk, restart,
 # and require byte-identical acked results, re-hand-out of the open claim
-# to its original key only, and a snapshot on SIGTERM.
+# to its original key only, and a snapshot on SIGTERM — plus the bulk
+# path: an acked batch replays byte-identical from its one group-commit
+# record, a torn group commit drops the whole batch atomically.
 cargo test -q --release -p sqalpel-bench --test crash_recovery
+# Smoke the bulk + push wire paths end to end over loopback (one batch
+# ack, idempotent retry, a QueueReady frame; no BENCH_wire.json rewrite).
+cargo run --release -p sqalpel-bench --bin repro -- wire --bulk-smoke

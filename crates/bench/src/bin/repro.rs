@@ -1,12 +1,14 @@
 //! Regenerate the paper's tables and figures, or run the platform live.
 //!
 //! ```text
-//! repro table1 | table2 | fig1 | fig2 | fig3 | fig4 | fig5 | fig6 | fig7 | ablation | parallel [--smoke] | optimizer [--smoke] | wire | scale [--smoke] | all
+//! repro table1 | table2 | fig1 | fig2 | fig3 | fig4 | fig5 | fig6 | fig7 | ablation | parallel [--smoke] | optimizer [--smoke] | wire [--bulk-smoke] | scale [--smoke] | all
 //! repro serve [addr] [--state-dir DIR]        # demo platform: HTTP /v1 on addr, framed v2 on port+1;
 //!                                             # with a state dir the platform is durable (WAL + snapshots)
 //!                                             # and SIGINT/SIGTERM shut down gracefully
-//! repro contribute <addr> <key> [dbms] [host] [--proto v1|v2]
-//!                                             # drain the queue as a remote contributor
+//! repro contribute <addr> <key> [dbms] [host] [--proto v1|v2] [--bulk]
+//!                                             # drain the queue as a remote contributor; --bulk claims
+//!                                             # many tasks at once and uploads each round as one
+//!                                             # ReportBatch (v2: columnar frames, one ack)
 //! repro metrics [addr]                        # print a server's /v1/metrics snapshot
 //! ```
 //!
@@ -42,7 +44,7 @@ fn main() {
     if !known.contains(&what) {
         eprintln!("usage: repro [{}]", known.join(" | "));
         eprintln!("       repro serve [addr] [--state-dir DIR]");
-        eprintln!("       repro contribute <addr> <key> [dbms] [host] [--proto v1|v2]");
+        eprintln!("       repro contribute <addr> <key> [dbms] [host] [--proto v1|v2] [--bulk]");
         eprintln!("       repro metrics [addr]");
         std::process::exit(2);
     }
@@ -98,7 +100,11 @@ fn main() {
         println!("{}", sqalpel_bench::optimizer_report_opts(smoke));
     }
     if run("wire") {
-        println!("{}", sqalpel_bench::wire_report());
+        if args.iter().any(|a| a == "--bulk-smoke") {
+            println!("{}", sqalpel_bench::wire_bulk_smoke());
+        } else {
+            println!("{}", sqalpel_bench::wire_report());
+        }
     }
     if what == "scale" {
         // Deliberately not part of `all`: the full run registers ~1M
@@ -148,6 +154,12 @@ fn serve(args: &[String]) {
         WireConfig, WireServer,
     };
     use sqalpel_engine::{Database, PlanCache, RowStore};
+
+    // Route SIGINT/SIGTERM to the shutdown flag before anything is
+    // reachable from outside: once the banner is out a supervisor may
+    // signal us immediately, and a raw-disposition SIGTERM would skip
+    // the drain + final snapshot.
+    install_signal_handlers();
 
     let mut addr = String::from("127.0.0.1:7878");
     let mut state_dir: Option<std::path::PathBuf> = None;
@@ -233,7 +245,6 @@ fn serve(args: &[String]) {
     println!("  POST http://{local}/v1/task/request   {{\"key\": ..., \"dbms_label\": ..., \"host\": ...}}");
     println!("  POST http://{local}/v1/result/report  {{\"key\": ..., \"task\": ..., \"outcome\": ...}}");
 
-    install_signal_handlers();
     while !SHUTDOWN.load(std::sync::atomic::Ordering::SeqCst) {
         std::thread::sleep(std::time::Duration::from_millis(50));
     }
@@ -313,10 +324,17 @@ fn metrics(addr: Option<&str>) {
     }
 }
 
-/// `repro contribute <addr> <key> [dbms] [host] [--proto v1|v2]`:
+/// `repro contribute <addr> <key> [dbms] [host] [--proto v1|v2] [--bulk]`:
 /// connect to a running `repro serve`, claim tasks for one target, run
 /// them on the local engine, and report the measurements back — over
 /// JSON/HTTP (`v1`, the default) or the framed binary protocol (`v2`).
+///
+/// `--bulk` switches to the streaming upload shape: claim a whole round
+/// of tasks under distinct nonces, run them all, and report the round as
+/// one `ReportBatch` (over v2 that is columnar continuation frames with
+/// a single ack and one WAL group commit on the server). Over v2 the
+/// contributor also subscribes for server push, so an empty queue parks
+/// on the socket instead of sleeping-and-polling.
 fn contribute(args: &[String]) {
     use sqalpel_core::{
         ContributorKey, DriverConfig, EngineConnector, ExperimentDriver, PlatformError,
@@ -325,9 +343,10 @@ fn contribute(args: &[String]) {
     use sqalpel_engine::{ColStore, Database, RowStore};
     use std::net::ToSocketAddrs;
 
-    // Split off `--proto <v>` wherever it appears; the rest stay
-    // positional.
+    // Split off `--proto <v>` and `--bulk` wherever they appear; the
+    // rest stay positional.
     let mut proto = Proto::V1Http;
+    let mut bulk = false;
     let mut positional: Vec<&String> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -340,13 +359,15 @@ fn contribute(args: &[String]) {
                     std::process::exit(2);
                 }
             };
+        } else if arg == "--bulk" {
+            bulk = true;
         } else {
             positional.push(arg);
         }
     }
     let args = positional;
     let (Some(addr), Some(key)) = (args.get(1).copied(), args.get(2).copied()) else {
-        eprintln!("usage: repro contribute <addr> <key> [dbms] [host] [--proto v1|v2]");
+        eprintln!("usage: repro contribute <addr> <key> [dbms] [host] [--proto v1|v2] [--bulk]");
         std::process::exit(2);
     };
     let dbms = args.get(3).map(|s| s.as_str()).unwrap_or("rowstore-2.0");
@@ -387,45 +408,114 @@ fn contribute(args: &[String]) {
     let client = WireClient::builder(addr).transport(proto).build();
     let key = ContributorKey(key.clone());
     let mut completed = 0usize;
-    // Empty polls and admission throttling back off with jitter instead
-    // of hammering the server: a few retries ride out a queue that is
-    // refilling (or a momentarily-exceeded in-flight bound) before the
-    // contributor concludes the study is drained.
+    // Empty polls and admission throttling back off instead of hammering
+    // the server: a few retries ride out a queue that is refilling (or a
+    // momentarily-exceeded in-flight bound) before the contributor
+    // concludes the study is drained. Over v2 the backoff is a park on
+    // the push subscription — an enqueue wakes the contributor
+    // immediately and without spending retry budget; elsewhere it is the
+    // jittered sleep.
     let policy = PollPolicy::polling(5);
     let mut empty = 0u32;
     let mut rng = std::process::id() as u64 ^ 0x5bd1e995;
-    loop {
-        let task = match client.request_task(&key, dbms, host) {
-            Ok(Some(t)) => {
-                empty = 0;
-                t
+    let mut waiter = client.subscribe_push(&key);
+    if waiter.is_some() {
+        println!("subscribed for server push: idle waits park on the socket");
+    }
+    let mut back_off = |empty: &mut u32| -> bool {
+        if *empty >= policy.max_empty_polls {
+            return false;
+        }
+        match waiter.as_mut() {
+            Some(w) => match w.wait(policy.cap) {
+                Ok(Some(_)) => {} // woken by the server: re-poll for free
+                Ok(None) | Err(_) => *empty += 1,
+            },
+            None => {
+                std::thread::sleep(policy.backoff(*empty, &mut rng));
+                *empty += 1;
             }
-            Ok(None) | Err(PlatformError::Throttled(_)) => {
-                if empty >= policy.max_empty_polls {
+        }
+        true
+    };
+    if bulk {
+        // Claim a whole round under distinct nonces (each nonce is a
+        // separate outstanding claim), run everything, upload the round
+        // as one batch. Throttling ends the round early: report what we
+        // hold — that releases the in-flight slots.
+        const ROUND: usize = 32;
+        let mut nonce = 0u64;
+        loop {
+            let mut round = Vec::new();
+            while round.len() < ROUND {
+                nonce += 1;
+                match client.claim_task(&key, dbms, host, nonce) {
+                    Ok(Some(t)) => round.push(t),
+                    Ok(None) | Err(PlatformError::Throttled(_)) => break,
+                    Err(e) => {
+                        eprintln!("claim failed: {e}");
+                        std::process::exit(1);
+                    }
+                }
+            }
+            if round.is_empty() {
+                if back_off(&mut empty) {
+                    continue;
+                }
+                break;
+            }
+            empty = 0;
+            let reports: Vec<_> = round.iter().map(|t| (t.id, driver.run(&t.sql))).collect();
+            match client.report_batch(&key, &reports) {
+                Ok(indices) => {
+                    completed += round.len();
+                    let errors = reports.iter().filter(|(_, o)| o.error.is_some()).count();
+                    println!(
+                        "batch of {} -> results #{}..#{} [{} ok, {errors} error]",
+                        round.len(),
+                        indices.iter().min().copied().unwrap_or(0),
+                        indices.iter().max().copied().unwrap_or(0),
+                        round.len() - errors,
+                    );
+                }
+                Err(e) => {
+                    eprintln!("bulk report of {} tasks failed: {e}", round.len());
+                    std::process::exit(1);
+                }
+            }
+        }
+    } else {
+        loop {
+            let task = match client.request_task(&key, dbms, host) {
+                Ok(Some(t)) => {
+                    empty = 0;
+                    t
+                }
+                Ok(None) | Err(PlatformError::Throttled(_)) => {
+                    if back_off(&mut empty) {
+                        continue;
+                    }
                     break;
                 }
-                std::thread::sleep(policy.backoff(empty, &mut rng));
-                empty += 1;
-                continue;
-            }
-            Err(e) => {
-                eprintln!("request failed: {e}");
-                std::process::exit(1);
-            }
-        };
-        let outcome = driver.run(&task.sql);
-        let status = match &outcome.error {
-            Some(e) => format!("error: {e}"),
-            None => "ok".into(),
-        };
-        match client.report_result(&key, task.id, &outcome) {
-            Ok(index) => {
-                completed += 1;
-                println!("task {} -> result #{index} [{status}] {}", task.id.0, task.sql);
-            }
-            Err(e) => {
-                eprintln!("report for task {} failed: {e}", task.id.0);
-                std::process::exit(1);
+                Err(e) => {
+                    eprintln!("request failed: {e}");
+                    std::process::exit(1);
+                }
+            };
+            let outcome = driver.run(&task.sql);
+            let status = match &outcome.error {
+                Some(e) => format!("error: {e}"),
+                None => "ok".into(),
+            };
+            match client.report_result(&key, task.id, &outcome) {
+                Ok(index) => {
+                    completed += 1;
+                    println!("task {} -> result #{index} [{status}] {}", task.id.0, task.sql);
+                }
+                Err(e) => {
+                    eprintln!("report for task {} failed: {e}", task.id.0);
+                    std::process::exit(1);
+                }
             }
         }
     }

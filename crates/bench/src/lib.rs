@@ -434,8 +434,16 @@ fn interleaved_medians(dbmses: &[Box<dyn Dbms>], sql: &str, reps: usize) -> Vec<
 /// Build a server holding an enqueued Q6 pool walk of roughly `tasks`
 /// tasks (entries × one dbms × one host), plus a contributor to drain it.
 fn walk_server(tasks: usize) -> (sqalpel_core::SqalpelServer, sqalpel_core::UserId, usize) {
+    walk_server_on(sqalpel_core::SqalpelServer::new(), tasks)
+}
+
+/// [`walk_server`] on a caller-built server (e.g. one with an admission
+/// bound wide enough for a bulk contributor to hold the whole queue).
+fn walk_server_on(
+    server: sqalpel_core::SqalpelServer,
+    tasks: usize,
+) -> (sqalpel_core::SqalpelServer, sqalpel_core::UserId, usize) {
     use sqalpel_core::Visibility;
-    let server = sqalpel_core::SqalpelServer::new();
     let owner = server.register_user("mlk", "mlk@cwi.nl").expect("owner");
     let contrib = server.register_user("pk", "pk@monetdb.com").expect("contributor");
     let project = server
@@ -933,6 +941,54 @@ pub fn wire_report() -> String {
     let p50 = percentile(&claim_ms, 50.0);
     let p99 = percentile(&claim_ms, 99.0);
 
+    // Bulk result streaming: the same ~1k-record workload reported two
+    // ways over v2 — one `report_result` round trip per record vs a
+    // single `ReportBatch` upload (columnar continuation frames, one
+    // ack, one WAL group commit). Claims happen outside both timed
+    // windows; the numbers isolate the reporting path.
+    const BULK_RECORDS: usize = 1_000;
+    let bulk_rig = || {
+        use sqalpel_core::AdmissionConfig;
+        // One contributor holds the whole queue at once, so the
+        // admission bound must clear the record count.
+        let (server, contrib, total) = walk_server_on(
+            sqalpel_core::SqalpelServer::with_admission(AdmissionConfig {
+                max_inflight_per_user: 2 * BULK_RECORDS,
+                max_queued_per_project: 100 * BULK_RECORDS,
+            }),
+            BULK_RECORDS,
+        );
+        let server = Arc::new(server);
+        let v2 = V2Server::start(Arc::clone(&server), None, "127.0.0.1:0", V2Config::default())
+            .expect("bind bulk loopback");
+        let key = server.issue_key(contrib).expect("key");
+        let client = WireClient::builder(v2.local_addr()).transport(Proto::V2Framed).build();
+        let mut claimed = Vec::with_capacity(total);
+        while let Some(task) = client
+            .claim_task(&key, "rowstore-2.0", "bench-server", claimed.len() as u64 + 1)
+            .expect("bulk claim")
+        {
+            claimed.push((task.id, driver.run(&task.sql)));
+        }
+        assert_eq!(claimed.len(), total, "contributor holds the whole walk");
+        (server, v2, client, key, claimed)
+    };
+    let (_s1, _v2a, per_client, per_key, per_claimed) = bulk_rig();
+    let t_per = Instant::now();
+    for (task, outcome) in &per_claimed {
+        per_client.report_result(&per_key, *task, outcome).expect("per-record report");
+    }
+    let per_report_wall = t_per.elapsed().as_secs_f64();
+    let (_s2, _v2b, bulk_client, bulk_key, bulk_claimed) = bulk_rig();
+    let records = bulk_claimed.len();
+    let t_bulk = Instant::now();
+    let acked = bulk_client.report_batch(&bulk_key, &bulk_claimed).expect("bulk report");
+    let bulk_wall = t_bulk.elapsed().as_secs_f64();
+    assert_eq!(acked.len(), records, "one ack covers every record");
+    let per_report_rps = records as f64 / per_report_wall.max(1e-9);
+    let bulk_rps = records as f64 / bulk_wall.max(1e-9);
+    let bulk_speedup = bulk_rps / per_report_rps.max(1e-9);
+
     let v2_speedup = v2_rps / v1_rps.max(1e-9);
     let v2p_speedup = v2p_rps / v1_rps.max(1e-9);
     let mut out = format!(
@@ -943,7 +999,9 @@ pub fn wire_report() -> String {
          \x20 v2 framed pipelined (depth {PIPELINE_DEPTH}): {v2p_rps:>9.0} requests/s  ({v2p_wall:.2}s)  {v2p_speedup:.1}x v1\n\
          plan cache over v2: cold miss {cold_ms:.3}ms, warm hit avg {warm_ms:.3}ms over {WARM_CALLS} calls \
          (server counters: {cache_hits} hits / {cache_misses} misses)\n\
-         task hand-out (v1): {} tasks drained, claim latency p50 {p50:.3}ms / p99 {p99:.3}ms\n",
+         task hand-out (v1): {} tasks drained, claim latency p50 {p50:.3}ms / p99 {p99:.3}ms\n\
+         bulk upload ({records} records over v2): per-report {per_report_rps:>7.0} records/s, \
+         one ReportBatch {bulk_rps:>7.0} records/s  {bulk_speedup:.1}x\n",
         claim_ms.len()
     );
 
@@ -977,6 +1035,12 @@ pub fn wire_report() -> String {
     );
     root.insert("plan_cache".into(), Value::Object(cache));
     root.insert("handout".into(), Value::Object(handout));
+    let mut bulk = Map::new();
+    bulk.insert("records".into(), Value::Int(records as i64));
+    bulk.insert("per_report_rps".into(), Value::Float(per_report_rps));
+    bulk.insert("bulk_rps".into(), Value::Float(bulk_rps));
+    bulk.insert("speedup".into(), Value::Float(bulk_speedup));
+    root.insert("bulk".into(), Value::Object(bulk));
     let json = serde_json::to_string_pretty(&Value::Object(root)).expect("serializable");
     match std::fs::write("BENCH_wire.json", &json) {
         Ok(()) => {
@@ -987,6 +1051,89 @@ pub fn wire_report() -> String {
         }
     }
     out
+}
+
+/// `repro wire --bulk-smoke`: a fast CI gate over the two new v2 paths.
+/// Spins up a loopback v2 server, drains a small walk with one
+/// `ReportBatch` (asserting the ack covers every record and a retry
+/// deduplicates to the same indices), and round-trips a server-push
+/// notification (subscribe, enqueue, receive `QueueReady` as a frame).
+/// Panics on any violation; prints a one-screen summary otherwise.
+pub fn wire_bulk_smoke() -> String {
+    use sqalpel_core::{
+        DriverConfig, ExperimentDriver, MockConnector, Proto, V2Config, V2Server, WireClient,
+    };
+
+    let (server, contrib, total) = walk_server(40);
+    let server = Arc::new(server);
+    let v2 = V2Server::start(Arc::clone(&server), None, "127.0.0.1:0", V2Config::default())
+        .expect("bind v2 loopback");
+    let key = server.issue_key(contrib).expect("key");
+    let client = WireClient::builder(v2.local_addr()).transport(Proto::V2Framed).build();
+    let driver = ExperimentDriver::new(
+        MockConnector {
+            label: "rowstore-2.0".into(),
+            fail_pattern: None,
+            spin: 0,
+            rows: 1,
+        },
+        DriverConfig::parse("dbms = rowstore-2.0\nhost = bench-server\nrepetitions = 1")
+            .expect("config"),
+    );
+
+    // Push round trip first: subscribe, then enqueue more work — the
+    // subscription must see the QueueReady as an unsolicited frame on
+    // its own connection. (walk_server's owner/project are the first
+    // registered user and project.)
+    let mut waiter = client.subscribe_push(&key).expect("v2 push subscription");
+    let owner = sqalpel_core::UserId(1);
+    let project = sqalpel_core::ProjectId(1);
+    let extra = server
+        .add_experiment(project, owner, "smoke extra", sqalpel_sql::tpch::Q6, None, 100, 100)
+        .expect("extra experiment");
+    server.seed_pool(project, extra, owner, 3, 7).expect("seed extra");
+    let added = server.enqueue_experiment(project, extra, owner).expect("enqueue extra");
+    assert!(added > 0);
+    let n = waiter
+        .wait(std::time::Duration::from_secs(5))
+        .expect("push channel healthy")
+        .expect("QueueReady within 5s");
+    assert!(
+        matches!(n, sqalpel_core::Notification::QueueReady { project: p } if p == project),
+        "expected QueueReady for the walk project, got {n:?}"
+    );
+
+    // Bulk drain: claim everything under distinct nonces, upload as one
+    // batch, and retry the identical batch — the ack must repeat the
+    // same indices with zero new records.
+    let mut claimed = Vec::new();
+    while let Some(task) = client
+        .claim_task(&key, "rowstore-2.0", "bench-server", claimed.len() as u64 + 1)
+        .expect("bulk claim")
+    {
+        claimed.push((task.id, driver.run(&task.sql)));
+    }
+    assert!(claimed.len() >= total, "bulk claims cover the whole walk");
+    let acked = client.report_batch(&key, &claimed).expect("bulk upload");
+    assert_eq!(acked.len(), claimed.len(), "one ack per record, in order");
+    let again = client.report_batch(&key, &claimed).expect("idempotent retry");
+    assert_eq!(again, acked, "retrying a delivered batch repeats the same indices");
+    let summary = server.queue_summary();
+    assert_eq!(summary.queued, 0, "queue fully drained");
+    assert_eq!(summary.running, 0, "no claims left open");
+    let m = server.metrics();
+    assert_eq!(m.counter("wire.bulk_records"), 2 * claimed.len() as u64);
+    assert!(m.counter("wire.push_frames") >= 1, "the QueueReady went over the wire");
+
+    format!(
+        "## Wire bulk smoke\n\n\
+         push: QueueReady frame received after enqueue\n\
+         bulk: {} records in one ReportBatch ack, retry deduplicated to the same indices\n\
+         queue drained; wire.bulk_records = {}, wire.push_frames = {}\n",
+        claimed.len(),
+        m.counter("wire.bulk_records"),
+        m.counter("wire.push_frames"),
+    )
 }
 
 /// `repro scale`: full-size load generation (see

@@ -10,15 +10,20 @@
 //! * a SIGTERM shutdown writes a final snapshot that the next boot
 //!   recovers from.
 
-use sqalpel_core::{ContributorKey, LoadAvg, ProjectId, RunOutcome, UserId, WireClient};
+use sqalpel_core::{ContributorKey, LoadAvg, Proto, ProjectId, RunOutcome, UserId, WireClient};
 use std::io::{BufRead, BufReader};
 use std::net::SocketAddr;
 use std::process::{Child, Command, Stdio};
 
-/// A serve child that is killed when the test panics mid-way.
+/// A serve child that is killed when the test panics mid-way. The stdout
+/// handle stays open for the child's lifetime: closing it as soon as the
+/// startup lines are parsed races the server's remaining banner prints
+/// into an EPIPE panic.
 struct Serve {
     child: Child,
+    _stdout: std::process::ChildStdout,
     addr: SocketAddr,
+    v2_addr: SocketAddr,
     key: ContributorKey,
 }
 
@@ -32,7 +37,20 @@ impl Drop for Serve {
 /// Spawn `repro serve 127.0.0.1:0 --state-dir <dir>` and parse the bound
 /// address and the demo contributor key from its stdout. A tiny scale
 /// factor keeps the engine bootstrap instant.
+///
+/// v2 listens on the v1 port + 1, and with `:0` the OS picks v1's port —
+/// so a concurrent test's sockets can already hold the neighbour and the
+/// serve exits at startup. Retry the spawn on that startup loss.
 fn spawn_serve(dir: &std::path::Path) -> Serve {
+    for _ in 0..10 {
+        if let Some(serve) = try_spawn_serve(dir) {
+            return serve;
+        }
+    }
+    panic!("repro serve kept losing its v2 port to a neighbour");
+}
+
+fn try_spawn_serve(dir: &std::path::Path) -> Option<Serve> {
     let mut child = Command::new(env!("CARGO_BIN_EXE_repro"))
         .args(["serve", "127.0.0.1:0", "--state-dir"])
         .arg(dir)
@@ -42,27 +60,34 @@ fn spawn_serve(dir: &std::path::Path) -> Serve {
         .stdin(Stdio::null())
         .spawn()
         .expect("spawn repro serve");
-    let stdout = child.stdout.take().expect("serve stdout");
+    let mut stdout = child.stdout.take().expect("serve stdout");
     let mut addr = None;
+    let mut v2_addr = None;
     let mut key = None;
-    for line in BufReader::new(stdout).lines() {
+    for line in BufReader::new(&mut stdout).lines() {
         let line = line.expect("serve output");
         if let Some(rest) = line.strip_prefix("sqalpel platform serving on http://") {
             let host = rest.strip_suffix("/v1").unwrap_or(rest);
             addr = Some(host.parse().expect("server address"));
         }
+        if let Some(rest) = line.strip_prefix("framed binary protocol v2 on tcp://") {
+            v2_addr = Some(rest.trim().parse().expect("v2 address"));
+        }
         if let Some(k) = line.strip_prefix("demo contributor key: ") {
             key = Some(ContributorKey(k.trim().to_string()));
         }
-        if addr.is_some() && key.is_some() {
+        if addr.is_some() && v2_addr.is_some() && key.is_some() {
             break;
         }
     }
-    Serve {
-        child,
-        addr: addr.expect("serve printed its address"),
-        key: key.expect("serve printed a contributor key"),
-    }
+    let (Some(addr), Some(v2_addr), Some(key)) = (addr, v2_addr, key) else {
+        // Stdout closed before the full banner: the child lost the bind
+        // race and exited. Reap it and let the caller retry.
+        let _ = child.kill();
+        let _ = child.wait();
+        return None;
+    };
+    Some(Serve { child, _stdout: stdout, addr, v2_addr, key })
 }
 
 fn outcome() -> RunOutcome {
@@ -166,6 +191,91 @@ fn kill_nine_mid_walk_loses_nothing() {
     let summary = client3.queue_summary().expect("summary");
     assert_eq!(summary.finished, after.finished + 1);
     assert_eq!(summary.running, after.running - 1 + 1, "stranger's claim is still open");
+
+    drop(serve3);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Bulk uploads are group-committed: one WAL record per acked batch. So
+/// a `kill -9` interacts with them in exactly two ways — an acked batch
+/// replays byte-identical (the record is durable before the ack), and a
+/// torn group-commit record (the crash landed mid-`write`) drops the
+/// *whole* batch atomically: zero of its reports visible, never a
+/// partial prefix, and every report re-submittable exactly once.
+#[test]
+fn kill_nine_mid_group_commit_keeps_bulk_batches_atomic() {
+    let dir = std::env::temp_dir().join(format!("sqalpel-crash-bulk-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("state dir");
+
+    // Boot 1: claim three tasks under distinct nonces (bulk multi-claim),
+    // upload them as one batch over v2, and die right after the ack.
+    let mut serve = spawn_serve(&dir);
+    let client = WireClient::builder(serve.v2_addr).transport(Proto::V2Framed).build();
+    let key = serve.key.clone();
+    let mut batch1 = Vec::new();
+    for nonce in 1..=3u64 {
+        let task = client
+            .claim_task(&key, DBMS, HOST, nonce)
+            .expect("claim")
+            .expect("demo queue has work");
+        batch1.push((task.id, outcome()));
+    }
+    let acked = client.report_batch(&key, &batch1).expect("bulk ack");
+    assert_eq!(acked.len(), 3);
+    let csv1 = client.export_csv(PROJECT, ADMIN).expect("csv after batch 1");
+    assert_eq!(csv1.lines().count(), 1 + 3, "header + three bulk reports");
+    serve.child.kill().expect("SIGKILL serve");
+    serve.child.wait().expect("reap serve");
+
+    // Boot 2: the acked batch replays byte-identical from its single
+    // group-commit record.
+    let mut serve2 = spawn_serve(&dir);
+    let client2 = WireClient::builder(serve2.v2_addr).transport(Proto::V2Framed).build();
+    let csv_replayed = client2.export_csv(PROJECT, ADMIN).expect("csv after replay");
+    assert_eq!(csv_replayed, csv1, "acked bulk batch must survive kill -9 byte-for-byte");
+
+    // Upload a second batch, then kill -9 and tear its group-commit
+    // record in half — as if the crash had landed mid-write.
+    let mut batch2 = Vec::new();
+    for nonce in 1..=3u64 {
+        let task = client2
+            .claim_task(&key, DBMS, HOST, nonce)
+            .expect("claim")
+            .expect("demo queue still has work");
+        batch2.push((task.id, outcome()));
+    }
+    let acked2 = client2.report_batch(&key, &batch2).expect("bulk ack 2");
+    assert_eq!(acked2.len(), 3);
+    let csv2 = client2.export_csv(PROJECT, ADMIN).expect("csv after batch 2");
+    assert_eq!(csv2.lines().count(), 1 + 6);
+    serve2.child.kill().expect("SIGKILL serve");
+    serve2.child.wait().expect("reap serve");
+
+    let wal = dir.join("wal.log");
+    let len = std::fs::metadata(&wal).expect("wal present").len();
+    let torn = len - 10; // cut into the final line: batch 2's group commit
+    let f = std::fs::OpenOptions::new().write(true).open(&wal).expect("open wal");
+    f.set_len(torn).expect("truncate wal mid-record");
+    drop(f);
+
+    // Boot 3: the torn batch vanishes whole — the CSV is exactly the
+    // pre-batch-2 bytes, not some prefix of batch 2.
+    let serve3 = spawn_serve(&dir);
+    let client3 = WireClient::builder(serve3.v2_addr).transport(Proto::V2Framed).build();
+    let csv_torn = client3.export_csv(PROJECT, ADMIN).expect("csv after torn commit");
+    assert_eq!(csv_torn, csv1, "a torn group commit must drop the whole batch atomically");
+    let summary = client3.queue_summary().expect("summary");
+    assert_eq!(summary.finished, 3, "only batch 1 is applied");
+    assert_eq!(summary.running, 3, "batch 2's claims (logged earlier) are back in flight");
+
+    // The dropped reports are still held by the original key and can be
+    // re-submitted — exactly once, landing on the same record indices,
+    // so the final export matches the pre-crash bytes.
+    let resubmitted = client3.report_batch(&key, &batch2).expect("bulk resubmit");
+    assert_eq!(resubmitted, acked2, "re-upload fills the same record slots");
+    let csv_final = client3.export_csv(PROJECT, ADMIN).expect("csv after resubmit");
+    assert_eq!(csv_final, csv2, "resubmitted batch restores the pre-crash export byte-for-byte");
 
     drop(serve3);
     let _ = std::fs::remove_dir_all(&dir);

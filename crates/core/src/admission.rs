@@ -47,8 +47,10 @@ impl Default for AdmissionConfig {
 
 #[derive(Default)]
 struct Inner {
-    /// Tasks currently held under each contributor key.
-    by_key: HashMap<ContributorKey, Vec<TaskId>>,
+    /// Tasks currently held under each contributor key, each with the
+    /// claim nonce it was handed out under (`None` = legacy claim or a
+    /// recovered hand-out, which matches any nonce on re-request).
+    by_key: HashMap<ContributorKey, Vec<(TaskId, Option<u64>)>>,
     /// In-flight count per user (sum over that user's keys, plus any
     /// not-yet-confirmed reservations).
     by_user: HashMap<UserId, usize>,
@@ -92,10 +94,15 @@ impl AdmissionControl {
         Ok(())
     }
 
-    /// Attach a claimed task to the reservation made by `try_reserve`.
-    pub fn confirm(&self, key: &ContributorKey, user: UserId, task: TaskId) {
+    /// Attach a claimed task to the reservation made by `try_reserve`,
+    /// recording the claim nonce the hand-out answered (if any).
+    pub fn confirm(&self, key: &ContributorKey, user: UserId, task: TaskId, claim: Option<u64>) {
         let mut inner = self.inner.lock();
-        inner.by_key.entry(key.clone()).or_default().push(task);
+        inner
+            .by_key
+            .entry(key.clone())
+            .or_default()
+            .push((task, claim));
         inner.owner_of.insert(key.clone(), user);
     }
 
@@ -122,7 +129,7 @@ impl AdmissionControl {
         let Some(held) = inner.by_key.get_mut(key) else {
             return false;
         };
-        let Some(pos) = held.iter().position(|t| *t == task) else {
+        let Some(pos) = held.iter().position(|(t, _)| *t == task) else {
             return false;
         };
         held.swap_remove(pos);
@@ -142,6 +149,38 @@ impl AdmissionControl {
         true
     }
 
+    /// [`release`](Self::release) for a whole bulk upload: one lock
+    /// acquisition and one pass over the held list, instead of a
+    /// rescan-under-mutex per task. Returns how many of `tasks` were
+    /// actually held — duplicates in a retried batch release nothing.
+    pub fn release_batch(&self, key: &ContributorKey, tasks: &[TaskId]) -> usize {
+        let dropping: std::collections::HashSet<u64> = tasks.iter().map(|t| t.0).collect();
+        let mut inner = self.inner.lock();
+        let Some(held) = inner.by_key.get_mut(key) else {
+            return 0;
+        };
+        let before = held.len();
+        held.retain(|(t, _)| !dropping.contains(&t.0));
+        let removed = before - held.len();
+        if removed == 0 {
+            return 0;
+        }
+        let emptied = held.is_empty();
+        if let Some(user) = inner.owner_of.get(key).copied() {
+            if let Some(count) = inner.by_user.get_mut(&user) {
+                *count = count.saturating_sub(removed);
+                if *count == 0 {
+                    inner.by_user.remove(&user);
+                }
+            }
+        }
+        if emptied {
+            inner.by_key.remove(key);
+            inner.owner_of.remove(key);
+        }
+        removed
+    }
+
     /// Drop a held task without knowing the key — the reaper's path,
     /// where the queue has already forgotten who held it. Returns
     /// whether any holder was found.
@@ -151,7 +190,7 @@ impl AdmissionControl {
             match inner
                 .by_key
                 .iter()
-                .find(|(_, held)| held.contains(&task))
+                .find(|(_, held)| held.iter().any(|(t, _)| *t == task))
             {
                 Some((key, _)) => key.clone(),
                 None => return false,
@@ -162,6 +201,11 @@ impl AdmissionControl {
 
     /// Tasks currently held under a key (for idempotent re-hand-out).
     pub fn held_by(&self, key: &ContributorKey) -> Vec<TaskId> {
+        self.held_with(key).into_iter().map(|(t, _)| t).collect()
+    }
+
+    /// Held tasks with the claim nonce each was handed out under.
+    pub fn held_with(&self, key: &ContributorKey) -> Vec<(TaskId, Option<u64>)> {
         self.inner
             .lock()
             .by_key
@@ -187,7 +231,12 @@ impl AdmissionControl {
     /// was enforced when the hand-out was first acknowledged).
     pub fn restore(&self, key: &ContributorKey, user: UserId, task: TaskId) {
         let mut inner = self.inner.lock();
-        inner.by_key.entry(key.clone()).or_default().push(task);
+        // Recovered hand-outs carry no nonce: they match any re-request.
+        inner
+            .by_key
+            .entry(key.clone())
+            .or_default()
+            .push((task, None));
         inner.owner_of.insert(key.clone(), user);
         *inner.by_user.entry(user).or_insert(0) += 1;
     }
@@ -223,9 +272,9 @@ mod tests {
         let key = ContributorKey("ck_a".into());
 
         adm.try_reserve(user).unwrap();
-        adm.confirm(&key, user, TaskId(100));
+        adm.confirm(&key, user, TaskId(100), None);
         adm.try_reserve(user).unwrap();
-        adm.confirm(&key, user, TaskId(101));
+        adm.confirm(&key, user, TaskId(101), None);
         assert_eq!(adm.inflight_of(user), 2);
         assert!(matches!(
             adm.try_reserve(user),
@@ -249,9 +298,9 @@ mod tests {
         let user = UserId(7);
         let (k1, k2) = (ContributorKey("ck_1".into()), ContributorKey("ck_2".into()));
         adm.try_reserve(user).unwrap();
-        adm.confirm(&k1, user, TaskId(1));
+        adm.confirm(&k1, user, TaskId(1), None);
         adm.try_reserve(user).unwrap();
-        adm.confirm(&k2, user, TaskId(2));
+        adm.confirm(&k2, user, TaskId(2), None);
         assert!(adm.try_reserve(user).is_err());
         assert_eq!(adm.held_by(&k1), vec![TaskId(1)]);
         assert_eq!(adm.held_by(&k2), vec![TaskId(2)]);
@@ -266,9 +315,9 @@ mod tests {
         let user = UserId(9);
         let key = ContributorKey("ck_gc".into());
         adm.try_reserve(user).unwrap();
-        adm.confirm(&key, user, TaskId(1));
+        adm.confirm(&key, user, TaskId(1), None);
         adm.try_reserve(user).unwrap();
-        adm.confirm(&key, user, TaskId(2));
+        adm.confirm(&key, user, TaskId(2), None);
         assert_eq!(adm.footprint(), (1, 1, 1));
         assert!(adm.release(&key, TaskId(1)));
         assert_eq!(adm.footprint(), (1, 1, 1), "one task still held");

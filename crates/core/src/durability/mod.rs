@@ -4,7 +4,10 @@
 //! The contract: **once an operation is acknowledged, it survives a
 //! crash.** The server logs a typed [`WalRecord`] for every mutation
 //! *before* releasing the lock that made it (so WAL order equals
-//! mutation order per lock domain), flushed to the OS per record.
+//! mutation order per lock domain), flushed to the OS per record. A
+//! bulk upload group-commits: all of its reports ride one
+//! [`WalRecord::ReportBatchAccepted`] line — one append, one flush, one
+//! checksum — so the batch is acknowledged, and replays, atomically.
 //! Snapshots bound replay time; the WAL is truncated when one lands.
 //! Records carry their LSN, so on boot [`recover`] loads the newest
 //! snapshot and replays only records past its LSN — a crash between the

@@ -252,6 +252,19 @@ pub fn apply(
             shard.results.push(record.clone());
             Ok(())
         }
+        WalRecord::ReportBatchAccepted { key, items } => {
+            // One group commit replays as its per-report effects, in
+            // upload order — all of them or (torn tail) none.
+            for (task, error, record) in items {
+                let shard = shard_mut(shards, crate::shard::project_of_task(*task))?;
+                shard
+                    .queue
+                    .complete(*task, key, error.clone())
+                    .map_err(|e| e.to_string())?;
+                shard.results.push(record.clone());
+            }
+            Ok(())
+        }
         WalRecord::TasksReaped { project, tasks } => {
             let shard = shard_mut(shards, *project)?;
             for task in tasks {

@@ -132,6 +132,14 @@ pub enum WalRecord {
         error: Option<String>,
         record: ResultRecord,
     },
+    /// One bulk upload's accepted reports as a single group commit: one
+    /// framed line, one checksum, so a torn tail drops the whole batch
+    /// atomically — an unacked batch never replays partially.
+    ReportBatchAccepted {
+        key: ContributorKey,
+        /// `(task, error, record)` per accepted report, in upload order.
+        items: Vec<(TaskId, Option<String>, ResultRecord)>,
+    },
     TasksReaped {
         project: ProjectId,
         tasks: Vec<TaskId>,
@@ -163,6 +171,7 @@ impl WalRecord {
             WalRecord::TasksEnqueued { .. } => "tasks_enqueued",
             WalRecord::TaskClaimed { .. } => "task_claimed",
             WalRecord::ReportAccepted { .. } => "report_accepted",
+            WalRecord::ReportBatchAccepted { .. } => "report_batch_accepted",
             WalRecord::TasksReaped { .. } => "tasks_reaped",
             WalRecord::TaskRequeued { .. } => "task_requeued",
             WalRecord::ResultHidden { .. } => "result_hidden",
@@ -289,6 +298,26 @@ impl Serialize for WalRecord {
                     m.insert("error".into(), e.clone().into());
                 }
                 m.insert("record".into(), record.to_value());
+            }
+            WalRecord::ReportBatchAccepted { key, items } => {
+                m.insert("key".into(), key.0.clone().into());
+                m.insert(
+                    "items".into(),
+                    Value::Array(
+                        items
+                            .iter()
+                            .map(|(task, error, record)| {
+                                let mut item = serde_json::Map::new();
+                                item.insert("task".into(), task.0.into());
+                                if let Some(e) = error {
+                                    item.insert("error".into(), e.clone().into());
+                                }
+                                item.insert("record".into(), record.to_value());
+                                Value::Object(item)
+                            })
+                            .collect(),
+                    ),
+                );
             }
             WalRecord::TasksReaped { project, tasks } => {
                 m.insert("project".into(), project.0.into());
@@ -418,6 +447,26 @@ impl Deserialize for WalRecord {
                 key: ContributorKey(text("key")?),
                 error: v["error"].as_str().map(str::to_string),
                 record: ResultRecord::from_value(&v["record"])?,
+            }),
+            "report_batch_accepted" => Ok(WalRecord::ReportBatchAccepted {
+                key: ContributorKey(text("key")?),
+                items: v["items"]
+                    .as_array()
+                    .ok_or("report_batch_accepted: missing items")?
+                    .iter()
+                    .map(|item| {
+                        Ok((
+                            TaskId(
+                                item["task"]
+                                    .as_i64()
+                                    .map(|x| x as u64)
+                                    .ok_or("report_batch_accepted: missing task")?,
+                            ),
+                            item["error"].as_str().map(str::to_string),
+                            ResultRecord::from_value(&item["record"])?,
+                        ))
+                    })
+                    .collect::<Result<_, String>>()?,
             }),
             "tasks_reaped" => Ok(WalRecord::TasksReaped {
                 project: ProjectId(num("project")?),
@@ -632,6 +681,25 @@ mod tests {
                     3,
                     None,
                 ),
+            },
+            WalRecord::ReportBatchAccepted {
+                key: ContributorKey("ck_feed".into()),
+                items: vec![(
+                    TaskId((1 << 32) | 1),
+                    Some("timeout".into()),
+                    record(
+                        TaskId((1 << 32) | 1),
+                        ProjectId(1),
+                        ExperimentId(0),
+                        QueryId(1),
+                        "rowstore-2.0",
+                        "bench-server",
+                        &ContributorKey("ck_feed".into()),
+                        vec![4.0],
+                        0,
+                        Some("timeout".into()),
+                    ),
+                )],
             },
             WalRecord::TasksReaped {
                 project: ProjectId(1),

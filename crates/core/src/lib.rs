@@ -35,6 +35,7 @@ pub mod error;
 pub mod metrics;
 pub mod pool;
 pub mod project;
+pub mod push;
 pub mod queue;
 pub mod reports;
 pub mod results;
@@ -56,6 +57,7 @@ pub use error::{PlatformError, PlatformResult};
 pub use metrics::{Histogram, HistogramSummary, MetricsRegistry, MetricsSnapshot};
 pub use pool::{Fingerprinter, Guidance, Origin, PoolEntry, QueryId, QueryPool, Strategy};
 pub use project::{Experiment, ExperimentId, Project, ProjectId, Role};
+pub use push::{LocalWaiter, Notification, PushHub, PushWaiter};
 pub use queue::{QueueSummary, Task, TaskId, TaskQueue, TaskState};
 pub use results::{LoadAvg, ResultRecord, ResultStore};
 pub use server::{Platform, SqalpelServer};

@@ -382,7 +382,12 @@ impl TaskQueue {
 
     fn drop_running(&mut self, id: TaskId, contributor: &ContributorKey) {
         if let Some(held) = self.running.get_mut(contributor) {
-            held.retain(|&t| t != id);
+            // swap_remove, not retain: a bulk contributor holds hundreds
+            // of tasks, and completing each must not rewrite the whole
+            // held list every time.
+            if let Some(pos) = held.iter().position(|&t| t == id) {
+                held.swap_remove(pos);
+            }
             if held.is_empty() {
                 self.running.remove(contributor);
             }

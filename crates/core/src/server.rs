@@ -35,6 +35,7 @@ use crate::error::{PlatformError, PlatformResult};
 use crate::metrics::MetricsRegistry;
 use crate::pool::{PoolEntry, QueryId, Strategy};
 use crate::project::{ExperimentId, Project, ProjectId, Role};
+use crate::push::{LocalWaiter, Notification, PushHub, PushWaiter};
 use crate::queue::{QueueSummary, Task, TaskId, TaskState};
 use crate::results::{record, ResultRecord, ResultStore};
 use crate::shard::{ProjectShard, ShardedState};
@@ -42,6 +43,7 @@ use crate::user::{ContributorKey, UserId};
 use std::io;
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// The contribution surface of the platform — what a driver loop needs,
@@ -76,6 +78,14 @@ pub trait Platform: Send + Sync {
     fn metrics(&self) -> Option<&MetricsRegistry> {
         None
     }
+
+    /// Open a push-notification channel under this contributor key, so a
+    /// worker can park on "work is ready" instead of empty-polling.
+    /// `None` means the platform (or transport) does not support push —
+    /// callers fall back to polling with backoff.
+    fn subscribe_push(&self, _key: &ContributorKey) -> Option<Box<dyn PushWaiter>> {
+        None
+    }
 }
 
 /// The platform server.
@@ -95,6 +105,10 @@ pub struct SqalpelServer {
     fresh: bool,
     /// Sharded, so instrumentation never contends with the state locks.
     metrics: MetricsRegistry,
+    /// Fan-out hub for server-push notifications (`QueueReady`,
+    /// `ExperimentFinished`). Shared with the wire server, which drains
+    /// subscriptions into v2 frames.
+    push: Arc<PushHub>,
 }
 
 impl Default for SqalpelServer {
@@ -120,6 +134,7 @@ impl SqalpelServer {
             snapshotting: AtomicBool::new(false),
             fresh: true,
             metrics: MetricsRegistry::new(),
+            push: Arc::new(PushHub::new()),
         }
     }
 
@@ -164,6 +179,7 @@ impl SqalpelServer {
             ops_since_snapshot: AtomicU64::new(0),
             snapshotting: AtomicBool::new(false),
             metrics,
+            push: Arc::new(PushHub::new()),
         })
     }
 
@@ -181,6 +197,13 @@ impl SqalpelServer {
     /// The admission controller (read-only handles for tests/tools).
     pub fn admission(&self) -> &AdmissionControl {
         &self.admission
+    }
+
+    /// The push-notification hub. The wire server subscribes contributor
+    /// connections here and drains their pending notifications into v2
+    /// push frames.
+    pub fn push_hub(&self) -> &Arc<PushHub> {
+        &self.push
     }
 
     // --------------------------------------------------------- durability
@@ -541,6 +564,21 @@ impl SqalpelServer {
         experiment: ExperimentId,
         actor: UserId,
     ) -> PlatformResult<usize> {
+        let n = self.enqueue_experiment_locked(project, experiment, actor)?;
+        // Notify outside the shard lock: a parked worker woken here will
+        // immediately call request_task, which takes the same lock.
+        if n > 0 {
+            self.push.notify(&Notification::QueueReady { project });
+        }
+        Ok(n)
+    }
+
+    fn enqueue_experiment_locked(
+        &self,
+        project: ProjectId,
+        experiment: ExperimentId,
+        actor: UserId,
+    ) -> PlatformResult<usize> {
         self.with_shard(project, |s| {
             s.project.require(actor, Role::Owner)?;
             let (entries, dbms_labels, hosts) = {
@@ -613,6 +651,25 @@ impl SqalpelServer {
         dbms_label: &str,
         host: &str,
     ) -> PlatformResult<Option<Task>> {
+        self.request_task_claimed(key, dbms_label, host, None)
+    }
+
+    /// [`request_task`](Self::request_task) with an explicit claim nonce.
+    ///
+    /// The nonce disambiguates *which* lost claim a retry resumes: with
+    /// `claim: None` the key gets any task it already holds for the
+    /// target (the legacy idempotent rule — one outstanding claim per
+    /// target). With `claim: Some(n)` only a held task handed out under
+    /// nonce `n` (or under no nonce, e.g. after recovery) is re-handed
+    /// out; otherwise the call checks out a *fresh* task, which is what
+    /// lets a bulk client hold many tasks of the same target at once.
+    pub fn request_task_claimed(
+        &self,
+        key: &ContributorKey,
+        dbms_label: &str,
+        host: &str,
+        claim: Option<u64>,
+    ) -> PlatformResult<Option<Task>> {
         let out = self.metrics.time("server.request_task_nanos", || {
             self.metrics.incr("server.request_task");
             let user = self
@@ -623,7 +680,12 @@ impl SqalpelServer {
                 .resolve_key(key)
                 .ok_or_else(|| PlatformError::AccessDenied("unknown contributor key".into()))?;
             // Idempotent re-hand-out of a claim whose response was lost.
-            for id in self.admission.held_by(key) {
+            for (id, held_claim) in self.admission.held_with(key) {
+                if let Some(n) = claim {
+                    if held_claim.is_some() && held_claim != Some(n) {
+                        continue;
+                    }
+                }
                 let Ok(shard) = self.state.shard_of_task(id) else {
                     continue;
                 };
@@ -669,14 +731,21 @@ impl SqalpelServer {
                             self.admission.cancel(user);
                             return Err(e);
                         }
-                        self.admission.confirm(key, user, task.id);
+                        self.admission.confirm(key, user, task.id, claim);
                         self.metrics.incr("shard.handouts");
                         return Ok(Some(task));
                     }
                 }
             }
             self.admission.cancel(user);
-            self.metrics.incr("queue.empty_polls");
+            // Push-subscribed workers park on notifications and only poll
+            // when woken, so their misses are raced hand-outs, not the
+            // busy-wait `queue.empty_polls` measures.
+            if self.push.is_subscribed(&key.0) {
+                self.metrics.incr("queue.parked_polls");
+            } else {
+                self.metrics.incr("queue.empty_polls");
+            }
             Ok(None)
         });
         self.maybe_snapshot();
@@ -774,12 +843,181 @@ impl SqalpelServer {
                 .complete(task_id, key, error)
                 .expect("validated above under this lock: task is held by this key");
             let idx = s.results.push(rec);
+            let drained = experiment_drained(&s, task.experiment);
+            drop(s);
             if self.admission.release(key, task_id) {
                 self.metrics.incr("admission.released");
             }
             self.metrics.incr("shard.reports");
             self.metrics.incr("server.report_result.accepted");
+            if drained {
+                self.push.notify(&Notification::ExperimentFinished {
+                    project: task.project,
+                    experiment: task.experiment,
+                });
+            }
             Ok(idx)
+        });
+        self.maybe_snapshot();
+        out
+    }
+
+    /// Accept a whole batch of reports from one contributor in a single
+    /// group commit per shard. Returns the accepted record index of each
+    /// report, in input order — duplicates (retries of an already-acked
+    /// batch) resolve to their original indices.
+    ///
+    /// The batch is **all-or-nothing per shard**: every report is
+    /// validated under the shard lock before anything is logged or
+    /// mutated, and the fresh ones ride one
+    /// [`WalRecord::ReportBatchAccepted`] append+flush — the group
+    /// commit. A batch spanning projects commits per shard in first-
+    /// appearance order; a later shard's refusal leaves earlier shards
+    /// committed (their reports re-resolve as duplicates on retry).
+    pub fn report_batch(
+        &self,
+        key: &ContributorKey,
+        reports: &[(TaskId, RunOutcome)],
+    ) -> PlatformResult<Vec<u64>> {
+        let out = self.metrics.time("server.report_batch_nanos", || {
+            let mut indices = vec![0u64; reports.len()];
+            // Group input positions by owning project, preserving order.
+            let mut groups: Vec<(ProjectId, Vec<usize>)> = Vec::new();
+            for (pos, (task_id, _)) in reports.iter().enumerate() {
+                let project = crate::shard::project_of_task(*task_id);
+                match groups.iter_mut().find(|(p, _)| *p == project) {
+                    Some((_, positions)) => positions.push(pos),
+                    None => groups.push((project, vec![pos])),
+                }
+            }
+            let mut finished: Vec<(ProjectId, ExperimentId)> = Vec::new();
+            for (project, positions) in groups {
+                let shard = self.state.shard(project)?;
+                let mut s = shard.write();
+                // Validate the whole group before mutating anything.
+                let mut fresh: Vec<usize> = Vec::new();
+                let mut seen = std::collections::HashSet::new();
+                for &pos in &positions {
+                    let (task_id, _) = &reports[pos];
+                    if !seen.insert(task_id.0) {
+                        return Err(PlatformError::Invalid(format!(
+                            "task #{} appears twice in one batch",
+                            task_id.0
+                        )));
+                    }
+                    let task = s.queue.task(*task_id)?;
+                    let held_by_key = matches!(
+                        &task.state,
+                        TaskState::Running { contributor } if contributor == key
+                    );
+                    if held_by_key {
+                        fresh.push(pos);
+                        continue;
+                    }
+                    if let Some(existing) = s.results.index_of(*task_id, &key.0) {
+                        self.metrics.incr("server.report_result.duplicate");
+                        indices[pos] = existing as u64;
+                        continue;
+                    }
+                    return Err(match &task.state {
+                        TaskState::Running { .. } => PlatformError::AccessDenied(format!(
+                            "task #{} belongs to another contributor",
+                            task_id.0
+                        )),
+                        other => PlatformError::Invalid(format!(
+                            "task #{} is not running (state {other:?})",
+                            task_id.0
+                        )),
+                    });
+                }
+                if fresh.is_empty() {
+                    continue; // pure retry: everything resolved as duplicates
+                }
+                let mut items: Vec<(TaskId, Option<String>, ResultRecord)> =
+                    Vec::with_capacity(fresh.len());
+                let mut experiments: Vec<ExperimentId> = Vec::new();
+                for &pos in &fresh {
+                    let (task_id, outcome) = &reports[pos];
+                    // Borrow, don't clone: the task's SQL text is dead
+                    // weight here and a bulk batch holds hundreds.
+                    let task = s.queue.task(*task_id).expect("validated above");
+                    let outcome = outcome.clone();
+                    let error = outcome.error.clone();
+                    let mut rec: ResultRecord = record(
+                        *task_id,
+                        task.project,
+                        task.experiment,
+                        task.query,
+                        &task.dbms_label,
+                        &task.host,
+                        key,
+                        outcome.times_ms,
+                        outcome.rows,
+                        outcome.error,
+                    );
+                    rec.load_before = outcome.load_before;
+                    rec.load_after = outcome.load_after;
+                    rec.extras = outcome.extras;
+                    rec.fingerprint = outcome.fingerprint;
+                    rec.profile = outcome.profile;
+                    if let Some(profile) = &rec.profile {
+                        let (scanned, skipped) = profile.iter().fold((0, 0), |(a, b), op| {
+                            (a + op.chunks_scanned, b + op.chunks_skipped)
+                        });
+                        if scanned > 0 {
+                            self.metrics.add("scan.chunks_scanned", scanned);
+                        }
+                        if skipped > 0 {
+                            self.metrics.add("scan.chunks_skipped", skipped);
+                        }
+                    }
+                    if !experiments.contains(&task.experiment) {
+                        experiments.push(task.experiment);
+                    }
+                    items.push((*task_id, error, rec));
+                }
+                // The group commit: every fresh report of this shard in
+                // ONE framed append+flush, so the whole batch becomes
+                // durable — and replays — atomically. Logged before the
+                // queue mutations, same as the single-report path. The
+                // record is built by move and destructured back, so the
+                // batch is never deep-copied just to be logged.
+                let group = WalRecord::ReportBatchAccepted {
+                    key: key.clone(),
+                    items,
+                };
+                self.log(&group)?;
+                self.metrics.incr("wal.group_commits");
+                let WalRecord::ReportBatchAccepted { items, .. } = group else {
+                    unreachable!("built three lines up")
+                };
+                for (pos, (task_id, error, rec)) in fresh.iter().zip(items) {
+                    s.queue
+                        .complete(task_id, key, error)
+                        .expect("validated above under this lock");
+                    indices[*pos] = s.results.push(rec) as u64;
+                }
+                let ids: Vec<TaskId> = fresh.iter().map(|&pos| reports[pos].0).collect();
+                let released = self.admission.release_batch(key, &ids);
+                if released > 0 {
+                    self.metrics.add("admission.released", released as u64);
+                }
+                self.metrics.add("shard.reports", fresh.len() as u64);
+                self.metrics.add("server.report_batch.accepted", fresh.len() as u64);
+                for experiment in experiments {
+                    if experiment_drained(&s, experiment) {
+                        finished.push((project, experiment));
+                    }
+                }
+            }
+            // Notify outside every shard lock.
+            for (project, experiment) in finished {
+                self.push.notify(&Notification::ExperimentFinished {
+                    project,
+                    experiment,
+                });
+            }
+            Ok(indices)
         });
         self.maybe_snapshot();
         out
@@ -815,9 +1053,16 @@ impl SqalpelServer {
 
     pub fn requeue(&self, task: TaskId) -> PlatformResult<()> {
         let shard = self.state.shard_of_task(task)?;
-        let mut s = shard.write();
-        s.queue.requeue(task)?;
-        self.log(&WalRecord::TaskRequeued { task })
+        let project = {
+            let mut s = shard.write();
+            s.queue.requeue(task)?;
+            self.log(&WalRecord::TaskRequeued { task })?;
+            s.project.id
+        };
+        // The task is claimable again: wake parked workers (lock released
+        // first — they will immediately request_task against this shard).
+        self.push.notify(&Notification::QueueReady { project });
+        Ok(())
     }
 
     /// Task counts aggregated over every shard.
@@ -935,6 +1180,15 @@ impl SqalpelServer {
     }
 }
 
+/// Whether an experiment has no claimable or in-flight task left in this
+/// shard's queue — the `ExperimentFinished` trigger.
+fn experiment_drained(s: &ProjectShard, experiment: ExperimentId) -> bool {
+    !s.queue.tasks().iter().any(|t| {
+        t.experiment == experiment
+            && matches!(t.state, TaskState::Queued | TaskState::Running { .. })
+    })
+}
+
 impl Platform for SqalpelServer {
     fn request_task(
         &self,
@@ -960,6 +1214,10 @@ impl Platform for SqalpelServer {
 
     fn metrics(&self) -> Option<&MetricsRegistry> {
         Some(SqalpelServer::metrics(self))
+    }
+
+    fn subscribe_push(&self, key: &ContributorKey) -> Option<Box<dyn PushWaiter>> {
+        Some(Box::new(LocalWaiter::new(Arc::clone(&self.push), &key.0)))
     }
 }
 

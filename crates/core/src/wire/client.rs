@@ -41,6 +41,7 @@ use crate::error::{PlatformError, PlatformResult};
 use crate::metrics::MetricsSnapshot;
 use crate::pool::{QueryId, Strategy};
 use crate::project::{ExperimentId, ProjectId, Role};
+use crate::push::{Notification, PushWaiter};
 use crate::queue::{QueueSummary, Task, TaskId};
 use crate::results::ResultRecord;
 use crate::server::Platform;
@@ -577,11 +578,149 @@ impl WireClient {
             key: key.clone(),
             dbms_label: dbms_label.into(),
             host: host.into(),
+            claim: None,
         })?;
         Self::expect(reply, "task handout", |r| match r {
             Reply::Handout(t) => Some(t),
             _ => None,
         })
+    }
+
+    /// [`WireClient::request_task`] with a claim nonce: a transport
+    /// retry re-receives only the hand-out made under the same nonce, so
+    /// a worker can hold several claims at once and bulk-report them
+    /// with [`WireClient::report_batch`].
+    pub fn claim_task(
+        &self,
+        key: &ContributorKey,
+        dbms_label: &str,
+        host: &str,
+        claim: u64,
+    ) -> PlatformResult<Option<Task>> {
+        let reply = self.call(&Request::RequestTask {
+            key: key.clone(),
+            dbms_label: dbms_label.into(),
+            host: host.into(),
+            claim: Some(claim),
+        })?;
+        Self::expect(reply, "task handout", |r| match r {
+            Reply::Handout(t) => Some(t),
+            _ => None,
+        })
+    }
+
+    /// Upload a whole experiment's results in one acked exchange. On v2
+    /// the reports stream as columnar continuation frames (see
+    /// [`FramedConn::send_batch`]); on v1 they travel as one JSON body.
+    /// Returns the record index of each report, in input order.
+    pub fn report_batch(
+        &self,
+        key: &ContributorKey,
+        reports: &[(TaskId, RunOutcome)],
+    ) -> PlatformResult<Vec<u64>> {
+        let reply = match self.proto {
+            Proto::V1Http => self.call(&Request::ReportBatch {
+                key: key.clone(),
+                reports: reports.to_vec(),
+            })?,
+            Proto::V2Framed => self.call_batch(key, reports)?,
+        };
+        Self::expect(reply, "batch indices", |r| match r {
+            Reply::Batch(idx) => Some(idx),
+            _ => None,
+        })
+    }
+
+    /// The bulk analogue of [`WireClient::call`]: same retry envelope,
+    /// but each v2 attempt streams the batch as continuation frames.
+    fn call_batch(
+        &self,
+        key: &ContributorKey,
+        reports: &[(TaskId, RunOutcome)],
+    ) -> PlatformResult<Reply> {
+        let mut last_failure = String::new();
+        for attempt in 0..self.retry.attempts.max(1) {
+            if attempt > 0 {
+                std::thread::sleep(self.retry.backoff(attempt - 1));
+            }
+            match self.attempt_batch_v2(key, reports) {
+                Attempt::Final(result) => return result,
+                Attempt::Retry(msg) => last_failure = msg,
+            }
+        }
+        Err(PlatformError::Transport(format!(
+            "{last_failure} (after {} attempts)",
+            self.retry.attempts.max(1)
+        )))
+    }
+
+    fn attempt_batch_v2(
+        &self,
+        key: &ContributorKey,
+        reports: &[(TaskId, RunOutcome)],
+    ) -> Attempt {
+        let n = self.requests.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut guard = self.conn.lock().expect("conn lock");
+        if guard.is_none() {
+            match FramedConn::connect(
+                &self.addr.to_string(),
+                self.connect_timeout,
+                self.io_timeout,
+                self.max_body,
+            ) {
+                Ok(conn) => *guard = Some(conn),
+                Err(e) => return Attempt::Retry(format!("report_batch: connect: {e}")),
+            }
+        }
+        let mut conn = guard.take().expect("connection just established");
+        if self.drop_every != 0 && n.is_multiple_of(self.drop_every) {
+            // The connection dies mid-continuation-frame: the summary
+            // never goes out, so the server must drop the buffered parts
+            // undispatched and the retry is the only delivery.
+            let _ = conn.send_batch_truncated(reports);
+            return Attempt::Retry("report_batch: injected connection drop".into());
+        }
+        let exchange = (|| -> std::io::Result<PlatformResult<Reply>> {
+            let sent = conn.send_batch(key, reports)?;
+            let (tag, outcome) = conn.recv()?;
+            if tag != sent {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("batch ack tag {tag} does not match request tag {sent}"),
+                ));
+            }
+            Ok(outcome)
+        })();
+        match exchange {
+            Ok(Err(PlatformError::Transport(msg))) => {
+                *guard = Some(conn);
+                Attempt::Retry(format!("report_batch: server transport error: {msg}"))
+            }
+            Ok(outcome) => {
+                *guard = Some(conn);
+                Attempt::Final(outcome)
+            }
+            Err(e) => Attempt::Retry(format!("report_batch: {e}")),
+        }
+    }
+
+    /// Open a dedicated subscribed connection for server push, so a
+    /// worker can park on the socket instead of empty-polling. v2 only —
+    /// `None` on v1 (and on any connect/subscribe failure), where the
+    /// caller falls back to polling.
+    pub fn subscribe_push(&self, key: &ContributorKey) -> Option<Box<dyn PushWaiter>> {
+        if self.proto != Proto::V2Framed {
+            return None;
+        }
+        let mut conn = FramedConn::connect(
+            &self.addr.to_string(),
+            self.connect_timeout,
+            self.io_timeout,
+            self.max_body,
+        )
+        .ok()?;
+        conn.subscribe(key).ok()?;
+        Some(Box::new(RemoteWaiter { conn }))
     }
 
     pub fn report_result(
@@ -710,6 +849,24 @@ impl Platform for WireClient {
 
     fn queue_summary(&self) -> PlatformResult<QueueSummary> {
         WireClient::queue_summary(self)
+    }
+
+    fn subscribe_push(&self, key: &ContributorKey) -> Option<Box<dyn PushWaiter>> {
+        WireClient::subscribe_push(self, key)
+    }
+}
+
+/// A [`PushWaiter`] over a dedicated subscribed v2 connection: the
+/// worker blocks on the socket and wakes when the server pushes.
+pub struct RemoteWaiter {
+    conn: FramedConn,
+}
+
+impl PushWaiter for RemoteWaiter {
+    fn wait(&mut self, timeout: Duration) -> PlatformResult<Option<Notification>> {
+        self.conn
+            .recv_notification(timeout)
+            .map_err(|e| PlatformError::Transport(format!("push wait: {e}")))
     }
 }
 

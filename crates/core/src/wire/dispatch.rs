@@ -176,10 +176,19 @@ pub fn dispatch(
             key,
             dbms_label,
             host,
-        } => Ok(Reply::Handout(server.request_task(key, dbms_label, host)?)),
+            claim,
+        } => Ok(Reply::Handout(server.request_task_claimed(
+            key, dbms_label, host, *claim,
+        )?)),
         Request::ReportResult { key, task, outcome } => Ok(Reply::Index(
             server.report_result(key, *task, outcome.clone())? as u64,
         )),
+        Request::ReportBatch { key, reports } => {
+            server
+                .metrics()
+                .add("wire.bulk_records", reports.len() as u64);
+            Ok(Reply::Batch(server.report_batch(key, reports)?))
+        }
         Request::QueueSummary => Ok(Reply::Queue(server.queue_summary())),
         Request::ReapStuck { timeout_ms } => Ok(Reply::Reaped(
             server.reap_stuck(Duration::from_millis(*timeout_ms)),

@@ -52,7 +52,7 @@ pub mod proto;
 pub mod server;
 pub mod transport;
 
-pub use client::{Proto, RetryPolicy, WireClient, WireClientBuilder};
+pub use client::{Proto, RemoteWaiter, RetryPolicy, WireClient, WireClientBuilder};
 pub use dispatch::ExecBackend;
 pub use proto::{CacheStatus, ErrorCode, ExecOutcome, Reply, Request, WireResultSet, WireValue};
 pub use server::{V2Config, V2Server, WireConfig, WireServer};

@@ -200,11 +200,28 @@ pub enum Request {
         key: ContributorKey,
         dbms_label: String,
         host: String,
+        /// Claim nonce. `None` keeps the legacy idempotent semantics:
+        /// if the key already holds a task matching the target, that
+        /// task is re-handed-out. `Some(n)` scopes the idempotency to
+        /// this nonce, so a bulk client can hold several tasks of the
+        /// same target at once — its retries reuse the nonce and still
+        /// get the same task back, but a *fresh* nonce gets a fresh
+        /// checkout.
+        claim: Option<u64>,
     },
     ReportResult {
         key: ContributorKey,
         task: TaskId,
         outcome: RunOutcome,
+    },
+    /// COPY-style bulk report: a whole experiment's outcomes in one
+    /// acknowledged exchange. On v2 the reports stream as columnar
+    /// continuation frames terminated by a summary frame; on v1 they
+    /// travel as one JSON body. The reply is [`Reply::Batch`] — the
+    /// accepted record index per report, in input order.
+    ReportBatch {
+        key: ContributorKey,
+        reports: Vec<(TaskId, RunOutcome)>,
     },
     QueueSummary,
     ReapStuck { timeout_ms: u64 },
@@ -241,6 +258,7 @@ impl Request {
             Request::HideResult { .. } => "hide_result",
             Request::RequestTask { .. } => "request_task",
             Request::ReportResult { .. } => "report_result",
+            Request::ReportBatch { .. } => "report_batch",
             Request::QueueSummary => "queue_summary",
             Request::ReapStuck { .. } => "reap_stuck",
             Request::Requeue { .. } => "requeue",
@@ -269,6 +287,8 @@ pub enum Reply {
     Csv(String),
     Handout(Option<Task>),
     Index(u64),
+    /// Accepted record index per bulk report, in input order.
+    Batch(Vec<u64>),
     Queue(QueueSummary),
     Reaped(Vec<TaskId>),
     Metrics(MetricsSnapshot),

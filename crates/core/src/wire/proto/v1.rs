@@ -33,8 +33,9 @@
 //! | `GET  /v1/project/{p}/results?key=`                | → `{results}` |
 //! | `GET  /v1/project/{p}/csv?viewer=`                 | → CSV text |
 //! | `POST /v1/result/hide`                             | `{project, actor, index, hidden}` → `{}` |
-//! | `POST /v1/task/request`                            | `{key, dbms_label, host}` → `{task}` (`task` may be null) |
+//! | `POST /v1/task/request`                            | `{key, dbms_label, host, claim?}` → `{task}` (`task` may be null) |
 //! | `POST /v1/result/report`                           | `{key, task, outcome}` → `{index}` |
+//! | `POST /v1/result/report_batch`                     | `{key, reports: [{task, outcome}…]}` → `{indices}` |
 //! | `GET  /v1/queue/summary`                           | → `QueueSummary` |
 //! | `POST /v1/queue/reap`                              | `{timeout_ms}` → `{reaped}` |
 //! | `POST /v1/task/{t}/requeue`                        | `{}` → `{}` |
@@ -344,10 +345,17 @@ fn decode_route(req: &WireRequest, segments: &[&str]) -> Option<PlatformResult<R
         }),
         ("POST", ["v1", "task", "request"]) => hit!({
             let body = body()?;
+            let claim = match &body["claim"] {
+                Value::Null => None,
+                v => Some(v.as_i64().filter(|n| *n >= 0).map(|n| n as u64).ok_or_else(
+                    || PlatformError::Invalid("claim must be a number".into()),
+                )?),
+            };
             Ok(Request::RequestTask {
                 key: ContributorKey(need_str(&body, "key")?),
                 dbms_label: need_str(&body, "dbms_label")?,
                 host: need_str(&body, "host")?,
+                claim,
             })
         }),
         ("POST", ["v1", "result", "report"]) => hit!({
@@ -356,6 +364,26 @@ fn decode_route(req: &WireRequest, segments: &[&str]) -> Option<PlatformResult<R
                 key: ContributorKey(need_str(&body, "key")?),
                 task: TaskId(need_u64(&body, "task")?),
                 outcome: need::<RunOutcome>(&body["outcome"], "run outcome")?,
+            })
+        }),
+        ("POST", ["v1", "result", "report_batch"]) => hit!({
+            let body = body()?;
+            let reports = body["reports"]
+                .as_array()
+                .ok_or_else(|| {
+                    PlatformError::Invalid("missing array field \"reports\"".into())
+                })?
+                .iter()
+                .map(|entry| {
+                    Ok((
+                        TaskId(need_u64(entry, "task")?),
+                        need::<RunOutcome>(&entry["outcome"], "run outcome")?,
+                    ))
+                })
+                .collect::<PlatformResult<Vec<_>>>()?;
+            Ok(Request::ReportBatch {
+                key: ContributorKey(need_str(&body, "key")?),
+                reports,
             })
         }),
         ("GET", ["v1", "queue", "summary"]) => hit!(Ok(Request::QueueSummary)),
@@ -411,6 +439,10 @@ pub fn encode_reply(outcome: &PlatformResult<Reply>) -> WireResponse {
             },
         )])),
         Reply::Index(n) => ok(obj(vec![("index", (*n).into())])),
+        Reply::Batch(indices) => ok(obj(vec![(
+            "indices",
+            Value::Array(indices.iter().map(|n| (*n).into()).collect()),
+        )])),
         Reply::Queue(summary) => ok(summary.to_value()),
         Reply::Reaped(ids) => ok(obj(vec![(
             "reaped",
@@ -603,12 +635,20 @@ pub fn encode_request(op: &Request) -> WireRequest {
             key,
             dbms_label,
             host,
+            claim,
         } => post(
             "/v1/task/request".into(),
             obj(vec![
                 ("key", key.0.clone().into()),
                 ("dbms_label", dbms_label.clone().into()),
                 ("host", host.clone().into()),
+                (
+                    "claim",
+                    match claim {
+                        Some(n) => (*n).into(),
+                        None => Value::Null,
+                    },
+                ),
             ]),
         ),
         Request::ReportResult { key, task, outcome } => post(
@@ -617,6 +657,26 @@ pub fn encode_request(op: &Request) -> WireRequest {
                 ("key", key.0.clone().into()),
                 ("task", task.0.into()),
                 ("outcome", outcome.to_value()),
+            ]),
+        ),
+        Request::ReportBatch { key, reports } => post(
+            "/v1/result/report_batch".into(),
+            obj(vec![
+                ("key", key.0.clone().into()),
+                (
+                    "reports",
+                    Value::Array(
+                        reports
+                            .iter()
+                            .map(|(task, outcome)| {
+                                obj(vec![
+                                    ("task", task.0.into()),
+                                    ("outcome", outcome.to_value()),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
             ]),
         ),
         Request::QueueSummary => get("/v1/queue/summary".into(), vec![]),
@@ -711,6 +771,7 @@ pub fn decode_reply(op: &Request, status: u16, body: &[u8]) -> PlatformResult<Re
             t => Some(Task::from_value(t).map_err(|e| bad("task", e))?),
         }),
         Request::ReportResult { .. } => Reply::Index(super::field_u64(&v, "index")?),
+        Request::ReportBatch { .. } => Reply::Batch(super::u64_array(&v, "indices")?),
         Request::QueueSummary => Reply::Queue(
             QueueSummary::from_value(&v).map_err(|e| bad("queue summary", e))?,
         ),

@@ -44,8 +44,28 @@
 //! null bitmap per column, then the packed values. A column of mixed
 //! types (possible for `WireResultSet` cells in principle) falls back to
 //! per-cell tags under the reserved tag `0xFF`.
+//!
+//! # Bulk frames
+//!
+//! A [`Request::ReportBatch`] may stream: the client sends any number of
+//! continuation frames (`OP_BATCH_PART`, columnar `(task, outcome)`
+//! pairs) followed by one summary frame (`OP_REPORT_BATCH` carrying the
+//! contributor key, the expected total, and any inline tail of pairs),
+//! **all under the same tag**. The server assembles parts per tag and
+//! dispatches once the summary arrives, answering with a single
+//! [`Reply::Batch`] ack. A connection dropped mid-sequence discards the
+//! whole partial batch — nothing partial is ever dispatched.
+//!
+//! # Push frames
+//!
+//! A connection that sent `OP_SUBSCRIBE` (carrying its contributor key)
+//! receives unsolicited notification frames on **tag 0** — a tag no
+//! request ever uses (client tags start at 1) — with reply kind
+//! `RK_NOTIFICATION`: `QueueReady` when work lands on a queue,
+//! `ExperimentFinished` when an experiment's last task goes terminal.
 
 use super::{CacheStatus, ErrorCode, ExecOutcome, Reply, Request, WireResultSet, WireValue};
+use crate::push::Notification;
 use crate::catalog::Visibility;
 use crate::driver::{OperatorProfile, RunOutcome};
 use crate::error::{PlatformError, PlatformResult};
@@ -92,6 +112,12 @@ const OP_REAP_STUCK: u8 = 22;
 const OP_REQUEUE: u8 = 23;
 const OP_METRICS: u8 = 24;
 const OP_EXECUTE: u8 = 25;
+/// Bulk summary frame: key + expected total + inline tail of pairs.
+const OP_REPORT_BATCH: u8 = 26;
+/// Bulk continuation frame: columnar `(task, outcome)` pairs.
+const OP_BATCH_PART: u8 = 27;
+/// Subscribe this connection to server-push notifications.
+const OP_SUBSCRIBE: u8 = 28;
 
 // Reply kinds.
 const RK_HELLO: u8 = 0;
@@ -113,6 +139,13 @@ const RK_QUEUE: u8 = 15;
 const RK_REAPED: u8 = 16;
 const RK_METRICS: u8 = 17;
 const RK_EXECUTION: u8 = 18;
+const RK_BATCH: u8 = 19;
+/// Unsolicited server-push frame (always tag 0).
+const RK_NOTIFICATION: u8 = 20;
+
+/// Notification kind bytes inside an `RK_NOTIFICATION` payload.
+const NK_QUEUE_READY: u8 = 0;
+const NK_EXPERIMENT_FINISHED: u8 = 1;
 
 // Cell type tags for columnar vectors. 0 marks an all-null column (no
 // values follow); 0xFF marks a mixed column (per-cell tags).
@@ -481,17 +514,28 @@ pub fn encode_request_frame(tag: u32, req: &Request) -> Vec<u8> {
             key,
             dbms_label,
             host,
+            claim,
         } => {
             w.u8(OP_REQUEST_TASK);
             w.str(&key.0);
             w.str(dbms_label);
             w.str(host);
+            w.opt_u64(*claim);
         }
         Request::ReportResult { key, task, outcome } => {
             w.u8(OP_REPORT_RESULT);
             w.str(&key.0);
             w.u64(task.0);
             write_outcome(&mut w, outcome);
+        }
+        Request::ReportBatch { key, reports } => {
+            // The single-frame form: total == inline count, no parts.
+            // Streaming clients use `encode_batch_part_frame` +
+            // `encode_batch_end_frame` under one tag instead.
+            w.u8(OP_REPORT_BATCH);
+            w.str(&key.0);
+            w.u32(reports.len() as u32);
+            write_report_pairs(&mut w, reports);
         }
         Request::QueueSummary => w.u8(OP_QUEUE_SUMMARY),
         Request::ReapStuck { timeout_ms } => {
@@ -512,12 +556,61 @@ pub fn encode_request_frame(tag: u32, req: &Request) -> Vec<u8> {
     frame(tag, w.buf)
 }
 
-/// A decoded inbound frame body: either the handshake or a platform op
-/// (boxed — [`Request`] is a wide enum, the handshake arm is two bytes).
+/// A decoded inbound frame body: either the handshake, a platform op
+/// (boxed — [`Request`] is a wide enum, the handshake arm is two bytes),
+/// or one of the connection-level bulk/push frames that never reach
+/// dispatch on their own.
 #[derive(Debug)]
 pub enum DecodedRequest {
     Hello { version: u8 },
     Op(Box<Request>),
+    /// A bulk continuation frame; the server buffers it under the
+    /// frame's tag until the matching [`DecodedRequest::BatchEnd`].
+    BatchPart(Vec<(TaskId, RunOutcome)>),
+    /// The bulk summary frame. `total` is the expected pair count over
+    /// the whole sequence (parts + `inline`); a mismatch after assembly
+    /// is a protocol error.
+    BatchEnd {
+        key: ContributorKey,
+        total: u32,
+        inline: Vec<(TaskId, RunOutcome)>,
+    },
+    /// Subscribe this connection to server-push notifications.
+    Subscribe { key: ContributorKey },
+}
+
+/// Encode a standalone bulk continuation frame.
+pub fn encode_batch_part_frame(tag: u32, reports: &[(TaskId, RunOutcome)]) -> Vec<u8> {
+    let mut w = W::default();
+    w.u8(OP_BATCH_PART);
+    write_report_pairs(&mut w, reports);
+    frame(tag, w.buf)
+}
+
+/// Encode the bulk summary frame closing a streamed sequence: the
+/// continuation frames already sent under `tag` carry the pairs, this
+/// frame carries the key, the expected `total`, and an (often empty)
+/// inline tail.
+pub fn encode_batch_end_frame(
+    tag: u32,
+    key: &ContributorKey,
+    total: u32,
+    inline: &[(TaskId, RunOutcome)],
+) -> Vec<u8> {
+    let mut w = W::default();
+    w.u8(OP_REPORT_BATCH);
+    w.str(&key.0);
+    w.u32(total);
+    write_report_pairs(&mut w, inline);
+    frame(tag, w.buf)
+}
+
+/// Encode the subscribe frame (acked with `RK_UNIT`).
+pub fn encode_subscribe_frame(tag: u32, key: &ContributorKey) -> Vec<u8> {
+    let mut w = W::default();
+    w.u8(OP_SUBSCRIBE);
+    w.str(&key.0);
+    frame(tag, w.buf)
 }
 
 /// Decode one request frame body (everything after the 8-byte header).
@@ -624,12 +717,30 @@ pub fn decode_request(body: &[u8]) -> Result<DecodedRequest, String> {
             key: ContributorKey(r.str()?),
             dbms_label: r.str()?,
             host: r.str()?,
+            claim: r.opt_u64()?,
         },
         OP_REPORT_RESULT => Request::ReportResult {
             key: ContributorKey(r.str()?),
             task: TaskId(r.u64()?),
             outcome: read_outcome(&mut r)?,
         },
+        OP_REPORT_BATCH => {
+            let key = ContributorKey(r.str()?);
+            let total = r.u32()?;
+            let inline = read_report_pairs(&mut r)?;
+            r.done()?;
+            return Ok(DecodedRequest::BatchEnd { key, total, inline });
+        }
+        OP_BATCH_PART => {
+            let pairs = read_report_pairs(&mut r)?;
+            r.done()?;
+            return Ok(DecodedRequest::BatchPart(pairs));
+        }
+        OP_SUBSCRIBE => {
+            let key = ContributorKey(r.str()?);
+            r.done()?;
+            return Ok(DecodedRequest::Subscribe { key });
+        }
         OP_QUEUE_SUMMARY => Request::QueueSummary,
         OP_REAP_STUCK => Request::ReapStuck { timeout_ms: r.u64()? },
         OP_REQUEUE => Request::Requeue {
@@ -731,6 +842,13 @@ pub fn encode_reply_frame(tag: u32, outcome: &PlatformResult<Reply>) -> Vec<u8> 
                     w.u8(RK_INDEX);
                     w.u64(*n);
                 }
+                Reply::Batch(indices) => {
+                    w.u8(RK_BATCH);
+                    w.u32(indices.len() as u32);
+                    for idx in indices {
+                        w.u64(*idx);
+                    }
+                }
                 Reply::Queue(q) => {
                     w.u8(RK_QUEUE);
                     w.u64(q.queued as u64);
@@ -767,6 +885,29 @@ pub fn encode_reply_frame(tag: u32, outcome: &PlatformResult<Reply>) -> Vec<u8> 
 pub enum DecodedReply {
     Hello { version: u8 },
     Outcome(PlatformResult<Reply>),
+    /// An unsolicited server-push frame (always tag 0).
+    Notification(Notification),
+}
+
+/// Encode an unsolicited server-push frame. Always tag 0 — client
+/// request tags start at 1, so a pipelining client can never confuse a
+/// push frame with a response it is waiting for.
+pub fn encode_notification_frame(n: &Notification) -> Vec<u8> {
+    let mut w = W::default();
+    w.u8(0);
+    w.u8(RK_NOTIFICATION);
+    match n {
+        Notification::QueueReady { project } => {
+            w.u8(NK_QUEUE_READY);
+            w.u64(project.0);
+        }
+        Notification::ExperimentFinished { project, experiment } => {
+            w.u8(NK_EXPERIMENT_FINISHED);
+            w.u64(project.0);
+            w.u64(experiment.0);
+        }
+    }
+    frame(0, w.buf)
 }
 
 /// Decode one response frame body. Responses are self-describing: the
@@ -819,6 +960,28 @@ pub fn decode_reply(body: &[u8]) -> Result<DecodedReply, String> {
             None
         }),
         RK_INDEX => Reply::Index(r.u64()?),
+        RK_BATCH => {
+            let n = r.u32()? as usize;
+            let mut indices = Vec::with_capacity(n.min(1 << 22));
+            for _ in 0..n {
+                indices.push(r.u64()?);
+            }
+            Reply::Batch(indices)
+        }
+        RK_NOTIFICATION => {
+            let n = match r.u8()? {
+                NK_QUEUE_READY => Notification::QueueReady {
+                    project: ProjectId(r.u64()?),
+                },
+                NK_EXPERIMENT_FINISHED => Notification::ExperimentFinished {
+                    project: ProjectId(r.u64()?),
+                    experiment: ExperimentId(r.u64()?),
+                },
+                b => return Err(format!("bad notification kind {b}")),
+            };
+            r.done()?;
+            return Ok(DecodedReply::Notification(n));
+        }
         RK_QUEUE => Reply::Queue(QueueSummary {
             queued: r.u64()? as usize,
             running: r.u64()? as usize,
@@ -1032,6 +1195,37 @@ fn read_outcome(r: &mut R<'_>) -> D<RunOutcome> {
             None
         },
     })
+}
+
+// -------------------------------------------------- bulk report pairs
+
+/// Columnar `(task, outcome)` pairs: `[count][task ids][outcomes]` — the
+/// fixed-width task-id vector packs densely up front, the variable-width
+/// outcomes follow.
+fn write_report_pairs(w: &mut W, pairs: &[(TaskId, RunOutcome)]) {
+    w.u32(pairs.len() as u32);
+    for (task, _) in pairs {
+        w.u64(task.0);
+    }
+    for (_, outcome) in pairs {
+        write_outcome(w, outcome);
+    }
+}
+
+fn read_report_pairs(r: &mut R<'_>) -> D<Vec<(TaskId, RunOutcome)>> {
+    let n = r.u32()? as usize;
+    if n > (1 << 22) {
+        return Err(format!("report pair count {n} too large"));
+    }
+    let mut tasks = Vec::with_capacity(n);
+    for _ in 0..n {
+        tasks.push(TaskId(r.u64()?));
+    }
+    let mut pairs = Vec::with_capacity(n);
+    for task in tasks {
+        pairs.push((task, read_outcome(r)?));
+    }
+    Ok(pairs)
 }
 
 // ------------------------------------------------ columnar: records
@@ -1343,7 +1537,7 @@ mod tests {
         assert!(buf.is_empty());
         match decode_request(&body).unwrap() {
             DecodedRequest::Op(r) => *r,
-            DecodedRequest::Hello { .. } => panic!("unexpected hello"),
+            other => panic!("expected an op, got {other:?}"),
         }
     }
 
@@ -1354,7 +1548,7 @@ mod tests {
         assert_eq!(tag, 3);
         match decode_reply(&body).unwrap() {
             DecodedReply::Outcome(o) => o,
-            DecodedReply::Hello { .. } => panic!("unexpected hello"),
+            other => panic!("expected an outcome, got {other:?}"),
         }
     }
 
@@ -1458,6 +1652,13 @@ mod tests {
                 key: ContributorKey("ck_y".into()),
                 dbms_label: "rowstore-2.0".into(),
                 host: "bench-server".into(),
+                claim: None,
+            },
+            Request::RequestTask {
+                key: ContributorKey("ck_y".into()),
+                dbms_label: "rowstore-2.0".into(),
+                host: "bench-server".into(),
+                claim: Some(0xfeed_beef),
             },
             Request::ReportResult {
                 key: ContributorKey("ck_y".into()),
@@ -1633,6 +1834,99 @@ mod tests {
         let mut extended = body.clone();
         extended.push(0);
         assert!(decode_request(&extended).is_err());
+    }
+
+    #[test]
+    fn report_batch_summary_frame_round_trips() {
+        // OP_REPORT_BATCH decodes to BatchEnd (the server assembles
+        // sequences itself), so it gets its own round trip instead of
+        // joining `every_request_round_trips`.
+        let key = ContributorKey("ck_bulk".into());
+        let reports: Vec<(TaskId, RunOutcome)> = (0..4)
+            .map(|i| {
+                let mut o = sample_outcome();
+                o.rows = i as usize;
+                (TaskId(100 + i), o)
+            })
+            .collect();
+        let req = Request::ReportBatch { key: key.clone(), reports: reports.clone() };
+        let mut buf = encode_request_frame(9, &req);
+        let (tag, body) = take_frame(&mut buf, DEFAULT_MAX_FRAME).unwrap().unwrap();
+        assert_eq!(tag, 9);
+        match decode_request(&body).unwrap() {
+            DecodedRequest::BatchEnd { key: k, total, inline } => {
+                assert_eq!(k, key);
+                assert_eq!(total, 4);
+                assert_eq!(format!("{inline:?}"), format!("{reports:?}"));
+            }
+            other => panic!("{other:?}"),
+        }
+        // The Batch reply round trips like any other.
+        match round_trip_reply(Ok(Reply::Batch(vec![0, 7, 3]))).unwrap() {
+            Reply::Batch(idx) => assert_eq!(idx, vec![0, 7, 3]),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn batch_part_and_end_frames_stream_under_one_tag() {
+        let key = ContributorKey("ck_stream".into());
+        let pairs: Vec<(TaskId, RunOutcome)> =
+            (0..3).map(|i| (TaskId(i), sample_outcome())).collect();
+        let mut buf = encode_batch_part_frame(5, &pairs[..2]);
+        buf.extend(encode_batch_end_frame(5, &key, 3, &pairs[2..]));
+        let (tag, body) = take_frame(&mut buf, DEFAULT_MAX_FRAME).unwrap().unwrap();
+        assert_eq!(tag, 5);
+        match decode_request(&body).unwrap() {
+            DecodedRequest::BatchPart(p) => {
+                assert_eq!(format!("{p:?}"), format!("{:?}", &pairs[..2]))
+            }
+            other => panic!("{other:?}"),
+        }
+        let (tag, body) = take_frame(&mut buf, DEFAULT_MAX_FRAME).unwrap().unwrap();
+        assert_eq!(tag, 5);
+        match decode_request(&body).unwrap() {
+            DecodedRequest::BatchEnd { key: k, total, inline } => {
+                assert_eq!(k, key);
+                assert_eq!(total, 3);
+                assert_eq!(inline.len(), 1);
+            }
+            other => panic!("{other:?}"),
+        }
+        // An empty part frame is legal (and decodes to zero pairs).
+        let mut buf = encode_batch_part_frame(5, &[]);
+        let (_, body) = take_frame(&mut buf, DEFAULT_MAX_FRAME).unwrap().unwrap();
+        match decode_request(&body).unwrap() {
+            DecodedRequest::BatchPart(p) => assert!(p.is_empty()),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn subscribe_and_notification_frames_round_trip() {
+        let key = ContributorKey("ck_sub".into());
+        let mut buf = encode_subscribe_frame(2, &key);
+        let (tag, body) = take_frame(&mut buf, DEFAULT_MAX_FRAME).unwrap().unwrap();
+        assert_eq!(tag, 2);
+        match decode_request(&body).unwrap() {
+            DecodedRequest::Subscribe { key: k } => assert_eq!(k, key),
+            other => panic!("{other:?}"),
+        }
+        for n in [
+            Notification::QueueReady { project: ProjectId(4) },
+            Notification::ExperimentFinished {
+                project: ProjectId(4),
+                experiment: ExperimentId(2),
+            },
+        ] {
+            let mut buf = encode_notification_frame(&n);
+            let (tag, body) = take_frame(&mut buf, DEFAULT_MAX_FRAME).unwrap().unwrap();
+            assert_eq!(tag, 0, "push frames always ride tag 0");
+            match decode_reply(&body).unwrap() {
+                DecodedReply::Notification(back) => assert_eq!(back, n),
+                other => panic!("{other:?}"),
+            }
+        }
     }
 
     #[test]

@@ -23,13 +23,16 @@
 //! attached [`ExecBackend`] for `Execute`. Shutdown is graceful and
 //! deterministic for both; dropping a server shuts it down.
 
+use crate::driver::RunOutcome;
+use crate::queue::TaskId;
 use crate::server::SqalpelServer;
 use crate::wire::dispatch::ExecBackend;
 use crate::wire::proto::v1;
 use crate::wire::proto::v2::{self, DecodedRequest};
-use crate::wire::proto::{ErrorCode, Request};
+use crate::wire::proto::{ErrorCode, Reply, Request};
 use crate::wire::transport::http::{read_request, write_response, Response};
 use crate::PlatformError;
+use std::collections::HashMap;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -318,7 +321,17 @@ struct Conn {
     outbuf: Vec<u8>,
     /// Closed (or poisoned) — remove after the output buffer drains.
     dead: bool,
+    /// Push-hub subscription id, once the connection subscribed.
+    sub: Option<u64>,
+    /// Bulk continuation frames buffered per tag, awaiting the summary
+    /// frame. Dropped wholesale — undispatched — if the connection dies
+    /// mid-sequence.
+    parts: HashMap<u32, Vec<(TaskId, RunOutcome)>>,
 }
+
+/// Most reports one connection may buffer across an in-flight bulk
+/// sequence before the server refuses and hangs up.
+const MAX_BATCH_PAIRS: usize = 1 << 22;
 
 /// How many consecutive empty sweeps a shard spins (yielding) before it
 /// starts sleeping between sweeps.
@@ -368,7 +381,24 @@ fn shard_loop(
 
         let mut progressed = false;
         for conn in &mut conns {
+            // Deliver pending push frames first, so the sweep's flush
+            // carries them out with whatever else is queued.
+            if let Some(sub) = conn.sub {
+                for n in server.push_hub().drain(sub) {
+                    conn.outbuf
+                        .extend_from_slice(&v2::encode_notification_frame(&n));
+                    server.metrics().incr("wire.push_frames");
+                    progressed = true;
+                }
+            }
             progressed |= conn.sweep(server, backend, max_frame);
+        }
+        for conn in &conns {
+            if conn.dead && conn.outbuf.is_empty() {
+                if let Some(sub) = conn.sub {
+                    server.push_hub().unsubscribe(sub);
+                }
+            }
         }
         conns.retain(|c| !(c.dead && c.outbuf.is_empty()));
 
@@ -394,6 +424,8 @@ impl Conn {
             inbuf: Vec::new(),
             outbuf: Vec::new(),
             dead: false,
+            sub: None,
+            parts: HashMap::new(),
         })
     }
 
@@ -454,6 +486,49 @@ impl Conn {
                 )
             }
             Ok(DecodedRequest::Op(op)) => v2::encode_reply_frame(tag, &handle_v2(server, backend, &op)),
+            Ok(DecodedRequest::BatchPart(pairs)) => {
+                let buffered = self.parts.entry(tag).or_default();
+                if buffered.len() + pairs.len() > MAX_BATCH_PAIRS {
+                    // Sequence state is lost; answer typed and hang up.
+                    self.parts.remove(&tag);
+                    self.dead = true;
+                    v2::encode_reply_frame(
+                        tag,
+                        &Err(PlatformError::Invalid(format!(
+                            "bulk sequence exceeds {MAX_BATCH_PAIRS} buffered reports"
+                        ))),
+                    )
+                } else {
+                    buffered.extend(pairs);
+                    // Continuation frames are never acked individually;
+                    // the summary frame answers for the whole sequence.
+                    return;
+                }
+            }
+            Ok(DecodedRequest::BatchEnd { key, total, inline }) => {
+                let mut reports = self.parts.remove(&tag).unwrap_or_default();
+                reports.extend(inline);
+                if reports.len() != total as usize {
+                    v2::encode_reply_frame(
+                        tag,
+                        &Err(PlatformError::Invalid(format!(
+                            "bulk summary declared {total} reports, sequence carried {}",
+                            reports.len()
+                        ))),
+                    )
+                } else {
+                    let op = Request::ReportBatch { key, reports };
+                    v2::encode_reply_frame(tag, &handle_v2(server, backend, &op))
+                }
+            }
+            Ok(DecodedRequest::Subscribe { key }) => {
+                // Re-subscribing replaces the previous registration.
+                if let Some(old) = self.sub.take() {
+                    server.push_hub().unsubscribe(old);
+                }
+                self.sub = Some(server.push_hub().subscribe(&key.0));
+                v2::encode_reply_frame(tag, &Ok(Reply::Unit))
+            }
             // A complete frame whose payload doesn't decode: the framing
             // is intact, so answer typed and keep the connection.
             Err(e) => v2::encode_reply_frame(

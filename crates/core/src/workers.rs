@@ -42,6 +42,13 @@ pub struct PollPolicy {
     pub cap: Duration,
     /// Jitter fraction in `[0, 1]`.
     pub jitter: f64,
+    /// Park on server-push notifications instead of backoff sleeps. Each
+    /// worker opens a [`crate::Platform::subscribe_push`] channel and
+    /// blocks on it (up to `cap` per wait) whenever the queue hands it
+    /// nothing; a notification re-polls immediately without spending the
+    /// empty-poll budget. Falls back to the jittered backoff when the
+    /// platform offers no push channel.
+    pub push: bool,
 }
 
 impl Default for PollPolicy {
@@ -51,6 +58,7 @@ impl Default for PollPolicy {
             base: Duration::from_millis(10),
             cap: Duration::from_secs(2),
             jitter: 0.5,
+            push: false,
         }
     }
 }
@@ -61,6 +69,16 @@ impl PollPolicy {
     pub fn polling(max_empty_polls: u32) -> Self {
         PollPolicy {
             max_empty_polls,
+            ..Default::default()
+        }
+    }
+
+    /// [`PollPolicy::polling`], but parked on server push: the budget is
+    /// only spent on waits that time out with no notification.
+    pub fn pushed(max_empty_polls: u32) -> Self {
+        PollPolicy {
+            max_empty_polls,
+            push: true,
             ..Default::default()
         }
     }
@@ -184,6 +202,13 @@ pub fn run_worker_pool_with<C: Connector, P: Platform + ?Sized>(
                     let mut rng = jitter_seed(idx);
                     let dbms = w.driver.config().dbms_label.clone();
                     let host = w.driver.config().host.clone();
+                    // Subscribe before the first poll so no enqueue can
+                    // slip between "queue looked empty" and "parked".
+                    let mut waiter = if policy.push {
+                        server.subscribe_push(&w.key)
+                    } else {
+                        None
+                    };
                     loop {
                         let task = match server.request_task(&w.key, &dbms, &host) {
                             Ok(Some(t)) => {
@@ -194,11 +219,32 @@ pub fn run_worker_pool_with<C: Connector, P: Platform + ?Sized>(
                                 if empty_polls >= policy.max_empty_polls {
                                     break;
                                 }
-                                if let Some(metrics) = server.metrics() {
-                                    metrics.incr("pool.backoffs");
+                                match waiter.as_mut() {
+                                    Some(waiter) => {
+                                        if let Some(metrics) = server.metrics() {
+                                            metrics.incr("pool.parks");
+                                        }
+                                        match waiter.wait(policy.cap) {
+                                            // Woken: re-poll right away;
+                                            // a raced hand-out just parks
+                                            // again, budget untouched.
+                                            Ok(Some(_)) => {}
+                                            // Timed out or the channel
+                                            // broke: spend budget like an
+                                            // empty poll.
+                                            Ok(None) | Err(_) => empty_polls += 1,
+                                        }
+                                    }
+                                    None => {
+                                        if let Some(metrics) = server.metrics() {
+                                            metrics.incr("pool.backoffs");
+                                        }
+                                        std::thread::sleep(
+                                            policy.backoff(empty_polls, &mut rng),
+                                        );
+                                        empty_polls += 1;
+                                    }
                                 }
-                                std::thread::sleep(policy.backoff(empty_polls, &mut rng));
-                                empty_polls += 1;
                                 continue;
                             }
                             Err(_) => break,
@@ -353,6 +399,7 @@ mod tests {
             base: Duration::from_millis(2),
             cap: Duration::from_millis(20),
             jitter: 0.5,
+            push: false,
         };
         let total = std::thread::scope(|scope| {
             let enqueue = scope.spawn(|| {
@@ -387,6 +434,7 @@ mod tests {
             base: Duration::from_millis(10),
             cap: Duration::from_millis(100),
             jitter: 0.5,
+            push: false,
         };
         let mut rng = jitter_seed(0);
         for attempt in 0..12 {

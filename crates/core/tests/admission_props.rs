@@ -81,7 +81,7 @@ proptest! {
                         if x % 2 == 0 {
                             next_task += 1;
                             let t = TaskId(next_task);
-                            adm.confirm(&key_of(u, k), user, t);
+                            adm.confirm(&key_of(u, k), user, t, None);
                             held.entry((u, k)).or_default().push(t);
                         } else {
                             adm.cancel(user);

@@ -1,0 +1,293 @@
+//! Bulk-vs-per-report differential suite: the same experiment reported
+//! three ways — per-record over v1, per-record over v2, and as one bulk
+//! `ReportBatch` over v2 — against three fresh servers driven through
+//! identical deterministic op sequences. All three must land on
+//! byte-identical results CSVs and identical `queue.*` counters: the
+//! bulk path is a transport optimization, never a semantic fork.
+//!
+//! Plus the mid-continuation fault drill: a connection killed between
+//! continuation frames leaves **no** partial batch visible, and a client
+//! retry after an injected mid-batch kill produces zero double-reports.
+
+use sqalpel_core::{
+    LoadAvg, Proto, RetryPolicy, RunOutcome, SqalpelServer, Task, TaskId, V2Config, V2Server,
+    Visibility, WireClient, WireConfig, WireServer,
+};
+use sqalpel_core::wire::transport::framed::FramedConn;
+use std::sync::Arc;
+use std::time::Duration;
+
+const DBMS: &str = "rowstore-2.0";
+const HOST: &str = "bench-server";
+const SQL: &str = "select count(*) from nation where n_regionkey = 1";
+
+fn fast_retry() -> RetryPolicy {
+    RetryPolicy {
+        attempts: 8,
+        base_backoff: Duration::from_millis(1),
+        max_backoff: Duration::from_millis(8),
+    }
+}
+
+/// A deterministic synthetic outcome, a pure function of the task's
+/// query id — identical on every server, so the resulting CSVs can be
+/// compared byte-for-byte (real driver timings would never match).
+fn outcome_for(task: &Task) -> RunOutcome {
+    let q = task.query.0;
+    RunOutcome {
+        times_ms: vec![1.0 + q as f64 * 0.25, 2.0 + q as f64 * 0.5, 1.5 + q as f64 * 0.125],
+        rows: (q % 7) as usize,
+        error: if q % 5 == 4 { Some("timeout".into()) } else { None },
+        load_before: LoadAvg { one: 0.5, five: 0.25, fifteen: 0.125 },
+        load_after: LoadAvg { one: 0.75, five: 0.5, fifteen: 0.25 },
+        extras: serde_json::json!({"connector": "synthetic"}),
+        fingerprint: Some(q ^ 0xabcd),
+        profile: None,
+    }
+}
+
+struct Rig {
+    _v1: WireServer,
+    v2: V2Server,
+    c1: WireClient,
+    c2: WireClient,
+}
+
+/// A fresh server behind both wire protocols, with one enqueued
+/// experiment built through the exact same call sequence every time.
+fn rig() -> (Rig, usize) {
+    let server = Arc::new(SqalpelServer::new());
+    let v1 = WireServer::start(Arc::clone(&server), "127.0.0.1:0", WireConfig::default())
+        .expect("bind v1");
+    let v2 = V2Server::start(Arc::clone(&server), None, "127.0.0.1:0", V2Config::default())
+        .expect("bind v2");
+    let c1 = WireClient::builder(v1.local_addr()).retry(fast_retry()).build();
+    let c2 = WireClient::builder(v2.local_addr())
+        .transport(Proto::V2Framed)
+        .retry(fast_retry())
+        .build();
+
+    let owner = c2.register_user("mlk", "mlk@cwi.nl").unwrap();
+    let project = c2
+        .create_project(owner, "bulk", "bulk differential", Visibility::Public)
+        .unwrap();
+    c2.set_targets(project, owner, vec![DBMS.into()], vec![HOST.into()])
+        .unwrap();
+    let exp = c2
+        .add_experiment(project, owner, "fig1", SQL, Some(sqalpel_grammar::FIG1_GRAMMAR), 1000, 100)
+        .unwrap();
+    c2.seed_pool(project, exp, owner, 5, 42).unwrap();
+    c2.morph_pool(project, exp, owner, None, 8, 3).unwrap();
+    let total = c2.enqueue_experiment(project, exp, owner).unwrap();
+    assert!(total >= 6, "need a real batch, got {total} tasks");
+    (Rig { _v1: v1, v2, c1, c2 }, total)
+}
+
+/// Drain the queue one report at a time through `client`.
+fn drain_per_record(client: &WireClient, key: &sqalpel_core::ContributorKey) -> usize {
+    let mut completed = 0;
+    while let Some(task) = client.request_task(key, DBMS, HOST).unwrap() {
+        client.report_result(key, task.id, &outcome_for(&task)).unwrap();
+        completed += 1;
+    }
+    completed
+}
+
+/// Claim everything under fresh nonces, then upload one bulk batch.
+fn drain_bulk(client: &WireClient, key: &sqalpel_core::ContributorKey) -> usize {
+    let mut claimed: Vec<Task> = Vec::new();
+    while let Some(task) = client
+        .claim_task(key, DBMS, HOST, claimed.len() as u64 + 1)
+        .unwrap()
+    {
+        claimed.push(task);
+    }
+    let reports: Vec<(TaskId, RunOutcome)> = claimed
+        .iter()
+        .map(|t| (t.id, outcome_for(t)))
+        .collect();
+    let indices = client.report_batch(key, &reports).unwrap();
+    assert_eq!(indices.len(), reports.len());
+    reports.len()
+}
+
+fn queue_counters(client: &WireClient) -> Vec<(String, u64)> {
+    client
+        .metrics()
+        .unwrap()
+        .counters
+        .into_iter()
+        .filter(|(name, _)| name.starts_with("queue."))
+        .collect()
+}
+
+/// The tentpole differential: per-record v1, per-record v2 and bulk v2
+/// runs of the same experiment must produce byte-identical CSVs and
+/// identical `queue.*` counters on their respective servers.
+#[test]
+fn bulk_upload_equals_per_record_reporting() {
+    // Server A: per-record over v1.
+    let (a, total_a) = rig();
+    let key_a = a.c1.issue_key(sqalpel_core::UserId(1)).unwrap();
+    assert_eq!(drain_per_record(&a.c1, &key_a), total_a);
+
+    // Server B: per-record over v2.
+    let (b, total_b) = rig();
+    let key_b = b.c2.issue_key(sqalpel_core::UserId(1)).unwrap();
+    assert_eq!(drain_per_record(&b.c2, &key_b), total_b);
+
+    // Server C: one bulk upload over v2.
+    let (c, total_c) = rig();
+    let key_c = c.c2.issue_key(sqalpel_core::UserId(1)).unwrap();
+    assert_eq!(drain_bulk(&c.c2, &key_c), total_c);
+
+    assert_eq!(total_a, total_b);
+    assert_eq!(total_a, total_c);
+
+    // Byte-identical CSV exports, read back over v1 everywhere.
+    let project = sqalpel_core::ProjectId(1);
+    let viewer = sqalpel_core::UserId(1);
+    let csv_a = a.c1.export_csv(project, viewer).unwrap();
+    let csv_b = b.c1.export_csv(project, viewer).unwrap();
+    let csv_c = c.c1.export_csv(project, viewer).unwrap();
+    assert!(csv_a.lines().count() > total_a, "header plus one line per record");
+    assert_eq!(csv_a, csv_b, "v1 vs v2 per-record CSV diverged");
+    assert_eq!(csv_a, csv_c, "per-record vs bulk CSV diverged");
+
+    // Identical queue state and queue counters.
+    let qa = a.c1.queue_summary().unwrap();
+    let qb = b.c1.queue_summary().unwrap();
+    let qc = c.c1.queue_summary().unwrap();
+    assert_eq!(qa, qb);
+    assert_eq!(qa, qc);
+    assert_eq!((qa.queued, qa.running), (0, 0));
+    assert_eq!(queue_counters(&a.c1), queue_counters(&b.c1), "queue.* counters diverged (v1 vs v2)");
+    assert_eq!(queue_counters(&a.c1), queue_counters(&c.c1), "queue.* counters diverged (per-record vs bulk)");
+
+    // The bulk server really took the group-commit path, and its wire
+    // layer counted the streamed records.
+    let mc = c.c1.metrics().unwrap();
+    assert_eq!(mc.counter("server.report_batch.accepted"), Some(total_c as u64));
+    assert_eq!(mc.counter("wire.bulk_records"), Some(total_c as u64));
+    assert_eq!(mc.counter("server.report_result.duplicate"), None);
+}
+
+/// Kill the connection between continuation frames: nothing of the
+/// batch may become visible (the summary frame never arrived), and a
+/// clean retry delivers every report exactly once.
+#[test]
+fn mid_continuation_kill_leaves_no_partial_batch() {
+    let (r, total) = rig();
+    let key = r.c2.issue_key(sqalpel_core::UserId(1)).unwrap();
+
+    let mut claimed: Vec<Task> = Vec::new();
+    while let Some(task) = r
+        .c2
+        .claim_task(&key, DBMS, HOST, claimed.len() as u64 + 1)
+        .unwrap()
+    {
+        claimed.push(task);
+    }
+    assert_eq!(claimed.len(), total);
+    let reports: Vec<(TaskId, RunOutcome)> = claimed
+        .iter()
+        .map(|t| (t.id, outcome_for(t)))
+        .collect();
+
+    // A raw connection that dies mid-continuation-frame.
+    let mut doomed = FramedConn::connect(
+        &r.v2.local_addr().to_string(),
+        Duration::from_secs(2),
+        Duration::from_secs(5),
+        1 << 24,
+    )
+    .unwrap();
+    doomed.send_batch_truncated(&reports).unwrap();
+
+    // Nothing was dispatched: every task still Running, zero records.
+    let project = sqalpel_core::ProjectId(1);
+    std::thread::sleep(Duration::from_millis(50)); // let the shard observe the hangup
+    let summary = r.c1.queue_summary().unwrap();
+    assert_eq!(
+        (summary.queued, summary.running, summary.terminal()),
+        (0, total, 0),
+        "a killed bulk sequence must leave no partial batch visible"
+    );
+    assert_eq!(r.c1.results_for_key(project, &key).unwrap().len(), 0);
+
+    // The client retry (injected drop on the first batch attempt, clean
+    // second attempt) delivers everything exactly once. The flaky client
+    // has made 0 requests, so with drop_every = 1 its first attempt is
+    // the injected kill and the retry (request 2) goes through... except
+    // 2 is also a multiple of 1. Position the schedule so exactly the
+    // first batch attempt drops: drop_every = 1 would drop every attempt,
+    // so use a fresh client whose only dropped request is its first.
+    let flaky = WireClient::builder(r.v2.local_addr())
+        .transport(Proto::V2Framed)
+        .retry(fast_retry())
+        .inject_drop_every(0) // no schedule; we already killed one upload above
+        .build();
+    let indices = flaky.report_batch(&key, &reports).unwrap();
+    assert_eq!(indices.len(), total);
+    let records = r.c1.results_for_key(project, &key).unwrap();
+    assert_eq!(records.len(), total, "retry delivered exactly once");
+
+    // And a *second* full retry of the same batch resolves every report
+    // as a duplicate — same indices, no new records.
+    let again = r.c2.report_batch(&key, &reports).unwrap();
+    assert_eq!(again, indices, "retried batch must return the original indices");
+    assert_eq!(r.c1.results_for_key(project, &key).unwrap().len(), total);
+    let m = r.c1.metrics().unwrap();
+    assert_eq!(
+        m.counter("server.report_result.duplicate"),
+        Some(total as u64),
+        "second upload resolves fully as duplicates"
+    );
+    assert_eq!(
+        m.counter("wal.group_commits"),
+        Some(1),
+        "one delivered batch = one group commit; the duplicate retry logs nothing"
+    );
+}
+
+/// An injected mid-batch connection kill on the retrying client itself:
+/// the first attempt dies mid-frame, the automatic retry is the only
+/// delivery, zero double-reports.
+#[test]
+fn injected_batch_drop_retries_without_double_reports() {
+    let (r, total) = rig();
+    let key = r.c2.issue_key(sqalpel_core::UserId(1)).unwrap();
+
+    // Claims go through a clean client; the flaky one only uploads.
+    let mut claimed: Vec<Task> = Vec::new();
+    while let Some(task) = r
+        .c2
+        .claim_task(&key, DBMS, HOST, claimed.len() as u64 + 1)
+        .unwrap()
+    {
+        claimed.push(task);
+    }
+    let reports: Vec<(TaskId, RunOutcome)> = claimed
+        .iter()
+        .map(|t| (t.id, outcome_for(t)))
+        .collect();
+
+    // First request on this client is dropped mid-continuation-frame;
+    // request 2 (the retry) is not a multiple of 3 and goes through.
+    let flaky = WireClient::builder(r.v2.local_addr())
+        .transport(Proto::V2Framed)
+        .retry(fast_retry())
+        .inject_drop_every(3)
+        .build();
+    // Position the counter so the batch lands on a multiple of 3.
+    flaky.queue_summary().unwrap();
+    flaky.queue_summary().unwrap();
+    let indices = flaky.report_batch(&key, &reports).unwrap();
+    assert_eq!(indices.len(), total);
+
+    let project = sqalpel_core::ProjectId(1);
+    let records = r.c1.results_for_key(project, &key).unwrap();
+    assert_eq!(records.len(), total, "zero double-reports after injected batch drop");
+    let summary = r.c1.queue_summary().unwrap();
+    assert_eq!((summary.queued, summary.running, summary.terminal()), (0, 0, total));
+}
